@@ -1,0 +1,288 @@
+//! Confluence warnings: unordered rules whose interleaving is observable.
+//!
+//! Chimera makes rule selection deterministic by totalizing the priority
+//! order with definition order, but the *semantics* the user wrote down is
+//! only a partial order. Two rules at the **same priority** that can be
+//! triggered together and whose actions conflict can produce different
+//! final states under the two tie-breakings — the classic confluence
+//! criterion (commutativity of rule pairs). This module reports such pairs
+//! so the user can either order them or confirm the ambiguity is benign.
+//!
+//! Conflict test (conservative): the write sets of the two rules overlap —
+//! a write/write on the same `(class, attr)` slot over intersecting class
+//! extents, or a delete/migration against any write touching the same
+//! extent.
+
+use crate::listens::TriggerSensitivity;
+use crate::Result;
+use chimera_model::{AttrId, ClassId, Schema};
+use chimera_rules::{ActionStmt, TriggerDef};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// What a rule's actions write, at class granularity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteSet {
+    /// `(class, attr)` slots assigned by `modify` (descendants expanded).
+    pub modifies: BTreeSet<(ClassId, AttrId)>,
+    /// Classes whose population changes (create/delete/migrations,
+    /// descendants expanded for deletes and migrations).
+    pub population: BTreeSet<ClassId>,
+}
+
+impl WriteSet {
+    /// Compute the write set of a rule's actions.
+    pub fn of(def: &TriggerDef, schema: &Schema) -> Result<Self> {
+        let mut ws = WriteSet::default();
+        let var_class = |var: &str| -> Result<ClassId> {
+            let decl = def
+                .condition
+                .decls
+                .iter()
+                .find(|d| d.name == var)
+                .ok_or_else(|| {
+                    chimera_model::ModelError::UnknownClass(format!(
+                        "<undeclared variable {var}>"
+                    ))
+                })?;
+            schema.class_by_name(&decl.class)
+        };
+        for stmt in &def.actions {
+            match stmt {
+                ActionStmt::Create { class, .. } => {
+                    ws.population.insert(schema.class_by_name(class)?);
+                }
+                ActionStmt::Modify { var, attr, .. } => {
+                    let declared = var_class(var)?;
+                    for c in schema.descendants(declared) {
+                        ws.modifies.insert((c, schema.attr_by_name(c, attr)?));
+                    }
+                }
+                ActionStmt::Delete { var } => {
+                    let declared = var_class(var)?;
+                    ws.population.extend(schema.descendants(declared));
+                }
+                ActionStmt::Specialize { var, target } | ActionStmt::Generalize { var, target } => {
+                    let declared = var_class(var)?;
+                    ws.population.extend(schema.descendants(declared));
+                    ws.population.insert(schema.class_by_name(target)?);
+                }
+            }
+        }
+        Ok(ws)
+    }
+
+    /// Do two write sets conflict?
+    ///
+    /// * write/write: a shared `(class, attr)` slot;
+    /// * population/write: one rule changes the population of a class the
+    ///   other modifies attributes on (the modified object may be created,
+    ///   deleted or migrated from under the modifier).
+    pub fn conflicts_with(&self, other: &WriteSet) -> bool {
+        if self.modifies.intersection(&other.modifies).next().is_some() {
+            return true;
+        }
+        let touches = |pop: &BTreeSet<ClassId>, mods: &BTreeSet<(ClassId, AttrId)>| {
+            mods.iter().any(|(c, _)| pop.contains(c))
+        };
+        touches(&self.population, &other.modifies)
+            || touches(&other.population, &self.modifies)
+            || self
+                .population
+                .intersection(&other.population)
+                .next()
+                .is_some()
+    }
+}
+
+/// A reported confluence hazard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfluenceWarning {
+    /// First rule (definition order).
+    pub first: String,
+    /// Second rule.
+    pub second: String,
+    /// Shared priority the tie-break decides.
+    pub priority: i32,
+}
+
+impl fmt::Display for ConfluenceWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rules `{}` and `{}` share priority {} and have conflicting writes; \
+             the final state depends on the tie-break",
+            self.first, self.second, self.priority
+        )
+    }
+}
+
+/// Report all unordered conflicting pairs among `defs`.
+///
+/// A pair qualifies when (i) the rules have equal priority, (ii) a common
+/// event type can trigger both in the same reaction round, and (iii) their
+/// write sets conflict.
+pub fn confluence_warnings(defs: &[TriggerDef], schema: &Schema) -> Result<Vec<ConfluenceWarning>> {
+    let sens: Vec<TriggerSensitivity> =
+        defs.iter().map(|d| TriggerSensitivity::new(&d.events)).collect();
+    let writes: Vec<WriteSet> = defs
+        .iter()
+        .map(|d| WriteSet::of(d, schema))
+        .collect::<Result<_>>()?;
+    // the event universe that can co-trigger two rules: every specific
+    // listen type plus every effect type (cascade arrivals).
+    let mut universe: BTreeSet<chimera_events::EventType> = BTreeSet::new();
+    for (i, d) in defs.iter().enumerate() {
+        universe.extend(sens[i].specific_types().iter().copied());
+        universe.extend(crate::action_effects(d, schema)?);
+    }
+    let co_triggerable = |i: usize, j: usize| {
+        if sens[i].is_universal() && sens[j].is_universal() {
+            return true;
+        }
+        universe
+            .iter()
+            .any(|ty| sens[i].may_trigger_on(*ty) && sens[j].may_trigger_on(*ty))
+    };
+    let mut out = Vec::new();
+    for i in 0..defs.len() {
+        for j in i + 1..defs.len() {
+            if defs[i].priority != defs[j].priority {
+                continue;
+            }
+            if !co_triggerable(i, j) {
+                continue;
+            }
+            if writes[i].conflicts_with(&writes[j]) {
+                out.push(ConfluenceWarning {
+                    first: defs[i].name.clone(),
+                    second: defs[j].name.clone(),
+                    priority: defs[i].priority,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_calculus::EventExpr;
+    use chimera_events::EventType;
+    use chimera_model::{AttrDef, AttrType, SchemaBuilder};
+    use chimera_rules::{Condition, Term, VarDecl};
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.class(
+            "c",
+            None,
+            vec![
+                AttrDef::new("x", AttrType::Integer),
+                AttrDef::new("y", AttrType::Integer),
+            ],
+        )
+        .unwrap();
+        b.class("d", Some("c"), vec![]).unwrap();
+        b.build()
+    }
+
+    fn writer(name: &str, schema: &Schema, attr: &str, priority: i32) -> TriggerDef {
+        let c = schema.class_by_name("c").unwrap();
+        let mut def = TriggerDef::new(name, EventExpr::prim(EventType::create(c)));
+        def.priority = priority;
+        def.condition = Condition {
+            decls: vec![VarDecl {
+                name: "V".into(),
+                class: "c".into(),
+            }],
+            formulas: vec![],
+        };
+        def.actions = vec![ActionStmt::Modify {
+            var: "V".into(),
+            attr: attr.into(),
+            value: Term::int(1),
+        }];
+        def
+    }
+
+    #[test]
+    fn same_slot_same_priority_warns() {
+        let s = schema();
+        let defs = vec![writer("a", &s, "x", 0), writer("b", &s, "x", 0)];
+        let warns = confluence_warnings(&defs, &s).unwrap();
+        assert_eq!(warns.len(), 1);
+        assert_eq!(warns[0].first, "a");
+        assert_eq!(warns[0].second, "b");
+        assert!(warns[0].to_string().contains("tie-break"));
+    }
+
+    #[test]
+    fn distinct_priorities_are_ordered() {
+        let s = schema();
+        let defs = vec![writer("a", &s, "x", 1), writer("b", &s, "x", 0)];
+        assert!(confluence_warnings(&defs, &s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn disjoint_slots_commute() {
+        let s = schema();
+        let defs = vec![writer("a", &s, "x", 0), writer("b", &s, "y", 0)];
+        assert!(confluence_warnings(&defs, &s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn non_cotriggerable_rules_skip() {
+        let s = schema();
+        let c = s.class_by_name("c").unwrap();
+        let mut a = writer("a", &s, "x", 0);
+        let mut b = writer("b", &s, "x", 0);
+        // a listens create only; b listens delete only; neither action
+        // creates or deletes → never co-triggered.
+        a.events = EventExpr::prim(EventType::create(c));
+        b.events = EventExpr::prim(EventType::delete(c));
+        let defs = vec![a, b];
+        assert!(confluence_warnings(&defs, &s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_conflicts_with_modify() {
+        let s = schema();
+        let c = s.class_by_name("c").unwrap();
+        let mut a = writer("a", &s, "x", 0);
+        let mut b = writer("b", &s, "y", 0);
+        b.actions = vec![ActionStmt::Delete { var: "V".into() }];
+        a.events = EventExpr::prim(EventType::create(c));
+        b.events = EventExpr::prim(EventType::create(c));
+        let defs = vec![a, b];
+        let warns = confluence_warnings(&defs, &s).unwrap();
+        assert_eq!(warns.len(), 1);
+    }
+
+    #[test]
+    fn write_sets_expand_inheritance() {
+        let s = schema();
+        let def = writer("a", &s, "x", 0);
+        let ws = WriteSet::of(&def, &s).unwrap();
+        // both c.x and d.x slots
+        assert_eq!(ws.modifies.len(), 2);
+    }
+
+    #[test]
+    fn create_population_conflicts_with_create() {
+        let s = schema();
+        let c = s.class_by_name("c").unwrap();
+        let mk = |name: &str| {
+            let mut def = TriggerDef::new(name, EventExpr::prim(EventType::delete(c)));
+            def.actions = vec![ActionStmt::Create {
+                class: "c".into(),
+                inits: vec![],
+            }];
+            def
+        };
+        let defs = vec![mk("a"), mk("b")];
+        let warns = confluence_warnings(&defs, &s).unwrap();
+        assert_eq!(warns.len(), 1);
+    }
+}

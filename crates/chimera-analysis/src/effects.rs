@@ -1,0 +1,232 @@
+//! Action effect inference: the event types a rule's actions can generate.
+//!
+//! The engine turns every store mutation into exactly one event occurrence
+//! (`chimera-exec`'s Event Handler), so the effect set of an action
+//! statement is determined by the mutation kinds it can produce:
+//!
+//! * `create(C, …)` → `create(C)` (attribute initializers are part of the
+//!   creation, not separate `modify` events);
+//! * `modify(V.a, …)` → `modify(C'.a)` for every class `C'` in the deep
+//!   extent of `V`'s declared class that resolves attribute `a` — the
+//!   store reports the *object's* class, which may be any descendant;
+//! * `delete(V)` → `delete(C')` for every descendant `C'`;
+//! * `specialize(V, T)` / `generalize(V, T)` → the event is reported on
+//!   the **target** class `T` of the migration.
+//!
+//! The set is an over-approximation in one direction only: an action may
+//! run zero times (empty condition bindings), never on classes outside the
+//! computed set. That is the direction the triggering graph needs.
+
+use crate::Result;
+use chimera_events::EventType;
+use chimera_model::{ModelError, Schema};
+use chimera_rules::{ActionStmt, TriggerDef};
+use std::collections::BTreeSet;
+
+/// Look up the declared class of a condition variable.
+fn var_class(def: &TriggerDef, schema: &Schema, var: &str) -> Result<chimera_model::ClassId> {
+    let decl = def
+        .condition
+        .decls
+        .iter()
+        .find(|d| d.name == var)
+        .ok_or_else(|| ModelError::UnknownClass(format!("<undeclared variable {var}>")))?;
+    schema.class_by_name(&decl.class)
+}
+
+/// The event types the actions of `def` can generate, against `schema`.
+///
+/// Fails only on resolution errors (unknown class/attribute/variable),
+/// which the engine would equally reject at execution time.
+pub fn action_effects(def: &TriggerDef, schema: &Schema) -> Result<BTreeSet<EventType>> {
+    let mut out = BTreeSet::new();
+    for stmt in &def.actions {
+        match stmt {
+            ActionStmt::Create { class, .. } => {
+                let c = schema.class_by_name(class)?;
+                out.insert(EventType::create(c));
+            }
+            ActionStmt::Modify { var, attr, .. } => {
+                let declared = var_class(def, schema, var)?;
+                for c in schema.descendants(declared) {
+                    let aid = schema.attr_by_name(c, attr)?;
+                    out.insert(EventType::modify(c, aid));
+                }
+            }
+            ActionStmt::Delete { var } => {
+                let declared = var_class(def, schema, var)?;
+                for c in schema.descendants(declared) {
+                    out.insert(EventType::delete(c));
+                }
+            }
+            ActionStmt::Specialize { target, .. } => {
+                let t = schema.class_by_name(target)?;
+                out.insert(EventType::specialize(t));
+            }
+            ActionStmt::Generalize { target, .. } => {
+                let t = schema.class_by_name(target)?;
+                out.insert(EventType::generalize(t));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_calculus::EventExpr;
+    use chimera_model::{AttrDef, AttrType, SchemaBuilder};
+    use chimera_rules::{Condition, Term, VarDecl};
+
+    /// `base` ← `sub` hierarchy with an inherited attribute.
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.class("base", None, vec![AttrDef::new("x", AttrType::Integer)])
+            .unwrap();
+        b.class(
+            "sub",
+            Some("base"),
+            vec![AttrDef::new("y", AttrType::Integer)],
+        )
+        .unwrap();
+        b.build()
+    }
+
+    fn def_with(actions: Vec<ActionStmt>, decls: Vec<VarDecl>) -> TriggerDef {
+        let s = schema();
+        let base = s.class_by_name("base").unwrap();
+        let mut def = TriggerDef::new("r", EventExpr::prim(EventType::create(base)));
+        def.condition = Condition {
+            decls,
+            formulas: vec![],
+        };
+        def.actions = actions;
+        def
+    }
+
+    fn v(name: &str, class: &str) -> VarDecl {
+        VarDecl {
+            name: name.into(),
+            class: class.into(),
+        }
+    }
+
+    #[test]
+    fn create_yields_single_create_event() {
+        let s = schema();
+        let def = def_with(
+            vec![ActionStmt::Create {
+                class: "sub".into(),
+                inits: vec![("x".into(), Term::int(1))],
+            }],
+            vec![],
+        );
+        let eff = action_effects(&def, &s).unwrap();
+        let sub = s.class_by_name("sub").unwrap();
+        assert_eq!(eff.len(), 1);
+        assert!(eff.contains(&EventType::create(sub)));
+    }
+
+    #[test]
+    fn modify_covers_descendant_classes() {
+        let s = schema();
+        let def = def_with(
+            vec![ActionStmt::Modify {
+                var: "B".into(),
+                attr: "x".into(),
+                value: Term::int(0),
+            }],
+            vec![v("B", "base")],
+        );
+        let eff = action_effects(&def, &s).unwrap();
+        let base = s.class_by_name("base").unwrap();
+        let sub = s.class_by_name("sub").unwrap();
+        let xb = s.attr_by_name(base, "x").unwrap();
+        let xs = s.attr_by_name(sub, "x").unwrap();
+        assert!(eff.contains(&EventType::modify(base, xb)));
+        assert!(eff.contains(&EventType::modify(sub, xs)));
+        assert_eq!(eff.len(), 2);
+    }
+
+    #[test]
+    fn modify_on_leaf_class_stays_narrow() {
+        let s = schema();
+        let def = def_with(
+            vec![ActionStmt::Modify {
+                var: "S".into(),
+                attr: "y".into(),
+                value: Term::int(0),
+            }],
+            vec![v("S", "sub")],
+        );
+        let eff = action_effects(&def, &s).unwrap();
+        assert_eq!(eff.len(), 1);
+    }
+
+    #[test]
+    fn delete_covers_descendants() {
+        let s = schema();
+        let def = def_with(vec![ActionStmt::Delete { var: "B".into() }], vec![v("B", "base")]);
+        let eff = action_effects(&def, &s).unwrap();
+        let base = s.class_by_name("base").unwrap();
+        let sub = s.class_by_name("sub").unwrap();
+        assert_eq!(eff.len(), 2);
+        assert!(eff.contains(&EventType::delete(base)));
+        assert!(eff.contains(&EventType::delete(sub)));
+    }
+
+    #[test]
+    fn migrations_report_target_class() {
+        let s = schema();
+        let def = def_with(
+            vec![
+                ActionStmt::Specialize {
+                    var: "B".into(),
+                    target: "sub".into(),
+                },
+                ActionStmt::Generalize {
+                    var: "S".into(),
+                    target: "base".into(),
+                },
+            ],
+            vec![v("B", "base"), v("S", "sub")],
+        );
+        let eff = action_effects(&def, &s).unwrap();
+        let base = s.class_by_name("base").unwrap();
+        let sub = s.class_by_name("sub").unwrap();
+        assert!(eff.contains(&EventType::specialize(sub)));
+        assert!(eff.contains(&EventType::generalize(base)));
+    }
+
+    #[test]
+    fn empty_actions_have_no_effects() {
+        let s = schema();
+        let def = def_with(vec![], vec![]);
+        assert!(action_effects(&def, &s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let s = schema();
+        let def = def_with(
+            vec![ActionStmt::Delete { var: "Z".into() }],
+            vec![v("B", "base")],
+        );
+        assert!(action_effects(&def, &s).is_err());
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let s = schema();
+        let def = def_with(
+            vec![ActionStmt::Modify {
+                var: "B".into(),
+                attr: "nope".into(),
+                value: Term::int(0),
+            }],
+            vec![v("B", "base")],
+        );
+        assert!(action_effects(&def, &s).is_err());
+    }
+}

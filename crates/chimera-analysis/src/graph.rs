@@ -1,0 +1,435 @@
+//! The triggering graph and the conservative termination verdict.
+//!
+//! Nodes are rules; there is an edge `r → s` whenever some event type the
+//! actions of `r` can generate ([`crate::action_effects`]) may trigger `s`
+//! ([`crate::TriggerSensitivity`]). If the graph is **acyclic** every
+//! reaction cascade terminates: each consideration step consumes one
+//! triggered rule, and re-triggering follows edges, so the cascade length
+//! is bounded by the longest path times the number of blocks. Cycles are
+//! *potential* non-termination only — conditions, the `R ≠ ∅` guard, or
+//! data convergence may still stop them (both outcomes are exercised in
+//! the integration tests).
+
+use crate::effects::action_effects;
+use crate::listens::TriggerSensitivity;
+use crate::Result;
+use chimera_events::EventType;
+use chimera_model::Schema;
+use chimera_rules::TriggerDef;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Conservative termination verdict for a rule set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TerminationVerdict {
+    /// The triggering graph is acyclic: every cascade terminates.
+    Terminates,
+    /// Cycles exist; each is reported as the rule names of one strongly
+    /// connected component with more than one node or a self-loop.
+    MayLoop {
+        /// The potentially looping rule groups, in definition order.
+        cycles: Vec<Vec<String>>,
+    },
+}
+
+impl TerminationVerdict {
+    /// Is this the acyclic (guaranteed-termination) verdict?
+    pub fn is_terminating(&self) -> bool {
+        matches!(self, TerminationVerdict::Terminates)
+    }
+}
+
+impl fmt::Display for TerminationVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TerminationVerdict::Terminates => {
+                write!(f, "terminates (acyclic triggering graph)")
+            }
+            TerminationVerdict::MayLoop { cycles } => {
+                write!(f, "may loop: ")?;
+                for (i, c) in cycles.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{{{}}}", c.join(" → "))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One analysed rule.
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    effects: BTreeSet<EventType>,
+    listens: TriggerSensitivity,
+}
+
+/// The triggering graph over a set of trigger definitions.
+#[derive(Debug, Clone)]
+pub struct TriggeringGraph {
+    nodes: Vec<Node>,
+    /// Adjacency: `edges[i]` = indices of rules that rule `i` may trigger.
+    edges: Vec<Vec<usize>>,
+}
+
+impl TriggeringGraph {
+    /// Build the graph for `defs` against `schema`.
+    pub fn build(defs: &[TriggerDef], schema: &Schema) -> Result<Self> {
+        let nodes: Vec<Node> = defs
+            .iter()
+            .map(|d| {
+                Ok(Node {
+                    name: d.name.clone(),
+                    effects: action_effects(d, schema)?,
+                    listens: TriggerSensitivity::new(&d.events),
+                })
+            })
+            .collect::<Result<_>>()?;
+        let edges = nodes
+            .iter()
+            .map(|from| {
+                nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, to)| to.listens.may_trigger_on_any(from.effects.iter()))
+                    .map(|(j, _)| j)
+                    .collect()
+            })
+            .collect();
+        Ok(TriggeringGraph { nodes, edges })
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the graph empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Rule names in definition order.
+    pub fn rule_names(&self) -> impl Iterator<Item = &str> {
+        self.nodes.iter().map(|n| n.name.as_str())
+    }
+
+    /// Edges as `(from, to)` name pairs, in definition order.
+    pub fn edges(&self) -> Vec<(&str, &str)> {
+        let mut out = Vec::new();
+        for (i, succs) in self.edges.iter().enumerate() {
+            for &j in succs {
+                out.push((self.nodes[i].name.as_str(), self.nodes[j].name.as_str()));
+            }
+        }
+        out
+    }
+
+    /// Does rule `from` have an edge to rule `to`?
+    pub fn has_edge(&self, from: &str, to: &str) -> bool {
+        let Some(i) = self.index_of(from) else {
+            return false;
+        };
+        let Some(j) = self.index_of(to) else {
+            return false;
+        };
+        self.edges[i].contains(&j)
+    }
+
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.name == name)
+    }
+
+    /// Strongly connected components (Tarjan, iterative), in reverse
+    /// topological order of the condensation.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+        // explicit DFS frames: (node, next-successor position)
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+                if *pos == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = self.edges[v].get(*pos) {
+                    *pos += 1;
+                    if index[w] == usize::MAX {
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        sccs.push(comp);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+
+    /// The potentially non-terminating rule groups: SCCs with more than
+    /// one node, plus single nodes with a self-loop.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let mut out: Vec<Vec<String>> = self
+            .sccs()
+            .into_iter()
+            .filter(|c| c.len() > 1 || self.edges[c[0]].contains(&c[0]))
+            .map(|c| c.into_iter().map(|i| self.nodes[i].name.clone()).collect())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The conservative termination verdict.
+    pub fn termination(&self) -> TerminationVerdict {
+        let cycles = self.cycles();
+        if cycles.is_empty() {
+            TerminationVerdict::Terminates
+        } else {
+            TerminationVerdict::MayLoop { cycles }
+        }
+    }
+
+    /// An upper bound on cascade length per block for acyclic graphs: the
+    /// longest path in the condensation (in rules). `None` when cyclic.
+    pub fn max_cascade_depth(&self) -> Option<usize> {
+        if !self.termination().is_terminating() {
+            return None;
+        }
+        // longest path via memoized DFS (graph is acyclic here)
+        fn depth(g: &TriggeringGraph, v: usize, memo: &mut [Option<usize>]) -> usize {
+            if let Some(d) = memo[v] {
+                return d;
+            }
+            let d = 1 + g.edges[v]
+                .iter()
+                .map(|&w| depth(g, w, memo))
+                .max()
+                .unwrap_or(0);
+            memo[v] = Some(d);
+            d
+        }
+        let mut memo = vec![None; self.nodes.len()];
+        (0..self.nodes.len())
+            .map(|v| depth(self, v, &mut memo))
+            .max()
+    }
+
+    /// Graphviz DOT rendering (rules as nodes, may-trigger edges), with
+    /// cyclic components highlighted.
+    pub fn to_dot(&self) -> String {
+        let mut looping: BTreeSet<&str> = BTreeSet::new();
+        for c in self.cycles() {
+            for name in &c {
+                if let Some(i) = self.index_of(name) {
+                    looping.insert(self.nodes[i].name.as_str());
+                }
+            }
+        }
+        let mut s = String::from("digraph triggering {\n");
+        for node in &self.nodes {
+            let attrs = if looping.contains(node.name.as_str()) {
+                " [color=red, style=bold]"
+            } else {
+                ""
+            };
+            s.push_str(&format!("  \"{}\"{};\n", node.name, attrs));
+        }
+        for (from, to) in self.edges() {
+            s.push_str(&format!("  \"{from}\" -> \"{to}\";\n"));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_calculus::EventExpr;
+    use chimera_model::{AttrDef, AttrType, SchemaBuilder};
+    use chimera_rules::{ActionStmt, Condition, Term, VarDecl};
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.class(
+            "c",
+            None,
+            vec![
+                AttrDef::new("x", AttrType::Integer),
+                AttrDef::new("y", AttrType::Integer),
+            ],
+        )
+        .unwrap();
+        b.build()
+    }
+
+    /// Rule listening on `modify(c.{listen})` that modifies `c.{write}`.
+    fn rule(name: &str, schema: &Schema, listen: &str, write: &str) -> TriggerDef {
+        let c = schema.class_by_name("c").unwrap();
+        let a = schema.attr_by_name(c, listen).unwrap();
+        let mut def = TriggerDef::new(
+            name,
+            EventExpr::prim(EventType::modify(c, a)),
+        );
+        def.condition = Condition {
+            decls: vec![VarDecl {
+                name: "V".into(),
+                class: "c".into(),
+            }],
+            formulas: vec![],
+        };
+        def.actions = vec![ActionStmt::Modify {
+            var: "V".into(),
+            attr: write.into(),
+            value: Term::int(0),
+        }];
+        def
+    }
+
+    #[test]
+    fn chain_is_acyclic_with_depth() {
+        let s = schema();
+        // x→y writer, y→(no listener) writer
+        let defs = vec![rule("r1", &s, "x", "y"), rule("r2", &s, "y", "y")];
+        // careful: r2 listens on y and writes y — that's a self-loop
+        let g = TriggeringGraph::build(&defs, &s).unwrap();
+        assert!(g.has_edge("r1", "r2"));
+        assert!(g.has_edge("r2", "r2"));
+        assert_eq!(
+            g.termination(),
+            TerminationVerdict::MayLoop {
+                cycles: vec![vec!["r2".into()]]
+            }
+        );
+        assert_eq!(g.max_cascade_depth(), None);
+    }
+
+    #[test]
+    fn acyclic_chain_terminates() {
+        let s = schema();
+        let defs = vec![rule("a", &s, "x", "y")];
+        let g = TriggeringGraph::build(&defs, &s).unwrap();
+        assert!(!g.has_edge("a", "a"));
+        assert!(g.termination().is_terminating());
+        assert_eq!(g.max_cascade_depth(), Some(1));
+    }
+
+    #[test]
+    fn two_rule_cycle_detected() {
+        let s = schema();
+        let defs = vec![rule("a", &s, "x", "y"), rule("b", &s, "y", "x")];
+        let g = TriggeringGraph::build(&defs, &s).unwrap();
+        let verdict = g.termination();
+        assert_eq!(
+            verdict,
+            TerminationVerdict::MayLoop {
+                cycles: vec![vec!["a".into(), "b".into()]]
+            }
+        );
+        assert!(verdict.to_string().contains("may loop"));
+    }
+
+    #[test]
+    fn longest_path_depth() {
+        let s = schema();
+        // a: x→y, b: y→(writes x? no, cycle) — build a 3-chain with distinct
+        // attrs is limited by 2 attrs; use create/delete chain instead.
+        let c = s.class_by_name("c").unwrap();
+        let x = s.attr_by_name(c, "x").unwrap();
+        let mut a = rule("a", &s, "x", "y"); // modify(x) → writes y
+        a.events = EventExpr::prim(EventType::create(c));
+        let b = rule("b", &s, "y", "y"); // self-loop on y… avoid
+        let mut b = b;
+        b.actions = vec![ActionStmt::Delete { var: "V".into() }];
+        let mut d = rule("d", &s, "x", "x");
+        d.events = EventExpr::prim(EventType::delete(c));
+        d.actions = vec![];
+        let defs = vec![a, b, d];
+        let g = TriggeringGraph::build(&defs, &s).unwrap();
+        // a → b (modify y), b → d (delete), a/b/d acyclic
+        assert!(g.has_edge("a", "b"));
+        assert!(g.has_edge("b", "d"));
+        assert!(g.termination().is_terminating());
+        assert_eq!(g.max_cascade_depth(), Some(3));
+        let _ = x;
+    }
+
+    /// A universal listener (pure negation) gets an edge from every rule
+    /// with a non-empty effect set, and none from effect-free rules.
+    #[test]
+    fn universal_listener_edges() {
+        let s = schema();
+        let c = s.class_by_name("c").unwrap();
+        let x = s.attr_by_name(c, "x").unwrap();
+        let producer = rule("p", &s, "x", "y");
+        let mut watcher = TriggerDef::new(
+            "w",
+            EventExpr::prim(EventType::modify(c, x)).not(),
+        );
+        watcher.actions = vec![];
+        let defs = vec![producer, watcher];
+        let g = TriggeringGraph::build(&defs, &s).unwrap();
+        assert!(g.has_edge("p", "w"));
+        assert!(!g.has_edge("w", "p")); // w has no actions
+        assert!(!g.has_edge("w", "w"));
+    }
+
+    #[test]
+    fn dot_rendering_highlights_cycles() {
+        let s = schema();
+        let defs = vec![rule("a", &s, "x", "x"), rule("b", &s, "y", "x")];
+        let g = TriggeringGraph::build(&defs, &s).unwrap();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"a\" [color=red, style=bold];"));
+        assert!(dot.contains("\"a\" -> \"a\";"));
+        assert!(dot.contains("\"b\""));
+    }
+
+    #[test]
+    fn sccs_cover_all_nodes_once() {
+        let s = schema();
+        let defs = vec![
+            rule("a", &s, "x", "y"),
+            rule("b", &s, "y", "x"),
+            rule("e", &s, "x", "y"),
+        ];
+        let g = TriggeringGraph::build(&defs, &s).unwrap();
+        let sccs = g.sccs();
+        let mut all: Vec<usize> = sccs.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+}

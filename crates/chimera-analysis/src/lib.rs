@@ -1,0 +1,48 @@
+//! # chimera-analysis
+//!
+//! Static analysis of Chimera trigger sets.
+//!
+//! The paper's §5.1 optimization analyses a *single* rule's event
+//! expression to decide when its `ts` needs recomputation. This crate
+//! lifts the same machinery to the *rule-set* level, the classic companion
+//! analyses of the active-database literature (Widom & Ceri, ch. 4; the
+//! IDEA project applied them to Chimera itself):
+//!
+//! * [`effects`] — which event types a rule's **actions** can generate,
+//!   inferred from the action statements against the schema (inheritance
+//!   included: a variable ranges over the deep extent of its class, so a
+//!   `modify` through it can surface as a `modify` event on any
+//!   descendant class);
+//! * [`listens`] — which event-type arrivals can **trigger** a rule,
+//!   derived from the §5.1 variation set `V(E)` plus the two
+//!   completion flags (vacuous activity, fresh-object sensitivity) that
+//!   make some rules sensitive to *every* arrival;
+//! * [`graph`] — the **triggering graph**: an edge `r → s` whenever some
+//!   event type `r`'s actions can generate may trigger `s`. Cycles
+//!   (Tarjan SCCs) are *potential* non-termination; an acyclic graph is a
+//!   conservative **termination guarantee** for the reaction loop;
+//! * [`confluence`] — priority-tie detection: two rules that can be
+//!   triggered by a common event, are not priority-ordered, and whose
+//!   actions conflict (write/write or write/delete on overlapping class
+//!   extents) make the final state depend on the tie-breaking order.
+//!
+//! All verdicts are conservative in the safe direction: `Terminates` is a
+//! guarantee, `MayLoop` is a warning (the §4.4 `R ≠ ∅` guard or the
+//! condition part may still stop a flagged cycle at runtime — see the
+//! crate's integration tests for both outcomes).
+
+pub mod confluence;
+pub mod effects;
+pub mod graph;
+pub mod listens;
+pub mod report;
+
+pub use confluence::{confluence_warnings, ConfluenceWarning, WriteSet};
+pub use effects::action_effects;
+pub use graph::{TerminationVerdict, TriggeringGraph};
+pub use listens::TriggerSensitivity;
+pub use report::{analyze, AnalysisReport};
+
+/// Crate-level result alias (analysis reuses the rule-crate error type for
+/// name/schema resolution failures).
+pub type Result<T> = std::result::Result<T, chimera_model::ModelError>;

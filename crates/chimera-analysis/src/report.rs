@@ -1,0 +1,125 @@
+//! The combined analysis report.
+
+use crate::confluence::{confluence_warnings, ConfluenceWarning};
+use crate::graph::{TerminationVerdict, TriggeringGraph};
+use crate::Result;
+use chimera_model::Schema;
+use chimera_rules::TriggerDef;
+use std::fmt;
+
+/// Everything the static analyses have to say about a rule set.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The triggering graph.
+    pub graph: TriggeringGraph,
+    /// Conservative termination verdict.
+    pub termination: TerminationVerdict,
+    /// Cascade-depth bound for acyclic rule sets.
+    pub max_cascade_depth: Option<usize>,
+    /// Unordered conflicting pairs.
+    pub confluence: Vec<ConfluenceWarning>,
+}
+
+impl AnalysisReport {
+    /// No warnings of any kind?
+    pub fn is_clean(&self) -> bool {
+        self.termination.is_terminating() && self.confluence.is_empty()
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "triggering graph: {} rules, {} edges",
+            self.graph.len(),
+            self.graph.edges().len()
+        )?;
+        writeln!(f, "termination: {}", self.termination)?;
+        if let Some(d) = self.max_cascade_depth {
+            writeln!(f, "max cascade depth: {d}")?;
+        }
+        if self.confluence.is_empty() {
+            writeln!(f, "confluence: no unordered conflicting pairs")?;
+        } else {
+            writeln!(f, "confluence warnings:")?;
+            for w in &self.confluence {
+                writeln!(f, "  - {w}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run all analyses over a rule set.
+pub fn analyze(defs: &[TriggerDef], schema: &Schema) -> Result<AnalysisReport> {
+    let graph = TriggeringGraph::build(defs, schema)?;
+    let termination = graph.termination();
+    let max_cascade_depth = graph.max_cascade_depth();
+    let confluence = confluence_warnings(defs, schema)?;
+    Ok(AnalysisReport {
+        graph,
+        termination,
+        max_cascade_depth,
+        confluence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_calculus::EventExpr;
+    use chimera_events::EventType;
+    use chimera_model::{AttrDef, AttrType, SchemaBuilder};
+    use chimera_rules::{ActionStmt, Condition, Term, VarDecl};
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.class("c", None, vec![AttrDef::new("x", AttrType::Integer)])
+            .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn clean_report_displays() {
+        let s = schema();
+        let c = s.class_by_name("c").unwrap();
+        let def = TriggerDef::new("quiet", EventExpr::prim(EventType::create(c)));
+        let report = analyze(&[def], &s).unwrap();
+        assert!(report.is_clean());
+        let text = report.to_string();
+        assert!(text.contains("1 rules, 0 edges"));
+        assert!(text.contains("terminates"));
+        assert!(text.contains("no unordered conflicting pairs"));
+    }
+
+    #[test]
+    fn dirty_report_displays_both_warnings() {
+        let s = schema();
+        let c = s.class_by_name("c").unwrap();
+        let x = s.attr_by_name(c, "x").unwrap();
+        let mk = |name: &str| {
+            let mut def =
+                TriggerDef::new(name, EventExpr::prim(EventType::modify(c, x)));
+            def.condition = Condition {
+                decls: vec![VarDecl {
+                    name: "V".into(),
+                    class: "c".into(),
+                }],
+                formulas: vec![],
+            };
+            def.actions = vec![ActionStmt::Modify {
+                var: "V".into(),
+                attr: "x".into(),
+                value: Term::int(1),
+            }];
+            def
+        };
+        let report = analyze(&[mk("a"), mk("b")], &s).unwrap();
+        assert!(!report.is_clean());
+        assert!(report.max_cascade_depth.is_none());
+        let text = report.to_string();
+        assert!(text.contains("may loop"));
+        assert!(text.contains("confluence warnings"));
+    }
+}

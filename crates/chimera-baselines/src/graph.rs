@@ -1,0 +1,235 @@
+//! Ode-style detection graph (§1.1: Ode checks composite events "by means
+//! of a finite state automata", with the expressive power of regular
+//! expressions).
+//!
+//! The detector compiles a **negation-free, set-oriented** expression into
+//! a tree of operator nodes, each holding constant-size state (an
+//! acceptance latch). Every incoming event updates the tree bottom-up in
+//! O(nodes); `accepted` reports whether the composite has been detected
+//! since the last [`GraphDetector::reset`].
+//!
+//! For this fragment, acceptance coincides with the calculus' triggering
+//! witness (`∃ t' : ts(E, t') > 0`) — asserted by the agreement tests —
+//! while negation and instance operators are simply *inexpressible*,
+//! which is the qualitative comparison the paper draws.
+
+use chimera_calculus::{CalculusError, EventExpr};
+use chimera_events::EventOccurrence;
+
+/// One operator node.
+#[derive(Debug, Clone)]
+enum Node {
+    Prim(chimera_events::EventType),
+    Or(usize, usize),
+    And(usize, usize),
+    /// Sequence: right completing while left already accepted.
+    Seq(usize, usize),
+}
+
+/// The compiled detection graph.
+#[derive(Debug, Clone)]
+pub struct GraphDetector {
+    nodes: Vec<Node>,
+    /// Acceptance latch per node.
+    accepted: Vec<bool>,
+    root: usize,
+}
+
+impl GraphDetector {
+    /// Compile an expression. Errors on negation or instance operators
+    /// (outside the regular fragment).
+    pub fn compile(expr: &EventExpr) -> Result<Self, CalculusError> {
+        let mut nodes = Vec::new();
+        let root = Self::build(expr, &mut nodes)?;
+        let accepted = vec![false; nodes.len()];
+        Ok(GraphDetector {
+            nodes,
+            accepted,
+            root,
+        })
+    }
+
+    fn build(expr: &EventExpr, nodes: &mut Vec<Node>) -> Result<usize, CalculusError> {
+        let node = match expr {
+            EventExpr::Prim(ty) => Node::Prim(*ty),
+            EventExpr::Or(a, b) => {
+                let (na, nb) = (Self::build(a, nodes)?, Self::build(b, nodes)?);
+                Node::Or(na, nb)
+            }
+            EventExpr::And(a, b) => {
+                let (na, nb) = (Self::build(a, nodes)?, Self::build(b, nodes)?);
+                Node::And(na, nb)
+            }
+            EventExpr::Prec(a, b) => {
+                let (na, nb) = (Self::build(a, nodes)?, Self::build(b, nodes)?);
+                Node::Seq(na, nb)
+            }
+            // negation / instance operators: outside the regular fragment
+            _ => return Err(CalculusError::SetOrientedFormula),
+        };
+        nodes.push(node);
+        Ok(nodes.len() - 1)
+    }
+
+    /// Feed one event; returns true if the root completes on it.
+    pub fn feed(&mut self, ev: &EventOccurrence) -> bool {
+        // `fired[i]`: node i newly completed on this event.
+        let mut fired = vec![false; self.nodes.len()];
+        let before = self.accepted.clone();
+        for i in 0..self.nodes.len() {
+            // children precede parents (post-order build)
+            let f = match &self.nodes[i] {
+                Node::Prim(ty) => ev.ty == *ty,
+                Node::Or(a, b) => fired[*a] || fired[*b],
+                Node::And(a, b) => {
+                    (fired[*a] && (before[*b] || fired[*b]))
+                        || (fired[*b] && (before[*a] || fired[*a]))
+                }
+                // left must have been accepted strictly before this event
+                Node::Seq(a, b) => fired[*b] && before[*a],
+            };
+            fired[i] = f;
+            if f {
+                self.accepted[i] = true;
+            }
+        }
+        fired[self.root]
+    }
+
+    /// Has the composite been detected since the last reset?
+    pub fn accepted(&self) -> bool {
+        self.accepted[self.root]
+    }
+
+    /// Clear all state (Chimera's detriggering/consumption analogue).
+    pub fn reset(&mut self) {
+        self.accepted.iter_mut().for_each(|a| *a = false);
+    }
+
+    /// Node count (detector size).
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_calculus::ts_logical;
+    use chimera_events::{EventBase, EventId, EventType, Timestamp, Window};
+    use chimera_model::{ClassId, Oid};
+
+    fn et(n: u32) -> EventType {
+        EventType::external(ClassId(0), n)
+    }
+    fn p(n: u32) -> EventExpr {
+        EventExpr::prim(et(n))
+    }
+    fn ev(n: u32, ts: u64) -> EventOccurrence {
+        EventOccurrence {
+            eid: EventId(ts),
+            ty: et(n),
+            oid: Oid(1),
+            ts: Timestamp(ts),
+        }
+    }
+
+    #[test]
+    fn sequence_detection() {
+        let mut d = GraphDetector::compile(&p(0).prec(p(1))).unwrap();
+        assert!(!d.feed(&ev(1, 1))); // B before A: no
+        assert!(!d.feed(&ev(0, 2))); // A
+        assert!(!d.accepted());
+        assert!(d.feed(&ev(1, 3))); // B after A: accept
+        assert!(d.accepted());
+        d.reset();
+        assert!(!d.accepted());
+    }
+
+    #[test]
+    fn same_event_does_not_satisfy_both_seq_sides() {
+        // A < A needs two A occurrences in the graph model? The calculus
+        // says a single A satisfies `A < A` (same stamp counts); the graph
+        // detector requires strict precedence — this is a *known semantic
+        // difference* of the Ode fragment, so A < A is exercised via two
+        // occurrences here.
+        let mut d = GraphDetector::compile(&p(0).prec(p(0))).unwrap();
+        assert!(!d.feed(&ev(0, 1)));
+        assert!(d.feed(&ev(0, 2)));
+    }
+
+    #[test]
+    fn conjunction_any_order() {
+        let mut d = GraphDetector::compile(&p(0).and(p(1))).unwrap();
+        d.feed(&ev(1, 1));
+        assert!(!d.accepted());
+        d.feed(&ev(0, 2));
+        assert!(d.accepted());
+        // other order
+        let mut d2 = GraphDetector::compile(&p(0).and(p(1))).unwrap();
+        d2.feed(&ev(0, 1));
+        d2.feed(&ev(1, 2));
+        assert!(d2.accepted());
+    }
+
+    #[test]
+    fn disjunction_either() {
+        let mut d = GraphDetector::compile(&p(0).or(p(1))).unwrap();
+        d.feed(&ev(1, 1));
+        assert!(d.accepted());
+    }
+
+    #[test]
+    fn negation_not_expressible() {
+        assert!(GraphDetector::compile(&p(0).not()).is_err());
+        assert!(GraphDetector::compile(&p(0).iand(p(1))).is_err());
+    }
+
+    /// Agreement with the calculus' triggering witness on the regular
+    /// fragment (distinct primitives, so the strict-precedence nuance of
+    /// `A < A` does not arise).
+    #[test]
+    fn agreement_with_calculus_witness() {
+        let exprs = [
+            p(0).prec(p(1)),
+            p(0).and(p(1)).or(p(2)),
+            p(0).prec(p(1)).and(p(2)),
+            p(0).or(p(1)).prec(p(2)),
+        ];
+        let streams: Vec<Vec<u32>> = vec![
+            vec![0, 1, 2],
+            vec![1, 0, 2],
+            vec![2, 2, 1],
+            vec![0, 2, 1, 0],
+            vec![1],
+            vec![],
+        ];
+        for expr in &exprs {
+            for stream in &streams {
+                let mut d = GraphDetector::compile(expr).unwrap();
+                let mut eb = EventBase::new();
+                for (i, &tyn) in stream.iter().enumerate() {
+                    let occ = eb.append_at(et(tyn), Oid(1), Timestamp(i as u64 + 1));
+                    d.feed(&occ);
+                }
+                let now = Timestamp(stream.len() as u64 + 1);
+                let w = Window::from_origin(now);
+                let witness = (1..=now.raw())
+                    .any(|t| ts_logical(expr, &eb, w, Timestamp(t)).is_active());
+                assert_eq!(
+                    d.accepted(),
+                    witness,
+                    "{expr} on {stream:?}: graph={} calculus-witness={}",
+                    d.accepted(),
+                    witness
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn size_reports_nodes() {
+        let d = GraphDetector::compile(&p(0).and(p(1)).or(p(2))).unwrap();
+        assert_eq!(d.size(), 5);
+    }
+}

@@ -1,0 +1,29 @@
+//! # chimera-baselines
+//!
+//! Comparator implementations from the paper's related-work section (§1.1),
+//! used by the benchmark harness to situate the Chimera calculus:
+//!
+//! * [`naive`] — a from-scratch evaluator with **no indexes and no §5.1
+//!   static optimization**: every check linearly rescans the window. This
+//!   is the ablation baseline for PERF-2/PERF-4.
+//! * [`graph`] — an **Ode-style detector** ("composite events are checked
+//!   by means of a finite state automata"): each operator node keeps a
+//!   constant-size acceptance state updated per event, supporting the
+//!   regular, negation-free, set-oriented fragment. Detection is
+//!   O(nodes) per event but cannot express negation, instance operators
+//!   or Chimera's consumption semantics.
+//! * [`snoop`] — a **Snoop-style recent-context detector**: operator nodes
+//!   keep their most recent constituent occurrences and emit composite
+//!   occurrence instants, comparable to the calculus' fresh-activation
+//!   instants.
+//!
+//! Agreement with the calculus on the shared fragments is tested here and
+//! in the cross-crate suite; the benches then compare their costs.
+
+pub mod graph;
+pub mod naive;
+pub mod snoop;
+
+pub use graph::GraphDetector;
+pub use naive::{naive_ts, NaiveTriggerChecker};
+pub use snoop::SnoopRecentDetector;

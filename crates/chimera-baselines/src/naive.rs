@@ -1,0 +1,301 @@
+//! Naive baseline: linear-scan `ts` evaluation, no indexes, no `V(E)`.
+//!
+//! Semantically identical to `chimera_calculus::ts_logical` (asserted by
+//! tests), but every primitive lookup scans the whole occurrence slice and
+//! every trigger check re-probes every rule at every instant. This is the
+//! "before" picture for the §5/§5.1 engineering.
+
+use chimera_calculus::{EventExpr, TsVal};
+use chimera_events::{EventOccurrence, EventType, Timestamp, Window};
+use chimera_model::Oid;
+
+/// `ts` over a plain occurrence slice (no indexes): the most recent
+/// occurrence is found by scanning.
+pub fn naive_ts(expr: &EventExpr, events: &[EventOccurrence], w: Window, t: Timestamp) -> TsVal {
+    match expr {
+        EventExpr::Prim(ty) => naive_prim(events, w, t, *ty),
+        EventExpr::Not(e) => naive_ts(e, events, w, t).negate(),
+        EventExpr::And(a, b) => {
+            let ta = naive_ts(a, events, w, t);
+            let tb = naive_ts(b, events, w, t);
+            if ta.is_active() && tb.is_active() {
+                ta.max(tb)
+            } else {
+                ta.min(tb)
+            }
+        }
+        EventExpr::Or(a, b) => {
+            let ta = naive_ts(a, events, w, t);
+            let tb = naive_ts(b, events, w, t);
+            if ta.is_active() || tb.is_active() {
+                ta.max(tb)
+            } else {
+                ta.min(tb)
+            }
+        }
+        EventExpr::Prec(a, b) => {
+            let tb = naive_ts(b, events, w, t);
+            match tb.activation() {
+                Some(bs) => {
+                    if naive_ts(a, events, w, bs).is_active() {
+                        tb
+                    } else {
+                        TsVal::inactive(t)
+                    }
+                }
+                None => TsVal::inactive(t),
+            }
+        }
+        EventExpr::INot(inner) => {
+            let max = objects(events, w, t)
+                .into_iter()
+                .map(|oid| naive_ots(inner, events, w, t, oid))
+                .max();
+            match max {
+                Some(v) if v.is_active() => v.negate(),
+                _ => TsVal::active(t),
+            }
+        }
+        _ => objects(events, w, t)
+            .into_iter()
+            .map(|oid| naive_ots(expr, events, w, t, oid))
+            .max()
+            .unwrap_or(TsVal::inactive(t)),
+    }
+}
+
+/// Per-object naive evaluation.
+pub fn naive_ots(
+    expr: &EventExpr,
+    events: &[EventOccurrence],
+    w: Window,
+    t: Timestamp,
+    oid: Oid,
+) -> TsVal {
+    match expr {
+        EventExpr::Prim(ty) => {
+            let mut last = None;
+            for e in events {
+                if e.ty == *ty && e.oid == oid && w.contains(e.ts) && e.ts <= t {
+                    last = Some(e.ts);
+                }
+            }
+            match last {
+                Some(s) => TsVal::active(s),
+                None => TsVal::inactive(t),
+            }
+        }
+        EventExpr::INot(e) => naive_ots(e, events, w, t, oid).negate(),
+        EventExpr::IAnd(a, b) => {
+            let ta = naive_ots(a, events, w, t, oid);
+            let tb = naive_ots(b, events, w, t, oid);
+            if ta.is_active() && tb.is_active() {
+                ta.max(tb)
+            } else {
+                ta.min(tb)
+            }
+        }
+        EventExpr::IOr(a, b) => {
+            let ta = naive_ots(a, events, w, t, oid);
+            let tb = naive_ots(b, events, w, t, oid);
+            if ta.is_active() || tb.is_active() {
+                ta.max(tb)
+            } else {
+                ta.min(tb)
+            }
+        }
+        EventExpr::IPrec(a, b) => {
+            let tb = naive_ots(b, events, w, t, oid);
+            match tb.activation() {
+                Some(bs) => {
+                    if naive_ots(a, events, w, bs, oid).is_active() {
+                        tb
+                    } else {
+                        TsVal::inactive(t)
+                    }
+                }
+                None => TsVal::inactive(t),
+            }
+        }
+        _ => unreachable!("set operator below instance level"),
+    }
+}
+
+fn naive_prim(events: &[EventOccurrence], w: Window, t: Timestamp, ty: EventType) -> TsVal {
+    let mut last = None;
+    for e in events {
+        if e.ty == ty && w.contains(e.ts) && e.ts <= t {
+            last = Some(e.ts);
+        }
+    }
+    match last {
+        Some(s) => TsVal::active(s),
+        None => TsVal::inactive(t),
+    }
+}
+
+fn objects(events: &[EventOccurrence], w: Window, t: Timestamp) -> Vec<Oid> {
+    let mut oids: Vec<Oid> = events
+        .iter()
+        .filter(|e| w.contains(e.ts) && e.ts <= t)
+        .map(|e| e.oid)
+        .collect();
+    oids.sort();
+    oids.dedup();
+    oids
+}
+
+/// A trigger checker that ignores every §5 optimization: on each check it
+/// probes every rule at every instant of its whole window.
+#[derive(Debug)]
+pub struct NaiveTriggerChecker {
+    rules: Vec<(EventExpr, NaiveRuleState)>,
+}
+
+#[derive(Debug, Clone)]
+struct NaiveRuleState {
+    triggered: bool,
+    last_consideration: Timestamp,
+}
+
+impl NaiveTriggerChecker {
+    /// Checker over a rule set (all starting at `t0`).
+    pub fn new(exprs: Vec<EventExpr>, t0: Timestamp) -> Self {
+        NaiveTriggerChecker {
+            rules: exprs
+                .into_iter()
+                .map(|e| {
+                    (
+                        e,
+                        NaiveRuleState {
+                            triggered: false,
+                            last_consideration: t0,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Full recheck of all rules against the complete occurrence slice.
+    /// Returns the indexes of triggered rules.
+    pub fn check(&mut self, events: &[EventOccurrence], now: Timestamp) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (i, (expr, st)) in self.rules.iter_mut().enumerate() {
+            if st.triggered {
+                out.push(i);
+                continue;
+            }
+            let w = Window::new(st.last_consideration, now);
+            let any = events.iter().any(|e| w.contains(e.ts));
+            if !any {
+                continue;
+            }
+            // probe every instant in the window (maximally naive)
+            let mut t = Timestamp(st.last_consideration.raw() + 1);
+            while t <= now {
+                if naive_ts(expr, events, w, t).is_active() {
+                    st.triggered = true;
+                    out.push(i);
+                    break;
+                }
+                t = t.next();
+            }
+        }
+        out
+    }
+
+    /// Consider rule `i` at `now` (detrigger + consume).
+    pub fn consider(&mut self, i: usize, now: Timestamp) {
+        let st = &mut self.rules[i].1;
+        st.triggered = false;
+        st.last_consideration = now;
+    }
+
+    /// Is rule `i` triggered?
+    pub fn is_triggered(&self, i: usize) -> bool {
+        self.rules[i].1.triggered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_calculus::ts_logical;
+    use chimera_events::EventBase;
+    use chimera_model::ClassId;
+
+    fn et(n: u32) -> EventType {
+        EventType::external(ClassId(0), n)
+    }
+    fn p(n: u32) -> EventExpr {
+        EventExpr::prim(et(n))
+    }
+
+    fn history() -> EventBase {
+        let mut eb = EventBase::new();
+        eb.append_at(et(0), Oid(1), Timestamp(1));
+        eb.append_at(et(1), Oid(2), Timestamp(3));
+        eb.append_at(et(0), Oid(2), Timestamp(4));
+        eb.append_at(et(2), Oid(1), Timestamp(6));
+        eb.append_at(et(1), Oid(1), Timestamp(8));
+        eb
+    }
+
+    #[test]
+    fn naive_ts_matches_indexed_ts() {
+        let eb = history();
+        let events: Vec<EventOccurrence> = eb.iter().copied().collect();
+        let exprs = [
+            p(0),
+            p(0).not(),
+            p(0).and(p(1)),
+            p(0).or(p(2)).prec(p(1)),
+            p(0).iand(p(1)),
+            p(0).iprec(p(1)).inot(),
+            p(0).iand(p(1).inot()),
+        ];
+        for after in [0u64, 2, 5] {
+            let w = Window::new(Timestamp(after), Timestamp(8));
+            for e in &exprs {
+                for t in 1..=8 {
+                    assert_eq!(
+                        naive_ts(e, &events, w, Timestamp(t)),
+                        ts_logical(e, &eb, w, Timestamp(t)),
+                        "{e} at t{t} window after {after}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_checker_triggers_and_considers() {
+        let eb = history();
+        let events: Vec<EventOccurrence> = eb.iter().copied().collect();
+        let mut nc = NaiveTriggerChecker::new(vec![p(0), p(9)], Timestamp::ZERO);
+        let trig = nc.check(&events, Timestamp(8));
+        assert_eq!(trig, vec![0]);
+        assert!(nc.is_triggered(0));
+        assert!(!nc.is_triggered(1));
+        nc.consider(0, Timestamp(8));
+        assert!(!nc.is_triggered(0));
+        assert!(nc.check(&events, Timestamp(8)).is_empty());
+    }
+
+    #[test]
+    fn naive_checker_matches_formal_predicate() {
+        use chimera_rules::{is_triggered, RuleState, TriggerDef};
+        let eb = history();
+        let events: Vec<EventOccurrence> = eb.iter().copied().collect();
+        let exprs = [p(0).and(p(1)), p(2).not(), p(0).prec(p(2))];
+        for expr in exprs {
+            let def = TriggerDef::new("r", expr.clone());
+            let st = RuleState::new(&def, Timestamp::ZERO);
+            let mut nc = NaiveTriggerChecker::new(vec![expr.clone()], Timestamp::ZERO);
+            let naive = !nc.check(&events, eb.now()).is_empty();
+            let formal = is_triggered(&def, &st, &eb, eb.now());
+            assert_eq!(naive, formal, "{expr}");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Snoop-style *recent context* detector (§1.1).
+//!
+//! Snoop detects composites with an operator tree whose nodes keep the
+//! most recent constituent occurrences (the "recent" context) and emit a
+//! composite occurrence whenever a terminator arrives. This baseline
+//! supports the negation-free, set-oriented fragment with conjunction,
+//! disjunction and sequence.
+//!
+//! Emission instants coincide with the calculus' *fresh activation
+//! instants* — event arrivals `te` with `ts(E, te) = te` — which is what
+//! the agreement tests assert (the same notion `at` uses on the instance
+//! level). Like Ode's automaton, the model cannot express negation,
+//! instance operators, or Chimera's consumption-window semantics.
+
+use chimera_calculus::{CalculusError, EventExpr};
+use chimera_events::{EventOccurrence, Timestamp};
+
+#[derive(Debug, Clone)]
+enum Node {
+    Prim(chimera_events::EventType),
+    Or(usize, usize),
+    And(usize, usize),
+    Seq(usize, usize),
+}
+
+/// Per-node recent state: the most recent emission instant.
+#[derive(Debug, Clone)]
+pub struct SnoopRecentDetector {
+    nodes: Vec<Node>,
+    recent: Vec<Option<Timestamp>>,
+    root: usize,
+}
+
+impl SnoopRecentDetector {
+    /// Compile an expression (negation-free, set-oriented fragment only).
+    pub fn compile(expr: &EventExpr) -> Result<Self, CalculusError> {
+        let mut nodes = Vec::new();
+        let root = Self::build(expr, &mut nodes)?;
+        let recent = vec![None; nodes.len()];
+        Ok(SnoopRecentDetector {
+            nodes,
+            recent,
+            root,
+        })
+    }
+
+    fn build(expr: &EventExpr, nodes: &mut Vec<Node>) -> Result<usize, CalculusError> {
+        let node = match expr {
+            EventExpr::Prim(ty) => Node::Prim(*ty),
+            EventExpr::Or(a, b) => {
+                let (na, nb) = (Self::build(a, nodes)?, Self::build(b, nodes)?);
+                Node::Or(na, nb)
+            }
+            EventExpr::And(a, b) => {
+                let (na, nb) = (Self::build(a, nodes)?, Self::build(b, nodes)?);
+                Node::And(na, nb)
+            }
+            EventExpr::Prec(a, b) => {
+                let (na, nb) = (Self::build(a, nodes)?, Self::build(b, nodes)?);
+                Node::Seq(na, nb)
+            }
+            _ => return Err(CalculusError::SetOrientedFormula),
+        };
+        nodes.push(node);
+        Ok(nodes.len() - 1)
+    }
+
+    /// Feed one event; returns the root's emissions for this event.
+    pub fn feed(&mut self, ev: &EventOccurrence) -> Vec<Timestamp> {
+        let n = self.nodes.len();
+        // emissions per node for this event
+        let mut emitted: Vec<Option<Timestamp>> = vec![None; n];
+        let prev = self.recent.clone();
+        for i in 0..n {
+            let e = match &self.nodes[i] {
+                Node::Prim(ty) => (ev.ty == *ty).then_some(ev.ts),
+                Node::Or(a, b) => emitted[*a].max(emitted[*b]),
+                Node::And(a, b) => {
+                    // a terminator completes if the other side has a
+                    // recent (or simultaneous) occurrence.
+                    let left = emitted[*a].and_then(|t| {
+                        prev[*b].or(emitted[*b]).map(|o| t.max(o))
+                    });
+                    let right = emitted[*b].and_then(|t| {
+                        prev[*a].or(emitted[*a]).map(|o| t.max(o))
+                    });
+                    left.max(right)
+                }
+                Node::Seq(a, b) => emitted[*b].and_then(|t| {
+                    // initiator strictly precedes the terminator
+                    prev[*a].filter(|ia| *ia < t).map(|_| t)
+                }),
+            };
+            emitted[i] = e;
+            if let Some(t) = e {
+                self.recent[i] = Some(self.recent[i].map_or(t, |r| r.max(t)));
+            }
+        }
+        emitted[self.root].into_iter().collect()
+    }
+
+    /// Process a whole stream, collecting all root emissions.
+    pub fn detect_all(&mut self, stream: &[EventOccurrence]) -> Vec<Timestamp> {
+        let mut out = Vec::new();
+        for ev in stream {
+            out.extend(self.feed(ev));
+        }
+        out
+    }
+
+    /// Clear all recent state.
+    pub fn reset(&mut self) {
+        self.recent.iter_mut().for_each(|r| *r = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_calculus::{ts_logical, EventExpr};
+    use chimera_events::{EventBase, EventType, Window};
+    use chimera_model::{ClassId, Oid};
+
+    fn et(n: u32) -> EventType {
+        EventType::external(ClassId(0), n)
+    }
+    fn p(n: u32) -> EventExpr {
+        EventExpr::prim(et(n))
+    }
+
+    fn run(expr: &EventExpr, stream: &[u32]) -> (Vec<Timestamp>, Vec<Timestamp>) {
+        let mut d = SnoopRecentDetector::compile(expr).unwrap();
+        let mut eb = EventBase::new();
+        let mut occs = Vec::new();
+        for (i, &tyn) in stream.iter().enumerate() {
+            occs.push(eb.append_at(et(tyn), Oid(1), Timestamp(i as u64 + 1)));
+        }
+        let emissions = d.detect_all(&occs);
+        // calculus fresh-activation instants
+        let now = Timestamp(stream.len() as u64);
+        let w = Window::from_origin(now);
+        let fresh: Vec<Timestamp> = occs
+            .iter()
+            .map(|o| o.ts)
+            .filter(|&te| {
+                ts_logical(expr, &eb, w, te).activation() == Some(te)
+            })
+            .collect();
+        (emissions, fresh)
+    }
+
+    #[test]
+    fn sequence_emissions_match_fresh_activations() {
+        let expr = p(0).prec(p(1));
+        for stream in [
+            vec![0u32, 1],
+            vec![1, 0],
+            vec![0, 1, 1],
+            vec![0, 2, 1, 0, 1],
+            vec![1, 1],
+        ] {
+            let (em, fresh) = run(&expr, &stream);
+            assert_eq!(em, fresh, "stream {stream:?}");
+        }
+    }
+
+    #[test]
+    fn conjunction_emissions_match_fresh_activations() {
+        let expr = p(0).and(p(1));
+        for stream in [
+            vec![0u32, 1],
+            vec![1, 0],
+            vec![0, 1, 0],
+            vec![0, 0],
+            vec![2, 0, 2, 1],
+        ] {
+            let (em, fresh) = run(&expr, &stream);
+            assert_eq!(em, fresh, "stream {stream:?}");
+        }
+    }
+
+    #[test]
+    fn disjunction_emissions_match_fresh_activations() {
+        let expr = p(0).or(p(1));
+        for stream in [vec![0u32, 1, 2, 0], vec![2, 2], vec![1]] {
+            let (em, fresh) = run(&expr, &stream);
+            assert_eq!(em, fresh, "stream {stream:?}");
+        }
+    }
+
+    #[test]
+    fn composite_tree_agreement() {
+        let exprs = [
+            p(0).and(p(1)).prec(p(2)),
+            p(0).or(p(1)).and(p(2)),
+            p(0).prec(p(1)).or(p(2).prec(p(0))),
+        ];
+        let streams: Vec<Vec<u32>> = vec![
+            vec![0, 1, 2],
+            vec![2, 1, 0],
+            vec![0, 2, 1, 2],
+            vec![1, 0, 2, 0, 1],
+        ];
+        for expr in &exprs {
+            for stream in &streams {
+                let (em, fresh) = run(expr, stream);
+                assert_eq!(em, fresh, "{expr} on {stream:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn negation_and_instance_rejected() {
+        assert!(SnoopRecentDetector::compile(&p(0).not()).is_err());
+        assert!(SnoopRecentDetector::compile(&p(0).iprec(p(1))).is_err());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = SnoopRecentDetector::compile(&p(0).prec(p(1))).unwrap();
+        let mut eb = EventBase::new();
+        let a = eb.append_at(et(0), Oid(1), Timestamp(1));
+        let b = eb.append_at(et(1), Oid(1), Timestamp(2));
+        assert_eq!(d.detect_all(&[a, b]).len(), 1);
+        d.reset();
+        let b2 = eb.append_at(et(1), Oid(1), Timestamp(3));
+        assert!(d.feed(&b2).is_empty(), "initiator forgotten after reset");
+    }
+}

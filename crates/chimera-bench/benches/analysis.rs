@@ -1,0 +1,95 @@
+//! PERF-8 — static rule analysis cost vs rule-set size.
+//!
+//! The analyses are meant to run at rule-definition time (the §5.1 spirit:
+//! pay once statically, save at every block). This bench checks they stay
+//! cheap enough for that: triggering-graph construction is O(R²) pair
+//! tests over small effect/listen sets, Tarjan is linear, confluence adds
+//! another O(R²) pass. Expected shape: quadratic growth with rule count
+//! but millisecond-scale even at 1000 rules.
+
+use chimera_analysis::{analyze, confluence_warnings, TriggeringGraph};
+use chimera_calculus::EventExpr;
+use chimera_events::EventType;
+use chimera_model::{AttrDef, AttrType, Schema, SchemaBuilder};
+use chimera_rules::{ActionStmt, Condition, Formula, Term, TriggerDef, VarDecl};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const ATTRS: usize = 32;
+
+fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    let attrs = (0..ATTRS)
+        .map(|i| AttrDef::new(format!("a{i}"), AttrType::Integer))
+        .collect();
+    b.class("c", None, attrs).unwrap();
+    b.build()
+}
+
+/// `n` rules: rule `i` listens on `modify(c.a_{i mod A})` and writes
+/// `c.a_{(i+5) mod A}` — a sparse cyclic pattern that exercises both the
+/// SCC machinery and the confluence pair scan.
+fn rules(schema: &Schema, n: usize) -> Vec<TriggerDef> {
+    let c = schema.class_by_name("c").unwrap();
+    (0..n)
+        .map(|i| {
+            let listen = schema.attr_by_name(c, &format!("a{}", i % ATTRS)).unwrap();
+            let mut def = TriggerDef::new(
+                format!("r{i}"),
+                EventExpr::prim(EventType::modify(c, listen)),
+            );
+            def.priority = (i % 4) as i32;
+            def.condition = Condition {
+                decls: vec![VarDecl {
+                    name: "V".into(),
+                    class: "c".into(),
+                }],
+                formulas: vec![Formula::Occurred {
+                    expr: EventExpr::prim(EventType::modify(c, listen)),
+                    var: "V".into(),
+                }],
+            };
+            def.actions = vec![ActionStmt::Modify {
+                var: "V".into(),
+                attr: format!("a{}", (i + 5) % ATTRS),
+                value: Term::int(0),
+            }];
+            def
+        })
+        .collect()
+}
+
+fn bench_analysis(crit: &mut Criterion) {
+    let schema = schema();
+    let mut group = crit.benchmark_group("analysis_rule_count");
+    for n in [10usize, 100, 1000] {
+        let defs = rules(&schema, n);
+        group.bench_with_input(BenchmarkId::new("full_analyze", n), &defs, |b, defs| {
+            b.iter(|| black_box(analyze(defs, &schema).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("graph_build", n), &defs, |b, defs| {
+            b.iter(|| black_box(TriggeringGraph::build(defs, &schema).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("termination", n), &defs, |b, defs| {
+            let g = TriggeringGraph::build(defs, &schema).unwrap();
+            b.iter(|| black_box(g.termination()))
+        });
+        group.bench_with_input(BenchmarkId::new("confluence", n), &defs, |b, defs| {
+            b.iter(|| black_box(confluence_warnings(defs, &schema).unwrap()))
+        });
+    }
+    group.finish();
+
+    // print the verdict once so the bench is also a smoke regenerator
+    let defs = rules(&schema, 100);
+    let report = analyze(&defs, &schema).unwrap();
+    println!(
+        "\n100-rule synthetic set: {} edges, verdict: {}, {} confluence warnings",
+        report.graph.edges().len(),
+        report.termination,
+        report.confluence.len()
+    );
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! PERF-4 — the calculus against the related-work baselines on the shared
+//! sequence/conjunction workload (§1.1): per-event detection cost for
+//! the Ode-style graph and the Snoop-style recent-context detector, the
+//! windowed `ts` check of the Chimera trigger support, and the naive
+//! rescan. Expected shape: graph/Snoop are O(nodes) per event; the
+//! Chimera check is index-probing and stays flat as the window grows; the
+//! naive rescan degrades linearly with window size — and only the
+//! calculus covers negation and instance operators at all.
+
+use chimera_baselines::{naive_ts, GraphDetector, NaiveTriggerChecker, SnoopRecentDetector};
+use chimera_bench::{history, p};
+use chimera_calculus::ts_logical;
+use chimera_events::{EventOccurrence, Timestamp, Window};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_detectors_per_event(c: &mut Criterion) {
+    // shared fragment: (A < B) + (C , D)
+    let expr = p(0).prec(p(1)).and(p(2).or(p(3)));
+    let eb = history(29, 10_000, 6, 32);
+    let events: Vec<EventOccurrence> = eb.iter().copied().collect();
+
+    let mut g = c.benchmark_group("detector_stream_10k");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("ode_graph", |b| {
+        b.iter(|| {
+            let mut d = GraphDetector::compile(&expr).unwrap();
+            for e in &events {
+                black_box(d.feed(e));
+            }
+            d.accepted()
+        });
+    });
+    g.bench_function("snoop_recent", |b| {
+        b.iter(|| {
+            let mut d = SnoopRecentDetector::compile(&expr).unwrap();
+            let mut n = 0usize;
+            for e in &events {
+                n += d.feed(e).len();
+            }
+            black_box(n)
+        });
+    });
+    g.bench_function("chimera_incremental", |b| {
+        use chimera_calculus::IncrementalTs;
+        b.iter(|| {
+            let mut d = IncrementalTs::new(&expr).unwrap();
+            for e in &events {
+                d.observe(e);
+            }
+            black_box(d.is_active())
+        });
+    });
+    g.bench_function("chimera_ts_per_block", |b| {
+        // one indexed ts probe per 4-event block (the engine's cadence)
+        let w = Window::from_origin(eb.now());
+        b.iter(|| {
+            let mut act = 0usize;
+            for chunk in events.chunks(4) {
+                let t = chunk.last().unwrap().ts;
+                if ts_logical(&expr, &eb, w, t).is_active() {
+                    act += 1;
+                }
+            }
+            black_box(act)
+        });
+    });
+    g.finish();
+}
+
+fn bench_window_scaling(c: &mut Criterion) {
+    // the naive rescan degrades with window size; the indexed ts stays flat
+    let expr = p(0).prec(p(1)).and(p(2).or(p(3)));
+    let mut g = c.benchmark_group("window_scaling");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let eb = history(31, n, 6, 32);
+        let events: Vec<EventOccurrence> = eb.iter().copied().collect();
+        let w = Window::from_origin(eb.now());
+        let now = eb.now();
+        g.bench_with_input(BenchmarkId::new("indexed_ts", n), &n, |b, _| {
+            b.iter(|| black_box(ts_logical(&expr, &eb, w, now)));
+        });
+        g.bench_with_input(BenchmarkId::new("naive_rescan_ts", n), &n, |b, _| {
+            b.iter(|| black_box(naive_ts(&expr, &events, w, now)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_trigger_checkers(c: &mut Criterion) {
+    // full trigger-checking pass over a 2k-event history, 32 rules
+    let exprs: Vec<_> = (0..32u32)
+        .map(|i| p(i % 6).prec(p((i + 1) % 6)).and(p((i + 2) % 6)))
+        .collect();
+    let eb = history(37, 2_000, 6, 32);
+    let events: Vec<EventOccurrence> = eb.iter().copied().collect();
+    let mut g = c.benchmark_group("trigger_checkers_2k");
+    g.bench_function("chimera_support", |b| {
+        use chimera_rules::{RuleTable, TriggerDef, TriggerSupport};
+        b.iter(|| {
+            let mut rt = RuleTable::new();
+            for (i, e) in exprs.iter().enumerate() {
+                rt.define(TriggerDef::new(format!("r{i}"), e.clone()), Timestamp::ZERO)
+                    .unwrap();
+            }
+            let mut s = TriggerSupport::optimized();
+            black_box(s.check(&mut rt, &eb, eb.now()).len())
+        });
+    });
+    g.bench_function("naive_checker", |b| {
+        b.iter(|| {
+            let mut nc = NaiveTriggerChecker::new(exprs.clone(), Timestamp::ZERO);
+            black_box(nc.check(&events, eb.now()).len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_detectors_per_event,
+    bench_window_scaling,
+    bench_trigger_checkers
+);
+criterion_main!(benches);

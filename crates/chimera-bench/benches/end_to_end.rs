@@ -1,0 +1,75 @@
+//! PERF-5 — end-to-end engine throughput on the paper's stock domain:
+//! transactions per second with the trigger set installed vs bare, and
+//! with the §5.1 optimization on vs off.
+
+use chimera_exec::EngineConfig;
+use chimera_workload::{StockWorkload, StockWorkloadConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn run_workload(with_triggers: bool, optimized: bool, transactions: usize) -> u64 {
+    let mut w = StockWorkload::new(StockWorkloadConfig {
+        transactions,
+        blocks_per_txn: 5,
+        ops_per_block: 4,
+        seed: 4242,
+        with_triggers,
+        engine: EngineConfig {
+            use_static_optimization: optimized,
+            ..EngineConfig::default()
+        },
+    });
+    w.run();
+    w.engine.stats().events
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    const TXNS: usize = 50;
+    let mut g = c.benchmark_group("engine_stock_domain");
+    g.throughput(Throughput::Elements(TXNS as u64));
+    for (label, with_triggers, optimized) in [
+        ("bare", false, true),
+        ("triggers_optimized", true, true),
+        ("triggers_unoptimized", true, false),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(with_triggers, optimized),
+            |b, &(wt, opt)| {
+                b.iter(|| black_box(run_workload(wt, opt, TXNS)));
+            },
+        );
+    }
+    g.finish();
+
+    let mut g2 = c.benchmark_group("engine_rule_count");
+    // rule-count scaling: duplicate the trigger set k times
+    for &k in &[1usize, 4, 16] {
+        g2.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut w = StockWorkload::new(StockWorkloadConfig {
+                    transactions: 10,
+                    blocks_per_txn: 5,
+                    ops_per_block: 4,
+                    seed: 77,
+                    with_triggers: true,
+                    engine: EngineConfig::default(),
+                });
+                // extra (never-firing, distinctly named) copies
+                for i in 0..(k - 1) {
+                    for mut def in chimera_workload::stock_triggers(w.engine.schema()) {
+                        def.name = format!("{}#{}", def.name, i);
+                        def.priority = -1;
+                        w.engine.define_trigger(def).unwrap();
+                    }
+                }
+                w.run();
+                black_box(w.engine.stats().considerations)
+            });
+        });
+    }
+    g2.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

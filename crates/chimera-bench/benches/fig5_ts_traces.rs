@@ -1,0 +1,83 @@
+//! FIG5 + PERF-6 — `ts` evaluation: regenerates the Fig. 5 De Morgan
+//! trace series (printed once), then measures (a) the cost of evaluating
+//! the two equivalent De Morgan forms and (b) the logical-style vs
+//! algebraic-style evaluator (§4.2 defines both).
+
+use chimera_bench::{et, history, p};
+use chimera_calculus::{ts_algebraic, ts_logical, EventExpr};
+use chimera_events::{EventBase, Timestamp, Window};
+use chimera_model::Oid;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn print_fig5_once() {
+    let mut eb = EventBase::new();
+    for (n, t) in [(2u32, 1u64), (0, 2), (2, 3), (1, 4), (0, 5), (1, 6), (2, 7)] {
+        eb.append_at(et(n), Oid(1 + t % 3), Timestamp(t));
+    }
+    let w = Window::from_origin(Timestamp(7));
+    let rows: Vec<(&str, EventExpr)> = vec![
+        ("ts(A)", p(0)),
+        ("ts(B)", p(1)),
+        ("ts(-A,-B)", p(0).not().or(p(1).not())),
+        ("ts(-(-A,-B))", p(0).not().or(p(1).not()).not()),
+        ("ts(A+B)", p(0).and(p(1))),
+    ];
+    println!("\n=== Fig. 5 reconstruction (history C A C B A B C) ===");
+    for (label, e) in rows {
+        print!("{label:<16}");
+        for t in 1..=7 {
+            print!("{:>5}", ts_logical(&e, &eb, w, Timestamp(t)).raw());
+        }
+        println!();
+    }
+    println!();
+}
+
+fn bench_de_morgan_forms(c: &mut Criterion) {
+    print_fig5_once();
+    let mut g = c.benchmark_group("fig5_de_morgan");
+    for &n in &[1_000usize, 10_000] {
+        let eb = history(11, n, 4, 32);
+        let w = Window::from_origin(eb.now());
+        let now = eb.now();
+        let lhs = p(0).not().or(p(1).not()).not();
+        let rhs = p(0).and(p(1));
+        g.bench_with_input(BenchmarkId::new("negated_form", n), &n, |b, _| {
+            b.iter(|| black_box(ts_logical(&lhs, &eb, w, now)));
+        });
+        g.bench_with_input(BenchmarkId::new("conjunction_form", n), &n, |b, _| {
+            b.iter(|| black_box(ts_logical(&rhs, &eb, w, now)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_evaluator_styles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evaluator_style");
+    let eb = history(13, 10_000, 6, 32);
+    let w = Window::from_origin(eb.now());
+    let now = eb.now();
+    for depth in [2usize, 4, 6] {
+        // balanced alternation of and/or/prec with a negation sprinkle
+        let mut e = p(0);
+        for i in 1..(1 << (depth - 1)) as u32 {
+            e = match i % 4 {
+                0 => e.or(p(i % 6)),
+                1 => e.and(p(i % 6)),
+                2 => e.prec(p(i % 6)),
+                _ => e.and(p(i % 6).not()),
+            };
+        }
+        g.bench_with_input(BenchmarkId::new("logical", depth), &e, |b, e| {
+            b.iter(|| black_box(ts_logical(e, &eb, w, now)));
+        });
+        g.bench_with_input(BenchmarkId::new("algebraic", depth), &e, |b, e| {
+            b.iter(|| black_box(ts_algebraic(e, &eb, w, now)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_de_morgan_forms, bench_evaluator_styles);
+criterion_main!(benches);

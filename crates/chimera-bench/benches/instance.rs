@@ -1,0 +1,40 @@
+//! PERF-3 — instance-oriented evaluation against the object population:
+//! the §4.3 boundary quantifies over affected objects, so `ts` of an
+//! instance expression scales with the number of *affected* objects while
+//! the per-object `ots` stays flat.
+
+use chimera_bench::{history, p};
+use chimera_calculus::{ots_logical, ts_logical};
+use chimera_events::Window;
+use chimera_model::Oid;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_instance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("instance_objects");
+    for &objects in &[10u64, 100, 1_000, 10_000] {
+        // history size scales with population so every object is touched
+        let eb = history(23, (objects as usize) * 4, 4, objects);
+        let w = Window::from_origin(eb.now());
+        let now = eb.now();
+        let conj = p(0).iand(p(1));
+        let prec = p(0).iprec(p(1));
+        let neg = p(0).iand(p(1)).inot();
+        g.bench_with_input(BenchmarkId::new("boundary_iand", objects), &conj, |b, e| {
+            b.iter(|| black_box(ts_logical(e, &eb, w, now)));
+        });
+        g.bench_with_input(BenchmarkId::new("boundary_iprec", objects), &prec, |b, e| {
+            b.iter(|| black_box(ts_logical(e, &eb, w, now)));
+        });
+        g.bench_with_input(BenchmarkId::new("boundary_inot", objects), &neg, |b, e| {
+            b.iter(|| black_box(ts_logical(e, &eb, w, now)));
+        });
+        g.bench_with_input(BenchmarkId::new("single_ots", objects), &conj, |b, e| {
+            b.iter(|| black_box(ots_logical(e, &eb, w, now, Oid(1))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_instance);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! PERF-1 — per-operator `ts` evaluation cost against window size: the §5
+//! claim that triggering evaluation stays cheap because primitive lookups
+//! are index probes, independent of how many occurrences the window holds
+//! (contrast with the naive baseline in `baselines.rs`).
+
+use chimera_bench::{history, operator_menu};
+use chimera_calculus::ts_logical;
+use chimera_events::Window;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_operators(c: &mut Criterion) {
+    for &n in &[100usize, 1_000, 10_000] {
+        let eb = history(17, n, 8, 64);
+        let w = Window::from_origin(eb.now());
+        let now = eb.now();
+        let mut g = c.benchmark_group(format!("ts_window_{n}"));
+        for (name, expr) in operator_menu() {
+            g.bench_with_input(BenchmarkId::from_parameter(name), &expr, |b, e| {
+                b.iter(|| black_box(ts_logical(e, &eb, w, now)));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

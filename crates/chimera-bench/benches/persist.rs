@@ -1,0 +1,131 @@
+//! PERF-10 — the cost of durability.
+//!
+//! (a) Committed-transaction throughput: the in-memory engine vs the
+//! durable wrapper at its two ends (WAL on tmpfs-backed temp dir; each
+//! commit is one fsynced batch). Expected shape: durability costs a
+//! near-constant per-commit overhead dominated by the fsync, independent
+//! of how much history preceded it. (b) Recovery throughput: replaying N
+//! committed batches is linear with a small constant — reopening a
+//! database is milliseconds, not seconds.
+
+use chimera_exec::{Engine, EngineConfig, Op};
+use chimera_model::{AttrDef, AttrType, Schema, SchemaBuilder, Value};
+use chimera_persist::DurableEngine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.class("item", None, vec![AttrDef::new("v", AttrType::Integer)])
+        .unwrap();
+    b.build()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("chimera-bench-persist-{tag}-{}", std::process::id()))
+}
+
+/// `txns` transactions of one create block each, in-memory.
+fn run_memory(txns: usize) -> u64 {
+    let schema = schema();
+    let item = schema.class_by_name("item").unwrap();
+    let v = schema.attr_by_name(item, "v").unwrap();
+    let mut engine = Engine::new(schema);
+    for i in 0..txns {
+        engine.begin().unwrap();
+        engine
+            .exec_block(&[Op::Create {
+                class: item,
+                inits: vec![(v, Value::Int(i as i64))],
+            }])
+            .unwrap();
+        engine.commit().unwrap();
+    }
+    engine.stats().commits
+}
+
+/// Same workload, durable.
+fn run_durable(txns: usize, tag: &str) -> u64 {
+    let dir = tmpdir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let schema = schema();
+    let item = schema.class_by_name("item").unwrap();
+    let v = schema.attr_by_name(item, "v").unwrap();
+    let (mut db, _) =
+        DurableEngine::open(schema, EngineConfig::default(), &dir, vec![]).unwrap();
+    for i in 0..txns {
+        db.begin().unwrap();
+        db.exec_block(&[Op::Create {
+            class: item,
+            inits: vec![(v, Value::Int(i as i64))],
+        }])
+        .unwrap();
+        db.commit().unwrap();
+    }
+    let seq = db.committed_seq();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    seq
+}
+
+fn bench_commit_throughput(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("commit_throughput");
+    group.sample_size(10);
+    for txns in [10usize, 50] {
+        group.throughput(Throughput::Elements(txns as u64));
+        group.bench_with_input(BenchmarkId::new("in_memory", txns), &txns, |b, &n| {
+            b.iter(|| black_box(run_memory(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("durable_fsync", txns), &txns, |b, &n| {
+            b.iter(|| black_box(run_durable(n, "commit")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("recovery_replay");
+    group.sample_size(10);
+    for txns in [100usize, 1000] {
+        // build the log once
+        let dir = tmpdir(&format!("recover-{txns}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = schema();
+        let item = schema.class_by_name("item").unwrap();
+        let v = schema.attr_by_name(item, "v").unwrap();
+        {
+            let (mut db, _) =
+                DurableEngine::open(schema.clone(), EngineConfig::default(), &dir, vec![])
+                    .unwrap();
+            for i in 0..txns {
+                db.begin().unwrap();
+                db.exec_block(&[Op::Create {
+                    class: item,
+                    inits: vec![(v, Value::Int(i as i64))],
+                }])
+                .unwrap();
+                db.commit().unwrap();
+            }
+        }
+        group.throughput(Throughput::Elements(txns as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(txns), &dir, |b, dir| {
+            b.iter(|| {
+                let (db, report) = DurableEngine::open(
+                    schema.clone(),
+                    EngineConfig::default(),
+                    dir,
+                    vec![],
+                )
+                .unwrap();
+                assert_eq!(report.replayed as usize, txns);
+                black_box(db.engine().store().len())
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_throughput, bench_recovery);
+criterion_main!(benches);

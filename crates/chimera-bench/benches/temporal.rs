@@ -1,0 +1,142 @@
+//! PERF-9 — temporal extension overhead.
+//!
+//! Three measurements: (a) the clock scheduler's due-computation vs the
+//! number of registered specs (expected: linear, nanoseconds per spec);
+//! (b) a full deadline-pattern transaction — periodic tick + negation —
+//! against the identical transaction without the clock machinery (the
+//! extension must cost one extra block, not a new regime); (c) the
+//! `Times(n, E)` runtime detector vs window size (expected: linear in the
+//! window, the price of counting that motivates keeping it *out* of the
+//! calculus).
+
+use chimera_calculus::EventExpr;
+use chimera_events::{EventType, Timestamp, Window};
+use chimera_exec::{Engine, Op};
+use chimera_model::{AttrDef, AttrType, Schema, SchemaBuilder, Value};
+use chimera_rules::{ActionStmt, Condition, Formula, Term, TriggerDef, VarDecl};
+use chimera_temporal::{ClockDriver, ClockScheduler, ClockSpec, TimesDetector};
+use chimera_workload::{StreamConfig, StreamGen};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.class("clock", None, vec![]).unwrap();
+    b.class(
+        "task",
+        None,
+        vec![AttrDef::with_default(
+            "done",
+            AttrType::Integer,
+            Value::Int(0),
+        )],
+    )
+    .unwrap();
+    b.build()
+}
+
+fn bench_scheduler(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("clock_scheduler_due");
+    for nspecs in [1usize, 16, 256] {
+        group.throughput(Throughput::Elements(nspecs as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(nspecs), &nspecs, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut s = ClockScheduler::new(Timestamp::ZERO);
+                    for i in 0..n {
+                        s.register(
+                            ClockSpec::Every {
+                                period: 3 + (i as u64 % 7),
+                                phase: i as u64 % 5,
+                            },
+                            i as u32,
+                        );
+                    }
+                    s
+                },
+                |mut s| black_box(s.due(Timestamp(1_000))),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// One transaction: 20 task blocks, with/without a periodic audit pumped
+/// after every block.
+fn deadline_txn(with_clock: bool) -> u64 {
+    let schema = schema();
+    let clock = schema.class_by_name("clock").unwrap();
+    let task = schema.class_by_name("task").unwrap();
+    let done = schema.attr_by_name(task, "done").unwrap();
+    let mut engine = Engine::new(schema);
+    let expr = EventExpr::prim(EventType::external(clock, 1))
+        .and(EventExpr::prim(EventType::modify(task, done)).not());
+    let mut alert = TriggerDef::new("deadline", expr);
+    alert.condition = Condition {
+        decls: vec![VarDecl {
+            name: "T".into(),
+            class: "task".into(),
+        }],
+        formulas: vec![Formula::Compare {
+            lhs: Term::attr("T", "done"),
+            op: chimera_rules::CmpOp::Eq,
+            rhs: Term::int(0),
+        }],
+    };
+    alert.actions = vec![ActionStmt::Modify {
+        var: "T".into(),
+        attr: "done".into(),
+        value: Term::int(-1),
+    }];
+    engine.define_trigger(alert).unwrap();
+    let mut driver = ClockDriver::new(&engine, clock);
+    driver.register(ClockSpec::Every { period: 5, phase: 5 }, 1);
+    engine.begin().unwrap();
+    for _ in 0..20 {
+        engine
+            .exec_block(&[Op::Create {
+                class: task,
+                inits: vec![],
+            }])
+            .unwrap();
+        if with_clock {
+            driver.pump(&mut engine).unwrap();
+        }
+    }
+    engine.commit().unwrap();
+    engine.stats().events
+}
+
+fn bench_deadline(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("deadline_pattern");
+    group.bench_function("without_clock", |b| {
+        b.iter(|| black_box(deadline_txn(false)))
+    });
+    group.bench_function("with_clock", |b| b.iter(|| black_box(deadline_txn(true))));
+    group.finish();
+}
+
+fn bench_times_detector(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("times_detector_window");
+    for len in [1_000usize, 10_000, 100_000] {
+        let eb = StreamGen::new(StreamConfig {
+            event_types: 8,
+            objects: 64,
+            seed: 42,
+            skew: 0.3,
+        })
+        .build(len);
+        let ty = EventType::external(chimera_model::ClassId(0), 0);
+        let det = TimesDetector::new(ty, 50);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &eb, |b, eb| {
+            let w = Window::from_origin(eb.now());
+            b.iter(|| black_box(det.is_active(eb, w)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_deadline, bench_times_detector);
+criterion_main!(benches);

@@ -1,0 +1,652 @@
+//! Incremental `ts` maintenance — the §5 engineering taken to its
+//! conclusion.
+//!
+//! The paper's Trigger Support recomputes `ts` by querying the Occurred
+//! Events structure. This module instead maintains, per expression, a
+//! compact node-state tree updated in O(|expr|) per arrival (plus
+//! per-object state for instance subtrees, mirroring §5's "sparse data
+//! structure … each item stores the OID of an object affected by some
+//! event type … and the list of event occurrences affecting that object").
+//! Queries between arrivals need **no** event-base access, so a detector
+//! can run without retaining the log at all.
+//!
+//! Values are kept in an exact symbolic form: a sign plus a stamp that is
+//! either a fixed instant or the symbolic *current instant* (negation is
+//! active by absence with stamp `t`, and inactive sub-expressions carry
+//! `-t`). Under this representation every §4.2 equation evaluates exactly,
+//! so [`IncrementalTs::ts_at`] reproduces `ts_logical` *bit for bit* —
+//! including the structured negative residues — which the unit tests and
+//! the `tests/incremental_agreement.rs` property suite assert.
+//!
+//! Precedence needs one historical fact: "was `A` active at `B`'s
+//! activation instant?". Each node therefore records its activity
+//! *toggle* history (instants where its sign flipped). Negation-free
+//! sub-expressions toggle at most once, so the common case stays O(1)
+//! memory; with negation the history is bounded by the number of arrivals
+//! that actually flip the sign.
+
+use crate::expr::EventExpr;
+use crate::ts::TsVal;
+use crate::Result;
+use chimera_events::{EventOccurrence, EventType, Timestamp};
+use chimera_model::Oid;
+use std::collections::BTreeMap;
+
+/// A stamp magnitude: fixed instant or the symbolic current instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stamp {
+    Fixed(Timestamp),
+    /// Resolves to the query instant `t`; since every fixed stamp is ≤
+    /// the current time, `Now` is the largest magnitude.
+    Now,
+}
+
+impl Stamp {
+    fn resolve(self, now: Timestamp) -> i64 {
+        match self {
+            Stamp::Fixed(s) => s.as_signed(),
+            Stamp::Now => now.as_signed(),
+        }
+    }
+}
+
+/// An exact symbolic `ts` value: `+stamp` or `-stamp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SVal {
+    pos: bool,
+    stamp: Stamp,
+}
+
+impl SVal {
+    const INACTIVE_NOW: SVal = SVal {
+        pos: false,
+        stamp: Stamp::Now,
+    };
+
+    fn active_at(ts: Timestamp) -> SVal {
+        SVal {
+            pos: true,
+            stamp: Stamp::Fixed(ts),
+        }
+    }
+
+    /// Total order of the signed values, valid because fixed magnitudes
+    /// never exceed the current instant:
+    /// `-t < -s₂ < -s₁ < +s₁ < +s₂ < +t` for `s₁ < s₂ ≤ t`.
+    fn key(self) -> (i8, i64) {
+        match (self.pos, self.stamp) {
+            (false, Stamp::Now) => (0, 0),
+            (false, Stamp::Fixed(s)) => (1, -s.as_signed()),
+            (true, Stamp::Fixed(s)) => (2, s.as_signed()),
+            (true, Stamp::Now) => (3, 0),
+        }
+    }
+
+    fn min(self, other: SVal) -> SVal {
+        if self.key() <= other.key() {
+            self
+        } else {
+            other
+        }
+    }
+
+    fn max(self, other: SVal) -> SVal {
+        if self.key() >= other.key() {
+            self
+        } else {
+            other
+        }
+    }
+
+    fn negate(self) -> SVal {
+        SVal {
+            pos: !self.pos,
+            stamp: self.stamp,
+        }
+    }
+
+    /// §4.2 conjunction: both active → max, else min.
+    fn and(self, other: SVal) -> SVal {
+        if self.pos && other.pos {
+            self.max(other)
+        } else {
+            self.min(other)
+        }
+    }
+
+    /// §4.2 disjunction: any active → max, else min.
+    fn or(self, other: SVal) -> SVal {
+        if self.pos || other.pos {
+            self.max(other)
+        } else {
+            self.min(other)
+        }
+    }
+
+    fn resolve(self, now: Timestamp) -> TsVal {
+        let m = self.stamp.resolve(now);
+        TsVal(if self.pos { m } else { -m })
+    }
+}
+
+/// Activity toggle history: `(instant, active-from-that-instant)` entries,
+/// first entry at `t0`. Lookup is "activity at instant `s`" (inclusive).
+#[derive(Debug, Clone, Default)]
+struct History(Vec<(Timestamp, bool)>);
+
+impl History {
+    fn new(initial: bool) -> Self {
+        History(vec![(Timestamp::ZERO, initial)])
+    }
+
+    fn record(&mut self, at: Timestamp, active: bool) {
+        if self.0.last().map(|&(_, a)| a) != Some(active) {
+            self.0.push((at, active));
+        }
+    }
+
+    fn active_at(&self, s: Timestamp) -> bool {
+        match self.0.partition_point(|&(t, _)| t <= s) {
+            0 => false,
+            i => self.0[i - 1].1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Prim(EventType),
+    Not(usize),
+    And(usize, usize),
+    Or(usize, usize),
+    Prec(usize, usize),
+    Boundary { subtree: InstTree, inot: bool },
+}
+
+/// Per-object state of an instance subtree.
+#[derive(Debug, Clone)]
+struct ObjState {
+    vals: Vec<SVal>,
+    hist: Vec<History>,
+}
+
+/// A flattened instance-oriented subtree.
+#[derive(Debug, Clone)]
+struct InstTree {
+    nodes: Vec<InstNode>,
+    objects: BTreeMap<Oid, ObjState>,
+    prims: Vec<EventType>,
+    /// Inner `-=` present: any affected object joins the domain.
+    vacuous_members: bool,
+    root: usize,
+    /// Template state for freshly joining objects.
+    fresh: ObjState,
+}
+
+#[derive(Debug, Clone)]
+enum InstNode {
+    Prim(EventType),
+    Not(usize),
+    And(usize, usize),
+    Or(usize, usize),
+    Prec(usize, usize),
+}
+
+/// Incremental evaluator for one (validated) event expression; observably
+/// *and* numerically equivalent to [`crate::ts_logical`] over the window
+/// started at construction / last [`IncrementalTs::reset`].
+///
+/// ```
+/// use chimera_calculus::{EventExpr, IncrementalTs};
+/// use chimera_events::{EventBase, EventType};
+/// use chimera_model::{ClassId, Oid};
+///
+/// let approve = EventType::external(ClassId(0), 0);
+/// let ship = EventType::external(ClassId(0), 1);
+/// // approval then shipment on the same object
+/// let expr = EventExpr::prim(approve).iprec(EventExpr::prim(ship));
+///
+/// let mut det = IncrementalTs::new(&expr).unwrap();
+/// let mut eb = EventBase::new();
+/// det.observe(&eb.append(ship, Oid(1)));    // wrong order: inactive
+/// assert!(!det.is_active());
+/// det.observe(&eb.append(approve, Oid(1)));
+/// det.observe(&eb.append(ship, Oid(1)));    // now in order
+/// assert!(det.is_active());
+/// det.reset();                              // rule considered: consume
+/// assert!(!det.is_active());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalTs {
+    nodes: Vec<Node>,
+    vals: Vec<SVal>,
+    hist: Vec<History>,
+    root: usize,
+    nonempty: bool,
+}
+
+impl IncrementalTs {
+    /// Compile a validated expression.
+    pub fn new(expr: &EventExpr) -> Result<Self> {
+        expr.validate()?;
+        let mut nodes = Vec::new();
+        let root = build_set(expr, &mut nodes);
+        let vals = initial_vals(&nodes);
+        let hist = vals.iter().map(|v| History::new(v.pos)).collect();
+        Ok(IncrementalTs {
+            nodes,
+            vals,
+            hist,
+            root,
+            nonempty: false,
+        })
+    }
+
+    /// Has any occurrence been observed since the last reset (`R ≠ ∅`)?
+    pub fn window_nonempty(&self) -> bool {
+        self.nonempty
+    }
+
+    /// Observe one arrival (stamps strictly increasing across calls).
+    pub fn observe(&mut self, occ: &EventOccurrence) {
+        self.nonempty = true;
+        for i in 0..self.nodes.len() {
+            let val = match &mut self.nodes[i] {
+                Node::Prim(ty) => {
+                    if *ty == occ.ty {
+                        SVal::active_at(occ.ts)
+                    } else {
+                        self.vals[i]
+                    }
+                }
+                Node::Not(c) => self.vals[*c].negate(),
+                Node::And(a, b) => self.vals[*a].and(self.vals[*b]),
+                Node::Or(a, b) => self.vals[*a].or(self.vals[*b]),
+                Node::Prec(a, b) => prec_val(self.vals[*b], &self.hist[*a], occ.ts),
+                Node::Boundary { subtree, inot } => {
+                    let inot = *inot;
+                    subtree.observe(occ);
+                    subtree.boundary_val(inot)
+                }
+            };
+            self.vals[i] = val;
+            self.hist[i].record(occ.ts, val.pos);
+        }
+    }
+
+    /// The exact `ts` value at instant `now` (`now` ≥ the last observed
+    /// stamp). Matches `ts_logical` over the same window bit for bit.
+    pub fn ts_at(&self, now: Timestamp) -> TsVal {
+        self.vals[self.root].resolve(now)
+    }
+
+    /// Sign of `ts` (activity).
+    pub fn is_active(&self) -> bool {
+        self.vals[self.root].pos
+    }
+
+    /// Consumption reset: the observation window restarts empty.
+    pub fn reset(&mut self) {
+        for node in &mut self.nodes {
+            if let Node::Boundary { subtree, .. } = node {
+                subtree.reset();
+            }
+        }
+        self.vals = initial_vals(&self.nodes);
+        self.hist = self.vals.iter().map(|v| History::new(v.pos)).collect();
+        self.nonempty = false;
+    }
+}
+
+/// `ts(a < b)` from b's current value and a's activity history.
+fn prec_val(b: SVal, a_hist: &History, now: Timestamp) -> SVal {
+    if !b.pos {
+        return SVal::INACTIVE_NOW;
+    }
+    let a_active = match b.stamp {
+        Stamp::Fixed(s) => a_hist.active_at(s),
+        Stamp::Now => a_hist.active_at(now),
+    };
+    if a_active {
+        b
+    } else {
+        SVal::INACTIVE_NOW
+    }
+}
+
+/// Node values over the empty window (primitives inactive, negations
+/// active with the symbolic stamp).
+fn initial_vals(nodes: &[Node]) -> Vec<SVal> {
+    let mut vals = vec![SVal::INACTIVE_NOW; nodes.len()];
+    for i in 0..nodes.len() {
+        vals[i] = match &nodes[i] {
+            Node::Prim(_) => SVal::INACTIVE_NOW,
+            Node::Not(c) => vals[*c].negate(),
+            Node::And(a, b) => vals[*a].and(vals[*b]),
+            Node::Or(a, b) => vals[*a].or(vals[*b]),
+            Node::Prec(a, b) => {
+                let bb = vals[*b];
+                if bb.pos && vals[*a].pos {
+                    bb
+                } else {
+                    SVal::INACTIVE_NOW
+                }
+            }
+            Node::Boundary { subtree, inot } => subtree.boundary_val(*inot),
+        };
+    }
+    vals
+}
+
+fn build_set(expr: &EventExpr, nodes: &mut Vec<Node>) -> usize {
+    let node = match expr {
+        EventExpr::Prim(ty) => Node::Prim(*ty),
+        EventExpr::Not(e) => {
+            let c = build_set(e, nodes);
+            Node::Not(c)
+        }
+        EventExpr::And(a, b) => {
+            let (na, nb) = (build_set(a, nodes), build_set(b, nodes));
+            Node::And(na, nb)
+        }
+        EventExpr::Or(a, b) => {
+            let (na, nb) = (build_set(a, nodes), build_set(b, nodes));
+            Node::Or(na, nb)
+        }
+        EventExpr::Prec(a, b) => {
+            let (na, nb) = (build_set(a, nodes), build_set(b, nodes));
+            Node::Prec(na, nb)
+        }
+        EventExpr::IAnd(..) | EventExpr::IOr(..) | EventExpr::IPrec(..) => Node::Boundary {
+            subtree: InstTree::build(expr),
+            inot: false,
+        },
+        EventExpr::INot(inner) => Node::Boundary {
+            subtree: InstTree::build(inner),
+            inot: true,
+        },
+    };
+    nodes.push(node);
+    nodes.len() - 1
+}
+
+impl InstTree {
+    fn build(expr: &EventExpr) -> Self {
+        let mut nodes = Vec::new();
+        let root = Self::build_inst(expr, &mut nodes);
+        let fresh = Self::fresh_state(&nodes);
+        InstTree {
+            nodes,
+            objects: BTreeMap::new(),
+            prims: expr.primitives(),
+            vacuous_members: expr.contains_negation(),
+            root,
+            fresh,
+        }
+    }
+
+    fn build_inst(expr: &EventExpr, nodes: &mut Vec<InstNode>) -> usize {
+        let node = match expr {
+            EventExpr::Prim(ty) => InstNode::Prim(*ty),
+            EventExpr::INot(e) => {
+                let c = Self::build_inst(e, nodes);
+                InstNode::Not(c)
+            }
+            EventExpr::IAnd(a, b) => {
+                let (na, nb) = (Self::build_inst(a, nodes), Self::build_inst(b, nodes));
+                InstNode::And(na, nb)
+            }
+            EventExpr::IOr(a, b) => {
+                let (na, nb) = (Self::build_inst(a, nodes), Self::build_inst(b, nodes));
+                InstNode::Or(na, nb)
+            }
+            EventExpr::IPrec(a, b) => {
+                let (na, nb) = (Self::build_inst(a, nodes), Self::build_inst(b, nodes));
+                InstNode::Prec(na, nb)
+            }
+            _ => unreachable!("set operator inside instance subtree"),
+        };
+        nodes.push(node);
+        nodes.len() - 1
+    }
+
+    fn fresh_state(nodes: &[InstNode]) -> ObjState {
+        let mut vals = vec![SVal::INACTIVE_NOW; nodes.len()];
+        for i in 0..nodes.len() {
+            vals[i] = match &nodes[i] {
+                InstNode::Prim(_) => SVal::INACTIVE_NOW,
+                InstNode::Not(c) => vals[*c].negate(),
+                InstNode::And(a, b) => vals[*a].and(vals[*b]),
+                InstNode::Or(a, b) => vals[*a].or(vals[*b]),
+                InstNode::Prec(a, b) => {
+                    let bb = vals[*b];
+                    if bb.pos && vals[*a].pos {
+                        bb
+                    } else {
+                        SVal::INACTIVE_NOW
+                    }
+                }
+            };
+        }
+        let hist = vals.iter().map(|v| History::new(v.pos)).collect();
+        ObjState { vals, hist }
+    }
+
+    fn observe(&mut self, occ: &EventOccurrence) {
+        let relevant = self.prims.contains(&occ.ty);
+        if !(relevant || self.vacuous_members) {
+            return;
+        }
+        let state = self
+            .objects
+            .entry(occ.oid)
+            .or_insert_with(|| self.fresh.clone());
+        if !relevant {
+            return; // joins the domain with the fresh (vacuous) state
+        }
+        for i in 0..self.nodes.len() {
+            let val = match &self.nodes[i] {
+                InstNode::Prim(ty) => {
+                    if *ty == occ.ty {
+                        SVal::active_at(occ.ts)
+                    } else {
+                        state.vals[i]
+                    }
+                }
+                InstNode::Not(c) => state.vals[*c].negate(),
+                InstNode::And(a, b) => state.vals[*a].and(state.vals[*b]),
+                InstNode::Or(a, b) => state.vals[*a].or(state.vals[*b]),
+                InstNode::Prec(a, b) => prec_val(state.vals[*b], &state.hist[*a], occ.ts),
+            };
+            state.vals[i] = val;
+            state.hist[i].record(occ.ts, val.pos);
+        }
+    }
+
+    /// §4.3 boundary: `max` over the object domain; `-=` root negates the
+    /// max when some object is active, else is active at the symbolic
+    /// current instant.
+    fn boundary_val(&self, inot: bool) -> SVal {
+        let max = self
+            .objects
+            .values()
+            .map(|s| s.vals[self.root])
+            .fold(None, |acc: Option<SVal>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            });
+        if inot {
+            match max {
+                Some(v) if v.pos => v.negate(),
+                _ => SVal {
+                    pos: true,
+                    stamp: Stamp::Now,
+                },
+            }
+        } else {
+            match max {
+                Some(v) => v,
+                None => SVal::INACTIVE_NOW,
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.objects.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ts::ts_logical;
+    use chimera_events::{EventBase, Window};
+    use chimera_model::ClassId;
+
+    fn et(n: u32) -> EventType {
+        EventType::external(ClassId(0), n)
+    }
+    fn p(n: u32) -> EventExpr {
+        EventExpr::prim(et(n))
+    }
+
+    /// Drive both evaluators over a scripted stream; assert *exact* ts
+    /// equality at every arrival instant and one gap instant.
+    fn agree(expr: &EventExpr, stream: &[(u32, u64)]) {
+        let mut inc = IncrementalTs::new(expr).unwrap();
+        let mut eb = EventBase::new();
+        for &(tyn, oid) in stream {
+            let occ = eb.append(et(tyn), Oid(oid));
+            inc.observe(&occ);
+            let now = eb.now();
+            let w = Window::from_origin(now);
+            assert_eq!(
+                inc.ts_at(now),
+                ts_logical(expr, &eb, w, now),
+                "{expr} at {now} (stream {stream:?})"
+            );
+        }
+        let now = eb.tick();
+        let w = Window::from_origin(now);
+        assert_eq!(
+            inc.ts_at(now),
+            ts_logical(expr, &eb, w, now),
+            "{expr} at gap instant {now}"
+        );
+    }
+
+    #[test]
+    fn primitive_and_boolean_ops() {
+        let stream = [(0, 1), (1, 2), (0, 2), (2, 1)];
+        agree(&p(0), &stream);
+        agree(&p(0).or(p(1)), &stream);
+        agree(&p(0).and(p(1)), &stream);
+        agree(&p(0).not(), &stream);
+        agree(&p(0).and(p(1).not()), &stream);
+        agree(&p(0).not().or(p(1).not()).not(), &stream);
+        agree(&p(0).or(p(1)).not().and(p(2)), &stream);
+    }
+
+    #[test]
+    fn precedence_latching() {
+        agree(&p(0).prec(p(1)), &[(0, 1), (1, 1)]);
+        agree(&p(0).prec(p(1)), &[(1, 1), (0, 1)]);
+        agree(&p(0).prec(p(1)), &[(0, 1), (1, 1), (1, 2), (0, 2)]);
+        agree(&p(0).prec(p(1)), &[(1, 1), (0, 1), (1, 2)]);
+        // negated left operand: deactivation-by-refresh
+        agree(&p(2).not().prec(p(1)), &[(1, 1), (2, 1), (1, 2)]);
+        // composite right operand whose stamp source changes over time
+        agree(
+            &p(0).prec(p(2).not().or(p(1))),
+            &[(1, 1), (0, 1), (2, 1), (1, 2)],
+        );
+        // nested precedence
+        agree(&p(0).prec(p(1)).prec(p(2)), &[(0, 1), (1, 1), (2, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn instance_subtrees() {
+        let stream = [(0, 1), (1, 2), (1, 1), (0, 2), (2, 3)];
+        agree(&p(0).iand(p(1)), &stream);
+        agree(&p(0).iprec(p(1)), &stream);
+        agree(&p(0).ior(p(1)), &stream);
+        agree(&p(0).iand(p(1)).inot(), &stream);
+        agree(&p(0).iand(p(1).inot()), &stream);
+        agree(&p(2).and(p(0).iprec(p(1))), &stream);
+        agree(&p(0).inot().inot(), &stream);
+        agree(&p(0).iprec(p(1)).inot().not(), &stream);
+    }
+
+    #[test]
+    fn reset_clears_window() {
+        let expr = p(0).and(p(1));
+        let mut inc = IncrementalTs::new(&expr).unwrap();
+        let mut eb = EventBase::new();
+        inc.observe(&eb.append(et(0), Oid(1)));
+        inc.observe(&eb.append(et(1), Oid(1)));
+        assert!(inc.is_active());
+        assert!(inc.window_nonempty());
+        inc.reset();
+        assert!(!inc.is_active());
+        assert!(!inc.window_nonempty());
+        inc.observe(&eb.append(et(1), Oid(2)));
+        assert!(!inc.is_active(), "needs a fresh pair after reset");
+    }
+
+    #[test]
+    fn reset_matches_consumed_window() {
+        // after reset, the incremental detector must equal ts over the
+        // consumption window (last consideration .. now).
+        let expr = p(0).iprec(p(1));
+        let mut inc = IncrementalTs::new(&expr).unwrap();
+        let mut eb = EventBase::new();
+        inc.observe(&eb.append(et(0), Oid(1)));
+        inc.observe(&eb.append(et(1), Oid(1)));
+        let consumed_at = eb.now();
+        inc.reset();
+        inc.observe(&eb.append(et(1), Oid(1)));
+        let now = eb.now();
+        let w = Window::new(consumed_at, now);
+        assert_eq!(inc.ts_at(now), ts_logical(&expr, &eb, w, now));
+    }
+
+    #[test]
+    fn vacuous_negation_is_active_before_events() {
+        let inc = IncrementalTs::new(&p(0).not()).unwrap();
+        assert!(inc.is_active());
+        assert_eq!(inc.ts_at(Timestamp(5)), TsVal(5));
+        assert!(!inc.window_nonempty());
+    }
+
+    #[test]
+    fn structured_negative_residues_are_exact() {
+        // -( -A , -B ): after A@1 B@2 A@3, ts = -min(-3,-2) = 3 (a FIXED
+        // stamp, not the current instant) — the case that forces the
+        // symbolic signed representation.
+        let expr = p(0).not().or(p(1).not()).not();
+        let mut inc = IncrementalTs::new(&expr).unwrap();
+        let mut eb = EventBase::new();
+        inc.observe(&eb.append(et(0), Oid(1)));
+        inc.observe(&eb.append(et(1), Oid(1)));
+        inc.observe(&eb.append(et(0), Oid(2)));
+        eb.tick();
+        assert_eq!(inc.ts_at(eb.now()), TsVal(3));
+    }
+
+    #[test]
+    fn rejects_invalid_expressions() {
+        assert!(IncrementalTs::new(&p(0).and(p(1)).iand(p(2))).is_err());
+    }
+
+    #[test]
+    fn history_lookup() {
+        let mut h = History::new(false);
+        h.record(Timestamp(3), true);
+        h.record(Timestamp(5), true); // no-op (same state)
+        h.record(Timestamp(7), false);
+        assert!(!h.active_at(Timestamp(2)));
+        assert!(h.active_at(Timestamp(3)));
+        assert!(h.active_at(Timestamp(6)));
+        assert!(!h.active_at(Timestamp(7)));
+        assert_eq!(h.0.len(), 3, "no-op transitions are not stored");
+    }
+}

@@ -1,0 +1,365 @@
+//! The Event Base: append-only occurrence log plus the §5 indexes.
+//!
+//! * the **log** itself, ordered by (strictly increasing) timestamp;
+//! * the **Occurred Events tree** of §5: for every event type, the list of
+//!   its occurrences, whose last element is the most recent stamp — this
+//!   answers `ts(primitive, t)` with one hash lookup + binary search;
+//! * a **per-(type, object) index** supporting `ots(primitive, t, oid)`
+//!   (the paper keeps an equivalent sparse per-rule structure; indexing the
+//!   EB once is strictly more general and lets every rule share it);
+//! * a **per-object index** used to enumerate the objects affected inside
+//!   a window (the `oid ∈ R` quantification of §4.3).
+
+use crate::event::{EventId, EventOccurrence, EventType};
+use crate::time::{LogicalClock, Timestamp};
+use crate::window::Window;
+use chimera_model::Oid;
+use std::collections::HashMap;
+
+/// The event base (EB).
+#[derive(Debug, Default)]
+pub struct EventBase {
+    log: Vec<EventOccurrence>,
+    clock: LogicalClock,
+    /// Occurred-Events tree leaves: per-type positions into `log`.
+    type_index: HashMap<EventType, Vec<u32>>,
+    /// Instance-oriented leaves: per-(type, object) positions into `log`.
+    type_obj_index: HashMap<(EventType, Oid), Vec<u32>>,
+    /// Per-object positions into `log`.
+    obj_index: HashMap<Oid, Vec<u32>>,
+}
+
+impl EventBase {
+    /// Empty event base with a fresh clock.
+    pub fn new() -> Self {
+        EventBase::default()
+    }
+
+    /// Number of occurrences in the log.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Current logical time (stamp of the most recent occurrence).
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// Advance the clock without recording an occurrence (models the
+    /// passage of time between blocks; negation can become active by pure
+    /// absence, which is observed at such instants).
+    pub fn tick(&mut self) -> Timestamp {
+        self.clock.tick()
+    }
+
+    /// Record an occurrence at the next clock instant.
+    pub fn append(&mut self, ty: EventType, oid: Oid) -> EventOccurrence {
+        let ts = self.clock.tick();
+        self.push(ty, oid, ts)
+    }
+
+    /// Record an occurrence at an explicit instant (scripted histories).
+    ///
+    /// Panics if `ts` is not strictly after the current clock value —
+    /// the EB's semantics require strictly increasing stamps.
+    pub fn append_at(&mut self, ty: EventType, oid: Oid, ts: Timestamp) -> EventOccurrence {
+        assert!(
+            ts > self.clock.now(),
+            "event stamps must be strictly increasing: {} !> {}",
+            ts,
+            self.clock.now()
+        );
+        self.clock.advance_to(ts);
+        self.push(ty, oid, ts)
+    }
+
+    fn push(&mut self, ty: EventType, oid: Oid, ts: Timestamp) -> EventOccurrence {
+        let pos = self.log.len() as u32;
+        let occ = EventOccurrence {
+            eid: EventId(pos as u64 + 1),
+            ty,
+            oid,
+            ts,
+        };
+        self.log.push(occ);
+        self.type_index.entry(ty).or_default().push(pos);
+        self.type_obj_index.entry((ty, oid)).or_default().push(pos);
+        self.obj_index.entry(oid).or_default().push(pos);
+        occ
+    }
+
+    /// Fetch by EID.
+    pub fn get(&self, eid: EventId) -> Option<&EventOccurrence> {
+        if eid.0 == 0 {
+            return None;
+        }
+        self.log.get(eid.0 as usize - 1)
+    }
+
+    /// Iterate the whole log in timestamp order.
+    pub fn iter(&self) -> impl Iterator<Item = &EventOccurrence> {
+        self.log.iter()
+    }
+
+    /// The log slice falling inside `w`, in timestamp order. Degenerate
+    /// windows (`upto <= after`) yield an empty slice.
+    pub fn slice(&self, w: Window) -> &[EventOccurrence] {
+        if w.is_degenerate() {
+            return &[];
+        }
+        let lo = self.log.partition_point(|e| e.ts <= w.after);
+        let hi = self.log.partition_point(|e| e.ts <= w.upto);
+        &self.log[lo..hi]
+    }
+
+    /// Is the window non-empty (`R ≠ ∅` of the triggering predicate §4.4)?
+    pub fn any_in(&self, w: Window) -> bool {
+        !self.slice(w).is_empty()
+    }
+
+    /// Number of occurrences inside `w`.
+    pub fn count_in(&self, w: Window) -> usize {
+        self.slice(w).len()
+    }
+
+    /// Positions (into the log) of `ty` occurrences, restricted to `w`.
+    fn positions_in<'a>(&'a self, index: Option<&'a Vec<u32>>, w: Window) -> &'a [u32] {
+        let Some(v) = index else { return &[] };
+        if w.is_degenerate() {
+            return &[];
+        }
+        let lo = v.partition_point(|&p| self.log[p as usize].ts <= w.after);
+        let hi = v.partition_point(|&p| self.log[p as usize].ts <= w.upto);
+        &v[lo..hi]
+    }
+
+    /// Stamp of the most recent occurrence of `ty` inside `w`
+    /// (the §4.2 `t_E` lookup). `None` means no occurrence in `w`.
+    pub fn last_of_type_in(&self, ty: EventType, w: Window) -> Option<Timestamp> {
+        self.positions_in(self.type_index.get(&ty), w)
+            .last()
+            .map(|&p| self.log[p as usize].ts)
+    }
+
+    /// Stamp of the *first* occurrence of `ty` inside `w`.
+    pub fn first_of_type_in(&self, ty: EventType, w: Window) -> Option<Timestamp> {
+        self.positions_in(self.type_index.get(&ty), w)
+            .first()
+            .map(|&p| self.log[p as usize].ts)
+    }
+
+    /// All occurrences of `ty` inside `w`, in timestamp order.
+    pub fn occurrences_of_type_in(
+        &self,
+        ty: EventType,
+        w: Window,
+    ) -> impl Iterator<Item = &EventOccurrence> {
+        self.positions_in(self.type_index.get(&ty), w)
+            .iter()
+            .map(|&p| &self.log[p as usize])
+    }
+
+    /// Stamp of the most recent occurrence of `ty` on `oid` inside `w`
+    /// (the §4.3 per-object `t_E` lookup).
+    pub fn last_of_type_obj_in(&self, ty: EventType, oid: Oid, w: Window) -> Option<Timestamp> {
+        self.positions_in(self.type_obj_index.get(&(ty, oid)), w)
+            .last()
+            .map(|&p| self.log[p as usize].ts)
+    }
+
+    /// All occurrences of `ty` on `oid` inside `w`, in timestamp order.
+    pub fn occurrences_of_type_obj_in(
+        &self,
+        ty: EventType,
+        oid: Oid,
+        w: Window,
+    ) -> impl Iterator<Item = &EventOccurrence> {
+        self.positions_in(self.type_obj_index.get(&(ty, oid)), w)
+            .iter()
+            .map(|&p| &self.log[p as usize])
+    }
+
+    /// Distinct objects affected by any occurrence inside `w`, sorted.
+    pub fn objects_in(&self, w: Window) -> Vec<Oid> {
+        let mut oids: Vec<Oid> = self.slice(w).iter().map(|e| e.oid).collect();
+        oids.sort();
+        oids.dedup();
+        oids
+    }
+
+    /// Distinct objects affected inside `w` by occurrences of any of the
+    /// given types, sorted. This is the `oid ∈ R` domain restricted to the
+    /// primitives of one expression — the useful quantification domain for
+    /// instance-oriented evaluation.
+    pub fn objects_of_types_in(&self, types: &[EventType], w: Window) -> Vec<Oid> {
+        let mut oids = Vec::new();
+        for ty in types {
+            for &p in self.positions_in(self.type_index.get(ty), w) {
+                oids.push(self.log[p as usize].oid);
+            }
+        }
+        oids.sort();
+        oids.dedup();
+        oids
+    }
+
+    /// All occurrences affecting `oid` inside `w`, in timestamp order.
+    pub fn occurrences_of_obj_in(
+        &self,
+        oid: Oid,
+        w: Window,
+    ) -> impl Iterator<Item = &EventOccurrence> {
+        self.positions_in(self.obj_index.get(&oid), w)
+            .iter()
+            .map(|&p| &self.log[p as usize])
+    }
+
+    /// Most recent stamp per type leaf (§5: "each leaf keeps the time stamp
+    /// of the more recent occurrence of the associated event type").
+    pub fn leaf_last_stamp(&self, ty: EventType) -> Option<Timestamp> {
+        self.type_index
+            .get(&ty)
+            .and_then(|v| v.last())
+            .map(|&p| self.log[p as usize].ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_model::ClassId;
+
+    fn ty(c: u32) -> EventType {
+        EventType::create(ClassId(c))
+    }
+
+    #[test]
+    fn append_allocates_increasing_stamps_and_eids() {
+        let mut eb = EventBase::new();
+        let a = eb.append(ty(0), Oid(1));
+        let b = eb.append(ty(0), Oid(2));
+        assert_eq!(a.eid, EventId(1));
+        assert_eq!(b.eid, EventId(2));
+        assert!(a.ts < b.ts);
+        assert_eq!(eb.now(), b.ts);
+        assert_eq!(eb.get(a.eid), Some(&a));
+        assert_eq!(eb.get(EventId(0)), None);
+        assert_eq!(eb.get(EventId(99)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn append_at_rejects_non_increasing() {
+        let mut eb = EventBase::new();
+        eb.append_at(ty(0), Oid(1), Timestamp(5));
+        eb.append_at(ty(0), Oid(1), Timestamp(5));
+    }
+
+    #[test]
+    fn window_slicing() {
+        let mut eb = EventBase::new();
+        for i in 1..=10u64 {
+            eb.append_at(ty(0), Oid(i), Timestamp(i));
+        }
+        let w = Window::new(Timestamp(3), Timestamp(7));
+        let s = eb.slice(w);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].ts, Timestamp(4));
+        assert_eq!(s[3].ts, Timestamp(7));
+        assert!(eb.any_in(w));
+        assert_eq!(eb.count_in(w), 4);
+        assert!(!eb.any_in(Window::new(Timestamp(10), Timestamp(20))));
+    }
+
+    #[test]
+    fn type_index_last_and_first() {
+        let mut eb = EventBase::new();
+        eb.append_at(ty(0), Oid(1), Timestamp(1));
+        eb.append_at(ty(1), Oid(1), Timestamp(2));
+        eb.append_at(ty(0), Oid(2), Timestamp(3));
+        let all = Window::from_origin(Timestamp(10));
+        assert_eq!(eb.last_of_type_in(ty(0), all), Some(Timestamp(3)));
+        assert_eq!(eb.first_of_type_in(ty(0), all), Some(Timestamp(1)));
+        assert_eq!(eb.last_of_type_in(ty(1), all), Some(Timestamp(2)));
+        assert_eq!(eb.last_of_type_in(ty(9), all), None);
+        // clipped window hides the later occurrence
+        let clipped = Window::from_origin(Timestamp(2));
+        assert_eq!(eb.last_of_type_in(ty(0), clipped), Some(Timestamp(1)));
+        // consumed window hides the earlier occurrence
+        let consumed = Window::new(Timestamp(1), Timestamp(10));
+        assert_eq!(eb.first_of_type_in(ty(0), consumed), Some(Timestamp(3)));
+    }
+
+    #[test]
+    fn type_obj_index() {
+        let mut eb = EventBase::new();
+        eb.append_at(ty(0), Oid(1), Timestamp(1));
+        eb.append_at(ty(0), Oid(2), Timestamp(2));
+        eb.append_at(ty(0), Oid(1), Timestamp(3));
+        let all = Window::from_origin(Timestamp(10));
+        assert_eq!(
+            eb.last_of_type_obj_in(ty(0), Oid(1), all),
+            Some(Timestamp(3))
+        );
+        assert_eq!(
+            eb.last_of_type_obj_in(ty(0), Oid(2), all),
+            Some(Timestamp(2))
+        );
+        assert_eq!(eb.last_of_type_obj_in(ty(0), Oid(3), all), None);
+        assert_eq!(eb.occurrences_of_type_obj_in(ty(0), Oid(1), all).count(), 2);
+    }
+
+    #[test]
+    fn object_enumeration() {
+        let mut eb = EventBase::new();
+        eb.append_at(ty(0), Oid(3), Timestamp(1));
+        eb.append_at(ty(1), Oid(1), Timestamp(2));
+        eb.append_at(ty(0), Oid(3), Timestamp(3));
+        let all = Window::from_origin(Timestamp(10));
+        assert_eq!(eb.objects_in(all), vec![Oid(1), Oid(3)]);
+        assert_eq!(eb.objects_of_types_in(&[ty(0)], all), vec![Oid(3)]);
+        assert_eq!(
+            eb.objects_of_types_in(&[ty(0), ty(1)], all),
+            vec![Oid(1), Oid(3)]
+        );
+        let later = Window::new(Timestamp(2), Timestamp(10));
+        assert_eq!(eb.objects_in(later), vec![Oid(3)]);
+    }
+
+    #[test]
+    fn per_object_iteration() {
+        let mut eb = EventBase::new();
+        eb.append_at(ty(0), Oid(1), Timestamp(1));
+        eb.append_at(ty(1), Oid(1), Timestamp(2));
+        eb.append_at(ty(0), Oid(2), Timestamp(3));
+        let all = Window::from_origin(Timestamp(10));
+        let objs: Vec<_> = eb.occurrences_of_obj_in(Oid(1), all).collect();
+        assert_eq!(objs.len(), 2);
+        assert_eq!(objs[0].ts, Timestamp(1));
+        assert_eq!(objs[1].ts, Timestamp(2));
+    }
+
+    #[test]
+    fn leaf_last_stamp_tracks_most_recent() {
+        let mut eb = EventBase::new();
+        assert_eq!(eb.leaf_last_stamp(ty(0)), None);
+        eb.append_at(ty(0), Oid(1), Timestamp(4));
+        eb.append_at(ty(0), Oid(2), Timestamp(9));
+        assert_eq!(eb.leaf_last_stamp(ty(0)), Some(Timestamp(9)));
+    }
+
+    #[test]
+    fn tick_advances_time_without_events() {
+        let mut eb = EventBase::new();
+        eb.append(ty(0), Oid(1));
+        let before = eb.len();
+        let t = eb.tick();
+        assert_eq!(eb.len(), before);
+        assert_eq!(eb.now(), t);
+    }
+}

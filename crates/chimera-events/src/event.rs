@@ -1,0 +1,234 @@
+//! Event types and event occurrences.
+//!
+//! Chimera's internal event types are the data-manipulation operations:
+//! `create`, `delete`, `modify(attr)`, `generalize`, `specialize`,
+//! `select`, each relative to a class (§2: "the name of the command that
+//! changed the object state, possibly followed by the object class name and
+//! an attribute name"). An `External` kind is provided as the natural
+//! extension point (HiPAC-style external events) but is not required by the
+//! paper's semantics.
+
+use crate::time::Timestamp;
+use chimera_model::{AttrId, ClassId, Oid, Schema};
+use std::fmt;
+
+/// Unique identifier of an event occurrence (the paper's *EID*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u64);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The operation component of an event type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventKind {
+    /// Object creation.
+    Create,
+    /// Object deletion.
+    Delete,
+    /// Modification of one attribute.
+    Modify(AttrId),
+    /// Migration to a superclass.
+    Generalize,
+    /// Migration to a subclass.
+    Specialize,
+    /// Query retrieval.
+    Select,
+    /// External/application event channel (extension point).
+    External(u32),
+}
+
+impl EventKind {
+    /// Command name (without class/attribute qualification).
+    pub fn command_name(&self) -> &'static str {
+        match self {
+            EventKind::Create => "create",
+            EventKind::Delete => "delete",
+            EventKind::Modify(_) => "modify",
+            EventKind::Generalize => "generalize",
+            EventKind::Specialize => "specialize",
+            EventKind::Select => "select",
+            EventKind::External(_) => "external",
+        }
+    }
+}
+
+/// An event *type*: operation + target class (+ attribute for `modify`).
+///
+/// Examples from the paper: `create(stock)`, `modify(stock.quantity)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventType {
+    /// Class the event is defined on.
+    pub class: ClassId,
+    /// Operation kind.
+    pub kind: EventKind,
+}
+
+impl EventType {
+    /// `create(class)`.
+    pub fn create(class: ClassId) -> Self {
+        EventType {
+            class,
+            kind: EventKind::Create,
+        }
+    }
+    /// `delete(class)`.
+    pub fn delete(class: ClassId) -> Self {
+        EventType {
+            class,
+            kind: EventKind::Delete,
+        }
+    }
+    /// `modify(class.attr)`.
+    pub fn modify(class: ClassId, attr: AttrId) -> Self {
+        EventType {
+            class,
+            kind: EventKind::Modify(attr),
+        }
+    }
+    /// `generalize(class)`.
+    pub fn generalize(class: ClassId) -> Self {
+        EventType {
+            class,
+            kind: EventKind::Generalize,
+        }
+    }
+    /// `specialize(class)`.
+    pub fn specialize(class: ClassId) -> Self {
+        EventType {
+            class,
+            kind: EventKind::Specialize,
+        }
+    }
+    /// `select(class)`.
+    pub fn select(class: ClassId) -> Self {
+        EventType {
+            class,
+            kind: EventKind::Select,
+        }
+    }
+    /// `external(class, channel)`.
+    pub fn external(class: ClassId, channel: u32) -> Self {
+        EventType {
+            class,
+            kind: EventKind::External(channel),
+        }
+    }
+
+    /// Human-readable rendering against a schema, e.g.
+    /// `modify(stock.quantity)`.
+    pub fn render(&self, schema: &Schema) -> String {
+        let class = schema.class_name(self.class);
+        match self.kind {
+            EventKind::Modify(attr) => {
+                format!("modify({class}.{})", schema.attr_name(self.class, attr))
+            }
+            EventKind::External(ch) => format!("external({class}#{ch})"),
+            k => format!("{}({class})", k.command_name()),
+        }
+    }
+}
+
+/// One row of the Event Base (Fig. 3): `(EID, event-type, OID, timestamp)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventOccurrence {
+    /// Unique occurrence id.
+    pub eid: EventId,
+    /// Event type.
+    pub ty: EventType,
+    /// Affected object (the paper's `obj(e)`).
+    pub oid: Oid,
+    /// Occurrence instant (the paper's `timestamp(e)`).
+    pub ts: Timestamp,
+}
+
+impl EventOccurrence {
+    /// Fig. 4 `type(e)` function.
+    #[inline]
+    pub fn event_type(&self) -> EventType {
+        self.ty
+    }
+    /// Fig. 4 `obj(e)` function.
+    #[inline]
+    pub fn obj(&self) -> Oid {
+        self.oid
+    }
+    /// Fig. 4 `timestamp(e)` function.
+    #[inline]
+    pub fn timestamp(&self) -> Timestamp {
+        self.ts
+    }
+    /// Fig. 4 `event_on_class(e)` function: the class to which the object
+    /// affected by the occurrence belongs (part of the event type).
+    #[inline]
+    pub fn event_on_class(&self) -> ClassId {
+        self.ty.class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_model::{AttrDef, AttrType, SchemaBuilder};
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.class(
+            "stock",
+            None,
+            vec![AttrDef::new("quantity", AttrType::Integer)],
+        )
+        .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        let c = ClassId(0);
+        assert_eq!(EventType::create(c).kind, EventKind::Create);
+        assert_eq!(EventType::delete(c).kind, EventKind::Delete);
+        assert_eq!(
+            EventType::modify(c, AttrId(1)).kind,
+            EventKind::Modify(AttrId(1))
+        );
+        assert_eq!(EventType::generalize(c).kind, EventKind::Generalize);
+        assert_eq!(EventType::specialize(c).kind, EventKind::Specialize);
+        assert_eq!(EventType::select(c).kind, EventKind::Select);
+        assert_eq!(EventType::external(c, 3).kind, EventKind::External(3));
+    }
+
+    #[test]
+    fn render_against_schema() {
+        let s = schema();
+        let stock = s.class_by_name("stock").unwrap();
+        let q = s.attr_by_name(stock, "quantity").unwrap();
+        assert_eq!(EventType::create(stock).render(&s), "create(stock)");
+        assert_eq!(
+            EventType::modify(stock, q).render(&s),
+            "modify(stock.quantity)"
+        );
+        assert_eq!(EventType::external(stock, 1).render(&s), "external(stock#1)");
+    }
+
+    #[test]
+    fn fig4_accessors() {
+        let e = EventOccurrence {
+            eid: EventId(5),
+            ty: EventType::modify(ClassId(0), AttrId(0)),
+            oid: Oid(1),
+            ts: Timestamp(5),
+        };
+        assert_eq!(e.event_type(), e.ty);
+        assert_eq!(e.obj(), Oid(1));
+        assert_eq!(e.timestamp(), Timestamp(5));
+        assert_eq!(e.event_on_class(), ClassId(0));
+    }
+
+    #[test]
+    fn event_id_display() {
+        assert_eq!(EventId(4).to_string(), "e4");
+    }
+}

@@ -1,0 +1,164 @@
+//! Reconstruction of the paper's Fig. 3 Event Base example.
+//!
+//! ```text
+//! EID  event-type                OID  timestamp
+//! e1   create(stock)             o1   t1
+//! e2   create(stock)             o2   t2
+//! e3   create(order)             o3   t3
+//! e4   create(notFilledOrder)    o3   t4
+//! e5   modify(stock.quantity)    o1   t5
+//! e6   modify(stock.quantity)    o2   t6
+//! e7   delete(stock)             o1   t7
+//! ```
+//!
+//! (`notFilledOrder` is a subclass of `order`; `e4` records the
+//! specialization-style creation of the same object `o3` in the subclass.)
+//! Used by tests, the `fig3_event_base` bench and `examples/calculus_trace`.
+
+use crate::base::EventBase;
+use crate::event::EventType;
+use crate::time::Timestamp;
+use chimera_model::{AttrDef, AttrType, Oid, Schema, SchemaBuilder};
+
+/// Build the Fig. 3 schema (stock / show / order / notFilledOrder) and the
+/// seven-event EB exactly as printed in the paper.
+pub fn fig3_event_base() -> (Schema, EventBase) {
+    let mut b = SchemaBuilder::new();
+    b.class(
+        "stock",
+        None,
+        vec![
+            AttrDef::new("quantity", AttrType::Integer),
+            AttrDef::new("max_quantity", AttrType::Integer),
+            AttrDef::new("min_quantity", AttrType::Integer),
+        ],
+    )
+    .expect("fig3 schema");
+    b.class(
+        "show",
+        None,
+        vec![AttrDef::new("quantity", AttrType::Integer)],
+    )
+    .expect("fig3 schema");
+    b.class(
+        "order",
+        None,
+        vec![AttrDef::new("del_quantity", AttrType::Integer)],
+    )
+    .expect("fig3 schema");
+    b.class("notFilledOrder", Some("order"), vec![])
+        .expect("fig3 schema");
+    let schema = b.build();
+
+    let stock = schema.class_by_name("stock").expect("stock");
+    let order = schema.class_by_name("order").expect("order");
+    let nfo = schema.class_by_name("notFilledOrder").expect("nfo");
+    let quantity = schema.attr_by_name(stock, "quantity").expect("quantity");
+
+    let mut eb = EventBase::new();
+    eb.append_at(EventType::create(stock), Oid(1), Timestamp(1));
+    eb.append_at(EventType::create(stock), Oid(2), Timestamp(2));
+    eb.append_at(EventType::create(order), Oid(3), Timestamp(3));
+    eb.append_at(EventType::create(nfo), Oid(3), Timestamp(4));
+    eb.append_at(EventType::modify(stock, quantity), Oid(1), Timestamp(5));
+    eb.append_at(EventType::modify(stock, quantity), Oid(2), Timestamp(6));
+    eb.append_at(EventType::delete(stock), Oid(1), Timestamp(7));
+    (schema, eb)
+}
+
+/// Render the EB as the paper's Fig. 3 table (for the bench/example output).
+pub fn render_fig3_table(schema: &Schema, eb: &EventBase) -> String {
+    let mut out = String::from("EID  event-type                OID  timestamp\n");
+    for e in eb.iter() {
+        out.push_str(&format!(
+            "{:<4} {:<25} {:<4} {}\n",
+            e.eid.to_string(),
+            e.ty.render(schema),
+            e.oid.to_string(),
+            e.ts
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::window::Window;
+
+    #[test]
+    fn fig3_contents_match_paper() {
+        let (schema, eb) = fig3_event_base();
+        assert_eq!(eb.len(), 7);
+        let stock = schema.class_by_name("stock").unwrap();
+        let rows: Vec<_> = eb.iter().collect();
+        // e1: create(stock) o1 t1
+        assert_eq!(rows[0].ty, EventType::create(stock));
+        assert_eq!(rows[0].oid, Oid(1));
+        assert_eq!(rows[0].ts, Timestamp(1));
+        // e4: create(notFilledOrder) o3 t4
+        let nfo = schema.class_by_name("notFilledOrder").unwrap();
+        assert_eq!(rows[3].ty, EventType::create(nfo));
+        assert_eq!(rows[3].oid, Oid(3));
+        // e7: delete(stock) o1 t7
+        assert_eq!(rows[6].ty.kind, EventKind::Delete);
+        assert_eq!(rows[6].oid, Oid(1));
+        assert_eq!(rows[6].ts, Timestamp(7));
+    }
+
+    #[test]
+    fn fig4_accessor_examples() {
+        let (schema, eb) = fig3_event_base();
+        let stock = schema.class_by_name("stock").unwrap();
+        let q = schema.attr_by_name(stock, "quantity").unwrap();
+        let e1 = eb.get(crate::EventId(1)).unwrap();
+        let e2 = eb.get(crate::EventId(2)).unwrap();
+        let e5 = eb.get(crate::EventId(5)).unwrap();
+        let e7 = eb.get(crate::EventId(7)).unwrap();
+        // Fig. 4: type(e1) = create(stock), obj(e2) = o2,
+        //         type(e5) = modify(stock.quantity), obj(e5) = o1,
+        //         type(e7) = delete(stock), timestamp(e5) = t5,
+        //         event_on_class(e1) = stock.
+        assert_eq!(e1.event_type(), EventType::create(stock));
+        assert_eq!(e2.obj(), Oid(2));
+        assert_eq!(e5.event_type(), EventType::modify(stock, q));
+        assert_eq!(e5.obj(), Oid(1));
+        assert_eq!(e7.event_type(), EventType::delete(stock));
+        assert_eq!(e5.timestamp(), Timestamp(5));
+        assert_eq!(e1.event_on_class(), stock);
+        assert_eq!(schema.class_name(e1.event_on_class()), "stock");
+    }
+
+    #[test]
+    fn fig3_window_queries() {
+        let (schema, eb) = fig3_event_base();
+        let stock = schema.class_by_name("stock").unwrap();
+        let q = schema.attr_by_name(stock, "quantity").unwrap();
+        let all = Window::from_origin(Timestamp(7));
+        assert_eq!(
+            eb.last_of_type_in(EventType::create(stock), all),
+            Some(Timestamp(2))
+        );
+        assert_eq!(
+            eb.last_of_type_in(EventType::modify(stock, q), all),
+            Some(Timestamp(6))
+        );
+        assert_eq!(
+            eb.last_of_type_obj_in(EventType::modify(stock, q), Oid(1), all),
+            Some(Timestamp(5))
+        );
+        assert_eq!(eb.objects_in(all), vec![Oid(1), Oid(2), Oid(3)]);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let (schema, eb) = fig3_event_base();
+        let table = render_fig3_table(&schema, &eb);
+        assert!(table.contains("create(stock)"));
+        assert!(table.contains("create(notFilledOrder)"));
+        assert!(table.contains("modify(stock.quantity)"));
+        assert!(table.contains("delete(stock)"));
+        assert_eq!(table.lines().count(), 8); // header + 7 rows
+    }
+}

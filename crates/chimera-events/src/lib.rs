@@ -1,0 +1,34 @@
+//! # chimera-events
+//!
+//! The **Event Base (EB)** of *Composite Events in Chimera* (§4.1): the log
+//! of all event occurrences since the beginning of the transaction, modelled
+//! exactly as the paper's Fig. 3 table —
+//!
+//! ```text
+//! EID   event-type                  OID   timestamp
+//! e1    create(stock)               o1    t1
+//! e2    create(stock)               o2    t2
+//! ...
+//! ```
+//!
+//! plus the access functions of Fig. 4 (`type`, `obj`, `timestamp`,
+//! `event_on_class`) and the indexes the implementation section (§5)
+//! prescribes: the *Occurred Events* tree whose leaves are per-type
+//! occurrence lists each keeping the most recent stamp, and a per-object
+//! index supporting the instance-oriented operators.
+//!
+//! Time is a strictly monotonic logical clock ([`Timestamp`]); every event
+//! occurrence gets a unique stamp, so the calculus' sign-of-`ts` test is
+//! total and evaluation is fully deterministic.
+
+pub mod base;
+pub mod event;
+pub mod fig3;
+pub mod time;
+pub mod window;
+
+pub use base::EventBase;
+pub use event::{EventId, EventKind, EventOccurrence, EventType};
+pub use fig3::fig3_event_base;
+pub use time::{LogicalClock, Timestamp};
+pub use window::Window;

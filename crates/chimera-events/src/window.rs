@@ -1,0 +1,93 @@
+//! Observation windows over the event base.
+//!
+//! The calculus is always applied to "the set `R` of event occurrences to
+//! which it applies" (§4.2). For rule triggering, `R` is the half-open
+//! interval `(last_consumption, now]`; for a *preserving* rule the lower
+//! bound is the beginning of the transaction, for a *consuming* rule the
+//! last consideration instant (§2, §3.3).
+
+use crate::time::Timestamp;
+
+/// Half-open time interval `(after, upto]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Exclusive lower bound (events strictly newer than this are in `R`).
+    pub after: Timestamp,
+    /// Inclusive upper bound (usually "now").
+    pub upto: Timestamp,
+}
+
+impl Window {
+    /// `(after, upto]`.
+    pub fn new(after: Timestamp, upto: Timestamp) -> Self {
+        Window { after, upto }
+    }
+
+    /// Window covering the whole history up to `now` (preserving rules on a
+    /// fresh transaction).
+    pub fn from_origin(upto: Timestamp) -> Self {
+        Window {
+            after: Timestamp::ZERO,
+            upto,
+        }
+    }
+
+    /// Does the window contain `t`?
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t > self.after && t <= self.upto
+    }
+
+    /// Empty iff no stamp can fall inside.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.upto <= self.after
+    }
+
+    /// Restrict the upper bound to `t` (used when evaluating `ts(E, t)` for
+    /// a `t` earlier than the window end, e.g. inside the precedence
+    /// operator).
+    pub fn clip_upto(&self, t: Timestamp) -> Window {
+        Window {
+            after: self.after,
+            upto: self.upto.min(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_is_half_open() {
+        let w = Window::new(Timestamp(2), Timestamp(5));
+        assert!(!w.contains(Timestamp(2)));
+        assert!(w.contains(Timestamp(3)));
+        assert!(w.contains(Timestamp(5)));
+        assert!(!w.contains(Timestamp(6)));
+    }
+
+    #[test]
+    fn degenerate_windows() {
+        assert!(Window::new(Timestamp(5), Timestamp(5)).is_degenerate());
+        assert!(Window::new(Timestamp(6), Timestamp(5)).is_degenerate());
+        assert!(!Window::new(Timestamp(4), Timestamp(5)).is_degenerate());
+    }
+
+    #[test]
+    fn clipping() {
+        let w = Window::new(Timestamp(2), Timestamp(9));
+        assert_eq!(w.clip_upto(Timestamp(5)).upto, Timestamp(5));
+        assert_eq!(w.clip_upto(Timestamp(12)).upto, Timestamp(9));
+        assert_eq!(w.clip_upto(Timestamp(5)).after, Timestamp(2));
+    }
+
+    #[test]
+    fn from_origin_covers_everything() {
+        let w = Window::from_origin(Timestamp(4));
+        assert!(w.contains(Timestamp(1)));
+        assert!(w.contains(Timestamp(4)));
+        assert!(!w.contains(Timestamp(5)));
+    }
+}

@@ -1,0 +1,233 @@
+//! Set-oriented action execution.
+//!
+//! A rule's action runs once per consideration, over *all* binding tuples
+//! the condition produced (§2). Each statement is applied in order; class
+//! mutations are collected and handed back to the engine, whose Event
+//! Handler appends them to the Event Base as one non-interruptible block.
+
+use crate::error::ExecError;
+use crate::formula::{eval_term, Binding};
+use crate::Result;
+use chimera_model::{Mutation, ObjectStore, Oid, Schema, Value};
+use chimera_rules::action::ActionStmt;
+use std::collections::HashSet;
+
+/// Execute the statements over all binding tuples. Returns the mutations
+/// in execution order (the engine turns them into event occurrences).
+pub fn execute_actions(
+    actions: &[ActionStmt],
+    bindings: &[Binding],
+    schema: &Schema,
+    store: &mut ObjectStore,
+) -> Result<Vec<Mutation>> {
+    let mut muts = Vec::new();
+    for stmt in actions {
+        match stmt {
+            ActionStmt::Create { class, inits } => {
+                let cid = schema.class_by_name(class)?;
+                for row in bindings {
+                    let mut resolved = Vec::with_capacity(inits.len());
+                    for (attr, term) in inits {
+                        let aid = schema.attr_by_name(cid, attr)?;
+                        resolved.push((aid, eval_term(term, row, schema, store)?));
+                    }
+                    muts.push(store.create(schema, cid, &resolved)?);
+                }
+            }
+            ActionStmt::Modify { var, attr, value } => {
+                for row in bindings {
+                    let oid = bound_oid(row, var)?;
+                    if !store.contains(oid) {
+                        continue; // deleted by an earlier statement
+                    }
+                    let class = store.get(oid)?.class;
+                    let aid = schema.attr_by_name(class, attr)?;
+                    let v = eval_term(value, row, schema, store)?;
+                    muts.push(store.modify(schema, oid, aid, v)?);
+                }
+            }
+            ActionStmt::Delete { var } => {
+                let mut seen = HashSet::new();
+                for row in bindings {
+                    let oid = bound_oid(row, var)?;
+                    if seen.insert(oid) && store.contains(oid) {
+                        muts.push(store.delete(oid)?);
+                    }
+                }
+            }
+            ActionStmt::Specialize { var, target } => {
+                let tid = schema.class_by_name(target)?;
+                let mut seen = HashSet::new();
+                for row in bindings {
+                    let oid = bound_oid(row, var)?;
+                    if seen.insert(oid) && store.contains(oid) {
+                        muts.push(store.specialize(schema, oid, tid)?);
+                    }
+                }
+            }
+            ActionStmt::Generalize { var, target } => {
+                let tid = schema.class_by_name(target)?;
+                let mut seen = HashSet::new();
+                for row in bindings {
+                    let oid = bound_oid(row, var)?;
+                    if seen.insert(oid) && store.contains(oid) {
+                        muts.push(store.generalize(schema, oid, tid)?);
+                    }
+                }
+            }
+        }
+    }
+    Ok(muts)
+}
+
+fn bound_oid(row: &Binding, var: &str) -> Result<Oid> {
+    match row.get(var) {
+        Some(Value::Ref(oid)) => Ok(*oid),
+        Some(_) => Err(ExecError::BadTerm(format!(
+            "`{var}` is not an object reference"
+        ))),
+        None => Err(ExecError::UnboundVariable(var.to_owned())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_model::{AttrDef, AttrType, MutationKind, SchemaBuilder};
+    use chimera_rules::condition::Term;
+
+    fn setup() -> (Schema, ObjectStore) {
+        let mut b = SchemaBuilder::new();
+        b.class(
+            "stock",
+            None,
+            vec![
+                AttrDef::new("quantity", AttrType::Integer),
+                AttrDef::with_default("max_quantity", AttrType::Integer, Value::Int(100)),
+            ],
+        )
+        .unwrap();
+        b.class("perishable", Some("stock"), vec![]).unwrap();
+        let mut store = ObjectStore::new();
+        store.begin().unwrap();
+        (b.build(), store)
+    }
+
+    fn bind(oid: Oid) -> Binding {
+        let mut b = Binding::new();
+        b.insert("S".into(), Value::Ref(oid));
+        b
+    }
+
+    /// The paper's checkStockQty action: set quantity to max_quantity.
+    #[test]
+    fn modify_per_binding() {
+        let (schema, mut store) = setup();
+        let stock = schema.class_by_name("stock").unwrap();
+        let q = schema.attr_by_name(stock, "quantity").unwrap();
+        let a = store.create(&schema, stock, &[(q, Value::Int(200))]).unwrap();
+        let b = store.create(&schema, stock, &[(q, Value::Int(300))]).unwrap();
+        let actions = vec![ActionStmt::Modify {
+            var: "S".into(),
+            attr: "quantity".into(),
+            value: Term::attr("S", "max_quantity"),
+        }];
+        let bindings = vec![bind(a.oid), bind(b.oid)];
+        let muts = execute_actions(&actions, &bindings, &schema, &mut store).unwrap();
+        assert_eq!(muts.len(), 2);
+        assert!(muts.iter().all(|m| m.kind == MutationKind::Modify(q)));
+        assert_eq!(store.read_attr(a.oid, q).unwrap(), &Value::Int(100));
+        assert_eq!(store.read_attr(b.oid, q).unwrap(), &Value::Int(100));
+    }
+
+    #[test]
+    fn create_runs_once_per_tuple() {
+        let (schema, mut store) = setup();
+        let stock = schema.class_by_name("stock").unwrap();
+        let a = store.create(&schema, stock, &[]).unwrap();
+        let b = store.create(&schema, stock, &[]).unwrap();
+        let actions = vec![ActionStmt::Create {
+            class: "stock".into(),
+            inits: vec![("quantity".into(), Term::int(1))],
+        }];
+        let muts =
+            execute_actions(&actions, &[bind(a.oid), bind(b.oid)], &schema, &mut store).unwrap();
+        assert_eq!(muts.len(), 2);
+        assert_eq!(store.extent(stock).count(), 4);
+    }
+
+    #[test]
+    fn delete_deduplicates_oids() {
+        let (schema, mut store) = setup();
+        let stock = schema.class_by_name("stock").unwrap();
+        let a = store.create(&schema, stock, &[]).unwrap();
+        // same object bound twice (join duplicates)
+        let actions = vec![ActionStmt::Delete { var: "S".into() }];
+        let muts =
+            execute_actions(&actions, &[bind(a.oid), bind(a.oid)], &schema, &mut store).unwrap();
+        assert_eq!(muts.len(), 1);
+        assert!(!store.contains(a.oid));
+    }
+
+    #[test]
+    fn migrations() {
+        let (schema, mut store) = setup();
+        let stock = schema.class_by_name("stock").unwrap();
+        let perishable = schema.class_by_name("perishable").unwrap();
+        let a = store.create(&schema, stock, &[]).unwrap();
+        let down = vec![ActionStmt::Specialize {
+            var: "S".into(),
+            target: "perishable".into(),
+        }];
+        let muts = execute_actions(&down, &[bind(a.oid)], &schema, &mut store).unwrap();
+        assert_eq!(muts[0].kind, MutationKind::Specialize);
+        assert_eq!(store.get(a.oid).unwrap().class, perishable);
+        let up = vec![ActionStmt::Generalize {
+            var: "S".into(),
+            target: "stock".into(),
+        }];
+        let muts = execute_actions(&up, &[bind(a.oid)], &schema, &mut store).unwrap();
+        assert_eq!(muts[0].kind, MutationKind::Generalize);
+        assert_eq!(store.get(a.oid).unwrap().class, stock);
+    }
+
+    #[test]
+    fn modify_after_delete_skips_gone_objects() {
+        let (schema, mut store) = setup();
+        let stock = schema.class_by_name("stock").unwrap();
+        let a = store.create(&schema, stock, &[]).unwrap();
+        let actions = vec![
+            ActionStmt::Delete { var: "S".into() },
+            ActionStmt::Modify {
+                var: "S".into(),
+                attr: "quantity".into(),
+                value: Term::int(1),
+            },
+        ];
+        let muts = execute_actions(&actions, &[bind(a.oid)], &schema, &mut store).unwrap();
+        assert_eq!(muts.len(), 1, "modify on deleted object silently skipped");
+    }
+
+    #[test]
+    fn no_bindings_means_no_effects() {
+        let (schema, mut store) = setup();
+        let actions = vec![ActionStmt::Create {
+            class: "stock".into(),
+            inits: vec![],
+        }];
+        let muts = execute_actions(&actions, &[], &schema, &mut store).unwrap();
+        assert!(muts.is_empty());
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let (schema, mut store) = setup();
+        let actions = vec![ActionStmt::Delete { var: "Z".into() }];
+        let err = execute_actions(&actions, &[Binding::new()], &schema, &mut store).unwrap_err();
+        assert!(matches!(err, ExecError::UnboundVariable(_)));
+        let mut row = Binding::new();
+        row.insert("Z".into(), Value::Int(1));
+        let err = execute_actions(&actions, &[row], &schema, &mut store).unwrap_err();
+        assert!(matches!(err, ExecError::BadTerm(_)));
+    }
+}

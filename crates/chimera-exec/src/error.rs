@@ -1,0 +1,92 @@
+//! Engine errors.
+
+use chimera_calculus::CalculusError;
+use chimera_model::ModelError;
+use chimera_rules::table::RuleError;
+use std::fmt;
+
+/// Errors raised by the execution engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Data-model error (store/schema).
+    Model(ModelError),
+    /// Rule-table error.
+    Rule(RuleError),
+    /// Event-calculus error (ill-formed formula expressions).
+    Calculus(CalculusError),
+    /// A condition/action referenced an undeclared variable.
+    UnboundVariable(String),
+    /// A condition declared the same variable twice.
+    DuplicateVariable(String),
+    /// An event formula bound a variable that has no class declaration.
+    UndeclaredFormulaVariable(String),
+    /// A term could not be evaluated (type error, arithmetic on
+    /// non-numeric values, attribute access on a non-object).
+    BadTerm(String),
+    /// Rule processing exceeded the configured step limit (probable
+    /// non-terminating rule cascade).
+    RuleLimitExceeded {
+        /// Configured limit.
+        limit: usize,
+    },
+    /// Operation requires an active transaction.
+    NoActiveTransaction,
+    /// A transaction is already active.
+    TransactionActive,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Model(e) => write!(f, "model error: {e}"),
+            ExecError::Rule(e) => write!(f, "rule error: {e}"),
+            ExecError::Calculus(e) => write!(f, "calculus error: {e}"),
+            ExecError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
+            ExecError::DuplicateVariable(v) => write!(f, "duplicate variable `{v}`"),
+            ExecError::UndeclaredFormulaVariable(v) => {
+                write!(f, "event formula binds undeclared variable `{v}`")
+            }
+            ExecError::BadTerm(msg) => write!(f, "bad term: {msg}"),
+            ExecError::RuleLimitExceeded { limit } => {
+                write!(f, "rule processing exceeded {limit} steps (cascade loop?)")
+            }
+            ExecError::NoActiveTransaction => write!(f, "no active transaction"),
+            ExecError::TransactionActive => write!(f, "a transaction is already active"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ModelError> for ExecError {
+    fn from(e: ModelError) -> Self {
+        ExecError::Model(e)
+    }
+}
+impl From<RuleError> for ExecError {
+    fn from(e: RuleError) -> Self {
+        ExecError::Rule(e)
+    }
+}
+impl From<CalculusError> for ExecError {
+    fn from(e: CalculusError) -> Self {
+        ExecError::Calculus(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_froms() {
+        let e: ExecError = ModelError::UnknownClass("x".into()).into();
+        assert!(e.to_string().contains("model error"));
+        let e: ExecError = CalculusError::NegationInAt.into();
+        assert!(e.to_string().contains("calculus error"));
+        assert!(ExecError::RuleLimitExceeded { limit: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(ExecError::UnboundVariable("S".into()).to_string().contains("`S`"));
+    }
+}

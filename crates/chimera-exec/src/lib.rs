@@ -1,0 +1,38 @@
+//! # chimera-exec
+//!
+//! The Chimera execution engine, following the §5 architecture:
+//!
+//! * the **Block Executor** executes non-interruptible blocks — user
+//!   transaction lines and rule actions — against the object store;
+//! * the **Event Handler** turns the resulting store mutations into event
+//!   occurrences and appends them to the Event Base;
+//! * the **Trigger Support** (from `chimera-rules`) then determines newly
+//!   triggered rules; the engine picks the highest-priority triggered rule,
+//!   *considers* it (evaluates its condition over the consumption window)
+//!   and, if the condition yields bindings, executes its action as a new
+//!   block — repeating until no immediate rule is triggered;
+//! * `commit` first drains deferred (and any re-triggered immediate) rules,
+//!   then commits the store; `rollback` undoes everything.
+//!
+//! Condition evaluation ([`formula`]) is set-oriented: event formulas
+//! (`occurred`, `at`) bind objects/instants from the event calculus, class
+//! variables range over extents, and comparison predicates filter the
+//! binding tuples. Actions ([`action_exec`]) run once over all tuples.
+//!
+//! [`neteffect`] implements the §3.3 footnote: the `holds` predicate of
+//! old Chimera is subsumed by the calculus, e.g. net creation is
+//! `create(C) += -=(delete(C))`.
+
+pub mod action_exec;
+pub mod engine;
+pub mod error;
+pub mod formula;
+pub mod neteffect;
+
+pub use engine::{Engine, EngineConfig, EngineStats, Op};
+pub use error::ExecError;
+pub use formula::{evaluate_condition, Binding};
+pub use neteffect::{net_created, net_deleted, net_modified};
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, ExecError>;

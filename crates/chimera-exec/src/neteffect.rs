@@ -1,0 +1,122 @@
+//! Net-effect derivation (§3.3 footnote).
+//!
+//! Old Chimera offered a `holds` predicate composing event types to
+//! compute net effects. The paper notes it is subsumed by the calculus:
+//! "net effect for the creation operation in presence of sequences of
+//! modifications and deletions is given by the event formula
+//! `create(C) += ( -=(delete(C)) )` …" — i.e. the instance-oriented
+//! conjunction of the creation with the *absence* of a deletion on the
+//! same object. These helpers spell out the three classic net effects.
+
+use chimera_calculus::{occurred_objects, EventExpr};
+use chimera_events::{EventBase, EventKind, EventType, Window};
+use chimera_model::{AttrId, ClassId, Oid};
+
+/// Objects *net-created* in the window: created and not subsequently
+/// deleted — `create(C) += -=(delete(C))`.
+pub fn net_created(eb: &EventBase, w: Window, class: ClassId) -> Vec<Oid> {
+    let expr = EventExpr::prim(EventType::create(class))
+        .iand(EventExpr::prim(EventType::delete(class)).inot());
+    occurred_objects(&expr, eb, w).expect("well-formed net-effect expression")
+}
+
+/// Objects *net-deleted* in the window: deleted but **not** created inside
+/// the window (a create+delete pair cancels out) —
+/// `delete(C) += -=(create(C))`.
+pub fn net_deleted(eb: &EventBase, w: Window, class: ClassId) -> Vec<Oid> {
+    let expr = EventExpr::prim(EventType::delete(class))
+        .iand(EventExpr::prim(EventType::create(class)).inot());
+    occurred_objects(&expr, eb, w).expect("well-formed net-effect expression")
+}
+
+/// Objects *net-modified* on `attr` in the window: modified, still alive
+/// (no later delete) and not net-created (a modify folded into a creation
+/// is part of the create's net effect) —
+/// `modify(C.a) += -=(delete(C)) += -=(create(C))`.
+pub fn net_modified(eb: &EventBase, w: Window, class: ClassId, attr: AttrId) -> Vec<Oid> {
+    let expr = EventExpr::prim(EventType::modify(class, attr))
+        .iand(EventExpr::prim(EventType::delete(class)).inot())
+        .iand(EventExpr::prim(EventType::create(class)).inot());
+    occurred_objects(&expr, eb, w).expect("well-formed net-effect expression")
+}
+
+/// Does the event type denote an operation on `class`? Convenience used by
+/// engine-level filtering.
+pub fn on_class(ty: EventType, class: ClassId) -> bool {
+    ty.class == class
+}
+
+/// Is the event kind a structural (create/delete/migration) operation?
+pub fn is_structural(kind: EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::Create | EventKind::Delete | EventKind::Generalize | EventKind::Specialize
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: ClassId = ClassId(0);
+    const A: AttrId = AttrId(0);
+
+    #[test]
+    fn create_then_delete_cancels() {
+        let mut eb = EventBase::new();
+        eb.append(EventType::create(C), Oid(1));
+        eb.append(EventType::delete(C), Oid(1));
+        eb.append(EventType::create(C), Oid(2));
+        let w = Window::from_origin(eb.now());
+        assert_eq!(net_created(&eb, w, C), vec![Oid(2)]);
+        assert!(net_deleted(&eb, w, C).is_empty());
+    }
+
+    #[test]
+    fn delete_of_preexisting_object_is_net_deleted() {
+        let mut eb = EventBase::new();
+        eb.append(EventType::delete(C), Oid(9));
+        let w = Window::from_origin(eb.now());
+        assert_eq!(net_deleted(&eb, w, C), vec![Oid(9)]);
+        assert!(net_created(&eb, w, C).is_empty());
+    }
+
+    #[test]
+    fn create_modify_sequence_is_net_create_only() {
+        let mut eb = EventBase::new();
+        eb.append(EventType::create(C), Oid(1));
+        eb.append(EventType::modify(C, A), Oid(1));
+        let w = Window::from_origin(eb.now());
+        assert_eq!(net_created(&eb, w, C), vec![Oid(1)]);
+        // modification folded into the creation
+        assert!(net_modified(&eb, w, C, A).is_empty());
+    }
+
+    #[test]
+    fn plain_modification_is_net_modified() {
+        let mut eb = EventBase::new();
+        eb.append(EventType::modify(C, A), Oid(3));
+        let w = Window::from_origin(eb.now());
+        assert_eq!(net_modified(&eb, w, C, A), vec![Oid(3)]);
+    }
+
+    #[test]
+    fn modify_then_delete_is_net_delete_only() {
+        let mut eb = EventBase::new();
+        eb.append(EventType::modify(C, A), Oid(3));
+        eb.append(EventType::delete(C), Oid(3));
+        let w = Window::from_origin(eb.now());
+        assert!(net_modified(&eb, w, C, A).is_empty());
+        assert_eq!(net_deleted(&eb, w, C), vec![Oid(3)]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert!(on_class(EventType::create(C), C));
+        assert!(!on_class(EventType::create(ClassId(1)), C));
+        assert!(is_structural(EventKind::Create));
+        assert!(is_structural(EventKind::Generalize));
+        assert!(!is_structural(EventKind::Modify(A)));
+        assert!(!is_structural(EventKind::Select));
+    }
+}

@@ -1,0 +1,181 @@
+//! Surface AST for programs: class declarations, trigger declarations and
+//! transaction scripts.
+//!
+//! Class and trigger declarations stay in *name* form here (classes and
+//! attributes as strings); the facade interpreter resolves them against a
+//! schema when it loads a program into an engine. Trigger event
+//! expressions, conditions and actions are parsed directly into the
+//! `chimera-calculus` / `chimera-rules` ASTs — resolution of event-type
+//! names happens at parse time against the schema built so far, so the
+//! parser is handed a schema-building context by the interpreter.
+
+use chimera_model::Value;
+use chimera_rules::condition::Term;
+use chimera_rules::{ActionStmt, Condition, ConsumptionMode, CouplingMode};
+use chimera_calculus::EventExpr;
+
+/// One attribute in a class declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrSpec {
+    /// Attribute name.
+    pub name: String,
+    /// Type name: `integer | float | string | boolean | time | object`.
+    pub ty: String,
+    /// Optional default literal.
+    pub default: Option<Value>,
+}
+
+/// `define class NAME [extends SUPER] attributes ... end`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Optional superclass.
+    pub superclass: Option<String>,
+    /// Declared attributes.
+    pub attrs: Vec<AttrSpec>,
+}
+
+/// `define [immediate|deferred] [consuming|preserving] trigger NAME
+/// [for CLASS] events ... [condition ...] [actions ...] [priority N] end`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerDecl {
+    /// Trigger name.
+    pub name: String,
+    /// Target class name, if targeted.
+    pub target: Option<String>,
+    /// Parsed event expression.
+    pub events: EventExpr,
+    /// Parsed condition.
+    pub condition: Condition,
+    /// Parsed actions.
+    pub actions: Vec<ActionStmt>,
+    /// Coupling mode.
+    pub coupling: CouplingMode,
+    /// Consumption mode.
+    pub consumption: ConsumptionMode,
+    /// Priority.
+    pub priority: i32,
+}
+
+/// One transaction-script statement. Each statement is a
+/// non-interruptible block on its own, except [`ScriptStmt::Block`] which
+/// groups several operations into one block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptStmt {
+    /// `begin;`
+    Begin,
+    /// `commit;`
+    Commit,
+    /// `rollback;`
+    Rollback,
+    /// `[let x =] create CLASS(attr: term, ...);`
+    Create {
+        /// Script variable receiving the new OID, if any.
+        binding: Option<String>,
+        /// Class name.
+        class: String,
+        /// Attribute initializers.
+        inits: Vec<(String, Term)>,
+    },
+    /// `modify VAR.attr = term;`
+    Modify {
+        /// Script variable holding the object.
+        var: String,
+        /// Attribute name.
+        attr: String,
+        /// New value.
+        value: Term,
+    },
+    /// `delete VAR;`
+    Delete {
+        /// Script variable holding the object.
+        var: String,
+    },
+    /// `specialize VAR to CLASS;`
+    Specialize {
+        /// Script variable holding the object.
+        var: String,
+        /// Target class name.
+        target: String,
+    },
+    /// `generalize VAR to CLASS;`
+    Generalize {
+        /// Script variable holding the object.
+        var: String,
+        /// Target class name.
+        target: String,
+    },
+    /// `select CLASS;`
+    Select {
+        /// Queried class name.
+        class: String,
+    },
+    /// `raise CLASS#N;` — deliver an external event occurrence (clock or
+    /// application event) on the class's channel `N`, as its own block.
+    Raise {
+        /// Channel-namespace class name.
+        class: String,
+        /// Channel number.
+        channel: u32,
+    },
+    /// `{ stmt* }` — several operations in one non-interruptible block.
+    Block(Vec<ScriptStmt>),
+}
+
+/// Top-level program item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A class declaration.
+    Class(ClassDecl),
+    /// A trigger declaration.
+    Trigger(TriggerDecl),
+    /// A script statement.
+    Stmt(ScriptStmt),
+}
+
+/// A full program: items in source order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Items in order.
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// All class declarations, in order.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Class(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// All trigger declarations, in order.
+    pub fn triggers(&self) -> impl Iterator<Item = &TriggerDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Trigger(t) => Some(t),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_accessors() {
+        let p = Program {
+            items: vec![
+                Item::Class(ClassDecl {
+                    name: "stock".into(),
+                    superclass: None,
+                    attrs: vec![],
+                }),
+                Item::Stmt(ScriptStmt::Begin),
+            ],
+        };
+        assert_eq!(p.classes().count(), 1);
+        assert_eq!(p.triggers().count(), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Parse errors with positions.
+
+use crate::token::Span;
+use std::fmt;
+
+/// A lexing or parsing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message ("expected X, found Y").
+    pub message: String,
+    /// Where it happened.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// New error at a span.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(
+            "expected `end`",
+            Span {
+                start: 0,
+                end: 1,
+                line: 2,
+                col: 5,
+            },
+        );
+        assert_eq!(e.to_string(), "parse error at 2:5: expected `end`");
+    }
+}

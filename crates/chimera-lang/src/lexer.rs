@@ -1,0 +1,385 @@
+//! Lexer.
+//!
+//! The only delicate part is the two-character operator family of Fig. 1:
+//! `,=` `+=` `-=` `<=` must win over their one-character prefixes, so the
+//! lexer always takes the longest match. `--` starts a line comment (as in
+//! the paper's rule listings).
+
+use crate::error::ParseError;
+use crate::token::{Span, Token, TokenKind};
+use crate::Result;
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+    fn span_from(&self, start: usize, line: u32, col: u32) -> Span {
+        Span {
+            start,
+            end: self.pos,
+            line,
+            col,
+        }
+    }
+}
+
+/// Tokenize a source string. The result always ends with an `Eof` token.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut c = Cursor {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        // skip whitespace and comments
+        loop {
+            match c.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    c.bump();
+                }
+                Some(b'-') if c.peek2() == Some(b'-') => {
+                    while let Some(b) = c.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        c.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let (start, line, col) = (c.pos, c.line, c.col);
+        let Some(b) = c.peek() else {
+            out.push(Token {
+                kind: TokenKind::Eof,
+                span: c.span_from(start, line, col),
+            });
+            return Ok(out);
+        };
+        let kind = match b {
+            b'(' => {
+                c.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                c.bump();
+                TokenKind::RParen
+            }
+            b'{' => {
+                c.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                c.bump();
+                TokenKind::RBrace
+            }
+            b'.' => {
+                c.bump();
+                TokenKind::Dot
+            }
+            b':' => {
+                c.bump();
+                TokenKind::Colon
+            }
+            b';' => {
+                c.bump();
+                TokenKind::Semi
+            }
+            b'*' => {
+                c.bump();
+                TokenKind::Star
+            }
+            b'#' => {
+                c.bump();
+                TokenKind::Hash
+            }
+            b',' => {
+                c.bump();
+                if c.peek() == Some(b'=') {
+                    c.bump();
+                    TokenKind::CommaEq
+                } else {
+                    TokenKind::Comma
+                }
+            }
+            b'+' => {
+                c.bump();
+                if c.peek() == Some(b'=') {
+                    c.bump();
+                    TokenKind::PlusEq
+                } else {
+                    TokenKind::Plus
+                }
+            }
+            b'-' => {
+                c.bump();
+                if c.peek() == Some(b'=') {
+                    c.bump();
+                    TokenKind::MinusEq
+                } else {
+                    TokenKind::Minus
+                }
+            }
+            b'<' => {
+                c.bump();
+                if c.peek() == Some(b'=') {
+                    c.bump();
+                    TokenKind::LtEq
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                c.bump();
+                if c.peek() == Some(b'=') {
+                    c.bump();
+                    TokenKind::GtEq
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'=' => {
+                c.bump();
+                TokenKind::Eq
+            }
+            b'!' => {
+                c.bump();
+                if c.peek() == Some(b'=') {
+                    c.bump();
+                    TokenKind::NotEq
+                } else {
+                    return Err(ParseError::new(
+                        "unexpected `!` (did you mean `!=`?)",
+                        c.span_from(start, line, col),
+                    ));
+                }
+            }
+            b'"' => {
+                c.bump();
+                let mut s = String::new();
+                loop {
+                    match c.bump() {
+                        Some(b'"') => break,
+                        Some(b'\\') => match c.bump() {
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            _ => {
+                                return Err(ParseError::new(
+                                    "bad escape sequence",
+                                    c.span_from(start, line, col),
+                                ))
+                            }
+                        },
+                        Some(other) => s.push(other as char),
+                        None => {
+                            return Err(ParseError::new(
+                                "unterminated string literal",
+                                c.span_from(start, line, col),
+                            ))
+                        }
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            b'0'..=b'9' => {
+                while matches!(c.peek(), Some(b'0'..=b'9')) {
+                    c.bump();
+                }
+                let mut is_float = false;
+                if c.peek() == Some(b'.') && matches!(c.peek2(), Some(b'0'..=b'9')) {
+                    is_float = true;
+                    c.bump();
+                    while matches!(c.peek(), Some(b'0'..=b'9')) {
+                        c.bump();
+                    }
+                }
+                let text = &c.src[start..c.pos];
+                if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        ParseError::new("bad float literal", c.span_from(start, line, col))
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        ParseError::new("integer literal out of range", c.span_from(start, line, col))
+                    })?)
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                while matches!(c.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+                    c.bump();
+                }
+                TokenKind::Ident(c.src[start..c.pos].to_owned())
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{}`", other as char),
+                    c.span_from(start, line, col),
+                ))
+            }
+        };
+        out.push(Token {
+            kind,
+            span: c.span_from(start, line, col),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            kinds("a , b ,= c + d += e - f -= g < h <= i"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("b".into()),
+                TokenKind::CommaEq,
+                TokenKind::Ident("c".into()),
+                TokenKind::Plus,
+                TokenKind::Ident("d".into()),
+                TokenKind::PlusEq,
+                TokenKind::Ident("e".into()),
+                TokenKind::Minus,
+                TokenKind::Ident("f".into()),
+                TokenKind::MinusEq,
+                TokenKind::Ident("g".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("h".into()),
+                TokenKind::LtEq,
+                TokenKind::Ident("i".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            kinds(r#"42 3.25 "hi\n""#),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.25),
+                TokenKind::Str("hi\n".into()),
+                TokenKind::Eof
+            ]
+        );
+        // `1.x` is int, dot, ident (attribute access on numbers never
+        // happens, but `o1.quantity`-style splits matter)
+        assert_eq!(
+            kinds("1.x"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a -- comment , += junk\nb"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_tokens() {
+        assert_eq!(
+            kinds("= != >= > ;"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::GtEq,
+                TokenKind::Gt,
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[0].span.col, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("\"bad \\q escape\"").is_err());
+    }
+
+    #[test]
+    fn hash_lexes_for_external_channels() {
+        assert_eq!(
+            kinds("stock#3"),
+            vec![
+                TokenKind::Ident("stock".into()),
+                TokenKind::Hash,
+                TokenKind::Int(3),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_minus_is_comment_not_operator() {
+        // `a --b` comments out; `a - -b` is two minuses
+        assert_eq!(kinds("a --b"), vec![TokenKind::Ident("a".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("a - - b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Minus,
+                TokenKind::Minus,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # chimera-lang
+//!
+//! A concrete syntax for Chimera with the paper's composite-event
+//! operators, close to the examples in §2–§3:
+//!
+//! ```text
+//! define class stock
+//!   attributes quantity: integer,
+//!              max_quantity: integer default 100
+//! end
+//!
+//! define immediate trigger checkStockQty for stock
+//!   events   create ,= modify(quantity)
+//!   condition stock(S), occurred(create, S),
+//!             S.quantity > S.max_quantity
+//!   actions  modify(S.quantity, S.max_quantity)
+//! end
+//! ```
+//!
+//! Event expressions use the Fig. 1 operator symbols — set-oriented
+//! `,` `+` `-` `<` and instance-oriented `,=` `+=` `-=` `<=` — with the
+//! paper's priorities (instance over set; negation over conjunction/
+//! precedence over disjunction). Transaction scripts (`begin`, `let x =
+//! create …`, `modify x.attr = …`, `{ … }` blocks, `commit`) drive the
+//! engine through the facade crate's interpreter.
+//!
+//! The crate provides a lexer with positions, a recursive-descent parser
+//! producing `chimera-rules`/`chimera-calculus` ASTs, and a pretty-printer
+//! whose output round-trips through the parser (property-tested).
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use ast::{AttrSpec, ClassDecl, Item, Program, ScriptStmt, TriggerDecl};
+pub use error::ParseError;
+pub use lexer::lex;
+pub use parser::{parse_event_expr, parse_program, Parser};
+pub use pretty::{print_class, print_event_expr, print_trigger};
+pub use token::{Span, Token, TokenKind};
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, ParseError>;

@@ -1,0 +1,1165 @@
+//! Recursive-descent parser.
+//!
+//! Event expressions follow the Fig. 1 priorities exactly:
+//!
+//! ```text
+//! disj  := conj (',' conj)*              -- set disjunction (loosest)
+//! conj  := neg (('+' | '<') neg)*        -- set conjunction / precedence
+//! neg   := '-' neg | idisj               -- set negation
+//! idisj := iconj (',=' iconj)*           -- instance disjunction
+//! iconj := ineg (('+=' | '<=') ineg)*    -- instance conjunction / prec.
+//! ineg  := '-=' ineg | atom              -- instance negation
+//! atom  := '(' disj ')' | event_atom
+//! ```
+//!
+//! Inside the `occurred`/`at` event formulas only the instance-oriented
+//! fragment is accepted (§3.3), which also disambiguates the bare `,`
+//! separating formula arguments from the set-disjunction operator.
+//!
+//! Event atoms resolve against the schema built so far; inside a rule
+//! `for CLASS`, bare atoms (`create`, `modify(quantity)`) default to the
+//! target class, otherwise the class-qualified forms (`create(stock)`,
+//! `modify(stock.quantity)`) are required.
+
+use crate::ast::{AttrSpec, ClassDecl, Item, Program, ScriptStmt, TriggerDecl};
+use crate::error::ParseError;
+use crate::lexer::lex;
+use crate::token::{Span, Token, TokenKind};
+use crate::Result;
+use chimera_calculus::EventExpr;
+use chimera_events::EventType;
+use chimera_model::{AttrDef, AttrType, ClassId, Schema, SchemaBuilder, Value};
+use chimera_rules::condition::{CmpOp, Condition, Formula, Term, VarDecl};
+use chimera_rules::{ActionStmt, ConsumptionMode, CouplingMode};
+
+/// The parser. Tracks a growing schema so trigger declarations can
+/// resolve event-type names against earlier class declarations.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    builder: SchemaBuilder,
+}
+
+/// Parse a whole program; returns the AST and the schema implied by its
+/// class declarations.
+pub fn parse_program(src: &str) -> Result<(Program, Schema)> {
+    let mut p = Parser::new(src)?;
+    let prog = p.program()?;
+    Ok((prog, p.builder.build()))
+}
+
+/// Parse a standalone event expression against an existing schema
+/// (`target` supplies the class for bare atoms).
+pub fn parse_event_expr(src: &str, schema: &Schema, target: Option<ClassId>) -> Result<EventExpr> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        builder: SchemaBuilder::new(),
+    };
+    let expr = p.event_disj_with(schema, target)?;
+    p.expect_eof()?;
+    Ok(expr)
+}
+
+impl Parser {
+    /// New parser over a source string.
+    pub fn new(src: &str) -> Result<Self> {
+        Ok(Parser {
+            tokens: lex(src)?,
+            pos: 0,
+            builder: SchemaBuilder::new(),
+        })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+    fn expect(&mut self, kind: TokenKind) -> Result<()> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {}", self.peek())))
+        }
+    }
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected {}", self.peek())))
+        }
+    }
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.span())
+    }
+
+    // ------------------------------------------------------ program level
+
+    /// `program := item*`
+    pub fn program(&mut self) -> Result<Program> {
+        let mut items = Vec::new();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> Result<Item> {
+        if self.peek().is_kw("define") {
+            self.bump();
+            // define class … | define [modes] trigger …
+            if self.peek().is_kw("class") {
+                self.bump();
+                Ok(Item::Class(self.class_decl()?))
+            } else {
+                Ok(Item::Trigger(self.trigger_decl()?))
+            }
+        } else {
+            Ok(Item::Stmt(self.script_stmt()?))
+        }
+    }
+
+    // ---------------------------------------------------------- class decl
+
+    fn class_decl(&mut self) -> Result<ClassDecl> {
+        let name = self.ident()?;
+        let superclass = if self.eat_kw("extends") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let mut attrs = Vec::new();
+        if self.eat_kw("attributes") {
+            loop {
+                let aname = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.ident()?;
+                let default = if self.eat_kw("default") {
+                    Some(self.value_literal()?)
+                } else {
+                    None
+                };
+                attrs.push(AttrSpec {
+                    name: aname,
+                    ty,
+                    default,
+                });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("end")?;
+        let decl = ClassDecl {
+            name,
+            superclass,
+            attrs,
+        };
+        self.feed_class(&decl)?;
+        Ok(decl)
+    }
+
+    /// Register a parsed class with the internal schema builder.
+    fn feed_class(&mut self, decl: &ClassDecl) -> Result<()> {
+        let mut defs = Vec::with_capacity(decl.attrs.len());
+        for a in &decl.attrs {
+            let ty = attr_type_by_name(&a.ty)
+                .ok_or_else(|| self.err(format!("unknown attribute type `{}`", a.ty)))?;
+            let def = match &a.default {
+                Some(v) => AttrDef::with_default(&a.name, ty, v.clone()),
+                None => AttrDef::new(&a.name, ty),
+            };
+            defs.push(def);
+        }
+        self.builder
+            .class(&decl.name, decl.superclass.as_deref(), defs)
+            .map_err(|e| self.err(e.to_string()))?;
+        Ok(())
+    }
+
+    fn value_literal(&mut self) -> Result<Value> {
+        match self.bump() {
+            TokenKind::Int(v) => Ok(Value::Int(v)),
+            TokenKind::Float(v) => Ok(Value::Float(v)),
+            TokenKind::Str(s) => Ok(Value::Str(s)),
+            TokenKind::Minus => match self.bump() {
+                TokenKind::Int(v) => Ok(Value::Int(-v)),
+                TokenKind::Float(v) => Ok(Value::Float(-v)),
+                other => Err(self.err(format!("expected number after `-`, found {other}"))),
+            },
+            TokenKind::Ident(s) if s == "true" => Ok(Value::Bool(true)),
+            TokenKind::Ident(s) if s == "false" => Ok(Value::Bool(false)),
+            TokenKind::Ident(s) if s == "null" => Ok(Value::Null),
+            other => Err(self.err(format!("expected literal, found {other}"))),
+        }
+    }
+
+    // -------------------------------------------------------- trigger decl
+
+    fn trigger_decl(&mut self) -> Result<TriggerDecl> {
+        let mut coupling = CouplingMode::Immediate;
+        let mut consumption = ConsumptionMode::Consuming;
+        loop {
+            if self.eat_kw("immediate") {
+                coupling = CouplingMode::Immediate;
+            } else if self.eat_kw("deferred") {
+                coupling = CouplingMode::Deferred;
+            } else if self.eat_kw("consuming") {
+                consumption = ConsumptionMode::Consuming;
+            } else if self.eat_kw("preserving") {
+                consumption = ConsumptionMode::Preserving;
+            } else {
+                break;
+            }
+        }
+        self.expect_kw("trigger")?;
+        let name = self.ident()?;
+        let target_name = if self.eat_kw("for") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let target = match &target_name {
+            Some(n) => Some(
+                self.builder
+                    .current()
+                    .class_by_name(n)
+                    .map_err(|e| self.err(e.to_string()))?,
+            ),
+            None => None,
+        };
+        self.expect_kw("events")?;
+        let schema = self.builder.current().clone();
+        let events = self.event_disj_with(&schema, target)?;
+        let condition = if self.eat_kw("condition") {
+            self.condition(&schema, target)?
+        } else {
+            Condition::always()
+        };
+        let actions = if self.eat_kw("actions") || self.eat_kw("action") {
+            self.actions()?
+        } else {
+            Vec::new()
+        };
+        let priority = if self.eat_kw("priority") {
+            match self.bump() {
+                TokenKind::Int(v) => v as i32,
+                TokenKind::Minus => match self.bump() {
+                    TokenKind::Int(v) => -(v as i32),
+                    other => return Err(self.err(format!("expected integer, found {other}"))),
+                },
+                other => return Err(self.err(format!("expected integer, found {other}"))),
+            }
+        } else {
+            0
+        };
+        self.expect_kw("end")?;
+        events
+            .validate()
+            .map_err(|e| self.err(format!("invalid event expression: {e}")))?;
+        Ok(TriggerDecl {
+            name,
+            target: target_name,
+            events,
+            condition,
+            actions,
+            coupling,
+            consumption,
+            priority,
+        })
+    }
+
+    // ---------------------------------------------------- event expressions
+
+    fn event_disj_with(&mut self, schema: &Schema, target: Option<ClassId>) -> Result<EventExpr> {
+        let mut lhs = self.event_conj(schema, target)?;
+        while self.eat(&TokenKind::Comma) {
+            let rhs = self.event_conj(schema, target)?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn event_conj(&mut self, schema: &Schema, target: Option<ClassId>) -> Result<EventExpr> {
+        let mut lhs = self.event_neg(schema, target)?;
+        loop {
+            if self.eat(&TokenKind::Plus) {
+                let rhs = self.event_neg(schema, target)?;
+                lhs = lhs.and(rhs);
+            } else if self.eat(&TokenKind::Lt) {
+                let rhs = self.event_neg(schema, target)?;
+                lhs = lhs.prec(rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn event_neg(&mut self, schema: &Schema, target: Option<ClassId>) -> Result<EventExpr> {
+        if self.eat(&TokenKind::Minus) {
+            Ok(self.event_neg(schema, target)?.not())
+        } else {
+            self.event_idisj(schema, target)
+        }
+    }
+
+    fn event_idisj(&mut self, schema: &Schema, target: Option<ClassId>) -> Result<EventExpr> {
+        let mut lhs = self.event_iconj(schema, target)?;
+        while self.eat(&TokenKind::CommaEq) {
+            let rhs = self.event_iconj(schema, target)?;
+            lhs = lhs.ior(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn event_iconj(&mut self, schema: &Schema, target: Option<ClassId>) -> Result<EventExpr> {
+        let mut lhs = self.event_ineg(schema, target)?;
+        loop {
+            if self.eat(&TokenKind::PlusEq) {
+                let rhs = self.event_ineg(schema, target)?;
+                lhs = lhs.iand(rhs);
+            } else if self.eat(&TokenKind::LtEq) {
+                let rhs = self.event_ineg(schema, target)?;
+                lhs = lhs.iprec(rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn event_ineg(&mut self, schema: &Schema, target: Option<ClassId>) -> Result<EventExpr> {
+        if self.eat(&TokenKind::MinusEq) {
+            Ok(self.event_ineg(schema, target)?.inot())
+        } else {
+            self.event_atom(schema, target)
+        }
+    }
+
+    fn event_atom(&mut self, schema: &Schema, target: Option<ClassId>) -> Result<EventExpr> {
+        if self.eat(&TokenKind::LParen) {
+            let e = self.event_disj_with(schema, target)?;
+            self.expect(TokenKind::RParen)?;
+            return Ok(e);
+        }
+        let kw = self.ident()?;
+        let ty = self.event_type_tail(&kw, schema, target)?;
+        Ok(EventExpr::prim(ty))
+    }
+
+    /// Instance-oriented-only expression (for `occurred`/`at` arguments).
+    fn event_instance_expr(
+        &mut self,
+        schema: &Schema,
+        target: Option<ClassId>,
+    ) -> Result<EventExpr> {
+        let mut lhs = self.event_instance_conj(schema, target)?;
+        while self.eat(&TokenKind::CommaEq) {
+            let rhs = self.event_instance_conj(schema, target)?;
+            lhs = lhs.ior(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn event_instance_conj(
+        &mut self,
+        schema: &Schema,
+        target: Option<ClassId>,
+    ) -> Result<EventExpr> {
+        let mut lhs = self.event_instance_neg(schema, target)?;
+        loop {
+            if self.eat(&TokenKind::PlusEq) {
+                let rhs = self.event_instance_neg(schema, target)?;
+                lhs = lhs.iand(rhs);
+            } else if self.eat(&TokenKind::LtEq) {
+                let rhs = self.event_instance_neg(schema, target)?;
+                lhs = lhs.iprec(rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn event_instance_neg(
+        &mut self,
+        schema: &Schema,
+        target: Option<ClassId>,
+    ) -> Result<EventExpr> {
+        if self.eat(&TokenKind::MinusEq) {
+            Ok(self.event_instance_neg(schema, target)?.inot())
+        } else if self.eat(&TokenKind::LParen) {
+            let e = self.event_instance_expr(schema, target)?;
+            self.expect(TokenKind::RParen)?;
+            Ok(e)
+        } else {
+            let kw = self.ident()?;
+            Ok(EventExpr::prim(self.event_type_tail(&kw, schema, target)?))
+        }
+    }
+
+    /// After an event keyword: the optional `(class[.attr])` tail.
+    fn event_type_tail(
+        &mut self,
+        kw: &str,
+        schema: &Schema,
+        target: Option<ClassId>,
+    ) -> Result<EventType> {
+        let needs_attr = kw == "modify";
+        let make = |class: ClassId, attr: Option<&str>, p: &Self| -> Result<EventType> {
+            match kw {
+                "create" => Ok(EventType::create(class)),
+                "delete" => Ok(EventType::delete(class)),
+                "generalize" => Ok(EventType::generalize(class)),
+                "specialize" => Ok(EventType::specialize(class)),
+                "select" => Ok(EventType::select(class)),
+                "modify" => {
+                    let a = attr.ok_or_else(|| p.err("modify requires an attribute"))?;
+                    let aid = schema
+                        .attr_by_name(class, a)
+                        .map_err(|e| p.err(e.to_string()))?;
+                    Ok(EventType::modify(class, aid))
+                }
+                "external" => {
+                    Err(p.err("external events need a channel: `external(class#N)`"))
+                }
+                other => Err(p.err(format!("unknown event type `{other}`"))),
+            }
+        };
+        if self.eat(&TokenKind::LParen) {
+            let first = self.ident()?;
+            // disambiguate: `(class)`, `(class.attr)`, `(class#chan)`, or
+            // targeted `(attr)`
+            if self.eat(&TokenKind::Hash) {
+                if kw != "external" {
+                    return Err(self.err(format!("`#` is only valid in external events, not `{kw}`")));
+                }
+                let chan = match self.bump() {
+                    TokenKind::Int(v) if v >= 0 => v as u32,
+                    other => {
+                        return Err(self.err(format!("expected channel number, found {other}")))
+                    }
+                };
+                self.expect(TokenKind::RParen)?;
+                let class = schema
+                    .class_by_name(&first)
+                    .map_err(|e| self.err(e.to_string()))?;
+                return Ok(EventType::external(class, chan));
+            }
+            if self.eat(&TokenKind::Dot) {
+                let attr = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                let class = schema
+                    .class_by_name(&first)
+                    .map_err(|e| self.err(e.to_string()))?;
+                make(class, Some(&attr), self)
+            } else {
+                self.expect(TokenKind::RParen)?;
+                if needs_attr {
+                    // `modify(attr)` requires a target class
+                    let class = target.ok_or_else(|| {
+                        self.err("untargeted rule: write `modify(class.attr)`")
+                    })?;
+                    make(class, Some(&first), self)
+                } else if let Ok(class) = schema.class_by_name(&first) {
+                    make(class, None, self)
+                } else if let Some(tclass) = target {
+                    // not a class name: maybe a targeted attr by mistake
+                    let _ = tclass;
+                    Err(self.err(format!("unknown class `{first}`")))
+                } else {
+                    Err(self.err(format!("unknown class `{first}`")))
+                }
+            }
+        } else {
+            // bare atom: needs target class
+            let class = target.ok_or_else(|| {
+                self.err(format!("untargeted rule: write `{kw}(class)`"))
+            })?;
+            make(class, None, self)
+        }
+    }
+
+    // ----------------------------------------------------------- condition
+
+    fn condition(&mut self, schema: &Schema, target: Option<ClassId>) -> Result<Condition> {
+        let mut decls = Vec::new();
+        let mut formulas = Vec::new();
+        loop {
+            if self.peek().is_kw("occurred") {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let expr = self.event_instance_expr(schema, target)?;
+                self.expect(TokenKind::Comma)?;
+                let var = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                formulas.push(Formula::Occurred { expr, var });
+            } else if self.peek().is_kw("at") {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let expr = self.event_instance_expr(schema, target)?;
+                self.expect(TokenKind::Comma)?;
+                let var = self.ident()?;
+                self.expect(TokenKind::Comma)?;
+                let time_var = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                formulas.push(Formula::At {
+                    expr,
+                    var,
+                    time_var,
+                });
+            } else if matches!(self.peek(), TokenKind::Ident(_))
+                && matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::LParen))
+            {
+                // class(Var) declaration
+                let class = self.ident()?;
+                self.expect(TokenKind::LParen)?;
+                let var = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                decls.push(VarDecl { name: var, class });
+            } else {
+                // comparison: term op term
+                let lhs = self.term()?;
+                let op = self.cmp_op()?;
+                let rhs = self.term()?;
+                formulas.push(Formula::Compare { lhs, op, rhs });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Condition { decls, formulas })
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        let op = match self.peek() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::NotEq => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::LtEq => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::GtEq => CmpOp::Ge,
+            other => return Err(self.err(format!("expected comparison operator, found {other}"))),
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    // --------------------------------------------------------------- terms
+
+    /// `term := factor (('+'|'-') factor)*`
+    pub fn term(&mut self) -> Result<Term> {
+        let mut lhs = self.factor()?;
+        loop {
+            if self.eat(&TokenKind::Plus) {
+                lhs = Term::Add(Box::new(lhs), Box::new(self.factor()?));
+            } else if self.eat(&TokenKind::Minus) {
+                lhs = Term::Sub(Box::new(lhs), Box::new(self.factor()?));
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Term> {
+        let mut lhs = self.primary()?;
+        while self.eat(&TokenKind::Star) {
+            lhs = Term::Mul(Box::new(lhs), Box::new(self.primary()?));
+        }
+        Ok(lhs)
+    }
+
+    fn primary(&mut self) -> Result<Term> {
+        match self.peek().clone() {
+            TokenKind::LParen => {
+                self.bump();
+                let t = self.term()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(t)
+            }
+            TokenKind::Int(_)
+            | TokenKind::Float(_)
+            | TokenKind::Str(_)
+            | TokenKind::Minus => Ok(Term::Const(self.value_literal()?)),
+            TokenKind::Ident(s) if s == "true" || s == "false" || s == "null" => {
+                Ok(Term::Const(self.value_literal()?))
+            }
+            TokenKind::Ident(_) => {
+                let var = self.ident()?;
+                if self.eat(&TokenKind::Dot) {
+                    let attr = self.ident()?;
+                    Ok(Term::attr(var, attr))
+                } else {
+                    Ok(Term::var(var))
+                }
+            }
+            other => Err(self.err(format!("expected term, found {other}"))),
+        }
+    }
+
+    // ------------------------------------------------------------- actions
+
+    fn actions(&mut self) -> Result<Vec<ActionStmt>> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Ident(s)
+                    if matches!(
+                        s.as_str(),
+                        "modify" | "create" | "delete" | "specialize" | "generalize"
+                    ) =>
+                {
+                    out.push(self.action_stmt()?);
+                    // optional separators
+                    while self.eat(&TokenKind::Semi) || self.eat(&TokenKind::Comma) {}
+                }
+                _ => break,
+            }
+        }
+        if out.is_empty() {
+            return Err(self.err("expected at least one action statement"));
+        }
+        Ok(out)
+    }
+
+    fn action_stmt(&mut self) -> Result<ActionStmt> {
+        let kw = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let stmt = match kw.as_str() {
+            "delete" => {
+                let var = self.ident()?;
+                ActionStmt::Delete { var }
+            }
+            "specialize" | "generalize" => {
+                let var = self.ident()?;
+                self.expect(TokenKind::Comma)?;
+                let tgt = self.ident()?;
+                if kw == "specialize" {
+                    ActionStmt::Specialize { var, target: tgt }
+                } else {
+                    ActionStmt::Generalize { var, target: tgt }
+                }
+            }
+            "create" => {
+                let class = self.ident()?;
+                let mut inits = Vec::new();
+                while self.eat(&TokenKind::Comma) {
+                    let attr = self.ident()?;
+                    self.expect(TokenKind::Colon)?;
+                    inits.push((attr, self.term()?));
+                }
+                ActionStmt::Create { class, inits }
+            }
+            "modify" => {
+                // form 1: modify(Var.attr, term)
+                // form 2 (paper): modify(class.attr, Var, term)
+                let first = self.ident()?;
+                self.expect(TokenKind::Dot)?;
+                let attr = self.ident()?;
+                self.expect(TokenKind::Comma)?;
+                let second = self.term()?;
+                if self.eat(&TokenKind::Comma) {
+                    let value = self.term()?;
+                    let Term::Var(var) = second else {
+                        return Err(self.err("expected variable as second modify argument"));
+                    };
+                    ActionStmt::Modify { var, attr, value }
+                } else {
+                    ActionStmt::Modify {
+                        var: first,
+                        attr,
+                        value: second,
+                    }
+                }
+            }
+            other => return Err(self.err(format!("unknown action `{other}`"))),
+        };
+        self.expect(TokenKind::RParen)?;
+        Ok(stmt)
+    }
+
+    // -------------------------------------------------------------- script
+
+    fn script_stmt(&mut self) -> Result<ScriptStmt> {
+        if self.eat(&TokenKind::LBrace) {
+            let mut stmts = Vec::new();
+            while !self.eat(&TokenKind::RBrace) {
+                if matches!(self.peek(), TokenKind::Eof) {
+                    return Err(self.err("unterminated `{` block"));
+                }
+                stmts.push(self.script_stmt()?);
+            }
+            return Ok(ScriptStmt::Block(stmts));
+        }
+        let stmt = if self.eat_kw("begin") {
+            ScriptStmt::Begin
+        } else if self.eat_kw("commit") {
+            ScriptStmt::Commit
+        } else if self.eat_kw("rollback") {
+            ScriptStmt::Rollback
+        } else if self.eat_kw("let") {
+            let binding = self.ident()?;
+            self.expect(TokenKind::Eq)?;
+            self.expect_kw("create")?;
+            let (class, inits) = self.create_tail()?;
+            ScriptStmt::Create {
+                binding: Some(binding),
+                class,
+                inits,
+            }
+        } else if self.eat_kw("create") {
+            let (class, inits) = self.create_tail()?;
+            ScriptStmt::Create {
+                binding: None,
+                class,
+                inits,
+            }
+        } else if self.eat_kw("modify") {
+            let var = self.ident()?;
+            self.expect(TokenKind::Dot)?;
+            let attr = self.ident()?;
+            self.expect(TokenKind::Eq)?;
+            let value = self.term()?;
+            ScriptStmt::Modify { var, attr, value }
+        } else if self.eat_kw("delete") {
+            ScriptStmt::Delete { var: self.ident()? }
+        } else if self.eat_kw("specialize") {
+            let var = self.ident()?;
+            self.expect_kw("to")?;
+            ScriptStmt::Specialize {
+                var,
+                target: self.ident()?,
+            }
+        } else if self.eat_kw("generalize") {
+            let var = self.ident()?;
+            self.expect_kw("to")?;
+            ScriptStmt::Generalize {
+                var,
+                target: self.ident()?,
+            }
+        } else if self.eat_kw("select") {
+            ScriptStmt::Select {
+                class: self.ident()?,
+            }
+        } else if self.eat_kw("raise") {
+            let class = self.ident()?;
+            self.expect(TokenKind::Hash)?;
+            let channel = match self.bump() {
+                TokenKind::Int(v) if v >= 0 => v as u32,
+                other => return Err(self.err(format!("expected channel number, found {other}"))),
+            };
+            ScriptStmt::Raise { class, channel }
+        } else {
+            return Err(self.err(format!("expected statement, found {}", self.peek())));
+        };
+        self.expect(TokenKind::Semi)?;
+        Ok(stmt)
+    }
+
+    fn create_tail(&mut self) -> Result<(String, Vec<(String, Term)>)> {
+        let class = self.ident()?;
+        let mut inits = Vec::new();
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            loop {
+                let attr = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                inits.push((attr, self.term()?));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        Ok((class, inits))
+    }
+}
+
+fn attr_type_by_name(name: &str) -> Option<AttrType> {
+    Some(match name {
+        "integer" | "int" => AttrType::Integer,
+        "float" | "real" => AttrType::Float,
+        "string" => AttrType::String,
+        "boolean" | "bool" => AttrType::Boolean,
+        "time" => AttrType::Time,
+        "object" => AttrType::ObjectRef,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA_SRC: &str = "
+define class stock
+  attributes quantity: integer,
+             max_quantity: integer default 100,
+             min_quantity: integer default 0
+end
+define class show
+  attributes quantity: integer
+end
+define class stockOrder
+  attributes del_quantity: integer
+end
+";
+
+    fn schema() -> Schema {
+        parse_program(SCHEMA_SRC).unwrap().1
+    }
+
+    #[test]
+    fn class_declarations_build_schema() {
+        let (prog, schema) = parse_program(SCHEMA_SRC).unwrap();
+        assert_eq!(prog.classes().count(), 3);
+        let stock = schema.class_by_name("stock").unwrap();
+        let maxq = schema.attr_by_name(stock, "max_quantity").unwrap();
+        assert_eq!(
+            schema.class(stock).unwrap().attrs[maxq.index()].default,
+            Value::Int(100)
+        );
+    }
+
+    #[test]
+    fn inheritance_in_declarations() {
+        let (_, schema) = parse_program(
+            "define class a attributes x: integer end
+             define class b extends a attributes y: float end",
+        )
+        .unwrap();
+        let a = schema.class_by_name("a").unwrap();
+        let b = schema.class_by_name("b").unwrap();
+        assert!(schema.is_strict_subclass(b, a));
+    }
+
+    #[test]
+    fn event_expression_priorities() {
+        let s = schema();
+        let stock = s.class_by_name("stock").unwrap();
+        let q = s.attr_by_name(stock, "quantity").unwrap();
+        // instance ops bind tighter than set ops
+        let e = parse_event_expr(
+            "create(stock) + create(stock) <= modify(stock.quantity)",
+            &s,
+            None,
+        )
+        .unwrap();
+        let create = EventExpr::prim(EventType::create(stock));
+        let modify = EventExpr::prim(EventType::modify(stock, q));
+        assert_eq!(e, create.clone().and(create.clone().iprec(modify.clone())));
+        // negation binds tighter than conjunction
+        let e2 = parse_event_expr("- create(stock) + modify(stock.quantity)", &s, None).unwrap();
+        assert_eq!(e2, create.clone().not().and(modify.clone()));
+        // disjunction loosest
+        let e3 =
+            parse_event_expr("create(stock) , modify(stock.quantity) + create(stock)", &s, None)
+                .unwrap();
+        assert_eq!(e3, create.clone().or(modify.clone().and(create.clone())));
+        // parens override
+        let e4 =
+            parse_event_expr("(create(stock) , modify(stock.quantity)) + create(stock)", &s, None)
+                .unwrap();
+        assert_eq!(e4, create.clone().or(modify).and(create));
+    }
+
+    #[test]
+    fn targeted_atoms_use_target_class() {
+        let s = schema();
+        let stock = s.class_by_name("stock").unwrap();
+        let q = s.attr_by_name(stock, "quantity").unwrap();
+        let e = parse_event_expr("create , modify(quantity)", &s, Some(stock)).unwrap();
+        assert_eq!(
+            e,
+            EventExpr::prim(EventType::create(stock))
+                .or(EventExpr::prim(EventType::modify(stock, q)))
+        );
+        // untargeted bare atom is an error
+        assert!(parse_event_expr("create", &s, None).is_err());
+        assert!(parse_event_expr("modify(quantity)", &s, None).is_err());
+    }
+
+    #[test]
+    fn paper_trigger_parses() {
+        let src = format!(
+            "{SCHEMA_SRC}
+define immediate trigger checkStockQty for stock
+  events create
+  condition stock(S), occurred(create, S),
+            S.quantity > S.max_quantity
+  actions modify(stock.quantity, S, S.max_quantity)
+end"
+        );
+        let (prog, schema) = parse_program(&src).unwrap();
+        let t = prog.triggers().next().unwrap();
+        assert_eq!(t.name, "checkStockQty");
+        assert_eq!(t.target.as_deref(), Some("stock"));
+        assert_eq!(t.coupling, CouplingMode::Immediate);
+        let stock = schema.class_by_name("stock").unwrap();
+        assert_eq!(t.events, EventExpr::prim(EventType::create(stock)));
+        assert_eq!(t.condition.decls.len(), 1);
+        assert_eq!(t.condition.formulas.len(), 2);
+        assert_eq!(t.actions.len(), 1);
+        assert!(matches!(
+            &t.actions[0],
+            ActionStmt::Modify { var, attr, .. } if var == "S" && attr == "quantity"
+        ));
+    }
+
+    #[test]
+    fn occurred_accepts_instance_expressions_only() {
+        let src = format!(
+            "{SCHEMA_SRC}
+define trigger t for stock
+  events create
+  condition stock(S), occurred(create <= modify(quantity), S)
+  actions delete(S)
+end"
+        );
+        let (prog, schema) = parse_program(&src).unwrap();
+        let t = prog.triggers().next().unwrap();
+        let stock = schema.class_by_name("stock").unwrap();
+        let q = schema.attr_by_name(stock, "quantity").unwrap();
+        match &t.condition.formulas[0] {
+            Formula::Occurred { expr, var } => {
+                assert_eq!(var, "S");
+                assert_eq!(
+                    expr,
+                    &EventExpr::prim(EventType::create(stock))
+                        .iprec(EventExpr::prim(EventType::modify(stock, q)))
+                );
+            }
+            other => panic!("unexpected formula {other:?}"),
+        }
+    }
+
+    #[test]
+    fn at_formula_parses() {
+        let src = format!(
+            "{SCHEMA_SRC}
+define trigger t for stock
+  events create
+  condition stock(S), at(create, S, T), T >= 3
+  actions delete(S)
+end"
+        );
+        let (prog, _) = parse_program(&src).unwrap();
+        let t = prog.triggers().next().unwrap();
+        assert!(matches!(
+            &t.condition.formulas[0],
+            Formula::At { var, time_var, .. } if var == "S" && time_var == "T"
+        ));
+        assert!(matches!(
+            &t.condition.formulas[1],
+            Formula::Compare { op: CmpOp::Ge, .. }
+        ));
+    }
+
+    #[test]
+    fn trigger_modes_and_priority() {
+        let src = format!(
+            "{SCHEMA_SRC}
+define deferred preserving trigger t for stock
+  events create
+  actions delete(S)
+  priority 7
+end"
+        );
+        let (prog, _) = parse_program(&src).unwrap();
+        let t = prog.triggers().next().unwrap();
+        assert_eq!(t.coupling, CouplingMode::Deferred);
+        assert_eq!(t.consumption, ConsumptionMode::Preserving);
+        assert_eq!(t.priority, 7);
+    }
+
+    #[test]
+    fn invalid_event_expression_rejected_at_parse() {
+        // set conjunction inside instance operator
+        let src = format!(
+            "{SCHEMA_SRC}
+define trigger bad for stock
+  events (create + delete) += modify(quantity)
+  actions delete(S)
+end"
+        );
+        assert!(parse_program(&src).is_err());
+    }
+
+    #[test]
+    fn script_statements() {
+        let src = format!(
+            "{SCHEMA_SRC}
+begin;
+let s1 = create stock(quantity: 10, max_quantity: 50);
+create show;
+{{ modify s1.quantity = 20; delete s1; }}
+select stock;
+commit;
+rollback;
+"
+        );
+        let (prog, _) = parse_program(&src).unwrap();
+        let stmts: Vec<_> = prog
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Stmt(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stmts.len(), 7);
+        assert_eq!(stmts[0], &ScriptStmt::Begin);
+        assert!(matches!(
+            stmts[1],
+            ScriptStmt::Create { binding: Some(b), class, .. } if b == "s1" && class == "stock"
+        ));
+        assert!(matches!(stmts[2], ScriptStmt::Create { binding: None, .. }));
+        match stmts[3] {
+            ScriptStmt::Block(inner) => assert_eq!(inner.len(), 2),
+            other => panic!("expected block, got {other:?}"),
+        }
+        assert!(matches!(stmts[4], ScriptStmt::Select { class } if class == "stock"));
+        assert_eq!(stmts[5], &ScriptStmt::Commit);
+        assert_eq!(stmts[6], &ScriptStmt::Rollback);
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse_program("define class stock attributes q: bogus end").unwrap_err();
+        assert!(err.to_string().contains("unknown attribute type"));
+        let err = parse_program("begin").unwrap_err();
+        assert!(err.to_string().contains("`;`"), "{err}");
+    }
+
+    #[test]
+    fn external_events_and_raise() {
+        // external event type in a trigger's event part
+        let src = format!(
+            "{SCHEMA_SRC}
+define trigger onTick for stock
+  events external(stock#3) + -modify(quantity)
+end
+begin;
+raise stock#3;
+commit;
+"
+        );
+        let (prog, schema) = parse_program(&src).unwrap();
+        let t = prog.triggers().next().unwrap();
+        let stock = schema.class_by_name("stock").unwrap();
+        let q = schema.attr_by_name(stock, "quantity").unwrap();
+        assert_eq!(
+            t.events,
+            EventExpr::prim(EventType::external(stock, 3))
+                .and(EventExpr::prim(EventType::modify(stock, q)).not())
+        );
+        // the raise statement
+        let raise = prog
+            .items
+            .iter()
+            .find_map(|i| match i {
+                crate::ast::Item::Stmt(crate::ast::ScriptStmt::Raise { class, channel }) => {
+                    Some((class.clone(), *channel))
+                }
+                _ => None,
+            })
+            .expect("raise statement parsed");
+        assert_eq!(raise, ("stock".to_string(), 3));
+        // printing the event expression re-parses (`external(stock#3)`)
+        let printed = t.events.render(&schema);
+        assert!(printed.contains("external(stock#3)"), "{printed}");
+        let back = crate::parse_event_expr(&printed, &schema, None).unwrap();
+        assert_eq!(back, t.events);
+    }
+
+    #[test]
+    fn external_event_errors() {
+        let src = format!(
+            "{SCHEMA_SRC}
+define trigger t for stock events external(stock) end"
+        );
+        let err = parse_program(&src).unwrap_err();
+        assert!(err.to_string().contains("channel"), "{err}");
+        let src2 = format!(
+            "{SCHEMA_SRC}
+define trigger t for stock events create(stock#1) end"
+        );
+        let err2 = parse_program(&src2).unwrap_err();
+        assert!(err2.to_string().contains("only valid in external"), "{err2}");
+        let src3 = format!(
+            "{SCHEMA_SRC}
+begin; raise stock#x;"
+        );
+        let err3 = parse_program(&src3).unwrap_err();
+        assert!(err3.to_string().contains("channel number"), "{err3}");
+    }
+
+    #[test]
+    fn action_forms() {
+        let src = format!(
+            "{SCHEMA_SRC}
+define trigger t for stock
+  events create
+  condition stock(S), occurred(create, S)
+  actions modify(S.quantity, 5);
+          create(show, quantity: S.quantity);
+          specialize(S, stock);
+          generalize(S, stock);
+          delete(S)
+end"
+        );
+        let (prog, _) = parse_program(&src).unwrap();
+        let t = prog.triggers().next().unwrap();
+        assert_eq!(t.actions.len(), 5);
+        assert!(matches!(&t.actions[0], ActionStmt::Modify { var, .. } if var == "S"));
+        assert!(matches!(&t.actions[1], ActionStmt::Create { class, inits } if class == "show" && inits.len() == 1));
+        assert!(matches!(&t.actions[2], ActionStmt::Specialize { .. }));
+        assert!(matches!(&t.actions[3], ActionStmt::Generalize { .. }));
+        assert!(matches!(&t.actions[4], ActionStmt::Delete { .. }));
+    }
+}

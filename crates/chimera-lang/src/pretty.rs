@@ -1,0 +1,189 @@
+//! Pretty-printer. Output is guaranteed to re-parse to the same AST
+//! (round-trip property, tested here and in the integration suite).
+
+use crate::ast::{AttrSpec, ClassDecl, TriggerDecl};
+use chimera_calculus::EventExpr;
+use chimera_model::Schema;
+use chimera_rules::condition::{Condition, Formula};
+use chimera_rules::{ActionStmt, ConsumptionMode, CouplingMode};
+use std::fmt::Write as _;
+
+/// Render an event expression in concrete syntax (class-qualified atoms).
+pub fn print_event_expr(expr: &EventExpr, schema: &Schema) -> String {
+    expr.render(schema)
+}
+
+/// Render a class declaration.
+pub fn print_class(decl: &ClassDecl) -> String {
+    let mut s = String::new();
+    write!(s, "define class {}", decl.name).unwrap();
+    if let Some(sup) = &decl.superclass {
+        write!(s, " extends {sup}").unwrap();
+    }
+    if !decl.attrs.is_empty() {
+        s.push_str("\n  attributes ");
+        let parts: Vec<String> = decl.attrs.iter().map(print_attr).collect();
+        s.push_str(&parts.join(",\n             "));
+    }
+    s.push_str("\nend\n");
+    s
+}
+
+fn print_attr(a: &AttrSpec) -> String {
+    match &a.default {
+        Some(v) => format!("{}: {} default {}", a.name, a.ty, v),
+        None => format!("{}: {}", a.name, a.ty),
+    }
+}
+
+/// Render a trigger declaration.
+pub fn print_trigger(decl: &TriggerDecl, schema: &Schema) -> String {
+    let mut s = String::new();
+    s.push_str("define ");
+    if decl.coupling == CouplingMode::Deferred {
+        s.push_str("deferred ");
+    } else {
+        s.push_str("immediate ");
+    }
+    if decl.consumption == ConsumptionMode::Preserving {
+        s.push_str("preserving ");
+    }
+    write!(s, "trigger {}", decl.name).unwrap();
+    if let Some(t) = &decl.target {
+        write!(s, " for {t}").unwrap();
+    }
+    write!(s, "\n  events {}", decl.events.render(schema)).unwrap();
+    if !(decl.condition.decls.is_empty() && decl.condition.formulas.is_empty()) {
+        write!(s, "\n  condition {}", print_condition(&decl.condition, schema)).unwrap();
+    }
+    if !decl.actions.is_empty() {
+        let parts: Vec<String> = decl.actions.iter().map(print_action).collect();
+        write!(s, "\n  actions {}", parts.join(";\n          ")).unwrap();
+    }
+    if decl.priority != 0 {
+        write!(s, "\n  priority {}", decl.priority).unwrap();
+    }
+    s.push_str("\nend\n");
+    s
+}
+
+fn print_condition(cond: &Condition, schema: &Schema) -> String {
+    let mut parts: Vec<String> = cond
+        .decls
+        .iter()
+        .map(|d| format!("{}({})", d.class, d.name))
+        .collect();
+    for f in &cond.formulas {
+        parts.push(match f {
+            Formula::Occurred { expr, var } => {
+                format!("occurred({}, {var})", expr.render(schema))
+            }
+            Formula::At {
+                expr,
+                var,
+                time_var,
+            } => format!("at({}, {var}, {time_var})", expr.render(schema)),
+            Formula::Compare { lhs, op, rhs } => format!("{lhs} {op} {rhs}"),
+        });
+    }
+    parts.join(",\n            ")
+}
+
+fn print_action(a: &ActionStmt) -> String {
+    match a {
+        ActionStmt::Create { class, inits } => {
+            let mut s = format!("create({class}");
+            for (attr, t) in inits {
+                s.push_str(&format!(", {attr}: {t}"));
+            }
+            s.push(')');
+            s
+        }
+        ActionStmt::Modify { var, attr, value } => format!("modify({var}.{attr}, {value})"),
+        ActionStmt::Delete { var } => format!("delete({var})"),
+        ActionStmt::Specialize { var, target } => format!("specialize({var}, {target})"),
+        ActionStmt::Generalize { var, target } => format!("generalize({var}, {target})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_event_expr, parse_program};
+    use chimera_events::EventType;
+
+    const SCHEMA_SRC: &str = "
+define class stock
+  attributes quantity: integer,
+             max_quantity: integer default 100
+end
+define class show
+  attributes quantity: integer
+end
+";
+
+    #[test]
+    fn event_expr_roundtrip() {
+        let (_, schema) = parse_program(SCHEMA_SRC).unwrap();
+        let stock = schema.class_by_name("stock").unwrap();
+        let q = schema.attr_by_name(stock, "quantity").unwrap();
+        let show = schema.class_by_name("show").unwrap();
+        let create = EventExpr::prim(EventType::create(stock));
+        let modify = EventExpr::prim(EventType::modify(stock, q));
+        let mshow = EventExpr::prim(EventType::create(show));
+        let exprs = [
+            create.clone(),
+            create.clone().or(modify.clone()),
+            create.clone().and(modify.clone()).not(),
+            create.clone().iprec(modify.clone()).or(mshow.clone()),
+            create.clone().iand(modify.clone()).inot().and(mshow.clone()),
+            create.clone().not().not(),
+            create.clone().prec(modify.clone()).prec(mshow.clone()),
+            create.clone().ior(modify.clone()).iand(create.clone()),
+        ];
+        for e in &exprs {
+            let printed = print_event_expr(e, &schema);
+            let back = parse_event_expr(&printed, &schema, None)
+                .unwrap_or_else(|err| panic!("reparsing `{printed}`: {err}"));
+            assert_eq!(&back, e, "roundtrip of `{printed}`");
+        }
+    }
+
+    #[test]
+    fn class_roundtrip() {
+        let (prog, _) = parse_program(SCHEMA_SRC).unwrap();
+        for c in prog.classes() {
+            let printed = print_class(c);
+            let (prog2, _) = parse_program(&printed).unwrap();
+            assert_eq!(prog2.classes().next().unwrap(), c, "from `{printed}`");
+        }
+    }
+
+    #[test]
+    fn trigger_roundtrip() {
+        let src = format!(
+            "{SCHEMA_SRC}
+define deferred preserving trigger t1 for stock
+  events create , modify(quantity)
+  condition stock(S), occurred(create <= modify(quantity), S),
+            S.quantity > S.max_quantity + 5
+  actions modify(S.quantity, S.max_quantity);
+          create(show, quantity: S.quantity)
+  priority 3
+end
+define immediate trigger t2 for stock
+  events -(create + delete)
+  actions delete(S)
+end"
+        );
+        let (prog, schema) = parse_program(&src).unwrap();
+        for t in prog.triggers() {
+            let printed = print_trigger(t, &schema);
+            let full = format!("{SCHEMA_SRC}\n{printed}");
+            let (prog2, _) =
+                parse_program(&full).unwrap_or_else(|e| panic!("reparsing:\n{printed}\n{e}"));
+            let t2 = prog2.triggers().next().unwrap();
+            assert_eq!(t2, t, "roundtrip of:\n{printed}");
+        }
+    }
+}

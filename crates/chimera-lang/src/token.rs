@@ -1,0 +1,156 @@
+//! Tokens and source positions.
+
+use std::fmt;
+
+/// A half-open byte span with line/column of its start (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Start byte offset.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+    /// 1-based line of the start.
+    pub line: u32,
+    /// 1-based column of the start.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are contextual).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped contents).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `,=` — instance-oriented disjunction
+    CommaEq,
+    /// `+`
+    Plus,
+    /// `+=` — instance-oriented conjunction
+    PlusEq,
+    /// `-`
+    Minus,
+    /// `-=` — instance-oriented negation
+    MinusEq,
+    /// `<`
+    Lt,
+    /// `<=` — instance precedence / less-or-equal comparison
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `=`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `*`
+    Star,
+    /// `#` — external-event channel separator, `external(class#N)`
+    Hash,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Is this token the given (contextual) keyword?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s == kw)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::CommaEq => write!(f, "`,=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::PlusEq => write!(f, "`+=`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::MinusEq => write!(f, "`-=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::LtEq => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::GtEq => write!(f, "`>=`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Hash => write!(f, "`#`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_check() {
+        assert!(TokenKind::Ident("events".into()).is_kw("events"));
+        assert!(!TokenKind::Ident("events".into()).is_kw("end"));
+        assert!(!TokenKind::Comma.is_kw("events"));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(TokenKind::CommaEq.to_string(), "`,=`");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "`x`");
+        assert_eq!(
+            Span {
+                start: 0,
+                end: 1,
+                line: 3,
+                col: 7
+            }
+            .to_string(),
+            "3:7"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Error type for the data-model substrate.
+
+use crate::ids::{AttrId, ClassId, Oid};
+use crate::value::AttrType;
+use std::fmt;
+
+/// Errors raised by schema construction and store operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A class name was defined twice.
+    DuplicateClass(String),
+    /// An attribute name appears twice in a class (including inherited).
+    DuplicateAttribute { class: String, attr: String },
+    /// Unknown class name.
+    UnknownClass(String),
+    /// Unknown class id.
+    UnknownClassId(ClassId),
+    /// Unknown attribute name for a class.
+    UnknownAttribute { class: String, attr: String },
+    /// Attribute id out of range for the class.
+    UnknownAttributeId { class: ClassId, attr: AttrId },
+    /// Superclass referenced before definition or unknown.
+    UnknownSuperclass { class: String, superclass: String },
+    /// Inheritance cycle detected.
+    InheritanceCycle(String),
+    /// Unknown object.
+    UnknownObject(Oid),
+    /// Value does not conform to the declared attribute type.
+    TypeMismatch {
+        class: String,
+        attr: String,
+        expected: AttrType,
+    },
+    /// specialize target is not a subclass of the object's current class.
+    NotASubclass { from: ClassId, to: ClassId },
+    /// generalize target is not a superclass of the object's current class.
+    NotASuperclass { from: ClassId, to: ClassId },
+    /// Operation requires an active transaction.
+    NoActiveTransaction,
+    /// A transaction is already active.
+    TransactionActive,
+    /// A store restore was handed inconsistent data (duplicate OID, OID
+    /// at/above the persisted allocation counter).
+    CorruptRestore(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateClass(n) => write!(f, "duplicate class `{n}`"),
+            ModelError::DuplicateAttribute { class, attr } => {
+                write!(f, "duplicate attribute `{attr}` in class `{class}`")
+            }
+            ModelError::UnknownClass(n) => write!(f, "unknown class `{n}`"),
+            ModelError::UnknownClassId(id) => write!(f, "unknown class id {id}"),
+            ModelError::UnknownAttribute { class, attr } => {
+                write!(f, "class `{class}` has no attribute `{attr}`")
+            }
+            ModelError::UnknownAttributeId { class, attr } => {
+                write!(f, "class {class} has no attribute slot {attr}")
+            }
+            ModelError::UnknownSuperclass { class, superclass } => {
+                write!(f, "class `{class}` extends unknown class `{superclass}`")
+            }
+            ModelError::InheritanceCycle(n) => {
+                write!(f, "inheritance cycle involving class `{n}`")
+            }
+            ModelError::UnknownObject(oid) => write!(f, "unknown object {oid}"),
+            ModelError::TypeMismatch {
+                class,
+                attr,
+                expected,
+            } => write!(
+                f,
+                "value for `{class}.{attr}` does not conform to type {expected}"
+            ),
+            ModelError::NotASubclass { from, to } => {
+                write!(f, "cannot specialize: {to} is not a subclass of {from}")
+            }
+            ModelError::NotASuperclass { from, to } => {
+                write!(f, "cannot generalize: {to} is not a superclass of {from}")
+            }
+            ModelError::NoActiveTransaction => write!(f, "no active transaction"),
+            ModelError::TransactionActive => write!(f, "a transaction is already active"),
+            ModelError::CorruptRestore(what) => write!(f, "corrupt restore data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ModelError::UnknownClass("stock".into()).to_string(),
+            "unknown class `stock`"
+        );
+        assert_eq!(
+            ModelError::UnknownObject(Oid(3)).to_string(),
+            "unknown object o3"
+        );
+        let e = ModelError::TypeMismatch {
+            class: "stock".into(),
+            attr: "quantity".into(),
+            expected: AttrType::Integer,
+        };
+        assert!(e.to_string().contains("stock.quantity"));
+        assert!(e.to_string().contains("integer"));
+    }
+}

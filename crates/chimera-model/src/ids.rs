@@ -1,0 +1,103 @@
+//! Identifier newtypes for objects, classes and attributes.
+//!
+//! All identifiers are small copyable newtypes so they can be used freely
+//! as map keys and inside event occurrences without allocation.
+
+use std::fmt;
+
+/// Object identifier (the paper's *OID*).
+///
+/// OIDs are allocated by [`crate::ObjectStore`] and are never reused, even
+/// after deletion — the event base may still refer to deleted objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(pub u64);
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Class identifier, dense index into the schema's class table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Attribute identifier.
+///
+/// Attribute ids are *class-local slot indexes* resolved by the schema:
+/// inherited attributes keep the slot they have in the superclass, so an
+/// `AttrId` is valid for a class and all of its subclasses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl Oid {
+    /// Raw numeric value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl ClassId {
+    /// Raw numeric value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+    /// Index into dense per-class tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl AttrId {
+    /// Raw numeric value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+    /// Slot index inside an object's attribute vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Oid(7).to_string(), "o7");
+        assert_eq!(ClassId(2).to_string(), "c2");
+        assert_eq!(AttrId(0).to_string(), "a0");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Oid(2) < Oid(10));
+        assert!(ClassId(0) < ClassId(1));
+        assert!(AttrId(3) > AttrId(1));
+    }
+
+    #[test]
+    fn raw_and_index_roundtrip() {
+        assert_eq!(Oid(42).raw(), 42);
+        assert_eq!(ClassId(9).index(), 9);
+        assert_eq!(AttrId(5).index(), 5);
+    }
+}

@@ -1,0 +1,38 @@
+//! # chimera-model
+//!
+//! The object-oriented data model substrate of Chimera, the active
+//! object-oriented database of the IDEA Esprit project that *Composite
+//! Events in Chimera* (Meo, Psaila, Ceri — EDBT 1996) extends.
+//!
+//! The paper assumes an OO store with classes, single inheritance, typed
+//! attributes and the data-manipulation operations whose executions become
+//! *event occurrences*: `create`, `delete`, `modify(attr)`, `generalize`,
+//! `specialize` and `select`. This crate provides exactly that substrate:
+//!
+//! * [`Value`] / [`AttrType`] — the attribute value system;
+//! * [`Schema`], [`ClassDef`], [`AttrDef`] — class definitions with single
+//!   inheritance and attribute resolution along the superclass chain;
+//! * [`Object`] and [`ObjectStore`] — the instance store with per-class
+//!   extents and a transactional overlay (undo log, commit/rollback);
+//! * [`Mutation`] — the store's report of what happened, which the
+//!   execution engine turns into event occurrences for the event base.
+//!
+//! The store is deterministic and single-threaded: Chimera transactions are
+//! sequences of non-interruptible blocks, so no internal locking is needed.
+
+pub mod error;
+pub mod ids;
+pub mod object;
+pub mod schema;
+pub mod store;
+pub mod value;
+
+pub use error::ModelError;
+pub use ids::{AttrId, ClassId, Oid};
+pub use object::Object;
+pub use schema::{AttrDef, ClassDef, Schema, SchemaBuilder};
+pub use store::{Mutation, MutationKind, ObjectStore, TxnStatus};
+pub use value::{AttrType, Value};
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,52 @@
+//! Objects: class-tagged attribute vectors.
+
+use crate::ids::{AttrId, ClassId, Oid};
+use crate::value::Value;
+
+/// A stored object instance.
+///
+/// The attribute vector layout matches the object's *current* class
+/// ([`crate::Schema`] guarantees inherited slots come first), so
+/// `specialize` extends the vector and `generalize` truncates it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Object {
+    /// Immutable object identity.
+    pub oid: Oid,
+    /// Current (most specific) class of the object.
+    pub class: ClassId,
+    /// Attribute slots, laid out per the class definition.
+    pub attrs: Vec<Value>,
+}
+
+impl Object {
+    /// Read an attribute slot (None if out of range).
+    pub fn get(&self, attr: AttrId) -> Option<&Value> {
+        self.attrs.get(attr.index())
+    }
+
+    /// Write an attribute slot, returning the previous value.
+    ///
+    /// Callers (the store) must have validated the slot and type.
+    pub(crate) fn set(&mut self, attr: AttrId, value: Value) -> Value {
+        std::mem::replace(&mut self.attrs[attr.index()], value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_set() {
+        let mut o = Object {
+            oid: Oid(1),
+            class: ClassId(0),
+            attrs: vec![Value::Int(1), Value::Null],
+        };
+        assert_eq!(o.get(AttrId(0)), Some(&Value::Int(1)));
+        assert_eq!(o.get(AttrId(5)), None);
+        let old = o.set(AttrId(0), Value::Int(9));
+        assert_eq!(old, Value::Int(1));
+        assert_eq!(o.get(AttrId(0)), Some(&Value::Int(9)));
+    }
+}

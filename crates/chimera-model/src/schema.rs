@@ -1,0 +1,436 @@
+//! Schema: class definitions with single inheritance.
+//!
+//! Chimera classes form a single-inheritance hierarchy. Attribute slots are
+//! laid out so that a subclass extends its superclass's slot vector: an
+//! [`AttrId`] valid for a class is valid (same slot, same meaning) for all
+//! of its subclasses, which is what makes `generalize` / `specialize`
+//! object migrations cheap (truncate / extend the attribute vector).
+
+use crate::error::ModelError;
+use crate::ids::{AttrId, ClassId};
+use crate::value::{AttrType, Value};
+use crate::Result;
+use std::collections::HashMap;
+
+/// Declared attribute of a class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrDef {
+    /// Attribute name (unique within the class and its superclasses).
+    pub name: String,
+    /// Declared type.
+    pub ty: AttrType,
+    /// Default value used at creation/specialization when none is given.
+    pub default: Value,
+}
+
+impl AttrDef {
+    /// Attribute with a `Null` default.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        AttrDef {
+            name: name.into(),
+            ty,
+            default: Value::Null,
+        }
+    }
+
+    /// Attribute with an explicit default value.
+    pub fn with_default(name: impl Into<String>, ty: AttrType, default: Value) -> Self {
+        AttrDef {
+            name: name.into(),
+            ty,
+            default,
+        }
+    }
+}
+
+/// A class definition after schema resolution.
+#[derive(Debug, Clone)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: String,
+    /// Direct superclass, if any.
+    pub superclass: Option<ClassId>,
+    /// *All* attribute slots, superclass slots first (inherited layout).
+    pub attrs: Vec<AttrDef>,
+    /// Number of slots inherited from the superclass chain.
+    pub inherited: usize,
+}
+
+impl ClassDef {
+    /// Attributes declared by this class itself (excluding inherited).
+    pub fn own_attrs(&self) -> &[AttrDef] {
+        &self.attrs[self.inherited..]
+    }
+}
+
+/// A resolved, immutable schema.
+///
+/// Built through [`SchemaBuilder`]; lookups by name or id, subclass tests
+/// and attribute resolution are all O(1) or O(depth).
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    classes: Vec<ClassDef>,
+    by_name: HashMap<String, ClassId>,
+    /// `children[c]` = direct subclasses of `c`.
+    children: Vec<Vec<ClassId>>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Iterate over `(ClassId, &ClassDef)` in definition order.
+    pub fn classes(&self) -> impl Iterator<Item = (ClassId, &ClassDef)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClassId(i as u32), c))
+    }
+
+    /// Look a class up by name.
+    pub fn class_by_name(&self, name: &str) -> Result<ClassId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownClass(name.to_owned()))
+    }
+
+    /// Class definition for an id.
+    pub fn class(&self, id: ClassId) -> Result<&ClassDef> {
+        self.classes
+            .get(id.index())
+            .ok_or(ModelError::UnknownClassId(id))
+    }
+
+    /// Class name for an id (panics on invalid id only in debug contexts).
+    pub fn class_name(&self, id: ClassId) -> &str {
+        self.classes
+            .get(id.index())
+            .map(|c| c.name.as_str())
+            .unwrap_or("<invalid-class>")
+    }
+
+    /// Resolve an attribute name on a class (searching inherited slots too).
+    pub fn attr_by_name(&self, class: ClassId, name: &str) -> Result<AttrId> {
+        let def = self.class(class)?;
+        def.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| AttrId(i as u32))
+            .ok_or_else(|| ModelError::UnknownAttribute {
+                class: def.name.clone(),
+                attr: name.to_owned(),
+            })
+    }
+
+    /// Attribute definition for a slot of a class.
+    pub fn attr(&self, class: ClassId, attr: AttrId) -> Result<&AttrDef> {
+        let def = self.class(class)?;
+        def.attrs
+            .get(attr.index())
+            .ok_or(ModelError::UnknownAttributeId { class, attr })
+    }
+
+    /// Attribute name for a slot (for diagnostics / printing).
+    pub fn attr_name(&self, class: ClassId, attr: AttrId) -> &str {
+        self.classes
+            .get(class.index())
+            .and_then(|c| c.attrs.get(attr.index()))
+            .map(|a| a.name.as_str())
+            .unwrap_or("<invalid-attr>")
+    }
+
+    /// Is `sub` equal to `sup` or a (transitive) subclass of it?
+    pub fn is_subclass_or_self(&self, sub: ClassId, sup: ClassId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(c) = cur {
+            if c == sup {
+                return true;
+            }
+            cur = self.classes.get(c.index()).and_then(|d| d.superclass);
+        }
+        false
+    }
+
+    /// Strict subclass test.
+    pub fn is_strict_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
+        sub != sup && self.is_subclass_or_self(sub, sup)
+    }
+
+    /// All classes equal to or below `root` (root first, preorder).
+    pub fn descendants(&self, root: ClassId) -> Vec<ClassId> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(c) = stack.pop() {
+            out.push(c);
+            if let Some(kids) = self.children.get(c.index()) {
+                stack.extend(kids.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Superclass chain from `class` (exclusive) up to the root.
+    pub fn ancestors(&self, class: ClassId) -> Vec<ClassId> {
+        let mut out = Vec::new();
+        let mut cur = self.classes.get(class.index()).and_then(|d| d.superclass);
+        while let Some(c) = cur {
+            out.push(c);
+            cur = self.classes.get(c.index()).and_then(|d| d.superclass);
+        }
+        out
+    }
+}
+
+/// Incremental schema construction with validation.
+///
+/// ```
+/// use chimera_model::{SchemaBuilder, AttrDef, AttrType, Value};
+///
+/// let mut b = SchemaBuilder::new();
+/// b.class("stock", None, vec![
+///     AttrDef::new("quantity", AttrType::Integer),
+///     AttrDef::with_default("max_quantity", AttrType::Integer, Value::Int(100)),
+/// ]).unwrap();
+/// b.class("perishable_stock", Some("stock"), vec![
+///     AttrDef::new("expiry", AttrType::Time),
+/// ]).unwrap();
+/// let schema = b.build();
+/// let stock = schema.class_by_name("stock").unwrap();
+/// let sub = schema.class_by_name("perishable_stock").unwrap();
+/// assert!(schema.is_strict_subclass(sub, stock));
+/// ```
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    schema: Schema,
+}
+
+impl SchemaBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        SchemaBuilder::default()
+    }
+
+    /// Define a class. The superclass (if any) must already be defined,
+    /// which structurally rules out inheritance cycles.
+    pub fn class(
+        &mut self,
+        name: impl Into<String>,
+        superclass: Option<&str>,
+        own_attrs: Vec<AttrDef>,
+    ) -> Result<ClassId> {
+        let name = name.into();
+        if self.schema.by_name.contains_key(&name) {
+            return Err(ModelError::DuplicateClass(name));
+        }
+        let (super_id, mut attrs) = match superclass {
+            Some(sup_name) => {
+                let sup_id = self.schema.by_name.get(sup_name).copied().ok_or_else(|| {
+                    ModelError::UnknownSuperclass {
+                        class: name.clone(),
+                        superclass: sup_name.to_owned(),
+                    }
+                })?;
+                (Some(sup_id), self.schema.classes[sup_id.index()].attrs.clone())
+            }
+            None => (None, Vec::new()),
+        };
+        let inherited = attrs.len();
+        for a in own_attrs {
+            if attrs.iter().any(|ex| ex.name == a.name) {
+                return Err(ModelError::DuplicateAttribute {
+                    class: name,
+                    attr: a.name,
+                });
+            }
+            if !a.default.conforms_to(a.ty) {
+                return Err(ModelError::TypeMismatch {
+                    class: name,
+                    attr: a.name,
+                    expected: a.ty,
+                });
+            }
+            attrs.push(a);
+        }
+        let id = ClassId(self.schema.classes.len() as u32);
+        self.schema.classes.push(ClassDef {
+            name: name.clone(),
+            superclass: super_id,
+            attrs,
+            inherited,
+        });
+        self.schema.children.push(Vec::new());
+        if let Some(sup) = super_id {
+            self.schema.children[sup.index()].push(id);
+        }
+        self.schema.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// Finish and return the immutable schema.
+    pub fn build(self) -> Schema {
+        self.schema
+    }
+
+    /// The schema built so far (used by parsers that resolve names while
+    /// definitions are still being added).
+    pub fn current(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.class(
+            "stock",
+            None,
+            vec![
+                AttrDef::new("quantity", AttrType::Integer),
+                AttrDef::new("max_quantity", AttrType::Integer),
+                AttrDef::new("min_quantity", AttrType::Integer),
+            ],
+        )
+        .unwrap();
+        b.class(
+            "perishable",
+            Some("stock"),
+            vec![AttrDef::new("expiry", AttrType::Time)],
+        )
+        .unwrap();
+        b.class(
+            "frozen",
+            Some("perishable"),
+            vec![AttrDef::new("temp", AttrType::Float)],
+        )
+        .unwrap();
+        b.class("show", None, vec![AttrDef::new("quantity", AttrType::Integer)])
+            .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let s = sample();
+        let stock = s.class_by_name("stock").unwrap();
+        assert_eq!(s.class(stock).unwrap().name, "stock");
+        assert_eq!(s.class_name(stock), "stock");
+        assert!(s.class_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn attr_resolution_follows_inheritance() {
+        let s = sample();
+        let frozen = s.class_by_name("frozen").unwrap();
+        // inherited from stock: slot 0
+        assert_eq!(s.attr_by_name(frozen, "quantity").unwrap(), AttrId(0));
+        // inherited from perishable: slot 3
+        assert_eq!(s.attr_by_name(frozen, "expiry").unwrap(), AttrId(3));
+        // own: slot 4
+        assert_eq!(s.attr_by_name(frozen, "temp").unwrap(), AttrId(4));
+        assert!(s.attr_by_name(frozen, "bogus").is_err());
+    }
+
+    #[test]
+    fn attr_ids_stable_across_hierarchy() {
+        let s = sample();
+        let stock = s.class_by_name("stock").unwrap();
+        let frozen = s.class_by_name("frozen").unwrap();
+        let q_stock = s.attr_by_name(stock, "quantity").unwrap();
+        let q_frozen = s.attr_by_name(frozen, "quantity").unwrap();
+        assert_eq!(q_stock, q_frozen);
+    }
+
+    #[test]
+    fn subclass_tests() {
+        let s = sample();
+        let stock = s.class_by_name("stock").unwrap();
+        let perishable = s.class_by_name("perishable").unwrap();
+        let frozen = s.class_by_name("frozen").unwrap();
+        let show = s.class_by_name("show").unwrap();
+        assert!(s.is_subclass_or_self(frozen, stock));
+        assert!(s.is_subclass_or_self(stock, stock));
+        assert!(s.is_strict_subclass(perishable, stock));
+        assert!(!s.is_strict_subclass(stock, stock));
+        assert!(!s.is_subclass_or_self(show, stock));
+        assert!(!s.is_subclass_or_self(stock, frozen));
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let s = sample();
+        let stock = s.class_by_name("stock").unwrap();
+        let perishable = s.class_by_name("perishable").unwrap();
+        let frozen = s.class_by_name("frozen").unwrap();
+        let mut d = s.descendants(stock);
+        d.sort();
+        assert_eq!(d, vec![stock, perishable, frozen]);
+        assert_eq!(s.ancestors(frozen), vec![perishable, stock]);
+        assert_eq!(s.ancestors(stock), vec![]);
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut b = SchemaBuilder::new();
+        b.class("a", None, vec![]).unwrap();
+        assert_eq!(
+            b.class("a", None, vec![]),
+            Err(ModelError::DuplicateClass("a".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_attr_rejected_including_inherited() {
+        let mut b = SchemaBuilder::new();
+        b.class("a", None, vec![AttrDef::new("x", AttrType::Integer)])
+            .unwrap();
+        let err = b
+            .class("b", Some("a"), vec![AttrDef::new("x", AttrType::Float)])
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn unknown_superclass_rejected() {
+        let mut b = SchemaBuilder::new();
+        let err = b.class("a", Some("ghost"), vec![]).unwrap_err();
+        assert!(matches!(err, ModelError::UnknownSuperclass { .. }));
+    }
+
+    #[test]
+    fn bad_default_rejected() {
+        let mut b = SchemaBuilder::new();
+        let err = b
+            .class(
+                "a",
+                None,
+                vec![AttrDef::with_default(
+                    "x",
+                    AttrType::Integer,
+                    Value::Str("oops".into()),
+                )],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ModelError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn own_attrs_slice() {
+        let s = sample();
+        let perishable = s.class_by_name("perishable").unwrap();
+        let def = s.class(perishable).unwrap();
+        assert_eq!(def.inherited, 3);
+        assert_eq!(def.own_attrs().len(), 1);
+        assert_eq!(def.own_attrs()[0].name, "expiry");
+    }
+}

@@ -1,0 +1,719 @@
+//! Transactional object store.
+//!
+//! The store holds committed objects plus an *active transaction overlay*:
+//! every mutating operation appends an inverse operation to an undo log, so
+//! `rollback` restores the committed state exactly. Every successful
+//! mutation also returns a [`Mutation`] record; the execution engine maps
+//! these one-to-one onto event occurrences in the event base (the paper's
+//! `create`, `delete`, `modify(attr)`, `generalize`, `specialize` event
+//! types — `select` events are produced by queries, see [`ObjectStore::select`]).
+
+use crate::error::ModelError;
+use crate::ids::{AttrId, ClassId, Oid};
+use crate::object::Object;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::Result;
+use std::collections::{BTreeSet, HashMap};
+
+/// What a store operation did, reported to the event layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationKind {
+    /// Object created.
+    Create,
+    /// Object deleted.
+    Delete,
+    /// Attribute modified.
+    Modify(AttrId),
+    /// Object migrated up to a superclass.
+    Generalize,
+    /// Object migrated down to a subclass.
+    Specialize,
+    /// Object returned by an explicit `select` query.
+    Select,
+}
+
+/// A mutation record: the raw material of an event occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mutation {
+    /// Kind of operation.
+    pub kind: MutationKind,
+    /// Affected object.
+    pub oid: Oid,
+    /// Class the event is reported on. For `Generalize`/`Specialize` this
+    /// is the *target* class of the migration; otherwise the object's class
+    /// at the time of the operation.
+    pub class: ClassId,
+}
+
+/// Transaction status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TxnStatus {
+    /// No transaction running.
+    #[default]
+    Idle,
+    /// A transaction is active.
+    Active,
+}
+
+/// Inverse operations for rollback.
+#[derive(Debug)]
+enum Undo {
+    /// Remove an object created in this transaction.
+    RemoveObject(Oid),
+    /// Re-insert an object deleted in this transaction.
+    RestoreObject(Object),
+    /// Restore a single attribute value.
+    RestoreAttr(Oid, AttrId, Value),
+    /// Restore class + full attribute vector (for migrations).
+    RestoreShape(Oid, ClassId, Vec<Value>),
+    /// Restore the OID allocator watermark.
+    RestoreNextOid(u64),
+}
+
+/// The object store.
+///
+/// Deterministic, single-threaded, in-memory. Per-class extents are kept
+/// as ordered sets so iteration order is stable (important for the
+/// engine's set-oriented, deterministic rule semantics).
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    objects: HashMap<Oid, Object>,
+    /// Extent per class: objects whose *current* class is exactly that id.
+    extents: HashMap<ClassId, BTreeSet<Oid>>,
+    next_oid: u64,
+    undo: Vec<Undo>,
+    status: TxnStatus,
+}
+
+impl ObjectStore {
+    /// Empty store; OIDs start at 1.
+    pub fn new() -> Self {
+        ObjectStore {
+            objects: HashMap::new(),
+            extents: HashMap::new(),
+            next_oid: 1,
+            undo: Vec::new(),
+            status: TxnStatus::Idle,
+        }
+    }
+
+    /// Current transaction status.
+    pub fn status(&self) -> TxnStatus {
+        self.status
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&mut self) -> Result<()> {
+        if self.status == TxnStatus::Active {
+            return Err(ModelError::TransactionActive);
+        }
+        debug_assert!(self.undo.is_empty());
+        self.status = TxnStatus::Active;
+        Ok(())
+    }
+
+    /// Commit: discard the undo log, keep all changes.
+    pub fn commit(&mut self) -> Result<()> {
+        if self.status != TxnStatus::Active {
+            return Err(ModelError::NoActiveTransaction);
+        }
+        self.undo.clear();
+        self.status = TxnStatus::Idle;
+        Ok(())
+    }
+
+    /// Rollback: undo every change of the active transaction (reverse order).
+    pub fn rollback(&mut self) -> Result<()> {
+        if self.status != TxnStatus::Active {
+            return Err(ModelError::NoActiveTransaction);
+        }
+        while let Some(op) = self.undo.pop() {
+            match op {
+                Undo::RemoveObject(oid) => {
+                    if let Some(obj) = self.objects.remove(&oid) {
+                        self.extent_mut(obj.class).remove(&oid);
+                    }
+                }
+                Undo::RestoreObject(obj) => {
+                    self.extent_mut(obj.class).insert(obj.oid);
+                    self.objects.insert(obj.oid, obj);
+                }
+                Undo::RestoreAttr(oid, attr, value) => {
+                    if let Some(obj) = self.objects.get_mut(&oid) {
+                        obj.set(attr, value);
+                    }
+                }
+                Undo::RestoreShape(oid, class, attrs) => {
+                    if let Some(obj) = self.objects.get_mut(&oid) {
+                        self.extents.get_mut(&obj.class).map(|e| e.remove(&oid));
+                        obj.class = class;
+                        obj.attrs = attrs;
+                        self.extents.entry(class).or_default().insert(oid);
+                    }
+                }
+                Undo::RestoreNextOid(v) => self.next_oid = v,
+            }
+        }
+        self.status = TxnStatus::Idle;
+        Ok(())
+    }
+
+    fn extent_mut(&mut self, class: ClassId) -> &mut BTreeSet<Oid> {
+        self.extents.entry(class).or_default()
+    }
+
+    fn require_txn(&self) -> Result<()> {
+        if self.status != TxnStatus::Active {
+            return Err(ModelError::NoActiveTransaction);
+        }
+        Ok(())
+    }
+
+    /// Create an object of `class`. `inits` assigns values to named slots;
+    /// unassigned slots take the declared default.
+    pub fn create(
+        &mut self,
+        schema: &Schema,
+        class: ClassId,
+        inits: &[(AttrId, Value)],
+    ) -> Result<Mutation> {
+        self.require_txn()?;
+        let def = schema.class(class)?;
+        let mut attrs: Vec<Value> = def.attrs.iter().map(|a| a.default.clone()).collect();
+        for (attr, value) in inits {
+            let adef = schema.attr(class, *attr)?;
+            if !value.conforms_to(adef.ty) {
+                return Err(ModelError::TypeMismatch {
+                    class: def.name.clone(),
+                    attr: adef.name.clone(),
+                    expected: adef.ty,
+                });
+            }
+            attrs[attr.index()] = value.clone();
+        }
+        let oid = Oid(self.next_oid);
+        self.undo.push(Undo::RestoreNextOid(self.next_oid));
+        self.next_oid += 1;
+        self.objects.insert(oid, Object { oid, class, attrs });
+        self.extent_mut(class).insert(oid);
+        self.undo.push(Undo::RemoveObject(oid));
+        Ok(Mutation {
+            kind: MutationKind::Create,
+            oid,
+            class,
+        })
+    }
+
+    /// Delete an object.
+    pub fn delete(&mut self, oid: Oid) -> Result<Mutation> {
+        self.require_txn()?;
+        let obj = self
+            .objects
+            .remove(&oid)
+            .ok_or(ModelError::UnknownObject(oid))?;
+        self.extent_mut(obj.class).remove(&oid);
+        let class = obj.class;
+        self.undo.push(Undo::RestoreObject(obj));
+        Ok(Mutation {
+            kind: MutationKind::Delete,
+            oid,
+            class,
+        })
+    }
+
+    /// Modify one attribute of an object.
+    pub fn modify(
+        &mut self,
+        schema: &Schema,
+        oid: Oid,
+        attr: AttrId,
+        value: Value,
+    ) -> Result<Mutation> {
+        self.require_txn()?;
+        let obj = self
+            .objects
+            .get_mut(&oid)
+            .ok_or(ModelError::UnknownObject(oid))?;
+        let class = obj.class;
+        let adef = schema.attr(class, attr)?;
+        if !value.conforms_to(adef.ty) {
+            return Err(ModelError::TypeMismatch {
+                class: schema.class_name(class).to_owned(),
+                attr: adef.name.clone(),
+                expected: adef.ty,
+            });
+        }
+        let old = obj.set(attr, value);
+        self.undo.push(Undo::RestoreAttr(oid, attr, old));
+        Ok(Mutation {
+            kind: MutationKind::Modify(attr),
+            oid,
+            class,
+        })
+    }
+
+    /// Migrate an object *down* to `target`, a strict subclass of its
+    /// current class. New slots take their declared defaults.
+    pub fn specialize(&mut self, schema: &Schema, oid: Oid, target: ClassId) -> Result<Mutation> {
+        self.require_txn()?;
+        let obj = self
+            .objects
+            .get(&oid)
+            .ok_or(ModelError::UnknownObject(oid))?;
+        let from = obj.class;
+        if !schema.is_strict_subclass(target, from) {
+            return Err(ModelError::NotASubclass { from, to: target });
+        }
+        let tdef = schema.class(target)?;
+        let obj = self.objects.get_mut(&oid).expect("checked above");
+        self.undo
+            .push(Undo::RestoreShape(oid, from, obj.attrs.clone()));
+        for adef in &tdef.attrs[obj.attrs.len()..] {
+            obj.attrs.push(adef.default.clone());
+        }
+        obj.class = target;
+        self.extents.entry(from).or_default().remove(&oid);
+        self.extents.entry(target).or_default().insert(oid);
+        Ok(Mutation {
+            kind: MutationKind::Specialize,
+            oid,
+            class: target,
+        })
+    }
+
+    /// Migrate an object *up* to `target`, a strict superclass of its
+    /// current class. Subclass-only slots are dropped.
+    pub fn generalize(&mut self, schema: &Schema, oid: Oid, target: ClassId) -> Result<Mutation> {
+        self.require_txn()?;
+        let obj = self
+            .objects
+            .get(&oid)
+            .ok_or(ModelError::UnknownObject(oid))?;
+        let from = obj.class;
+        if !schema.is_strict_subclass(from, target) {
+            return Err(ModelError::NotASuperclass { from, to: target });
+        }
+        let tdef = schema.class(target)?;
+        let keep = tdef.attrs.len();
+        let obj = self.objects.get_mut(&oid).expect("checked above");
+        self.undo
+            .push(Undo::RestoreShape(oid, from, obj.attrs.clone()));
+        obj.attrs.truncate(keep);
+        obj.class = target;
+        self.extents.entry(from).or_default().remove(&oid);
+        self.extents.entry(target).or_default().insert(oid);
+        Ok(Mutation {
+            kind: MutationKind::Specialize, // placeholder, fixed below
+            oid,
+            class: target,
+        })
+        .map(|mut m| {
+            m.kind = MutationKind::Generalize;
+            m
+        })
+    }
+
+    /// Query the extent of `class` (optionally including subclasses),
+    /// returning matching objects and one `Select` mutation per object.
+    ///
+    /// Chimera counts `select` among the event types; callers that do not
+    /// want select events can ignore the mutations.
+    pub fn select(
+        &mut self,
+        schema: &Schema,
+        class: ClassId,
+        include_subclasses: bool,
+        mut pred: impl FnMut(&Object) -> bool,
+    ) -> Result<(Vec<Oid>, Vec<Mutation>)> {
+        self.require_txn()?;
+        let classes = if include_subclasses {
+            schema.descendants(class)
+        } else {
+            vec![class]
+        };
+        let mut oids = Vec::new();
+        let mut muts = Vec::new();
+        for c in classes {
+            if let Some(extent) = self.extents.get(&c) {
+                for &oid in extent {
+                    let obj = &self.objects[&oid];
+                    if pred(obj) {
+                        oids.push(oid);
+                        muts.push(Mutation {
+                            kind: MutationKind::Select,
+                            oid,
+                            class: c,
+                        });
+                    }
+                }
+            }
+        }
+        Ok((oids, muts))
+    }
+
+    /// Read-only object access.
+    pub fn get(&self, oid: Oid) -> Result<&Object> {
+        self.objects.get(&oid).ok_or(ModelError::UnknownObject(oid))
+    }
+
+    /// Does the object exist?
+    pub fn contains(&self, oid: Oid) -> bool {
+        self.objects.contains_key(&oid)
+    }
+
+    /// Read an attribute value.
+    pub fn read_attr(&self, oid: Oid, attr: AttrId) -> Result<&Value> {
+        let obj = self.get(oid)?;
+        obj.get(attr)
+            .ok_or(ModelError::UnknownAttributeId {
+                class: obj.class,
+                attr,
+            })
+    }
+
+    /// Objects whose current class is exactly `class`, in OID order.
+    pub fn extent(&self, class: ClassId) -> impl Iterator<Item = Oid> + '_ {
+        self.extents
+            .get(&class)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Objects of `class` or any subclass, in OID order.
+    pub fn extent_deep(&self, schema: &Schema, class: ClassId) -> Vec<Oid> {
+        let mut out: Vec<Oid> = schema
+            .descendants(class)
+            .into_iter()
+            .flat_map(|c| {
+                self.extents
+                    .get(&c)
+                    .map(|s| s.iter().copied().collect::<Vec<_>>())
+                    .unwrap_or_default()
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// All live objects in OID order (snapshot/recovery support).
+    pub fn snapshot_objects(&self) -> Vec<&Object> {
+        let mut out: Vec<&Object> = self.objects.values().collect();
+        out.sort_by_key(|o| o.oid);
+        out
+    }
+
+    /// The OID allocation counter (the next `create` receives this OID).
+    /// Durable logs must persist it: reconstructing it as `max + 1` would
+    /// re-use the OID of a deleted most-recent object.
+    pub fn next_oid_counter(&self) -> u64 {
+        self.next_oid
+    }
+
+    /// Rebuild a store from recovered objects and the persisted OID
+    /// counter. Extents are derived; the store starts idle (no open
+    /// transaction survives a crash by definition).
+    ///
+    /// Fails on duplicate OIDs or an OID at/above the counter — both
+    /// indicate a corrupt or truncated recovery source that the WAL
+    /// layer's checksums should have filtered already.
+    pub fn restore(objects: Vec<Object>, next_oid: u64) -> Result<Self> {
+        let mut store = ObjectStore::new();
+        store.next_oid = next_oid;
+        for obj in objects {
+            if obj.oid.0 >= next_oid {
+                return Err(ModelError::CorruptRestore(format!(
+                    "object {} at/above the OID counter {next_oid}",
+                    obj.oid
+                )));
+            }
+            let (oid, class) = (obj.oid, obj.class);
+            if store.objects.insert(oid, obj).is_some() {
+                return Err(ModelError::CorruptRestore(format!("duplicate object {oid}")));
+            }
+            store.extent_mut(class).insert(oid);
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrDef, SchemaBuilder};
+    use crate::value::AttrType;
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.class(
+            "stock",
+            None,
+            vec![
+                AttrDef::new("quantity", AttrType::Integer),
+                AttrDef::with_default("max_quantity", AttrType::Integer, Value::Int(100)),
+            ],
+        )
+        .unwrap();
+        b.class(
+            "perishable",
+            Some("stock"),
+            vec![AttrDef::new("expiry", AttrType::Time)],
+        )
+        .unwrap();
+        b.build()
+    }
+
+    fn open() -> (Schema, ObjectStore) {
+        let s = schema();
+        let mut st = ObjectStore::new();
+        st.begin().unwrap();
+        (s, st)
+    }
+
+    #[test]
+    fn create_uses_defaults_and_inits() {
+        let (s, mut st) = open();
+        let stock = s.class_by_name("stock").unwrap();
+        let q = s.attr_by_name(stock, "quantity").unwrap();
+        let m = st.create(&s, stock, &[(q, Value::Int(7))]).unwrap();
+        assert_eq!(m.kind, MutationKind::Create);
+        let obj = st.get(m.oid).unwrap();
+        assert_eq!(obj.get(q), Some(&Value::Int(7)));
+        // default applied
+        let maxq = s.attr_by_name(stock, "max_quantity").unwrap();
+        assert_eq!(obj.get(maxq), Some(&Value::Int(100)));
+    }
+
+    #[test]
+    fn create_type_checked() {
+        let (s, mut st) = open();
+        let stock = s.class_by_name("stock").unwrap();
+        let q = s.attr_by_name(stock, "quantity").unwrap();
+        let err = st
+            .create(&s, stock, &[(q, Value::Str("x".into()))])
+            .unwrap_err();
+        assert!(matches!(err, ModelError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn modify_and_read() {
+        let (s, mut st) = open();
+        let stock = s.class_by_name("stock").unwrap();
+        let q = s.attr_by_name(stock, "quantity").unwrap();
+        let m = st.create(&s, stock, &[]).unwrap();
+        let mm = st.modify(&s, m.oid, q, Value::Int(42)).unwrap();
+        assert_eq!(mm.kind, MutationKind::Modify(q));
+        assert_eq!(st.read_attr(m.oid, q).unwrap(), &Value::Int(42));
+    }
+
+    #[test]
+    fn delete_removes_from_extent() {
+        let (s, mut st) = open();
+        let stock = s.class_by_name("stock").unwrap();
+        let m = st.create(&s, stock, &[]).unwrap();
+        assert_eq!(st.extent(stock).count(), 1);
+        let dm = st.delete(m.oid).unwrap();
+        assert_eq!(dm.kind, MutationKind::Delete);
+        assert_eq!(st.extent(stock).count(), 0);
+        assert!(st.get(m.oid).is_err());
+    }
+
+    #[test]
+    fn oids_never_reused_after_rollback_of_later_txn() {
+        let (s, mut st) = open();
+        let stock = s.class_by_name("stock").unwrap();
+        let m1 = st.create(&s, stock, &[]).unwrap();
+        st.commit().unwrap();
+        st.begin().unwrap();
+        let m2 = st.create(&s, stock, &[]).unwrap();
+        assert!(m2.oid > m1.oid);
+        st.rollback().unwrap();
+        // rolled back txn restores the watermark: acceptable to reuse within
+        // the aborted range, but committed OIDs are never clobbered.
+        st.begin().unwrap();
+        let m3 = st.create(&s, stock, &[]).unwrap();
+        assert!(m3.oid > m1.oid);
+        assert!(st.contains(m1.oid));
+    }
+
+    #[test]
+    fn rollback_restores_everything() {
+        let (s, mut st) = open();
+        let stock = s.class_by_name("stock").unwrap();
+        let q = s.attr_by_name(stock, "quantity").unwrap();
+        let m = st.create(&s, stock, &[(q, Value::Int(1))]).unwrap();
+        st.commit().unwrap();
+
+        st.begin().unwrap();
+        st.modify(&s, m.oid, q, Value::Int(99)).unwrap();
+        let m2 = st.create(&s, stock, &[]).unwrap();
+        st.delete(m.oid).unwrap();
+        st.rollback().unwrap();
+
+        assert!(st.contains(m.oid));
+        assert!(!st.contains(m2.oid));
+        assert_eq!(st.read_attr(m.oid, q).unwrap(), &Value::Int(1));
+        assert_eq!(st.extent(stock).count(), 1);
+    }
+
+    #[test]
+    fn specialize_then_generalize_roundtrip() {
+        let (s, mut st) = open();
+        let stock = s.class_by_name("stock").unwrap();
+        let perishable = s.class_by_name("perishable").unwrap();
+        let q = s.attr_by_name(stock, "quantity").unwrap();
+        let m = st.create(&s, stock, &[(q, Value::Int(5))]).unwrap();
+
+        let sm = st.specialize(&s, m.oid, perishable).unwrap();
+        assert_eq!(sm.kind, MutationKind::Specialize);
+        assert_eq!(sm.class, perishable);
+        let obj = st.get(m.oid).unwrap();
+        assert_eq!(obj.class, perishable);
+        assert_eq!(obj.attrs.len(), 3);
+        assert_eq!(obj.get(q), Some(&Value::Int(5))); // kept
+
+        let gm = st.generalize(&s, m.oid, stock).unwrap();
+        assert_eq!(gm.kind, MutationKind::Generalize);
+        let obj = st.get(m.oid).unwrap();
+        assert_eq!(obj.class, stock);
+        assert_eq!(obj.attrs.len(), 2);
+        // extents updated
+        assert_eq!(st.extent(stock).count(), 1);
+        assert_eq!(st.extent(perishable).count(), 0);
+    }
+
+    #[test]
+    fn invalid_migrations_rejected() {
+        let (s, mut st) = open();
+        let stock = s.class_by_name("stock").unwrap();
+        let perishable = s.class_by_name("perishable").unwrap();
+        let m = st.create(&s, stock, &[]).unwrap();
+        assert!(matches!(
+            st.generalize(&s, m.oid, perishable).unwrap_err(),
+            ModelError::NotASuperclass { .. }
+        ));
+        assert!(matches!(
+            st.specialize(&s, m.oid, stock).unwrap_err(),
+            ModelError::NotASubclass { .. }
+        ));
+    }
+
+    #[test]
+    fn rollback_restores_migrations() {
+        let (s, mut st) = open();
+        let stock = s.class_by_name("stock").unwrap();
+        let perishable = s.class_by_name("perishable").unwrap();
+        let m = st.create(&s, stock, &[]).unwrap();
+        st.commit().unwrap();
+        st.begin().unwrap();
+        st.specialize(&s, m.oid, perishable).unwrap();
+        st.rollback().unwrap();
+        let obj = st.get(m.oid).unwrap();
+        assert_eq!(obj.class, stock);
+        assert_eq!(obj.attrs.len(), 2);
+        assert_eq!(st.extent(stock).count(), 1);
+    }
+
+    #[test]
+    fn select_with_predicate_and_subclasses() {
+        let (s, mut st) = open();
+        let stock = s.class_by_name("stock").unwrap();
+        let perishable = s.class_by_name("perishable").unwrap();
+        let q = s.attr_by_name(stock, "quantity").unwrap();
+        st.create(&s, stock, &[(q, Value::Int(1))]).unwrap();
+        st.create(&s, stock, &[(q, Value::Int(10))]).unwrap();
+        st.create(&s, perishable, &[(q, Value::Int(10))]).unwrap();
+        let (oids, muts) = st
+            .select(&s, stock, true, |o| {
+                o.get(q).map(|v| v.predicate_eq(&Value::Int(10))).unwrap_or(false)
+            })
+            .unwrap();
+        assert_eq!(oids.len(), 2);
+        assert!(muts.iter().all(|m| m.kind == MutationKind::Select));
+        let (shallow, _) = st
+            .select(&s, stock, false, |o| {
+                o.get(q).map(|v| v.predicate_eq(&Value::Int(10))).unwrap_or(false)
+            })
+            .unwrap();
+        assert_eq!(shallow.len(), 1);
+    }
+
+    #[test]
+    fn operations_require_transaction() {
+        let s = schema();
+        let mut st = ObjectStore::new();
+        let stock = s.class_by_name("stock").unwrap();
+        assert!(matches!(
+            st.create(&s, stock, &[]).unwrap_err(),
+            ModelError::NoActiveTransaction
+        ));
+        assert!(st.commit().is_err());
+        assert!(st.rollback().is_err());
+        st.begin().unwrap();
+        assert!(st.begin().is_err());
+    }
+
+    #[test]
+    fn extent_deep_sorted() {
+        let (s, mut st) = open();
+        let stock = s.class_by_name("stock").unwrap();
+        let perishable = s.class_by_name("perishable").unwrap();
+        let a = st.create(&s, perishable, &[]).unwrap();
+        let b = st.create(&s, stock, &[]).unwrap();
+        let deep = st.extent_deep(&s, stock);
+        assert_eq!(deep, vec![a.oid, b.oid]);
+    }
+
+    #[test]
+    fn snapshot_and_restore_round_trip() {
+        let (s, mut st) = open();
+        let stock = s.class_by_name("stock").unwrap();
+        let q = s.attr_by_name(stock, "quantity").unwrap();
+        let a = st.create(&s, stock, &[(q, Value::Int(3))]).unwrap();
+        let b = st.create(&s, stock, &[]).unwrap();
+        st.delete(b.oid).unwrap();
+        st.commit().unwrap();
+
+        let objects: Vec<Object> = st.snapshot_objects().into_iter().cloned().collect();
+        let counter = st.next_oid_counter();
+        assert_eq!(counter, 3, "two allocations happened");
+
+        let mut restored = ObjectStore::restore(objects, counter).unwrap();
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored.read_attr(a.oid, q).unwrap(), &Value::Int(3));
+        assert_eq!(restored.extent(stock).collect::<Vec<_>>(), vec![a.oid]);
+        // the counter survived: the next create does not re-use b's OID
+        restored.begin().unwrap();
+        let c = restored.create(&s, stock, &[]).unwrap();
+        assert_eq!(c.oid, Oid(3));
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_input() {
+        let obj = Object {
+            oid: Oid(5),
+            class: ClassId(0),
+            attrs: vec![],
+        };
+        // OID at/above the counter
+        assert!(matches!(
+            ObjectStore::restore(vec![obj.clone()], 5),
+            Err(ModelError::CorruptRestore(_))
+        ));
+        // duplicate OID
+        assert!(matches!(
+            ObjectStore::restore(vec![obj.clone(), obj], 6),
+            Err(ModelError::CorruptRestore(_))
+        ));
+    }
+}

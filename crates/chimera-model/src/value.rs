@@ -1,0 +1,279 @@
+//! Attribute values and their types.
+//!
+//! Chimera attributes are typed; the engine checks values against the
+//! declared [`AttrType`] at object creation and modification time.
+
+use crate::ids::Oid;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Declared type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// 64-bit signed integer.
+    Integer,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    String,
+    /// Boolean.
+    Boolean,
+    /// Logical time value (used by the `at` event formula's `T` variable).
+    Time,
+    /// Reference to another object (untyped reference: any class).
+    ObjectRef,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Integer => "integer",
+            AttrType::Float => "float",
+            AttrType::String => "string",
+            AttrType::Boolean => "boolean",
+            AttrType::Time => "time",
+            AttrType::ObjectRef => "object",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Runtime attribute value.
+///
+/// `Null` is the default for attributes without an explicit default value;
+/// comparisons against `Null` are always false (three-valued logic is not
+/// needed for the paper's examples, so predicates simply fail on `Null`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent value.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Float(f64),
+    /// String value.
+    Str(String),
+    /// Boolean value.
+    Bool(bool),
+    /// Logical timestamp value.
+    Time(u64),
+    /// Object reference.
+    Ref(Oid),
+}
+
+impl Value {
+    /// Does this value conform to `ty`? `Null` conforms to every type.
+    pub fn conforms_to(&self, ty: AttrType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), AttrType::Integer)
+                | (Value::Float(_), AttrType::Float)
+                | (Value::Str(_), AttrType::String)
+                | (Value::Bool(_), AttrType::Boolean)
+                | (Value::Time(_), AttrType::Time)
+                | (Value::Ref(_), AttrType::ObjectRef)
+        )
+    }
+
+    /// The [`AttrType`] this value naturally has, if any (`Null` has none).
+    pub fn natural_type(&self) -> Option<AttrType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(AttrType::Integer),
+            Value::Float(_) => Some(AttrType::Float),
+            Value::Str(_) => Some(AttrType::String),
+            Value::Bool(_) => Some(AttrType::Boolean),
+            Value::Time(_) => Some(AttrType::Time),
+            Value::Ref(_) => Some(AttrType::ObjectRef),
+        }
+    }
+
+    /// True iff the value is `Null`.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Comparison used by condition predicates.
+    ///
+    /// Returns `None` when the values are incomparable (type mismatch or
+    /// either side `Null`), in which case the predicate fails. Integers and
+    /// floats compare numerically with each other.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Time(a), Value::Time(b)) => Some(a.cmp(b)),
+            (Value::Ref(a), Value::Ref(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Equality used by condition predicates (`None`-safe wrapper).
+    pub fn predicate_eq(&self, other: &Value) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+
+    /// Arithmetic addition for action expressions (`Int`/`Float` mix).
+    pub fn add(&self, other: &Value) -> Option<Value> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(Value::Int(a.wrapping_add(*b))),
+            (Value::Float(a), Value::Float(b)) => Some(Value::Float(a + b)),
+            (Value::Int(a), Value::Float(b)) => Some(Value::Float(*a as f64 + b)),
+            (Value::Float(a), Value::Int(b)) => Some(Value::Float(a + *b as f64)),
+            _ => None,
+        }
+    }
+
+    /// Arithmetic subtraction for action expressions.
+    pub fn sub(&self, other: &Value) -> Option<Value> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(Value::Int(a.wrapping_sub(*b))),
+            (Value::Float(a), Value::Float(b)) => Some(Value::Float(a - b)),
+            (Value::Int(a), Value::Float(b)) => Some(Value::Float(*a as f64 - b)),
+            (Value::Float(a), Value::Int(b)) => Some(Value::Float(a - *b as f64)),
+            _ => None,
+        }
+    }
+
+    /// Arithmetic multiplication for action expressions.
+    pub fn mul(&self, other: &Value) -> Option<Value> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(Value::Int(a.wrapping_mul(*b))),
+            (Value::Float(a), Value::Float(b)) => Some(Value::Float(a * b)),
+            (Value::Int(a), Value::Float(b)) => Some(Value::Float(*a as f64 * b)),
+            (Value::Float(a), Value::Int(b)) => Some(Value::Float(a * *b as f64)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Time(v) => write!(f, "t{v}"),
+            Value::Ref(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<Oid> for Value {
+    fn from(v: Oid) -> Self {
+        Value::Ref(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance() {
+        assert!(Value::Int(3).conforms_to(AttrType::Integer));
+        assert!(!Value::Int(3).conforms_to(AttrType::Float));
+        assert!(Value::Null.conforms_to(AttrType::String));
+        assert!(Value::Ref(Oid(1)).conforms_to(AttrType::ObjectRef));
+        assert!(Value::Time(9).conforms_to(AttrType::Time));
+        assert!(!Value::Bool(true).conforms_to(AttrType::Integer));
+    }
+
+    #[test]
+    fn natural_types() {
+        assert_eq!(Value::Null.natural_type(), None);
+        assert_eq!(Value::Int(1).natural_type(), Some(AttrType::Integer));
+        assert_eq!(
+            Value::Str("x".into()).natural_type(),
+            Some(AttrType::String)
+        );
+    }
+
+    #[test]
+    fn null_is_incomparable() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).compare(&Value::Null), None);
+        assert!(!Value::Null.predicate_eq(&Value::Null));
+    }
+
+    #[test]
+    fn numeric_cross_comparison() {
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.0).compare(&Value::Int(3)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn mismatched_types_incomparable() {
+        assert_eq!(Value::Int(1).compare(&Value::Str("1".into())), None);
+        assert_eq!(Value::Bool(true).compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)), Some(Value::Int(5)));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)),
+            Some(Value::Float(2.5))
+        );
+        assert_eq!(Value::Int(7).sub(&Value::Int(2)), Some(Value::Int(5)));
+        assert_eq!(Value::Int(3).mul(&Value::Int(4)), Some(Value::Int(12)));
+        assert_eq!(Value::Str("a".into()).add(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Str("hi".into()).to_string(), "\"hi\"");
+        assert_eq!(Value::Time(4).to_string(), "t4");
+        assert_eq!(Value::Ref(Oid(2)).to_string(), "o2");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(4i64), Value::Int(4));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+        assert_eq!(Value::from(Oid(3)), Value::Ref(Oid(3)));
+    }
+}

@@ -1,0 +1,202 @@
+//! Text encoding of values and objects for WAL/snapshot lines.
+//!
+//! One object per line. Values are type-tagged tokens; floats are encoded
+//! as IEEE-754 bit patterns in hex so the round trip is exact; strings are
+//! percent-escaped so a token never contains whitespace, commas or
+//! newlines. The whole format stays `grep`-able, which is worth more for
+//! a reproduction repository than a binary layout.
+
+use crate::{PersistError, Result};
+use chimera_model::{ClassId, Object, Oid, Value};
+use std::fmt::Write as _;
+
+/// Encode one value as a single token (no whitespace/comma/newline).
+pub fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => "_".to_string(),
+        Value::Int(i) => format!("i:{i}"),
+        Value::Float(x) => format!("f:{:016x}", x.to_bits()),
+        Value::Str(s) => format!("s:{}", escape(s)),
+        Value::Bool(b) => format!("b:{}", u8::from(*b)),
+        Value::Time(t) => format!("t:{t}"),
+        Value::Ref(oid) => format!("r:{}", oid.0),
+    }
+}
+
+/// Decode one value token.
+pub fn decode_value(tok: &str) -> Result<Value> {
+    if tok == "_" {
+        return Ok(Value::Null);
+    }
+    let (tag, body) = tok
+        .split_once(':')
+        .ok_or_else(|| PersistError::Corrupt(format!("value token `{tok}`")))?;
+    let bad = || PersistError::Corrupt(format!("value token `{tok}`"));
+    match tag {
+        "i" => body.parse().map(Value::Int).map_err(|_| bad()),
+        "f" => u64::from_str_radix(body, 16)
+            .map(|bits| Value::Float(f64::from_bits(bits)))
+            .map_err(|_| bad()),
+        "s" => unescape(body).map(Value::Str),
+        "b" => match body {
+            "0" => Ok(Value::Bool(false)),
+            "1" => Ok(Value::Bool(true)),
+            _ => Err(bad()),
+        },
+        "t" => body.parse().map(Value::Time).map_err(|_| bad()),
+        "r" => body.parse().map(|n| Value::Ref(Oid(n))).map_err(|_| bad()),
+        _ => Err(bad()),
+    }
+}
+
+/// Percent-escape everything a token must not contain (all ASCII, so the
+/// two-hex-digit escape is unambiguous; other characters pass through as
+/// UTF-8).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' | ',' | ' ' | '\t' | '\n' | '\r' => {
+                let _ = write!(out, "%{:02x}", c as u32);
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| PersistError::Corrupt(format!("escape in `{s}`")))?;
+            let code = u8::from_str_radix(
+                std::str::from_utf8(hex)
+                    .map_err(|_| PersistError::Corrupt(format!("escape in `{s}`")))?,
+                16,
+            )
+            .map_err(|_| PersistError::Corrupt(format!("escape in `{s}`")))?;
+            out.push(code);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| PersistError::Corrupt(format!("utf8 in `{s}`")))
+}
+
+/// Encode an object's payload (everything after the record tag):
+/// `<oid> <class> <v0>,<v1>,…` (a lone `-` for zero attributes).
+pub fn encode_object(obj: &Object) -> String {
+    let attrs = if obj.attrs.is_empty() {
+        "-".to_string()
+    } else {
+        obj.attrs
+            .iter()
+            .map(encode_value)
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!("{} {} {}", obj.oid.0, obj.class.0, attrs)
+}
+
+/// Decode an object payload produced by [`encode_object`].
+pub fn decode_object(payload: &str) -> Result<Object> {
+    let mut parts = payload.split(' ');
+    let bad = || PersistError::Corrupt(format!("object payload `{payload}`"));
+    let oid: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let class: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let attrs_tok = parts.next().ok_or_else(bad)?;
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    let attrs = if attrs_tok == "-" {
+        Vec::new()
+    } else {
+        attrs_tok
+            .split(',')
+            .map(decode_value)
+            .collect::<Result<Vec<_>>>()?
+    };
+    Ok(Object {
+        oid: Oid(oid),
+        class: ClassId(class),
+        attrs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: Value) {
+        let tok = encode_value(&v);
+        assert!(
+            !tok.contains(' ') && !tok.contains(',') && !tok.contains('\n'),
+            "token must be atomic: `{tok}`"
+        );
+        assert_eq!(decode_value(&tok).unwrap(), v);
+    }
+
+    #[test]
+    fn value_round_trips() {
+        round_trip(Value::Null);
+        round_trip(Value::Int(-42));
+        round_trip(Value::Int(i64::MAX));
+        round_trip(Value::Bool(true));
+        round_trip(Value::Bool(false));
+        round_trip(Value::Time(17));
+        round_trip(Value::Ref(Oid(3)));
+        round_trip(Value::Str(String::new()));
+        round_trip(Value::Str("plain".into()));
+        round_trip(Value::Str("with space, comma\nand % sign".into()));
+        round_trip(Value::Str("unicode: ü β 事".into()));
+    }
+
+    #[test]
+    fn float_round_trips_exactly() {
+        for x in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, f64::INFINITY, -1.0e300] {
+            let Value::Float(y) = decode_value(&encode_value(&Value::Float(x))).unwrap() else {
+                panic!("float expected");
+            };
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // NaN keeps its bit pattern too
+        let nan = f64::from_bits(0x7ff8_0000_0000_1234);
+        let Value::Float(y) = decode_value(&encode_value(&Value::Float(nan))).unwrap() else {
+            panic!("float expected");
+        };
+        assert_eq!(nan.to_bits(), y.to_bits());
+    }
+
+    #[test]
+    fn object_round_trips() {
+        let obj = Object {
+            oid: Oid(7),
+            class: ClassId(2),
+            attrs: vec![Value::Int(1), Value::Null, Value::Str("x y".into())],
+        };
+        assert_eq!(decode_object(&encode_object(&obj)).unwrap(), obj);
+        let empty = Object {
+            oid: Oid(1),
+            class: ClassId(0),
+            attrs: vec![],
+        };
+        assert_eq!(decode_object(&encode_object(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn malformed_tokens_are_rejected() {
+        for tok in ["x:1", "i:", "i:abc", "f:zz", "b:2", "nocolon", "s:%g1", "s:%4"] {
+            assert!(decode_value(tok).is_err(), "token `{tok}` must fail");
+        }
+        for payload in ["", "1", "1 2", "1 2 i:3 extra", "x 2 -"] {
+            assert!(decode_object(payload).is_err(), "payload `{payload}` must fail");
+        }
+    }
+}

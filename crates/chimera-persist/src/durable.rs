@@ -1,0 +1,508 @@
+//! The durable engine: `chimera_exec::Engine` + WAL + snapshot.
+//!
+//! Layout of a database directory:
+//!
+//! ```text
+//! <dir>/snapshot.chi   # last compaction (optional)
+//! <dir>/wal.log        # redo batches committed since the snapshot
+//! ```
+//!
+//! On commit, the wrapper derives the transaction's redo batch from the
+//! engine's own event base — every OID the transaction's occurrences
+//! touched is either live (→ `Put` with its full post-state) or not
+//! (→ idempotent `Delete`) — appends it to the WAL with fsync, and only
+//! then commits the in-memory engine. Rule side effects need no special
+//! treatment: their mutations are event occurrences like any others.
+//!
+//! Recovery ([`DurableEngine::open`]) loads the snapshot (if any),
+//! replays every fully-committed WAL batch on top, cuts a torn tail, and
+//! hands back a fresh engine over the restored store. Rule definitions
+//! are code, not data (the paper's rules live in the schema/program), so
+//! `open` takes the trigger definitions the caller would have defined
+//! anyway.
+
+use crate::snapshot::Snapshot;
+use crate::wal::{RedoRecord, Wal};
+use crate::Result;
+use chimera_events::{EventOccurrence, Timestamp, Window};
+use chimera_exec::{Engine, EngineConfig, Op};
+use chimera_model::{ClassId, ObjectStore, Oid, Schema};
+use chimera_rules::TriggerDef;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What recovery found on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Commit sequence of the loaded snapshot (0 when none existed).
+    pub snapshot_seq: u64,
+    /// WAL batches replayed on top of the snapshot.
+    pub replayed: u64,
+    /// Description of a torn tail that was cut, if any.
+    pub torn_tail: Option<String>,
+    /// Live objects after recovery.
+    pub objects: usize,
+}
+
+/// A crash-safe wrapper around [`Engine`].
+#[derive(Debug)]
+pub struct DurableEngine {
+    engine: Engine,
+    wal: Wal,
+    snapshot_path: PathBuf,
+    /// Sequence of the last durable commit.
+    committed_seq: u64,
+    /// Event-base instant at which the running transaction began.
+    txn_start: Option<Timestamp>,
+    /// Set when a WAL append failed after the in-memory commit: memory
+    /// and log have diverged, and only a reopen (which replays the log)
+    /// restores consistency. All further mutations are refused.
+    poisoned: bool,
+}
+
+impl DurableEngine {
+    /// Open (or create) the database in `dir`: recover committed state,
+    /// cut any torn WAL tail, define `triggers`, and return the engine
+    /// plus the recovery report.
+    pub fn open(
+        schema: Schema,
+        config: EngineConfig,
+        dir: &Path,
+        triggers: Vec<TriggerDef>,
+    ) -> Result<(Self, RecoveryReport)> {
+        fs::create_dir_all(dir)?;
+        let snapshot_path = dir.join("snapshot.chi");
+        let wal_path = dir.join("wal.log");
+
+        let snap = Snapshot::read(&snapshot_path)?;
+        let (mut objects, mut next_oid, snapshot_seq) = match snap {
+            Some(s) => {
+                let map = s.objects.iter().map(|o| (o.oid, o.clone())).collect();
+                (map, s.next_oid, s.seq)
+            }
+            None => (std::collections::BTreeMap::new(), 1, 0),
+        };
+
+        let outcome = Wal::read(&wal_path, snapshot_seq + 1)?;
+        for batch in &outcome.batches {
+            batch.apply(&mut objects, &mut next_oid);
+        }
+        Wal::repair(&wal_path, &outcome)?;
+        let replayed = outcome.batches.len() as u64;
+        let committed_seq = snapshot_seq + replayed;
+
+        let store = ObjectStore::restore(objects.into_values().collect(), next_oid)?;
+        let report = RecoveryReport {
+            snapshot_seq,
+            replayed,
+            torn_tail: outcome.torn.clone(),
+            objects: store.len(),
+        };
+
+        let mut engine = Engine::with_restored_store(schema, store, config);
+        for def in triggers {
+            engine.define_trigger(def)?;
+        }
+        let wal = Wal::open_append(&wal_path, committed_seq + 1)?;
+        Ok((
+            DurableEngine {
+                engine,
+                wal,
+                snapshot_path,
+                committed_seq,
+                txn_start: None,
+                poisoned: false,
+            },
+            report,
+        ))
+    }
+
+    /// The wrapped engine (read-only: all mutations must go through the
+    /// durable passthroughs so commits hit the log).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Sequence number of the last durable commit.
+    pub fn committed_seq(&self) -> u64 {
+        self.committed_seq
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(crate::PersistError::Corrupt(
+                "engine poisoned by a failed WAL append; reopen to recover".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&mut self) -> Result<()> {
+        self.check_poisoned()?;
+        self.engine.begin()?;
+        self.txn_start = Some(self.engine.event_base().now());
+        Ok(())
+    }
+
+    /// Execute one transaction line.
+    pub fn exec_block(&mut self, ops: &[Op]) -> Result<Vec<EventOccurrence>> {
+        Ok(self.engine.exec_block(ops)?)
+    }
+
+    /// Deliver external events (clock ticks, application events).
+    pub fn raise_external(
+        &mut self,
+        events: &[(ClassId, u32, Oid)],
+    ) -> Result<Vec<EventOccurrence>> {
+        Ok(self.engine.raise_external(events)?)
+    }
+
+    /// Commit: drain deferred rules and commit in memory, derive the redo
+    /// batch from the transaction's event window against the committed
+    /// store, append it to the WAL (fsync), then report success.
+    ///
+    /// The durability point is the WAL append: the disk only ever changes
+    /// through the log, so a crash before the append simply loses the
+    /// transaction (the caller never saw `Ok`), and a crash after it is
+    /// replayed — never a torn state. The in-memory commit must run
+    /// *first* because deferred rules still mutate the store at commit
+    /// time and the log must carry their effects. If the append itself
+    /// fails, memory and log have diverged; the engine is poisoned and
+    /// every further mutation refused until a reopen replays the log.
+    pub fn commit(&mut self) -> Result<()> {
+        self.check_poisoned()?;
+        let start = self
+            .txn_start
+            .take()
+            .ok_or(chimera_exec::ExecError::NoActiveTransaction)?;
+        self.engine.commit()?;
+        let end = self.engine.event_base().now();
+        let records = self.redo_records(Window::new(start, end));
+        match self.wal.append(records, self.engine.store().next_oid_counter()) {
+            Ok(seq) => {
+                self.committed_seq = seq;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Rollback: nothing reaches the log.
+    pub fn rollback(&mut self) -> Result<()> {
+        self.txn_start = None;
+        self.engine.rollback()?;
+        Ok(())
+    }
+
+    /// Compact: write a snapshot at the current committed sequence and
+    /// truncate the WAL. Callable between transactions only.
+    pub fn compact(&mut self) -> Result<()> {
+        assert!(
+            !self.engine.in_transaction(),
+            "compact must run between transactions"
+        );
+        let snap = Snapshot {
+            seq: self.committed_seq,
+            objects: self
+                .engine
+                .store()
+                .snapshot_objects()
+                .into_iter()
+                .cloned()
+                .collect(),
+            next_oid: self.engine.store().next_oid_counter(),
+        };
+        snap.write(&self.snapshot_path)?;
+        self.wal.truncate(self.committed_seq + 1)?;
+        Ok(())
+    }
+
+    /// Redo records for every object touched by occurrences in `w`.
+    fn redo_records(&self, w: Window) -> Vec<RedoRecord> {
+        let touched: BTreeSet<Oid> = self
+            .engine
+            .event_base()
+            .slice(w)
+            .iter()
+            .map(|e| e.oid)
+            .collect();
+        touched
+            .into_iter()
+            .map(|oid| match self.engine.store().get(oid) {
+                Ok(obj) => RedoRecord::Put(obj.clone()),
+                // deleted in this transaction, created-then-deleted, or a
+                // pseudo-object (external events): an idempotent delete
+                // reproduces "not live" in all three cases.
+                Err(_) => RedoRecord::Delete(oid),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_calculus::EventExpr;
+    use chimera_events::EventType;
+    use chimera_model::{AttrDef, AttrType, Value};
+    use chimera_rules::{ActionStmt, Condition, Formula, Term, VarDecl};
+
+    fn schema() -> Schema {
+        let mut b = chimera_model::SchemaBuilder::new();
+        b.class(
+            "stock",
+            None,
+            vec![
+                AttrDef::new("quantity", AttrType::Integer),
+                AttrDef::with_default("max_quantity", AttrType::Integer, Value::Int(100)),
+            ],
+        )
+        .unwrap();
+        b.build()
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "chimera-durable-{name}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn clamp_trigger(schema: &Schema) -> TriggerDef {
+        let stock = schema.class_by_name("stock").unwrap();
+        let mut def = TriggerDef::new("clamp", EventExpr::prim(EventType::create(stock)));
+        def.condition = Condition {
+            decls: vec![VarDecl {
+                name: "S".into(),
+                class: "stock".into(),
+            }],
+            formulas: vec![
+                Formula::Occurred {
+                    expr: EventExpr::prim(EventType::create(stock)),
+                    var: "S".into(),
+                },
+                Formula::Compare {
+                    lhs: Term::attr("S", "quantity"),
+                    op: chimera_rules::CmpOp::Gt,
+                    rhs: Term::attr("S", "max_quantity"),
+                },
+            ],
+        };
+        def.actions = vec![ActionStmt::Modify {
+            var: "S".into(),
+            attr: "quantity".into(),
+            value: Term::attr("S", "max_quantity"),
+        }];
+        def
+    }
+
+    #[test]
+    fn committed_state_survives_reopen() {
+        let dir = tmpdir("reopen");
+        let schema = schema();
+        let stock = schema.class_by_name("stock").unwrap();
+        let q = schema.attr_by_name(stock, "quantity").unwrap();
+        let oid;
+        {
+            let (mut db, report) = DurableEngine::open(
+                schema.clone(),
+                EngineConfig::default(),
+                &dir,
+                vec![clamp_trigger(&schema)],
+            )
+            .unwrap();
+            assert_eq!(report.objects, 0);
+            db.begin().unwrap();
+            oid = db
+                .exec_block(&[Op::Create {
+                    class: stock,
+                    inits: vec![(q, Value::Int(500))],
+                }])
+                .unwrap()[0]
+                .oid;
+            db.commit().unwrap();
+            // the trigger clamped before commit; the log has the clamp
+            assert_eq!(
+                db.engine().read_attr(oid, "quantity").unwrap(),
+                Value::Int(100)
+            );
+        }
+        let (db, report) = DurableEngine::open(
+            schema.clone(),
+            EngineConfig::default(),
+            &dir,
+            vec![clamp_trigger(&schema)],
+        )
+        .unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.objects, 1);
+        assert!(report.torn_tail.is_none());
+        assert_eq!(
+            db.engine().read_attr(oid, "quantity").unwrap(),
+            Value::Int(100)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_transaction_is_lost() {
+        let dir = tmpdir("uncommitted");
+        let schema = schema();
+        let stock = schema.class_by_name("stock").unwrap();
+        {
+            let (mut db, _) =
+                DurableEngine::open(schema.clone(), EngineConfig::default(), &dir, vec![])
+                    .unwrap();
+            db.begin().unwrap();
+            db.exec_block(&[Op::Create {
+                class: stock,
+                inits: vec![],
+            }])
+            .unwrap();
+            // drop without commit = crash mid-transaction
+        }
+        let (db, report) =
+            DurableEngine::open(schema.clone(), EngineConfig::default(), &dir, vec![]).unwrap();
+        assert_eq!(report.objects, 0);
+        assert_eq!(db.committed_seq(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deletes_and_oid_counter_replay() {
+        let dir = tmpdir("deletes");
+        let schema = schema();
+        let stock = schema.class_by_name("stock").unwrap();
+        let survivor;
+        {
+            let (mut db, _) =
+                DurableEngine::open(schema.clone(), EngineConfig::default(), &dir, vec![])
+                    .unwrap();
+            db.begin().unwrap();
+            let a = db
+                .exec_block(&[Op::Create {
+                    class: stock,
+                    inits: vec![],
+                }])
+                .unwrap()[0]
+                .oid;
+            survivor = db
+                .exec_block(&[Op::Create {
+                    class: stock,
+                    inits: vec![],
+                }])
+                .unwrap()[0]
+                .oid;
+            db.exec_block(&[Op::Delete { oid: a }]).unwrap();
+            db.commit().unwrap();
+        }
+        let (mut db, report) =
+            DurableEngine::open(schema.clone(), EngineConfig::default(), &dir, vec![]).unwrap();
+        assert_eq!(report.objects, 1);
+        assert!(db.engine().store().contains(survivor));
+        // the deleted OID is not recycled after recovery
+        db.begin().unwrap();
+        let fresh = db
+            .exec_block(&[Op::Create {
+                class: stock,
+                inits: vec![],
+            }])
+            .unwrap()[0]
+            .oid;
+        assert!(fresh.0 > survivor.0);
+        db.commit().unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_then_more_commits_recovers() {
+        let dir = tmpdir("compact");
+        let schema = schema();
+        let stock = schema.class_by_name("stock").unwrap();
+        let q = schema.attr_by_name(stock, "quantity").unwrap();
+        let oid;
+        {
+            let (mut db, _) =
+                DurableEngine::open(schema.clone(), EngineConfig::default(), &dir, vec![])
+                    .unwrap();
+            db.begin().unwrap();
+            oid = db
+                .exec_block(&[Op::Create {
+                    class: stock,
+                    inits: vec![(q, Value::Int(1))],
+                }])
+                .unwrap()[0]
+                .oid;
+            db.commit().unwrap();
+            db.compact().unwrap();
+            // WAL now empty; one more commit on top of the snapshot
+            db.begin().unwrap();
+            db.exec_block(&[Op::Modify {
+                oid,
+                attr: q,
+                value: Value::Int(2),
+            }])
+            .unwrap();
+            db.commit().unwrap();
+        }
+        let (db, report) =
+            DurableEngine::open(schema.clone(), EngineConfig::default(), &dir, vec![]).unwrap();
+        assert_eq!(report.snapshot_seq, 1);
+        assert_eq!(report.replayed, 1);
+        assert_eq!(
+            db.engine().read_attr(oid, "quantity").unwrap(),
+            Value::Int(2)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rollback_reaches_no_log() {
+        let dir = tmpdir("rollback");
+        let schema = schema();
+        let stock = schema.class_by_name("stock").unwrap();
+        {
+            let (mut db, _) =
+                DurableEngine::open(schema.clone(), EngineConfig::default(), &dir, vec![])
+                    .unwrap();
+            db.begin().unwrap();
+            db.exec_block(&[Op::Create {
+                class: stock,
+                inits: vec![],
+            }])
+            .unwrap();
+            db.rollback().unwrap();
+            assert_eq!(db.committed_seq(), 0);
+        }
+        let wal_len = fs::metadata(dir.join("wal.log")).unwrap().len();
+        assert_eq!(wal_len, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn external_pseudo_objects_do_not_pollute_the_log() {
+        let dir = tmpdir("external");
+        let schema = schema();
+        let stock = schema.class_by_name("stock").unwrap();
+        {
+            let (mut db, _) =
+                DurableEngine::open(schema.clone(), EngineConfig::default(), &dir, vec![])
+                    .unwrap();
+            db.begin().unwrap();
+            db.raise_external(&[(stock, 1, Oid(0))]).unwrap();
+            db.commit().unwrap();
+        }
+        let (_, report) =
+            DurableEngine::open(schema.clone(), EngineConfig::default(), &dir, vec![]).unwrap();
+        // the pseudo-object produced an idempotent delete, not an object
+        assert_eq!(report.objects, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

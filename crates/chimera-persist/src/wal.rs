@@ -1,0 +1,482 @@
+//! The write-ahead (redo) log.
+//!
+//! One batch per committed transaction:
+//!
+//! ```text
+//! B <seq>
+//! P <oid> <class> <v0>,<v1>,…     # full post-state of a touched object
+//! D <oid>                         # touched object no longer live
+//! N <next-oid-counter>
+//! C <seq> <fnv1a-of-batch-body>
+//! ```
+//!
+//! Records are **physical redo**: applying a batch is idempotent, and
+//! applying a prefix of batches reproduces exactly the store after that
+//! many commits. The `C` terminator carries the sequence number again and
+//! a checksum of everything from `B` to `N` inclusive; recovery accepts a
+//! batch only when the terminator is present, matches the opener, and the
+//! checksum verifies — anything else is treated as a torn tail: the batch
+//! and everything after it are discarded ([`ReadOutcome::torn`]).
+
+use crate::codec::{decode_object, encode_object};
+use crate::{fnv1a, PersistError, Result};
+use chimera_model::{Object, Oid};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// One redo record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RedoRecord {
+    /// Object is live with this exact post-state.
+    Put(Object),
+    /// Object is not live (idempotent delete).
+    Delete(Oid),
+}
+
+/// One committed transaction's worth of redo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedoBatch {
+    /// Commit sequence number (1-based, dense).
+    pub seq: u64,
+    /// Redo records, in OID order.
+    pub records: Vec<RedoRecord>,
+    /// OID allocation counter after the transaction.
+    pub next_oid: u64,
+}
+
+impl RedoBatch {
+    /// Render the batch as its on-disk lines.
+    fn render(&self) -> String {
+        let mut body = String::new();
+        body.push_str(&format!("B {}\n", self.seq));
+        for r in &self.records {
+            match r {
+                RedoRecord::Put(obj) => {
+                    body.push_str(&format!("P {}\n", encode_object(obj)));
+                }
+                RedoRecord::Delete(oid) => {
+                    body.push_str(&format!("D {}\n", oid.0));
+                }
+            }
+        }
+        body.push_str(&format!("N {}\n", self.next_oid));
+        let crc = fnv1a(body.as_bytes());
+        format!("{body}C {} {crc:016x}\n", self.seq)
+    }
+
+    /// Apply the batch to a recovered object map + counter.
+    pub fn apply(&self, objects: &mut BTreeMap<Oid, Object>, next_oid: &mut u64) {
+        for r in &self.records {
+            match r {
+                RedoRecord::Put(obj) => {
+                    objects.insert(obj.oid, obj.clone());
+                }
+                RedoRecord::Delete(oid) => {
+                    objects.remove(oid);
+                }
+            }
+        }
+        *next_oid = self.next_oid;
+    }
+}
+
+/// Result of reading a WAL file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadOutcome {
+    /// Every fully committed batch, in sequence order.
+    pub batches: Vec<RedoBatch>,
+    /// Bytes of the valid prefix (where a torn tail, if any, starts).
+    pub valid_len: u64,
+    /// Human-readable description of the torn tail, when one was cut.
+    pub torn: Option<String>,
+}
+
+/// The write-ahead log file.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: BufWriter<File>,
+    next_seq: u64,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path` for appending; `next_seq` must
+    /// continue the sequence read back by [`Wal::read`].
+    pub fn open_append(path: &Path, next_seq: u64) -> Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Wal {
+            path: path.to_path_buf(),
+            file: BufWriter::new(file),
+            next_seq,
+        })
+    }
+
+    /// The log path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Sequence number the next appended batch will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Append a batch built from `records`, flush and fsync it, and
+    /// return its sequence number.
+    pub fn append(&mut self, records: Vec<RedoRecord>, next_oid: u64) -> Result<u64> {
+        let batch = RedoBatch {
+            seq: self.next_seq,
+            records,
+            next_oid,
+        };
+        self.file.write_all(batch.render().as_bytes())?;
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        self.next_seq += 1;
+        Ok(batch.seq)
+    }
+
+    /// Truncate the log to empty (after a successful snapshot compaction)
+    /// and restart the sequence at `next_seq`.
+    pub fn truncate(&mut self, next_seq: u64) -> Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().set_len(0)?;
+        self.file.get_ref().sync_data()?;
+        self.next_seq = next_seq;
+        Ok(())
+    }
+
+    /// Read and verify a WAL file. Never fails on a torn tail — the valid
+    /// prefix is returned and the tail described in [`ReadOutcome::torn`].
+    /// A missing file reads as empty (first start).
+    pub fn read(path: &Path, first_seq: u64) -> Result<ReadOutcome> {
+        let mut text = String::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                // invalid UTF-8 in the tail is torn-write territory, not an
+                // error: keep the valid prefix of bytes that decode.
+                let mut bytes = Vec::new();
+                f.read_to_end(&mut bytes)?;
+                match String::from_utf8(bytes) {
+                    Ok(s) => text = s,
+                    Err(e) => {
+                        let valid = e.utf8_error().valid_up_to();
+                        let bytes = e.into_bytes();
+                        text = String::from_utf8_lossy(&bytes[..valid]).into_owned();
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+
+        let mut batches = Vec::new();
+        let mut valid_len = 0u64;
+        let mut expected_seq = first_seq;
+        let mut pos = 0usize; // byte offset of the current parse point
+        let mut torn = None;
+
+        'outer: loop {
+            // try to parse one complete batch starting at `pos`
+            let rest = &text[pos..];
+            if rest.is_empty() {
+                break;
+            }
+            let mut body = String::new();
+            let mut cursor = pos;
+            let mut lines = rest.lines();
+            // opener
+            let Some(first) = lines.next() else { break };
+            if !line_complete(&text, cursor, first) {
+                torn = Some("batch opener without newline".into());
+                break;
+            }
+            let Some(seq) = first.strip_prefix("B ").and_then(|s| s.parse::<u64>().ok())
+            else {
+                torn = Some(format!("expected batch opener, found `{first}`"));
+                break;
+            };
+            if seq != expected_seq {
+                torn = Some(format!("sequence gap: expected {expected_seq}, found {seq}"));
+                break;
+            }
+            body.push_str(first);
+            body.push('\n');
+            cursor += first.len() + 1;
+            // records until N
+            let mut records = Vec::new();
+            let next_oid;
+            loop {
+                let Some(line) = lines.next() else {
+                    torn = Some("batch truncated before terminator".into());
+                    break 'outer;
+                };
+                if !line_complete(&text, cursor, line) {
+                    torn = Some("record line without newline".into());
+                    break 'outer;
+                }
+                if let Some(payload) = line.strip_prefix("P ") {
+                    match decode_object(payload) {
+                        Ok(obj) => records.push(RedoRecord::Put(obj)),
+                        Err(e) => {
+                            torn = Some(format!("bad record: {e}"));
+                            break 'outer;
+                        }
+                    }
+                } else if let Some(oid) = line.strip_prefix("D ") {
+                    match oid.parse::<u64>() {
+                        Ok(n) => records.push(RedoRecord::Delete(Oid(n))),
+                        Err(_) => {
+                            torn = Some(format!("bad delete record `{line}`"));
+                            break 'outer;
+                        }
+                    }
+                } else if let Some(n) = line.strip_prefix("N ") {
+                    match n.parse::<u64>() {
+                        Ok(v) => {
+                            body.push_str(line);
+                            body.push('\n');
+                            cursor += line.len() + 1;
+                            next_oid = v;
+                            break;
+                        }
+                        Err(_) => {
+                            torn = Some(format!("bad counter record `{line}`"));
+                            break 'outer;
+                        }
+                    }
+                } else {
+                    torn = Some(format!("unknown record `{line}`"));
+                    break 'outer;
+                }
+                body.push_str(line);
+                body.push('\n');
+                cursor += line.len() + 1;
+            }
+            // terminator
+            let Some(term) = lines.next() else {
+                torn = Some("missing terminator".into());
+                break;
+            };
+            if !line_complete(&text, cursor, term) {
+                torn = Some("terminator without newline".into());
+                break;
+            }
+            let ok = (|| {
+                let rest = term.strip_prefix("C ")?;
+                let (seq_s, crc_s) = rest.split_once(' ')?;
+                let term_seq: u64 = seq_s.parse().ok()?;
+                let crc = u64::from_str_radix(crc_s, 16).ok()?;
+                (term_seq == seq && crc == fnv1a(body.as_bytes())).then_some(())
+            })();
+            if ok.is_none() {
+                torn = Some(format!("terminator mismatch for batch {seq}"));
+                break;
+            }
+            cursor += term.len() + 1;
+            batches.push(RedoBatch {
+                seq,
+                records,
+                next_oid,
+            });
+            expected_seq += 1;
+            pos = cursor;
+            valid_len = pos as u64;
+        }
+
+        Ok(ReadOutcome {
+            batches,
+            valid_len,
+            torn,
+        })
+    }
+
+    /// Drop the torn tail in place, leaving only the valid prefix.
+    pub fn repair(path: &Path, outcome: &ReadOutcome) -> Result<()> {
+        if outcome.torn.is_some() {
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(outcome.valid_len)?;
+            f.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+/// `str::lines` also yields a final fragment with no trailing newline;
+/// a WAL line is only trustworthy when its newline made it to disk.
+fn line_complete(text: &str, start: usize, line: &str) -> bool {
+    text.as_bytes().get(start + line.len()) == Some(&b'\n')
+}
+
+impl PersistError {
+    /// Convenience for tests.
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, PersistError::Corrupt(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_model::{ClassId, Value};
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("chimera-persist-wal-tests");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{name}-{}.log", std::process::id()));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    fn obj(oid: u64, v: i64) -> Object {
+        Object {
+            oid: Oid(oid),
+            class: ClassId(0),
+            attrs: vec![Value::Int(v)],
+        }
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let path = tmp("round");
+        let mut wal = Wal::open_append(&path, 1).unwrap();
+        wal.append(vec![RedoRecord::Put(obj(1, 10))], 2).unwrap();
+        wal.append(
+            vec![RedoRecord::Put(obj(1, 20)), RedoRecord::Delete(Oid(2))],
+            3,
+        )
+        .unwrap();
+        let out = Wal::read(&path, 1).unwrap();
+        assert!(out.torn.is_none());
+        assert_eq!(out.batches.len(), 2);
+        assert_eq!(out.batches[0].seq, 1);
+        assert_eq!(out.batches[1].records.len(), 2);
+        assert_eq!(out.batches[1].next_oid, 3);
+        // applying reproduces the state
+        let mut objects = BTreeMap::new();
+        let mut next = 1;
+        for b in &out.batches {
+            b.apply(&mut objects, &mut next);
+        }
+        assert_eq!(objects.len(), 1);
+        assert_eq!(objects[&Oid(1)].attrs, vec![Value::Int(20)]);
+        assert_eq!(next, 3);
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        let out = Wal::read(Path::new("/nonexistent/chimera.wal"), 1).unwrap();
+        assert!(out.batches.is_empty());
+        assert!(out.torn.is_none());
+        assert_eq!(out.valid_len, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_cut_at_every_truncation_point() {
+        let path = tmp("torn");
+        let mut wal = Wal::open_append(&path, 1).unwrap();
+        wal.append(vec![RedoRecord::Put(obj(1, 10))], 2).unwrap();
+        wal.append(vec![RedoRecord::Put(obj(2, 20))], 3).unwrap();
+        wal.append(vec![RedoRecord::Delete(Oid(1))], 3).unwrap();
+        let full = fs::read(&path).unwrap();
+        let complete = Wal::read(&path, 1).unwrap();
+        assert_eq!(complete.batches.len(), 3);
+        // batch boundaries = prefix lengths after which everything is valid
+        let boundaries: Vec<u64> = {
+            let mut v = vec![0];
+            let mut acc = 0;
+            for b in &complete.batches {
+                acc += b.render().len() as u64;
+                v.push(acc);
+            }
+            v
+        };
+        assert_eq!(*boundaries.last().unwrap(), full.len() as u64);
+
+        for cut in 0..=full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let out = Wal::read(&path, 1).unwrap();
+            // the valid prefix is the largest boundary ≤ cut
+            let expect_batches = boundaries.iter().filter(|&&b| b <= cut as u64).count() - 1;
+            assert_eq!(
+                out.batches.len(),
+                expect_batches,
+                "cut at byte {cut}: got {} batches, torn = {:?}",
+                out.batches.len(),
+                out.torn
+            );
+            assert_eq!(out.valid_len, boundaries[expect_batches]);
+            if (cut as u64) != boundaries[expect_batches] {
+                assert!(out.torn.is_some(), "cut at {cut} must report a torn tail");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_byte_invalidates_batch_and_tail() {
+        let path = tmp("flip");
+        let mut wal = Wal::open_append(&path, 1).unwrap();
+        wal.append(vec![RedoRecord::Put(obj(1, 10))], 2).unwrap();
+        wal.append(vec![RedoRecord::Put(obj(2, 20))], 3).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // flip a digit inside the FIRST batch's record line
+        let flip_at = bytes.iter().position(|&b| b == b'P').unwrap() + 2;
+        bytes[flip_at] = if bytes[flip_at] == b'1' { b'9' } else { b'1' };
+        fs::write(&path, &bytes).unwrap();
+        let out = Wal::read(&path, 1).unwrap();
+        // checksum catches it; both batches discarded (no resync past a
+        // corrupt batch — physical redo must be a clean prefix)
+        assert_eq!(out.batches.len(), 0);
+        assert!(out.torn.is_some());
+    }
+
+    #[test]
+    fn repair_truncates_to_valid_prefix() {
+        let path = tmp("repair");
+        let mut wal = Wal::open_append(&path, 1).unwrap();
+        wal.append(vec![RedoRecord::Put(obj(1, 10))], 2).unwrap();
+        let valid = fs::metadata(&path).unwrap().len();
+        // simulate a torn second batch
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"B 2\nP 2 0 i:2").unwrap();
+        drop(f);
+        let out = Wal::read(&path, 1).unwrap();
+        assert_eq!(out.batches.len(), 1);
+        assert!(out.torn.is_some());
+        Wal::repair(&path, &out).unwrap();
+        assert_eq!(fs::metadata(&path).unwrap().len(), valid);
+        let again = Wal::read(&path, 1).unwrap();
+        assert!(again.torn.is_none());
+        assert_eq!(again.batches.len(), 1);
+    }
+
+    #[test]
+    fn sequence_gap_is_treated_as_torn() {
+        let path = tmp("gap");
+        let mut wal = Wal::open_append(&path, 5).unwrap();
+        wal.append(vec![], 1).unwrap();
+        // reading with the wrong first_seq rejects everything
+        let out = Wal::read(&path, 1).unwrap();
+        assert!(out.batches.is_empty());
+        assert!(out.torn.unwrap().contains("sequence gap"));
+    }
+
+    #[test]
+    fn truncate_restarts_log() {
+        let path = tmp("trunc");
+        let mut wal = Wal::open_append(&path, 1).unwrap();
+        wal.append(vec![RedoRecord::Put(obj(1, 1))], 2).unwrap();
+        wal.truncate(1).unwrap();
+        assert_eq!(fs::metadata(&path).unwrap().len(), 0);
+        wal.append(vec![RedoRecord::Put(obj(1, 2))], 2).unwrap();
+        let out = Wal::read(&path, 1).unwrap();
+        assert_eq!(out.batches.len(), 1);
+        assert_eq!(
+            out.batches[0].records,
+            vec![RedoRecord::Put(obj(1, 2))]
+        );
+    }
+}

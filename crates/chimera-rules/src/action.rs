@@ -1,0 +1,111 @@
+//! Action ASTs: the set-oriented data manipulations a rule executes.
+//!
+//! Actions run once per rule consideration, over *all* bindings the
+//! condition produced (§2: "the rule is executed in a set-oriented way, so
+//! all the objects created and not checked yet by the rule are processed
+//! together in a single rule execution").
+
+use crate::condition::Term;
+use std::fmt;
+
+/// One action statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionStmt {
+    /// `create(class, [attr: term, ...])` — executed once per binding
+    /// tuple (or once if the condition binds nothing).
+    Create {
+        /// Class name.
+        class: String,
+        /// Attribute initializers.
+        inits: Vec<(String, Term)>,
+    },
+    /// `modify(class.attr, Var, term)` — set the attribute on every bound
+    /// object.
+    Modify {
+        /// Bound class variable.
+        var: String,
+        /// Attribute name.
+        attr: String,
+        /// New value.
+        value: Term,
+    },
+    /// `delete(Var)` — delete every bound object.
+    Delete {
+        /// Bound class variable.
+        var: String,
+    },
+    /// `specialize(Var, class)` — migrate every bound object down.
+    Specialize {
+        /// Bound class variable.
+        var: String,
+        /// Target subclass name.
+        target: String,
+    },
+    /// `generalize(Var, class)` — migrate every bound object up.
+    Generalize {
+        /// Bound class variable.
+        var: String,
+        /// Target superclass name.
+        target: String,
+    },
+}
+
+impl fmt::Display for ActionStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionStmt::Create { class, inits } => {
+                write!(f, "create({class}")?;
+                for (a, t) in inits {
+                    write!(f, ", {a}: {t}")?;
+                }
+                write!(f, ")")
+            }
+            ActionStmt::Modify { var, attr, value } => {
+                write!(f, "modify({var}.{attr}, {value})")
+            }
+            ActionStmt::Delete { var } => write!(f, "delete({var})"),
+            ActionStmt::Specialize { var, target } => write!(f, "specialize({var}, {target})"),
+            ActionStmt::Generalize { var, target } => write!(f, "generalize({var}, {target})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let a = ActionStmt::Create {
+            class: "stock".into(),
+            inits: vec![("quantity".into(), Term::int(5))],
+        };
+        assert_eq!(a.to_string(), "create(stock, quantity: 5)");
+        let m = ActionStmt::Modify {
+            var: "S".into(),
+            attr: "quantity".into(),
+            value: Term::attr("S", "max_quantity"),
+        };
+        assert_eq!(m.to_string(), "modify(S.quantity, S.max_quantity)");
+        assert_eq!(
+            ActionStmt::Delete { var: "S".into() }.to_string(),
+            "delete(S)"
+        );
+        assert_eq!(
+            ActionStmt::Specialize {
+                var: "S".into(),
+                target: "perishable".into()
+            }
+            .to_string(),
+            "specialize(S, perishable)"
+        );
+        assert_eq!(
+            ActionStmt::Generalize {
+                var: "S".into(),
+                target: "stock".into()
+            }
+            .to_string(),
+            "generalize(S, stock)"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Event-Condition coupling and event-consumption modes (§2).
+
+use std::fmt;
+
+/// When a triggered rule is considered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CouplingMode {
+    /// Considered as soon as possible after the end of the
+    /// non-interruptible block that generated the triggering occurrence.
+    #[default]
+    Immediate,
+    /// Suspended until the `commit` command.
+    Deferred,
+}
+
+/// Which event occurrences the rule's condition can observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsumptionMode {
+    /// Only occurrences more recent than the last consideration.
+    #[default]
+    Consuming,
+    /// All occurrences since the beginning of the transaction.
+    Preserving,
+}
+
+impl fmt::Display for CouplingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CouplingMode::Immediate => write!(f, "immediate"),
+            CouplingMode::Deferred => write!(f, "deferred"),
+        }
+    }
+}
+
+impl fmt::Display for ConsumptionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsumptionMode::Consuming => write!(f, "consuming"),
+            ConsumptionMode::Preserving => write!(f, "preserving"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_chimera() {
+        assert_eq!(CouplingMode::default(), CouplingMode::Immediate);
+        assert_eq!(ConsumptionMode::default(), ConsumptionMode::Consuming);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(CouplingMode::Deferred.to_string(), "deferred");
+        assert_eq!(ConsumptionMode::Preserving.to_string(), "preserving");
+    }
+}

@@ -1,0 +1,521 @@
+//! The Rule Table and the Trigger Support (§5).
+//!
+//! The Trigger Support "maintains in the Rule Table the current status of
+//! all defined rules; this table is managed by means of a hash table for
+//! fast access, but rules are also linked together by means of a queue on
+//! the basis of the priority order".
+//!
+//! Checking works incrementally: after each non-interruptible block the
+//! Event Handler appends the new occurrences and calls
+//! [`TriggerSupport::check`], which for every *untriggered* rule either
+//! (a) skips the rule because no new arrival matches its `V(E)` relevance
+//! filter (§5.1), or (b) probes the newly covered instants for a positive
+//! `ts` witness. A rule is triggered as soon as a witness exists and its
+//! window is non-empty; it is detriggered exactly at consideration.
+
+use crate::modes::CouplingMode;
+use crate::trigger::{probe_instants, RuleState, TriggerDef};
+use chimera_calculus::ts_logical;
+use chimera_events::{EventBase, EventType, Timestamp, Window};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Rule-management errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleError {
+    /// A rule with this name already exists.
+    DuplicateRule(String),
+    /// No rule with this name.
+    UnknownRule(String),
+    /// A targeted rule references an event type on a different class.
+    TargetMismatch {
+        /// Rule name.
+        rule: String,
+    },
+    /// The rule's event expression is ill-formed (§3.2).
+    InvalidExpression(String),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::DuplicateRule(n) => write!(f, "duplicate rule `{n}`"),
+            RuleError::UnknownRule(n) => write!(f, "unknown rule `{n}`"),
+            RuleError::TargetMismatch { rule } => write!(
+                f,
+                "rule `{rule}` is targeted but its events reference another class"
+            ),
+            RuleError::InvalidExpression(n) => {
+                write!(f, "rule `{n}` has an ill-formed event expression")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// One rule table slot.
+#[derive(Debug)]
+struct Slot {
+    def: TriggerDef,
+    state: RuleState,
+    /// Definition sequence number (priority tie-break).
+    seq: usize,
+}
+
+/// The §5 Rule Table: name-indexed rule definitions plus runtime state.
+#[derive(Debug, Default)]
+pub struct RuleTable {
+    slots: Vec<Slot>,
+    by_name: HashMap<String, usize>,
+}
+
+impl RuleTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        RuleTable::default()
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Define a rule. Validates the event expression and, for targeted
+    /// rules, that every primitive is on the target class.
+    pub fn define(&mut self, def: TriggerDef, now: Timestamp) -> Result<(), RuleError> {
+        if self.by_name.contains_key(&def.name) {
+            return Err(RuleError::DuplicateRule(def.name));
+        }
+        if def.events.validate().is_err() {
+            return Err(RuleError::InvalidExpression(def.name));
+        }
+        if let Some(target) = def.target {
+            if def.events.primitives().iter().any(|ty| ty.class != target) {
+                return Err(RuleError::TargetMismatch { rule: def.name });
+            }
+        }
+        let state = RuleState::new(&def, now);
+        let seq = self.slots.len();
+        self.by_name.insert(def.name.clone(), seq);
+        self.slots.push(Slot { def, state, seq });
+        Ok(())
+    }
+
+    /// Remove a rule.
+    pub fn drop_rule(&mut self, name: &str) -> Result<(), RuleError> {
+        let idx = *self
+            .by_name
+            .get(name)
+            .ok_or_else(|| RuleError::UnknownRule(name.to_owned()))?;
+        self.by_name.remove(name);
+        self.slots.remove(idx);
+        // reindex
+        self.by_name.clear();
+        for (i, s) in self.slots.iter().enumerate() {
+            self.by_name.insert(s.def.name.clone(), i);
+        }
+        Ok(())
+    }
+
+    /// Rule definition by name.
+    pub fn def(&self, name: &str) -> Result<&TriggerDef, RuleError> {
+        self.index_of(name).map(|i| &self.slots[i].def)
+    }
+
+    /// Rule state by name.
+    pub fn state(&self, name: &str) -> Result<&RuleState, RuleError> {
+        self.index_of(name).map(|i| &self.slots[i].state)
+    }
+
+    /// Mutable rule state by name.
+    pub fn state_mut(&mut self, name: &str) -> Result<&mut RuleState, RuleError> {
+        let i = self.index_of(name)?;
+        Ok(&mut self.slots[i].state)
+    }
+
+    fn index_of(&self, name: &str) -> Result<usize, RuleError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| RuleError::UnknownRule(name.to_owned()))
+    }
+
+    /// Iterate `(def, state)` pairs in definition order.
+    pub fn iter(&self) -> impl Iterator<Item = (&TriggerDef, &RuleState)> {
+        self.slots.iter().map(|s| (&s.def, &s.state))
+    }
+
+    /// Names of currently triggered rules (definition order).
+    pub fn triggered(&self) -> Vec<&str> {
+        self.slots
+            .iter()
+            .filter(|s| s.state.triggered)
+            .map(|s| s.def.name.as_str())
+            .collect()
+    }
+
+    /// The rule-selection mechanism: the highest-priority triggered rule
+    /// with the requested coupling mode (ties → earliest definition).
+    pub fn select_next(&self, coupling: CouplingMode) -> Option<&str> {
+        self.slots
+            .iter()
+            .filter(|s| s.state.triggered && s.def.coupling == coupling)
+            .max_by_key(|s| (s.def.priority, std::cmp::Reverse(s.seq)))
+            .map(|s| s.def.name.as_str())
+    }
+
+    /// Record the consideration of a rule at `now` (detrigger + consume).
+    pub fn mark_considered(&mut self, name: &str, now: Timestamp) -> Result<(), RuleError> {
+        let i = self.index_of(name)?;
+        let consumption = self.slots[i].def.consumption;
+        let st = &mut self.slots[i].state;
+        st.triggered = false;
+        st.witness = false;
+        st.last_consideration = now;
+        st.checked_upto = now;
+        if consumption == crate::modes::ConsumptionMode::Consuming {
+            st.last_consumption = now;
+        }
+        Ok(())
+    }
+
+    /// Reset all rule state for a new transaction starting at `start`.
+    pub fn reset_all(&mut self, start: Timestamp) {
+        for s in &mut self.slots {
+            s.state = RuleState::new(&s.def, start);
+        }
+    }
+}
+
+/// Counters exposing how much work the §5.1 optimization saves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupportStats {
+    /// Untriggered rules examined.
+    pub rules_checked: u64,
+    /// Rules skipped because no arrival matched their `V(E)`.
+    pub skipped_by_filter: u64,
+    /// Individual `ts` probe evaluations performed.
+    pub ts_probes: u64,
+}
+
+/// The §5 Trigger Support: determines newly activated rules after a block.
+#[derive(Debug, Clone, Default)]
+pub struct TriggerSupport {
+    /// Apply the §5.1 `V(E)` relevance filter (the static optimization).
+    pub use_relevance_filter: bool,
+    /// Work counters (monotonic; reset with [`TriggerSupport::reset_stats`]).
+    pub stats: SupportStats,
+}
+
+impl TriggerSupport {
+    /// With the static optimization enabled.
+    pub fn optimized() -> Self {
+        TriggerSupport {
+            use_relevance_filter: true,
+            stats: SupportStats::default(),
+        }
+    }
+
+    /// Without the optimization (every untriggered rule re-probed).
+    pub fn unoptimized() -> Self {
+        TriggerSupport {
+            use_relevance_filter: false,
+            stats: SupportStats::default(),
+        }
+    }
+
+    /// Zero the work counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = SupportStats::default();
+    }
+
+    /// Check all untriggered rules against the EB state at `now`. Returns
+    /// the names of newly triggered rules, in definition order.
+    pub fn check(&mut self, table: &mut RuleTable, eb: &EventBase, now: Timestamp) -> Vec<String> {
+        let mut newly = Vec::new();
+        for slot in &mut table.slots {
+            if slot.state.triggered {
+                continue;
+            }
+            if self.check_rule(&slot.def, &mut slot.state, eb, now) {
+                newly.push(slot.def.name.clone());
+            }
+        }
+        newly
+    }
+
+    /// Incremental per-rule check; returns true iff newly triggered.
+    fn check_rule(
+        &mut self,
+        def: &TriggerDef,
+        st: &mut RuleState,
+        eb: &EventBase,
+        now: Timestamp,
+    ) -> bool {
+        let window = st.trigger_window(now);
+        let new_range = Window::new(st.checked_upto, now);
+        self.stats.rules_checked += 1;
+
+        if self.use_relevance_filter && !st.witness {
+            // arrivals since the last probe of this rule
+            let arrivals: Vec<EventType> = eb.slice(new_range).iter().map(|e| e.ty).collect();
+            let was_empty = !eb.any_in(Window::new(st.last_consideration, st.checked_upto));
+            if !st.filter.needs_recheck(&arrivals, was_empty) {
+                // the skipped range cannot contain a fresh positive
+                // witness; do not advance checked_upto past instants we
+                // never probed unless nothing arrived at all.
+                self.stats.skipped_by_filter += 1;
+                if arrivals.is_empty() {
+                    return false;
+                }
+                st.checked_upto = now;
+                return false;
+            }
+        }
+
+        if !st.witness && !new_range.is_degenerate() {
+            let mut found = false;
+            for t in probe_instants(eb, st.checked_upto, now) {
+                self.stats.ts_probes += 1;
+                if ts_logical(&def.events, eb, window, t).is_active() {
+                    found = true;
+                    break;
+                }
+            }
+            st.witness = found || st.witness;
+            st.checked_upto = now;
+        }
+
+        if st.witness && eb.any_in(window) {
+            st.triggered = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::ConsumptionMode;
+    use crate::trigger::is_triggered;
+    use chimera_calculus::EventExpr;
+    use chimera_model::{ClassId, Oid};
+
+    fn et(n: u32) -> EventType {
+        EventType::external(ClassId(0), n)
+    }
+    fn p(n: u32) -> EventExpr {
+        EventExpr::prim(et(n))
+    }
+
+    #[test]
+    fn define_and_lookup() {
+        let mut rt = RuleTable::new();
+        rt.define(TriggerDef::new("a", p(0)), Timestamp::ZERO).unwrap();
+        assert_eq!(rt.len(), 1);
+        assert!(rt.def("a").is_ok());
+        assert!(rt.state("a").is_ok());
+        assert!(matches!(rt.def("b"), Err(RuleError::UnknownRule(_))));
+        assert!(matches!(
+            rt.define(TriggerDef::new("a", p(1)), Timestamp::ZERO),
+            Err(RuleError::DuplicateRule(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_expression_rejected() {
+        let mut rt = RuleTable::new();
+        let bad = TriggerDef::new("bad", p(0).and(p(1)).iand(p(2)));
+        assert!(matches!(
+            rt.define(bad, Timestamp::ZERO),
+            Err(RuleError::InvalidExpression(_))
+        ));
+    }
+
+    #[test]
+    fn target_mismatch_rejected() {
+        let mut rt = RuleTable::new();
+        let mut def = TriggerDef::new("t", p(0)); // class c0
+        def.target = Some(ClassId(1));
+        assert!(matches!(
+            rt.define(def, Timestamp::ZERO),
+            Err(RuleError::TargetMismatch { .. })
+        ));
+        let mut ok = TriggerDef::new("t", p(0));
+        ok.target = Some(ClassId(0));
+        rt.define(ok, Timestamp::ZERO).unwrap();
+    }
+
+    #[test]
+    fn drop_rule_reindexes() {
+        let mut rt = RuleTable::new();
+        rt.define(TriggerDef::new("a", p(0)), Timestamp::ZERO).unwrap();
+        rt.define(TriggerDef::new("b", p(1)), Timestamp::ZERO).unwrap();
+        rt.drop_rule("a").unwrap();
+        assert_eq!(rt.len(), 1);
+        assert!(rt.def("b").is_ok());
+        assert!(rt.drop_rule("a").is_err());
+    }
+
+    #[test]
+    fn support_triggers_and_selection_respects_priority() {
+        let mut rt = RuleTable::new();
+        let mut hi = TriggerDef::new("hi", p(0));
+        hi.priority = 10;
+        let lo = TriggerDef::new("lo", p(0));
+        rt.define(lo, Timestamp::ZERO).unwrap();
+        rt.define(hi, Timestamp::ZERO).unwrap();
+        let mut eb = EventBase::new();
+        eb.append(et(0), Oid(1));
+        let mut sup = TriggerSupport::optimized();
+        let newly = sup.check(&mut rt, &eb, eb.now());
+        assert_eq!(newly, vec!["lo".to_string(), "hi".to_string()]);
+        assert_eq!(rt.select_next(CouplingMode::Immediate), Some("hi"));
+        assert_eq!(rt.select_next(CouplingMode::Deferred), None);
+    }
+
+    #[test]
+    fn priority_tie_breaks_by_definition_order() {
+        let mut rt = RuleTable::new();
+        rt.define(TriggerDef::new("first", p(0)), Timestamp::ZERO).unwrap();
+        rt.define(TriggerDef::new("second", p(0)), Timestamp::ZERO).unwrap();
+        let mut eb = EventBase::new();
+        eb.append(et(0), Oid(1));
+        TriggerSupport::optimized().check(&mut rt, &eb, eb.now());
+        assert_eq!(rt.select_next(CouplingMode::Immediate), Some("first"));
+    }
+
+    #[test]
+    fn consideration_detriggers_until_new_events() {
+        let mut rt = RuleTable::new();
+        rt.define(TriggerDef::new("r", p(0)), Timestamp::ZERO).unwrap();
+        let mut eb = EventBase::new();
+        eb.append(et(0), Oid(1));
+        let mut sup = TriggerSupport::optimized();
+        sup.check(&mut rt, &eb, eb.now());
+        assert!(rt.state("r").unwrap().triggered);
+        rt.mark_considered("r", eb.now()).unwrap();
+        assert!(!rt.state("r").unwrap().triggered);
+        eb.tick();
+        assert!(sup.check(&mut rt, &eb, eb.now()).is_empty());
+        eb.append(et(0), Oid(2));
+        assert_eq!(sup.check(&mut rt, &eb, eb.now()), vec!["r".to_string()]);
+    }
+
+    #[test]
+    fn preserving_rules_keep_condition_window() {
+        let mut rt = RuleTable::new();
+        let mut def = TriggerDef::new("p", p(0));
+        def.consumption = ConsumptionMode::Preserving;
+        rt.define(def, Timestamp::ZERO).unwrap();
+        let mut eb = EventBase::new();
+        eb.append(et(0), Oid(1));
+        rt.mark_considered("p", eb.now()).unwrap();
+        let st = rt.state("p").unwrap();
+        assert_eq!(st.last_consideration, eb.now());
+        assert_eq!(st.last_consumption, Timestamp::ZERO);
+    }
+
+    /// The incremental, filtered support agrees with the from-scratch
+    /// §4.4 predicate on a scripted multi-block run.
+    #[test]
+    fn optimized_support_matches_formal_predicate() {
+        let exprs = [
+            p(0),
+            p(0).and(p(1)),
+            p(0).not(),
+            p(1).and(p(0).not()),
+            p(0).prec(p(1)),
+            p(0).iand(p(1)),
+            p(0).iand(p(1)).inot(),
+            p(0).or(p(1)).prec(p(2).and(p(0).not())),
+        ];
+        // scripted history: blocks of arrivals
+        let blocks: Vec<Vec<(u32, u64)>> = vec![
+            vec![(2, 1)],
+            vec![(0, 1)],
+            vec![(1, 1), (1, 2)],
+            vec![],
+            vec![(0, 2), (2, 2)],
+            vec![(1, 2)],
+        ];
+        for (i, expr) in exprs.iter().enumerate() {
+            let mut rt_opt = RuleTable::new();
+            let mut rt_ref = RuleTable::new();
+            let name = format!("r{i}");
+            rt_opt
+                .define(TriggerDef::new(name.clone(), expr.clone()), Timestamp::ZERO)
+                .unwrap();
+            rt_ref
+                .define(TriggerDef::new(name.clone(), expr.clone()), Timestamp::ZERO)
+                .unwrap();
+            let mut eb = EventBase::new();
+            let mut opt = TriggerSupport::optimized();
+            for block in &blocks {
+                for &(ty, oid) in block {
+                    eb.append(et(ty), Oid(oid));
+                }
+                eb.tick();
+                let now = eb.now();
+                opt.check(&mut rt_opt, &eb, now);
+                let got = rt_opt.state(&name).unwrap().triggered;
+                let want = is_triggered(rt_ref.def(&name).unwrap(), rt_ref.state(&name).unwrap(), &eb, now);
+                assert_eq!(got, want, "expr {expr} diverged at now={now}");
+                // once triggered, both consider the rule to keep comparing
+                if want {
+                    rt_opt.mark_considered(&name, now).unwrap();
+                    rt_ref.mark_considered(&name, now).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unoptimized_support_equivalent_to_optimized() {
+        let expr = p(1).and(p(0).not()).or(p(2).iprec(p(1)));
+        let blocks: Vec<Vec<(u32, u64)>> =
+            vec![vec![(1, 1)], vec![(0, 1)], vec![(2, 1)], vec![(1, 1)]];
+        let mut rt_a = RuleTable::new();
+        let mut rt_b = RuleTable::new();
+        rt_a.define(TriggerDef::new("r", expr.clone()), Timestamp::ZERO).unwrap();
+        rt_b.define(TriggerDef::new("r", expr), Timestamp::ZERO).unwrap();
+        let mut eb = EventBase::new();
+        for block in blocks {
+            for (ty, oid) in block {
+                eb.append(et(ty), Oid(oid));
+            }
+            let now = eb.now();
+            TriggerSupport::optimized().check(&mut rt_a, &eb, now);
+            TriggerSupport::unoptimized().check(&mut rt_b, &eb, now);
+            assert_eq!(
+                rt_a.state("r").unwrap().triggered,
+                rt_b.state("r").unwrap().triggered
+            );
+            if rt_a.state("r").unwrap().triggered {
+                rt_a.mark_considered("r", now).unwrap();
+                rt_b.mark_considered("r", now).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn reset_all_clears_state() {
+        let mut rt = RuleTable::new();
+        rt.define(TriggerDef::new("r", p(0)), Timestamp::ZERO).unwrap();
+        let mut eb = EventBase::new();
+        eb.append(et(0), Oid(1));
+        TriggerSupport::optimized().check(&mut rt, &eb, eb.now());
+        assert!(rt.state("r").unwrap().triggered);
+        rt.reset_all(eb.now());
+        assert!(!rt.state("r").unwrap().triggered);
+        assert_eq!(rt.state("r").unwrap().last_consideration, eb.now());
+    }
+}

@@ -1,0 +1,249 @@
+//! Clock event specifications and the scheduler computing due firings.
+//!
+//! HiPAC (§1.1) distinguishes **absolute**, **relative** and **periodic**
+//! clock events. Chimera's semantics runs on a *logical* clock — stamps
+//! are allocated only when occurrences are appended — so the three forms
+//! are interpreted over logical instants:
+//!
+//! * [`ClockSpec::At`] — fire once when the clock first reaches (or
+//!   passes) the given absolute instant;
+//! * [`ClockSpec::After`] — fire once `delay` instants after the
+//!   scheduler's anchor (transaction start);
+//! * [`ClockSpec::Every`] — fire at `anchor + phase + k·period` for
+//!   `k = 0, 1, …`.
+//!
+//! [`ClockScheduler::due`] returns every firing in `(last_polled, now]`,
+//! so a driver pumped at block boundaries delivers exactly one occurrence
+//! per due instant regardless of how irregularly it is pumped
+//! (catch-up is deterministic and loss-free).
+
+use chimera_events::Timestamp;
+
+/// A clock event specification (logical-time interpretation of HiPAC's
+/// absolute / relative / periodic clock events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockSpec {
+    /// Fire once at the given absolute instant.
+    At(Timestamp),
+    /// Fire once `delay` instants after the anchor.
+    After {
+        /// Logical delay from the scheduler anchor.
+        delay: u64,
+    },
+    /// Fire at `anchor + phase + k·period` for every `k ≥ 0`.
+    Every {
+        /// Period in logical instants (must be ≥ 1).
+        period: u64,
+        /// Offset of the first firing from the anchor.
+        phase: u64,
+    },
+}
+
+impl ClockSpec {
+    /// All firing instants in the half-open window `(after, upto]`, given
+    /// the scheduler `anchor`.
+    fn firings(&self, anchor: Timestamp, after: Timestamp, upto: Timestamp) -> Vec<Timestamp> {
+        let lo = after.raw();
+        let hi = upto.raw();
+        if hi <= lo {
+            return Vec::new();
+        }
+        match *self {
+            ClockSpec::At(t) => {
+                let t = t.raw();
+                if t > lo && t <= hi {
+                    vec![Timestamp(t)]
+                } else {
+                    Vec::new()
+                }
+            }
+            ClockSpec::After { delay } => {
+                let t = anchor.raw() + delay;
+                if t > lo && t <= hi {
+                    vec![Timestamp(t)]
+                } else {
+                    Vec::new()
+                }
+            }
+            ClockSpec::Every { period, phase } => {
+                assert!(period >= 1, "periodic clock events need period >= 1");
+                let first = anchor.raw() + phase;
+                if first > hi {
+                    return Vec::new();
+                }
+                // smallest k with first + k·period > lo
+                let k0 = if lo < first {
+                    0
+                } else {
+                    (lo - first) / period + 1
+                };
+                let mut out = Vec::new();
+                let mut t = first + k0 * period;
+                while t <= hi {
+                    out.push(Timestamp(t));
+                    t += period;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// One registered clock event source.
+#[derive(Debug, Clone)]
+struct Entry {
+    spec: ClockSpec,
+    /// External-event channel the firing is reported on.
+    channel: u32,
+}
+
+/// A deterministic scheduler over a set of clock specs.
+#[derive(Debug, Clone)]
+pub struct ClockScheduler {
+    anchor: Timestamp,
+    last_polled: Timestamp,
+    entries: Vec<Entry>,
+}
+
+impl ClockScheduler {
+    /// Scheduler anchored at `anchor` (typically the transaction start).
+    pub fn new(anchor: Timestamp) -> Self {
+        ClockScheduler {
+            anchor,
+            last_polled: anchor,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Register a spec firing on external `channel`.
+    pub fn register(&mut self, spec: ClockSpec, channel: u32) -> &mut Self {
+        self.entries.push(Entry { spec, channel });
+        self
+    }
+
+    /// The anchor instant.
+    pub fn anchor(&self) -> Timestamp {
+        self.anchor
+    }
+
+    /// Number of registered specs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// No specs registered?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Every due firing in `(last_polled, now]` as `(instant, channel)`,
+    /// sorted by instant (ties in registration order); advances the poll
+    /// cursor so each firing is produced exactly once.
+    pub fn due(&mut self, now: Timestamp) -> Vec<(Timestamp, u32)> {
+        let mut out: Vec<(Timestamp, u32)> = Vec::new();
+        for e in &self.entries {
+            for t in e.spec.firings(self.anchor, self.last_polled, now) {
+                out.push((t, e.channel));
+            }
+        }
+        out.sort_by_key(|&(t, _)| t);
+        if now > self.last_polled {
+            self.last_polled = now;
+        }
+        out
+    }
+
+    /// Re-anchor and reset the poll cursor (new transaction).
+    pub fn reset(&mut self, anchor: Timestamp) {
+        self.anchor = anchor;
+        self.last_polled = anchor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> Timestamp {
+        Timestamp(n)
+    }
+
+    #[test]
+    fn absolute_fires_once_in_window() {
+        let mut s = ClockScheduler::new(t(0));
+        s.register(ClockSpec::At(t(5)), 1);
+        assert!(s.due(t(4)).is_empty());
+        assert_eq!(s.due(t(10)), vec![(t(5), 1)]);
+        // already delivered: never again
+        assert!(s.due(t(20)).is_empty());
+    }
+
+    #[test]
+    fn absolute_before_anchor_never_fires() {
+        let mut s = ClockScheduler::new(t(10));
+        s.register(ClockSpec::At(t(5)), 1);
+        assert!(s.due(t(100)).is_empty());
+    }
+
+    #[test]
+    fn relative_fires_from_anchor() {
+        let mut s = ClockScheduler::new(t(7));
+        s.register(ClockSpec::After { delay: 3 }, 2);
+        assert!(s.due(t(9)).is_empty());
+        assert_eq!(s.due(t(10)), vec![(t(10), 2)]);
+        assert!(s.due(t(30)).is_empty());
+    }
+
+    #[test]
+    fn periodic_catches_up_without_loss() {
+        let mut s = ClockScheduler::new(t(0));
+        s.register(ClockSpec::Every { period: 4, phase: 2 }, 3);
+        // polled late: all missed firings delivered in order
+        assert_eq!(s.due(t(15)), vec![(t(2), 3), (t(6), 3), (t(10), 3), (t(14), 3)]);
+        assert_eq!(s.due(t(18)), vec![(t(18), 3)]);
+        assert!(s.due(t(18)).is_empty());
+    }
+
+    #[test]
+    fn multiple_specs_merge_sorted() {
+        let mut s = ClockScheduler::new(t(0));
+        s.register(ClockSpec::Every { period: 5, phase: 5 }, 1)
+            .register(ClockSpec::At(t(7)), 2);
+        assert_eq!(s.due(t(10)), vec![(t(5), 1), (t(7), 2), (t(10), 1)]);
+    }
+
+    #[test]
+    fn reset_reanchors() {
+        let mut s = ClockScheduler::new(t(0));
+        s.register(ClockSpec::After { delay: 2 }, 1);
+        assert_eq!(s.due(t(5)), vec![(t(2), 1)]);
+        s.reset(t(10));
+        assert_eq!(s.due(t(20)), vec![(t(12), 1)]);
+    }
+
+    #[test]
+    fn zero_phase_periodic_skips_anchor_instant() {
+        // firings are strictly after the poll cursor, so the anchor
+        // instant itself (k=0, phase=0) is not delivered.
+        let mut s = ClockScheduler::new(t(0));
+        s.register(ClockSpec::Every { period: 3, phase: 0 }, 1);
+        assert_eq!(s.due(t(6)), vec![(t(3), 1), (t(6), 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "period >= 1")]
+    fn zero_period_panics() {
+        let mut s = ClockScheduler::new(t(0));
+        s.register(ClockSpec::Every { period: 0, phase: 0 }, 1);
+        s.due(t(5));
+    }
+
+    #[test]
+    fn empty_scheduler_reports() {
+        let mut s = ClockScheduler::new(t(0));
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.due(t(100)).is_empty());
+        assert_eq!(s.anchor(), t(0));
+    }
+}

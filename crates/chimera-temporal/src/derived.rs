@@ -1,0 +1,253 @@
+//! Related-work operators, derived or refuted.
+//!
+//! §1.1 of the paper surveys the event languages of Ode, HiPAC, Snoop,
+//! Samos and Reflex. The minimal Chimera calculus expresses several of
+//! their operators directly; this module provides them as *compilation
+//! helpers* (so downstream rules can use the familiar vocabulary while
+//! staying inside the calculus and keeping the §5.1 optimizer applicable)
+//! and implements the one genuinely inexpressible operator as a runtime
+//! extension with the expressiveness boundary demonstrated in tests:
+//!
+//! | related work | operator | here |
+//! |--------------|----------|------|
+//! | HiPAC        | sequence | [`seq`] = `<` |
+//! | HiPAC/Reflex | n-ary disjunction / conjunction | [`any_of`] / [`all_of`] |
+//! | Samos        | `*E` (first occurrence, ignore repeats) | [`star`] = identity, by level semantics |
+//! | Snoop        | `A(E; E1, E2)` aperiodic | [`aperiodic`], the windowed level analogue |
+//! | Samos        | `Times(n, E)` | **not expressible** — [`TimesDetector`] |
+//!
+//! The `Times` refutation is mechanical: the calculus is *level-based*
+//! (`ts` carries activity + most-recent stamp, never a count), so no
+//! expression over a single primitive can be inactive after one
+//! occurrence yet active after two. `times_is_inexpressible` enumerates
+//! every expression up to a size bound and checks this on concrete
+//! histories.
+
+use chimera_calculus::EventExpr;
+use chimera_events::{EventBase, EventType, Timestamp, Window};
+
+/// HiPAC-style sequence: `a` then (strictly later) `b`. Exactly the
+/// paper's precedence operator.
+pub fn seq(a: EventExpr, b: EventExpr) -> EventExpr {
+    a.prec(b)
+}
+
+/// N-ary disjunction: active as soon as any component is. `None` on an
+/// empty list (an empty disjunction has no sensible Chimera reading).
+pub fn any_of(exprs: impl IntoIterator<Item = EventExpr>) -> Option<EventExpr> {
+    exprs.into_iter().reduce(EventExpr::or)
+}
+
+/// N-ary conjunction: active once all components are.
+pub fn all_of(exprs: impl IntoIterator<Item = EventExpr>) -> Option<EventExpr> {
+    exprs.into_iter().reduce(EventExpr::and)
+}
+
+/// Samos `*E`: signal the first occurrence of `E`, ignoring repeats.
+///
+/// Under Chimera's level semantics this is the identity: a rule is
+/// triggered by the transition of `ts(E)` to positive and is *not*
+/// re-triggered by further occurrences until it has been considered
+/// (§2: "it is no longer taken into account for triggering until it has
+/// been considered"). The collapse of multiplicity that Samos obtains
+/// with a dedicated operator falls out of the triggering semantics.
+pub fn star(e: EventExpr) -> EventExpr {
+    e
+}
+
+/// Snoop's aperiodic operator `A(E; E1, E2)`, level analogue: active when
+/// an `E` followed some `E1` and no `E2` has occurred in the observation
+/// window — `(E1 < E) + -E2`.
+///
+/// This is the *windowed level* reading: Snoop's interval (re)opens per
+/// `E1`/`E2` pair, while Chimera scopes observation by rule consumption;
+/// within one window the two agree on "has an in-interval E occurred".
+pub fn aperiodic(e: EventExpr, open: EventExpr, close: EventExpr) -> EventExpr {
+    open.prec(e).and(close.not())
+}
+
+/// Samos `Times(n, E)` — n-th occurrence of `E` in the window — as a
+/// runtime extension. This cannot be compiled to the calculus (see the
+/// module docs and the `times_is_inexpressible` test); it needs a counter
+/// over the event base, which is exactly what this detector is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimesDetector {
+    /// Monitored primitive event type.
+    pub ty: EventType,
+    /// Required occurrence count (≥ 1).
+    pub n: usize,
+}
+
+impl TimesDetector {
+    /// Detector for the `n`-th occurrence of `ty`.
+    pub fn new(ty: EventType, n: usize) -> Self {
+        assert!(n >= 1, "Times(n, E) needs n >= 1");
+        TimesDetector { ty, n }
+    }
+
+    /// Number of occurrences of the monitored type in `w`.
+    pub fn count(&self, eb: &EventBase, w: Window) -> usize {
+        eb.slice(w).iter().filter(|e| e.ty == self.ty).count()
+    }
+
+    /// Is the detector active (n-th occurrence seen) in `w`?
+    pub fn is_active(&self, eb: &EventBase, w: Window) -> bool {
+        self.count(eb, w) >= self.n
+    }
+
+    /// The instant of the n-th occurrence in `w`, if reached — the Samos
+    /// operator's occurrence point.
+    pub fn occurrence_instant(&self, eb: &EventBase, w: Window) -> Option<Timestamp> {
+        eb.slice(w)
+            .iter()
+            .filter(|e| e.ty == self.ty)
+            .nth(self.n - 1)
+            .map(|e| e.ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_calculus::ts_logical;
+    use chimera_model::{ClassId, Oid};
+
+    fn et(n: u32) -> EventType {
+        EventType::external(ClassId(0), n)
+    }
+    fn p(n: u32) -> EventExpr {
+        EventExpr::prim(et(n))
+    }
+
+    fn active_at_end(expr: &EventExpr, eb: &EventBase) -> bool {
+        let w = Window::from_origin(eb.now());
+        ts_logical(expr, eb, w, eb.now()).is_active()
+    }
+
+    #[test]
+    fn seq_is_precedence() {
+        assert_eq!(seq(p(0), p(1)), p(0).prec(p(1)));
+    }
+
+    #[test]
+    fn any_of_folds_left() {
+        assert_eq!(any_of([p(0), p(1), p(2)]), Some(p(0).or(p(1)).or(p(2))));
+        assert_eq!(any_of([p(3)]), Some(p(3)));
+        assert_eq!(any_of([]), None);
+    }
+
+    #[test]
+    fn all_of_folds_left() {
+        assert_eq!(all_of([p(0), p(1)]), Some(p(0).and(p(1))));
+        assert_eq!(all_of([]), None);
+    }
+
+    #[test]
+    fn aperiodic_active_between_open_and_close() {
+        let expr = aperiodic(p(1), p(0), p(2));
+        let mut eb = EventBase::new();
+        eb.append(et(0), Oid(1)); // open
+        assert!(!active_at_end(&expr, &eb), "no E yet");
+        eb.append(et(1), Oid(1)); // E inside the interval
+        assert!(active_at_end(&expr, &eb));
+        eb.append(et(2), Oid(1)); // close
+        assert!(!active_at_end(&expr, &eb), "interval closed");
+    }
+
+    #[test]
+    fn aperiodic_needs_the_open_event() {
+        let expr = aperiodic(p(1), p(0), p(2));
+        let mut eb = EventBase::new();
+        eb.append(et(1), Oid(1)); // E before any open
+        assert!(!active_at_end(&expr, &eb));
+    }
+
+    #[test]
+    fn times_detector_counts() {
+        let d = TimesDetector::new(et(0), 3);
+        let mut eb = EventBase::new();
+        for i in 0..5 {
+            eb.append(et(i % 2), Oid(1));
+        }
+        let w = Window::from_origin(eb.now());
+        // history: 0,1,0,1,0 → three occurrences of type 0
+        assert_eq!(d.count(&eb, w), 3);
+        assert!(d.is_active(&eb, w));
+        assert_eq!(d.occurrence_instant(&eb, w), Some(Timestamp(5)));
+        // a narrower window resets the count, like a consuming rule
+        let w2 = Window::new(Timestamp(3), eb.now());
+        assert_eq!(d.count(&eb, w2), 1);
+        assert!(!d.is_active(&eb, w2));
+        assert_eq!(d.occurrence_instant(&eb, w2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn times_zero_rejected() {
+        TimesDetector::new(et(0), 0);
+    }
+
+    /// Enumerate every expression over the single primitive `A` up to a
+    /// size bound and check that none behaves like `Times(2, A)`:
+    /// inactive at the end of the one-occurrence history yet active at
+    /// the end of the two-occurrence history. The calculus is level-based
+    /// — this is the expressiveness boundary the `TimesDetector` exists
+    /// for.
+    #[test]
+    fn times_is_inexpressible() {
+        // all expressions over {A} with at most `size` AST nodes
+        fn enumerate(size: usize) -> Vec<EventExpr> {
+            let mut by_size: Vec<Vec<EventExpr>> = vec![Vec::new(); size + 1];
+            if size >= 1 {
+                by_size[1].push(EventExpr::prim(et(0)));
+            }
+            for s in 2..=size {
+                let mut new: Vec<EventExpr> = Vec::new();
+                for e in &by_size[s - 1] {
+                    new.push(e.clone().not());
+                    if e.is_instance_oriented() {
+                        new.push(e.clone().inot());
+                    }
+                }
+                for ls in 1..s - 1 {
+                    let rs = s - 1 - ls;
+                    for l in by_size[ls].clone() {
+                        for r in by_size[rs].clone() {
+                            new.push(l.clone().or(r.clone()));
+                            new.push(l.clone().and(r.clone()));
+                            new.push(l.clone().prec(r.clone()));
+                            if l.is_instance_oriented() && r.is_instance_oriented() {
+                                new.push(l.clone().ior(r.clone()));
+                                new.push(l.clone().iand(r.clone()));
+                                new.push(l.clone().iprec(r.clone()));
+                            }
+                        }
+                    }
+                }
+                by_size[s] = new;
+            }
+            by_size.into_iter().flatten().collect()
+        }
+
+        let mut once = EventBase::new();
+        once.append(et(0), Oid(1));
+        let mut twice = EventBase::new();
+        twice.append(et(0), Oid(1));
+        twice.append(et(0), Oid(1));
+
+        let times2 = TimesDetector::new(et(0), 2);
+        assert!(!times2.is_active(&once, Window::from_origin(once.now())));
+        assert!(times2.is_active(&twice, Window::from_origin(twice.now())));
+
+        let exprs = enumerate(5);
+        assert!(exprs.len() > 100, "enumeration covers a real space");
+        for e in &exprs {
+            let mimics_times =
+                !active_at_end(e, &once) && active_at_end(e, &twice);
+            assert!(
+                !mimics_times,
+                "level-based expression unexpectedly counts: {e}"
+            );
+        }
+    }
+}

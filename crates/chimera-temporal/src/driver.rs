@@ -1,0 +1,276 @@
+//! Delivering clock events into a running engine.
+//!
+//! The driver owns a [`ClockScheduler`] and a reserved class acting as
+//! the clock channel namespace. [`ClockDriver::pump`] is called between
+//! blocks (the only points at which Chimera observes new events anyway):
+//! it collects every firing due at the engine's current logical instant
+//! and delivers them as **one external block**, so a batch of simultaneous
+//! clock ticks triggers rules exactly once, like any other block.
+//!
+//! Delivery itself appends occurrences and therefore advances the logical
+//! clock; the due-set is computed against the instant *before* delivery,
+//! so a pump never feeds itself (a `period = 1` clock fires once per pump,
+//! not unboundedly).
+
+use crate::clock::{ClockScheduler, ClockSpec};
+use crate::CLOCK_OID;
+use chimera_events::EventOccurrence;
+use chimera_exec::{Engine, Result};
+use chimera_model::ClassId;
+
+/// Pumps clock events into an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct ClockDriver {
+    scheduler: ClockScheduler,
+    class: ClassId,
+}
+
+impl ClockDriver {
+    /// Driver delivering on `class`'s external channels, anchored at the
+    /// engine's current instant.
+    pub fn new(engine: &Engine, class: ClassId) -> Self {
+        ClockDriver {
+            scheduler: ClockScheduler::new(engine.event_base().now()),
+            class,
+        }
+    }
+
+    /// Register a clock spec on `channel`.
+    pub fn register(&mut self, spec: ClockSpec, channel: u32) -> &mut Self {
+        self.scheduler.register(spec, channel);
+        self
+    }
+
+    /// The underlying scheduler.
+    pub fn scheduler(&self) -> &ClockScheduler {
+        &self.scheduler
+    }
+
+    /// Deliver every firing due at the engine's current instant as one
+    /// external block. Returns the delivered occurrences (empty when
+    /// nothing was due — no block is executed then).
+    pub fn pump(&mut self, engine: &mut Engine) -> Result<Vec<EventOccurrence>> {
+        let events = self.collect_due(engine.event_base().now());
+        if events.is_empty() {
+            return Ok(Vec::new());
+        }
+        engine.raise_external(&events)
+    }
+
+    /// Collect the due firings at `now` as external-event triples without
+    /// delivering them — for engine wrappers (e.g. a durable engine) that
+    /// own the delivery path. Advances the poll cursor exactly like
+    /// [`ClockDriver::pump`].
+    pub fn collect_due(
+        &mut self,
+        now: chimera_events::Timestamp,
+    ) -> Vec<(ClassId, u32, chimera_model::Oid)> {
+        self.scheduler
+            .due(now)
+            .iter()
+            .map(|&(_, channel)| (self.class, channel, CLOCK_OID))
+            .collect()
+    }
+
+    /// Re-anchor at the engine's current instant (call at `begin`).
+    pub fn reset(&mut self, engine: &Engine) {
+        self.scheduler.reset(engine.event_base().now());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_calculus::EventExpr;
+    use chimera_events::EventType;
+    use chimera_exec::Op;
+    use chimera_model::{AttrDef, AttrType, Schema, SchemaBuilder, Value};
+    use chimera_rules::{ActionStmt, Condition, Term, TriggerDef, VarDecl};
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.class("clock", None, vec![]).unwrap();
+        b.class(
+            "task",
+            None,
+            vec![AttrDef::with_default(
+                "done",
+                AttrType::Integer,
+                Value::Int(0),
+            )],
+        )
+        .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn pump_delivers_due_ticks_as_one_block() {
+        let schema = schema();
+        let clock = schema.class_by_name("clock").unwrap();
+        let task = schema.class_by_name("task").unwrap();
+        let mut engine = Engine::new(schema);
+        let mut driver = ClockDriver::new(&engine, clock);
+        driver.register(ClockSpec::Every { period: 2, phase: 0 }, 7);
+
+        engine.begin().unwrap();
+        // advance the logical clock with ordinary work
+        for _ in 0..3 {
+            engine
+                .exec_block(&[Op::Create {
+                    class: task,
+                    inits: vec![],
+                }])
+                .unwrap();
+        }
+        let blocks_before = engine.stats().blocks;
+        // now = 3: the only due firing of (0, 3] is instant 2.
+        let occs = driver.pump(&mut engine).unwrap();
+        assert_eq!(occs.len(), 1);
+        assert_eq!(occs[0].ty, EventType::external(clock, 7));
+        assert_eq!(occs[0].oid, crate::CLOCK_OID);
+        assert_eq!(engine.stats().blocks, blocks_before + 1);
+        // delivery advanced the clock to 4, making instant 4 due…
+        let second = driver.pump(&mut engine).unwrap();
+        assert_eq!(second.len(), 1);
+        // …whose delivery lands on 5; nothing is due in (4, 5] and the
+        // feedback dies out instead of self-sustaining.
+        assert!(driver.pump(&mut engine).unwrap().is_empty());
+        engine.commit().unwrap();
+    }
+
+    #[test]
+    fn pump_without_due_ticks_is_a_no_op() {
+        let schema = schema();
+        let clock = schema.class_by_name("clock").unwrap();
+        let mut engine = Engine::new(schema);
+        let mut driver = ClockDriver::new(&engine, clock);
+        driver.register(ClockSpec::At(chimera_events::Timestamp(1_000)), 1);
+        engine.begin().unwrap();
+        let blocks = engine.stats().blocks;
+        assert!(driver.pump(&mut engine).unwrap().is_empty());
+        assert_eq!(engine.stats().blocks, blocks);
+        engine.commit().unwrap();
+    }
+
+    /// The deadline pattern: a periodic tick plus negation of completion.
+    /// `external(clock#1) + -modify(task.done)` — active at a tick iff no
+    /// task was completed since the rule last considered.
+    #[test]
+    fn deadline_rule_fires_on_tick_without_completion() {
+        let schema = schema();
+        let clock = schema.class_by_name("clock").unwrap();
+        let task = schema.class_by_name("task").unwrap();
+        let done = schema.attr_by_name(task, "done").unwrap();
+        let mut engine = Engine::new(schema);
+        let mut driver = ClockDriver::new(&engine, clock);
+        driver.register(ClockSpec::After { delay: 2 }, 1);
+
+        let expr = EventExpr::prim(EventType::external(clock, 1))
+            .and(EventExpr::prim(EventType::modify(task, done)).not());
+        let mut alert = TriggerDef::new("deadline", expr);
+        alert.condition = Condition {
+            decls: vec![VarDecl {
+                name: "T".into(),
+                class: "task".into(),
+            }],
+            formulas: vec![],
+        };
+        alert.actions = vec![ActionStmt::Modify {
+            var: "T".into(),
+            attr: "done".into(),
+            value: Term::int(-1), // mark overdue
+        }];
+        engine.define_trigger(alert).unwrap();
+
+        engine.begin().unwrap();
+        let oid = engine
+            .exec_block(&[Op::Create {
+                class: task,
+                inits: vec![],
+            }])
+            .unwrap()[0]
+            .oid;
+        engine
+            .exec_block(&[Op::Create {
+                class: task,
+                inits: vec![],
+            }])
+            .unwrap();
+        // the tick at anchor+2 is due now; no task.done modification
+        // happened, so the deadline rule fires and marks tasks overdue.
+        let occs = driver.pump(&mut engine).unwrap();
+        assert_eq!(occs.len(), 1);
+        assert_eq!(engine.read_attr(oid, "done").unwrap(), Value::Int(-1));
+        engine.commit().unwrap();
+    }
+
+    /// Completion before the tick suppresses the alert: the negation is
+    /// inactive at the tick instant (the `-1` marker never appears).
+    #[test]
+    fn deadline_rule_suppressed_by_completion() {
+        let schema = schema();
+        let clock = schema.class_by_name("clock").unwrap();
+        let task = schema.class_by_name("task").unwrap();
+        let done = schema.attr_by_name(task, "done").unwrap();
+        let mut engine = Engine::new(schema);
+        let mut driver = ClockDriver::new(&engine, clock);
+        driver.register(ClockSpec::After { delay: 2 }, 1);
+
+        let expr = EventExpr::prim(EventType::external(clock, 1))
+            .and(EventExpr::prim(EventType::modify(task, done)).not());
+        let mut alert = TriggerDef::new("deadline", expr);
+        alert.condition = Condition {
+            decls: vec![VarDecl {
+                name: "T".into(),
+                class: "task".into(),
+            }],
+            formulas: vec![],
+        };
+        alert.actions = vec![ActionStmt::Modify {
+            var: "T".into(),
+            attr: "done".into(),
+            value: Term::int(-1),
+        }];
+        engine.define_trigger(alert).unwrap();
+
+        engine.begin().unwrap();
+        let oid = engine
+            .exec_block(&[Op::Create {
+                class: task,
+                inits: vec![],
+            }])
+            .unwrap()[0]
+            .oid;
+        engine
+            .exec_block(&[Op::Modify {
+                oid,
+                attr: done,
+                value: Value::Int(1),
+            }])
+            .unwrap();
+        driver.pump(&mut engine).unwrap();
+        // completed before the tick: still 1, not -1
+        assert_eq!(engine.read_attr(oid, "done").unwrap(), Value::Int(1));
+        engine.commit().unwrap();
+    }
+
+    #[test]
+    fn reset_reanchors_to_engine_instant() {
+        let schema = schema();
+        let clock = schema.class_by_name("clock").unwrap();
+        let task = schema.class_by_name("task").unwrap();
+        let mut engine = Engine::new(schema);
+        let mut driver = ClockDriver::new(&engine, clock);
+        driver.register(ClockSpec::After { delay: 1 }, 1);
+        engine.begin().unwrap();
+        engine
+            .exec_block(&[Op::Create {
+                class: task,
+                inits: vec![],
+            }])
+            .unwrap();
+        driver.reset(&engine);
+        assert_eq!(driver.scheduler().anchor(), engine.event_base().now());
+        engine.commit().unwrap();
+    }
+}

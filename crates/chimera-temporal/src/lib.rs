@@ -1,0 +1,36 @@
+//! # chimera-temporal
+//!
+//! Temporal extension of the Chimera event calculus, covering the two
+//! related-work capabilities (§1.1 of the paper) that the minimal
+//! calculus deliberately leaves out and the paper names as natural
+//! extension points:
+//!
+//! * **Clock events** ([`clock`], [`driver`]) — HiPAC's absolute,
+//!   relative and periodic time events, realised as *external* event
+//!   occurrences on a reserved channel so that the calculus, the `V(E)`
+//!   optimizer and the triggering semantics apply to them unchanged. The
+//!   paper's clock is logical (stamps exist only when events occur);
+//!   clock specs are therefore expressed in logical instants and injected
+//!   by a [`driver::ClockDriver`] pumped between blocks.
+//!
+//! * **Derived operators** ([`derived`]) — the related-work operators
+//!   that *are* expressible in the minimal calculus, provided as
+//!   compilation helpers (HiPAC sequence, n-ary conjunction/disjunction,
+//!   Samos `*`, Snoop's aperiodic shape), plus the one that is **not**
+//!   ([`derived::TimesDetector`], Samos `Times(n, E)`), implemented as a
+//!   runtime counter to document exactly where the expressiveness
+//!   boundary lies (the calculus is level-based: `ts` carries activity
+//!   and a stamp, never a count).
+
+pub mod clock;
+pub mod derived;
+pub mod driver;
+
+pub use clock::{ClockScheduler, ClockSpec};
+pub use derived::{all_of, any_of, aperiodic, seq, star, TimesDetector};
+pub use driver::ClockDriver;
+
+/// Pseudo-object all clock occurrences are attributed to: the store never
+/// allocates `Oid(0)`, so clock events can never alias a real object in
+/// instance-oriented expressions.
+pub const CLOCK_OID: chimera_model::Oid = chimera_model::Oid(0);

@@ -1,0 +1,364 @@
+//! The paper's running example domain: `stock`, `show`, `stockOrder`.
+//!
+//! Provides the schema, the §2 `checkStockQty` trigger plus two composite-
+//! event triggers built from §3's sample expressions, and a seeded
+//! operation generator that drives a full engine (used by the end-to-end
+//! benchmark and the integration suite).
+
+use chimera_calculus::EventExpr;
+use chimera_events::EventType;
+use chimera_exec::{Engine, EngineConfig, Op};
+use chimera_model::{AttrDef, AttrType, Oid, Schema, SchemaBuilder, Value};
+use chimera_rules::condition::{CmpOp, Condition, Formula, Term, VarDecl};
+use chimera_rules::{ActionStmt, TriggerDef};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The stock/show/stockOrder schema.
+pub fn stock_schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.class(
+        "stock",
+        None,
+        vec![
+            AttrDef::new("quantity", AttrType::Integer),
+            AttrDef::with_default("max_quantity", AttrType::Integer, Value::Int(100)),
+            AttrDef::with_default("min_quantity", AttrType::Integer, Value::Int(10)),
+        ],
+    )
+    .expect("stock schema");
+    b.class(
+        "show",
+        None,
+        vec![AttrDef::new("quantity", AttrType::Integer)],
+    )
+    .expect("stock schema");
+    b.class(
+        "stockOrder",
+        None,
+        vec![AttrDef::new("del_quantity", AttrType::Integer)],
+    )
+    .expect("stock schema");
+    b.build()
+}
+
+/// The example triggers over the schema:
+///
+/// 1. `checkStockQty` (§2): on `create(stock) , modify(stock.quantity)`
+///    (the disjunction form §2 notes original Chimera already supported),
+///    clamp `quantity` to `max_quantity`;
+/// 2. `reorder` (preserving): on `modify(stock.quantity)`, bind objects
+///    matching the §3.3 composite `create(stock) <= modify(stock.quantity)`
+///    over the whole transaction and create a `stockOrder` for those that
+///    fell below `min_quantity`;
+/// 3. `restockWatch`: on
+///    `modify(show.quantity) + (create(stock) += modify(stock.quantity))`
+///    (the §3.2 sample), raise `min_quantity` on the affected stock.
+pub fn stock_triggers(schema: &Schema) -> Vec<TriggerDef> {
+    let stock = schema.class_by_name("stock").expect("stock");
+    let show = schema.class_by_name("show").expect("show");
+    let q = schema.attr_by_name(stock, "quantity").expect("quantity");
+    let shq = schema.attr_by_name(show, "quantity").expect("show qty");
+
+    let mut check = TriggerDef::new(
+        "checkStockQty",
+        EventExpr::prim(EventType::create(stock))
+            .or(EventExpr::prim(EventType::modify(stock, q))),
+    );
+    check.target = Some(stock);
+    check.priority = 10;
+    check.condition = Condition {
+        decls: vec![VarDecl {
+            name: "S".into(),
+            class: "stock".into(),
+        }],
+        formulas: vec![
+            Formula::Occurred {
+                expr: EventExpr::prim(EventType::create(stock))
+                    .ior(EventExpr::prim(EventType::modify(stock, q))),
+                var: "S".into(),
+            },
+            Formula::Compare {
+                lhs: Term::attr("S", "quantity"),
+                op: CmpOp::Gt,
+                rhs: Term::attr("S", "max_quantity"),
+            },
+        ],
+    };
+    check.actions = vec![ActionStmt::Modify {
+        var: "S".into(),
+        attr: "quantity".into(),
+        value: Term::attr("S", "max_quantity"),
+    }];
+
+    let seq = EventExpr::prim(EventType::create(stock))
+        .iprec(EventExpr::prim(EventType::modify(stock, q)));
+    let mut reorder = TriggerDef::new(
+        "reorder",
+        EventExpr::prim(EventType::modify(stock, q)),
+    );
+    reorder.target = Some(stock);
+    reorder.priority = 5;
+    reorder.consumption = chimera_rules::ConsumptionMode::Preserving;
+    reorder.condition = Condition {
+        decls: vec![VarDecl {
+            name: "S".into(),
+            class: "stock".into(),
+        }],
+        formulas: vec![
+            Formula::Occurred {
+                expr: seq,
+                var: "S".into(),
+            },
+            Formula::Compare {
+                lhs: Term::attr("S", "quantity"),
+                op: CmpOp::Lt,
+                rhs: Term::attr("S", "min_quantity"),
+            },
+        ],
+    };
+    reorder.actions = vec![ActionStmt::Create {
+        class: "stockOrder".into(),
+        inits: vec![(
+            "del_quantity".into(),
+            Term::Sub(
+                Box::new(Term::attr("S", "min_quantity")),
+                Box::new(Term::attr("S", "quantity")),
+            ),
+        )],
+    }];
+
+    let composite = EventExpr::prim(EventType::modify(show, shq)).and(
+        EventExpr::prim(EventType::create(stock))
+            .iand(EventExpr::prim(EventType::modify(stock, q))),
+    );
+    let mut watch = TriggerDef::new("restockWatch", composite);
+    watch.condition = Condition {
+        decls: vec![VarDecl {
+            name: "S".into(),
+            class: "stock".into(),
+        }],
+        formulas: vec![Formula::Occurred {
+            expr: EventExpr::prim(EventType::create(stock))
+                .iand(EventExpr::prim(EventType::modify(stock, q))),
+            var: "S".into(),
+        }],
+    };
+    watch.actions = vec![ActionStmt::Modify {
+        var: "S".into(),
+        attr: "min_quantity".into(),
+        value: Term::Add(
+            Box::new(Term::attr("S", "min_quantity")),
+            Box::new(Term::int(1)),
+        ),
+    }];
+
+    vec![check, reorder, watch]
+}
+
+/// Workload configuration.
+#[derive(Debug, Clone)]
+pub struct StockWorkloadConfig {
+    /// Transactions to run.
+    pub transactions: usize,
+    /// Operation blocks per transaction.
+    pub blocks_per_txn: usize,
+    /// Operations per block.
+    pub ops_per_block: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Install the example triggers?
+    pub with_triggers: bool,
+    /// Engine configuration.
+    pub engine: EngineConfig,
+}
+
+impl Default for StockWorkloadConfig {
+    fn default() -> Self {
+        StockWorkloadConfig {
+            transactions: 10,
+            blocks_per_txn: 5,
+            ops_per_block: 4,
+            seed: 42,
+            with_triggers: true,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// A runnable stock-domain workload.
+#[derive(Debug)]
+pub struct StockWorkload {
+    /// The engine under load.
+    pub engine: Engine,
+    cfg: StockWorkloadConfig,
+    rng: StdRng,
+    stocks: Vec<Oid>,
+    shows: Vec<Oid>,
+}
+
+impl StockWorkload {
+    /// Build the engine, schema and (optionally) triggers.
+    pub fn new(cfg: StockWorkloadConfig) -> Self {
+        let schema = stock_schema();
+        let mut engine = Engine::with_config(schema, cfg.engine.clone());
+        if cfg.with_triggers {
+            for def in stock_triggers(engine.schema()) {
+                engine.define_trigger(def).expect("trigger definition");
+            }
+        }
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        StockWorkload {
+            engine,
+            cfg,
+            rng,
+            stocks: Vec::new(),
+            shows: Vec::new(),
+        }
+    }
+
+    fn random_op(&mut self) -> Op {
+        let schema = self.engine.schema();
+        let stock = schema.class_by_name("stock").unwrap();
+        let show = schema.class_by_name("show").unwrap();
+        let q = schema.attr_by_name(stock, "quantity").unwrap();
+        let shq = schema.attr_by_name(show, "quantity").unwrap();
+        match self.rng.random_range(0..10u32) {
+            0..=2 => Op::Create {
+                class: stock,
+                inits: vec![(q, Value::Int(self.rng.random_range(0..200)))],
+            },
+            3 => Op::Create {
+                class: show,
+                inits: vec![(shq, Value::Int(self.rng.random_range(0..50)))],
+            },
+            4..=6 if !self.stocks.is_empty() => {
+                let i = self.rng.random_range(0..self.stocks.len());
+                Op::Modify {
+                    oid: self.stocks[i],
+                    attr: q,
+                    value: Value::Int(self.rng.random_range(0..200)),
+                }
+            }
+            7..=8 if !self.shows.is_empty() => {
+                let i = self.rng.random_range(0..self.shows.len());
+                Op::Modify {
+                    oid: self.shows[i],
+                    attr: shq,
+                    value: Value::Int(self.rng.random_range(0..50)),
+                }
+            }
+            9 if self.stocks.len() > 2 => {
+                let i = self.rng.random_range(0..self.stocks.len());
+                Op::Delete {
+                    oid: self.stocks.swap_remove(i),
+                }
+            }
+            _ => Op::Create {
+                class: stock,
+                inits: vec![(q, Value::Int(self.rng.random_range(0..200)))],
+            },
+        }
+    }
+
+    /// Run the whole workload; panics on engine errors (the generated
+    /// operation mix is always valid).
+    pub fn run(&mut self) {
+        let schema = self.engine.schema();
+        let stock = schema.class_by_name("stock").unwrap();
+        let show = schema.class_by_name("show").unwrap();
+        for _ in 0..self.cfg.transactions {
+            self.engine.begin().expect("begin");
+            for _ in 0..self.cfg.blocks_per_txn {
+                let ops: Vec<Op> = (0..self.cfg.ops_per_block)
+                    .map(|_| self.random_op())
+                    .collect();
+                let occs = self.engine.exec_block(&ops).expect("block");
+                for o in occs {
+                    if o.ty == EventType::create(stock) {
+                        self.stocks.push(o.oid);
+                    } else if o.ty == EventType::create(show) {
+                        self.shows.push(o.oid);
+                    } else if o.ty == EventType::delete(stock) {
+                        self.stocks.retain(|&s| s != o.oid);
+                    }
+                }
+            }
+            self.engine.commit().expect("commit");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape() {
+        let s = stock_schema();
+        assert_eq!(s.class_count(), 3);
+        let stock = s.class_by_name("stock").unwrap();
+        assert!(s.attr_by_name(stock, "min_quantity").is_ok());
+    }
+
+    #[test]
+    fn triggers_install_cleanly() {
+        let schema = stock_schema();
+        let mut engine = Engine::new(stock_schema());
+        for def in stock_triggers(&schema) {
+            engine.define_trigger(def).unwrap();
+        }
+        assert_eq!(engine.rules().len(), 3);
+    }
+
+    #[test]
+    fn check_stock_qty_fires_in_workload() {
+        let mut w = StockWorkload::new(StockWorkloadConfig {
+            transactions: 3,
+            blocks_per_txn: 4,
+            ops_per_block: 4,
+            seed: 7,
+            with_triggers: true,
+            engine: EngineConfig::default(),
+        });
+        w.run();
+        let stats = w.engine.stats();
+        assert!(stats.considerations > 0, "triggers should have fired");
+        // invariant maintained by checkStockQty: no stock above max
+        let schema = w.engine.schema();
+        let stock = schema.class_by_name("stock").unwrap();
+        for oid in w.engine.extent(stock) {
+            let q = w.engine.read_attr(oid, "quantity").unwrap();
+            let maxq = w.engine.read_attr(oid, "max_quantity").unwrap();
+            if let (Value::Int(q), Value::Int(m)) = (q, maxq) {
+                assert!(q <= m, "checkStockQty invariant violated: {q} > {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let run = |seed| {
+            let mut w = StockWorkload::new(StockWorkloadConfig {
+                transactions: 2,
+                seed,
+                ..Default::default()
+            });
+            w.run();
+            (w.engine.stats(), w.engine.event_base().len())
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).1, 0);
+    }
+
+    #[test]
+    fn workload_without_triggers_runs_no_rules() {
+        let mut w = StockWorkload::new(StockWorkloadConfig {
+            transactions: 2,
+            with_triggers: false,
+            ..Default::default()
+        });
+        w.run();
+        assert_eq!(w.engine.stats().considerations, 0);
+    }
+}

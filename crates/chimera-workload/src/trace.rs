@@ -1,0 +1,199 @@
+//! Recordable, replayable operation traces.
+//!
+//! Traces use symbolic handles (dense indexes assigned at creation) so a
+//! recorded run can be replayed into a fresh engine, where OIDs may
+//! differ. Replay is deterministic; the integration suite uses it to
+//! assert that two engines fed the same trace reach identical states.
+
+use chimera_exec::{Engine, Op, Result};
+use chimera_model::{Oid, Value};
+
+/// A trace operation over symbolic object handles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceOp {
+    /// Begin a transaction.
+    Begin,
+    /// Commit.
+    Commit,
+    /// Rollback.
+    Rollback,
+    /// Create an object of a class; the new object gets the next handle.
+    Create {
+        /// Class name.
+        class: String,
+        /// Attribute initializers by name.
+        inits: Vec<(String, Value)>,
+    },
+    /// Modify an attribute of a handle.
+    Modify {
+        /// Creation handle.
+        handle: usize,
+        /// Attribute name.
+        attr: String,
+        /// New value.
+        value: Value,
+    },
+    /// Delete a handle's object.
+    Delete {
+        /// Creation handle.
+        handle: usize,
+    },
+}
+
+/// An operation trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Operations in order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append an operation.
+    pub fn push(&mut self, op: TraceOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Replay into an engine; each operation is its own block. Returns the
+    /// handle → OID mapping.
+    pub fn replay(&self, engine: &mut Engine) -> Result<Vec<Oid>> {
+        let mut handles: Vec<Oid> = Vec::new();
+        for op in &self.ops {
+            match op {
+                TraceOp::Begin => engine.begin()?,
+                TraceOp::Commit => engine.commit()?,
+                TraceOp::Rollback => engine.rollback()?,
+                TraceOp::Create { class, inits } => {
+                    let schema = engine.schema();
+                    let cid = schema.class_by_name(class).map_err(chimera_exec::ExecError::Model)?;
+                    let mut resolved = Vec::with_capacity(inits.len());
+                    for (name, v) in inits {
+                        let aid = schema
+                            .attr_by_name(cid, name)
+                            .map_err(chimera_exec::ExecError::Model)?;
+                        resolved.push((aid, v.clone()));
+                    }
+                    let occs = engine.exec_block(&[Op::Create {
+                        class: cid,
+                        inits: resolved,
+                    }])?;
+                    handles.push(occs[0].oid);
+                }
+                TraceOp::Modify {
+                    handle,
+                    attr,
+                    value,
+                } => {
+                    let oid = handles[*handle];
+                    let class = engine.get_object(oid)?.class;
+                    let aid = engine
+                        .schema()
+                        .attr_by_name(class, attr)
+                        .map_err(chimera_exec::ExecError::Model)?;
+                    engine.exec_block(&[Op::Modify {
+                        oid,
+                        attr: aid,
+                        value: value.clone(),
+                    }])?;
+                }
+                TraceOp::Delete { handle } => {
+                    let oid = handles[*handle];
+                    engine.exec_block(&[Op::Delete { oid }])?;
+                }
+            }
+        }
+        Ok(handles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stock::{stock_schema, stock_triggers};
+
+    fn engine() -> Engine {
+        let mut e = Engine::new(stock_schema());
+        for def in stock_triggers(e.schema()) {
+            e.define_trigger(def).unwrap();
+        }
+        e
+    }
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceOp::Begin)
+            .push(TraceOp::Create {
+                class: "stock".into(),
+                inits: vec![("quantity".into(), Value::Int(500))],
+            })
+            .push(TraceOp::Modify {
+                handle: 0,
+                attr: "quantity".into(),
+                value: Value::Int(3),
+            })
+            .push(TraceOp::Commit);
+        t
+    }
+
+    #[test]
+    fn replay_drives_rules() {
+        let mut e = engine();
+        let handles = sample_trace().replay(&mut e).unwrap();
+        // checkStockQty clamped 500 → 100, then the explicit modify set 3,
+        // and reorder created a stockOrder (3 < min_quantity 10).
+        assert_eq!(e.read_attr(handles[0], "quantity").unwrap(), Value::Int(3));
+        let order_class = e.schema().class_by_name("stockOrder").unwrap();
+        let orders = e.extent(order_class);
+        assert_eq!(orders.len(), 1);
+        assert_eq!(
+            e.read_attr(orders[0], "del_quantity").unwrap(),
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic_across_engines() {
+        let t = sample_trace();
+        let mut e1 = engine();
+        let mut e2 = engine();
+        let h1 = t.replay(&mut e1).unwrap();
+        let h2 = t.replay(&mut e2).unwrap();
+        assert_eq!(e1.stats(), e2.stats());
+        assert_eq!(
+            e1.read_attr(h1[0], "min_quantity").unwrap(),
+            e2.read_attr(h2[0], "min_quantity").unwrap()
+        );
+    }
+
+    #[test]
+    fn rollback_in_trace() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Begin)
+            .push(TraceOp::Create {
+                class: "stock".into(),
+                inits: vec![],
+            })
+            .push(TraceOp::Rollback);
+        let mut e = engine();
+        t.replay(&mut e).unwrap();
+        let stock = e.schema().class_by_name("stock").unwrap();
+        assert!(e.extent(stock).is_empty());
+    }
+
+    #[test]
+    fn delete_via_handle() {
+        let mut t = sample_trace();
+        // remove the trailing commit, delete, then commit
+        t.ops.pop();
+        t.push(TraceOp::Delete { handle: 0 }).push(TraceOp::Commit);
+        let mut e = engine();
+        t.replay(&mut e).unwrap();
+        let stock = e.schema().class_by_name("stock").unwrap();
+        assert!(e.extent(stock).is_empty());
+    }
+}

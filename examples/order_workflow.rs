@@ -1,0 +1,138 @@
+//! Instance-oriented composite events on an order-fulfilment workflow,
+//! using the programmatic API: the `occurred` and `at` event formulas
+//! (§3.3) over the instance-oriented precedence operator.
+//!
+//! Workflow per order object: `create(order)` then
+//! `modify(order.approved_qty)` then `modify(order.shipped_qty)`.
+//! A deferred trigger audits, at commit time, every order that was
+//! approved and later shipped **within the same transaction**, using
+//! `at` to recover the shipping instants.
+//!
+//! ```sh
+//! cargo run --example order_workflow
+//! ```
+
+use chimera::calculus::{at_occurrences, occurred_objects, EventExpr};
+use chimera::events::{EventType, Window};
+use chimera::exec::{Engine, Op};
+use chimera::model::{AttrDef, AttrType, SchemaBuilder, Value};
+use chimera::rules::condition::{CmpOp, Condition, Formula, Term, VarDecl};
+use chimera::rules::{ActionStmt, CouplingMode, TriggerDef};
+
+fn main() {
+    // schema: order(approved_qty, shipped_qty, audited)
+    let mut b = SchemaBuilder::new();
+    b.class(
+        "order",
+        None,
+        vec![
+            AttrDef::with_default("approved_qty", AttrType::Integer, Value::Int(0)),
+            AttrDef::with_default("shipped_qty", AttrType::Integer, Value::Int(0)),
+            AttrDef::with_default("audited", AttrType::Boolean, Value::Bool(false)),
+        ],
+    )
+    .unwrap();
+    let schema = b.build();
+    let order = schema.class_by_name("order").unwrap();
+    let approved = schema.attr_by_name(order, "approved_qty").unwrap();
+    let shipped = schema.attr_by_name(order, "shipped_qty").unwrap();
+
+    // instance-oriented: approval then shipping ON THE SAME ORDER
+    let approved_then_shipped = EventExpr::prim(EventType::modify(order, approved))
+        .iprec(EventExpr::prim(EventType::modify(order, shipped)));
+
+    let mut audit = TriggerDef::new("auditShipment", approved_then_shipped.clone());
+    audit.coupling = CouplingMode::Deferred; // §2: suspended until commit
+    audit.condition = Condition {
+        decls: vec![VarDecl {
+            name: "O".into(),
+            class: "order".into(),
+        }],
+        formulas: vec![
+            Formula::Occurred {
+                expr: approved_then_shipped.clone(),
+                var: "O".into(),
+            },
+            Formula::Compare {
+                lhs: Term::attr("O", "shipped_qty"),
+                op: CmpOp::Le,
+                rhs: Term::attr("O", "approved_qty"),
+            },
+        ],
+    };
+    audit.actions = vec![ActionStmt::Modify {
+        var: "O".into(),
+        attr: "audited".into(),
+        value: Term::Const(Value::Bool(true)),
+    }];
+
+    let mut engine = Engine::new(schema);
+    engine.define_trigger(audit).unwrap();
+    engine.begin().unwrap();
+
+    // three orders; only o1 and o2 complete the approve→ship sequence,
+    // and o2 over-ships (audit condition rejects it).
+    let mk = |engine: &mut Engine| {
+        engine
+            .exec_block(&[Op::Create {
+                class: order,
+                inits: vec![],
+            }])
+            .unwrap()[0]
+            .oid
+    };
+    let o1 = mk(&mut engine);
+    let o2 = mk(&mut engine);
+    let o3 = mk(&mut engine);
+
+    let set = |engine: &mut Engine, oid, attr, v: i64| {
+        engine
+            .exec_block(&[Op::Modify {
+                oid,
+                attr,
+                value: Value::Int(v),
+            }])
+            .unwrap();
+    };
+    set(&mut engine, o1, approved, 10);
+    set(&mut engine, o2, approved, 5);
+    set(&mut engine, o3, shipped, 4); // shipped without approval!
+    set(&mut engine, o1, shipped, 8); // within approval: will be audited
+    set(&mut engine, o2, shipped, 9); // over-ships: sequence matched, condition fails
+    set(&mut engine, o1, shipped, 10); // second shipment instant
+
+    // inspect the formulas before commit
+    let eb = engine.event_base();
+    let w = Window::from_origin(eb.now());
+    let matched = occurred_objects(&approved_then_shipped, eb, w).unwrap();
+    println!("orders with approve→ship on the same object: {matched:?}");
+    assert_eq!(matched, vec![o1, o2]);
+
+    let instants = at_occurrences(&approved_then_shipped, eb, w).unwrap();
+    println!("occurrence instants (the §3.3 `at` predicate):");
+    for (oid, t) in &instants {
+        println!("  order {oid} shipped at {t}");
+    }
+    // o1 shipped twice after approval → two instants; o2 once.
+    assert_eq!(instants.iter().filter(|(o, _)| *o == o1).count(), 2);
+    assert_eq!(instants.iter().filter(|(o, _)| *o == o2).count(), 1);
+
+    // nothing audited yet: the trigger is deferred
+    assert_eq!(
+        engine.read_attr(o1, "audited").unwrap(),
+        Value::Bool(false)
+    );
+    engine.commit().unwrap();
+
+    println!("\nafter commit:");
+    for (name, oid) in [("o1", o1), ("o2", o2), ("o3", o3)] {
+        println!(
+            "  {name}: audited = {}",
+            engine.read_attr(oid, "audited").unwrap()
+        );
+    }
+    assert_eq!(engine.read_attr(o1, "audited").unwrap(), Value::Bool(true));
+    assert_eq!(engine.read_attr(o2, "audited").unwrap(), Value::Bool(false));
+    assert_eq!(engine.read_attr(o3, "audited").unwrap(), Value::Bool(false));
+    println!("ok: deferred instance-oriented audit behaved as specified.");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: define a schema and a trigger in Chimera's surface syntax,
+//! run a transaction, watch the rule react.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use chimera::interp::Interpreter;
+use chimera::model::Value;
+
+const PROGRAM: &str = r#"
+define class stock
+  attributes quantity: integer,
+             max_quantity: integer default 100
+end
+
+-- the paper's §2 example rule, extended with the modify event:
+-- clamp any stock quantity that exceeds the maximum.
+define immediate trigger checkStockQty for stock
+  events create , modify(quantity)
+  condition stock(S), occurred(create ,= modify(quantity), S),
+            S.quantity > S.max_quantity
+  actions modify(S.quantity, S.max_quantity)
+end
+
+begin;
+let widget = create stock(quantity: 250);
+let gadget = create stock(quantity: 50);
+modify gadget.quantity = 400;
+commit;
+"#;
+
+fn main() {
+    let mut chim = Interpreter::from_source(PROGRAM).expect("parse");
+    chim.run_all().expect("run");
+
+    let widget = chim.var("widget").expect("widget bound");
+    let gadget = chim.var("gadget").expect("gadget bound");
+    let read = |oid| match chim.engine().read_attr(oid, "quantity").unwrap() {
+        Value::Int(v) => v,
+        other => panic!("unexpected value {other}"),
+    };
+
+    println!("widget.quantity = {} (created at 250, clamped)", read(widget));
+    println!("gadget.quantity = {} (modified to 400, clamped)", read(gadget));
+
+    let stats = chim.engine().stats();
+    println!(
+        "engine: {} blocks, {} events, {} rule considerations, {} executions",
+        stats.blocks, stats.events, stats.considerations, stats.executions
+    );
+    assert_eq!(read(widget), 100);
+    assert_eq!(read(gadget), 100);
+    println!("ok: checkStockQty kept the invariant.");
+}

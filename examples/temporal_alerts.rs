@@ -1,0 +1,172 @@
+//! Temporal alerting with clock events — the HiPAC-style extension.
+//!
+//! Scenario: orders must be filled before the next periodic audit tick.
+//! A trigger listens on the composite `external(clock#AUDIT) + -modify
+//! (order.filled)` — "an audit tick arrived and no order was filled since
+//! the last consideration" — and escalates every still-open order. A
+//! second pattern uses the `Times(n, E)` runtime detector for a velocity
+//! check the level-based calculus cannot express (see
+//! `chimera-temporal`'s `times_is_inexpressible` test).
+//!
+//! Run with: `cargo run --example temporal_alerts`
+
+use chimera::calculus::EventExpr;
+use chimera::events::{EventType, Window};
+use chimera::exec::{Engine, Op};
+use chimera::model::{AttrDef, AttrType, Schema, SchemaBuilder, Value};
+use chimera::rules::{ActionStmt, CmpOp, Condition, Formula, Term, TriggerDef, VarDecl};
+use chimera::temporal::{ClockDriver, ClockSpec, TimesDetector};
+
+const AUDIT: u32 = 1;
+
+fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.class("clock", None, vec![]).expect("schema");
+    b.class(
+        "order",
+        None,
+        vec![
+            AttrDef::with_default("filled", AttrType::Integer, Value::Int(0)),
+            AttrDef::with_default("escalations", AttrType::Integer, Value::Int(0)),
+        ],
+    )
+    .expect("schema");
+    b.class(
+        "stock",
+        None,
+        vec![AttrDef::new("price", AttrType::Integer)],
+    )
+    .expect("schema");
+    b.build()
+}
+
+fn main() {
+    let schema = schema();
+    let clock = schema.class_by_name("clock").expect("clock");
+    let order = schema.class_by_name("order").expect("order");
+    let stock = schema.class_by_name("stock").expect("stock");
+    let filled = schema.attr_by_name(order, "filled").expect("filled");
+    let price = schema.attr_by_name(stock, "price").expect("price");
+
+    let mut engine = Engine::new(schema.clone());
+
+    // deadline trigger: audit tick + absence of any fill since the last
+    // consideration ⇒ bump `escalations` on every still-open order.
+    let expr = EventExpr::prim(EventType::external(clock, AUDIT))
+        .and(EventExpr::prim(EventType::modify(order, filled)).not());
+    println!("deadline trigger events: {}", expr.render(&schema));
+    let mut escalate = TriggerDef::new("escalateUnfilled", expr);
+    escalate.condition = Condition {
+        decls: vec![VarDecl {
+            name: "O".into(),
+            class: "order".into(),
+        }],
+        formulas: vec![Formula::Compare {
+            lhs: Term::attr("O", "filled"),
+            op: CmpOp::Eq,
+            rhs: Term::int(0),
+        }],
+    };
+    escalate.actions = vec![ActionStmt::Modify {
+        var: "O".into(),
+        attr: "escalations".into(),
+        value: Term::Add(
+            Box::new(Term::attr("O", "escalations")),
+            Box::new(Term::int(1)),
+        ),
+    }];
+    engine.define_trigger(escalate).expect("define");
+
+    // periodic audit: one tick 3 logical instants into each transaction
+    let mut driver = ClockDriver::new(&engine, clock);
+    driver.register(ClockSpec::After { delay: 3 }, AUDIT);
+
+    // ── transaction 1: a fill happens before the audit tick ──────────
+    // The negation observes the rule's consumption window; the fill is in
+    // it, so the audit passes quietly.
+    engine.begin().expect("begin");
+    let o1 = engine
+        .exec_block(&[Op::Create {
+            class: order,
+            inits: vec![],
+        }])
+        .expect("block")[0]
+        .oid;
+    let o2 = engine
+        .exec_block(&[Op::Create {
+            class: order,
+            inits: vec![],
+        }])
+        .expect("block")[0]
+        .oid;
+    engine
+        .exec_block(&[Op::Modify {
+            oid: o1,
+            attr: filled,
+            value: Value::Int(1),
+        }])
+        .expect("block");
+    let delivered = driver.pump(&mut engine).expect("pump");
+    engine.commit().expect("commit");
+    println!(
+        "txn 1: audit tick delivered ({} occurrence), fill was in the window → \
+         o1.escalations = {:?}, o2.escalations = {:?}",
+        delivered.len(),
+        engine.read_attr(o1, "escalations").expect("read"),
+        engine.read_attr(o2, "escalations").expect("read"),
+    );
+
+    // ── transaction 2: only stock churn, no fills ─────────────────────
+    // Rule windows restart at transaction begin; this window contains no
+    // `modify(order.filled)`, so the tick finds the negation active and
+    // the still-open o2 is escalated (o1 fails the `filled = 0` test).
+    engine.begin().expect("begin");
+    driver.reset(&engine);
+    for i in 0..3 {
+        engine
+            .exec_block(&[Op::Create {
+                class: stock,
+                inits: vec![(price, Value::Int(10 + i))],
+            }])
+            .expect("block");
+    }
+    driver.pump(&mut engine).expect("pump");
+    engine.commit().expect("commit");
+    println!(
+        "txn 2: quiet audit window → o1.escalations = {:?}, o2.escalations = {:?}",
+        engine.read_attr(o1, "escalations").expect("read"),
+        engine.read_attr(o2, "escalations").expect("read"),
+    );
+
+    engine.begin().expect("begin");
+
+    // velocity check: three price updates of the same stock object inside
+    // the transaction — a count, which no level-based event expression can
+    // track; the Times detector reads it off the event base.
+    let s = engine.extent(stock)[0];
+    for v in [20, 30, 40] {
+        engine
+            .exec_block(&[Op::Modify {
+                oid: s,
+                attr: price,
+                value: Value::Int(v),
+            }])
+            .expect("block");
+    }
+    let times3 = TimesDetector::new(EventType::modify(stock, price), 3);
+    let w = Window::from_origin(engine.event_base().now());
+    println!(
+        "velocity check: {} price modifications (Times(3) active: {}, at instant {:?})",
+        times3.count(engine.event_base(), w),
+        times3.is_active(engine.event_base(), w),
+        times3.occurrence_instant(engine.event_base(), w),
+    );
+
+    engine.commit().expect("commit");
+    println!(
+        "done: {} blocks, {} events, {} rule executions",
+        engine.stats().blocks,
+        engine.stats().events,
+        engine.stats().executions
+    );
+}

@@ -1,0 +1,491 @@
+//! Script interpreter: runs `chimera-lang` programs against the engine.
+//!
+//! A program's class declarations build the schema, trigger declarations
+//! install rules, and script statements drive transactions. Each script
+//! statement is a non-interruptible block (transaction line); `{ … }`
+//! groups several operations into a single block, exactly matching the
+//! §2/§5 execution model.
+
+use chimera_exec::{Engine, EngineConfig, ExecError, Op};
+use chimera_lang::{parse_program, Item, ParseError, Program, ScriptStmt, TriggerDecl};
+use chimera_model::{Oid, Value};
+use chimera_rules::condition::Term;
+use chimera_rules::TriggerDef;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interpreter errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Engine/runtime error.
+    Exec(ExecError),
+    /// A script referenced an unbound object variable.
+    UnknownVar(String),
+    /// `begin`/`commit`/`rollback` inside a `{ … }` block.
+    TxnStmtInBlock,
+    /// A script term could not be evaluated.
+    BadScriptTerm(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Parse(e) => write!(f, "{e}"),
+            InterpError::Exec(e) => write!(f, "{e}"),
+            InterpError::UnknownVar(v) => write!(f, "unknown script variable `{v}`"),
+            InterpError::TxnStmtInBlock => {
+                write!(f, "transaction statements cannot appear inside a block")
+            }
+            InterpError::BadScriptTerm(t) => write!(f, "cannot evaluate script term `{t}`"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<ParseError> for InterpError {
+    fn from(e: ParseError) -> Self {
+        InterpError::Parse(e)
+    }
+}
+impl From<ExecError> for InterpError {
+    fn from(e: ExecError) -> Self {
+        InterpError::Exec(e)
+    }
+}
+
+/// The interpreter: a parsed program plus a live engine.
+#[derive(Debug)]
+pub struct Interpreter {
+    engine: Engine,
+    program: Program,
+    next_item: usize,
+    vars: HashMap<String, Oid>,
+}
+
+impl Interpreter {
+    /// Parse a program, build the schema and install its triggers. Script
+    /// statements are *not* yet run — call [`Interpreter::run_all`].
+    pub fn from_source(src: &str) -> Result<Self, InterpError> {
+        Self::from_source_with_config(src, EngineConfig::default())
+    }
+
+    /// Like [`Interpreter::from_source`] with an explicit engine config.
+    pub fn from_source_with_config(
+        src: &str,
+        config: EngineConfig,
+    ) -> Result<Self, InterpError> {
+        let (program, schema) = parse_program(src)?;
+        let mut engine = Engine::with_config(schema, config);
+        for decl in program.triggers() {
+            engine.define_trigger(lower_trigger(decl, &engine)?)?;
+        }
+        Ok(Interpreter {
+            engine,
+            program,
+            next_item: 0,
+            vars: HashMap::new(),
+        })
+    }
+
+    /// The engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access (for mixed programmatic/script use).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// An object variable bound by `let`.
+    pub fn var(&self, name: &str) -> Option<Oid> {
+        self.vars.get(name).copied()
+    }
+
+    /// Run every remaining script statement.
+    pub fn run_all(&mut self) -> Result<(), InterpError> {
+        while self.next_item < self.program.items.len() {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Run the next program item (class/trigger items are already applied
+    /// at load time and are skipped).
+    pub fn step(&mut self) -> Result<bool, InterpError> {
+        let Some(item) = self.program.items.get(self.next_item).cloned() else {
+            return Ok(false);
+        };
+        self.next_item += 1;
+        if let Item::Stmt(stmt) = item {
+            self.exec_stmt(&stmt)?;
+        }
+        Ok(true)
+    }
+
+    fn exec_stmt(&mut self, stmt: &ScriptStmt) -> Result<(), InterpError> {
+        match stmt {
+            ScriptStmt::Begin => self.engine.begin()?,
+            ScriptStmt::Commit => self.engine.commit()?,
+            ScriptStmt::Rollback => self.engine.rollback()?,
+            ScriptStmt::Raise { class, channel } => {
+                let cid = self
+                    .engine
+                    .schema()
+                    .class_by_name(class)
+                    .map_err(|e| InterpError::Exec(e.into()))?;
+                // external occurrences carry the object-less pseudo-OID
+                self.engine
+                    .raise_external(&[(cid, *channel, chimera_model::Oid(0))])?;
+            }
+            ScriptStmt::Block(stmts) => {
+                let mut ops = Vec::new();
+                let mut pending: Vec<Option<String>> = Vec::new();
+                for s in stmts {
+                    self.lower_op(s, &mut ops, &mut pending)?;
+                }
+                let occs = self.engine.exec_block(&ops)?;
+                // bind let-variables to the creations, in op order
+                let mut creations = occs
+                    .iter()
+                    .filter(|o| matches!(o.ty.kind, chimera_events::EventKind::Create));
+                for binding in pending.into_iter().flatten() {
+                    if let Some(occ) = creations.next() {
+                        self.vars.insert(binding, occ.oid);
+                    }
+                }
+            }
+            single => {
+                let mut ops = Vec::new();
+                let mut pending = Vec::new();
+                self.lower_op(single, &mut ops, &mut pending)?;
+                let occs = self.engine.exec_block(&ops)?;
+                if let Some(Some(binding)) = pending.into_iter().next() {
+                    if let Some(occ) = occs
+                        .iter()
+                        .find(|o| matches!(o.ty.kind, chimera_events::EventKind::Create))
+                    {
+                        self.vars.insert(binding, occ.oid);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower a script statement to engine ops (creations record their
+    /// optional `let` binding in `pending`).
+    fn lower_op(
+        &self,
+        stmt: &ScriptStmt,
+        ops: &mut Vec<Op>,
+        pending: &mut Vec<Option<String>>,
+    ) -> Result<(), InterpError> {
+        match stmt {
+            ScriptStmt::Create {
+                binding,
+                class,
+                inits,
+            } => {
+                let schema = self.engine.schema();
+                let cid = schema
+                    .class_by_name(class)
+                    .map_err(|e| InterpError::Exec(e.into()))?;
+                let mut resolved = Vec::with_capacity(inits.len());
+                for (attr, term) in inits {
+                    let aid = schema
+                        .attr_by_name(cid, attr)
+                        .map_err(|e| InterpError::Exec(e.into()))?;
+                    resolved.push((aid, self.eval_script_term(term)?));
+                }
+                ops.push(Op::Create {
+                    class: cid,
+                    inits: resolved,
+                });
+                pending.push(binding.clone());
+            }
+            ScriptStmt::Modify { var, attr, value } => {
+                let oid = self.lookup(var)?;
+                let class = self.engine.get_object(oid)?.class;
+                let aid = self
+                    .engine
+                    .schema()
+                    .attr_by_name(class, attr)
+                    .map_err(|e| InterpError::Exec(e.into()))?;
+                ops.push(Op::Modify {
+                    oid,
+                    attr: aid,
+                    value: self.eval_script_term(value)?,
+                });
+            }
+            ScriptStmt::Delete { var } => ops.push(Op::Delete {
+                oid: self.lookup(var)?,
+            }),
+            ScriptStmt::Specialize { var, target } => {
+                let cid = self
+                    .engine
+                    .schema()
+                    .class_by_name(target)
+                    .map_err(|e| InterpError::Exec(e.into()))?;
+                ops.push(Op::Specialize {
+                    oid: self.lookup(var)?,
+                    class: cid,
+                });
+            }
+            ScriptStmt::Generalize { var, target } => {
+                let cid = self
+                    .engine
+                    .schema()
+                    .class_by_name(target)
+                    .map_err(|e| InterpError::Exec(e.into()))?;
+                ops.push(Op::Generalize {
+                    oid: self.lookup(var)?,
+                    class: cid,
+                });
+            }
+            ScriptStmt::Select { class } => {
+                let cid = self
+                    .engine
+                    .schema()
+                    .class_by_name(class)
+                    .map_err(|e| InterpError::Exec(e.into()))?;
+                ops.push(Op::Select {
+                    class: cid,
+                    deep: true,
+                });
+            }
+            ScriptStmt::Begin | ScriptStmt::Commit | ScriptStmt::Rollback => {
+                return Err(InterpError::TxnStmtInBlock)
+            }
+            // external delivery is its own block by definition (§5: the
+            // Event Handler observes blocks, and a raise IS a block)
+            ScriptStmt::Raise { .. } => return Err(InterpError::TxnStmtInBlock),
+            ScriptStmt::Block(_) => return Err(InterpError::TxnStmtInBlock),
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, var: &str) -> Result<Oid, InterpError> {
+        self.vars
+            .get(var)
+            .copied()
+            .ok_or_else(|| InterpError::UnknownVar(var.to_owned()))
+    }
+
+    /// Evaluate a script term: constants, `var.attr` reads over bound
+    /// objects, and arithmetic.
+    fn eval_script_term(&self, term: &Term) -> Result<Value, InterpError> {
+        match term {
+            Term::Const(v) => Ok(v.clone()),
+            Term::Var(v) => Ok(Value::Ref(self.lookup(v)?)),
+            Term::Attr { var, attr } => {
+                let oid = self.lookup(var)?;
+                Ok(self.engine.read_attr(oid, attr)?)
+            }
+            Term::Add(a, b) => self.arith(term, a, b, Value::add),
+            Term::Sub(a, b) => self.arith(term, a, b, Value::sub),
+            Term::Mul(a, b) => self.arith(term, a, b, Value::mul),
+        }
+    }
+
+    fn arith(
+        &self,
+        whole: &Term,
+        a: &Term,
+        b: &Term,
+        op: impl Fn(&Value, &Value) -> Option<Value>,
+    ) -> Result<Value, InterpError> {
+        let va = self.eval_script_term(a)?;
+        let vb = self.eval_script_term(b)?;
+        op(&va, &vb).ok_or_else(|| InterpError::BadScriptTerm(whole.to_string()))
+    }
+}
+
+/// Lower a parsed trigger declaration into an engine rule.
+fn lower_trigger(decl: &TriggerDecl, engine: &Engine) -> Result<TriggerDef, InterpError> {
+    let target = match &decl.target {
+        Some(name) => Some(
+            engine
+                .schema()
+                .class_by_name(name)
+                .map_err(|e| InterpError::Exec(e.into()))?,
+        ),
+        None => None,
+    };
+    Ok(TriggerDef {
+        name: decl.name.clone(),
+        target,
+        events: decl.events.clone(),
+        condition: decl.condition.clone(),
+        actions: decl.actions.clone(),
+        coupling: decl.coupling,
+        consumption: decl.consumption,
+        priority: decl.priority,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROGRAM: &str = r#"
+define class stock
+  attributes quantity: integer,
+             max_quantity: integer default 100,
+             min_quantity: integer default 10
+end
+define class stockOrder
+  attributes del_quantity: integer
+end
+
+define immediate trigger checkStockQty for stock
+  events create , modify(quantity)
+  condition stock(S), occurred(create ,= modify(quantity), S),
+            S.quantity > S.max_quantity
+  actions modify(S.quantity, S.max_quantity)
+end
+
+begin;
+let s1 = create stock(quantity: 250);
+let s2 = create stock(quantity: 50);
+commit;
+"#;
+
+    #[test]
+    fn quickstart_program_runs() {
+        let mut i = Interpreter::from_source(PROGRAM).unwrap();
+        i.run_all().unwrap();
+        let s1 = i.var("s1").unwrap();
+        let s2 = i.var("s2").unwrap();
+        assert_eq!(i.engine().read_attr(s1, "quantity").unwrap(), Value::Int(100));
+        assert_eq!(i.engine().read_attr(s2, "quantity").unwrap(), Value::Int(50));
+        assert_eq!(i.engine().stats().commits, 1);
+    }
+
+    #[test]
+    fn block_groups_ops_into_one_block() {
+        let src = r#"
+define class stock attributes quantity: integer end
+begin;
+{ let a = create stock(quantity: 1); let b = create stock(quantity: 2); }
+commit;
+"#;
+        let mut i = Interpreter::from_source(src).unwrap();
+        i.run_all().unwrap();
+        assert_eq!(i.engine().stats().blocks, 1);
+        let a = i.var("a").unwrap();
+        let b = i.var("b").unwrap();
+        assert_eq!(i.engine().read_attr(a, "quantity").unwrap(), Value::Int(1));
+        assert_eq!(i.engine().read_attr(b, "quantity").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn modify_delete_and_terms() {
+        let src = r#"
+define class stock attributes quantity: integer end
+begin;
+let a = create stock(quantity: 5);
+modify a.quantity = a.quantity * 2 + 1;
+commit;
+"#;
+        let mut i = Interpreter::from_source(src).unwrap();
+        i.run_all().unwrap();
+        let a = i.var("a").unwrap();
+        // precedence: additive over multiplicative → (a*2)+1 = 11
+        assert_eq!(i.engine().read_attr(a, "quantity").unwrap(), Value::Int(11));
+    }
+
+    #[test]
+    fn rollback_undoes() {
+        let src = r#"
+define class stock attributes quantity: integer end
+begin;
+let a = create stock(quantity: 5);
+rollback;
+"#;
+        let mut i = Interpreter::from_source(src).unwrap();
+        i.run_all().unwrap();
+        let stock = i.engine().schema().class_by_name("stock").unwrap();
+        assert!(i.engine().extent(stock).is_empty());
+    }
+
+    #[test]
+    fn unknown_var_error() {
+        let src = r#"
+define class stock attributes quantity: integer end
+begin;
+modify ghost.quantity = 1;
+"#;
+        let mut i = Interpreter::from_source(src).unwrap();
+        assert!(matches!(
+            i.run_all(),
+            Err(InterpError::UnknownVar(v)) if v == "ghost"
+        ));
+    }
+
+    #[test]
+    fn txn_stmt_in_block_rejected() {
+        let src = r#"
+define class stock attributes quantity: integer end
+begin;
+{ commit; }
+"#;
+        let mut i = Interpreter::from_source(src).unwrap();
+        assert_eq!(i.run_all(), Err(InterpError::TxnStmtInBlock));
+    }
+
+    #[test]
+    fn raise_delivers_external_event() {
+        // a deadline-style trigger on an external channel, driven from
+        // the script: `raise clock#1;`
+        let src = "
+define class clock end
+define class task
+  attributes done: integer default 0
+end
+define trigger deadline
+  events external(clock#1) + -modify(task.done)
+  condition task(T)
+  actions modify(T.done, 0 - 1)
+end
+begin;
+let t1 = create task();
+raise clock#1;
+commit;
+";
+        let mut i = Interpreter::from_source(src).unwrap();
+        i.run_all().unwrap();
+        let t1 = i.var("t1").unwrap();
+        // the tick arrived with no completion in the window: escalated
+        assert_eq!(
+            i.engine().read_attr(t1, "done").unwrap(),
+            Value::Int(-1)
+        );
+    }
+
+    #[test]
+    fn raise_inside_block_is_rejected() {
+        let src = "
+define class clock end
+begin;
+{ raise clock#1; }
+commit;
+";
+        let mut i = Interpreter::from_source(src).unwrap();
+        assert_eq!(i.run_all(), Err(InterpError::TxnStmtInBlock));
+    }
+
+    #[test]
+    fn step_by_step_execution() {
+        let mut i = Interpreter::from_source(PROGRAM).unwrap();
+        let mut steps = 0;
+        while i.step().unwrap() {
+            steps += 1;
+        }
+        assert!(steps >= 4, "class+trigger items plus script statements");
+        assert!(!i.step().unwrap());
+    }
+}

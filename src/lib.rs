@@ -1,0 +1,89 @@
+//! # chimera — Composite Events in Chimera (EDBT 1996), reproduced in Rust
+//!
+//! A full reproduction of *Composite Events in Chimera* by R. Meo,
+//! G. Psaila and S. Ceri: the Chimera active object-oriented database
+//! substrate plus the paper's composite-event calculus — set- and
+//! instance-oriented conjunction/disjunction/negation/precedence with the
+//! signed-timestamp `ts`/`ots` semantics, the §4.4 triggering predicate,
+//! the §3.3 `occurred`/`at` event formulas and the §5.1 static
+//! optimization (`V(E)` variation sets).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use chimera::interp::Interpreter;
+//!
+//! let mut chim = Interpreter::from_source(r#"
+//! define class stock
+//!   attributes quantity: integer,
+//!              max_quantity: integer default 100
+//! end
+//!
+//! define immediate trigger checkStockQty for stock
+//!   events create , modify(quantity)
+//!   condition stock(S), occurred(create ,= modify(quantity), S),
+//!             S.quantity > S.max_quantity
+//!   actions modify(S.quantity, S.max_quantity)
+//! end
+//!
+//! begin;
+//! let s1 = create stock(quantity: 250);
+//! commit;
+//! "#).unwrap();
+//! chim.run_all().unwrap();
+//! let s1 = chim.var("s1").unwrap();
+//! // the trigger clamped the over-limit quantity
+//! assert_eq!(
+//!     chim.engine().read_attr(s1, "quantity").unwrap(),
+//!     chimera::model::Value::Int(100)
+//! );
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | re-export of | contents |
+//! |--------|--------------|----------|
+//! | [`model`] | `chimera-model` | OO schema, objects, transactional store |
+//! | [`events`] | `chimera-events` | logical clock, event types, the Event Base |
+//! | [`calculus`] | `chimera-calculus` | the event calculus (the paper's contribution) |
+//! | [`rules`] | `chimera-rules` | triggers, rule table, triggering semantics |
+//! | [`lang`] | `chimera-lang` | lexer/parser/pretty-printer |
+//! | [`exec`] | `chimera-exec` | the execution engine |
+//! | [`baselines`] | `chimera-baselines` | Ode/Snoop/naive comparators |
+//! | [`workload`] | `chimera-workload` | generators and traces |
+//! | [`analysis`] | `chimera-analysis` | triggering graph, termination, confluence |
+//! | [`temporal`] | `chimera-temporal` | clock events, related-work derived operators |
+//! | [`persist`] | `chimera-persist` | WAL, snapshots, crash recovery |
+//! | [`interp`] | (this crate) | script interpreter over the engine |
+
+pub use chimera_analysis as analysis;
+pub use chimera_baselines as baselines;
+pub use chimera_calculus as calculus;
+pub use chimera_events as events;
+pub use chimera_exec as exec;
+pub use chimera_lang as lang;
+pub use chimera_model as model;
+pub use chimera_persist as persist;
+pub use chimera_rules as rules;
+pub use chimera_temporal as temporal;
+pub use chimera_workload as workload;
+
+pub mod interp;
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::calculus::{
+        at_occurrences, occurred_objects, ts_algebraic, ts_logical, EventExpr, RelevanceFilter,
+        TsVal, VariationSet,
+    };
+    pub use crate::events::{EventBase, EventKind, EventType, Timestamp, Window};
+    pub use crate::exec::{Engine, EngineConfig, Op};
+    pub use crate::interp::Interpreter;
+    pub use crate::model::{
+        AttrDef, AttrType, ClassId, Object, ObjectStore, Oid, Schema, SchemaBuilder, Value,
+    };
+    pub use crate::rules::{
+        ActionStmt, Condition, ConsumptionMode, CouplingMode, RuleTable, TriggerDef,
+        TriggerSupport,
+    };
+}

@@ -1,0 +1,142 @@
+//! Property suite for the static rule analysis: the termination verdict
+//! is *sound* — whenever the triggering graph is acyclic, the engine's
+//! reaction loop terminates, for arbitrary rule sets and workloads.
+//! (The converse direction is deliberately conservative and exercised by
+//! the deterministic tests in `analysis_runtime.rs`.)
+
+use chimera::analysis::{analyze, TriggeringGraph};
+use chimera::calculus::EventExpr;
+use chimera::events::EventType;
+use chimera::exec::{Engine, EngineConfig, Op};
+use chimera::model::{AttrDef, AttrType, Schema, SchemaBuilder, Value};
+use chimera::rules::{ActionStmt, Condition, Formula, Term, TriggerDef, VarDecl};
+use proptest::prelude::*;
+
+const ATTRS: usize = 5;
+
+fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    let attrs = (0..ATTRS)
+        .map(|i| AttrDef::new(format!("a{i}"), AttrType::Integer))
+        .collect();
+    b.class("c", None, attrs).unwrap();
+    b.build()
+}
+
+/// A rule listening on `modify(c.a{listen})` (or `create` when `listen`
+/// is None) that writes `a{write}` with a constant.
+fn rule(name: String, schema: &Schema, listen: Option<usize>, write: usize) -> TriggerDef {
+    let c = schema.class_by_name("c").unwrap();
+    let events = match listen {
+        Some(i) => {
+            let a = schema.attr_by_name(c, &format!("a{i}")).unwrap();
+            EventExpr::prim(EventType::modify(c, a))
+        }
+        None => EventExpr::prim(EventType::create(c)),
+    };
+    let mut def = TriggerDef::new(name, events.clone());
+    def.condition = Condition {
+        decls: vec![VarDecl {
+            name: "V".into(),
+            class: "c".into(),
+        }],
+        formulas: vec![Formula::Occurred {
+            expr: events,
+            var: "V".into(),
+        }],
+    };
+    def.actions = vec![ActionStmt::Modify {
+        var: "V".into(),
+        attr: format!("a{write}"),
+        value: Term::int(1),
+    }];
+    def
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness: acyclic verdict ⇒ the engine never hits its step limit.
+    #[test]
+    fn acyclic_verdict_implies_runtime_termination(
+        links in prop::collection::vec((prop::option::of(0usize..ATTRS), 0usize..ATTRS), 1..6),
+        creates in 1usize..4,
+    ) {
+        let schema = schema();
+        let defs: Vec<TriggerDef> = links
+            .iter()
+            .enumerate()
+            .map(|(i, &(listen, write))| rule(format!("r{i}"), &schema, listen, write))
+            .collect();
+        let graph = TriggeringGraph::build(&defs, &schema).unwrap();
+        prop_assume!(graph.termination().is_terminating());
+
+        let c = schema.class_by_name("c").unwrap();
+        let a0 = schema.attr_by_name(c, "a0").unwrap();
+        let mut engine = Engine::with_config(
+            schema,
+            EngineConfig {
+                max_rule_steps: 100_000,
+                ..EngineConfig::default()
+            },
+        );
+        for d in defs {
+            engine.define_trigger(d).unwrap();
+        }
+        engine.begin().unwrap();
+        for _ in 0..creates {
+            engine
+                .exec_block(&[Op::Create { class: c, inits: vec![] }])
+                .unwrap();
+        }
+        // kick every listen channel once
+        let oid = engine.extent(c)[0];
+        engine
+            .exec_block(&[Op::Modify { oid, attr: a0, value: Value::Int(9) }])
+            .unwrap();
+        engine.commit().unwrap();
+    }
+
+    /// The graph's edge relation is exactly "some effect type is listened
+    /// to" for this rule family (a self-check of effects × listens).
+    #[test]
+    fn edges_match_listen_write_overlap(
+        links in prop::collection::vec((prop::option::of(0usize..ATTRS), 0usize..ATTRS), 1..6),
+    ) {
+        let schema = schema();
+        let defs: Vec<TriggerDef> = links
+            .iter()
+            .enumerate()
+            .map(|(i, &(listen, write))| rule(format!("r{i}"), &schema, listen, write))
+            .collect();
+        let graph = TriggeringGraph::build(&defs, &schema).unwrap();
+        for (i, &(_, write_i)) in links.iter().enumerate() {
+            for (j, &(listen_j, _)) in links.iter().enumerate() {
+                let expect = listen_j == Some(write_i);
+                prop_assert_eq!(
+                    graph.has_edge(&format!("r{i}"), &format!("r{j}")),
+                    expect,
+                    "edge r{} → r{}", i, j
+                );
+            }
+        }
+    }
+
+    /// Cyclic rule sets are flagged: a randomly-chosen ring of rules
+    /// (r_k listens a_k, writes a_{k+1 mod n}) always produces MayLoop
+    /// containing the whole ring.
+    #[test]
+    fn rings_are_always_flagged(n in 2usize..ATTRS) {
+        let schema = schema();
+        let defs: Vec<TriggerDef> = (0..n)
+            .map(|k| rule(format!("r{k}"), &schema, Some(k), (k + 1) % n))
+            .collect();
+        let report = analyze(&defs, &schema).unwrap();
+        let chimera::analysis::TerminationVerdict::MayLoop { cycles } = report.termination
+        else {
+            return Err(TestCaseError::fail("ring not flagged"));
+        };
+        prop_assert_eq!(cycles.len(), 1);
+        prop_assert_eq!(cycles[0].len(), n);
+    }
+}

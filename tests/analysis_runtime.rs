@@ -1,0 +1,212 @@
+//! Integration: static analysis verdicts vs. actual engine behaviour.
+//!
+//! * An **acyclic** triggering graph guarantees cascades terminate — the
+//!   engine must never hit its step limit on such rule sets.
+//! * A flagged cycle is a *warning*: the `looper` rule really loops (hits
+//!   the step limit), while `checkStockQty` is flagged (it listens on the
+//!   attribute it writes) yet converges at runtime because its condition
+//!   turns false after one firing — both outcomes are semantic, not
+//!   analysable statically.
+
+use chimera::analysis::{analyze, TerminationVerdict, TriggeringGraph};
+use chimera::calculus::EventExpr;
+use chimera::events::EventType;
+use chimera::exec::{Engine, EngineConfig, Op};
+use chimera::model::{AttrDef, AttrType, Schema, SchemaBuilder, Value};
+use chimera::rules::{ActionStmt, Condition, Formula, Term, TriggerDef, VarDecl};
+use chimera::workload::{stock_schema, stock_triggers};
+
+fn chain_schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.class(
+        "c",
+        None,
+        vec![
+            AttrDef::new("a", AttrType::Integer),
+            AttrDef::new("b", AttrType::Integer),
+            AttrDef::new("d", AttrType::Integer),
+        ],
+    )
+    .unwrap();
+    b.build()
+}
+
+/// Rule on `modify(c.listen)` writing `c.write` (unconditional).
+fn link(name: &str, schema: &Schema, listen: &str, write: &str) -> TriggerDef {
+    let c = schema.class_by_name("c").unwrap();
+    let l = schema.attr_by_name(c, listen).unwrap();
+    let mut def = TriggerDef::new(name, EventExpr::prim(EventType::modify(c, l)));
+    def.condition = Condition {
+        decls: vec![VarDecl {
+            name: "V".into(),
+            class: "c".into(),
+        }],
+        formulas: vec![Formula::Occurred {
+            expr: EventExpr::prim(EventType::modify(c, l)),
+            var: "V".into(),
+        }],
+    };
+    def.actions = vec![ActionStmt::Modify {
+        var: "V".into(),
+        attr: write.into(),
+        value: Term::int(1),
+    }];
+    def
+}
+
+#[test]
+fn acyclic_chain_verdict_and_runtime_agree() {
+    let schema = chain_schema();
+    let defs = vec![link("r1", &schema, "a", "b"), link("r2", &schema, "b", "d")];
+    let report = analyze(&defs, &schema).unwrap();
+    assert!(report.termination.is_terminating());
+    assert_eq!(report.max_cascade_depth, Some(2)); // longest path r1 → r2
+
+    let c = schema.class_by_name("c").unwrap();
+    let a = schema.attr_by_name(c, "a").unwrap();
+    let mut engine = Engine::with_config(
+        schema,
+        EngineConfig {
+            max_rule_steps: 16,
+            ..EngineConfig::default()
+        },
+    );
+    for d in defs {
+        engine.define_trigger(d).unwrap();
+    }
+    engine.begin().unwrap();
+    let oid = engine
+        .exec_block(&[Op::Create {
+            class: c,
+            inits: vec![(a, Value::Int(0))],
+        }])
+        .unwrap()[0]
+        .oid;
+    engine
+        .exec_block(&[Op::Modify {
+            oid,
+            attr: a,
+            value: Value::Int(7),
+        }])
+        .unwrap();
+    engine.commit().unwrap();
+    // the cascade ran to the end of the chain and stopped
+    assert_eq!(engine.read_attr(oid, "b").unwrap(), Value::Int(1));
+    assert_eq!(engine.read_attr(oid, "d").unwrap(), Value::Int(1));
+}
+
+#[test]
+fn flagged_self_loop_that_really_loops() {
+    let schema = chain_schema();
+    // listens on `a`, increments `a`: a true runtime loop.
+    let c = schema.class_by_name("c").unwrap();
+    let a = schema.attr_by_name(c, "a").unwrap();
+    let mut looper = link("looper", &schema, "a", "a");
+    looper.actions = vec![ActionStmt::Modify {
+        var: "V".into(),
+        attr: "a".into(),
+        value: Term::Add(Box::new(Term::attr("V", "a")), Box::new(Term::int(1))),
+    }];
+    let defs = vec![looper];
+    let report = analyze(&defs, &schema).unwrap();
+    assert_eq!(
+        report.termination,
+        TerminationVerdict::MayLoop {
+            cycles: vec![vec!["looper".into()]]
+        }
+    );
+
+    let mut engine = Engine::with_config(
+        schema,
+        EngineConfig {
+            max_rule_steps: 20,
+            ..EngineConfig::default()
+        },
+    );
+    for d in defs {
+        engine.define_trigger(d).unwrap();
+    }
+    engine.begin().unwrap();
+    let oid = engine
+        .exec_block(&[Op::Create {
+            class: c,
+            inits: vec![(a, Value::Int(0))],
+        }])
+        .unwrap()[0]
+        .oid;
+    let err = engine
+        .exec_block(&[Op::Modify {
+            oid,
+            attr: a,
+            value: Value::Int(1),
+        }])
+        .unwrap_err();
+    assert!(err.to_string().contains("exceeded 20 steps"), "{err}");
+}
+
+/// `checkStockQty` is flagged (writes the attribute it listens on) but
+/// converges at runtime: its condition `quantity > max_quantity` is false
+/// after the clamp. The verdict is conservative, exactly as documented.
+#[test]
+fn flagged_cycle_that_converges_at_runtime() {
+    let schema = stock_schema();
+    let defs = stock_triggers(&schema);
+    let report = analyze(&defs, &schema).unwrap();
+    let TerminationVerdict::MayLoop { cycles } = &report.termination else {
+        panic!("expected a flagged cycle in the stock rule set");
+    };
+    assert!(cycles.iter().flatten().any(|r| r == "checkStockQty"));
+
+    // runtime: converges well inside the limit.
+    let stock = schema.class_by_name("stock").unwrap();
+    let q = schema.attr_by_name(stock, "quantity").unwrap();
+    let mut engine = Engine::with_config(
+        schema,
+        EngineConfig {
+            max_rule_steps: 100,
+            ..EngineConfig::default()
+        },
+    );
+    for d in defs {
+        engine.define_trigger(d).unwrap();
+    }
+    engine.begin().unwrap();
+    let oid = engine
+        .exec_block(&[Op::Create {
+            class: stock,
+            inits: vec![(q, Value::Int(5000))],
+        }])
+        .unwrap()[0]
+        .oid;
+    engine.commit().unwrap();
+    assert_eq!(engine.read_attr(oid, "quantity").unwrap(), Value::Int(100));
+}
+
+/// The stock triggering graph has the edges the rule definitions imply.
+#[test]
+fn stock_graph_edges_match_definitions() {
+    let schema = stock_schema();
+    let defs = stock_triggers(&schema);
+    let g = TriggeringGraph::build(&defs, &schema).unwrap();
+    // checkStockQty writes stock.quantity → re-triggers itself and reorder
+    assert!(g.has_edge("checkStockQty", "checkStockQty"));
+    assert!(g.has_edge("checkStockQty", "reorder"));
+    // restockWatch listens on modify(stock.quantity) inside its composite
+    assert!(g.has_edge("checkStockQty", "restockWatch"));
+    // reorder creates stockOrder: nobody listens on that
+    assert!(!g.has_edge("reorder", "checkStockQty"));
+    assert!(!g.has_edge("reorder", "reorder"));
+    // restockWatch writes min_quantity: no listener
+    assert!(!g.has_edge("restockWatch", "checkStockQty"));
+}
+
+/// Deleting the looping rule flips the verdict to terminating.
+#[test]
+fn verdict_improves_without_the_cycle() {
+    let schema = stock_schema();
+    let mut defs = stock_triggers(&schema);
+    defs.retain(|d| d.name != "checkStockQty");
+    let report = analyze(&defs, &schema).unwrap();
+    assert!(report.termination.is_terminating(), "{}", report.termination);
+    assert!(report.max_cascade_depth.is_some());
+}

@@ -1,0 +1,155 @@
+//! Agreement of the related-work baselines with the calculus on their
+//! shared fragments (PERF-4's correctness precondition):
+//!
+//! * Ode-style graph detector: acceptance ⟺ triggering witness, on the
+//!   regular (negation-free, set-oriented) fragment with distinct
+//!   primitives per event;
+//! * Snoop-style recent-context detector: emission instants ⟺ fresh
+//!   activation instants;
+//! * naive checker ⟺ formal predicate (random composite rules).
+
+use chimera::baselines::{GraphDetector, NaiveTriggerChecker, SnoopRecentDetector};
+use chimera::calculus::ts_logical;
+use chimera::events::{EventBase, EventOccurrence, EventType, Timestamp, Window};
+use chimera::model::{ClassId, Oid};
+use chimera::rules::{is_triggered, RuleState, TriggerDef};
+use chimera::workload::{ExprGenConfig, RandomExprGen};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn et(n: u32) -> EventType {
+    EventType::external(ClassId(0), n)
+}
+
+/// Relabel every primitive leaf with a distinct event type. The Ode/Snoop
+/// models treat an occurrence as ONE constituent, so `A < A` needs two
+/// occurrences there while the calculus accepts a single one (same-stamp
+/// precedence); distinct leaves put both models on the shared fragment.
+fn distinct_leaves(e: &chimera::calculus::EventExpr) -> chimera::calculus::EventExpr {
+    use chimera::calculus::EventExpr;
+    fn walk(e: &EventExpr, next: &mut u32) -> EventExpr {
+        match e {
+            EventExpr::Prim(_) => {
+                let ty = et(*next);
+                *next += 1;
+                EventExpr::Prim(ty)
+            }
+            EventExpr::Or(a, b) => walk(a, next).or(walk(b, next)),
+            EventExpr::And(a, b) => walk(a, next).and(walk(b, next)),
+            EventExpr::Prec(a, b) => walk(a, next).prec(walk(b, next)),
+            other => other.clone(),
+        }
+    }
+    let mut next = 0;
+    walk(e, &mut next)
+}
+
+fn stream(seed: u64, len: usize, types: u32) -> (EventBase, Vec<EventOccurrence>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut eb = EventBase::new();
+    let mut occs = Vec::new();
+    for _ in 0..len {
+        let ty = et(rng.random_range(0..types));
+        let oid = Oid(rng.random_range(1..4u64));
+        occs.push(eb.append(ty, oid));
+    }
+    (eb, occs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_accepts_iff_calculus_witness(
+        expr_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        len in 0usize..20,
+    ) {
+        let mut g = RandomExprGen::new(ExprGenConfig {
+            event_types: 4,
+            max_depth: 4,
+            seed: expr_seed,
+            ..Default::default()
+        });
+        let expr = distinct_leaves(&g.generate_regular());
+        let mut det = GraphDetector::compile(&expr).unwrap();
+        let (eb, occs) = stream(stream_seed, len, 8);
+        for o in &occs {
+            det.feed(o);
+        }
+        let now = eb.now();
+        let w = Window::from_origin(now);
+        let witness = (1..=now.raw())
+            .any(|t| ts_logical(&expr, &eb, w, Timestamp(t)).is_active());
+        prop_assert_eq!(det.accepted(), witness, "{}", &expr);
+    }
+
+    #[test]
+    fn snoop_emissions_are_fresh_activations(
+        expr_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        len in 0usize..20,
+    ) {
+        let mut g = RandomExprGen::new(ExprGenConfig {
+            event_types: 4,
+            max_depth: 3,
+            seed: expr_seed,
+            ..Default::default()
+        });
+        let expr = distinct_leaves(&g.generate_regular());
+        let mut det = SnoopRecentDetector::compile(&expr).unwrap();
+        let (eb, occs) = stream(stream_seed, len, 8);
+        let emissions = det.detect_all(&occs);
+        let now = eb.now();
+        let w = Window::from_origin(now);
+        let fresh: Vec<Timestamp> = occs
+            .iter()
+            .map(|o| o.ts)
+            .filter(|&te| ts_logical(&expr, &eb, w, te).activation() == Some(te))
+            .collect();
+        prop_assert_eq!(emissions, fresh, "{}", &expr);
+    }
+
+    #[test]
+    fn naive_checker_equals_formal_predicate(
+        expr_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        len in 0usize..15,
+    ) {
+        let mut g = RandomExprGen::new(ExprGenConfig {
+            event_types: 4,
+            max_depth: 4,
+            instance_prob: 0.3,
+            negation_prob: 0.3,
+            seed: expr_seed,
+        });
+        let expr = g.generate();
+        let (eb, occs) = stream(stream_seed, len, 4);
+        let events: Vec<EventOccurrence> = occs;
+        let mut nc = NaiveTriggerChecker::new(vec![expr.clone()], Timestamp::ZERO);
+        let naive = !nc.check(&events, eb.now()).is_empty();
+        let def = TriggerDef::new("r", expr.clone());
+        let st = RuleState::new(&def, Timestamp::ZERO);
+        let formal = is_triggered(&def, &st, &eb, eb.now());
+        prop_assert_eq!(naive, formal, "{}", &expr);
+    }
+}
+
+/// Expressiveness boundary: the features the baselines cannot host.
+#[test]
+fn baselines_cannot_express_chimera_extensions() {
+    let p = |n| chimera::calculus::EventExpr::prim(et(n));
+    for unsupported in [
+        p(0).not(),                 // negation
+        p(0).iand(p(1)),            // instance conjunction
+        p(0).iprec(p(1)).inot(),    // instance negation over precedence
+        p(0).and(p(1).iand(p(2))),  // instance subtree in set context
+    ] {
+        assert!(GraphDetector::compile(&unsupported).is_err(), "{unsupported}");
+        assert!(
+            SnoopRecentDetector::compile(&unsupported).is_err(),
+            "{unsupported}"
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! End-to-end engine scenarios through the surface language and the
+//! interpreter: cascades, priorities, coupling/consumption modes,
+//! rollback, and the engine-level consistency of the optimized trigger
+//! support (workload-scale determinism).
+
+use chimera::interp::Interpreter;
+use chimera::exec::EngineConfig;
+use chimera::model::Value;
+use chimera::workload::{StockWorkload, StockWorkloadConfig, Trace, TraceOp};
+
+#[test]
+fn priorities_order_rule_cascades() {
+    // two rules on the same event; the higher-priority one must run first,
+    // observed through attribute writes.
+    let mut chim = Interpreter::from_source(
+        r#"
+define class item
+  attributes state: integer default 0
+end
+define immediate trigger second for item
+  events create
+  condition item(S), occurred(create, S), S.state = 1
+  actions modify(S.state, 2)
+  priority 1
+end
+define immediate trigger first for item
+  events create
+  condition item(S), occurred(create, S), S.state = 0
+  actions modify(S.state, 1)
+  priority 9
+end
+begin;
+let x = create item;
+commit;
+"#,
+    )
+    .unwrap();
+    chim.run_all().unwrap();
+    let x = chim.var("x").unwrap();
+    // `first` (priority 9) ran before `second` (priority 1); `second`
+    // still found state = 1 because both were triggered by the creation.
+    assert_eq!(chim.engine().read_attr(x, "state").unwrap(), Value::Int(2));
+}
+
+#[test]
+fn deferred_rules_drain_at_commit_in_priority_order() {
+    let mut chim = Interpreter::from_source(
+        r#"
+define class item
+  attributes log: integer default 0
+end
+define deferred trigger low for item
+  events create
+  condition item(S), occurred(create, S)
+  actions modify(S.log, S.log * 10 + 2)
+  priority 1
+end
+define deferred trigger high for item
+  events create
+  condition item(S), occurred(create, S)
+  actions modify(S.log, S.log * 10 + 1)
+  priority 5
+end
+begin;
+let x = create item;
+"#,
+    )
+    .unwrap();
+    chim.run_all().unwrap();
+    let x = chim.var("x").unwrap();
+    // nothing ran during the transaction body
+    assert_eq!(chim.engine().read_attr(x, "log").unwrap(), Value::Int(0));
+    chim.engine_mut().commit().unwrap();
+    // high (→ …1) then low (→ …12)
+    assert_eq!(chim.engine().read_attr(x, "log").unwrap(), Value::Int(12));
+}
+
+#[test]
+fn consuming_vs_preserving_visibility() {
+    // two counters over the same event, one consuming, one preserving:
+    // after two separate creations the preserving rule has seen 1+2
+    // bindings, the consuming one 1+1.
+    let src = r#"
+define class item attributes v: integer default 0 end
+define class cons_log attributes n: integer default 0 end
+
+define immediate consuming trigger consuming_count for item
+  events create
+  condition item(S), occurred(create, S)
+  actions create(cons_log)
+end
+define immediate preserving trigger preserving_count for item
+  events create
+  condition item(S), occurred(create, S)
+  actions create(cons_log, n: 1)
+end
+begin;
+let a = create item;
+let b = create item;
+commit;
+"#;
+    let mut chim = Interpreter::from_source(src).unwrap();
+    chim.run_all().unwrap();
+    let log = chim.engine().schema().class_by_name("cons_log").unwrap();
+    let logs = chim.engine().extent(log);
+    let preserving = logs
+        .iter()
+        .filter(|&&o| chim.engine().read_attr(o, "n").unwrap() == Value::Int(1))
+        .count();
+    let consuming = logs.len() - preserving;
+    assert_eq!(consuming, 2, "1 binding after first create, 1 after second");
+    assert_eq!(preserving, 3, "1 after first create, 2 after second");
+}
+
+#[test]
+fn rollback_discards_everything_including_rule_effects() {
+    let mut chim = Interpreter::from_source(
+        r#"
+define class item attributes v: integer default 0 end
+define class audit attributes n: integer default 0 end
+define immediate trigger auditor for item
+  events create
+  condition item(S), occurred(create, S)
+  actions create(audit)
+end
+begin;
+let a = create item;
+rollback;
+begin;
+let b = create item;
+commit;
+"#,
+    )
+    .unwrap();
+    chim.run_all().unwrap();
+    let item = chim.engine().schema().class_by_name("item").unwrap();
+    let audit = chim.engine().schema().class_by_name("audit").unwrap();
+    assert_eq!(chim.engine().extent(item).len(), 1);
+    assert_eq!(chim.engine().extent(audit).len(), 1);
+    // the rolled-back transaction's events must not leak into the next
+    // transaction's windows (counts would be 2 otherwise).
+}
+
+#[test]
+fn composite_event_trigger_via_language() {
+    // untargeted rule over two classes with an instance-oriented part
+    let mut chim = Interpreter::from_source(
+        r#"
+define class stock
+  attributes quantity: integer, flagged: boolean default false
+end
+define class show
+  attributes quantity: integer
+end
+define immediate trigger watch
+  events modify(show.quantity) + (create(stock) += modify(stock.quantity))
+  condition stock(S), occurred(create(stock) += modify(stock.quantity), S)
+  actions modify(S.flagged, true)
+end
+begin;
+let s = create stock(quantity: 5);
+let v = create show(quantity: 1);
+modify s.quantity = 7;
+commit;
+"#,
+    )
+    .unwrap();
+    chim.run_all().unwrap();
+    let s = chim.var("s").unwrap();
+    // create+modify on the same stock happened, but NO show modification:
+    // the conjunction never became active.
+    assert_eq!(
+        chim.engine().read_attr(s, "flagged").unwrap(),
+        Value::Bool(false)
+    );
+
+    // now with the show modification
+    let mut chim2 = Interpreter::from_source(
+        r#"
+define class stock
+  attributes quantity: integer, flagged: boolean default false
+end
+define class show
+  attributes quantity: integer
+end
+define immediate trigger watch
+  events modify(show.quantity) + (create(stock) += modify(stock.quantity))
+  condition stock(S), occurred(create(stock) += modify(stock.quantity), S)
+  actions modify(S.flagged, true)
+end
+begin;
+let s = create stock(quantity: 5);
+let v = create show(quantity: 1);
+modify s.quantity = 7;
+modify v.quantity = 2;
+commit;
+"#,
+    )
+    .unwrap();
+    chim2.run_all().unwrap();
+    let s2 = chim2.var("s").unwrap();
+    assert_eq!(
+        chim2.engine().read_attr(s2, "flagged").unwrap(),
+        Value::Bool(true)
+    );
+}
+
+#[test]
+fn optimization_does_not_change_workload_outcome() {
+    let run = |optimized: bool| {
+        let mut w = StockWorkload::new(StockWorkloadConfig {
+            transactions: 8,
+            blocks_per_txn: 5,
+            ops_per_block: 4,
+            seed: 99,
+            with_triggers: true,
+            engine: EngineConfig {
+                use_static_optimization: optimized,
+                ..EngineConfig::default()
+            },
+        });
+        w.run();
+        let stats = w.engine.stats();
+        (
+            stats.events,
+            stats.considerations,
+            stats.executions,
+            w.engine.event_base().len(),
+        )
+    };
+    let with = run(true);
+    let without = run(false);
+    assert_eq!(with, without, "§5.1 optimization must be invisible");
+}
+
+#[test]
+fn trace_replay_through_trigger_cascade() {
+    let schema_engine = || {
+        let mut e = chimera::exec::Engine::new(chimera::workload::stock_schema());
+        for def in chimera::workload::stock_triggers(e.schema()) {
+            e.define_trigger(def).unwrap();
+        }
+        e
+    };
+    let mut trace = Trace::new();
+    trace
+        .push(TraceOp::Begin)
+        .push(TraceOp::Create {
+            class: "stock".into(),
+            inits: vec![("quantity".into(), Value::Int(150))],
+        })
+        .push(TraceOp::Modify {
+            handle: 0,
+            attr: "quantity".into(),
+            value: Value::Int(2),
+        })
+        .push(TraceOp::Commit);
+    let mut e = schema_engine();
+    let handles = trace.replay(&mut e).unwrap();
+    // clamp then reorder: quantity 2, one stockOrder for 10-2=8
+    assert_eq!(e.read_attr(handles[0], "quantity").unwrap(), Value::Int(2));
+    let orders = e.extent(e.schema().class_by_name("stockOrder").unwrap());
+    assert_eq!(orders.len(), 1);
+    assert_eq!(e.read_attr(orders[0], "del_quantity").unwrap(), Value::Int(8));
+}

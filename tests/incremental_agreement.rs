@@ -1,0 +1,100 @@
+//! Property suite for the incremental detector: exact `ts` equality with
+//! the from-scratch logical evaluator on random well-formed expressions
+//! and random streams — at every arrival instant, at gap instants, and
+//! across consumption resets.
+
+use chimera::calculus::{ts_logical, IncrementalTs};
+use chimera::events::{EventBase, EventType, Timestamp, Window};
+use chimera::model::{ClassId, Oid};
+use chimera::workload::{ExprGenConfig, RandomExprGen};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn et(n: u32) -> EventType {
+    EventType::external(ClassId(0), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn incremental_equals_ts_logical(
+        expr_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        len in 0usize..30,
+    ) {
+        let mut g = RandomExprGen::new(ExprGenConfig {
+            event_types: 5,
+            max_depth: 4,
+            instance_prob: 0.35,
+            negation_prob: 0.35,
+            seed: expr_seed,
+        });
+        let expr = g.generate();
+        let mut inc = IncrementalTs::new(&expr).unwrap();
+        let mut rng = StdRng::seed_from_u64(stream_seed);
+        let mut eb = EventBase::new();
+        for i in 0..len {
+            if rng.random_bool(0.15) {
+                eb.tick(); // eventless instants interleave
+            }
+            let occ = eb.append(et(rng.random_range(0..5u32)), Oid(rng.random_range(1..5u64)));
+            inc.observe(&occ);
+            let now = eb.now();
+            let w = Window::from_origin(now);
+            prop_assert_eq!(
+                inc.ts_at(now),
+                ts_logical(&expr, &eb, w, now),
+                "{} at {} (event {})", &expr, now, i
+            );
+        }
+        // gap instants after the last arrival
+        for _ in 0..3 {
+            let now = eb.tick();
+            let w = Window::from_origin(now);
+            prop_assert_eq!(
+                inc.ts_at(now),
+                ts_logical(&expr, &eb, w, now),
+                "{} at gap {}", &expr, now
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_tracks_consumption_resets(
+        expr_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+    ) {
+        let mut g = RandomExprGen::new(ExprGenConfig {
+            event_types: 4,
+            max_depth: 3,
+            instance_prob: 0.3,
+            negation_prob: 0.3,
+            seed: expr_seed,
+        });
+        let expr = g.generate();
+        let mut inc = IncrementalTs::new(&expr).unwrap();
+        let mut rng = StdRng::seed_from_u64(stream_seed);
+        let mut eb = EventBase::new();
+        let mut window_start = Timestamp::ZERO;
+        for i in 0..24usize {
+            if i % 8 == 7 {
+                // consumption: the detector forgets, the window restarts
+                inc.reset();
+                window_start = eb.now();
+                continue;
+            }
+            let occ = eb.append(et(rng.random_range(0..4u32)), Oid(rng.random_range(1..4u64)));
+            inc.observe(&occ);
+            let now = eb.now();
+            let w = Window::new(window_start, now);
+            prop_assert_eq!(
+                inc.ts_at(now),
+                ts_logical(&expr, &eb, w, now),
+                "{} at {} after reset at {}", &expr, now, window_start
+            );
+            prop_assert_eq!(inc.window_nonempty(), eb.any_in(w));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property suite for the surface language: printing any well-formed
+//! event expression and reparsing it yields the identical AST, and full
+//! trigger declarations survive a print/parse cycle.
+
+use chimera::lang::{parse_event_expr, parse_program, print_event_expr, print_trigger};
+use chimera::workload::{ExprGenConfig, RandomExprGen};
+use proptest::prelude::*;
+
+const SCHEMA_SRC: &str = "
+define class c0 attributes x: integer end
+define class c1 attributes x: integer end
+define class c2 attributes x: integer end
+";
+
+/// Map the generator's external event types onto parseable schema events
+/// (create/delete/modify over three classes).
+fn to_parseable(e: &chimera::calculus::EventExpr, schema: &chimera::model::Schema) -> chimera::calculus::EventExpr {
+    use chimera::calculus::EventExpr;
+    use chimera::events::{EventKind, EventType};
+    let remap = |ty: &EventType| -> EventType {
+        let n = match ty.kind {
+            EventKind::External(n) => n,
+            _ => 0,
+        };
+        let class = chimera::model::ClassId(n % 3);
+        match n % 4 {
+            0 => EventType::create(class),
+            1 => EventType::delete(class),
+            2 => {
+                let attr = schema.attr_by_name(class, "x").unwrap();
+                EventType::modify(class, attr)
+            }
+            // external events round-trip natively: `external(cK#n)`
+            _ => EventType::external(class, n),
+        }
+    };
+    fn walk(
+        e: &chimera::calculus::EventExpr,
+        remap: &dyn Fn(&chimera::events::EventType) -> chimera::events::EventType,
+    ) -> chimera::calculus::EventExpr {
+        match e {
+            EventExpr::Prim(ty) => EventExpr::Prim(remap(ty)),
+            EventExpr::Or(a, b) => walk(a, remap).or(walk(b, remap)),
+            EventExpr::And(a, b) => walk(a, remap).and(walk(b, remap)),
+            EventExpr::Not(a) => walk(a, remap).not(),
+            EventExpr::Prec(a, b) => walk(a, remap).prec(walk(b, remap)),
+            EventExpr::IOr(a, b) => walk(a, remap).ior(walk(b, remap)),
+            EventExpr::IAnd(a, b) => walk(a, remap).iand(walk(b, remap)),
+            EventExpr::INot(a) => walk(a, remap).inot(),
+            EventExpr::IPrec(a, b) => walk(a, remap).iprec(walk(b, remap)),
+        }
+    }
+    walk(e, &remap)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn event_expr_print_parse_roundtrip(seed in any::<u64>(), depth in 1usize..6) {
+        let (_, schema) = parse_program(SCHEMA_SRC).unwrap();
+        let mut g = RandomExprGen::new(ExprGenConfig {
+            event_types: 6,
+            max_depth: depth,
+            instance_prob: 0.4,
+            negation_prob: 0.35,
+            seed,
+        });
+        let e = to_parseable(&g.generate(), &schema);
+        let printed = print_event_expr(&e, &schema);
+        let back = parse_event_expr(&printed, &schema, None)
+            .map_err(|err| TestCaseError::fail(format!("`{printed}`: {err}")))?;
+        prop_assert_eq!(back, e, "printed as `{}`", printed);
+    }
+}
+
+#[test]
+fn full_trigger_roundtrip() {
+    let src = format!(
+        "{SCHEMA_SRC}
+define deferred preserving trigger audit for c0
+  events (create , delete) + -modify(x)
+  condition c0(S), occurred(create +=  -=delete, S),
+            S.x >= 0, S.x != 99
+  actions modify(S.x, S.x * 2 - 1);
+          delete(S)
+  priority -2
+end"
+    );
+    let (prog, schema) = parse_program(&src).unwrap();
+    let t = prog.triggers().next().unwrap();
+    let printed = print_trigger(t, &schema);
+    let (prog2, _) = parse_program(&format!("{SCHEMA_SRC}\n{printed}"))
+        .unwrap_or_else(|e| panic!("reparsing failed:\n{printed}\n{e}"));
+    assert_eq!(prog2.triggers().next().unwrap(), t, "\n{printed}");
+}
+
+#[test]
+fn parse_errors_have_positions() {
+    let err = parse_program("define class c attributes x: integer end\ndefine trigger t for c events bogus(c) end").unwrap_err();
+    assert!(err.span.line >= 2, "{err}");
+    let err2 = parse_program("define class c attributes x: nosuchtype end").unwrap_err();
+    assert!(err2.to_string().contains("unknown attribute type"));
+}

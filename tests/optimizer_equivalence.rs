@@ -1,0 +1,151 @@
+//! Property suite for §5.1: the statically-optimized Trigger Support is
+//! observationally equivalent to the unoptimized one and to the formal
+//! §4.4 predicate, over random rules and random multi-block histories.
+
+use chimera::calculus::EventExpr;
+use chimera::events::{EventBase, EventType, Timestamp};
+use chimera::model::{ClassId, Oid};
+use chimera::rules::{is_triggered, RuleState, RuleTable, TriggerDef, TriggerSupport};
+use chimera::workload::{ExprGenConfig, RandomExprGen};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn et(n: u32) -> EventType {
+    EventType::external(ClassId(0), n)
+}
+
+/// Random multi-block run: returns per-block event batches.
+fn blocks(seed: u64, nblocks: usize) -> Vec<Vec<(u32, u64)>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..nblocks)
+        .map(|_| {
+            let len = rng.random_range(0..4usize);
+            (0..len)
+                .map(|_| (rng.random_range(0..5u32), rng.random_range(1..4u64)))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After every block, the optimized support's `triggered` flag equals
+    /// the unoptimized support's AND the formal predicate's value; both
+    /// supports then consider triggered rules so consumption stays in
+    /// lock-step.
+    #[test]
+    fn optimized_equals_unoptimized_equals_formal(
+        expr_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        nblocks in 1usize..10,
+    ) {
+        let mut g = RandomExprGen::new(ExprGenConfig {
+            event_types: 5,
+            max_depth: 4,
+            instance_prob: 0.3,
+            negation_prob: 0.35,
+            seed: expr_seed,
+        });
+        let expr: EventExpr = g.generate();
+
+        let mut rt_opt = RuleTable::new();
+        let mut rt_raw = RuleTable::new();
+        rt_opt.define(TriggerDef::new("r", expr.clone()), Timestamp::ZERO).unwrap();
+        rt_raw.define(TriggerDef::new("r", expr.clone()), Timestamp::ZERO).unwrap();
+        let mut sup_opt = TriggerSupport::optimized();
+        let mut sup_raw = TriggerSupport::unoptimized();
+
+        // reference rule state for the from-scratch predicate
+        let ref_def = TriggerDef::new("r", expr.clone());
+        let mut ref_state = RuleState::new(&ref_def, Timestamp::ZERO);
+
+        let mut eb = EventBase::new();
+        for block in blocks(stream_seed, nblocks) {
+            for (ty, oid) in block {
+                eb.append(et(ty), Oid(oid));
+            }
+            eb.tick();
+            let now = eb.now();
+            sup_opt.check(&mut rt_opt, &eb, now);
+            sup_raw.check(&mut rt_raw, &eb, now);
+            let opt = rt_opt.state("r").unwrap().triggered;
+            let raw = rt_raw.state("r").unwrap().triggered;
+            let formal = is_triggered(&ref_def, &ref_state, &eb, now);
+            prop_assert_eq!(opt, formal, "optimized vs formal on {} at {}", &expr, now);
+            prop_assert_eq!(raw, formal, "unoptimized vs formal on {} at {}", &expr, now);
+            if formal {
+                rt_opt.mark_considered("r", now).unwrap();
+                rt_raw.mark_considered("r", now).unwrap();
+                ref_state.considered(&ref_def, now);
+            }
+        }
+        // the optimization must actually skip work on irrelevant streams
+        prop_assert!(sup_opt.stats.ts_probes <= sup_raw.stats.ts_probes);
+    }
+
+    /// Many rules at once: the sets of triggered rules coincide.
+    #[test]
+    fn rule_sets_coincide(
+        expr_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+    ) {
+        let mut g = RandomExprGen::new(ExprGenConfig {
+            event_types: 5,
+            max_depth: 3,
+            instance_prob: 0.25,
+            negation_prob: 0.3,
+            seed: expr_seed,
+        });
+        let mut rt_opt = RuleTable::new();
+        let mut rt_raw = RuleTable::new();
+        for (i, e) in g.batch(8).into_iter().enumerate() {
+            let name = format!("r{i}");
+            rt_opt.define(TriggerDef::new(name.clone(), e.clone()), Timestamp::ZERO).unwrap();
+            rt_raw.define(TriggerDef::new(name, e), Timestamp::ZERO).unwrap();
+        }
+        let mut sup_opt = TriggerSupport::optimized();
+        let mut sup_raw = TriggerSupport::unoptimized();
+        let mut eb = EventBase::new();
+        for block in blocks(stream_seed, 6) {
+            for (ty, oid) in block {
+                eb.append(et(ty), Oid(oid));
+            }
+            eb.tick();
+            let now = eb.now();
+            sup_opt.check(&mut rt_opt, &eb, now);
+            sup_raw.check(&mut rt_raw, &eb, now);
+            let opt: Vec<String> = rt_opt.triggered().iter().map(|s| s.to_string()).collect();
+            let raw: Vec<String> = rt_raw.triggered().iter().map(|s| s.to_string()).collect();
+            prop_assert_eq!(&opt, &raw);
+            for name in opt {
+                rt_opt.mark_considered(&name, now).unwrap();
+                rt_raw.mark_considered(&name, now).unwrap();
+            }
+        }
+    }
+}
+
+/// Deterministic regression: the exact scenario from the paper's §4.4
+/// quirk — a `-A` rule, A arriving not-first, fires because an earlier
+/// instant in the window witnessed the absence.
+#[test]
+fn negation_rule_window_semantics() {
+    let expr = EventExpr::prim(et(0)).not();
+    let mut rt = RuleTable::new();
+    rt.define(TriggerDef::new("r", expr.clone()), Timestamp::ZERO)
+        .unwrap();
+    let mut sup = TriggerSupport::optimized();
+    let mut eb = EventBase::new();
+    eb.append(et(1), Oid(1)); // t1: B
+    eb.append(et(0), Oid(1)); // t2: A
+    sup.check(&mut rt, &eb, eb.now());
+    let def = TriggerDef::new("r", expr);
+    let st = RuleState::new(&def, Timestamp::ZERO);
+    assert_eq!(
+        rt.state("r").unwrap().triggered,
+        is_triggered(&def, &st, &eb, eb.now())
+    );
+    assert!(rt.state("r").unwrap().triggered, "witnessed at t1");
+}

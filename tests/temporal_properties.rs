@@ -1,0 +1,91 @@
+//! Property suites for the temporal extension.
+
+use chimera::events::{EventType, Timestamp, Window};
+use chimera::model::{ClassId, Oid};
+use chimera::temporal::{ClockScheduler, ClockSpec, TimesDetector};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = ClockSpec> {
+    prop_oneof![
+        (1u64..60).prop_map(|t| ClockSpec::At(Timestamp(t))),
+        (0u64..30).prop_map(|delay| ClockSpec::After { delay }),
+        ((1u64..10), (0u64..10)).prop_map(|(period, phase)| ClockSpec::Every { period, phase }),
+    ]
+}
+
+proptest! {
+    /// Loss-free catch-up: however irregularly the scheduler is polled,
+    /// the concatenation of the due sets equals a single poll over the
+    /// whole interval. This is the invariant that lets the driver be
+    /// pumped at arbitrary block boundaries.
+    #[test]
+    fn polling_split_points_are_invisible(
+        specs in prop::collection::vec(arb_spec(), 1..6),
+        mut split_points in prop::collection::vec(1u64..100, 0..8),
+        end in 100u64..140,
+    ) {
+        let mut split = ClockScheduler::new(Timestamp::ZERO);
+        let mut single = ClockScheduler::new(Timestamp::ZERO);
+        for (i, s) in specs.iter().enumerate() {
+            split.register(*s, i as u32);
+            single.register(*s, i as u32);
+        }
+        split_points.sort_unstable();
+        split_points.push(end);
+        let mut collected = Vec::new();
+        for p in split_points {
+            collected.extend(split.due(Timestamp(p)));
+        }
+        let oneshot = single.due(Timestamp(end));
+        prop_assert_eq!(collected, oneshot);
+    }
+
+    /// Due instants always lie in the polled window and are sorted.
+    #[test]
+    fn due_instants_lie_in_window(
+        specs in prop::collection::vec(arb_spec(), 1..6),
+        a in 1u64..50,
+        b in 50u64..120,
+    ) {
+        let mut s = ClockScheduler::new(Timestamp::ZERO);
+        for (i, spec) in specs.iter().enumerate() {
+            s.register(*spec, i as u32);
+        }
+        let first = s.due(Timestamp(a));
+        for &(t, _) in &first {
+            prop_assert!(t.raw() >= 1 && t.raw() <= a);
+        }
+        let second = s.due(Timestamp(b));
+        for &(t, _) in &second {
+            prop_assert!(t.raw() > a && t.raw() <= b);
+        }
+        for w in second.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    /// The Times detector is monotone in the window and consistent with
+    /// its own count.
+    #[test]
+    fn times_detector_monotone(
+        arrivals in prop::collection::vec((0u32..4, 1u64..20), 0..40),
+        n in 1usize..6,
+    ) {
+        let mut eb = chimera::events::EventBase::new();
+        for (ty, oid) in &arrivals {
+            eb.append(EventType::external(ClassId(0), *ty), Oid(*oid));
+        }
+        let det = TimesDetector::new(EventType::external(ClassId(0), 0), n);
+        let now = eb.now();
+        let mut prev = usize::MAX;
+        // shrinking windows never increase the count
+        for lo in 0..=now.raw() {
+            let w = Window::new(Timestamp(lo), now);
+            let c = det.count(&eb, w);
+            prop_assert!(c <= prev.min(arrivals.len()));
+            prop_assert_eq!(det.is_active(&eb, w), c >= n);
+            prop_assert_eq!(det.occurrence_instant(&eb, w).is_some(), c >= n);
+            prev = c;
+        }
+    }
+}
