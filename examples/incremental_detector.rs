@@ -7,7 +7,7 @@
 //! ```
 
 use chimera::calculus::{ts_logical, EventExpr, IncrementalTs};
-use chimera::events::{EventType, Window};
+use chimera::events::{EventKind, EventType, Window};
 use chimera::model::ClassId;
 use chimera::workload::{StreamConfig, StreamGen};
 
@@ -26,11 +26,15 @@ fn main() {
         skew: 0.5,
     });
 
-    // stream 40 events; report activations and consume on each detection
+    // stream until a handful of detections (capped so a broken generator
+    // can't loop forever); report activations and consume on each detection
     let mut eb = chimera::events::EventBase::new();
     let mut detections = 0;
+    let mut events = 0;
     let mut window_start = chimera::events::Timestamp::ZERO;
-    for _ in 0..40 {
+    while detections < 5 && events < 10_000 {
+        events += 1;
+        let verbose = events <= 40;
         let (ty, oid) = gen.next_arrival();
         let occ = eb.append(ty, oid);
         detector.observe(&occ);
@@ -39,6 +43,18 @@ fn main() {
         // cross-check against the from-scratch evaluator (exact equality)
         let reference = ts_logical(&expr, &eb, Window::new(window_start, now), now);
         assert_eq!(detector.ts_at(now), reference, "incremental must be exact");
+
+        // a circuit-break refutes the negation for as long as it stays in
+        // the window, so treat it as consuming: clear state and start a
+        // fresh window once the halt has been handled
+        if ty.kind == EventKind::External(2) {
+            if verbose {
+                println!("t{:<3} break  on {oid} -> window consumed, restarting", now.raw());
+            }
+            detector.reset();
+            window_start = now;
+            continue;
+        }
 
         if detector.is_active() && detector.window_nonempty() {
             detections += 1;
@@ -57,6 +73,6 @@ fn main() {
             window_start = now;
         }
     }
-    println!("\n{detections} detections over 40 events.");
+    println!("\n{detections} detections over {events} events.");
     assert!(detections > 0, "the seeded stream produces detections");
 }

@@ -1,0 +1,160 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no crates.io access, so this shim provides the
+//! exact subset of the `rand` 0.9-era API the workspace uses: a seedable
+//! [`rngs::StdRng`], the [`SeedableRng`] constructor trait, and the
+//! [`RngExt`] extension trait with `random_range` / `random_bool`.
+//!
+//! The generator is SplitMix64 — deterministic, fast, and statistically
+//! fine for seeded workload generation and property tests. It is **not**
+//! cryptographically secure, which matches how the workspace uses it
+//! (every call site takes an explicit `seed_from_u64`).
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator core: the one primitive everything else
+/// derives from.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    /// SplitMix64 behind the `StdRng` name the real crate exports.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// A type that a uniform value can be drawn from, over some range shape.
+///
+/// Implemented for `Range` and `RangeInclusive` of the integer types the
+/// workspace samples, plus `Range<f64>`.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )+};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + unit * (self.end - self.start);
+        // The affine map can round up to `end` exactly (e.g. huge start,
+        // tiny span); clamp back inside the half-open contract.
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        }
+    }
+}
+
+/// Extension methods over any [`RngCore`] — the `rand` 0.9 `Rng` surface
+/// under the name the workspace imports.
+pub trait RngExt: RngCore {
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of [0, 1]");
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1000), b.random_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_range_never_returns_the_exclusive_end() {
+        // ulp(1e16) is 2.0, so without clamping, any unit >= 0.5 rounds
+        // the affine map up to exactly `end`.
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(1e16..1e16 + 2.0);
+            assert!(v < 1e16 + 2.0, "sampled the exclusive end: {v}");
+        }
+    }
+
+    #[test]
+    fn bool_probability_edges() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}
