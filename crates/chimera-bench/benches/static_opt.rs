@@ -105,7 +105,10 @@ fn bench_static_opt(c: &mut Criterion) {
         g.finish();
     }
 
-    // report the skip ratio once (goes into EXPERIMENTS.md)
+    // report the skip ratio once (goes into EXPERIMENTS.md / ROADMAP.md).
+    // `probes` counts actual plan evaluations; `memo` counts probes
+    // answered by the per-epoch cross-rule memo (rules sharing an
+    // expression and a window re-use each other's witnesses).
     for &pct in &[1u32, 10, 100] {
         let blocks = stream(BLOCKS, PER_BLOCK, pct);
         let mut rt = make_table(100);
@@ -113,11 +116,12 @@ fn bench_static_opt(c: &mut Criterion) {
         run(&mut s, &mut rt, &blocks);
         let st = s.stats;
         println!(
-            "skip ratio @ {pct}% relevant, 100 rules: {:.1}% ({} skipped / {} checked, {} probes)",
+            "skip ratio @ {pct}% relevant, 100 rules: {:.1}% ({} skipped / {} checked, {} probes + {} memo hits)",
             100.0 * st.skipped_by_filter as f64 / st.rules_checked as f64,
             st.skipped_by_filter,
             st.rules_checked,
-            st.ts_probes
+            st.ts_probes,
+            st.probe_memo_hits
         );
     }
 }

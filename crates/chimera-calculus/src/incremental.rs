@@ -3,12 +3,17 @@
 //!
 //! The paper's Trigger Support recomputes `ts` by querying the Occurred
 //! Events structure. This module instead maintains, per expression, a
-//! compact node-state tree updated in O(|expr|) per arrival (plus
+//! compact node-state array updated in O(|expr|) per arrival (plus
 //! per-object state for instance subtrees, mirroring §5's "sparse data
 //! structure … each item stores the OID of an object affected by some
 //! event type … and the list of event occurrences affecting that object").
 //! Queries between arrivals need **no** event-base access, so a detector
 //! can run without retaining the log at all.
+//!
+//! The expression *shape* — the flat postorder op arenas with interned
+//! leaf slots — is the compiled [`crate::plan::Plan`]; this module only
+//! adds the per-node symbolic state, so the detector and the query-time
+//! plan evaluator can never disagree about compilation.
 //!
 //! Values are kept in an exact symbolic form: a sign plus a stamp that is
 //! either a fixed instant or the symbolic *current instant* (negation is
@@ -26,11 +31,13 @@
 //! that actually flip the sign.
 
 use crate::expr::EventExpr;
+use crate::plan::{BoundaryPlan, InstOp, Plan, SetOp};
 use crate::ts::TsVal;
 use crate::Result;
-use chimera_events::{EventOccurrence, EventType, Timestamp};
+use chimera_events::{EventOccurrence, Timestamp};
 use chimera_model::Oid;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A stamp magnitude: fixed instant or the symbolic current instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,43 +160,22 @@ impl History {
     }
 }
 
-#[derive(Debug, Clone)]
-enum Node {
-    Prim(EventType),
-    Not(usize),
-    And(usize, usize),
-    Or(usize, usize),
-    Prec(usize, usize),
-    Boundary { subtree: InstTree, inot: bool },
-}
-
-/// Per-object state of an instance subtree.
+/// Per-object state of an instance subtree (one [`SVal`] + toggle history
+/// per [`InstOp`] of the boundary's compiled plan).
 #[derive(Debug, Clone)]
 struct ObjState {
     vals: Vec<SVal>,
     hist: Vec<History>,
 }
 
-/// A flattened instance-oriented subtree.
+/// Runtime state of one compiled boundary: the §5 "sparse data structure"
+/// keyed by affected OID. The *shape* (op array, interned leaves, the
+/// `inot` / widening flags) lives in the shared [`BoundaryPlan`].
 #[derive(Debug, Clone)]
-struct InstTree {
-    nodes: Vec<InstNode>,
+struct BoundaryState {
     objects: BTreeMap<Oid, ObjState>,
-    prims: Vec<EventType>,
-    /// Inner `-=` present: any affected object joins the domain.
-    vacuous_members: bool,
-    root: usize,
     /// Template state for freshly joining objects.
     fresh: ObjState,
-}
-
-#[derive(Debug, Clone)]
-enum InstNode {
-    Prim(EventType),
-    Not(usize),
-    And(usize, usize),
-    Or(usize, usize),
-    Prec(usize, usize),
 }
 
 /// Incremental evaluator for one (validated) event expression; observably
@@ -218,26 +204,33 @@ enum InstNode {
 /// ```
 #[derive(Debug, Clone)]
 pub struct IncrementalTs {
-    nodes: Vec<Node>,
+    /// Shared compiled shape (op arenas, interned leaves); see
+    /// [`crate::plan`].
+    plan: Arc<Plan>,
     vals: Vec<SVal>,
     hist: Vec<History>,
-    root: usize,
+    /// Runtime state per compiled boundary, parallel to
+    /// `plan.boundaries()`.
+    bstates: Vec<BoundaryState>,
     nonempty: bool,
 }
 
 impl IncrementalTs {
     /// Compile a validated expression.
     pub fn new(expr: &EventExpr) -> Result<Self> {
-        expr.validate()?;
-        let mut nodes = Vec::new();
-        let root = build_set(expr, &mut nodes);
-        let vals = initial_vals(&nodes);
+        let plan = Arc::new(Plan::compile(expr)?);
+        let bstates: Vec<BoundaryState> = plan
+            .boundaries()
+            .iter()
+            .map(BoundaryState::new)
+            .collect();
+        let vals = initial_vals(&plan, &bstates);
         let hist = vals.iter().map(|v| History::new(v.pos)).collect();
         Ok(IncrementalTs {
-            nodes,
+            plan,
             vals,
             hist,
-            root,
+            bstates,
             nonempty: false,
         })
     }
@@ -250,23 +243,28 @@ impl IncrementalTs {
     /// Observe one arrival (stamps strictly increasing across calls).
     pub fn observe(&mut self, occ: &EventOccurrence) {
         self.nonempty = true;
-        for i in 0..self.nodes.len() {
-            let val = match &mut self.nodes[i] {
-                Node::Prim(ty) => {
-                    if *ty == occ.ty {
+        let plan = self.plan.clone();
+        let ops = plan.set_ops();
+        for (i, op) in ops.iter().enumerate() {
+            let val = match *op {
+                SetOp::Leaf(slot) => {
+                    if plan.set_leaves[slot as usize] == occ.ty {
                         SVal::active_at(occ.ts)
                     } else {
                         self.vals[i]
                     }
                 }
-                Node::Not(c) => self.vals[*c].negate(),
-                Node::And(a, b) => self.vals[*a].and(self.vals[*b]),
-                Node::Or(a, b) => self.vals[*a].or(self.vals[*b]),
-                Node::Prec(a, b) => prec_val(self.vals[*b], &self.hist[*a], occ.ts),
-                Node::Boundary { subtree, inot } => {
-                    let inot = *inot;
-                    subtree.observe(occ);
-                    subtree.boundary_val(inot)
+                SetOp::Not(c) => self.vals[c as usize].negate(),
+                SetOp::And(a, b) => self.vals[a as usize].and(self.vals[b as usize]),
+                SetOp::Or(a, b) => self.vals[a as usize].or(self.vals[b as usize]),
+                SetOp::Prec(a, b) => {
+                    prec_val(self.vals[b as usize], &self.hist[a as usize], occ.ts)
+                }
+                SetOp::Boundary(bi) => {
+                    let bp = &plan.boundaries()[bi as usize];
+                    let state = &mut self.bstates[bi as usize];
+                    state.observe(bp, occ);
+                    state.boundary_val(bp)
                 }
             };
             self.vals[i] = val;
@@ -277,22 +275,20 @@ impl IncrementalTs {
     /// The exact `ts` value at instant `now` (`now` ≥ the last observed
     /// stamp). Matches `ts_logical` over the same window bit for bit.
     pub fn ts_at(&self, now: Timestamp) -> TsVal {
-        self.vals[self.root].resolve(now)
+        self.vals[self.vals.len() - 1].resolve(now)
     }
 
     /// Sign of `ts` (activity).
     pub fn is_active(&self) -> bool {
-        self.vals[self.root].pos
+        self.vals[self.vals.len() - 1].pos
     }
 
     /// Consumption reset: the observation window restarts empty.
     pub fn reset(&mut self) {
-        for node in &mut self.nodes {
-            if let Node::Boundary { subtree, .. } = node {
-                subtree.reset();
-            }
+        for state in &mut self.bstates {
+            state.objects.clear();
         }
-        self.vals = initial_vals(&self.nodes);
+        self.vals = initial_vals(&self.plan, &self.bstates);
         self.hist = self.vals.iter().map(|v| History::new(v.pos)).collect();
         self.nonempty = false;
     }
@@ -316,111 +312,50 @@ fn prec_val(b: SVal, a_hist: &History, now: Timestamp) -> SVal {
 
 /// Node values over the empty window (primitives inactive, negations
 /// active with the symbolic stamp).
-fn initial_vals(nodes: &[Node]) -> Vec<SVal> {
-    let mut vals = vec![SVal::INACTIVE_NOW; nodes.len()];
-    for i in 0..nodes.len() {
-        vals[i] = match &nodes[i] {
-            Node::Prim(_) => SVal::INACTIVE_NOW,
-            Node::Not(c) => vals[*c].negate(),
-            Node::And(a, b) => vals[*a].and(vals[*b]),
-            Node::Or(a, b) => vals[*a].or(vals[*b]),
-            Node::Prec(a, b) => {
-                let bb = vals[*b];
-                if bb.pos && vals[*a].pos {
+fn initial_vals(plan: &Plan, bstates: &[BoundaryState]) -> Vec<SVal> {
+    let ops = plan.set_ops();
+    let mut vals = vec![SVal::INACTIVE_NOW; ops.len()];
+    for (i, op) in ops.iter().enumerate() {
+        vals[i] = match *op {
+            SetOp::Leaf(_) => SVal::INACTIVE_NOW,
+            SetOp::Not(c) => vals[c as usize].negate(),
+            SetOp::And(a, b) => vals[a as usize].and(vals[b as usize]),
+            SetOp::Or(a, b) => vals[a as usize].or(vals[b as usize]),
+            SetOp::Prec(a, b) => {
+                let bb = vals[b as usize];
+                if bb.pos && vals[a as usize].pos {
                     bb
                 } else {
                     SVal::INACTIVE_NOW
                 }
             }
-            Node::Boundary { subtree, inot } => subtree.boundary_val(*inot),
+            SetOp::Boundary(bi) => {
+                bstates[bi as usize].boundary_val(&plan.boundaries()[bi as usize])
+            }
         };
     }
     vals
 }
 
-fn build_set(expr: &EventExpr, nodes: &mut Vec<Node>) -> usize {
-    let node = match expr {
-        EventExpr::Prim(ty) => Node::Prim(*ty),
-        EventExpr::Not(e) => {
-            let c = build_set(e, nodes);
-            Node::Not(c)
-        }
-        EventExpr::And(a, b) => {
-            let (na, nb) = (build_set(a, nodes), build_set(b, nodes));
-            Node::And(na, nb)
-        }
-        EventExpr::Or(a, b) => {
-            let (na, nb) = (build_set(a, nodes), build_set(b, nodes));
-            Node::Or(na, nb)
-        }
-        EventExpr::Prec(a, b) => {
-            let (na, nb) = (build_set(a, nodes), build_set(b, nodes));
-            Node::Prec(na, nb)
-        }
-        EventExpr::IAnd(..) | EventExpr::IOr(..) | EventExpr::IPrec(..) => Node::Boundary {
-            subtree: InstTree::build(expr),
-            inot: false,
-        },
-        EventExpr::INot(inner) => Node::Boundary {
-            subtree: InstTree::build(inner),
-            inot: true,
-        },
-    };
-    nodes.push(node);
-    nodes.len() - 1
-}
-
-impl InstTree {
-    fn build(expr: &EventExpr) -> Self {
-        let mut nodes = Vec::new();
-        let root = Self::build_inst(expr, &mut nodes);
-        let fresh = Self::fresh_state(&nodes);
-        InstTree {
-            nodes,
+impl BoundaryState {
+    fn new(bp: &BoundaryPlan) -> Self {
+        BoundaryState {
             objects: BTreeMap::new(),
-            prims: expr.primitives(),
-            vacuous_members: expr.contains_negation(),
-            root,
-            fresh,
+            fresh: Self::fresh_state(bp),
         }
     }
 
-    fn build_inst(expr: &EventExpr, nodes: &mut Vec<InstNode>) -> usize {
-        let node = match expr {
-            EventExpr::Prim(ty) => InstNode::Prim(*ty),
-            EventExpr::INot(e) => {
-                let c = Self::build_inst(e, nodes);
-                InstNode::Not(c)
-            }
-            EventExpr::IAnd(a, b) => {
-                let (na, nb) = (Self::build_inst(a, nodes), Self::build_inst(b, nodes));
-                InstNode::And(na, nb)
-            }
-            EventExpr::IOr(a, b) => {
-                let (na, nb) = (Self::build_inst(a, nodes), Self::build_inst(b, nodes));
-                InstNode::Or(na, nb)
-            }
-            EventExpr::IPrec(a, b) => {
-                let (na, nb) = (Self::build_inst(a, nodes), Self::build_inst(b, nodes));
-                InstNode::Prec(na, nb)
-            }
-            _ => unreachable!("set operator inside instance subtree"),
-        };
-        nodes.push(node);
-        nodes.len() - 1
-    }
-
-    fn fresh_state(nodes: &[InstNode]) -> ObjState {
-        let mut vals = vec![SVal::INACTIVE_NOW; nodes.len()];
-        for i in 0..nodes.len() {
-            vals[i] = match &nodes[i] {
-                InstNode::Prim(_) => SVal::INACTIVE_NOW,
-                InstNode::Not(c) => vals[*c].negate(),
-                InstNode::And(a, b) => vals[*a].and(vals[*b]),
-                InstNode::Or(a, b) => vals[*a].or(vals[*b]),
-                InstNode::Prec(a, b) => {
-                    let bb = vals[*b];
-                    if bb.pos && vals[*a].pos {
+    fn fresh_state(bp: &BoundaryPlan) -> ObjState {
+        let mut vals = vec![SVal::INACTIVE_NOW; bp.ops.len()];
+        for (i, op) in bp.ops.iter().enumerate() {
+            vals[i] = match *op {
+                InstOp::Leaf(_) => SVal::INACTIVE_NOW,
+                InstOp::Not(c) => vals[c as usize].negate(),
+                InstOp::And(a, b) => vals[a as usize].and(vals[b as usize]),
+                InstOp::Or(a, b) => vals[a as usize].or(vals[b as usize]),
+                InstOp::Prec(a, b) => {
+                    let bb = vals[b as usize];
+                    if bb.pos && vals[a as usize].pos {
                         bb
                     } else {
                         SVal::INACTIVE_NOW
@@ -432,9 +367,9 @@ impl InstTree {
         ObjState { vals, hist }
     }
 
-    fn observe(&mut self, occ: &EventOccurrence) {
-        let relevant = self.prims.contains(&occ.ty);
-        if !(relevant || self.vacuous_members) {
+    fn observe(&mut self, bp: &BoundaryPlan, occ: &EventOccurrence) {
+        let relevant = bp.leaves.contains(&occ.ty);
+        if !(relevant || bp.widen) {
             return;
         }
         let state = self
@@ -444,19 +379,21 @@ impl InstTree {
         if !relevant {
             return; // joins the domain with the fresh (vacuous) state
         }
-        for i in 0..self.nodes.len() {
-            let val = match &self.nodes[i] {
-                InstNode::Prim(ty) => {
-                    if *ty == occ.ty {
+        for (i, op) in bp.ops.iter().enumerate() {
+            let val = match *op {
+                InstOp::Leaf(slot) => {
+                    if bp.leaves[slot as usize] == occ.ty {
                         SVal::active_at(occ.ts)
                     } else {
                         state.vals[i]
                     }
                 }
-                InstNode::Not(c) => state.vals[*c].negate(),
-                InstNode::And(a, b) => state.vals[*a].and(state.vals[*b]),
-                InstNode::Or(a, b) => state.vals[*a].or(state.vals[*b]),
-                InstNode::Prec(a, b) => prec_val(state.vals[*b], &state.hist[*a], occ.ts),
+                InstOp::Not(c) => state.vals[c as usize].negate(),
+                InstOp::And(a, b) => state.vals[a as usize].and(state.vals[b as usize]),
+                InstOp::Or(a, b) => state.vals[a as usize].or(state.vals[b as usize]),
+                InstOp::Prec(a, b) => {
+                    prec_val(state.vals[b as usize], &state.hist[a as usize], occ.ts)
+                }
             };
             state.vals[i] = val;
             state.hist[i].record(occ.ts, val.pos);
@@ -466,15 +403,16 @@ impl InstTree {
     /// §4.3 boundary: `max` over the object domain; `-=` root negates the
     /// max when some object is active, else is active at the symbolic
     /// current instant.
-    fn boundary_val(&self, inot: bool) -> SVal {
+    fn boundary_val(&self, bp: &BoundaryPlan) -> SVal {
+        let root = bp.ops.len() - 1;
         let max = self
             .objects
             .values()
-            .map(|s| s.vals[self.root])
+            .map(|s| s.vals[root])
             .fold(None, |acc: Option<SVal>, v| {
                 Some(acc.map_or(v, |a| a.max(v)))
             });
-        if inot {
+        if bp.inot {
             match max {
                 Some(v) if v.pos => v.negate(),
                 _ => SVal {
@@ -489,17 +427,13 @@ impl InstTree {
             }
         }
     }
-
-    fn reset(&mut self) {
-        self.objects.clear();
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ts::ts_logical;
-    use chimera_events::{EventBase, Window};
+    use chimera_events::{EventBase, EventType, Window};
     use chimera_model::ClassId;
 
     fn et(n: u32) -> EventType {

@@ -28,6 +28,7 @@ use crate::expr::EventExpr;
 use crate::ts::{u, TsVal};
 use chimera_events::{EventBase, EventType, Timestamp, Window};
 use chimera_model::Oid;
+use std::sync::Arc;
 
 /// `ots` of a primitive for one object.
 fn ots_prim(eb: &EventBase, w: Window, t: Timestamp, ty: EventType, oid: Oid) -> TsVal {
@@ -115,13 +116,14 @@ pub fn ots_algebraic(expr: &EventExpr, eb: &EventBase, w: Window, t: Timestamp, 
 }
 
 /// Quantification domain for the boundary: the objects that could make the
-/// instance expression active inside `w` up to `t`.
+/// instance expression active inside `w` up to `t` (a shared slice out of
+/// the event base's domain cache).
 pub(crate) fn boundary_domain(
     expr: &EventExpr,
     eb: &EventBase,
     w: Window,
     t: Timestamp,
-) -> Vec<Oid> {
+) -> Arc<[Oid]> {
     let clipped = w.clip_upto(t);
     if expr.contains_negation() {
         // inner -= can make the expression active for objects that have no
@@ -134,6 +136,11 @@ pub(crate) fn boundary_domain(
 
 /// §4.3 "ots to ts": fold an instance-rooted expression into set context,
 /// logical-style evaluation.
+///
+/// This is the *recursive reference* definition — it walks the tree once
+/// per domain object. The production path behind [`crate::ts_logical`]
+/// evaluates the same function through a compiled plan ([`crate::plan`]);
+/// `tests/plan_equivalence.rs` asserts the two agree bit for bit.
 pub fn boundary_ts_logical(expr: &EventExpr, eb: &EventBase, w: Window, t: Timestamp) -> TsVal {
     match expr {
         EventExpr::INot(inner) => {
@@ -158,7 +165,8 @@ pub fn boundary_ts_logical(expr: &EventExpr, eb: &EventBase, w: Window, t: Times
     }
 }
 
-/// §4.3 "ots to ts", algebraic-style evaluation.
+/// §4.3 "ots to ts", algebraic-style evaluation (recursive reference,
+/// like [`boundary_ts_logical`]).
 pub fn boundary_ts_algebraic(expr: &EventExpr, eb: &EventBase, w: Window, t: Timestamp) -> TsVal {
     match expr {
         EventExpr::INot(inner) => {

@@ -32,10 +32,15 @@
 //! * [`optimize`] — the §5.1 static optimization: derivation and
 //!   simplification rules computing the variation set `V(E)` and the
 //!   arrival-relevance filter used by the trigger support;
+//! * [`plan`] — compiled evaluation plans: flat arena op arrays with
+//!   interned leaf slots and a reusable per-object stamp scratchpad, the
+//!   production path for the §4.3 instance→set boundary (wired into
+//!   [`ts_logical`]/[`ts_algebraic`] and cached per rule by the engine);
 //! * [`incremental`] — a compact per-rule detector maintaining `ts`
 //!   online in O(|expr|) per arrival, the §5 implementation sketch taken
 //!   to its conclusion (observably equivalent to the from-scratch
-//!   evaluators, property-tested).
+//!   evaluators, property-tested); its node arenas are the compiled
+//!   plans of [`plan`].
 
 pub mod error;
 pub mod expr;
@@ -43,17 +48,21 @@ pub mod incremental;
 pub mod instance;
 pub mod occurrence;
 pub mod optimize;
+pub mod plan;
 pub mod rewrite;
 pub mod ts;
 
 pub use error::CalculusError;
 pub use expr::{EventExpr, OperatorInfo, FIG1_OPERATORS};
 pub use incremental::IncrementalTs;
-pub use instance::{ots_algebraic, ots_logical};
+pub use instance::{boundary_ts_algebraic, boundary_ts_logical, ots_algebraic, ots_logical};
 pub use occurrence::{at_occurrences, occurred_objects};
 pub use optimize::{RelevanceFilter, Scope, Sign, Variation, VariationSet};
+pub use plan::{Plan, PlanEval};
 pub use rewrite::{nnf, simplify, Law, LAWS};
-pub use ts::{ts_algebraic, ts_logical, TsVal};
+pub use ts::{
+    ts_algebraic, ts_algebraic_interpreted, ts_logical, ts_logical_interpreted, TsVal,
+};
 
 /// Crate-level result alias.
 pub type Result<T> = std::result::Result<T, CalculusError>;

@@ -48,12 +48,10 @@ pub fn occurred_objects(expr: &EventExpr, eb: &EventBase, w: Window) -> Result<V
         return Err(CalculusError::SetOrientedFormula);
     }
     expr.validate()?;
-    let t = w.upto;
-    let dom = boundary_domain(expr, eb, w, t);
-    Ok(dom
-        .into_iter()
-        .filter(|&oid| ots_logical(expr, eb, w, t, oid).is_active())
-        .collect())
+    // per-thread compiled-plan cache: one compiled condition plan per
+    // distinct formula expression, evaluated over the shared domain and
+    // batched leaf stamps instead of one `ots` recursion per object.
+    Ok(crate::plan::occurred_objects_planned(expr, eb, w))
 }
 
 /// `at(expr, X, T)`: `(object, instant)` pairs for every occurrence of the
@@ -69,7 +67,7 @@ pub fn at_occurrences(expr: &EventExpr, eb: &EventBase, w: Window) -> Result<Vec
     expr.validate()?;
     let prims = expr.primitives();
     let mut out = Vec::new();
-    for oid in boundary_domain(expr, eb, w, w.upto) {
+    for &oid in boundary_domain(expr, eb, w, w.upto).iter() {
         // candidate instants: arrivals of the expression's own primitives
         // on this object (no other instant can produce a fresh activation
         // for a negation-free expression).

@@ -1,0 +1,770 @@
+//! Compiled evaluation plans: the compile/evaluate split for `ts`.
+//!
+//! ## Why a plan
+//!
+//! The recursive evaluators ([`crate::ts_logical`], [`crate::instance`])
+//! re-walk the [`EventExpr`] tree on every evaluation, and the §4.3
+//! instance→set boundary is the expensive part: for every evaluation it
+//! rebuilds the object quantification domain (collect → sort → dedup over
+//! the window slice) and then recurses the tree once per object, paying a
+//! hash probe + binary search per `(type, oid)` leaf. PR 1's benches put
+//! the resulting gap at ~200× between set-oriented `ts` and an
+//! `ots`-rooted boundary on a 10k-event window.
+//!
+//! ## What compilation produces
+//!
+//! [`Plan::compile`] flattens a validated expression into flat arenas:
+//!
+//! * set-oriented operators become a postorder [`SetOp`] array (children
+//!   always precede parents; the root is the last op);
+//! * every maximal instance-oriented subtree in set context becomes a
+//!   [`BoundaryPlan`]: its own postorder [`InstOp`] array plus the
+//!   *interned leaf slots* — the distinct primitive event types of the
+//!   subtree, which are simultaneously the §4.3 quantification domain
+//!   types and the columns of the evaluation scratchpad.
+//!
+//! ## How evaluation works
+//!
+//! [`PlanEval`] pairs a plan with a reusable scratchpad. Evaluating a
+//! boundary at `(w, t)`:
+//!
+//! 1. the object domain comes from the event base's epoch-versioned
+//!    domain cache ([`EventBase::objects_of_types_in`]) — a shared
+//!    `Arc<[Oid]>` slice, no per-evaluation sort;
+//! 2. each leaf slot is resolved for *all* domain objects at once with
+//!    one reverse index sweep ([`EventBase::last_of_type_objs_in`]) into a
+//!    column of the scratchpad — instead of `objects × leaves` separate
+//!    hash probes;
+//! 3. the per-object fold walks the op array over the scratchpad columns;
+//!    only an inner `<=` re-evaluating its left operand at an earlier
+//!    instant ever falls back to a point probe;
+//! 4. the boundary result is memoized per `(clip, t)` and the whole
+//!    scratchpad is keyed on `(uid, epoch)` of the event base, so
+//!    re-evaluations between arrivals are O(1).
+//!
+//! Values match the recursive evaluators **bit for bit** (including the
+//! structured negative residues); `tests/plan_equivalence.rs` asserts this
+//! against both `boundary_ts_logical` and `boundary_ts_algebraic` on
+//! random expressions × random histories.
+
+use crate::expr::EventExpr;
+use crate::ts::{ts_prim, TsVal};
+use crate::Result;
+use chimera_events::{EventBase, EventType, Timestamp, Window};
+use chimera_model::Oid;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One set-oriented operator of a compiled plan. Operand fields are
+/// indices into the plan's op array (always smaller than the op's own
+/// index: the array is in postorder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// Primitive event type, resolved to a slot in the set-leaf table.
+    Leaf(u32),
+    /// `- E`.
+    Not(u32),
+    /// `E1 + E2`.
+    And(u32, u32),
+    /// `E1 , E2`.
+    Or(u32, u32),
+    /// `E1 < E2`.
+    Prec(u32, u32),
+    /// A maximal instance-oriented subtree crossing the §4.3 boundary,
+    /// resolved to a slot in the plan's boundary table.
+    Boundary(u32),
+}
+
+/// One instance-oriented operator of a [`BoundaryPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstOp {
+    /// Primitive event type, resolved to an interned leaf slot.
+    Leaf(u32),
+    /// `-= E` (a *nested* instance negation; a root `-=` is absorbed
+    /// into [`BoundaryPlan::inot`]).
+    Not(u32),
+    /// `E1 += E2`.
+    And(u32, u32),
+    /// `E1 ,= E2`.
+    Or(u32, u32),
+    /// `E1 <= E2`.
+    Prec(u32, u32),
+}
+
+/// A compiled instance-oriented subtree in set context.
+#[derive(Debug, Clone)]
+pub struct BoundaryPlan {
+    /// Postorder op array; root is the last op.
+    pub(crate) ops: Vec<InstOp>,
+    /// Interned leaf slots: the distinct primitive event types, in
+    /// first-occurrence order. Doubles as the domain type list.
+    pub(crate) leaves: Vec<EventType>,
+    /// Root was `-=`: the boundary takes "no object activates the
+    /// component" semantics (§3.2).
+    pub(crate) inot: bool,
+    /// Component contains a nested negation: the quantification domain
+    /// widens to every object affected in the window (§4.3).
+    pub(crate) widen: bool,
+}
+
+impl BoundaryPlan {
+    fn build(component: &EventExpr, inot: bool) -> BoundaryPlan {
+        let mut bp = BoundaryPlan {
+            ops: Vec::new(),
+            leaves: Vec::new(),
+            inot,
+            widen: component.contains_negation(),
+        };
+        bp.push_inst(component);
+        bp
+    }
+
+    fn push_inst(&mut self, expr: &EventExpr) -> u32 {
+        let op = match expr {
+            EventExpr::Prim(ty) => InstOp::Leaf(intern(&mut self.leaves, *ty)),
+            EventExpr::INot(e) => InstOp::Not(self.push_inst(e)),
+            EventExpr::IAnd(a, b) => {
+                let (na, nb) = (self.push_inst(a), self.push_inst(b));
+                InstOp::And(na, nb)
+            }
+            EventExpr::IOr(a, b) => {
+                let (na, nb) = (self.push_inst(a), self.push_inst(b));
+                InstOp::Or(na, nb)
+            }
+            EventExpr::IPrec(a, b) => {
+                let (na, nb) = (self.push_inst(a), self.push_inst(b));
+                InstOp::Prec(na, nb)
+            }
+            _ => unreachable!("set operator inside instance subtree (validated expression)"),
+        };
+        self.ops.push(op);
+        (self.ops.len() - 1) as u32
+    }
+
+    /// Number of ops (the root is op `len() - 1`).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// A boundary plan always has at least one op.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The interned leaf event types.
+    pub fn leaves(&self) -> &[EventType] {
+        &self.leaves
+    }
+}
+
+/// A compiled evaluation plan for one validated [`EventExpr`].
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Postorder set-level op array; root is the last op.
+    pub(crate) ops: Vec<SetOp>,
+    /// Set-level interned leaves.
+    pub(crate) set_leaves: Vec<EventType>,
+    /// Compiled instance subtrees, indexed by [`SetOp::Boundary`].
+    pub(crate) boundaries: Vec<BoundaryPlan>,
+}
+
+impl Plan {
+    /// Compile a validated expression. Fails exactly when
+    /// [`EventExpr::validate`] does (§3.2 well-formedness).
+    pub fn compile(expr: &EventExpr) -> Result<Plan> {
+        expr.validate()?;
+        let mut plan = Plan {
+            ops: Vec::new(),
+            set_leaves: Vec::new(),
+            boundaries: Vec::new(),
+        };
+        plan.push_set(expr);
+        Ok(plan)
+    }
+
+    /// Compile a validated *instance-oriented* expression as a single
+    /// per-object component (a root `-=` stays a nested [`InstOp::Not`],
+    /// giving `ots` rather than boundary semantics). Used for the
+    /// `occurred` / `at` event-formula path, which needs per-object
+    /// activity instead of the boundary max.
+    pub(crate) fn compile_instance(expr: &EventExpr) -> Result<Plan> {
+        expr.validate()?;
+        debug_assert!(expr.is_instance_oriented());
+        Ok(Plan {
+            ops: vec![SetOp::Boundary(0)],
+            set_leaves: Vec::new(),
+            boundaries: vec![BoundaryPlan::build(expr, false)],
+        })
+    }
+
+    fn push_set(&mut self, expr: &EventExpr) -> u32 {
+        let op = match expr {
+            EventExpr::Prim(ty) => SetOp::Leaf(intern(&mut self.set_leaves, *ty)),
+            EventExpr::Not(e) => SetOp::Not(self.push_set(e)),
+            EventExpr::And(a, b) => {
+                let (na, nb) = (self.push_set(a), self.push_set(b));
+                SetOp::And(na, nb)
+            }
+            EventExpr::Or(a, b) => {
+                let (na, nb) = (self.push_set(a), self.push_set(b));
+                SetOp::Or(na, nb)
+            }
+            EventExpr::Prec(a, b) => {
+                let (na, nb) = (self.push_set(a), self.push_set(b));
+                SetOp::Prec(na, nb)
+            }
+            EventExpr::IAnd(..) | EventExpr::IOr(..) | EventExpr::IPrec(..) => {
+                self.boundaries.push(BoundaryPlan::build(expr, false));
+                SetOp::Boundary((self.boundaries.len() - 1) as u32)
+            }
+            EventExpr::INot(inner) => {
+                self.boundaries.push(BoundaryPlan::build(inner, true));
+                SetOp::Boundary((self.boundaries.len() - 1) as u32)
+            }
+        };
+        self.ops.push(op);
+        (self.ops.len() - 1) as u32
+    }
+
+    /// Number of set-level ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// A plan always has at least one op.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The compiled boundary subtrees.
+    pub fn boundaries(&self) -> &[BoundaryPlan] {
+        &self.boundaries
+    }
+
+    /// The set-level op array (postorder; root last).
+    pub(crate) fn set_ops(&self) -> &[SetOp] {
+        &self.ops
+    }
+}
+
+/// Intern an event type into a leaf-slot table (first-occurrence order).
+fn intern(leaves: &mut Vec<EventType>, ty: EventType) -> u32 {
+    match leaves.iter().position(|&l| l == ty) {
+        Some(i) => i as u32,
+        None => {
+            leaves.push(ty);
+            (leaves.len() - 1) as u32
+        }
+    }
+}
+
+/// Per-boundary reusable evaluation state.
+#[derive(Debug, Clone)]
+struct BoundaryScratch {
+    /// The clipped window the domain + stamp matrix were built for.
+    clip: Option<Window>,
+    /// Shared quantification domain (sorted OIDs).
+    domain: Arc<[Oid]>,
+    /// Leaf stamp matrix, column-major: `stamps[leaf * D + obj]` is the
+    /// most recent in-window stamp of `leaves[leaf]` on `domain[obj]`.
+    stamps: Vec<Option<Timestamp>>,
+    /// Small memo of recent boundary results, keyed `(clip, t)`; cleared
+    /// whenever the event base `(uid, epoch)` key changes.
+    memo: Vec<(Window, Timestamp, TsVal)>,
+}
+
+/// Memoized boundary results kept per epoch (covers the handful of
+/// distinct `(window, instant)` probes a trigger check performs).
+const BOUNDARY_MEMO_CAP: usize = 8;
+
+impl Default for BoundaryScratch {
+    fn default() -> Self {
+        BoundaryScratch {
+            clip: None,
+            domain: Arc::from(Vec::new()),
+            stamps: Vec::new(),
+            memo: Vec::new(),
+        }
+    }
+}
+
+/// A compiled plan plus its reusable scratchpad: the unit an engine
+/// caches per rule. Cloning yields an independent scratchpad over the
+/// same (cheap, immutable) plan.
+#[derive(Debug, Clone)]
+pub struct PlanEval {
+    plan: Arc<Plan>,
+    /// `(uid, epoch)` of the event base the scratch state belongs to.
+    key: Option<(u64, u64)>,
+    scratch: Vec<BoundaryScratch>,
+}
+
+impl PlanEval {
+    /// Compile an expression into an evaluator with a fresh scratchpad.
+    pub fn compile(expr: &EventExpr) -> Result<PlanEval> {
+        Ok(PlanEval::new(Plan::compile(expr)?))
+    }
+
+    /// Wrap an already compiled plan.
+    pub fn new(plan: Plan) -> PlanEval {
+        let scratch = vec![BoundaryScratch::default(); plan.boundaries.len()];
+        PlanEval {
+            plan: Arc::new(plan),
+            key: None,
+            scratch,
+        }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Evaluate `ts(E, t)` over window `w` of `eb`. Equals
+    /// [`crate::ts_logical`] (and [`crate::ts_algebraic`]) bit for bit.
+    pub fn eval(&mut self, eb: &EventBase, w: Window, t: Timestamp) -> TsVal {
+        self.refresh_key(eb);
+        let plan = self.plan.clone();
+        self.eval_set(&plan, plan.ops.len() - 1, eb, w, t)
+    }
+
+    /// The objects for which an instance-compiled plan
+    /// ([`Plan::compile_instance`]) is active at `w.upto` — the
+    /// `occurred(expr, X)` set, sorted by OID.
+    pub(crate) fn active_objects(&mut self, eb: &EventBase, w: Window) -> Vec<Oid> {
+        self.refresh_key(eb);
+        let plan = self.plan.clone();
+        debug_assert_eq!(plan.boundaries.len(), 1);
+        let bp = &plan.boundaries[0];
+        let t = w.upto;
+        self.prepare_boundary(0, bp, eb, w.clip_upto(t));
+        let ctx = InstCtx {
+            bp,
+            scr: &self.scratch[0],
+            eb,
+            w,
+        };
+        let root = bp.ops.len() - 1;
+        (0..ctx.scr.domain.len())
+            .filter(|&j| ctx.eval(root, t, j).is_active())
+            .map(|j| ctx.scr.domain[j])
+            .collect()
+    }
+
+    fn refresh_key(&mut self, eb: &EventBase) {
+        let key = (eb.uid(), eb.epoch());
+        if self.key != Some(key) {
+            self.key = Some(key);
+            for b in &mut self.scratch {
+                b.clip = None;
+                b.memo.clear();
+            }
+        }
+    }
+
+    fn eval_set(&mut self, plan: &Plan, idx: usize, eb: &EventBase, w: Window, t: Timestamp) -> TsVal {
+        match plan.ops[idx] {
+            SetOp::Leaf(slot) => ts_prim(eb, w, t, plan.set_leaves[slot as usize]),
+            SetOp::Not(c) => self.eval_set(plan, c as usize, eb, w, t).negate(),
+            SetOp::And(a, b) => {
+                let ta = self.eval_set(plan, a as usize, eb, w, t);
+                let tb = self.eval_set(plan, b as usize, eb, w, t);
+                if ta.is_active() && tb.is_active() {
+                    ta.max(tb)
+                } else {
+                    ta.min(tb)
+                }
+            }
+            SetOp::Or(a, b) => {
+                let ta = self.eval_set(plan, a as usize, eb, w, t);
+                let tb = self.eval_set(plan, b as usize, eb, w, t);
+                if ta.is_active() || tb.is_active() {
+                    ta.max(tb)
+                } else {
+                    ta.min(tb)
+                }
+            }
+            SetOp::Prec(a, b) => {
+                let tb = self.eval_set(plan, b as usize, eb, w, t);
+                match tb.activation() {
+                    Some(b_stamp) => {
+                        let ta_at_b = self.eval_set(plan, a as usize, eb, w, b_stamp);
+                        if ta_at_b.is_active() {
+                            tb
+                        } else {
+                            TsVal::inactive(t)
+                        }
+                    }
+                    None => TsVal::inactive(t),
+                }
+            }
+            SetOp::Boundary(bi) => self.eval_boundary(plan, bi as usize, eb, w, t),
+        }
+    }
+
+    /// Build (or reuse) the domain + stamp matrix for `clip`.
+    fn prepare_boundary(&mut self, bi: usize, bp: &BoundaryPlan, eb: &EventBase, clip: Window) {
+        let scr = &mut self.scratch[bi];
+        if scr.clip == Some(clip) {
+            return;
+        }
+        scr.domain = if bp.widen {
+            eb.objects_in(clip)
+        } else {
+            eb.objects_of_types_in(&bp.leaves, clip)
+        };
+        let d = scr.domain.len();
+        scr.stamps.clear();
+        scr.stamps.resize(bp.leaves.len() * d, None);
+        for (l, &ty) in bp.leaves.iter().enumerate() {
+            eb.last_of_type_objs_in(ty, &scr.domain, clip, &mut scr.stamps[l * d..(l + 1) * d]);
+        }
+        scr.clip = Some(clip);
+    }
+
+    /// §4.3 boundary evaluation over the scratchpad.
+    fn eval_boundary(
+        &mut self,
+        plan: &Plan,
+        bi: usize,
+        eb: &EventBase,
+        w: Window,
+        t: Timestamp,
+    ) -> TsVal {
+        let clip = w.clip_upto(t);
+        if let Some(&(_, _, v)) = self.scratch[bi]
+            .memo
+            .iter()
+            .find(|&&(mc, mt, _)| mc == clip && mt == t)
+        {
+            return v;
+        }
+        let bp = &plan.boundaries[bi];
+        // Negation-free components evaluate to exactly `-t` for any object
+        // without a matching occurrence up to `t`, so a *wider* domain and
+        // stamp matrix give bit-identical results — build them once per
+        // epoch over the full window and share them across every probe
+        // instant (the per-leaf `s <= t` check + point-probe fallback
+        // resolves earlier instants). Widened (negation-carrying)
+        // components gain vacuously-active members with the domain, so
+        // they must keep the exact per-instant clip.
+        let build_clip = if bp.widen {
+            clip
+        } else {
+            w.clip_upto(t.max(eb.now()))
+        };
+        self.prepare_boundary(bi, bp, eb, build_clip);
+        let ctx = InstCtx {
+            bp,
+            scr: &self.scratch[bi],
+            eb,
+            w,
+        };
+        let root = bp.ops.len() - 1;
+        let mut best: Option<TsVal> = None;
+        for j in 0..ctx.scr.domain.len() {
+            let v = ctx.eval(root, t, j);
+            best = Some(match best {
+                None => v,
+                Some(b) => b.max(v),
+            });
+        }
+        let res = if bp.inot {
+            match best {
+                // ∃ active object → inactive; nobody active → active "now"
+                Some(v) if v.is_active() => v.negate(),
+                _ => TsVal::active(t),
+            }
+        } else {
+            best.unwrap_or(TsVal::inactive(t))
+        };
+        let memo = &mut self.scratch[bi].memo;
+        if memo.len() >= BOUNDARY_MEMO_CAP {
+            memo.remove(0);
+        }
+        memo.push((clip, t, res));
+        res
+    }
+
+}
+
+/// Borrowed context for the per-object fold: the boundary's compiled
+/// shape, its prepared scratchpad, and the evaluation window.
+struct InstCtx<'a> {
+    bp: &'a BoundaryPlan,
+    scr: &'a BoundaryScratch,
+    eb: &'a EventBase,
+    w: Window,
+}
+
+impl InstCtx<'_> {
+    /// `ots` of one object over the op array and its scratchpad row.
+    fn eval(&self, idx: usize, t: Timestamp, obj: usize) -> TsVal {
+        match self.bp.ops[idx] {
+            InstOp::Leaf(slot) => {
+                let d = self.scr.domain.len();
+                match self.scr.stamps[slot as usize * d + obj] {
+                    Some(s) if s <= t => TsVal::active(s),
+                    // matrix stamp is later than the probe instant (an
+                    // inner `<=` evaluating at an earlier reference
+                    // instant): fall back to a point probe.
+                    Some(_) => match self.eb.last_of_type_obj_in(
+                        self.bp.leaves[slot as usize],
+                        self.scr.domain[obj],
+                        self.w.clip_upto(t),
+                    ) {
+                        Some(s) => TsVal::active(s),
+                        None => TsVal::inactive(t),
+                    },
+                    None => TsVal::inactive(t),
+                }
+            }
+            InstOp::Not(c) => self.eval(c as usize, t, obj).negate(),
+            InstOp::And(a, b) => {
+                let ta = self.eval(a as usize, t, obj);
+                let tb = self.eval(b as usize, t, obj);
+                if ta.is_active() && tb.is_active() {
+                    ta.max(tb)
+                } else {
+                    ta.min(tb)
+                }
+            }
+            InstOp::Or(a, b) => {
+                let ta = self.eval(a as usize, t, obj);
+                let tb = self.eval(b as usize, t, obj);
+                if ta.is_active() || tb.is_active() {
+                    ta.max(tb)
+                } else {
+                    ta.min(tb)
+                }
+            }
+            InstOp::Prec(a, b) => {
+                let tb = self.eval(b as usize, t, obj);
+                match tb.activation() {
+                    Some(b_stamp) => {
+                        let ta_at_b = self.eval(a as usize, b_stamp, obj);
+                        if ta_at_b.is_active() {
+                            tb
+                        } else {
+                            TsVal::inactive(t)
+                        }
+                    }
+                    None => TsVal::inactive(t),
+                }
+            }
+        }
+    }
+}
+
+/// Cap on the per-thread expression→plan caches; cleared wholesale when
+/// exceeded (property suites generate unbounded fresh expressions).
+const THREAD_CACHE_CAP: usize = 512;
+
+thread_local! {
+    /// Boundary-rooted plans used by the `ts_logical` / `ts_algebraic`
+    /// dispatch (one per distinct boundary subtree).
+    static BOUNDARY_PLANS: RefCell<HashMap<EventExpr, PlanEval>> = RefCell::new(HashMap::new());
+    /// Instance-compiled plans used by the `occurred` formula path.
+    static INSTANCE_PLANS: RefCell<HashMap<EventExpr, PlanEval>> = RefCell::new(HashMap::new());
+}
+
+fn with_cached<R>(
+    cache: &'static std::thread::LocalKey<RefCell<HashMap<EventExpr, PlanEval>>>,
+    expr: &EventExpr,
+    compile: impl FnOnce(&EventExpr) -> Result<PlanEval>,
+    f: impl FnOnce(&mut PlanEval) -> R,
+) -> R {
+    cache.with(|c| {
+        let mut map = c.borrow_mut();
+        if !map.contains_key(expr) {
+            let pe = compile(expr).unwrap_or_else(|e| {
+                panic!("plan compilation of a used expression failed: {e} ({expr})")
+            });
+            if map.len() >= THREAD_CACHE_CAP {
+                map.clear();
+            }
+            map.insert(expr.clone(), pe);
+        }
+        f(map.get_mut(expr).expect("just inserted"))
+    })
+}
+
+/// Evaluate a boundary-rooted (instance-oriented in set context)
+/// expression through a per-thread compiled-plan cache. This is the
+/// production path behind [`crate::ts_logical`] / [`crate::ts_algebraic`];
+/// the recursive definitions remain as [`crate::instance::boundary_ts_logical`]
+/// and [`crate::instance::boundary_ts_algebraic`] (the cross-checked
+/// references).
+pub(crate) fn boundary_ts_planned(
+    expr: &EventExpr,
+    eb: &EventBase,
+    w: Window,
+    t: Timestamp,
+) -> TsVal {
+    with_cached(&BOUNDARY_PLANS, expr, PlanEval::compile, |pe| {
+        pe.eval(eb, w, t)
+    })
+}
+
+/// `occurred(expr, X)` through the per-thread instance-plan cache.
+pub(crate) fn occurred_objects_planned(expr: &EventExpr, eb: &EventBase, w: Window) -> Vec<Oid> {
+    with_cached(
+        &INSTANCE_PLANS,
+        expr,
+        |e| Plan::compile_instance(e).map(PlanEval::new),
+        |pe| pe.active_objects(eb, w),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{boundary_ts_algebraic, boundary_ts_logical};
+    use crate::ts::{ts_logical, ts_logical_interpreted};
+    use chimera_model::ClassId;
+
+    fn et(n: u32) -> EventType {
+        EventType::external(ClassId(0), n)
+    }
+    fn p(n: u32) -> EventExpr {
+        EventExpr::prim(et(n))
+    }
+
+    fn history() -> EventBase {
+        let mut eb = EventBase::new();
+        eb.append_at(et(0), Oid(1), Timestamp(1));
+        eb.append_at(et(1), Oid(2), Timestamp(2));
+        eb.append_at(et(1), Oid(1), Timestamp(3));
+        eb.append_at(et(0), Oid(3), Timestamp(5));
+        eb.append_at(et(2), Oid(2), Timestamp(6));
+        eb.append_at(et(0), Oid(2), Timestamp(8));
+        eb.tick();
+        eb
+    }
+
+    /// The expression menu crossing every op and boundary shape.
+    fn menu() -> Vec<EventExpr> {
+        vec![
+            p(0),
+            p(0).and(p(1)),
+            p(0).or(p(1)).not(),
+            p(0).prec(p(1)),
+            p(0).iand(p(1)),
+            p(0).ior(p(1)),
+            p(0).iprec(p(1)),
+            p(0).iand(p(1)).inot(),
+            p(0).iand(p(1).inot()),
+            p(0).inot().inot(),
+            p(2).and(p(0).iprec(p(1))),
+            p(0).iprec(p(1)).or(p(2).not()),
+            p(0).iand(p(1)).prec(p(2)),
+            p(2).prec(p(0).iand(p(1))),
+        ]
+    }
+
+    #[test]
+    fn plan_matches_recursive_everywhere() {
+        let eb = history();
+        for expr in menu() {
+            let mut pe = PlanEval::compile(&expr).unwrap();
+            for wa in [0u64, 2, 5] {
+                for t in 1..=9u64 {
+                    let w = Window::new(Timestamp(wa), Timestamp(9));
+                    let want = ts_logical_interpreted(&expr, &eb, w, Timestamp(t));
+                    assert_eq!(
+                        pe.eval(&eb, w, Timestamp(t)),
+                        want,
+                        "{expr} over ({wa},9] at t{t}"
+                    );
+                    // and the cached dispatch path agrees too
+                    assert_eq!(ts_logical(&expr, &eb, w, Timestamp(t)), want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_plan_matches_both_recursive_styles() {
+        let eb = history();
+        for expr in [
+            p(0).iand(p(1)),
+            p(0).iprec(p(1)),
+            p(0).iand(p(1)).inot(),
+            p(0).ior(p(1).inot()),
+        ] {
+            let mut pe = PlanEval::compile(&expr).unwrap();
+            for t in 1..=9u64 {
+                let w = Window::from_origin(Timestamp(9));
+                let v = pe.eval(&eb, w, Timestamp(t));
+                assert_eq!(v, boundary_ts_logical(&expr, &eb, w, Timestamp(t)), "{expr}@{t}");
+                assert_eq!(v, boundary_ts_algebraic(&expr, &eb, w, Timestamp(t)), "{expr}@{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_survives_event_base_growth() {
+        let mut eb = EventBase::new();
+        let expr = p(0).iand(p(1));
+        let mut pe = PlanEval::compile(&expr).unwrap();
+        let probe = |pe: &mut PlanEval, eb: &EventBase| {
+            let w = Window::from_origin(eb.now());
+            let got = pe.eval(eb, w, eb.now());
+            assert_eq!(got, ts_logical_interpreted(&expr, eb, w, eb.now()));
+            got
+        };
+        eb.append(et(0), Oid(1));
+        assert!(!probe(&mut pe, &eb).is_active());
+        eb.append(et(1), Oid(1));
+        assert!(probe(&mut pe, &eb).is_active());
+        // repeated probes at the same epoch hit the memo
+        assert!(probe(&mut pe, &eb).is_active());
+        eb.append(et(0), Oid(2));
+        assert!(probe(&mut pe, &eb).is_active());
+        // a different event base invalidates the scratch key
+        let mut other = EventBase::new();
+        other.append(et(1), Oid(7));
+        assert!(!probe(&mut pe, &other).is_active());
+        assert!(probe(&mut pe, &eb).is_active());
+    }
+
+    #[test]
+    fn compile_rejects_invalid_expressions() {
+        assert!(Plan::compile(&p(0).and(p(1)).iand(p(2))).is_err());
+        assert!(Plan::compile(&p(0).or(p(1)).inot()).is_err());
+    }
+
+    #[test]
+    fn compiled_shapes() {
+        // A += (B <= A): 2 interned leaf slots, 5 ops (A referenced twice)
+        let plan = Plan::compile(&p(0).iand(p(1).iprec(p(0)))).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.boundaries().len(), 1);
+        let bp = &plan.boundaries()[0];
+        assert_eq!(bp.leaves(), &[et(0), et(1)]);
+        assert_eq!(bp.len(), 5);
+        assert!(!bp.inot && !bp.widen);
+        // root -= is absorbed into the flag; nested -= widens the domain
+        let plan = Plan::compile(&p(0).iand(p(1).inot()).inot()).unwrap();
+        let bp = &plan.boundaries()[0];
+        assert!(bp.inot && bp.widen);
+        assert_eq!(bp.len(), 4); // A, B, -=, +=  (root -= not an op)
+        // set mixture: two boundaries, shared set leaves interned
+        let plan = Plan::compile(&p(0).iand(p(1)).and(p(2).or(p(2)))).unwrap();
+        assert_eq!(plan.boundaries().len(), 1);
+        assert_eq!(plan.set_leaves.len(), 1); // p2 interned once
+    }
+
+    #[test]
+    fn active_objects_matches_occurred_semantics() {
+        let eb = history();
+        let w = Window::from_origin(eb.now());
+        let expr = p(0).iand(p(1));
+        let mut pe = PlanEval::new(Plan::compile_instance(&expr).unwrap());
+        // O1 has both; O2 has et1+et0 (both) ; O3 only et0
+        assert_eq!(pe.active_objects(&eb, w), vec![Oid(1), Oid(2)]);
+        let mut pe = PlanEval::new(Plan::compile_instance(&p(0).iand(p(1).inot())).unwrap());
+        assert_eq!(pe.active_objects(&eb, w), vec![Oid(3)]);
+    }
+}

@@ -104,6 +104,12 @@ pub(crate) fn ts_prim(eb: &EventBase, w: Window, t: Timestamp, ty: EventType) ->
 
 /// Logical-style evaluation of `ts(E, t)` over the window `w` of the EB.
 ///
+/// Instance-oriented sub-expressions in set context are folded in through
+/// the §4.3 boundary via a per-thread **compiled-plan cache**
+/// ([`crate::plan`]): the boundary's object domain and leaf stamps come
+/// from the event base's indexes instead of a per-call rescan. Use
+/// [`ts_logical_interpreted`] for the fully recursive reference path.
+///
 /// ```
 /// use chimera_calculus::{ts_logical, EventExpr};
 /// use chimera_events::{EventBase, EventType, Timestamp, Window};
@@ -126,12 +132,30 @@ pub(crate) fn ts_prim(eb: &EventBase, w: Window, t: Timestamp, ty: EventType) ->
 /// assert!(!ts_logical(&expr, &eb, w, eb.now()).is_active());
 /// ```
 pub fn ts_logical(expr: &EventExpr, eb: &EventBase, w: Window, t: Timestamp) -> TsVal {
+    ts_logical_mode(expr, eb, w, t, true)
+}
+
+/// [`ts_logical`] with the boundary evaluated by the *recursive* §4.3
+/// definition ([`boundary_ts_logical`]) instead of a compiled plan. This
+/// is the reference path the plan is property-tested against, and the
+/// "interpreted" side of the perf benches.
+pub fn ts_logical_interpreted(expr: &EventExpr, eb: &EventBase, w: Window, t: Timestamp) -> TsVal {
+    ts_logical_mode(expr, eb, w, t, false)
+}
+
+fn ts_logical_mode(
+    expr: &EventExpr,
+    eb: &EventBase,
+    w: Window,
+    t: Timestamp,
+    planned: bool,
+) -> TsVal {
     match expr {
         EventExpr::Prim(ty) => ts_prim(eb, w, t, *ty),
-        EventExpr::Not(e) => ts_logical(e, eb, w, t).negate(),
+        EventExpr::Not(e) => ts_logical_mode(e, eb, w, t, planned).negate(),
         EventExpr::And(a, b) => {
-            let ta = ts_logical(a, eb, w, t);
-            let tb = ts_logical(b, eb, w, t);
+            let ta = ts_logical_mode(a, eb, w, t, planned);
+            let tb = ts_logical_mode(b, eb, w, t, planned);
             if ta.is_active() && tb.is_active() {
                 ta.max(tb)
             } else {
@@ -139,8 +163,8 @@ pub fn ts_logical(expr: &EventExpr, eb: &EventBase, w: Window, t: Timestamp) -> 
             }
         }
         EventExpr::Or(a, b) => {
-            let ta = ts_logical(a, eb, w, t);
-            let tb = ts_logical(b, eb, w, t);
+            let ta = ts_logical_mode(a, eb, w, t, planned);
+            let tb = ts_logical_mode(b, eb, w, t, planned);
             if ta.is_active() || tb.is_active() {
                 ta.max(tb)
             } else {
@@ -148,11 +172,11 @@ pub fn ts_logical(expr: &EventExpr, eb: &EventBase, w: Window, t: Timestamp) -> 
             }
         }
         EventExpr::Prec(a, b) => {
-            let tb = ts_logical(b, eb, w, t);
+            let tb = ts_logical_mode(b, eb, w, t, planned);
             match tb.activation() {
                 Some(b_stamp) => {
                     // was A already active at B's last activation instant?
-                    let ta_at_b = ts_logical(a, eb, w, b_stamp);
+                    let ta_at_b = ts_logical_mode(a, eb, w, b_stamp, planned);
                     if ta_at_b.is_active() {
                         tb
                     } else {
@@ -164,38 +188,66 @@ pub fn ts_logical(expr: &EventExpr, eb: &EventBase, w: Window, t: Timestamp) -> 
         }
         // instance-oriented sub-expression in set context: §4.3 boundary.
         EventExpr::IOr(..) | EventExpr::IAnd(..) | EventExpr::IPrec(..) | EventExpr::INot(..) => {
-            boundary_ts_logical(expr, eb, w, t)
+            if planned {
+                crate::plan::boundary_ts_planned(expr, eb, w, t)
+            } else {
+                boundary_ts_logical(expr, eb, w, t)
+            }
         }
     }
 }
 
 /// Algebraic-style evaluation of `ts(E, t)` (§4.2 "AlgebraicSemantics"):
 /// the same function computed purely with `min`/`max` and `u` products.
+/// Boundaries go through the compiled-plan cache, whose values the
+/// recursive algebraic boundary is property-tested to match exactly; use
+/// [`ts_algebraic_interpreted`] for the fully recursive path.
 pub fn ts_algebraic(expr: &EventExpr, eb: &EventBase, w: Window, t: Timestamp) -> TsVal {
+    ts_algebraic_mode(expr, eb, w, t, true)
+}
+
+/// [`ts_algebraic`] with the boundary evaluated by the recursive §4.3
+/// `u`-product definition ([`boundary_ts_algebraic`]).
+pub fn ts_algebraic_interpreted(
+    expr: &EventExpr,
+    eb: &EventBase,
+    w: Window,
+    t: Timestamp,
+) -> TsVal {
+    ts_algebraic_mode(expr, eb, w, t, false)
+}
+
+fn ts_algebraic_mode(
+    expr: &EventExpr,
+    eb: &EventBase,
+    w: Window,
+    t: Timestamp,
+    planned: bool,
+) -> TsVal {
     match expr {
         EventExpr::Prim(ty) => ts_prim(eb, w, t, *ty),
-        EventExpr::Not(e) => TsVal(-ts_algebraic(e, eb, w, t).0),
+        EventExpr::Not(e) => TsVal(-ts_algebraic_mode(e, eb, w, t, planned).0),
         EventExpr::And(a, b) => {
-            let x = ts_algebraic(a, eb, w, t).0;
-            let y = ts_algebraic(b, eb, w, t).0;
+            let x = ts_algebraic_mode(a, eb, w, t, planned).0;
+            let y = ts_algebraic_mode(b, eb, w, t, planned).0;
             // min{x,y}·(1 − u(x)u(y)) + max{x,y}·u(x)u(y)
             let both = u(x) * u(y);
             TsVal(x.min(y) * (1 - both) + x.max(y) * both)
         }
         EventExpr::Or(a, b) => {
-            let x = ts_algebraic(a, eb, w, t).0;
-            let y = ts_algebraic(b, eb, w, t).0;
+            let x = ts_algebraic_mode(a, eb, w, t, planned).0;
+            let y = ts_algebraic_mode(b, eb, w, t, planned).0;
             // max{x,y}·(1 − u(−x)u(−y)) + min{x,y}·u(−x)u(−y)
             let neither = u(-x) * u(-y);
             TsVal(x.max(y) * (1 - neither) + x.min(y) * neither)
         }
         EventExpr::Prec(a, b) => {
-            let y = ts_algebraic(b, eb, w, t).0;
+            let y = ts_algebraic_mode(b, eb, w, t, planned).0;
             let g = u(y);
             // the A-at-ts(B) factor is multiplied by u(y); evaluate lazily
             // (the algebraic form's product is 0 when B is inactive).
             let z = if g == 1 {
-                ts_algebraic(a, eb, w, Timestamp(y as u64)).0
+                ts_algebraic_mode(a, eb, w, Timestamp(y as u64), planned).0
             } else {
                 -1
             };
@@ -203,7 +255,11 @@ pub fn ts_algebraic(expr: &EventExpr, eb: &EventBase, w: Window, t: Timestamp) -
             TsVal(-t.as_signed() * (1 - hit) + y * hit)
         }
         EventExpr::IOr(..) | EventExpr::IAnd(..) | EventExpr::IPrec(..) | EventExpr::INot(..) => {
-            boundary_ts_algebraic(expr, eb, w, t)
+            if planned {
+                crate::plan::boundary_ts_planned(expr, eb, w, t)
+            } else {
+                boundary_ts_algebraic(expr, eb, w, t)
+            }
         }
     }
 }

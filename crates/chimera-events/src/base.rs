@@ -1,32 +1,128 @@
 //! The Event Base: append-only occurrence log plus the §5 indexes.
 //!
 //! * the **log** itself, ordered by (strictly increasing) timestamp;
-//! * the **Occurred Events tree** of §5: for every event type, the list of
-//!   its occurrences, whose last element is the most recent stamp — this
-//!   answers `ts(primitive, t)` with one hash lookup + binary search;
+//! * the **Occurred Events tree** of §5: for every event type, a column of
+//!   its occurrences — parallel `(position, stamp, oid)` vectors whose last
+//!   element is the most recent stamp — this answers `ts(primitive, t)`
+//!   with one hash lookup + binary search, without touching the log;
 //! * a **per-(type, object) index** supporting `ots(primitive, t, oid)`
 //!   (the paper keeps an equivalent sparse per-rule structure; indexing the
 //!   EB once is strictly more general and lets every rule share it);
 //! * a **per-object index** used to enumerate the objects affected inside
-//!   a window (the `oid ∈ R` quantification of §4.3).
+//!   a window (the `oid ∈ R` quantification of §4.3);
+//! * an **epoch-versioned object-domain cache**: the §4.3 quantification
+//!   domains (`objects_in` / `objects_of_types_in`) are kept as sorted
+//!   snapshots that are *extended* when the window's upper bound or the
+//!   log grows, instead of being rebuilt (collect → sort → dedup) on
+//!   every evaluation. Queries return shared `Arc<[Oid]>` slices, so the
+//!   hot instance-oriented boundary path is allocation-free after the
+//!   first evaluation of a window.
+//!
+//! The cache sits behind a `Mutex` so all read paths keep taking `&self`;
+//! the lock is uncontended in the single-engine case and held only for
+//! the duration of a lookup/extension.
 
 use crate::event::{EventId, EventOccurrence, EventType};
 use crate::time::{LogicalClock, Timestamp};
 use crate::window::Window;
 use chimera_model::Oid;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One Occurred-Events leaf: parallel columns of the occurrences of a
+/// single event type, in timestamp (= append) order.
+#[derive(Debug, Default, Clone)]
+struct TypeCol {
+    /// Positions into the log.
+    pos: Vec<u32>,
+    /// Stamps, mirroring `pos` (binary-searchable without log derefs).
+    ts: Vec<Timestamp>,
+    /// Affected objects, mirroring `pos`.
+    oid: Vec<Oid>,
+}
+
+impl TypeCol {
+    fn push(&mut self, pos: u32, ts: Timestamp, oid: Oid) {
+        self.pos.push(pos);
+        self.ts.push(ts);
+        self.oid.push(oid);
+    }
+
+    /// Index range of the occurrences falling inside `w`.
+    fn range_in(&self, w: Window) -> std::ops::Range<usize> {
+        if w.is_degenerate() {
+            return 0..0;
+        }
+        let lo = self.ts.partition_point(|&t| t <= w.after);
+        let hi = self.ts.partition_point(|&t| t <= w.upto);
+        lo..hi
+    }
+}
+
+/// One cached quantification domain: the distinct objects affected inside
+/// `(after, upto]` by the given types (empty type list = any type), kept
+/// sorted and extended in place as `upto` advances with the clock.
+#[derive(Debug)]
+struct DomainEntry {
+    /// Restricting event types; empty means "all types" (`objects_in`).
+    types: Box<[EventType]>,
+    after: Timestamp,
+    /// Upper bound the entry has been scanned up to.
+    upto: Timestamp,
+    /// Sorted distinct OIDs.
+    set: Vec<Oid>,
+    /// Shared snapshot handed to callers (rebuilt only when `set` grows).
+    snapshot: Arc<[Oid]>,
+}
+
+/// The epoch-versioned domain cache. Epochs are implicit: the log is
+/// append-only with strictly increasing stamps, so an entry scanned up to
+/// stamp `upto` is extended by scanning exactly the occurrences in
+/// `(upto, w.upto]` — no generation counters needed for correctness; the
+/// [`EventBase::epoch`] counter exists for *callers* that memoize values
+/// derived from the EB.
+#[derive(Debug, Default)]
+struct DomainCache {
+    entries: Vec<DomainEntry>,
+}
+
+/// Bound on live cached domains (distinct `(types, after)` pairs); each
+/// rule/window contributes one, so this is generous. Oldest-first eviction.
+const DOMAIN_CACHE_CAP: usize = 32;
+
+static EB_UID: AtomicU64 = AtomicU64::new(1);
 
 /// The event base (EB).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventBase {
     log: Vec<EventOccurrence>,
     clock: LogicalClock,
-    /// Occurred-Events tree leaves: per-type positions into `log`.
-    type_index: HashMap<EventType, Vec<u32>>,
+    /// Process-unique identity, so external memoizers can key on
+    /// `(uid, epoch)` without being fooled by address reuse.
+    uid: u64,
+    /// Occurred-Events tree leaves: per-type occurrence columns.
+    type_index: HashMap<EventType, TypeCol>,
     /// Instance-oriented leaves: per-(type, object) positions into `log`.
     type_obj_index: HashMap<(EventType, Oid), Vec<u32>>,
     /// Per-object positions into `log`.
     obj_index: HashMap<Oid, Vec<u32>>,
+    /// §4.3 quantification-domain cache.
+    domains: Mutex<DomainCache>,
+}
+
+impl Default for EventBase {
+    fn default() -> Self {
+        EventBase {
+            log: Vec::new(),
+            clock: LogicalClock::default(),
+            uid: EB_UID.fetch_add(1, Ordering::Relaxed),
+            type_index: HashMap::new(),
+            type_obj_index: HashMap::new(),
+            obj_index: HashMap::new(),
+            domains: Mutex::new(DomainCache::default()),
+        }
+    }
 }
 
 impl EventBase {
@@ -43,6 +139,20 @@ impl EventBase {
     /// Is the log empty?
     pub fn is_empty(&self) -> bool {
         self.log.is_empty()
+    }
+
+    /// Process-unique identity of this event base (stable for its
+    /// lifetime, never reused within the process).
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Version counter for memoization: changes exactly when the set of
+    /// recorded occurrences changes (clock ticks do not affect any value
+    /// derived from the EB at a fixed instant). Key external caches on
+    /// `(uid, epoch)`.
+    pub fn epoch(&self) -> u64 {
+        self.log.len() as u64
     }
 
     /// Current logical time (stamp of the most recent occurrence).
@@ -87,7 +197,7 @@ impl EventBase {
             ts,
         };
         self.log.push(occ);
-        self.type_index.entry(ty).or_default().push(pos);
+        self.type_index.entry(ty).or_default().push(pos, ts, oid);
         self.type_obj_index.entry((ty, oid)).or_default().push(pos);
         self.obj_index.entry(oid).or_default().push(pos);
         occ
@@ -127,7 +237,8 @@ impl EventBase {
         self.slice(w).len()
     }
 
-    /// Positions (into the log) of `ty` occurrences, restricted to `w`.
+    /// Positions (into the log) of occurrences in an auxiliary position
+    /// index, restricted to `w`.
     fn positions_in<'a>(&'a self, index: Option<&'a Vec<u32>>, w: Window) -> &'a [u32] {
         let Some(v) = index else { return &[] };
         if w.is_degenerate() {
@@ -141,16 +252,24 @@ impl EventBase {
     /// Stamp of the most recent occurrence of `ty` inside `w`
     /// (the §4.2 `t_E` lookup). `None` means no occurrence in `w`.
     pub fn last_of_type_in(&self, ty: EventType, w: Window) -> Option<Timestamp> {
-        self.positions_in(self.type_index.get(&ty), w)
-            .last()
-            .map(|&p| self.log[p as usize].ts)
+        let col = self.type_index.get(&ty)?;
+        let r = col.range_in(w);
+        if r.is_empty() {
+            None
+        } else {
+            Some(col.ts[r.end - 1])
+        }
     }
 
     /// Stamp of the *first* occurrence of `ty` inside `w`.
     pub fn first_of_type_in(&self, ty: EventType, w: Window) -> Option<Timestamp> {
-        self.positions_in(self.type_index.get(&ty), w)
-            .first()
-            .map(|&p| self.log[p as usize].ts)
+        let col = self.type_index.get(&ty)?;
+        let r = col.range_in(w);
+        if r.is_empty() {
+            None
+        } else {
+            Some(col.ts[r.start])
+        }
     }
 
     /// All occurrences of `ty` inside `w`, in timestamp order.
@@ -159,9 +278,15 @@ impl EventBase {
         ty: EventType,
         w: Window,
     ) -> impl Iterator<Item = &EventOccurrence> {
-        self.positions_in(self.type_index.get(&ty), w)
-            .iter()
-            .map(|&p| &self.log[p as usize])
+        let (col, r) = match self.type_index.get(&ty) {
+            Some(col) => {
+                let r = col.range_in(w);
+                (Some(col), r)
+            }
+            None => (None, 0..0),
+        };
+        col.into_iter()
+            .flat_map(move |c| c.pos[r.clone()].iter().map(|&p| &self.log[p as usize]))
     }
 
     /// Stamp of the most recent occurrence of `ty` on `oid` inside `w`
@@ -170,6 +295,43 @@ impl EventBase {
         self.positions_in(self.type_obj_index.get(&(ty, oid)), w)
             .last()
             .map(|&p| self.log[p as usize].ts)
+    }
+
+    /// Batched §4.3 leaf lookup: resolve the most recent `ty` stamp inside
+    /// `w` for *every* object of a sorted domain in a single reverse sweep
+    /// over the type's occurrence column, instead of one hash probe +
+    /// binary search per `(type, oid)` pair. `out[i]` receives the stamp
+    /// for `oids[i]` (callers pass a `None`-filled scratch slice).
+    ///
+    /// Cost: `O(K log D)` for `K` in-window occurrences of the type and a
+    /// domain of `D` objects, with an early exit once every object is
+    /// resolved.
+    pub fn last_of_type_objs_in(
+        &self,
+        ty: EventType,
+        oids: &[Oid],
+        w: Window,
+        out: &mut [Option<Timestamp>],
+    ) {
+        debug_assert_eq!(oids.len(), out.len());
+        debug_assert!(oids.windows(2).all(|p| p[0] < p[1]), "domain must be sorted");
+        let Some(col) = self.type_index.get(&ty) else {
+            return;
+        };
+        let r = col.range_in(w);
+        let mut unresolved = oids.len();
+        for i in r.rev() {
+            let Ok(j) = oids.binary_search(&col.oid[i]) else {
+                continue;
+            };
+            if out[j].is_none() {
+                out[j] = Some(col.ts[i]);
+                unresolved -= 1;
+                if unresolved == 0 {
+                    break;
+                }
+            }
+        }
     }
 
     /// All occurrences of `ty` on `oid` inside `w`, in timestamp order.
@@ -185,27 +347,98 @@ impl EventBase {
     }
 
     /// Distinct objects affected by any occurrence inside `w`, sorted.
-    pub fn objects_in(&self, w: Window) -> Vec<Oid> {
-        let mut oids: Vec<Oid> = self.slice(w).iter().map(|e| e.oid).collect();
-        oids.sort();
-        oids.dedup();
-        oids
+    ///
+    /// Served from the epoch-versioned domain cache: the first query for a
+    /// window scans and sorts; later queries with the same lower bound
+    /// only scan occurrences newer than the previous upper bound and
+    /// otherwise return the shared snapshot unchanged.
+    pub fn objects_in(&self, w: Window) -> Arc<[Oid]> {
+        self.domain_query(&[], w)
     }
 
     /// Distinct objects affected inside `w` by occurrences of any of the
     /// given types, sorted. This is the `oid ∈ R` domain restricted to the
     /// primitives of one expression — the useful quantification domain for
-    /// instance-oriented evaluation.
-    pub fn objects_of_types_in(&self, types: &[EventType], w: Window) -> Vec<Oid> {
-        let mut oids = Vec::new();
-        for ty in types {
-            for &p in self.positions_in(self.type_index.get(ty), w) {
-                oids.push(self.log[p as usize].oid);
+    /// instance-oriented evaluation. Cached like [`EventBase::objects_in`].
+    pub fn objects_of_types_in(&self, types: &[EventType], w: Window) -> Arc<[Oid]> {
+        debug_assert!(!types.is_empty(), "empty type list denotes `objects_in`");
+        self.domain_query(types, w)
+    }
+
+    /// Collect the distinct sorted OIDs for `(types, w)` from scratch.
+    fn domain_scan(&self, types: &[EventType], w: Window) -> Vec<Oid> {
+        let mut oids: Vec<Oid> = if types.is_empty() {
+            self.slice(w).iter().map(|e| e.oid).collect()
+        } else {
+            let mut v = Vec::new();
+            for ty in types {
+                if let Some(col) = self.type_index.get(ty) {
+                    v.extend_from_slice(&col.oid[col.range_in(w)]);
+                }
             }
-        }
-        oids.sort();
+            v
+        };
+        oids.sort_unstable();
         oids.dedup();
         oids
+    }
+
+    fn domain_query(&self, types: &[EventType], w: Window) -> Arc<[Oid]> {
+        if w.is_degenerate() {
+            return Arc::from(Vec::new());
+        }
+        // An entry only ever covers stamps that exist: recording a bound
+        // beyond the clock would make occurrences appended later (with
+        // stamps still inside `w`) permanently invisible to the snapshot.
+        let covered = w.upto.min(self.now());
+        let mut cache = self.domains.lock().expect("domain cache poisoned");
+        if let Some(entry) = cache
+            .entries
+            .iter_mut()
+            .find(|e| e.after == w.after && *e.types == *types)
+        {
+            if covered >= entry.upto {
+                // extend by the occurrences in (entry.upto, covered] only
+                let fresh = Window::new(entry.upto, covered);
+                let mut grew = false;
+                if !fresh.is_degenerate() {
+                    if types.is_empty() {
+                        for e in self.slice(fresh) {
+                            grew |= insert_sorted(&mut entry.set, e.oid);
+                        }
+                    } else {
+                        for ty in types {
+                            if let Some(col) = self.type_index.get(ty) {
+                                for &oid in &col.oid[col.range_in(fresh)] {
+                                    grew |= insert_sorted(&mut entry.set, oid);
+                                }
+                            }
+                        }
+                    }
+                }
+                entry.upto = covered;
+                if grew {
+                    entry.snapshot = Arc::from(entry.set.as_slice());
+                }
+                return entry.snapshot.clone();
+            }
+            // shrunken upper bound (e.g. a precedence operand evaluated at
+            // an earlier instant): serve uncached, keep the wider entry.
+            return Arc::from(self.domain_scan(types, w));
+        }
+        let set = self.domain_scan(types, w);
+        let snapshot: Arc<[Oid]> = Arc::from(set.as_slice());
+        if cache.entries.len() >= DOMAIN_CACHE_CAP {
+            cache.entries.remove(0);
+        }
+        cache.entries.push(DomainEntry {
+            types: types.into(),
+            after: w.after,
+            upto: covered,
+            set,
+            snapshot: snapshot.clone(),
+        });
+        snapshot
     }
 
     /// All occurrences affecting `oid` inside `w`, in timestamp order.
@@ -222,10 +455,18 @@ impl EventBase {
     /// Most recent stamp per type leaf (§5: "each leaf keeps the time stamp
     /// of the more recent occurrence of the associated event type").
     pub fn leaf_last_stamp(&self, ty: EventType) -> Option<Timestamp> {
-        self.type_index
-            .get(&ty)
-            .and_then(|v| v.last())
-            .map(|&p| self.log[p as usize].ts)
+        self.type_index.get(&ty).and_then(|c| c.ts.last().copied())
+    }
+}
+
+/// Insert into a sorted vec, returning whether the value was new.
+fn insert_sorted(v: &mut Vec<Oid>, oid: Oid) -> bool {
+    match v.binary_search(&oid) {
+        Ok(_) => false,
+        Err(i) => {
+            v.insert(i, oid);
+            true
+        }
     }
 }
 
@@ -315,20 +556,113 @@ mod tests {
     }
 
     #[test]
+    fn batched_lookup_matches_single_probes() {
+        let mut eb = EventBase::new();
+        eb.append_at(ty(0), Oid(3), Timestamp(1));
+        eb.append_at(ty(0), Oid(1), Timestamp(2));
+        eb.append_at(ty(1), Oid(2), Timestamp(3));
+        eb.append_at(ty(0), Oid(3), Timestamp(4));
+        eb.append_at(ty(0), Oid(2), Timestamp(5));
+        for w in [
+            Window::from_origin(Timestamp(5)),
+            Window::new(Timestamp(2), Timestamp(4)),
+            Window::new(Timestamp(5), Timestamp(5)),
+        ] {
+            let dom = [Oid(1), Oid(2), Oid(3), Oid(9)];
+            let mut out = vec![None; dom.len()];
+            eb.last_of_type_objs_in(ty(0), &dom, w, &mut out);
+            for (i, &oid) in dom.iter().enumerate() {
+                assert_eq!(
+                    out[i],
+                    eb.last_of_type_obj_in(ty(0), oid, w),
+                    "oid {oid} in {w:?}"
+                );
+            }
+        }
+        // absent type leaves the scratch untouched
+        let mut out = vec![None; 2];
+        eb.last_of_type_objs_in(ty(9), &[Oid(1), Oid(2)], Window::from_origin(Timestamp(5)), &mut out);
+        assert_eq!(out, vec![None, None]);
+    }
+
+    #[test]
     fn object_enumeration() {
         let mut eb = EventBase::new();
         eb.append_at(ty(0), Oid(3), Timestamp(1));
         eb.append_at(ty(1), Oid(1), Timestamp(2));
         eb.append_at(ty(0), Oid(3), Timestamp(3));
         let all = Window::from_origin(Timestamp(10));
-        assert_eq!(eb.objects_in(all), vec![Oid(1), Oid(3)]);
-        assert_eq!(eb.objects_of_types_in(&[ty(0)], all), vec![Oid(3)]);
+        assert_eq!(eb.objects_in(all).to_vec(), vec![Oid(1), Oid(3)]);
+        assert_eq!(eb.objects_of_types_in(&[ty(0)], all).to_vec(), vec![Oid(3)]);
         assert_eq!(
-            eb.objects_of_types_in(&[ty(0), ty(1)], all),
+            eb.objects_of_types_in(&[ty(0), ty(1)], all).to_vec(),
             vec![Oid(1), Oid(3)]
         );
         let later = Window::new(Timestamp(2), Timestamp(10));
-        assert_eq!(eb.objects_in(later), vec![Oid(3)]);
+        assert_eq!(eb.objects_in(later).to_vec(), vec![Oid(3)]);
+    }
+
+    #[test]
+    fn domain_cache_extends_instead_of_rebuilding() {
+        let mut eb = EventBase::new();
+        eb.append_at(ty(0), Oid(2), Timestamp(1));
+        let w1 = Window::from_origin(Timestamp(1));
+        let first = eb.objects_in(w1);
+        assert_eq!(first.to_vec(), vec![Oid(2)]);
+        // same window again: the very same snapshot allocation is reused
+        let again = eb.objects_in(w1);
+        assert!(Arc::ptr_eq(&first, &again));
+        // new arrivals + advanced upper bound: extended, not rebuilt
+        eb.append_at(ty(1), Oid(1), Timestamp(2));
+        eb.append_at(ty(0), Oid(2), Timestamp(3));
+        let w2 = Window::from_origin(Timestamp(3));
+        assert_eq!(eb.objects_in(w2).to_vec(), vec![Oid(1), Oid(2)]);
+        // an advanced bound with no new arrivals keeps the snapshot shared
+        let w3 = Window::from_origin(Timestamp(9));
+        let a = eb.objects_in(w3);
+        let b = eb.objects_in(w3);
+        assert!(Arc::ptr_eq(&a, &b));
+        // shrunken upper bound still answers correctly (uncached path)
+        assert_eq!(eb.objects_in(w1).to_vec(), vec![Oid(2)]);
+        // per-type domains are cached independently
+        let t_dom = eb.objects_of_types_in(&[ty(1)], w3);
+        assert_eq!(t_dom.to_vec(), vec![Oid(1)]);
+        assert!(Arc::ptr_eq(
+            &t_dom,
+            &eb.objects_of_types_in(&[ty(1)], w3)
+        ));
+    }
+
+    #[test]
+    fn domain_cache_sees_appends_after_future_bound_query() {
+        // regression: querying a window whose upper bound is beyond the
+        // clock must not freeze the cached snapshot at that bound.
+        let mut eb = EventBase::new();
+        eb.append_at(ty(0), Oid(1), Timestamp(1));
+        let w = Window::from_origin(Timestamp(9)); // upto > now
+        assert_eq!(eb.objects_in(w).to_vec(), vec![Oid(1)]);
+        eb.append_at(ty(0), Oid(2), Timestamp(2));
+        assert_eq!(eb.objects_in(w).to_vec(), vec![Oid(1), Oid(2)]);
+        // per-type variant too
+        let wt = Window::from_origin(Timestamp(9));
+        assert_eq!(eb.objects_of_types_in(&[ty(0)], wt).to_vec(), vec![Oid(1), Oid(2)]);
+        eb.append_at(ty(0), Oid(3), Timestamp(5));
+        assert_eq!(
+            eb.objects_of_types_in(&[ty(0)], wt).to_vec(),
+            vec![Oid(1), Oid(2), Oid(3)]
+        );
+    }
+
+    #[test]
+    fn uid_and_epoch_track_identity_and_appends() {
+        let mut a = EventBase::new();
+        let b = EventBase::new();
+        assert_ne!(a.uid(), b.uid());
+        assert_eq!(a.epoch(), 0);
+        a.append(ty(0), Oid(1));
+        assert_eq!(a.epoch(), 1);
+        a.tick(); // ticks do not change derived values ⇒ not an epoch bump
+        assert_eq!(a.epoch(), 1);
     }
 
     #[test]

@@ -148,7 +148,7 @@ mod tests {
             eb.last_of_type_obj_in(EventType::modify(stock, q), Oid(1), all),
             Some(Timestamp(5))
         );
-        assert_eq!(eb.objects_in(all), vec![Oid(1), Oid(2), Oid(3)]);
+        assert_eq!(eb.objects_in(all).to_vec(), vec![Oid(1), Oid(2), Oid(3)]);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::time::Timestamp;
 
 /// Half-open time interval `(after, upto]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Window {
     /// Exclusive lower bound (events strictly newer than this are in `R`).
     pub after: Timestamp,

@@ -19,6 +19,12 @@
 //! * `rollback` undoes all store changes and resets rule state.
 //!
 //! A configurable step limit guards against non-terminating cascades.
+//!
+//! Event expressions are never re-interpreted on the hot path: every rule
+//! carries one compiled evaluation plan (`chimera_calculus::plan`) in its
+//! rule-table state, through which the Trigger Support evaluates all `ts`
+//! probes, and the `occurred`/`at` condition formulas evaluate through a
+//! per-expression compiled-plan cache of the same module.
 
 use crate::action_exec::execute_actions;
 use crate::error::ExecError;

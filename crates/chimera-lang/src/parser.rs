@@ -224,11 +224,11 @@ impl Parser {
     fn value_literal(&mut self) -> Result<Value> {
         match self.bump() {
             TokenKind::Int(v) => Ok(Value::Int(v)),
-            TokenKind::Float(v) => Ok(Value::Float(v)),
+            TokenKind::Float(v) => Ok(Value::float(v)),
             TokenKind::Str(s) => Ok(Value::Str(s)),
             TokenKind::Minus => match self.bump() {
                 TokenKind::Int(v) => Ok(Value::Int(-v)),
-                TokenKind::Float(v) => Ok(Value::Float(-v)),
+                TokenKind::Float(v) => Ok(Value::float(-v)),
                 other => Err(self.err(format!("expected number after `-`, found {other}"))),
             },
             TokenKind::Ident(s) if s == "true" => Ok(Value::Bool(true)),

@@ -32,7 +32,7 @@ pub use ids::{AttrId, ClassId, Oid};
 pub use object::Object;
 pub use schema::{AttrDef, ClassDef, Schema, SchemaBuilder};
 pub use store::{Mutation, MutationKind, ObjectStore, TxnStatus};
-pub use value::{AttrType, Value};
+pub use value::{AttrType, TotalF64, Value};
 
 /// Crate-level result alias.
 pub type Result<T> = std::result::Result<T, ModelError>;

@@ -8,7 +8,7 @@ use crate::value::Value;
 /// The attribute vector layout matches the object's *current* class
 /// ([`crate::Schema`] guarantees inherited slots come first), so
 /// `specialize` extends the vector and `generalize` truncates it.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Object {
     /// Immutable object identity.
     pub oid: Oid,

@@ -38,19 +38,108 @@ impl fmt::Display for AttrType {
     }
 }
 
+/// An `f64` with **bitwise** `Eq`/`Ord`/`Hash` (IEEE-754 `totalOrder`).
+///
+/// The repo-wide float policy: *container equality is representation
+/// equality*. Derived `PartialEq` on a bare `f64` follows IEEE semantics,
+/// making any container holding a NaN unequal to itself — which broke WAL
+/// round-trip assertions and forbids keying caches or indexes on values.
+/// `TotalF64` compares and hashes by bit pattern (`-0.0 < +0.0`, NaNs
+/// ordered by payload), so [`Value`] is `Eq + Ord + Hash` throughout.
+///
+/// *Predicate* comparison semantics are unchanged: condition predicates go
+/// through [`Value::compare`], which still uses IEEE `partial_cmp` and
+/// therefore still fails on NaN operands.
+#[derive(Debug, Clone, Copy)]
+pub struct TotalF64(f64);
+
+impl TotalF64 {
+    /// Wrap a float.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        TotalF64(v)
+    }
+
+    /// The wrapped float.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Raw bit pattern (the equality/hash key).
+    #[inline]
+    pub fn to_bits(self) -> u64 {
+        self.0.to_bits()
+    }
+
+    /// Reconstruct from a bit pattern (exact round-trip, NaNs included).
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        TotalF64(f64::from_bits(bits))
+    }
+}
+
+impl PartialEq for TotalF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    /// IEEE-754 `totalOrder`: consistent with bitwise equality.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for TotalF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Display for TotalF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<f64> for TotalF64 {
+    fn from(v: f64) -> Self {
+        TotalF64(v)
+    }
+}
+impl From<TotalF64> for f64 {
+    fn from(v: TotalF64) -> f64 {
+        v.0
+    }
+}
+
 /// Runtime attribute value.
 ///
 /// `Null` is the default for attributes without an explicit default value;
 /// comparisons against `Null` are always false (three-valued logic is not
 /// needed for the paper's examples, so predicates simply fail on `Null`).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Value` is `Eq + Ord + Hash` so caches and indexes can key on it;
+/// floats follow the bitwise [`TotalF64`] policy (the derived `Ord` is the
+/// structural variant-then-payload order, *not* the predicate comparison —
+/// that remains [`Value::compare`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// Absent value.
     Null,
     /// Integer value.
     Int(i64),
-    /// Float value.
-    Float(f64),
+    /// Float value (bitwise equality/order/hash; see [`TotalF64`]).
+    Float(TotalF64),
     /// String value.
     Str(String),
     /// Boolean value.
@@ -62,6 +151,12 @@ pub enum Value {
 }
 
 impl Value {
+    /// Float value from a bare `f64`.
+    #[inline]
+    pub fn float(v: f64) -> Self {
+        Value::Float(TotalF64::new(v))
+    }
+
     /// Does this value conform to `ty`? `Null` conforms to every type.
     pub fn conforms_to(&self, ty: AttrType) -> bool {
         matches!(
@@ -104,9 +199,10 @@ impl Value {
         match (self, other) {
             (Value::Null, _) | (_, Value::Null) => None,
             (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
-            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
-            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
-            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            // predicates keep IEEE semantics: NaN operands are incomparable
+            (Value::Float(a), Value::Float(b)) => a.get().partial_cmp(&b.get()),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(&b.get()),
+            (Value::Float(a), Value::Int(b)) => a.get().partial_cmp(&(*b as f64)),
             (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
             (Value::Time(a), Value::Time(b)) => Some(a.cmp(b)),
@@ -124,9 +220,9 @@ impl Value {
     pub fn add(&self, other: &Value) -> Option<Value> {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => Some(Value::Int(a.wrapping_add(*b))),
-            (Value::Float(a), Value::Float(b)) => Some(Value::Float(a + b)),
-            (Value::Int(a), Value::Float(b)) => Some(Value::Float(*a as f64 + b)),
-            (Value::Float(a), Value::Int(b)) => Some(Value::Float(a + *b as f64)),
+            (Value::Float(a), Value::Float(b)) => Some(Value::float(a.get() + b.get())),
+            (Value::Int(a), Value::Float(b)) => Some(Value::float(*a as f64 + b.get())),
+            (Value::Float(a), Value::Int(b)) => Some(Value::float(a.get() + *b as f64)),
             _ => None,
         }
     }
@@ -135,9 +231,9 @@ impl Value {
     pub fn sub(&self, other: &Value) -> Option<Value> {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => Some(Value::Int(a.wrapping_sub(*b))),
-            (Value::Float(a), Value::Float(b)) => Some(Value::Float(a - b)),
-            (Value::Int(a), Value::Float(b)) => Some(Value::Float(*a as f64 - b)),
-            (Value::Float(a), Value::Int(b)) => Some(Value::Float(a - *b as f64)),
+            (Value::Float(a), Value::Float(b)) => Some(Value::float(a.get() - b.get())),
+            (Value::Int(a), Value::Float(b)) => Some(Value::float(*a as f64 - b.get())),
+            (Value::Float(a), Value::Int(b)) => Some(Value::float(a.get() - *b as f64)),
             _ => None,
         }
     }
@@ -146,9 +242,9 @@ impl Value {
     pub fn mul(&self, other: &Value) -> Option<Value> {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => Some(Value::Int(a.wrapping_mul(*b))),
-            (Value::Float(a), Value::Float(b)) => Some(Value::Float(a * b)),
-            (Value::Int(a), Value::Float(b)) => Some(Value::Float(*a as f64 * b)),
-            (Value::Float(a), Value::Int(b)) => Some(Value::Float(a * *b as f64)),
+            (Value::Float(a), Value::Float(b)) => Some(Value::float(a.get() * b.get())),
+            (Value::Int(a), Value::Float(b)) => Some(Value::float(*a as f64 * b.get())),
+            (Value::Float(a), Value::Int(b)) => Some(Value::float(a.get() * *b as f64)),
             _ => None,
         }
     }
@@ -175,7 +271,7 @@ impl From<i64> for Value {
 }
 impl From<f64> for Value {
     fn from(v: f64) -> Self {
-        Value::Float(v)
+        Value::float(v)
     }
 }
 impl From<&str> for Value {
@@ -233,11 +329,11 @@ mod tests {
     #[test]
     fn numeric_cross_comparison() {
         assert_eq!(
-            Value::Int(2).compare(&Value::Float(2.5)),
+            Value::Int(2).compare(&Value::float(2.5)),
             Some(Ordering::Less)
         );
         assert_eq!(
-            Value::Float(3.0).compare(&Value::Int(3)),
+            Value::float(3.0).compare(&Value::Int(3)),
             Some(Ordering::Equal)
         );
     }
@@ -252,8 +348,8 @@ mod tests {
     fn arithmetic() {
         assert_eq!(Value::Int(2).add(&Value::Int(3)), Some(Value::Int(5)));
         assert_eq!(
-            Value::Int(2).add(&Value::Float(0.5)),
-            Some(Value::Float(2.5))
+            Value::Int(2).add(&Value::float(0.5)),
+            Some(Value::float(2.5))
         );
         assert_eq!(Value::Int(7).sub(&Value::Int(2)), Some(Value::Int(5)));
         assert_eq!(Value::Int(3).mul(&Value::Int(4)), Some(Value::Int(12)));
@@ -267,6 +363,42 @@ mod tests {
         assert_eq!(Value::Time(4).to_string(), "t4");
         assert_eq!(Value::Ref(Oid(2)).to_string(), "o2");
         assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn total_float_policy_is_reflexive_and_hashable() {
+        let nan = Value::float(f64::NAN);
+        // container equality is representation equality — NaN == NaN
+        assert_eq!(nan, nan.clone());
+        // distinct NaN payloads are distinct values
+        assert_ne!(
+            Value::Float(TotalF64::from_bits(0x7ff8_0000_0000_0001)),
+            Value::Float(TotalF64::from_bits(0x7ff8_0000_0000_0002))
+        );
+        // -0.0 and +0.0 are distinct representations, ordered
+        assert_ne!(Value::float(-0.0), Value::float(0.0));
+        assert!(TotalF64::new(-0.0) < TotalF64::new(0.0));
+        // but predicates keep IEEE semantics
+        assert!(Value::float(-0.0).predicate_eq(&Value::float(0.0)));
+        assert!(!nan.predicate_eq(&nan));
+        // values key hash maps (the point of the policy)
+        let mut m = std::collections::HashMap::new();
+        m.insert(nan.clone(), 1);
+        m.insert(Value::Str("k".into()), 2);
+        assert_eq!(m.get(&nan), Some(&1));
+        // and BTree maps via the structural Ord
+        let mut b = std::collections::BTreeMap::new();
+        b.insert(nan.clone(), 1);
+        assert_eq!(b.get(&nan), Some(&1));
+    }
+
+    #[test]
+    fn total_float_round_trips_bits() {
+        for bits in [0u64, 1, 0x8000_0000_0000_0000, 0x7ff8_dead_beef_0001] {
+            assert_eq!(TotalF64::from_bits(bits).to_bits(), bits);
+        }
+        assert_eq!(f64::from(TotalF64::new(2.5)), 2.5);
+        assert_eq!(TotalF64::from(2.5).get(), 2.5);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! a reproduction repository than a binary layout.
 
 use crate::{PersistError, Result};
-use chimera_model::{ClassId, Object, Oid, Value};
+use chimera_model::{ClassId, Object, Oid, TotalF64, Value};
 use std::fmt::Write as _;
 
 /// Encode one value as a single token (no whitespace/comma/newline).
@@ -35,7 +35,7 @@ pub fn decode_value(tok: &str) -> Result<Value> {
     match tag {
         "i" => body.parse().map(Value::Int).map_err(|_| bad()),
         "f" => u64::from_str_radix(body, 16)
-            .map(|bits| Value::Float(f64::from_bits(bits)))
+            .map(|bits| Value::Float(TotalF64::from_bits(bits)))
             .map_err(|_| bad()),
         "s" => unescape(body).map(Value::Str),
         "b" => match body {
@@ -161,14 +161,14 @@ mod tests {
     #[test]
     fn float_round_trips_exactly() {
         for x in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, f64::INFINITY, -1.0e300] {
-            let Value::Float(y) = decode_value(&encode_value(&Value::Float(x))).unwrap() else {
+            let Value::Float(y) = decode_value(&encode_value(&Value::float(x))).unwrap() else {
                 panic!("float expected");
             };
             assert_eq!(x.to_bits(), y.to_bits());
         }
         // NaN keeps its bit pattern too
         let nan = f64::from_bits(0x7ff8_0000_0000_1234);
-        let Value::Float(y) = decode_value(&encode_value(&Value::Float(nan))).unwrap() else {
+        let Value::Float(y) = decode_value(&encode_value(&Value::float(nan))).unwrap() else {
             panic!("float expected");
         };
         assert_eq!(nan.to_bits(), y.to_bits());

@@ -27,7 +27,7 @@ use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 /// One redo record.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RedoRecord {
     /// Object is live with this exact post-state.
     Put(Object),
@@ -36,7 +36,7 @@ pub enum RedoRecord {
 }
 
 /// One committed transaction's worth of redo.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RedoBatch {
     /// Commit sequence number (1-based, dense).
     pub seq: u64,

@@ -15,7 +15,7 @@
 
 use crate::modes::CouplingMode;
 use crate::trigger::{probe_instants, RuleState, TriggerDef};
-use chimera_calculus::ts_logical;
+use chimera_calculus::EventExpr;
 use chimera_events::{EventBase, EventType, Timestamp, Window};
 use std::collections::HashMap;
 use std::fmt;
@@ -202,6 +202,9 @@ pub struct SupportStats {
     pub skipped_by_filter: u64,
     /// Individual `ts` probe evaluations performed.
     pub ts_probes: u64,
+    /// `ts` probes answered from the per-epoch cross-rule memo instead of
+    /// being evaluated (rules sharing an expression and a window).
+    pub probe_memo_hits: u64,
 }
 
 /// The §5 Trigger Support: determines newly activated rules after a block.
@@ -211,6 +214,14 @@ pub struct TriggerSupport {
     pub use_relevance_filter: bool,
     /// Work counters (monotonic; reset with [`TriggerSupport::reset_stats`]).
     pub stats: SupportStats,
+    /// Cross-rule `ts`-probe memo: witness results keyed by expression,
+    /// then `(window.after, instant)`, valid for one EB epoch. Rules
+    /// sharing an expression and a consideration point (the common case
+    /// after a batch arrival) evaluate each probe once; the outer key is
+    /// cloned once per expression per epoch, lookups borrow.
+    probe_memo: HashMap<EventExpr, HashMap<(Timestamp, Timestamp), bool>>,
+    /// `(uid, epoch)` the memos belong to.
+    memo_key: Option<(u64, u64)>,
 }
 
 impl TriggerSupport {
@@ -218,16 +229,13 @@ impl TriggerSupport {
     pub fn optimized() -> Self {
         TriggerSupport {
             use_relevance_filter: true,
-            stats: SupportStats::default(),
+            ..TriggerSupport::default()
         }
     }
 
     /// Without the optimization (every untriggered rule re-probed).
     pub fn unoptimized() -> Self {
-        TriggerSupport {
-            use_relevance_filter: false,
-            stats: SupportStats::default(),
-        }
+        TriggerSupport::default()
     }
 
     /// Zero the work counters.
@@ -238,12 +246,22 @@ impl TriggerSupport {
     /// Check all untriggered rules against the EB state at `now`. Returns
     /// the names of newly triggered rules, in definition order.
     pub fn check(&mut self, table: &mut RuleTable, eb: &EventBase, now: Timestamp) -> Vec<String> {
+        let key = (eb.uid(), eb.epoch());
+        if self.memo_key != Some(key) {
+            self.memo_key = Some(key);
+            self.probe_memo.clear();
+        }
+        // Distinct arrival types per checked range, shared across rules:
+        // every rule whose `checked_upto` matches (the common case — all
+        // rules advance in lockstep) reuses one dedup'd scan instead of
+        // collecting the raw arrival list again.
+        let mut arrivals: Option<(Timestamp, Vec<EventType>)> = None;
         let mut newly = Vec::new();
         for slot in &mut table.slots {
             if slot.state.triggered {
                 continue;
             }
-            if self.check_rule(&slot.def, &mut slot.state, eb, now) {
+            if self.check_rule(&slot.def, &mut slot.state, eb, now, &mut arrivals) {
                 newly.push(slot.def.name.clone());
             }
         }
@@ -257,21 +275,34 @@ impl TriggerSupport {
         st: &mut RuleState,
         eb: &EventBase,
         now: Timestamp,
+        arrivals: &mut Option<(Timestamp, Vec<EventType>)>,
     ) -> bool {
         let window = st.trigger_window(now);
         let new_range = Window::new(st.checked_upto, now);
         self.stats.rules_checked += 1;
 
         if self.use_relevance_filter && !st.witness {
-            // arrivals since the last probe of this rule
-            let arrivals: Vec<EventType> = eb.slice(new_range).iter().map(|e| e.ty).collect();
+            // distinct arrival types since the last probe of this rule
+            let types: &[EventType] = match arrivals {
+                Some((from, types)) if *from == st.checked_upto => types,
+                _ => {
+                    let mut types: Vec<EventType> = Vec::new();
+                    for e in eb.slice(new_range) {
+                        if !types.contains(&e.ty) {
+                            types.push(e.ty);
+                        }
+                    }
+                    &arrivals.insert((st.checked_upto, types)).1
+                }
+            };
+            let any_arrivals = !types.is_empty();
             let was_empty = !eb.any_in(Window::new(st.last_consideration, st.checked_upto));
-            if !st.filter.needs_recheck(&arrivals, was_empty) {
+            if !st.filter.needs_recheck(types, was_empty) {
                 // the skipped range cannot contain a fresh positive
                 // witness; do not advance checked_upto past instants we
                 // never probed unless nothing arrived at all.
                 self.stats.skipped_by_filter += 1;
-                if arrivals.is_empty() {
+                if !any_arrivals {
                     return false;
                 }
                 st.checked_upto = now;
@@ -280,10 +311,29 @@ impl TriggerSupport {
         }
 
         if !st.witness && !new_range.is_degenerate() {
+            if !self.probe_memo.contains_key(&def.events) {
+                self.probe_memo
+                    .insert(def.events.clone(), HashMap::new());
+            }
+            let memo = self
+                .probe_memo
+                .get_mut(&def.events)
+                .expect("just inserted");
             let mut found = false;
             for t in probe_instants(eb, st.checked_upto, now) {
-                self.stats.ts_probes += 1;
-                if ts_logical(&def.events, eb, window, t).is_active() {
+                let active = match memo.get(&(window.after, t)) {
+                    Some(&hit) => {
+                        self.stats.probe_memo_hits += 1;
+                        hit
+                    }
+                    None => {
+                        self.stats.ts_probes += 1;
+                        let active = st.plan.eval(eb, window, t).is_active();
+                        memo.insert((window.after, t), active);
+                        active
+                    }
+                };
+                if active {
                     found = true;
                     break;
                 }

@@ -19,7 +19,7 @@
 use crate::action::ActionStmt;
 use crate::condition::Condition;
 use crate::modes::{ConsumptionMode, CouplingMode};
-use chimera_calculus::{ts_logical, EventExpr, RelevanceFilter};
+use chimera_calculus::{ts_logical, EventExpr, PlanEval, RelevanceFilter};
 use chimera_events::{EventBase, Timestamp, Window};
 use chimera_model::ClassId;
 
@@ -83,10 +83,15 @@ pub struct RuleState {
     pub witness: bool,
     /// The §5.1 static-optimization filter for the rule's expression.
     pub filter: RelevanceFilter,
+    /// The compiled evaluation plan for the rule's event expression plus
+    /// its reusable scratchpad — the engine evaluates `ts` probes through
+    /// this instead of re-interpreting the AST (see [`chimera_calculus::plan`]).
+    pub plan: PlanEval,
 }
 
 impl RuleState {
-    /// Fresh state at transaction start.
+    /// Fresh state at transaction start. The event expression must be
+    /// valid (rule tables validate at definition time).
     pub fn new(def: &TriggerDef, txn_start: Timestamp) -> Self {
         RuleState {
             triggered: false,
@@ -95,6 +100,8 @@ impl RuleState {
             checked_upto: txn_start,
             witness: false,
             filter: RelevanceFilter::new(&def.events),
+            plan: PlanEval::compile(&def.events)
+                .expect("rule event expressions are validated at definition time"),
         }
     }
 

@@ -13,8 +13,21 @@
 //! * **test mode** (anything else, e.g. `cargo test` running the bench
 //!   binary): every benchmark closure runs exactly once so `cargo test`
 //!   stays fast while still executing each bench body.
+//!
+//! Two environment knobs (shim extensions, both used by CI):
+//!
+//! * `CHIMERA_BENCH_SINGLE_SHOT` — in measure mode, time exactly one
+//!   iteration per benchmark instead of the adaptive count: a smoke sweep
+//!   that proves every bench target still runs, in seconds not minutes.
+//! * `CHIMERA_BENCH_JSON` — additionally write every measured mean to a
+//!   machine-readable `BENCH.json` (bench name → mean ns/iter). Set it to
+//!   `1` to place the file under the `target/` directory the bench binary
+//!   runs from, or to an explicit path. Entries merge across bench
+//!   targets, so one `cargo bench` sweep yields one file tracking the
+//!   perf trajectory across PRs.
 
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -74,6 +87,11 @@ pub struct Bencher {
     result: Option<(Duration, u64)>,
 }
 
+/// Is the single-iteration smoke mode requested?
+fn single_shot() -> bool {
+    std::env::var_os("CHIMERA_BENCH_SINGLE_SHOT").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         if !self.measure {
@@ -84,6 +102,10 @@ impl Bencher {
         let pilot_start = Instant::now();
         black_box(routine());
         let pilot = pilot_start.elapsed().max(Duration::from_nanos(1));
+        if single_shot() {
+            self.result = Some((pilot, 1));
+            return;
+        }
         let target = Duration::from_millis(200);
         let iters = (target.as_nanos() / pilot.as_nanos()).clamp(1, 100_000) as u64;
         let start = Instant::now();
@@ -107,6 +129,10 @@ impl Bencher {
         let pilot_start = Instant::now();
         black_box(routine(input));
         let pilot = pilot_start.elapsed().max(Duration::from_nanos(1));
+        if single_shot() {
+            self.result = Some((pilot, 1));
+            return;
+        }
         let target = Duration::from_millis(200);
         let iters = (target.as_nanos() / pilot.as_nanos()).clamp(1, 100_000) as u64;
         let mut measured = Duration::ZERO;
@@ -120,11 +146,90 @@ impl Bencher {
     }
 }
 
+/// Resolve the `CHIMERA_BENCH_JSON` destination, if emission is on.
+fn bench_json_path() -> Option<PathBuf> {
+    let v = std::env::var_os("CHIMERA_BENCH_JSON")?;
+    if v.is_empty() || v == "0" {
+        return None;
+    }
+    if v != "1" {
+        return Some(PathBuf::from(v));
+    }
+    // `1`: place BENCH.json in the target dir the bench binary runs from
+    // (bench executables live under target/<profile>/deps/).
+    if let Ok(exe) = std::env::current_exe() {
+        for anc in exe.ancestors() {
+            if anc.file_name().is_some_and(|n| n == "target") {
+                return Some(anc.join("BENCH.json"));
+            }
+        }
+    }
+    Some(PathBuf::from("target/BENCH.json"))
+}
+
+/// Parse the shim's own single-object JSON (`{"name": ns, ...}`) back
+/// into ordered entries. Tolerates a missing/garbled file by starting
+/// fresh — the file is a report, not a source of truth.
+fn parse_bench_json(text: &str) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, value)) = rest.split_once("\": ") else {
+            continue;
+        };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+fn render_bench_json(entries: &[(String, f64)]) -> String {
+    let mut s = String::from("{\n");
+    for (i, (name, v)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!("\"{name}\": {v:.1}{sep}\n"));
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Merge one measured mean into `BENCH.json`. The file is read and
+/// parsed once per bench process (targets run sequentially under
+/// `cargo bench`, so each process starts from its predecessors' merged
+/// entries); subsequent reports update the in-memory copy and rewrite.
+fn record_bench_json(name: &str, per_iter_ns: f64) {
+    static ENTRIES: std::sync::Mutex<Option<Vec<(String, f64)>>> = std::sync::Mutex::new(None);
+    let Some(path) = bench_json_path() else {
+        return;
+    };
+    let mut guard = ENTRIES.lock().expect("bench json state poisoned");
+    let entries = guard.get_or_insert_with(|| {
+        std::fs::read_to_string(&path)
+            .map(|t| parse_bench_json(&t))
+            .unwrap_or_default()
+    });
+    match entries.iter_mut().find(|(n, _)| n == name) {
+        Some(e) => e.1 = per_iter_ns,
+        None => entries.push((name.to_string(), per_iter_ns)),
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&path, render_bench_json(entries)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
 fn report(group: &str, id: &str, throughput: Option<Throughput>, result: Option<(Duration, u64)>) {
     let Some((elapsed, iters)) = result else {
         return;
     };
     let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    record_bench_json(&format!("{group}/{id}"), per_iter);
     let mut line = format!("{group}/{id}: {per_iter:.1} ns/iter ({iters} iters)");
     match throughput {
         Some(Throughput::Elements(n)) => {
@@ -248,4 +353,24 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_round_trips_and_merges() {
+        let entries = vec![
+            ("group/op/10".to_string(), 123.4),
+            ("other/op".to_string(), 0.5),
+        ];
+        let text = render_bench_json(&entries);
+        assert!(text.starts_with("{\n") && text.ends_with("}\n"));
+        assert_eq!(parse_bench_json(&text), entries);
+        // garbage tolerated, valid lines kept
+        let noisy = format!("nonsense\n{text}\"trailing: junk\n");
+        assert_eq!(parse_bench_json(&noisy), entries);
+        assert!(parse_bench_json("").is_empty());
+    }
 }

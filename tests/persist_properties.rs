@@ -18,7 +18,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
         Just(Value::Null),
         any::<i64>().prop_map(Value::Int),
-        any::<u64>().prop_map(|bits| Value::Float(f64::from_bits(bits))),
+        any::<u64>().prop_map(|bits| Value::float(f64::from_bits(bits))),
         ".{0,40}".prop_map(Value::Str),
         any::<bool>().prop_map(Value::Bool),
         any::<u64>().prop_map(Value::Time),
@@ -39,43 +39,8 @@ fn arb_object() -> impl Strategy<Value = Object> {
         })
 }
 
-fn float_bits_eq(a: &Value, b: &Value) -> bool {
-    match (a, b) {
-        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
-        _ => a == b,
-    }
-}
-
-// Derived `PartialEq` on `Value` follows IEEE semantics, so batches whose
-// objects carry a NaN attribute would compare unequal to themselves; WAL
-// round-trip assertions must compare floats by bits instead.
-// Exhaustive destructuring so a field added to Object/RedoBatch breaks
-// the build here instead of silently weakening the round-trip assertions.
-fn objects_eq(a: &Object, b: &Object) -> bool {
-    let Object { oid, class, attrs } = a;
-    *oid == b.oid
-        && *class == b.class
-        && attrs.len() == b.attrs.len()
-        && attrs.iter().zip(&b.attrs).all(|(x, y)| float_bits_eq(x, y))
-}
-
-fn batches_eq(a: &chimera::persist::RedoBatch, b: &chimera::persist::RedoBatch) -> bool {
-    use chimera::persist::{RedoBatch, RedoRecord};
-    let RedoBatch {
-        seq,
-        records,
-        next_oid,
-    } = a;
-    *seq == b.seq
-        && *next_oid == b.next_oid
-        && records.len() == b.records.len()
-        && records.iter().zip(&b.records).all(|(x, y)| match (x, y) {
-            (RedoRecord::Put(p), RedoRecord::Put(q)) => objects_eq(p, q),
-            (RedoRecord::Delete(p), RedoRecord::Delete(q)) => p == q,
-            _ => false,
-        })
-}
-
+// `Value` carries the bitwise `TotalF64` float policy, so round-trip
+// assertions are plain equality — NaN payloads included.
 proptest! {
     #[test]
     fn value_codec_round_trips(v in arb_value()) {
@@ -84,7 +49,7 @@ proptest! {
         prop_assert!(!tok.contains(','));
         prop_assert!(!tok.contains('\n'));
         let back = decode_value(&tok).unwrap();
-        prop_assert!(float_bits_eq(&v, &back), "{v:?} != {back:?}");
+        prop_assert_eq!(&back, &v, "{:?} != {:?}", &v, &back);
     }
 
     #[test]
@@ -92,7 +57,7 @@ proptest! {
         let payload = encode_object(&obj);
         prop_assert!(!payload.contains('\n'));
         let back = decode_object(&payload).unwrap();
-        prop_assert!(objects_eq(&back, &obj), "{back:?} != {obj:?}");
+        prop_assert_eq!(&back, &obj, "{:?} != {:?}", &back, &obj);
     }
 
     #[test]
@@ -136,7 +101,7 @@ proptest! {
         // parse) ignored — but never fewer batches than before
         prop_assert!(noisy.batches.len() >= clean.batches.len());
         for (a, b) in clean.batches.iter().zip(&noisy.batches) {
-            prop_assert!(batches_eq(a, b), "{a:?} != {b:?}");
+            prop_assert_eq!(a, b);
         }
         let _ = fs::remove_file(&path);
     }
@@ -161,7 +126,7 @@ proptest! {
         let out = Wal::read(&path, 1).unwrap();
         prop_assert!(out.batches.len() <= all.batches.len());
         for (a, b) in out.batches.iter().zip(&all.batches) {
-            prop_assert!(batches_eq(a, b), "{a:?} != {b:?}");
+            prop_assert_eq!(a, b);
         }
         // applying the surviving prefix never references a later batch
         prop_assert_eq!(out.valid_len as usize <= cut, true);

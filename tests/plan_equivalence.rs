@@ -1,0 +1,158 @@
+//! Property suite for the compiled evaluation plans (`calculus::plan`):
+//! the planned boundary evaluation must agree **bit for bit** with the
+//! existing recursive `boundary_ts_logical` / `boundary_ts_algebraic`
+//! definitions on random expressions × random event histories, at every
+//! arrival instant, earlier probe instants, gap instants, and across both
+//! full and consumed (shifted lower-bound) windows.
+//!
+//! Run with `PROPTEST_CASES=256` locally for the PR-2 acceptance bar.
+
+use chimera::calculus::{
+    boundary_ts_algebraic, boundary_ts_logical, ts_algebraic, ts_algebraic_interpreted,
+    ts_logical, ts_logical_interpreted, PlanEval,
+};
+use chimera::events::{EventBase, EventType, Timestamp, Window};
+use chimera::model::{ClassId, Oid};
+use chimera::workload::{ExprGenConfig, RandomExprGen};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn et(n: u32) -> EventType {
+    EventType::external(ClassId(0), n)
+}
+
+/// A random history over 5 types × 4 objects with occasional gap ticks.
+fn random_history(seed: u64, len: usize) -> EventBase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut eb = EventBase::new();
+    for _ in 0..len {
+        if rng.random_bool(0.15) {
+            eb.tick();
+        }
+        eb.append(et(rng.random_range(0..5u32)), Oid(rng.random_range(1..5u64)));
+    }
+    eb.tick(); // a gap instant after the last arrival
+    eb
+}
+
+/// Probe instants: every instant of the history, `1..=now`.
+fn probes(eb: &EventBase) -> Vec<Timestamp> {
+    (1..=eb.now().raw()).map(Timestamp).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Instance-rooted expressions: the plan against *both* recursive
+    /// boundary styles, over full and consumed windows.
+    #[test]
+    fn plan_matches_recursive_boundaries(
+        expr_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        len in 0usize..24,
+    ) {
+        let mut g = RandomExprGen::new(ExprGenConfig {
+            event_types: 5,
+            max_depth: 4,
+            instance_prob: 1.0,
+            negation_prob: 0.35,
+            seed: expr_seed,
+        });
+        let expr = g.generate_instance();
+        let eb = random_history(stream_seed, len);
+        let mut pe = PlanEval::compile(&expr).unwrap();
+        let now = eb.now();
+        let mid = Timestamp(now.raw() / 2);
+        for w in [Window::from_origin(now), Window::new(mid, now)] {
+            for t in probes(&eb) {
+                let got = pe.eval(&eb, w, t);
+                prop_assert_eq!(
+                    got,
+                    boundary_ts_logical(&expr, &eb, w, t),
+                    "logical: {} over {:?} at {}", &expr, w, t
+                );
+                prop_assert_eq!(
+                    got,
+                    boundary_ts_algebraic(&expr, &eb, w, t),
+                    "algebraic: {} over {:?} at {}", &expr, w, t
+                );
+            }
+        }
+    }
+
+    /// General (set ∘ instance) expressions: the planned dispatch inside
+    /// `ts_logical`/`ts_algebraic` against the fully recursive
+    /// interpreters, plus a direct `PlanEval` on the whole expression.
+    #[test]
+    fn planned_ts_matches_interpreted_ts(
+        expr_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        len in 0usize..24,
+    ) {
+        let mut g = RandomExprGen::new(ExprGenConfig {
+            event_types: 5,
+            max_depth: 4,
+            instance_prob: 0.4,
+            negation_prob: 0.3,
+            seed: expr_seed,
+        });
+        let expr = g.generate();
+        let eb = random_history(stream_seed, len);
+        let mut pe = PlanEval::compile(&expr).unwrap();
+        let now = eb.now();
+        let mid = Timestamp(now.raw() / 2);
+        for w in [Window::from_origin(now), Window::new(mid, now)] {
+            for t in probes(&eb) {
+                let want = ts_logical_interpreted(&expr, &eb, w, t);
+                prop_assert_eq!(
+                    ts_logical(&expr, &eb, w, t), want,
+                    "planned ts_logical: {} over {:?} at {}", &expr, w, t
+                );
+                prop_assert_eq!(
+                    pe.eval(&eb, w, t), want,
+                    "whole-expression plan: {} over {:?} at {}", &expr, w, t
+                );
+                prop_assert_eq!(
+                    ts_algebraic(&expr, &eb, w, t),
+                    ts_algebraic_interpreted(&expr, &eb, w, t),
+                    "planned ts_algebraic: {} over {:?} at {}", &expr, w, t
+                );
+            }
+        }
+    }
+
+    /// Interleaved growth: one evaluator observing a growing event base
+    /// (epoch invalidation) stays exact at every step.
+    #[test]
+    fn plan_scratch_tracks_growing_history(
+        expr_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        len in 1usize..20,
+    ) {
+        let mut g = RandomExprGen::new(ExprGenConfig {
+            event_types: 4,
+            max_depth: 3,
+            instance_prob: 1.0,
+            negation_prob: 0.4,
+            seed: expr_seed,
+        });
+        let expr = g.generate_instance();
+        let mut pe = PlanEval::compile(&expr).unwrap();
+        let mut rng = StdRng::seed_from_u64(stream_seed);
+        let mut eb = EventBase::new();
+        for _ in 0..len {
+            eb.append(et(rng.random_range(0..4u32)), Oid(rng.random_range(1..4u64)));
+            let now = eb.now();
+            let w = Window::from_origin(now);
+            // two probes per arrival: the memoized repeat must agree too
+            for _ in 0..2 {
+                prop_assert_eq!(
+                    pe.eval(&eb, w, now),
+                    boundary_ts_logical(&expr, &eb, w, now),
+                    "{} at {}", &expr, now
+                );
+            }
+        }
+    }
+}

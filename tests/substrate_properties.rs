@@ -173,7 +173,7 @@ proptest! {
         let mut objs: Vec<Oid> = scan.iter().map(|e| e.oid).collect();
         objs.sort();
         objs.dedup();
-        prop_assert_eq!(eb.objects_in(w), objs);
+        prop_assert_eq!(eb.objects_in(w).to_vec(), objs);
     }
 }
 
