@@ -1,0 +1,252 @@
+//! PERF-7 — end-to-end ingestion throughput and the PR-3 acceptance
+//! numbers.
+//!
+//! Two experiments:
+//!
+//! * **`throughput_{1k,10k,100k}`**: events/sec through
+//!   [`Engine::exec_block`] at 1/16/256 arrivals per block, against a rule
+//!   table holding a frequently-triggering instance pair (small windows,
+//!   cold rebuilds at every consumption), a never-triggering sequence
+//!   whose trigger window grows to the full prefill size (the
+//!   arrival-incremental hot case), and a primitive rule. The window
+//!   label is the number of prefilled occurrences the never-triggering
+//!   rule's window spans when measurement starts.
+//! * **`advance_10k` + the self-reported criterion**: the cost of the
+//!   *first* compiled-plan probe after a small arrival batch on a
+//!   10k-event window — incremental (one persistent [`PlanEval`] whose
+//!   scratch absorbs the delta) versus cold (a fresh scratchpad paying
+//!   the full domain + stamp-matrix rebuild). The PR-3 acceptance bar is
+//!   ≤ 10 µs for the incremental probe at ≤ 16 arrivals; the bench
+//!   prints both sides itself (`cargo bench -p chimera-bench --bench
+//!   throughput`).
+
+use chimera_bench::{et, history, p};
+use chimera_calculus::{EventExpr, PlanEval};
+use chimera_events::{EventType, Window};
+use chimera_exec::{Engine, EngineConfig, Op};
+use chimera_model::{AttrDef, AttrType, Oid, SchemaBuilder, Value};
+use chimera_rules::TriggerDef;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const OBJECTS: usize = 256;
+
+fn measure_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// An engine with three representative rules and a prefilled event
+/// window, ready to ingest modify blocks.
+fn engine_with_window(window: usize) -> (Engine, Vec<Op>, Vec<Oid>) {
+    let mut b = SchemaBuilder::new();
+    b.class(
+        "item",
+        None,
+        vec![
+            AttrDef::new("qty", AttrType::Integer),
+            AttrDef::new("price", AttrType::Integer),
+        ],
+    )
+    .unwrap();
+    let schema = b.build();
+    let item = schema.class_by_name("item").unwrap();
+    let qty = schema.attr_by_name(item, "qty").unwrap();
+    let price = schema.attr_by_name(item, "price").unwrap();
+    let mut engine = Engine::with_config(
+        schema,
+        EngineConfig {
+            max_rule_steps: usize::MAX / 2,
+            ..EngineConfig::default()
+        },
+    );
+    let m_qty = EventExpr::prim(EventType::modify(item, qty));
+    let m_price = EventExpr::prim(EventType::modify(item, price));
+    let never = EventExpr::prim(EventType::external(item, 99));
+    engine
+        .define_trigger(TriggerDef::new("hot_pair", m_qty.clone().iand(m_price.clone())))
+        .unwrap();
+    engine
+        .define_trigger(TriggerDef::new("cold_seq", m_qty.clone().iand(never)))
+        .unwrap();
+    engine
+        .define_trigger(TriggerDef::new("prim", m_price))
+        .unwrap();
+    engine.begin().unwrap();
+    let oids: Vec<Oid> = (0..OBJECTS)
+        .map(|_| {
+            engine
+                .exec_block(&[Op::Create {
+                    class: item,
+                    inits: vec![],
+                }])
+                .unwrap()[0]
+                .oid
+        })
+        .collect();
+    // prefill the observation window in 256-event blocks
+    let mut n = 0usize;
+    while engine.event_base().len() < window {
+        let block = modify_block(&oids, qty, price, n, 256);
+        engine.exec_block(&block).unwrap();
+        n += 256;
+    }
+    let ops = modify_block(&oids, qty, price, n, 256);
+    (engine, ops, oids)
+}
+
+/// A block of `k` modifies cycling over the objects and both attributes.
+fn modify_block(
+    oids: &[Oid],
+    qty: chimera_model::AttrId,
+    price: chimera_model::AttrId,
+    start: usize,
+    k: usize,
+) -> Vec<Op> {
+    (0..k)
+        .map(|i| {
+            let n = start + i;
+            Op::Modify {
+                oid: oids[n % oids.len()],
+                attr: if n % 2 == 0 { qty } else { price },
+                value: Value::Int(n as i64),
+            }
+        })
+        .collect()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    // the 100k prefill is pointless in smoke mode (every closure runs once)
+    let windows: &[(usize, &str)] = if measure_mode() {
+        &[
+            (1_000, "throughput_1k"),
+            (10_000, "throughput_10k"),
+            (100_000, "throughput_100k"),
+        ]
+    } else {
+        &[(1_000, "throughput_1k")]
+    };
+    for &(window, label) in windows {
+        let mut g = c.benchmark_group(label);
+        for &k in &[1usize, 16, 256] {
+            let (mut engine, ops, _) = engine_with_window(window);
+            let block = &ops[..k];
+            g.throughput(Throughput::Elements(k as u64));
+            g.bench_with_input(BenchmarkId::new("exec_block", k), &k, |b, _| {
+                b.iter(|| black_box(engine.exec_block(block).unwrap()));
+            });
+        }
+        g.finish();
+    }
+}
+
+/// Cold-vs-incremental advance cost at the calculus layer, as wall-clock
+/// means that land in `CHIMERA_BENCH_JSON`.
+///
+/// The incremental side appends `k` fresh arrivals per iteration and pays
+/// one probe through a single persistent evaluator whose scratch absorbs
+/// the delta. The arrivals cycle over the existing objects/types, so the
+/// quantification domain never grows and the probe cost is O(arrivals) —
+/// window-length independent — which is why the log growing during the
+/// adaptive measurement loop does not bias the mean. The cold side hands
+/// every probe a fresh scratchpad over the *static* prefilled window (a
+/// cold rebuild's price depends only on the window length, not on fresh
+/// arrivals), so its label — and its O(window) cost — stay exact.
+fn bench_advance(c: &mut Criterion) {
+    let events = if measure_mode() { 10_000 } else { 1_000 };
+    let mut g = c.benchmark_group("advance_10k");
+    for &k in &[1usize, 16] {
+        for cold in [false, true] {
+            let mut eb = history(23, events, 4, (events / 4) as u64);
+            let expr = p(0).iand(p(1));
+            let mut pe = PlanEval::compile(&expr).unwrap();
+            let plan = pe.plan().clone();
+            pe.eval(&eb, Window::from_origin(eb.now()), eb.now());
+            let mut n = 0usize;
+            let name = if cold { "cold_probe" } else { "incremental_probe" };
+            g.bench_with_input(BenchmarkId::new(name, k), &k, |b, &k| {
+                b.iter(|| {
+                    if cold {
+                        let now = eb.now();
+                        let w = Window::from_origin(now);
+                        let mut fresh = PlanEval::new(plan.clone());
+                        black_box(fresh.eval(&eb, w, now))
+                    } else {
+                        for _ in 0..k {
+                            n += 1;
+                            eb.append(et((n % 4) as u32), Oid((n % (events / 4)) as u64 + 1));
+                        }
+                        let now = eb.now();
+                        let w = Window::from_origin(now);
+                        black_box(pe.eval(&eb, w, now))
+                    }
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Mean ns of the *probe alone* (appends excluded) after `k` arrivals —
+/// the number the PR-3 acceptance criterion is stated in. Returns the
+/// mean and the final window length (arrivals cycle over the existing
+/// objects, so the domain is fixed and the incremental probe stays
+/// O(arrivals) as the log grows; the reported length keeps the label
+/// honest). `fresh_scratch` measures the cold tier instead: a full
+/// rebuild over the *static* prefilled window, whose price depends on
+/// the window length alone — no arrivals are appended there.
+fn post_arrival_probe_ns(events: usize, k: usize, fresh_scratch: bool) -> (f64, usize) {
+    let mut eb = history(23, events, 4, (events / 4) as u64);
+    let expr = p(0).iand(p(1));
+    let mut warm = PlanEval::compile(&expr).unwrap();
+    let plan = warm.plan().clone();
+    warm.eval(&eb, Window::from_origin(eb.now()), eb.now());
+    let iters = 300usize;
+    let mut total = Duration::ZERO;
+    let mut n = 0usize;
+    for _ in 0..iters {
+        if !fresh_scratch {
+            for _ in 0..k {
+                n += 1;
+                eb.append(et((n % 4) as u32), Oid((n % (events / 4)) as u64 + 1));
+            }
+        }
+        let now = eb.now();
+        let w = Window::from_origin(now);
+        let start = Instant::now();
+        if fresh_scratch {
+            let mut pe = PlanEval::new(plan.clone());
+            black_box(pe.eval(&eb, w, now));
+        } else {
+            black_box(warm.eval(&eb, w, now));
+        }
+        total += start.elapsed();
+    }
+    (total.as_nanos() as f64 / iters as f64, eb.len())
+}
+
+/// The PR-3 acceptance numbers, reported by the bench itself.
+fn report_acceptance(c: &mut Criterion) {
+    let _ = c;
+    if !measure_mode() {
+        // still exercise the measured path once so test mode covers it
+        black_box(post_arrival_probe_ns(200, 1, false));
+        return;
+    }
+    for &k in &[1usize, 16] {
+        let (inc, grown) = post_arrival_probe_ns(10_000, k, false);
+        let (cold, _) = post_arrival_probe_ns(10_000, k, true);
+        println!(
+            "post-arrival probe, {k} arrivals: incremental {:.2} µs \
+             (target <=10 µs; window 10k->{:.1}k over the run), \
+             cold {:.2} µs (static 10k window, {:.0}x)",
+            inc / 1_000.0,
+            grown as f64 / 1_000.0,
+            cold / 1_000.0,
+            cold / inc.max(1.0),
+        );
+    }
+}
+
+criterion_group!(benches, bench_throughput, bench_advance, report_acceptance);
+criterion_main!(benches);

@@ -13,7 +13,12 @@
 //! The expression *shape* — the flat postorder op arenas with interned
 //! leaf slots — is the compiled [`crate::plan::Plan`]; this module only
 //! adds the per-node symbolic state, so the detector and the query-time
-//! plan evaluator can never disagree about compilation.
+//! plan evaluator can never disagree about compilation. The two are
+//! complementary arrival-driven designs: this detector folds each
+//! occurrence into O(|expr|) node state at *observe* time and answers
+//! queries without the event base, while [`crate::plan::PlanEval`]
+//! leaves the log authoritative and advances its per-object stamp
+//! matrix lazily by the epoch's delta at *query* time.
 //!
 //! Values are kept in an exact symbolic form: a sign plus a stamp that is
 //! either a fixed instant or the symbolic *current instant* (negation is

@@ -48,9 +48,10 @@ pub fn occurred_objects(expr: &EventExpr, eb: &EventBase, w: Window) -> Result<V
         return Err(CalculusError::SetOrientedFormula);
     }
     expr.validate()?;
-    // per-thread compiled-plan cache: one compiled condition plan per
-    // distinct formula expression, evaluated over the shared domain and
-    // batched leaf stamps instead of one `ots` recursion per object.
+    // process-wide sharded compiled-plan cache: one compiled condition
+    // plan per distinct formula expression, evaluated over the shared
+    // domain and batched leaf stamps instead of one `ots` recursion per
+    // object.
     Ok(crate::plan::occurred_objects_planned(expr, eb, w))
 }
 

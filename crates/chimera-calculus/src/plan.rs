@@ -42,19 +42,53 @@
 //!    scratchpad is keyed on `(uid, epoch)` of the event base, so
 //!    re-evaluations between arrivals are O(1).
 //!
+//! ## Three evaluation tiers
+//!
+//! The calculus now has three coordinated implementations of the §4.3
+//! boundary, from slowest/simplest to fastest:
+//!
+//! 1. **interpreted reference** ([`crate::instance::boundary_ts_logical`] /
+//!    `boundary_ts_algebraic`, reached through
+//!    [`crate::ts_logical_interpreted`]): re-walks the AST and rescans the
+//!    window on every call. Never used on a hot path; it is the
+//!    property-tested ground truth.
+//! 2. **planned cold**: the compile/evaluate split above — one domain
+//!    lookup + batched stamp sweep per `(window, epoch)`, then an
+//!    O(objects) fold per probe instant. Paid on the *first* probe after
+//!    a window's lower bound moves (rule consideration/consumption) or on
+//!    a fresh scratchpad.
+//! 3. **planned incremental**: when the event base `(uid, epoch)` key
+//!    advances but the observation window merely *extends* (same lower
+//!    bound — the §5.1 arrival case), the scratchpad is **advanced, not
+//!    rebuilt**: the epoch's new occurrences are read through the EB's
+//!    per-type delta columns ([`EventBase::type_occurrences_since`]), new
+//!    domain rows are spliced in by a single sorted merge, touched
+//!    `(type, object)` stamp cells are overwritten in place, and the
+//!    boundary memo is invalidated selectively by the boundary's
+//!    variation types `V(E)` instead of wholesale. Negation-free
+//!    boundaries additionally maintain a running *aggregate* (the max
+//!    per-object root activation stamp, which is monotone under
+//!    arrivals), so a post-arrival probe at the window frontier is
+//!    O(arrivals), not O(objects). The cold tier remains the fallback
+//!    whenever the window's lower bound moves or the scratch belongs to a
+//!    different event base.
+//!
 //! Values match the recursive evaluators **bit for bit** (including the
 //! structured negative residues); `tests/plan_equivalence.rs` asserts this
 //! against both `boundary_ts_logical` and `boundary_ts_algebraic` on
-//! random expressions × random histories.
+//! random expressions × random histories, and asserts the advanced
+//! scratch matrix equals a from-scratch cold rebuild cell for cell under
+//! interleaved arrivals, window advances, and probes.
 
 use crate::expr::EventExpr;
 use crate::ts::{ts_prim, TsVal};
 use crate::Result;
-use chimera_events::{EventBase, EventType, Timestamp, Window};
+use chimera_events::{EventBase, EventId, EventType, Timestamp, Window};
 use chimera_model::Oid;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
 /// One set-oriented operator of a compiled plan. Operand fields are
 /// indices into the plan's op array (always smaller than the op's own
@@ -269,8 +303,27 @@ struct BoundaryScratch {
     /// Leaf stamp matrix, column-major: `stamps[leaf * D + obj]` is the
     /// most recent in-window stamp of `leaves[leaf]` on `domain[obj]`.
     stamps: Vec<Option<Timestamp>>,
-    /// Small memo of recent boundary results, keyed `(clip, t)`; cleared
-    /// whenever the event base `(uid, epoch)` key changes.
+    /// Event-base epoch the matrix has absorbed: every logged occurrence
+    /// at a position `< built_epoch` that falls inside `clip` is
+    /// reflected in `domain`/`stamps`. Later occurrences are applied by
+    /// [`PlanEval::advance_boundary`] through the EB's per-type delta
+    /// columns.
+    built_epoch: u64,
+    /// Largest leaf stamp present in the matrix (`None` = no in-window
+    /// leaf occurrence). Probes at `t >= max_stamp` see every matrix cell
+    /// and are eligible for the aggregate fast path.
+    max_stamp: Option<Timestamp>,
+    /// Negation-free aggregate: the max per-object *root* activation
+    /// stamp over the whole domain (`None` = no object active). Roots of
+    /// negation-free components are monotone under arrivals, so the
+    /// aggregate is maintained by folding only the delta-touched objects.
+    agg: Option<Timestamp>,
+    /// Is `agg` populated for the current matrix? (Set lazily by the
+    /// first eligible full fold; never set for widened boundaries.)
+    agg_valid: bool,
+    /// Small memo of recent boundary results, keyed `(clip, t)`;
+    /// invalidated selectively — by the boundary's variation types — when
+    /// the event base `(uid, epoch)` key advances.
     memo: Vec<(Window, Timestamp, TsVal)>,
 }
 
@@ -284,8 +337,19 @@ impl Default for BoundaryScratch {
             clip: None,
             domain: Arc::from(Vec::new()),
             stamps: Vec::new(),
+            built_epoch: 0,
+            max_stamp: None,
+            agg: None,
+            agg_valid: false,
             memo: Vec::new(),
         }
+    }
+}
+
+impl BoundaryScratch {
+    /// Forget everything (the scratch belongs to a different event base).
+    fn reset(&mut self) {
+        *self = BoundaryScratch::default();
     }
 }
 
@@ -313,6 +377,16 @@ impl PlanEval {
             plan: Arc::new(plan),
             key: None,
             scratch,
+        }
+    }
+
+    /// A fresh evaluator over the same (shared, immutable) compiled plan,
+    /// with an empty scratchpad.
+    fn fresh(&self) -> PlanEval {
+        PlanEval {
+            plan: self.plan.clone(),
+            key: None,
+            scratch: vec![BoundaryScratch::default(); self.plan.boundaries.len()],
         }
     }
 
@@ -354,13 +428,39 @@ impl PlanEval {
 
     fn refresh_key(&mut self, eb: &EventBase) {
         let key = (eb.uid(), eb.epoch());
-        if self.key != Some(key) {
-            self.key = Some(key);
-            for b in &mut self.scratch {
-                b.clip = None;
-                b.memo.clear();
+        if self.key == Some(key) {
+            return;
+        }
+        match self.key {
+            // Arrival delta on the same event base: drop only the memo
+            // entries the delta can affect. A boundary none of whose
+            // variation types (its leaves; any type at all for widened
+            // domains, which every arrival can join) occurs in the delta
+            // keeps everything; otherwise entries whose window closes
+            // before the first relevant arrival still describe the same
+            // occurrence set and survive. The matrix itself is advanced
+            // lazily by `prepare_boundary`.
+            Some((uid, old_epoch)) if uid == key.0 && key.1 >= old_epoch => {
+                let plan = Arc::clone(&self.plan); // refcount bump, not a deep clone
+                let delta = eb.occurrences_since(old_epoch);
+                for (bi, scr) in self.scratch.iter_mut().enumerate() {
+                    let bp = &plan.boundaries[bi];
+                    let first_relevant = delta
+                        .iter()
+                        .find(|o| bp.widen || bp.leaves.contains(&o.ty))
+                        .map(|o| o.ts);
+                    if let Some(ts) = first_relevant {
+                        scr.memo.retain(|&(mc, _, _)| mc.upto < ts);
+                    }
+                }
+            }
+            _ => {
+                for scr in &mut self.scratch {
+                    scr.reset();
+                }
             }
         }
+        self.key = Some(key);
     }
 
     fn eval_set(&mut self, plan: &Plan, idx: usize, eb: &EventBase, w: Window, t: Timestamp) -> TsVal {
@@ -403,12 +503,41 @@ impl PlanEval {
         }
     }
 
-    /// Build (or reuse) the domain + stamp matrix for `clip`.
+    /// Build, advance, or reuse the domain + stamp matrix for `clip`.
     fn prepare_boundary(&mut self, bi: usize, bp: &BoundaryPlan, eb: &EventBase, clip: Window) {
-        let scr = &mut self.scratch[bi];
-        if scr.clip == Some(clip) {
-            return;
+        let epoch = eb.epoch();
+        {
+            let scr = &self.scratch[bi];
+            if scr.clip == Some(clip) && scr.built_epoch == epoch {
+                return;
+            }
+            // Arrival-incremental advance: reuse the matrix when the new
+            // clip is a pure upper-bound extension of the built one and
+            // the old build absorbed every occurrence logged at its epoch
+            // (always true for the shared non-widened build clip, whose
+            // upper bound is `>= now`). Everything else — a moved lower
+            // bound after consumption, a widened per-instant clip probed
+            // at an earlier instant — takes the cold rebuild below.
+            if let Some(old) = scr.clip {
+                let absorbed_all = scr.built_epoch == 0
+                    || eb
+                        .get(EventId(scr.built_epoch))
+                        .is_some_and(|last| last.ts <= old.upto);
+                if clip.extends(old)
+                    && epoch >= scr.built_epoch
+                    && absorbed_all
+                    && self.advance_boundary(bi, bp, eb, clip)
+                {
+                    return;
+                }
+            }
         }
+        self.build_boundary(bi, bp, eb, clip);
+    }
+
+    /// Cold build of the domain + stamp matrix for `clip` (tier 2).
+    fn build_boundary(&mut self, bi: usize, bp: &BoundaryPlan, eb: &EventBase, clip: Window) {
+        let scr = &mut self.scratch[bi];
         scr.domain = if bp.widen {
             eb.objects_in(clip)
         } else {
@@ -421,6 +550,100 @@ impl PlanEval {
             eb.last_of_type_objs_in(ty, &scr.domain, clip, &mut scr.stamps[l * d..(l + 1) * d]);
         }
         scr.clip = Some(clip);
+        scr.built_epoch = eb.epoch();
+        scr.max_stamp = bp
+            .leaves
+            .iter()
+            .filter_map(|&ty| eb.last_of_type_in(ty, clip))
+            .max();
+        scr.agg = None;
+        scr.agg_valid = false;
+    }
+
+    /// Arrival-incremental advance (tier 3): extend the existing matrix
+    /// from its built epoch to the current one by splicing new domain
+    /// rows in and overwriting the delta-touched stamp cells, instead of
+    /// rescanning the window. Returns `false` (leaving the scratch intact
+    /// for the cold rebuild) if the cached domain turns out not to be a
+    /// subset of the extended one — impossible for an append-only log
+    /// with a fixed lower bound, but checked rather than trusted.
+    fn advance_boundary(&mut self, bi: usize, bp: &BoundaryPlan, eb: &EventBase, clip: Window) -> bool {
+        let scr = &mut self.scratch[bi];
+        let new_domain = if bp.widen {
+            eb.objects_in(clip)
+        } else {
+            eb.objects_of_types_in(&bp.leaves, clip)
+        };
+        let l = bp.leaves.len();
+        if !Arc::ptr_eq(&new_domain, &scr.domain) && *new_domain != *scr.domain {
+            // re-layout: map every old row to its slot in the extended
+            // domain with one merged sweep; fresh rows start all-None.
+            let old_d = scr.domain.len();
+            let nd = new_domain.len();
+            let mut stamps = vec![None; l * nd];
+            let mut j = 0usize;
+            for (i, &oid) in scr.domain.iter().enumerate() {
+                while j < nd && new_domain[j] < oid {
+                    j += 1;
+                }
+                if j >= nd || new_domain[j] != oid {
+                    debug_assert!(false, "domain shrank under a window extension");
+                    return false;
+                }
+                for slot in 0..l {
+                    stamps[slot * nd + j] = scr.stamps[slot * old_d + i];
+                }
+                j += 1;
+            }
+            scr.stamps = stamps;
+            scr.domain = new_domain;
+        }
+        // apply the per-type arrival deltas in place (timestamp order, so
+        // a later stamp simply overwrites an earlier one)
+        let d = scr.domain.len();
+        let agg_maintained = scr.agg_valid;
+        let mut touched: Vec<usize> = Vec::new();
+        for (slot, &ty) in bp.leaves.iter().enumerate() {
+            for (ts, oid) in eb.type_occurrences_since(ty, scr.built_epoch).iter() {
+                if ts <= clip.after || ts > clip.upto {
+                    continue;
+                }
+                let Ok(j) = scr.domain.binary_search(&oid) else {
+                    debug_assert!(false, "delta object missing from the extended domain");
+                    return false;
+                };
+                scr.stamps[slot * d + j] = Some(ts);
+                scr.max_stamp = Some(scr.max_stamp.map_or(ts, |m| m.max(ts)));
+                if agg_maintained {
+                    touched.push(j);
+                }
+            }
+        }
+        scr.clip = Some(clip);
+        scr.built_epoch = eb.epoch();
+        // fold only the touched objects back into the negation-free
+        // aggregate: their roots are monotone under arrivals, so a max
+        // merge over the delta is exact.
+        if agg_maintained && !touched.is_empty() {
+            touched.sort_unstable();
+            touched.dedup();
+            let scr = &self.scratch[bi];
+            let ctx = InstCtx {
+                bp,
+                scr,
+                eb,
+                w: clip,
+            };
+            let root = bp.ops.len() - 1;
+            let mut agg = scr.agg;
+            for &j in &touched {
+                if let Some(s) = ctx.eval(root, clip.upto, j).activation() {
+                    agg = Some(agg.map_or(s, |m| m.max(s)));
+                }
+            }
+            self.scratch[bi].agg = agg;
+        }
+        true
     }
 
     /// §4.3 boundary evaluation over the scratchpad.
@@ -455,12 +678,22 @@ impl PlanEval {
             w.clip_upto(t.max(eb.now()))
         };
         self.prepare_boundary(bi, bp, eb, build_clip);
-        let ctx = InstCtx {
-            bp,
-            scr: &self.scratch[bi],
-            eb,
-            w,
-        };
+        let scr = &self.scratch[bi];
+        // Aggregate fast path: a negation-free per-object root probed at
+        // an instant covering every matrix stamp is either active with a
+        // t-independent stamp or exactly `-t`, so the boundary max
+        // reduces to the maintained max active root stamp — O(1), no
+        // domain fold.
+        let agg_eligible = !bp.widen && scr.max_stamp.is_none_or(|m| t >= m);
+        if agg_eligible && scr.agg_valid {
+            return match (scr.agg, bp.inot) {
+                (Some(s), false) => TsVal::active(s),
+                (Some(s), true) => TsVal::active(s).negate(),
+                (None, false) => TsVal::inactive(t),
+                (None, true) => TsVal::active(t),
+            };
+        }
+        let ctx = InstCtx { bp, scr, eb, w };
         let root = bp.ops.len() - 1;
         let mut best: Option<TsVal> = None;
         for j in 0..ctx.scr.domain.len() {
@@ -479,14 +712,51 @@ impl PlanEval {
         } else {
             best.unwrap_or(TsVal::inactive(t))
         };
-        let memo = &mut self.scratch[bi].memo;
-        if memo.len() >= BOUNDARY_MEMO_CAP {
-            memo.remove(0);
+        let scr = &mut self.scratch[bi];
+        if agg_eligible {
+            // this fold just computed the aggregate; keep it maintained
+            scr.agg = best.and_then(TsVal::activation);
+            scr.agg_valid = true;
         }
-        memo.push((clip, t, res));
+        if scr.memo.len() >= BOUNDARY_MEMO_CAP {
+            scr.memo.remove(0);
+        }
+        scr.memo.push((clip, t, res));
         res
     }
 
+    /// Test-only: force every boundary's matrix to be prepared for the
+    /// window frontier, bypassing the result memo (which can legitimately
+    /// answer a probe while the matrix still describes an earlier
+    /// widened-clip instant). Lets equivalence suites compare scratch
+    /// state against a cold rebuild through whichever tier — advance or
+    /// rebuild — production would pick for this window.
+    #[doc(hidden)]
+    pub fn prepare_frontier(&mut self, eb: &EventBase, w: Window) {
+        self.refresh_key(eb);
+        let plan = Arc::clone(&self.plan);
+        let t = w.upto;
+        for (bi, bp) in plan.boundaries.iter().enumerate() {
+            let build_clip = if bp.widen {
+                w.clip_upto(t)
+            } else {
+                w.clip_upto(t.max(eb.now()))
+            };
+            self.prepare_boundary(bi, bp, eb, build_clip);
+        }
+    }
+
+    /// Test-only view of the per-boundary scratch state (`domain` and the
+    /// column-major stamp matrix), used by the equivalence suites to
+    /// assert the arrival-incremental matrix equals a from-scratch cold
+    /// rebuild cell for cell.
+    #[doc(hidden)]
+    pub fn boundary_scratch(&self) -> Vec<(Vec<Oid>, Vec<Option<Timestamp>>)> {
+        self.scratch
+            .iter()
+            .map(|s| (s.domain.to_vec(), s.stamps.clone()))
+            .collect()
+    }
 }
 
 /// Borrowed context for the per-object fold: the boundary's compiled
@@ -557,44 +827,146 @@ impl InstCtx<'_> {
     }
 }
 
-/// Cap on the per-thread expression→plan caches; cleared wholesale when
-/// exceeded (property suites generate unbounded fresh expressions).
-const THREAD_CACHE_CAP: usize = 512;
+/// Number of shards in the process-wide plan caches.
+const PLAN_CACHE_SHARDS: usize = 16;
+/// Per-shard entry cap; the least-recently-used entry beyond it is
+/// evicted (property suites generate unbounded fresh expressions).
+const PLAN_CACHE_SHARD_CAP: usize = 64;
 
-thread_local! {
-    /// Boundary-rooted plans used by the `ts_logical` / `ts_algebraic`
-    /// dispatch (one per distinct boundary subtree).
-    static BOUNDARY_PLANS: RefCell<HashMap<EventExpr, PlanEval>> = RefCell::new(HashMap::new());
-    /// Instance-compiled plans used by the `occurred` formula path.
-    static INSTANCE_PLANS: RefCell<HashMap<EventExpr, PlanEval>> = RefCell::new(HashMap::new());
+/// Evaluators kept per cache entry: one per recently seen event base
+/// (scratch state is keyed to a single EB `uid`, so engines with
+/// different event bases must not share one scratchpad — they would
+/// reset it on every alternation). Oldest-used evicted beyond the cap.
+const ENTRY_EVALS_CAP: usize = 4;
+
+/// One cached compiled plan plus its per-event-base scratchpads. The
+/// evaluators are `Mutex`-wrapped because a [`PlanEval`] carries mutable
+/// scratch state; the shard lock is never held while an entry is being
+/// evaluated, so concurrent engines contend only when they evaluate the
+/// *same* expression at the same moment. All evaluators in an entry
+/// share one compiled `Plan` arena; only the scratch differs.
+struct CacheEntry {
+    evals: Mutex<Vec<PlanEval>>,
+    /// Logical use stamp for LRU eviction (shared cache-wide counter).
+    last_used: AtomicU64,
 }
 
-fn with_cached<R>(
-    cache: &'static std::thread::LocalKey<RefCell<HashMap<EventExpr, PlanEval>>>,
-    expr: &EventExpr,
-    compile: impl FnOnce(&EventExpr) -> Result<PlanEval>,
-    f: impl FnOnce(&mut PlanEval) -> R,
-) -> R {
-    cache.with(|c| {
-        let mut map = c.borrow_mut();
-        if !map.contains_key(expr) {
-            let pe = compile(expr).unwrap_or_else(|e| {
-                panic!("plan compilation of a used expression failed: {e} ({expr})")
-            });
-            if map.len() >= THREAD_CACHE_CAP {
-                map.clear();
-            }
-            map.insert(expr.clone(), pe);
+type Shard = RwLock<HashMap<EventExpr, Arc<CacheEntry>>>;
+
+/// A process-wide expression → compiled-plan cache, sharded by expression
+/// hash. Replaces the former per-thread caches so that every thread of a
+/// multi-threaded engine shares one set of compiled arenas (and their
+/// arrival-incrementally maintained scratch state) instead of each
+/// rebuilding its own.
+struct PlanCache {
+    shards: Vec<Shard>,
+    tick: AtomicU64,
+}
+
+impl PlanCache {
+    fn new() -> PlanCache {
+        PlanCache {
+            shards: (0..PLAN_CACHE_SHARDS).map(|_| RwLock::default()).collect(),
+            tick: AtomicU64::new(0),
         }
-        f(map.get_mut(expr).expect("just inserted"))
-    })
+    }
+
+    fn shard(&self, expr: &EventExpr) -> &Shard {
+        let mut h = std::hash::DefaultHasher::new();
+        expr.hash(&mut h);
+        &self.shards[(h.finish() as usize) % PLAN_CACHE_SHARDS]
+    }
+
+    /// Run `f` over the cached evaluator for `expr` and the event base
+    /// identified by `uid`, compiling (and possibly evicting the shard's
+    /// LRU entry) on first sight of the expression, and growing a fresh
+    /// scratchpad over the shared plan on first sight of the event base.
+    fn with<R>(
+        &self,
+        expr: &EventExpr,
+        uid: u64,
+        compile: impl Fn(&EventExpr) -> Result<PlanEval>,
+        f: impl FnOnce(&mut PlanEval) -> R,
+    ) -> R {
+        let shard = self.shard(expr);
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let cached = shard
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(expr)
+            .cloned();
+        let entry = match cached {
+            Some(e) => e,
+            None => {
+                // compile outside the write lock; a racing thread may have
+                // inserted meanwhile, in which case its entry wins
+                let pe = compile(expr).unwrap_or_else(|e| {
+                    panic!("plan compilation of a used expression failed: {e} ({expr})")
+                });
+                let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+                let entry = map
+                    .entry(expr.clone())
+                    .or_insert_with(|| {
+                        Arc::new(CacheEntry {
+                            evals: Mutex::new(vec![pe]),
+                            last_used: AtomicU64::new(tick),
+                        })
+                    })
+                    .clone();
+                if map.len() > PLAN_CACHE_SHARD_CAP {
+                    let victim = map
+                        .iter()
+                        .filter(|(k, _)| *k != expr)
+                        .min_by_key(|(_, v)| v.last_used.load(Ordering::Relaxed))
+                        .map(|(k, _)| k.clone());
+                    if let Some(victim) = victim {
+                        map.remove(&victim);
+                    }
+                }
+                entry
+            }
+        };
+        entry.last_used.store(tick, Ordering::Relaxed);
+        let mut evals = entry.evals.lock().unwrap_or_else(PoisonError::into_inner);
+        // the evaluator whose scratch belongs to this event base — or an
+        // unclaimed fresh one; most recently used live at the back
+        let idx = evals
+            .iter()
+            .position(|pe| pe.key.map(|k| k.0) == Some(uid) || pe.key.is_none());
+        let mut pe = match idx {
+            Some(i) => evals.remove(i),
+            None => {
+                if evals.len() >= ENTRY_EVALS_CAP {
+                    evals.remove(0);
+                }
+                match evals.first() {
+                    Some(proto) => proto.fresh(),
+                    // only reachable if a panicked evaluation lost the
+                    // entry's last evaluator: recompile
+                    None => compile(expr).unwrap_or_else(|e| {
+                        panic!("plan compilation of a used expression failed: {e} ({expr})")
+                    }),
+                }
+            }
+        };
+        let out = f(&mut pe);
+        evals.push(pe);
+        out
+    }
 }
+
+/// Boundary-rooted plans used by the `ts_logical` / `ts_algebraic`
+/// dispatch (one per distinct boundary subtree).
+static BOUNDARY_PLANS: OnceLock<PlanCache> = OnceLock::new();
+/// Instance-compiled plans used by the `occurred` formula path.
+static INSTANCE_PLANS: OnceLock<PlanCache> = OnceLock::new();
 
 /// Evaluate a boundary-rooted (instance-oriented in set context)
-/// expression through a per-thread compiled-plan cache. This is the
-/// production path behind [`crate::ts_logical`] / [`crate::ts_algebraic`];
-/// the recursive definitions remain as [`crate::instance::boundary_ts_logical`]
-/// and [`crate::instance::boundary_ts_algebraic`] (the cross-checked
+/// expression through the process-wide sharded compiled-plan cache. This
+/// is the production path behind [`crate::ts_logical`] /
+/// [`crate::ts_algebraic`]; the recursive definitions remain as
+/// [`crate::instance::boundary_ts_logical`] and
+/// [`crate::instance::boundary_ts_algebraic`] (the cross-checked
 /// references).
 pub(crate) fn boundary_ts_planned(
     expr: &EventExpr,
@@ -602,16 +974,16 @@ pub(crate) fn boundary_ts_planned(
     w: Window,
     t: Timestamp,
 ) -> TsVal {
-    with_cached(&BOUNDARY_PLANS, expr, PlanEval::compile, |pe| {
-        pe.eval(eb, w, t)
-    })
+    BOUNDARY_PLANS
+        .get_or_init(PlanCache::new)
+        .with(expr, eb.uid(), PlanEval::compile, |pe| pe.eval(eb, w, t))
 }
 
-/// `occurred(expr, X)` through the per-thread instance-plan cache.
+/// `occurred(expr, X)` through the process-wide instance-plan cache.
 pub(crate) fn occurred_objects_planned(expr: &EventExpr, eb: &EventBase, w: Window) -> Vec<Oid> {
-    with_cached(
-        &INSTANCE_PLANS,
+    INSTANCE_PLANS.get_or_init(PlanCache::new).with(
         expr,
+        eb.uid(),
         |e| Plan::compile_instance(e).map(PlanEval::new),
         |pe| pe.active_objects(eb, w),
     )
@@ -727,6 +1099,194 @@ mod tests {
         other.append(et(1), Oid(7));
         assert!(!probe(&mut pe, &other).is_active());
         assert!(probe(&mut pe, &eb).is_active());
+    }
+
+    #[test]
+    fn arrival_advance_matches_cold_rebuild_matrix() {
+        // an evaluator kept across epochs must hold exactly the matrix a
+        // fresh cold build would produce, at every step
+        let exprs = [
+            p(0).iand(p(1)),
+            p(0).iprec(p(1)),
+            p(0).iand(p(1)).inot(),
+            p(0).iand(p(1).inot()), // widened domain
+        ];
+        for expr in exprs {
+            let mut eb = EventBase::new();
+            let mut inc = PlanEval::compile(&expr).unwrap();
+            let plan = inc.plan().clone();
+            let stream = [
+                (0u32, 1u64),
+                (1, 2),
+                (1, 1),
+                (0, 3),
+                (2, 9), // irrelevant type: V(E)-filtered delta
+                (0, 2),
+                (1, 3),
+            ];
+            for &(ty, oid) in &stream {
+                eb.append(et(ty), Oid(oid));
+                let w = Window::from_origin(eb.now());
+                let now = eb.now();
+                let got = inc.eval(&eb, w, now);
+                let mut cold = PlanEval::new(plan.clone());
+                assert_eq!(got, cold.eval(&eb, w, now), "{expr} at {now}");
+                assert_eq!(
+                    got,
+                    ts_logical_interpreted(&expr, &eb, w, now),
+                    "{expr} at {now}"
+                );
+                assert_eq!(
+                    inc.boundary_scratch(),
+                    cold.boundary_scratch(),
+                    "{expr} matrix diverged at {now}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn advance_survives_gap_probes_and_earlier_instants() {
+        // probes at earlier instants between arrivals must not corrupt
+        // the advanced state (they exercise memo + point-probe fallbacks)
+        let expr = p(0).iprec(p(1));
+        let mut eb = EventBase::new();
+        let mut inc = PlanEval::compile(&expr).unwrap();
+        for round in 0..12u64 {
+            eb.append(et((round % 2) as u32), Oid(round % 3 + 1));
+            if round % 3 == 0 {
+                eb.tick();
+            }
+            let now = eb.now();
+            let w = Window::from_origin(now);
+            for t in 1..=now.raw() {
+                assert_eq!(
+                    inc.eval(&eb, w, Timestamp(t)),
+                    ts_logical_interpreted(&expr, &eb, w, Timestamp(t)),
+                    "{expr} at t{t} (round {round})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn consumption_falls_back_to_cold_rebuild() {
+        // a moved window lower bound (rule consumption) is the cold path;
+        // the advanced state must not leak occurrences the new window hides
+        let expr = p(0).iand(p(1));
+        let mut eb = EventBase::new();
+        let mut inc = PlanEval::compile(&expr).unwrap();
+        eb.append(et(0), Oid(1));
+        eb.append(et(1), Oid(1));
+        let now = eb.now();
+        assert!(inc.eval(&eb, Window::from_origin(now), now).is_active());
+        // consume: window restarts after `now`
+        eb.append(et(1), Oid(1));
+        let w = Window::new(now, eb.now());
+        let got = inc.eval(&eb, w, eb.now());
+        assert_eq!(got, ts_logical_interpreted(&expr, &eb, w, eb.now()));
+        assert!(!got.is_active(), "et0 was consumed, pair incomplete");
+        // and extending again from the consumed bound advances cleanly
+        eb.append(et(0), Oid(1));
+        eb.append(et(1), Oid(1));
+        let w = Window::new(now, eb.now());
+        let got = inc.eval(&eb, w, eb.now());
+        assert_eq!(got, ts_logical_interpreted(&expr, &eb, w, eb.now()));
+        assert!(got.is_active());
+    }
+
+    #[test]
+    fn irrelevant_arrivals_keep_boundary_memo() {
+        // arrivals outside the boundary's variation types must not wipe
+        // the memo (the V(E)-selective invalidation)
+        let expr = p(0).iand(p(1));
+        let mut eb = EventBase::new();
+        let mut pe = PlanEval::compile(&expr).unwrap();
+        eb.append(et(0), Oid(1));
+        eb.append(et(1), Oid(1));
+        let w0 = Window::from_origin(eb.now());
+        let t0 = eb.now();
+        let want = pe.eval(&eb, w0, t0);
+        // irrelevant arrival advances the epoch
+        eb.append(et(7), Oid(5));
+        assert_eq!(pe.eval(&eb, w0, t0), want, "memoized probe stays exact");
+        // relevant arrival invalidates entries whose window covers it
+        eb.append(et(1), Oid(2));
+        let w1 = Window::from_origin(eb.now());
+        assert_eq!(
+            pe.eval(&eb, w1, eb.now()),
+            ts_logical_interpreted(&expr, &eb, w1, eb.now())
+        );
+    }
+
+    #[test]
+    fn process_wide_cache_is_shared_across_threads() {
+        // the same expression evaluated from several threads goes through
+        // the sharded global cache and stays exact
+        let expr = p(0).iand(p(1));
+        let mut eb = EventBase::new();
+        eb.append(et(0), Oid(1));
+        eb.append(et(1), Oid(1));
+        eb.tick();
+        let want = ts_logical_interpreted(&expr, &eb, Window::from_origin(eb.now()), eb.now());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let w = Window::from_origin(eb.now());
+                    for _ in 0..50 {
+                        assert_eq!(ts_logical(&expr, &eb, w, eb.now()), want);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn cache_keeps_scratch_per_event_base() {
+        // alternating engines with different event bases must each keep
+        // a warm scratchpad instead of resetting a shared one
+        let cache = PlanCache::new();
+        let expr = p(0).iand(p(1));
+        let mut eb1 = EventBase::new();
+        let mut eb2 = EventBase::new();
+        eb1.append(et(0), Oid(1));
+        eb1.append(et(1), Oid(1));
+        eb2.append(et(0), Oid(2));
+        for _ in 0..3 {
+            let v1 = cache.with(&expr, eb1.uid(), PlanEval::compile, |pe| {
+                pe.eval(&eb1, Window::from_origin(eb1.now()), eb1.now())
+            });
+            assert!(v1.is_active());
+            let v2 = cache.with(&expr, eb2.uid(), PlanEval::compile, |pe| {
+                pe.eval(&eb2, Window::from_origin(eb2.now()), eb2.now())
+            });
+            assert!(!v2.is_active());
+        }
+        let shard = cache.shard(&expr).read().unwrap();
+        let evals = shard.get(&expr).unwrap().evals.lock().unwrap();
+        assert_eq!(evals.len(), 2, "one evaluator per event base");
+        assert!(evals.iter().all(|pe| pe.key.is_some()));
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let cache = PlanCache::new();
+        // overfill a single logical cache; every expression still works
+        for round in 0..3u32 {
+            for n in 0..(PLAN_CACHE_SHARDS * PLAN_CACHE_SHARD_CAP + 50) as u32 {
+                let expr = p(n).iand(p(n + 1 + round));
+                let mut eb = EventBase::new();
+                eb.append(et(n), Oid(1));
+                eb.append(et(n + 1 + round), Oid(1));
+                let v = cache.with(&expr, eb.uid(), PlanEval::compile, |pe| {
+                    pe.eval(&eb, Window::from_origin(eb.now()), eb.now())
+                });
+                assert!(v.is_active());
+            }
+        }
+        for shard in &cache.shards {
+            assert!(shard.read().unwrap().len() <= PLAN_CACHE_SHARD_CAP + 1);
+        }
     }
 
     #[test]

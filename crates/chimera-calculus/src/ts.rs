@@ -105,10 +105,12 @@ pub(crate) fn ts_prim(eb: &EventBase, w: Window, t: Timestamp, ty: EventType) ->
 /// Logical-style evaluation of `ts(E, t)` over the window `w` of the EB.
 ///
 /// Instance-oriented sub-expressions in set context are folded in through
-/// the §4.3 boundary via a per-thread **compiled-plan cache**
+/// the §4.3 boundary via a process-wide sharded **compiled-plan cache**
 /// ([`crate::plan`]): the boundary's object domain and leaf stamps come
-/// from the event base's indexes instead of a per-call rescan. Use
-/// [`ts_logical_interpreted`] for the fully recursive reference path.
+/// from the event base's indexes instead of a per-call rescan, and the
+/// cached scratch state is advanced arrival-incrementally as the event
+/// base grows. Use [`ts_logical_interpreted`] for the fully recursive
+/// reference path.
 ///
 /// ```
 /// use chimera_calculus::{ts_logical, EventExpr};

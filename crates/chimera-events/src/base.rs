@@ -211,6 +211,34 @@ impl EventBase {
         self.log.get(eid.0 as usize - 1)
     }
 
+    /// The occurrences recorded since `epoch` (a value previously returned
+    /// by [`EventBase::epoch`]), in timestamp order — the arrival delta an
+    /// incrementally maintained consumer must absorb to catch up with the
+    /// current epoch. Epochs at or beyond the current one yield an empty
+    /// slice.
+    pub fn occurrences_since(&self, epoch: u64) -> &[EventOccurrence] {
+        let lo = (epoch as usize).min(self.log.len());
+        &self.log[lo..]
+    }
+
+    /// Per-type delta view over the Occurred-Events columns: the
+    /// `(stamp, oid)` pairs of `ty` occurrences recorded since `epoch`, in
+    /// timestamp order, without touching the log. Columns store log
+    /// positions in append order, so locating the split is one partition
+    /// search over the type's own occurrences.
+    pub fn type_occurrences_since(&self, ty: EventType, epoch: u64) -> TypeDelta<'_> {
+        match self.type_index.get(&ty) {
+            Some(col) => {
+                let lo = col.pos.partition_point(|&p| (p as u64) < epoch);
+                TypeDelta {
+                    ts: &col.ts[lo..],
+                    oids: &col.oid[lo..],
+                }
+            }
+            None => TypeDelta::default(),
+        }
+    }
+
     /// Iterate the whole log in timestamp order.
     pub fn iter(&self) -> impl Iterator<Item = &EventOccurrence> {
         self.log.iter()
@@ -402,19 +430,18 @@ impl EventBase {
                 let fresh = Window::new(entry.upto, covered);
                 let mut grew = false;
                 if !fresh.is_degenerate() {
-                    if types.is_empty() {
-                        for e in self.slice(fresh) {
-                            grew |= insert_sorted(&mut entry.set, e.oid);
-                        }
+                    let mut incoming: Vec<Oid> = if types.is_empty() {
+                        self.slice(fresh).iter().map(|e| e.oid).collect()
                     } else {
+                        let mut v = Vec::new();
                         for ty in types {
                             if let Some(col) = self.type_index.get(ty) {
-                                for &oid in &col.oid[col.range_in(fresh)] {
-                                    grew |= insert_sorted(&mut entry.set, oid);
-                                }
+                                v.extend_from_slice(&col.oid[col.range_in(fresh)]);
                             }
                         }
-                    }
+                        v
+                    };
+                    grew = merge_into_sorted(&mut entry.set, &mut incoming);
                 }
                 entry.upto = covered;
                 if grew {
@@ -459,15 +486,60 @@ impl EventBase {
     }
 }
 
-/// Insert into a sorted vec, returning whether the value was new.
-fn insert_sorted(v: &mut Vec<Oid>, oid: Oid) -> bool {
-    match v.binary_search(&oid) {
-        Ok(_) => false,
-        Err(i) => {
-            v.insert(i, oid);
-            true
+/// A per-type arrival delta: parallel stamp/object columns of one event
+/// type's occurrences since a given epoch
+/// (see [`EventBase::type_occurrences_since`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TypeDelta<'a> {
+    /// Stamps, in timestamp (= append) order.
+    pub ts: &'a [Timestamp],
+    /// Affected objects, parallel to `ts`.
+    pub oids: &'a [Oid],
+}
+
+impl TypeDelta<'_> {
+    /// Number of delta occurrences.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Is the delta empty?
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// The `(stamp, oid)` pairs, in timestamp order.
+    pub fn iter(&self) -> impl Iterator<Item = (Timestamp, Oid)> + '_ {
+        self.ts.iter().copied().zip(self.oids.iter().copied())
+    }
+}
+
+/// Merge a batch of (unsorted, possibly duplicated) OIDs into a sorted
+/// vec in one pass, returning whether anything new was added. Replaces a
+/// per-element binary-search-insert loop that degenerated to O(n²) when a
+/// window extension introduced many objects at once.
+fn merge_into_sorted(set: &mut Vec<Oid>, incoming: &mut Vec<Oid>) -> bool {
+    incoming.sort_unstable();
+    incoming.dedup();
+    incoming.retain(|o| set.binary_search(o).is_err());
+    if incoming.is_empty() {
+        return false;
+    }
+    let mut merged = Vec::with_capacity(set.len() + incoming.len());
+    let (mut i, mut j) = (0, 0);
+    while i < set.len() && j < incoming.len() {
+        if set[i] < incoming[j] {
+            merged.push(set[i]);
+            i += 1;
+        } else {
+            merged.push(incoming[j]);
+            j += 1;
         }
     }
+    merged.extend_from_slice(&set[i..]);
+    merged.extend_from_slice(&incoming[j..]);
+    *set = merged;
+    true
 }
 
 #[cfg(test)]
@@ -651,6 +723,62 @@ mod tests {
             eb.objects_of_types_in(&[ty(0)], wt).to_vec(),
             vec![Oid(1), Oid(2), Oid(3)]
         );
+    }
+
+    #[test]
+    fn epoch_deltas_expose_exactly_the_new_arrivals() {
+        let mut eb = EventBase::new();
+        eb.append_at(ty(0), Oid(1), Timestamp(1));
+        eb.append_at(ty(1), Oid(2), Timestamp(2));
+        let epoch = eb.epoch();
+        assert!(eb.occurrences_since(epoch).is_empty());
+        eb.append_at(ty(0), Oid(3), Timestamp(3));
+        eb.append_at(ty(1), Oid(1), Timestamp(4));
+        eb.append_at(ty(0), Oid(1), Timestamp(5));
+        let delta = eb.occurrences_since(epoch);
+        assert_eq!(delta.len(), 3);
+        assert_eq!(delta[0].ts, Timestamp(3));
+        assert_eq!(delta[2].ts, Timestamp(5));
+        // per-type view over the columnar index
+        let d0 = eb.type_occurrences_since(ty(0), epoch);
+        assert_eq!(d0.len(), 2);
+        assert!(!d0.is_empty());
+        assert_eq!(
+            d0.iter().collect::<Vec<_>>(),
+            vec![(Timestamp(3), Oid(3)), (Timestamp(5), Oid(1))]
+        );
+        let d1 = eb.type_occurrences_since(ty(1), epoch);
+        assert_eq!(d1.iter().collect::<Vec<_>>(), vec![(Timestamp(4), Oid(1))]);
+        // absent type and future epoch both yield empty views
+        assert!(eb.type_occurrences_since(ty(9), epoch).is_empty());
+        assert!(eb.type_occurrences_since(ty(0), eb.epoch() + 10).is_empty());
+        assert!(eb.occurrences_since(eb.epoch() + 10).is_empty());
+        // the full delta from epoch 0 is the whole log
+        assert_eq!(eb.occurrences_since(0).len(), eb.len());
+    }
+
+    #[test]
+    fn bulk_domain_extension_merges_in_one_pass() {
+        // a window extension that introduces many objects at once must
+        // land them all (this used to go through per-element inserts)
+        let mut eb = EventBase::new();
+        eb.append_at(ty(0), Oid(500), Timestamp(1));
+        let w1 = Window::from_origin(Timestamp(1));
+        assert_eq!(eb.objects_in(w1).to_vec(), vec![Oid(500)]);
+        // descending + duplicated arrivals stress the merge
+        let mut t = 1;
+        for oid in (1..=400u64).rev() {
+            t += 1;
+            eb.append_at(ty(0), Oid(oid), Timestamp(t));
+            t += 1;
+            eb.append_at(ty(1), Oid(oid), Timestamp(t));
+        }
+        let w2 = Window::from_origin(Timestamp(t));
+        let dom = eb.objects_in(w2);
+        assert_eq!(dom.len(), 401);
+        assert!(dom.windows(2).all(|p| p[0] < p[1]), "sorted + distinct");
+        assert_eq!(dom.first(), Some(&Oid(1)));
+        assert_eq!(dom.last(), Some(&Oid(500)));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod fig3;
 pub mod time;
 pub mod window;
 
-pub use base::EventBase;
+pub use base::{EventBase, TypeDelta};
 pub use event::{EventId, EventKind, EventOccurrence, EventType};
 pub use fig3::fig3_event_base;
 pub use time::{LogicalClock, Timestamp};

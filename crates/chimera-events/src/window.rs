@@ -53,6 +53,16 @@ impl Window {
             upto: self.upto.min(t),
         }
     }
+
+    /// Is this window a pure upper-bound extension of `prior` — same lower
+    /// bound, upper bound no earlier? This is the shape under which state
+    /// incrementally built over `prior` can be *advanced* by absorbing
+    /// only the occurrences in `(prior.upto, self.upto]`, instead of being
+    /// rebuilt (see `chimera-calculus`'s arrival-incremental plan scratch).
+    #[inline]
+    pub fn extends(&self, prior: Window) -> bool {
+        self.after == prior.after && self.upto >= prior.upto
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +91,16 @@ mod tests {
         assert_eq!(w.clip_upto(Timestamp(5)).upto, Timestamp(5));
         assert_eq!(w.clip_upto(Timestamp(12)).upto, Timestamp(9));
         assert_eq!(w.clip_upto(Timestamp(5)).after, Timestamp(2));
+    }
+
+    #[test]
+    fn extension_detection() {
+        let prior = Window::new(Timestamp(2), Timestamp(5));
+        assert!(Window::new(Timestamp(2), Timestamp(9)).extends(prior));
+        assert!(Window::new(Timestamp(2), Timestamp(5)).extends(prior));
+        // moved lower bound or shrunken upper bound: not an extension
+        assert!(!Window::new(Timestamp(3), Timestamp(9)).extends(prior));
+        assert!(!Window::new(Timestamp(2), Timestamp(4)).extends(prior));
     }
 
     #[test]

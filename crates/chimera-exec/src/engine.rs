@@ -20,11 +20,27 @@
 //!
 //! A configurable step limit guards against non-terminating cascades.
 //!
+//! ## The batched, arrival-incremental ingestion pipeline
+//!
 //! Event expressions are never re-interpreted on the hot path: every rule
 //! carries one compiled evaluation plan (`chimera_calculus::plan`) in its
 //! rule-table state, through which the Trigger Support evaluates all `ts`
 //! probes, and the `occurred`/`at` condition formulas evaluate through a
-//! per-expression compiled-plan cache of the same module.
+//! process-wide sharded compiled-plan cache of the same module.
+//!
+//! Arrivals are processed **per block, not per occurrence**: a whole
+//! transaction line (or external batch handed to
+//! [`Engine::raise_external`]) is appended to the Event Base as one
+//! epoch delta, and the Trigger Support then runs a single check round
+//! over it — one relevance-filter pass and one shared probe-instant set
+//! per round, with each rule's plan *advancing* its per-object scratch
+//! state by exactly that delta (`EventBase::occurrences_since` /
+//! `type_occurrences_since`) instead of rebuilding it from the window.
+//! Rule considerations move a rule's window lower bound, which is the
+//! one case where its plan falls back to a cold rebuild. Transaction
+//! resets ([`Engine::begin`], [`Engine::rollback`]) keep every rule's
+//! compiled plan and scratchpad — only the runtime trigger state is
+//! cleared.
 
 use crate::action_exec::execute_actions;
 use crate::error::ExecError;

@@ -12,6 +12,14 @@
 //! filter (§5.1), or (b) probes the newly covered instants for a positive
 //! `ts` witness. A rule is triggered as soon as a witness exists and its
 //! window is non-empty; it is detriggered exactly at consideration.
+//!
+//! A check is one **batched round over the block's whole arrival delta**:
+//! the dedup'd arrival types and the probe-instant set are computed once
+//! per distinct `checked_upto` bound (almost always once per round, since
+//! rules advance in lockstep) and shared by every rule, each rule's
+//! compiled plan advances its arrival-incremental scratch state once for
+//! the whole delta, and probe results are additionally memoized across
+//! rules sharing an expression (see [`SupportStats`] for the counters).
 
 use crate::modes::CouplingMode;
 use crate::trigger::{probe_instants, RuleState, TriggerDef};
@@ -186,9 +194,13 @@ impl RuleTable {
     }
 
     /// Reset all rule state for a new transaction starting at `start`.
+    /// Compiled plans and relevance filters derive only from the
+    /// definitions, so they are kept (with their scratchpads — the event
+    /// base persists across transactions, and stale windows fall back to
+    /// the plan's cold path) instead of being recompiled per transaction.
     pub fn reset_all(&mut self, start: Timestamp) {
         for s in &mut self.slots {
-            s.state = RuleState::new(&s.def, start);
+            s.state.reset(start);
         }
     }
 }
@@ -205,6 +217,26 @@ pub struct SupportStats {
     /// `ts` probes answered from the per-epoch cross-rule memo instead of
     /// being evaluated (rules sharing an expression and a window).
     pub probe_memo_hits: u64,
+    /// Trigger-support check rounds run (one per non-interruptible block
+    /// plus one per reaction-loop iteration).
+    pub check_rounds: u64,
+    /// Probe-instant sets actually materialized; rules whose `checked_upto`
+    /// coincides (the common lockstep case) share one set per round.
+    pub probe_sets_built: u64,
+}
+
+/// Shared arrival state for one `checked_upto` bound within a check
+/// round: the dedup'd types of the block's arrival delta (built on first
+/// relevance-filter use) and the probe instants of the newly covered
+/// range (built on first probing rule). Rules advance in lockstep except
+/// right after a consideration, so a round usually holds a single entry
+/// that every rule reuses — one relevance scan and one probe set per
+/// block instead of one per rule, and none at all on paths that never
+/// read them.
+struct RoundState {
+    from: Timestamp,
+    types: Option<Vec<EventType>>,
+    probes: Option<Vec<Timestamp>>,
 }
 
 /// The §5 Trigger Support: determines newly activated rules after a block.
@@ -243,25 +275,23 @@ impl TriggerSupport {
         self.stats = SupportStats::default();
     }
 
-    /// Check all untriggered rules against the EB state at `now`. Returns
-    /// the names of newly triggered rules, in definition order.
+    /// Check all untriggered rules against the EB state at `now` — one
+    /// batched round over the block's whole arrival delta. Returns the
+    /// names of newly triggered rules, in definition order.
     pub fn check(&mut self, table: &mut RuleTable, eb: &EventBase, now: Timestamp) -> Vec<String> {
         let key = (eb.uid(), eb.epoch());
         if self.memo_key != Some(key) {
             self.memo_key = Some(key);
             self.probe_memo.clear();
         }
-        // Distinct arrival types per checked range, shared across rules:
-        // every rule whose `checked_upto` matches (the common case — all
-        // rules advance in lockstep) reuses one dedup'd scan instead of
-        // collecting the raw arrival list again.
-        let mut arrivals: Option<(Timestamp, Vec<EventType>)> = None;
+        self.stats.check_rounds += 1;
+        let mut rounds: Vec<RoundState> = Vec::new();
         let mut newly = Vec::new();
         for slot in &mut table.slots {
             if slot.state.triggered {
                 continue;
             }
-            if self.check_rule(&slot.def, &mut slot.state, eb, now, &mut arrivals) {
+            if self.check_rule(&slot.def, &mut slot.state, eb, now, &mut rounds) {
                 newly.push(slot.def.name.clone());
             }
         }
@@ -275,26 +305,36 @@ impl TriggerSupport {
         st: &mut RuleState,
         eb: &EventBase,
         now: Timestamp,
-        arrivals: &mut Option<(Timestamp, Vec<EventType>)>,
+        rounds: &mut Vec<RoundState>,
     ) -> bool {
         let window = st.trigger_window(now);
         let new_range = Window::new(st.checked_upto, now);
         self.stats.rules_checked += 1;
 
+        // the shared per-round arrival state for this rule's bound
+        let ri = match rounds.iter().position(|r| r.from == st.checked_upto) {
+            Some(i) => i,
+            None => {
+                rounds.push(RoundState {
+                    from: st.checked_upto,
+                    types: None,
+                    probes: None,
+                });
+                rounds.len() - 1
+            }
+        };
+
         if self.use_relevance_filter && !st.witness {
-            // distinct arrival types since the last probe of this rule
-            let types: &[EventType] = match arrivals {
-                Some((from, types)) if *from == st.checked_upto => types,
-                _ => {
-                    let mut types: Vec<EventType> = Vec::new();
-                    for e in eb.slice(new_range) {
-                        if !types.contains(&e.ty) {
-                            types.push(e.ty);
-                        }
+            if rounds[ri].types.is_none() {
+                let mut types: Vec<EventType> = Vec::new();
+                for e in eb.slice(new_range) {
+                    if !types.contains(&e.ty) {
+                        types.push(e.ty);
                     }
-                    &arrivals.insert((st.checked_upto, types)).1
                 }
-            };
+                rounds[ri].types = Some(types);
+            }
+            let types = rounds[ri].types.as_deref().expect("just built");
             let any_arrivals = !types.is_empty();
             let was_empty = !eb.any_in(Window::new(st.last_consideration, st.checked_upto));
             if !st.filter.needs_recheck(types, was_empty) {
@@ -319,8 +359,13 @@ impl TriggerSupport {
                 .probe_memo
                 .get_mut(&def.events)
                 .expect("just inserted");
+            if rounds[ri].probes.is_none() {
+                self.stats.probe_sets_built += 1;
+                rounds[ri].probes = Some(probe_instants(eb, rounds[ri].from, now));
+            }
+            let probes = rounds[ri].probes.as_deref().expect("just built");
             let mut found = false;
-            for t in probe_instants(eb, st.checked_upto, now) {
+            for &t in probes {
                 let active = match memo.get(&(window.after, t)) {
                     Some(&hit) => {
                         self.stats.probe_memo_hits += 1;
@@ -554,6 +599,53 @@ mod tests {
                 rt_b.mark_considered("r", now).unwrap();
             }
         }
+    }
+
+    #[test]
+    fn lockstep_rules_share_one_probe_set_per_round() {
+        // many rules in lockstep: one arrival scan + one probe-instant
+        // set per block, regardless of the rule count
+        let mut rt = RuleTable::new();
+        for i in 0..20 {
+            rt.define(TriggerDef::new(format!("r{i}"), p(0).and(p(1))), Timestamp::ZERO)
+                .unwrap();
+        }
+        let mut eb = EventBase::new();
+        let mut sup = TriggerSupport::optimized();
+        for block in 0..4u64 {
+            eb.append(et(0), Oid(block + 1));
+            eb.append(et(0), Oid(block + 2));
+            sup.check(&mut rt, &eb, eb.now());
+        }
+        assert_eq!(sup.stats.check_rounds, 4);
+        // every round needed at most one probe set for all 20 rules
+        assert!(
+            sup.stats.probe_sets_built <= sup.stats.check_rounds,
+            "probe sets {} > rounds {}",
+            sup.stats.probe_sets_built,
+            sup.stats.check_rounds
+        );
+    }
+
+    #[test]
+    fn reset_keeps_compiled_plan_and_clears_runtime_state() {
+        let mut rt = RuleTable::new();
+        rt.define(TriggerDef::new("r", p(0).iand(p(1))), Timestamp::ZERO)
+            .unwrap();
+        let mut eb = EventBase::new();
+        eb.append(et(0), Oid(1));
+        eb.append(et(1), Oid(1));
+        let mut sup = TriggerSupport::optimized();
+        sup.check(&mut rt, &eb, eb.now());
+        assert!(rt.state("r").unwrap().triggered);
+        rt.reset_all(eb.now());
+        let st = rt.state("r").unwrap();
+        assert!(!st.triggered && !st.witness);
+        assert_eq!(st.checked_upto, eb.now());
+        // the rule still evaluates correctly after the in-place reset
+        eb.append(et(0), Oid(2));
+        eb.append(et(1), Oid(2));
+        assert_eq!(sup.check(&mut rt, &eb, eb.now()), vec!["r".to_string()]);
     }
 
     #[test]

@@ -115,6 +115,19 @@ impl RuleState {
         Window::new(self.last_consumption, now)
     }
 
+    /// Reset in place for a new transaction starting at `start`. The
+    /// compiled plan and the relevance filter derive only from the rule
+    /// definition and are reused as-is — the former per-transaction
+    /// recompilation was pure waste, and the plan's scratchpad revalidates
+    /// itself against the event base's `(uid, epoch)` key anyway.
+    pub fn reset(&mut self, start: Timestamp) {
+        self.triggered = false;
+        self.last_consideration = start;
+        self.last_consumption = start;
+        self.checked_upto = start;
+        self.witness = false;
+    }
+
     /// Record a consideration at `now`: detrigger and advance stamps
     /// according to the consumption mode.
     pub fn considered(&mut self, def: &TriggerDef, now: Timestamp) {
@@ -137,6 +150,9 @@ pub fn probe_instants(eb: &EventBase, after: Timestamp, now: Timestamp) -> Vec<T
     if now <= after {
         return probes;
     }
+    // Built in ascending order: every in-window stamp is >= after+1, each
+    // successor interleaves monotonically with the next stamp, and `now`
+    // bounds them all — so one dedup pass suffices, no sort.
     probes.push(Timestamp(after.raw() + 1));
     for e in eb.slice(Window::new(after, now)) {
         probes.push(e.ts);
@@ -145,7 +161,7 @@ pub fn probe_instants(eb: &EventBase, after: Timestamp, now: Timestamp) -> Vec<T
         }
     }
     probes.push(now);
-    probes.sort();
+    debug_assert!(probes.windows(2).all(|p| p[0] <= p[1]));
     probes.dedup();
     probes
 }

@@ -55,6 +55,28 @@
 //! | [`temporal`] | `chimera-temporal` | clock events, related-work derived operators |
 //! | [`persist`] | `chimera-persist` | WAL, snapshots, crash recovery |
 //! | [`interp`] | (this crate) | script interpreter over the engine |
+//!
+//! ## Evaluation tiers
+//!
+//! The §4.3 instance→set boundary — the hot path of rule triggering —
+//! has three coordinated implementations (see [`calculus`]'s `plan`
+//! module for the full story):
+//!
+//! 1. **interpreted reference** (`ts_logical_interpreted` and the
+//!    recursive `boundary_ts_*` evaluators): re-walks the AST per call;
+//!    the property-tested ground truth, used only by tests and benches;
+//! 2. **planned cold**: compiled op arenas over an object-domain snapshot
+//!    and a batched per-type stamp matrix, rebuilt per window — paid when
+//!    a rule's observation window's *lower* bound moves (consumption) or
+//!    a scratchpad meets a new event base;
+//! 3. **planned incremental**: the default on the engine's hot path —
+//!    when new occurrences merely extend the window, the matrix is
+//!    *advanced* by exactly the epoch's arrival delta (per-type delta
+//!    columns, in-place stamp updates, `V(E)`-selective memo
+//!    invalidation), making the post-arrival probe O(arrivals) instead
+//!    of O(window).
+//!
+//! All three agree bit for bit; `tests/plan_equivalence.rs` enforces it.
 
 pub use chimera_analysis as analysis;
 pub use chimera_baselines as baselines;
