@@ -841,10 +841,11 @@ const ENTRY_EVALS_CAP: usize = 4;
 
 /// One cached compiled plan plus its per-event-base scratchpads. The
 /// evaluators are `Mutex`-wrapped because a [`PlanEval`] carries mutable
-/// scratch state; the shard lock is never held while an entry is being
-/// evaluated, so concurrent engines contend only when they evaluate the
-/// *same* expression at the same moment. All evaluators in an entry
-/// share one compiled `Plan` arena; only the scratch differs.
+/// scratch state; neither the shard lock nor the entry lock is held
+/// while an evaluator runs (claim → evaluate privately → push back), so
+/// concurrent engines sharing an expression contend only on the brief
+/// claim/return, never on the evaluation itself. All evaluators in an
+/// entry share one compiled `Plan` arena; only the scratch differs.
 struct CacheEntry {
     evals: Mutex<Vec<PlanEval>>,
     /// Logical use stamp for LRU eviction (shared cache-wide counter).
@@ -927,33 +928,63 @@ impl PlanCache {
             }
         };
         entry.last_used.store(tick, Ordering::Relaxed);
-        let mut evals = entry.evals.lock().unwrap_or_else(PoisonError::into_inner);
-        // the evaluator whose scratch belongs to this event base — or an
-        // unclaimed fresh one; most recently used live at the back
-        let idx = evals
-            .iter()
-            .position(|pe| pe.key.map(|k| k.0) == Some(uid) || pe.key.is_none());
-        let mut pe = match idx {
-            Some(i) => evals.remove(i),
-            None => {
-                if evals.len() >= ENTRY_EVALS_CAP {
-                    evals.remove(0);
-                }
-                match evals.first() {
-                    Some(proto) => proto.fresh(),
-                    // only reachable if a panicked evaluation lost the
-                    // entry's last evaluator: recompile
-                    None => compile(expr).unwrap_or_else(|e| {
-                        panic!("plan compilation of a used expression failed: {e} ({expr})")
-                    }),
+        // claim an evaluator under the entry lock...
+        let mut pe = {
+            let mut evals = entry.evals.lock().unwrap_or_else(PoisonError::into_inner);
+            // the evaluator whose scratch belongs to this event base — or
+            // an unclaimed fresh one; most recently used live at the back
+            let idx = evals
+                .iter()
+                .position(|pe| pe.key.map(|k| k.0) == Some(uid) || pe.key.is_none());
+            match idx {
+                Some(i) => evals.remove(i),
+                None => {
+                    if evals.len() >= ENTRY_EVALS_CAP {
+                        evals.remove(0);
+                    }
+                    match evals.first() {
+                        Some(proto) => proto.fresh(),
+                        // only reachable if a panicked evaluation lost the
+                        // entry's last evaluator: recompile
+                        None => compile(expr).unwrap_or_else(|e| {
+                            panic!("plan compilation of a used expression failed: {e} ({expr})")
+                        }),
+                    }
                 }
             }
         };
+        // ...but evaluate *outside* it: the claimed evaluator is privately
+        // owned, so threads of different event bases sharing an expression
+        // (every tenant of a multi-tenant runtime with a common rule set)
+        // evaluate concurrently instead of serializing on the entry. Two
+        // threads of the *same* event base may race to claim; the loser
+        // grows a fresh scratchpad that is merged back by the push below.
         let out = f(&mut pe);
-        evals.push(pe);
+        entry
+            .evals
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(pe);
         out
     }
 }
+
+/// Compile-time `Send + Sync` audit of everything the process-wide plan
+/// caches share across engine threads. The cache hands `Arc<CacheEntry>`
+/// clones to arbitrary threads and the entries carry whole evaluators, so
+/// a non-`Sync` field sneaking into any of these types must be a build
+/// error here rather than an `unsafe impl` or a runtime race.
+#[allow(dead_code)]
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Plan>();
+    assert_send_sync::<BoundaryPlan>();
+    assert_send_sync::<PlanEval>();
+    assert_send_sync::<BoundaryScratch>();
+    assert_send_sync::<CacheEntry>();
+    assert_send_sync::<PlanCache>();
+    assert_send_sync::<TsVal>();
+};
 
 /// Boundary-rooted plans used by the `ts_logical` / `ts_algebraic`
 /// dispatch (one per distinct boundary subtree).

@@ -1,0 +1,171 @@
+//! Threaded stress for the process-wide sharded compiled-plan cache.
+//!
+//! Many threads compile/probe/evict concurrently: some hammer *identical*
+//! expressions (contending on one `Mutex`-wrapped entry), some walk
+//! *distinct* expressions far past the per-shard LRU cap (forcing
+//! constant eviction + recompilation), and several event bases alternate
+//! under one expression (exercising the per-entry evaluator list and its
+//! own eviction cap). Every probe is cross-checked against the
+//! interpreted reference evaluator, so the assertions hold under any
+//! interleaving; CI runs this binary repeatedly to shake out
+//! scheduling-dependent flakiness. The compile-time `Send + Sync` audit
+//! of the cache types lives next to them in `chimera-calculus/src/plan.rs`.
+
+use chimera_calculus::{occurred_objects, ts_algebraic, ts_logical, ts_logical_interpreted, EventExpr};
+use chimera_events::{EventBase, EventType, Timestamp, Window};
+use chimera_model::{ClassId, Oid};
+
+fn et(n: u32) -> EventType {
+    EventType::external(ClassId(0), n)
+}
+fn p(n: u32) -> EventExpr {
+    EventExpr::prim(et(n))
+}
+
+/// A deterministic little history over `types` types × 4 objects.
+fn history(seed: u64, len: usize, types: u32) -> EventBase {
+    let mut eb = EventBase::new();
+    let mut k = seed;
+    for _ in 0..len {
+        k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        eb.append(et((k >> 33) as u32 % types), Oid((k >> 13) % 4 + 1));
+    }
+    eb.tick();
+    eb
+}
+
+/// Identical expressions from many threads: heavy contention on a single
+/// cache entry, results must stay exact throughout.
+#[test]
+fn contended_identical_expressions_stay_exact() {
+    let eb = history(7, 120, 4);
+    let exprs = [
+        p(0).iand(p(1)),
+        p(0).iprec(p(1)).or(p(2)),
+        p(0).iand(p(1).inot()),
+        p(2).and(p(0).iprec(p(3))),
+    ];
+    let now = eb.now();
+    let w = Window::from_origin(now);
+    // reference values once, up front, through the interpreter
+    let want: Vec<Vec<_>> = exprs
+        .iter()
+        .map(|e| {
+            (1..=now.raw())
+                .map(|t| ts_logical_interpreted(e, &eb, w, Timestamp(t)))
+                .collect()
+        })
+        .collect();
+    std::thread::scope(|s| {
+        for worker in 0..8usize {
+            let eb = &eb;
+            let exprs = &exprs;
+            let want = &want;
+            s.spawn(move || {
+                for round in 0..30usize {
+                    let e = &exprs[(worker + round) % exprs.len()];
+                    let wv = &want[(worker + round) % exprs.len()];
+                    for t in 1..=now.raw() {
+                        assert_eq!(
+                            ts_logical(e, eb, w, Timestamp(t)),
+                            wv[(t - 1) as usize],
+                            "{e} at t{t} (worker {worker}, round {round})"
+                        );
+                    }
+                    // the algebraic dispatch shares the same cache
+                    assert_eq!(ts_algebraic(e, eb, w, now), wv[(now.raw() - 1) as usize]);
+                }
+            });
+        }
+    });
+}
+
+/// Distinct expressions far beyond the shard caps: concurrent insert +
+/// LRU eviction + recompilation must neither deadlock nor corrupt values.
+#[test]
+fn eviction_pressure_from_distinct_expressions() {
+    // 16 shards × 64 cap = 1024 live entries; 8 threads × 400 distinct
+    // expressions overflow it several times over
+    std::thread::scope(|s| {
+        for worker in 0..8u32 {
+            s.spawn(move || {
+                let eb = history(worker as u64 + 1, 40, 8);
+                let w = Window::from_origin(eb.now());
+                for i in 0..400u32 {
+                    let a = worker * 1000 + i;
+                    let expr = p(a % 8).iand(p((a + 1) % 8));
+                    let got = ts_logical(&expr, &eb, w, eb.now());
+                    assert_eq!(
+                        got,
+                        ts_logical_interpreted(&expr, &eb, w, eb.now()),
+                        "{expr} (worker {worker})"
+                    );
+                }
+            });
+        }
+    });
+}
+
+/// One expression, many event bases, many threads: the per-entry
+/// evaluator list (scratch keyed by EB uid, capped) must keep every
+/// event base's answers exact while evaluators are evicted and regrown.
+#[test]
+fn alternating_event_bases_share_one_entry() {
+    let expr = p(0).iand(p(1));
+    let ebs: Vec<EventBase> = (0..12).map(|i| history(100 + i, 60, 3)).collect();
+    let want: Vec<_> = ebs
+        .iter()
+        .map(|eb| {
+            let w = Window::from_origin(eb.now());
+            ts_logical_interpreted(&expr, eb, w, eb.now())
+        })
+        .collect();
+    std::thread::scope(|s| {
+        for worker in 0..6usize {
+            let expr = &expr;
+            let ebs = &ebs;
+            let want = &want;
+            s.spawn(move || {
+                for round in 0..40usize {
+                    let i = (worker * 7 + round) % ebs.len();
+                    let eb = &ebs[i];
+                    let w = Window::from_origin(eb.now());
+                    assert_eq!(
+                        ts_logical(expr, eb, w, eb.now()),
+                        want[i],
+                        "eb {i} (worker {worker}, round {round})"
+                    );
+                }
+            });
+        }
+    });
+}
+
+/// The instance-plan cache (`occurred` formula path) under the same
+/// concurrent identical/distinct mix.
+#[test]
+fn occurred_cache_stays_exact_under_threads() {
+    let eb = history(42, 100, 4);
+    let w = Window::from_origin(eb.now());
+    let shared = p(0).iand(p(1));
+    let want_shared = occurred_objects(&shared, &eb, w).unwrap();
+    std::thread::scope(|s| {
+        for worker in 0..6u32 {
+            let eb = &eb;
+            let shared = &shared;
+            let want_shared = &want_shared;
+            s.spawn(move || {
+                for i in 0..60u32 {
+                    // alternate the hot shared expression with fresh ones
+                    if i % 2 == 0 {
+                        assert_eq!(&occurred_objects(shared, eb, w).unwrap(), want_shared);
+                    } else {
+                        let fresh = p((worker * 100 + i) % 4).iprec(p((i + 1) % 4));
+                        let objs = occurred_objects(&fresh, eb, w).unwrap();
+                        assert!(objs.windows(2).all(|p| p[0] < p[1]), "sorted + distinct");
+                    }
+                }
+            });
+        }
+    });
+}

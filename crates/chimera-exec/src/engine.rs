@@ -109,6 +109,13 @@ pub struct EngineConfig {
     pub emit_select_events: bool,
     /// Use the §5.1 static optimization in the Trigger Support.
     pub use_static_optimization: bool,
+    /// Worker threads for the probe phase of each trigger check round.
+    /// `1` (the default) runs the classic sequential round; `n > 1`
+    /// splits the rule table's probe work across `n` scoped threads over
+    /// the block's shared arrival delta — observationally identical to
+    /// the sequential round (the parallel path is the same per-rule code
+    /// run in chunks; see `chimera_rules::TriggerSupport::check_workers`).
+    pub check_workers: usize,
 }
 
 impl Default for EngineConfig {
@@ -117,6 +124,7 @@ impl Default for EngineConfig {
             max_rule_steps: 10_000,
             emit_select_events: true,
             use_static_optimization: true,
+            check_workers: 1,
         }
     }
 }
@@ -165,7 +173,8 @@ impl Engine {
             TriggerSupport::optimized()
         } else {
             TriggerSupport::unoptimized()
-        };
+        }
+        .with_workers(config.check_workers);
         Engine {
             schema,
             store: ObjectStore::new(),
@@ -193,6 +202,10 @@ impl Engine {
     /// The schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
     /// The event base (read-only).
     pub fn event_base(&self) -> &EventBase {

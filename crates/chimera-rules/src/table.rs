@@ -20,9 +20,24 @@
 //! compiled plan advances its arrival-incremental scratch state once for
 //! the whole delta, and probe results are additionally memoized across
 //! rules sharing an expression (see [`SupportStats`] for the counters).
+//!
+//! The round is **partitionable**: it runs in three phases — *classify*
+//! (sequential: relevance-filter every untriggered rule over the shared
+//! arrival scan and collect the rules that must probe), *probe* (each
+//! candidate rule evaluates its own compiled plan over the shared
+//! immutable probe-instant set; with [`TriggerSupport::check_workers`]
+//! `> 1` the candidates are split across a scoped worker pool, the
+//! sequential round being the same code path run as a single chunk), and
+//! *commit* (sequential: apply the §4.4 predicate in definition order).
+//! Per-rule state — the `Send` plan handle, the sticky witness, the
+//! consumption stamps — is owned by the rule's own table slot, so workers
+//! touch disjoint state and share only the event base, the round's
+//! arrival scan, and a read-only snapshot of the cross-rule probe memo;
+//! parallel and sequential rounds are observationally identical
+//! (`tests/runtime_equivalence.rs` proves it property-by-property).
 
 use crate::modes::CouplingMode;
-use crate::trigger::{probe_instants, RuleState, TriggerDef};
+use crate::trigger::{probe_instants_into, RuleState, TriggerDef};
 use chimera_calculus::EventExpr;
 use chimera_events::{EventBase, EventType, Timestamp, Window};
 use std::collections::HashMap;
@@ -225,35 +240,69 @@ pub struct SupportStats {
     pub probe_sets_built: u64,
 }
 
+/// Cross-rule `ts`-probe memo: witness results keyed by expression, then
+/// `(window.after, instant)`, valid for one EB epoch.
+type ProbeMemo = HashMap<EventExpr, HashMap<(Timestamp, Timestamp), bool>>;
+
 /// Shared arrival state for one `checked_upto` bound within a check
 /// round: the dedup'd types of the block's arrival delta (built on first
 /// relevance-filter use) and the probe instants of the newly covered
-/// range (built on first probing rule). Rules advance in lockstep except
-/// right after a consideration, so a round usually holds a single entry
-/// that every rule reuses — one relevance scan and one probe set per
-/// block instead of one per rule, and none at all on paths that never
-/// read them.
-struct RoundState {
+/// range (built only when some rule survives the filter). Rules advance
+/// in lockstep except right after a consideration, so a round usually
+/// holds a single entry that every rule reuses — one relevance scan and
+/// one probe set per block instead of one per rule, and none at all on
+/// paths that never read them. The entries (and their buffers) live in
+/// the support and are reused round after round, so the steady-state
+/// block path allocates nothing new.
+#[derive(Debug, Clone, Default)]
+struct RoundScratch {
     from: Timestamp,
-    types: Option<Vec<EventType>>,
-    probes: Option<Vec<Timestamp>>,
+    types_built: bool,
+    types: Vec<EventType>,
+    probes_built: bool,
+    probes: Vec<Timestamp>,
 }
+
+/// One probe worker's private state: the memo entries it discovered this
+/// round (merged back into the support's epoch memo afterwards) and its
+/// share of the probe counters. Workers read the pre-round memo snapshot
+/// and their own fresh entries; values are deterministic, so duplicated
+/// evaluation across workers can change counters but never outcomes.
+#[derive(Debug, Default)]
+struct ProbeScratch {
+    memo: ProbeMemo,
+    stats: SupportStats,
+}
+
+/// Below this many candidate rules a parallel round is not worth the
+/// scoped-thread spawn; the probe phase runs inline instead.
+const MIN_PARALLEL_CANDIDATES: usize = 4;
 
 /// The §5 Trigger Support: determines newly activated rules after a block.
 #[derive(Debug, Clone, Default)]
 pub struct TriggerSupport {
     /// Apply the §5.1 `V(E)` relevance filter (the static optimization).
     pub use_relevance_filter: bool,
+    /// Worker threads for the probe phase of a check round. `0` or `1`
+    /// runs the round sequentially; `n > 1` splits the candidate rules
+    /// across `n` scoped threads (same per-rule code path either way).
+    pub check_workers: usize,
     /// Work counters (monotonic; reset with [`TriggerSupport::reset_stats`]).
     pub stats: SupportStats,
-    /// Cross-rule `ts`-probe memo: witness results keyed by expression,
-    /// then `(window.after, instant)`, valid for one EB epoch. Rules
-    /// sharing an expression and a consideration point (the common case
-    /// after a batch arrival) evaluate each probe once; the outer key is
-    /// cloned once per expression per epoch, lookups borrow.
-    probe_memo: HashMap<EventExpr, HashMap<(Timestamp, Timestamp), bool>>,
+    /// Cross-rule `ts`-probe memo, valid for one EB epoch. Rules sharing
+    /// an expression and a consideration point (the common case after a
+    /// batch arrival) evaluate each probe once; the outer key is cloned
+    /// once per expression per epoch, lookups borrow.
+    probe_memo: ProbeMemo,
     /// `(uid, epoch)` the memos belong to.
     memo_key: Option<(u64, u64)>,
+    /// Reusable per-bound round entries; `rounds_live` are in use this
+    /// round, the rest are spare capacity kept for their buffers.
+    rounds: Vec<RoundScratch>,
+    rounds_live: usize,
+    /// Reusable probe plan: `(slot index, round index)` of the rules the
+    /// classify phase selected for probing.
+    probe_plan: Vec<(usize, usize)>,
 }
 
 impl TriggerSupport {
@@ -268,6 +317,12 @@ impl TriggerSupport {
     /// Without the optimization (every untriggered rule re-probed).
     pub fn unoptimized() -> Self {
         TriggerSupport::default()
+    }
+
+    /// Set the probe-phase worker count (builder style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.check_workers = workers;
+        self
     }
 
     /// Zero the work counters.
@@ -285,115 +340,221 @@ impl TriggerSupport {
             self.probe_memo.clear();
         }
         self.stats.check_rounds += 1;
-        let mut rounds: Vec<RoundState> = Vec::new();
-        let mut newly = Vec::new();
-        for slot in &mut table.slots {
-            if slot.state.triggered {
+        self.rounds_live = 0;
+        self.probe_plan.clear();
+
+        // Phase 1 — classify (sequential): relevance-filter every
+        // untriggered rule over the shared per-bound arrival scan and
+        // collect the rules that must probe.
+        for (idx, slot) in table.slots.iter_mut().enumerate() {
+            let st = &mut slot.state;
+            if st.triggered {
                 continue;
             }
-            if self.check_rule(&slot.def, &mut slot.state, eb, now, &mut rounds) {
+            self.stats.rules_checked += 1;
+            let ri = self.round_index(st.checked_upto);
+            if self.use_relevance_filter && !st.witness {
+                let r = &mut self.rounds[ri];
+                if !r.types_built {
+                    r.types_built = true;
+                    for e in eb.slice(Window::new(r.from, now)) {
+                        if !r.types.contains(&e.ty) {
+                            r.types.push(e.ty);
+                        }
+                    }
+                }
+                let any_arrivals = !r.types.is_empty();
+                let was_empty = !eb.any_in(Window::new(st.last_consideration, st.checked_upto));
+                if !st.filter.needs_recheck(&r.types, was_empty) {
+                    // the skipped range cannot contain a fresh positive
+                    // witness; do not advance checked_upto past instants
+                    // we never probed unless nothing arrived at all.
+                    self.stats.skipped_by_filter += 1;
+                    if any_arrivals {
+                        st.checked_upto = now;
+                    }
+                    continue;
+                }
+            }
+            if !st.witness && !Window::new(st.checked_upto, now).is_degenerate() {
+                self.probe_plan.push((idx, ri));
+            }
+        }
+
+        // Phase 2 — probe: materialize the probe-instant sets the
+        // candidates reference (reused buffers), then evaluate each
+        // candidate's own compiled plan over them — inline, or fanned out
+        // across a scoped worker pool when configured and worthwhile.
+        for pi in 0..self.probe_plan.len() {
+            let ri = self.probe_plan[pi].1;
+            let r = &mut self.rounds[ri];
+            if !r.probes_built {
+                r.probes_built = true;
+                self.stats.probe_sets_built += 1;
+                probe_instants_into(eb, r.from, now, &mut r.probes);
+            }
+        }
+        let workers = self.check_workers.max(1).min(self.probe_plan.len());
+        if workers > 1 && self.probe_plan.len() >= MIN_PARALLEL_CANDIDATES {
+            let rounds = &self.rounds;
+            let base_memo = &self.probe_memo;
+            let plan = &self.probe_plan;
+            // disjoint &mut borrows of exactly the candidate slots, in
+            // slot order (probe_plan is built in increasing slot index)
+            let mut cands: Vec<(&TriggerDef, &mut RuleState, usize)> =
+                Vec::with_capacity(plan.len());
+            let mut pi = 0;
+            for (idx, slot) in table.slots.iter_mut().enumerate() {
+                if pi < plan.len() && plan[pi].0 == idx {
+                    cands.push((&slot.def, &mut slot.state, plan[pi].1));
+                    pi += 1;
+                }
+            }
+            let chunk = cands.len().div_ceil(workers);
+            let locals: Vec<ProbeScratch> = std::thread::scope(|s| {
+                let handles: Vec<_> = cands
+                    .chunks_mut(chunk)
+                    .map(|part| {
+                        s.spawn(move || {
+                            let mut local = ProbeScratch::default();
+                            for (def, st, ri) in part.iter_mut() {
+                                probe_slot(
+                                    def,
+                                    st,
+                                    eb,
+                                    now,
+                                    &rounds[*ri].probes,
+                                    base_memo,
+                                    &mut local,
+                                );
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("check worker panicked"))
+                    .collect()
+            });
+            for local in locals {
+                self.absorb(local);
+            }
+        } else if !self.probe_plan.is_empty() {
+            let mut local = ProbeScratch::default();
+            for &(idx, ri) in &self.probe_plan {
+                let slot = &mut table.slots[idx];
+                probe_slot(
+                    &slot.def,
+                    &mut slot.state,
+                    eb,
+                    now,
+                    &self.rounds[ri].probes,
+                    &self.probe_memo,
+                    &mut local,
+                );
+            }
+            self.absorb(local);
+        }
+
+        // Phase 3 — commit (sequential): the §4.4 predicate, in
+        // definition order. Nothing before this phase sets `triggered`,
+        // so a slot that is already triggered here was triggered at entry.
+        let mut newly = Vec::new();
+        for slot in &mut table.slots {
+            let st = &mut slot.state;
+            if st.triggered {
+                continue;
+            }
+            if st.witness && eb.any_in(st.trigger_window(now)) {
+                st.triggered = true;
                 newly.push(slot.def.name.clone());
             }
         }
         newly
     }
 
-    /// Incremental per-rule check; returns true iff newly triggered.
-    fn check_rule(
-        &mut self,
-        def: &TriggerDef,
-        st: &mut RuleState,
-        eb: &EventBase,
-        now: Timestamp,
-        rounds: &mut Vec<RoundState>,
-    ) -> bool {
-        let window = st.trigger_window(now);
-        let new_range = Window::new(st.checked_upto, now);
-        self.stats.rules_checked += 1;
+    /// The round entry for a `checked_upto` bound, reusing a spare slot
+    /// (and its buffers) when the bound is new this round.
+    fn round_index(&mut self, from: Timestamp) -> usize {
+        for i in 0..self.rounds_live {
+            if self.rounds[i].from == from {
+                return i;
+            }
+        }
+        if self.rounds_live == self.rounds.len() {
+            self.rounds.push(RoundScratch::default());
+        }
+        let r = &mut self.rounds[self.rounds_live];
+        r.from = from;
+        r.types.clear();
+        r.types_built = false;
+        r.probes.clear();
+        r.probes_built = false;
+        self.rounds_live += 1;
+        self.rounds_live - 1
+    }
 
-        // the shared per-round arrival state for this rule's bound
-        let ri = match rounds.iter().position(|r| r.from == st.checked_upto) {
-            Some(i) => i,
+    /// Merge one probe worker's fresh memo entries and counters back into
+    /// the support. Values are deterministic, so entry collisions between
+    /// workers always agree.
+    fn absorb(&mut self, local: ProbeScratch) {
+        for (expr, entries) in local.memo {
+            self.probe_memo.entry(expr).or_default().extend(entries);
+        }
+        self.stats.ts_probes += local.stats.ts_probes;
+        self.stats.probe_memo_hits += local.stats.probe_memo_hits;
+    }
+}
+
+/// Probe one candidate rule over the shared probe-instant set: the §4.4
+/// existential for the newly covered range, through the rule's own
+/// compiled plan. Consults the worker's fresh entries first, then the
+/// pre-round memo snapshot; records fresh results in the worker's memo.
+/// This is the per-rule unit of work both the sequential and the
+/// parallel probe phase run.
+fn probe_slot(
+    def: &TriggerDef,
+    st: &mut RuleState,
+    eb: &EventBase,
+    now: Timestamp,
+    probes: &[Timestamp],
+    base_memo: &ProbeMemo,
+    local: &mut ProbeScratch,
+) {
+    let window = st.trigger_window(now);
+    let mut found = false;
+    for &t in probes {
+        let key = (window.after, t);
+        let cached = local
+            .memo
+            .get(&def.events)
+            .and_then(|m| m.get(&key))
+            .or_else(|| base_memo.get(&def.events).and_then(|m| m.get(&key)))
+            .copied();
+        let active = match cached {
+            Some(hit) => {
+                local.stats.probe_memo_hits += 1;
+                hit
+            }
             None => {
-                rounds.push(RoundState {
-                    from: st.checked_upto,
-                    types: None,
-                    probes: None,
-                });
-                rounds.len() - 1
+                local.stats.ts_probes += 1;
+                let active = st.plan.eval(eb, window, t).is_active();
+                local
+                    .memo
+                    .entry(def.events.clone())
+                    .or_default()
+                    .insert(key, active);
+                active
             }
         };
-
-        if self.use_relevance_filter && !st.witness {
-            if rounds[ri].types.is_none() {
-                let mut types: Vec<EventType> = Vec::new();
-                for e in eb.slice(new_range) {
-                    if !types.contains(&e.ty) {
-                        types.push(e.ty);
-                    }
-                }
-                rounds[ri].types = Some(types);
-            }
-            let types = rounds[ri].types.as_deref().expect("just built");
-            let any_arrivals = !types.is_empty();
-            let was_empty = !eb.any_in(Window::new(st.last_consideration, st.checked_upto));
-            if !st.filter.needs_recheck(types, was_empty) {
-                // the skipped range cannot contain a fresh positive
-                // witness; do not advance checked_upto past instants we
-                // never probed unless nothing arrived at all.
-                self.stats.skipped_by_filter += 1;
-                if !any_arrivals {
-                    return false;
-                }
-                st.checked_upto = now;
-                return false;
-            }
-        }
-
-        if !st.witness && !new_range.is_degenerate() {
-            if !self.probe_memo.contains_key(&def.events) {
-                self.probe_memo
-                    .insert(def.events.clone(), HashMap::new());
-            }
-            let memo = self
-                .probe_memo
-                .get_mut(&def.events)
-                .expect("just inserted");
-            if rounds[ri].probes.is_none() {
-                self.stats.probe_sets_built += 1;
-                rounds[ri].probes = Some(probe_instants(eb, rounds[ri].from, now));
-            }
-            let probes = rounds[ri].probes.as_deref().expect("just built");
-            let mut found = false;
-            for &t in probes {
-                let active = match memo.get(&(window.after, t)) {
-                    Some(&hit) => {
-                        self.stats.probe_memo_hits += 1;
-                        hit
-                    }
-                    None => {
-                        self.stats.ts_probes += 1;
-                        let active = st.plan.eval(eb, window, t).is_active();
-                        memo.insert((window.after, t), active);
-                        active
-                    }
-                };
-                if active {
-                    found = true;
-                    break;
-                }
-            }
-            st.witness = found || st.witness;
-            st.checked_upto = now;
-        }
-
-        if st.witness && eb.any_in(window) {
-            st.triggered = true;
-            true
-        } else {
-            false
+        if active {
+            found = true;
+            break;
         }
     }
+    st.witness = found || st.witness;
+    st.checked_upto = now;
 }
 
 #[cfg(test)]
@@ -646,6 +807,74 @@ mod tests {
         eb.append(et(0), Oid(2));
         eb.append(et(1), Oid(2));
         assert_eq!(sup.check(&mut rt, &eb, eb.now()), vec!["r".to_string()]);
+    }
+
+    #[test]
+    fn parallel_round_matches_sequential() {
+        // the same scripted run through 1 and 4 probe workers must leave
+        // identical rule state after every block (the fan-out is the same
+        // per-rule code path run in chunks)
+        let exprs = [
+            p(0),
+            p(0).and(p(1)),
+            p(1).and(p(0).not()),
+            p(0).prec(p(1)),
+            p(0).iand(p(1)),
+            p(0).iprec(p(1)),
+            p(0).iand(p(1)).inot(),
+            p(2).or(p(0)).prec(p(1)),
+        ];
+        let blocks: Vec<Vec<(u32, u64)>> = vec![
+            vec![(0, 1), (1, 2)],
+            vec![],
+            vec![(1, 1)],
+            vec![(2, 3), (0, 3)],
+            vec![(1, 3), (0, 2), (1, 2)],
+        ];
+        let mut rt_seq = RuleTable::new();
+        let mut rt_par = RuleTable::new();
+        for (i, e) in exprs.iter().enumerate() {
+            rt_seq
+                .define(TriggerDef::new(format!("r{i}"), e.clone()), Timestamp::ZERO)
+                .unwrap();
+            rt_par
+                .define(TriggerDef::new(format!("r{i}"), e.clone()), Timestamp::ZERO)
+                .unwrap();
+        }
+        let mut seq = TriggerSupport::optimized();
+        let mut par = TriggerSupport::optimized().with_workers(4);
+        let mut eb_seq = EventBase::new();
+        let mut eb_par = EventBase::new();
+        for block in &blocks {
+            for &(ty, oid) in block {
+                eb_seq.append(et(ty), Oid(oid));
+                eb_par.append(et(ty), Oid(oid));
+            }
+            eb_seq.tick();
+            eb_par.tick();
+            let newly_seq = seq.check(&mut rt_seq, &eb_seq, eb_seq.now());
+            let newly_par = par.check(&mut rt_par, &eb_par, eb_par.now());
+            assert_eq!(newly_seq, newly_par);
+            for i in 0..exprs.len() {
+                let name = format!("r{i}");
+                let a = rt_seq.state(&name).unwrap();
+                let b = rt_par.state(&name).unwrap();
+                assert_eq!(
+                    (a.triggered, a.witness, a.checked_upto, a.last_consideration),
+                    (b.triggered, b.witness, b.checked_upto, b.last_consideration),
+                    "rule {name} diverged"
+                );
+                if a.triggered {
+                    rt_seq.mark_considered(&name, eb_seq.now()).unwrap();
+                    rt_par.mark_considered(&name, eb_par.now()).unwrap();
+                }
+            }
+        }
+        // every probe decision was made on both sides, memoized or not
+        assert_eq!(
+            seq.stats.ts_probes + seq.stats.probe_memo_hits,
+            par.stats.ts_probes + par.stats.probe_memo_hits,
+        );
     }
 
     #[test]

@@ -147,8 +147,22 @@ impl RuleState {
 /// witness per sign-region suffices.)
 pub fn probe_instants(eb: &EventBase, after: Timestamp, now: Timestamp) -> Vec<Timestamp> {
     let mut probes = Vec::new();
+    probe_instants_into(eb, after, now, &mut probes);
+    probes
+}
+
+/// [`probe_instants`] into a caller-owned buffer, so the Trigger Support's
+/// steady-state block path can reuse one allocation per round instead of
+/// growing a fresh vector per block. The buffer is cleared first.
+pub fn probe_instants_into(
+    eb: &EventBase,
+    after: Timestamp,
+    now: Timestamp,
+    probes: &mut Vec<Timestamp>,
+) {
+    probes.clear();
     if now <= after {
-        return probes;
+        return;
     }
     // Built in ascending order: every in-window stamp is >= after+1, each
     // successor interleaves monotonically with the next stamp, and `now`
@@ -163,7 +177,6 @@ pub fn probe_instants(eb: &EventBase, after: Timestamp, now: Timestamp) -> Vec<T
     probes.push(now);
     debug_assert!(probes.windows(2).all(|p| p[0] <= p[1]));
     probes.dedup();
-    probes
 }
 
 /// The §4.4 triggering predicate `T(r, t)`, evaluated from scratch.

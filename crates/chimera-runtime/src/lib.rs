@@ -1,0 +1,84 @@
+//! # chimera-runtime
+//!
+//! A sharded, multi-tenant parallel runtime over the single-threaded
+//! Chimera engine.
+//!
+//! The paper's §5 execution architecture assumes one transaction's Event
+//! Base per detector: a [`chimera_exec::Engine`] is deliberately a
+//! single-threaded reactive machine. This crate serves *many concurrent
+//! sessions* with that machine by composing three layers of parallelism,
+//! none of which changes the per-tenant semantics:
+//!
+//! 1. **Tenant sharding** — every tenant ([`TenantId`]) owns a private
+//!    engine (schema + store + event base + rule table); tenants are
+//!    placed on one of N *shards* by hash. A shard is one worker thread
+//!    plus the engines of its tenants, so all of a tenant's jobs execute
+//!    in submission order on one thread — exactly the sequential engine,
+//!    tenant by tenant.
+//! 2. **Bounded ingestion queues** — each shard is fed through a bounded
+//!    MPSC channel (`std::sync::mpsc::sync_channel`; nothing from
+//!    crates.io). When a queue fills, the configured [`Backpressure`]
+//!    policy either *blocks* the submitter or *sheds* the job, with
+//!    counters for both in [`RuntimeStats`].
+//! 3. **Intra-shard check parallelism** — inside an engine, the per-block
+//!    trigger check round itself can fan the rule table's probe work out
+//!    across a scoped worker pool over the block's shared EB epoch delta
+//!    (`EngineConfig::check_workers`); the sequential round is the same
+//!    code path run as a single chunk, so `parallel == sequential` is a
+//!    testable property, not an aspiration.
+//!
+//! The equivalence oracle is the plain sequential [`chimera_exec::Engine`]:
+//! `tests/runtime_equivalence.rs` (facade-level) proves that interleaved
+//! multi-tenant traffic through the runtime leaves every tenant with the
+//! identical triggered-rule sets, consumption windows, and net effects as
+//! a per-tenant sequential replay.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use chimera_runtime::{Job, Runtime, RuntimeConfig, TenantId};
+//! use chimera_exec::Op;
+//! use chimera_model::{AttrDef, AttrType, SchemaBuilder};
+//!
+//! let mut b = SchemaBuilder::new();
+//! b.class("stock", None, vec![AttrDef::new("qty", AttrType::Integer)]).unwrap();
+//! let schema = b.build();
+//! let stock = schema.class_by_name("stock").unwrap();
+//!
+//! let rt = Runtime::new(schema, vec![], RuntimeConfig::default()).unwrap();
+//! for t in 0..8 {
+//!     rt.submit(TenantId(t), Job::Begin).unwrap();
+//!     rt.submit(TenantId(t), Job::ExecBlock(vec![Op::Create { class: stock, inits: vec![] }])).unwrap();
+//!     rt.submit(TenantId(t), Job::Commit).unwrap();
+//! }
+//! rt.flush().unwrap();
+//! let stats = rt.stats();
+//! assert_eq!(stats.tenants, 8);
+//! assert_eq!(stats.engine.commits, 8);
+//! assert_eq!(stats.jobs_processed, stats.jobs_submitted);
+//! ```
+
+mod runtime;
+mod shard;
+mod stats;
+
+pub use runtime::{Backpressure, Job, Runtime, RuntimeConfig, RuntimeError, TenantId};
+pub use stats::RuntimeStats;
+
+/// Compile-time `Send`/`Sync` audit of everything the runtime moves onto
+/// or shares between worker threads. A regression here (say, a `Rc`
+/// slipping into the rule table) becomes a build error, not a data race.
+#[allow(dead_code)]
+const fn assert_send<T: Send>() {}
+#[allow(dead_code)]
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send::<chimera_exec::Engine>();
+    assert_send::<chimera_rules::RuleTable>();
+    assert_send::<chimera_rules::TriggerSupport>();
+    assert_send::<chimera_rules::RuleState>();
+    assert_send_sync::<chimera_calculus::PlanEval>();
+    assert_send_sync::<chimera_events::EventBase>();
+    assert_send_sync::<Runtime>();
+    assert_send::<Job>();
+};

@@ -1,0 +1,181 @@
+//! One shard: a bounded ingestion queue, a worker thread, and the
+//! engines of the tenants hashed onto it.
+
+use crate::runtime::{Job, TenantId};
+use chimera_exec::{Engine, EngineConfig};
+use chimera_model::Schema;
+use chimera_rules::TriggerDef;
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// One queued job, addressed to a tenant of this shard.
+pub(crate) struct Envelope {
+    pub tenant: TenantId,
+    pub job: Job,
+}
+
+/// Queue accounting used by the flush barrier: `submitted` counts jobs
+/// accepted into the queue, `processed` jobs the worker has retired.
+/// `submitted` is bumped *before* the send (and rolled back on shed /
+/// disconnect), so a flush racing a submit can only over-wait, never
+/// return early.
+#[derive(Debug, Default)]
+pub(crate) struct Progress {
+    pub submitted: u64,
+    pub processed: u64,
+}
+
+/// One tenant's engine plus its error bookkeeping.
+pub(crate) struct TenantSlot {
+    pub engine: Engine,
+    pub job_errors: u64,
+    pub last_error: Option<String>,
+}
+
+/// State shared between a shard's worker thread and the runtime handle.
+pub(crate) struct ShardState {
+    /// Tenant engines, keyed by raw tenant id. The worker holds this lock
+    /// only while processing one job, so inspection (`with_tenant`)
+    /// interleaves cleanly between jobs.
+    pub tenants: Mutex<HashMap<u64, TenantSlot>>,
+    pub progress: Mutex<Progress>,
+    /// Signalled after every retired job; the flush barrier waits on it.
+    pub drained: Condvar,
+    pub shed: AtomicU64,
+    pub blocked: AtomicU64,
+    pub errors: AtomicU64,
+    pub panics: AtomicU64,
+}
+
+/// A shard handle owned by the runtime: the queue's send side, the shared
+/// state, and the worker's join handle (taken at shutdown).
+pub(crate) struct Shard {
+    pub tx: Option<SyncSender<Envelope>>,
+    pub state: Arc<ShardState>,
+    pub worker: Option<JoinHandle<()>>,
+}
+
+impl Shard {
+    /// Spawn a shard: a `sync_channel(capacity)` queue plus one worker
+    /// thread that owns the shard's tenant engines. Fresh tenants get an
+    /// engine over `schema` with every definition of `triggers` installed
+    /// (validated ahead of time by `Runtime::new`).
+    pub fn spawn(
+        index: usize,
+        capacity: usize,
+        schema: Schema,
+        triggers: Arc<Vec<TriggerDef>>,
+        engine_cfg: EngineConfig,
+    ) -> Shard {
+        let (tx, rx) = sync_channel(capacity);
+        let state = Arc::new(ShardState {
+            tenants: Mutex::new(HashMap::new()),
+            progress: Mutex::new(Progress::default()),
+            drained: Condvar::new(),
+            shed: AtomicU64::new(0),
+            blocked: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        });
+        let worker_state = Arc::clone(&state);
+        let worker = std::thread::Builder::new()
+            .name(format!("chimera-shard-{index}"))
+            .spawn(move || run_worker(rx, worker_state, schema, triggers, engine_cfg))
+            .expect("spawn shard worker thread");
+        Shard {
+            tx: Some(tx),
+            state,
+            worker: Some(worker),
+        }
+    }
+}
+
+/// The worker loop: pop a job, run it on its tenant's engine (creating
+/// the engine on the tenant's first job), retire it. Exits when every
+/// sender is dropped (runtime shutdown). A panicking job poisons only its
+/// own tenant: the engine is discarded and the shard keeps serving.
+fn run_worker(
+    rx: Receiver<Envelope>,
+    state: Arc<ShardState>,
+    schema: Schema,
+    triggers: Arc<Vec<TriggerDef>>,
+    engine_cfg: EngineConfig,
+) {
+    while let Ok(env) = rx.recv() {
+        if let Job::Gate { entered, release } = env.job {
+            // test instrumentation: park *outside* the tenant lock so
+            // stats/inspection stay reachable while the worker is gated
+            entered.wait();
+            release.wait();
+            retire(&state);
+            continue;
+        }
+        {
+            let mut tenants = state
+                .tenants
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let slot = tenants.entry(env.tenant.0).or_insert_with(|| TenantSlot {
+                engine: fresh_engine(&schema, &triggers, &engine_cfg),
+                job_errors: 0,
+                last_error: None,
+            });
+            let outcome =
+                std::panic::catch_unwind(AssertUnwindSafe(|| apply(&mut slot.engine, env.job)));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    slot.job_errors += 1;
+                    slot.last_error = Some(e.to_string());
+                    state.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    // mid-job panic: the engine's invariants are suspect,
+                    // drop the whole tenant rather than serve from it
+                    tenants.remove(&env.tenant.0);
+                    state.panics.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        retire(&state);
+    }
+}
+
+/// Retire one job: bump the processed count and wake the flush barrier.
+fn retire(state: &ShardState) {
+    let mut p = state
+        .progress
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    p.processed += 1;
+    drop(p);
+    state.drained.notify_all();
+}
+
+/// A fresh tenant engine with the runtime's trigger set installed.
+fn fresh_engine(schema: &Schema, triggers: &[TriggerDef], cfg: &EngineConfig) -> Engine {
+    let mut engine = Engine::with_config(schema.clone(), cfg.clone());
+    for def in triggers {
+        engine
+            .define_trigger(def.clone())
+            .expect("runtime trigger set is validated at construction");
+    }
+    engine
+}
+
+/// Run one job against a tenant engine.
+fn apply(engine: &mut Engine, job: Job) -> chimera_exec::Result<()> {
+    match job {
+        Job::Begin => engine.begin(),
+        Job::ExecBlock(ops) => engine.exec_block(&ops).map(|_| ()),
+        Job::RaiseExternal(events) => engine.raise_external(&events).map(|_| ()),
+        Job::Commit => engine.commit(),
+        Job::Rollback => engine.rollback(),
+        Job::DefineTrigger(def) => engine.define_trigger(*def),
+        Job::Gate { .. } => unreachable!("gates are handled by the worker loop, not a tenant"),
+    }
+}

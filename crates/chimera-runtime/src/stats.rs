@@ -1,0 +1,60 @@
+//! Aggregated runtime counters.
+
+use chimera_exec::EngineStats;
+use chimera_rules::table::SupportStats;
+
+/// A point-in-time aggregate over every shard and tenant engine of a
+/// [`crate::Runtime`]: queue accounting (submitted / processed / shed /
+/// blocked), job failures, and the summed engine + trigger-support work
+/// counters. Obtained from [`crate::Runtime::stats`]; exact when the
+/// runtime is quiesced (after [`crate::Runtime::flush`]), a live snapshot
+/// otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Shards (= worker threads) in the runtime.
+    pub shards: usize,
+    /// Tenants with a live engine.
+    pub tenants: usize,
+    /// Jobs accepted into a queue (shed submissions are not counted).
+    pub jobs_submitted: u64,
+    /// Jobs fully processed by a worker.
+    pub jobs_processed: u64,
+    /// Jobs rejected by the [`crate::Backpressure::Shed`] policy because
+    /// the target shard's queue was full.
+    pub jobs_shed: u64,
+    /// Submissions that found the queue full and had to wait under the
+    /// [`crate::Backpressure::Block`] policy.
+    pub submits_blocked: u64,
+    /// Jobs whose engine operation returned an error (recorded per
+    /// tenant; the job still counts as processed).
+    pub job_errors: u64,
+    /// Worker-side panics while processing a job (the tenant's engine is
+    /// discarded; the runtime keeps serving every other tenant).
+    pub job_panics: u64,
+    /// Engine work counters, summed over every tenant engine.
+    pub engine: EngineStats,
+    /// Trigger-support counters, summed over every tenant engine.
+    pub support: SupportStats,
+}
+
+impl RuntimeStats {
+    /// Fold one tenant engine's counters into the aggregate.
+    pub(crate) fn add_engine(&mut self, e: EngineStats) {
+        self.engine.blocks += e.blocks;
+        self.engine.events += e.events;
+        self.engine.considerations += e.considerations;
+        self.engine.executions += e.executions;
+        self.engine.commits += e.commits;
+        self.engine.rollbacks += e.rollbacks;
+    }
+
+    /// Fold one tenant engine's trigger-support counters in.
+    pub(crate) fn add_support(&mut self, s: SupportStats) {
+        self.support.rules_checked += s.rules_checked;
+        self.support.skipped_by_filter += s.skipped_by_filter;
+        self.support.ts_probes += s.ts_probes;
+        self.support.probe_memo_hits += s.probe_memo_hits;
+        self.support.check_rounds += s.check_rounds;
+        self.support.probe_sets_built += s.probe_sets_built;
+    }
+}

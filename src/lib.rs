@@ -49,6 +49,7 @@
 //! | [`rules`] | `chimera-rules` | triggers, rule table, triggering semantics |
 //! | [`lang`] | `chimera-lang` | lexer/parser/pretty-printer |
 //! | [`exec`] | `chimera-exec` | the execution engine |
+//! | [`runtime`] | `chimera-runtime` | sharded multi-tenant parallel runtime |
 //! | [`baselines`] | `chimera-baselines` | Ode/Snoop/naive comparators |
 //! | [`workload`] | `chimera-workload` | generators and traces |
 //! | [`analysis`] | `chimera-analysis` | triggering graph, termination, confluence |
@@ -77,6 +78,25 @@
 //!    of O(window).
 //!
 //! All three agree bit for bit; `tests/plan_equivalence.rs` enforces it.
+//!
+//! ## Serving many sessions: the parallel runtime
+//!
+//! A single [`exec::Engine`] is deliberately a single-threaded reactive
+//! machine (the paper's §5 architecture assumes one transaction's Event
+//! Base per detector). [`runtime`] scales it out without changing its
+//! semantics:
+//!
+//! * **tenant shards** — every tenant owns a private engine; tenants are
+//!   hashed onto N worker threads, each fed by a bounded MPSC queue with
+//!   a block-or-shed backpressure policy and aggregate `RuntimeStats`;
+//! * **parallel check rounds** — inside a shard, the per-block trigger
+//!   check round itself can split the rule table's probe work across a
+//!   scoped worker pool over one shared EB epoch delta
+//!   (`EngineConfig::check_workers`); the sequential round is the same
+//!   code path run as a single chunk.
+//!
+//! Both layers are observationally identical to the sequential engine,
+//! tenant by tenant; `tests/runtime_equivalence.rs` enforces it.
 
 pub use chimera_analysis as analysis;
 pub use chimera_baselines as baselines;
@@ -87,6 +107,7 @@ pub use chimera_lang as lang;
 pub use chimera_model as model;
 pub use chimera_persist as persist;
 pub use chimera_rules as rules;
+pub use chimera_runtime as runtime;
 pub use chimera_temporal as temporal;
 pub use chimera_workload as workload;
 
@@ -107,5 +128,8 @@ pub mod prelude {
     pub use crate::rules::{
         ActionStmt, Condition, ConsumptionMode, CouplingMode, RuleTable, TriggerDef,
         TriggerSupport,
+    };
+    pub use crate::runtime::{
+        Backpressure, Job, Runtime, RuntimeConfig, RuntimeStats, TenantId,
     };
 }

@@ -46,6 +46,11 @@ use chimera::exec::{
     EngineStats, ExecError, Op,
 };
 
+// chimera-runtime
+use chimera::runtime::{
+    Backpressure, Job, Runtime, RuntimeConfig, RuntimeError, RuntimeStats, TenantId,
+};
+
 // chimera-baselines
 use chimera::baselines::{naive_ts, GraphDetector, NaiveTriggerChecker, SnoopRecentDetector};
 
@@ -101,6 +106,30 @@ fn prelude_covers_the_working_set() {
         .unwrap();
     engine.commit().unwrap();
     assert_eq!(occs.len(), 1, "create must be logged in the event base");
+
+    // ...and the same block through the sharded multi-tenant runtime
+    let mut builder = SchemaBuilder::new();
+    builder
+        .class(
+            "stock",
+            None,
+            vec![AttrDef::new("quantity", AttrType::Integer)],
+        )
+        .unwrap();
+    let rt = Runtime::new(builder.build(), vec![], RuntimeConfig::default()).unwrap();
+    rt.submit(TenantId(1), Job::Begin).unwrap();
+    rt.exec_block(
+        TenantId(1),
+        vec![Op::Create {
+            class: stock,
+            inits: vec![],
+        }],
+    )
+    .unwrap();
+    rt.commit(TenantId(1)).unwrap();
+    rt.flush().unwrap();
+    let stats: RuntimeStats = rt.stats();
+    assert_eq!(stats.engine.commits, 1);
 }
 
 #[test]
