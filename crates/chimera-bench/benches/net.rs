@@ -1,0 +1,191 @@
+//! PERF-9 — wire throughput: events/sec through the `chimera-net` TCP
+//! front-end over loopback, at 1/16/256-event blocks × 1/16/256
+//! tenants.
+//!
+//! One benchmark iteration is one full service session: bind a server
+//! over a fresh sharded runtime, connect a client, pipeline every
+//! tenant's blocks through `SubmitBlock` (each answered by its per-job
+//! completion), drain the completions, verify the accounting, shut the
+//! server down. That makes the number an end-to-end one — framing,
+//! syscalls, queueing, engine work, and completion replies all
+//! included; compare against `parallel.rs` (same engine work, no wire)
+//! to read the protocol overhead.
+//!
+//! `cargo bench -p chimera-bench --bench net`; wired into
+//! `CHIMERA_BENCH_JSON` like every other target.
+
+use chimera_model::{AttrDef, AttrType, Schema, SchemaBuilder};
+use chimera_net::{Client, ExternalEvent, Server, ServerConfig};
+use chimera_runtime::{Backpressure, Runtime, RuntimeConfig, TenantId};
+use chimera_rules::TriggerDef;
+use chimera_calculus::EventExpr;
+use chimera_events::EventType;
+use chimera_exec::EngineConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn measure_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.class("item", None, vec![AttrDef::new("qty", AttrType::Integer)])
+        .unwrap();
+    b.build()
+}
+
+/// The static_opt-shaped rule table (16 rule channels, conjunction +
+/// precedence mix) so check rounds do real plan work per block.
+fn rules(schema: &Schema, nrules: usize) -> Vec<TriggerDef> {
+    let item = schema.class_by_name("item").unwrap();
+    let p = |n: u32| EventExpr::prim(EventType::external(item, n));
+    (0..nrules)
+        .map(|i| {
+            let a = 1000 + (i as u32 % 16);
+            let b = 1000 + ((i as u32 + 7) % 16);
+            let expr = if i % 2 == 0 { p(a).and(p(b)) } else { p(a).prec(p(b)) };
+            TriggerDef::new(format!("r{i}"), expr)
+        })
+        .collect()
+}
+
+/// One tenant block: `per_block` external events, ~50% on rule channels.
+fn block(tenant: u64, b: u64, per_block: usize) -> Vec<ExternalEvent> {
+    let mut k = tenant.wrapping_mul(0x9E37_79B9).wrapping_add(b);
+    (0..per_block)
+        .map(|_| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let roll = (k >> 33) % 100;
+            let ch = if roll < 50 {
+                1000 + ((k >> 13) % 16) as u32
+            } else {
+                ((k >> 13) % 16) as u32
+            };
+            ExternalEvent {
+                class: 0,
+                channel: ch,
+                oid: (k >> 7) % 32 + 1,
+            }
+        })
+        .collect()
+}
+
+/// One full service session over loopback; returns events fed.
+fn run_session(
+    schema: &Schema,
+    defs: &[TriggerDef],
+    tenants: u64,
+    blocks: u64,
+    per_block: usize,
+) -> u64 {
+    let runtime = Arc::new(
+        Runtime::new(
+            schema.clone(),
+            defs.to_vec(),
+            RuntimeConfig {
+                shards: 4,
+                queue_capacity: 128,
+                backpressure: Backpressure::Block,
+                engine: EngineConfig {
+                    max_rule_steps: usize::MAX / 2,
+                    ..EngineConfig::default()
+                },
+            },
+        )
+        .expect("valid rule set"),
+    );
+    let server = Server::bind("127.0.0.1:0", runtime, ServerConfig::default())
+        .expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for t in 0..tenants {
+        client.begin(t).unwrap();
+    }
+    // interleave tenants per block so every shard's queue stays fed
+    for b in 0..blocks {
+        for t in 0..tenants {
+            client
+                .raise_external(t, block(t, b, per_block))
+                .unwrap();
+        }
+    }
+    let completions = client.drain().unwrap();
+    assert!(completions.iter().all(|d| d.outcome.is_done()));
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.jobs_processed, stats.jobs_submitted);
+    assert_eq!(stats.job_errors + stats.job_panics, 0);
+    let processed = server.runtime().with_tenant(TenantId(0), |e| e.stats().events);
+    assert!(processed.is_some());
+    server.shutdown();
+    tenants * blocks * per_block as u64
+}
+
+fn bench_net(c: &mut Criterion) {
+    let schema = schema();
+    let nrules = if measure_mode() { 100 } else { 10 };
+    let defs = rules(&schema, nrules);
+    let block_sizes: &[usize] = if measure_mode() { &[1, 16, 256] } else { &[1, 16] };
+    let tenant_counts: &[u64] = if measure_mode() { &[1, 16, 256] } else { &[1, 4] };
+    for &per_block in block_sizes {
+        let mut g = c.benchmark_group(format!("net_b{per_block}"));
+        for &tenants in tenant_counts {
+            // size each session to a few thousand events so a measured
+            // pass stays near the shim's 200 ms target regardless of
+            // the matrix point
+            let blocks = if measure_mode() {
+                (4096 / (tenants as usize * per_block)).max(1) as u64
+            } else {
+                2
+            };
+            g.throughput(Throughput::Elements(tenants * blocks * per_block as u64));
+            g.bench_with_input(
+                BenchmarkId::new("tenants", tenants),
+                &tenants,
+                |b, &tenants| {
+                    b.iter(|| {
+                        black_box(run_session(&schema, &defs, tenants, blocks, per_block))
+                    });
+                },
+            );
+        }
+        g.finish();
+    }
+}
+
+/// The self-reported summary: loopback events/sec at the matrix corners,
+/// next to host parallelism (this is an end-to-end number; a single-core
+/// host serializes client, server threads and shard workers).
+fn report_wire_throughput(c: &mut Criterion) {
+    let _ = c;
+    let schema = schema();
+    if !measure_mode() {
+        let defs = rules(&schema, 10);
+        black_box(run_session(&schema, &defs, 2, 1, 4));
+        return;
+    }
+    let defs = rules(&schema, 100);
+    let point = |tenants: u64, per_block: usize| {
+        let blocks = (8192 / (tenants as usize * per_block)).max(1) as u64;
+        run_session(&schema, &defs, tenants, blocks, per_block); // warmup
+        let start = Instant::now();
+        let mut events = 0u64;
+        for _ in 0..3 {
+            events += run_session(&schema, &defs, tenants, blocks, per_block);
+        }
+        events as f64 / start.elapsed().as_secs_f64()
+    };
+    let small = point(1, 1);
+    let mid = point(16, 16);
+    let big = point(256, 256);
+    println!(
+        "net loopback throughput, 100 rules: 1t x 1-ev blocks {small:.0} ev/s \
+         (per-RTT bound), 16t x 16-ev {mid:.0} ev/s, 256t x 256-ev {big:.0} ev/s \
+         (host parallelism {})",
+        std::thread::available_parallelism().map_or(0, |n| n.get()),
+    );
+}
+
+criterion_group!(benches, bench_net, report_wire_throughput);
+criterion_main!(benches);

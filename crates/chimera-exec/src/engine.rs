@@ -227,6 +227,14 @@ impl Engine {
     pub fn support_stats(&self) -> chimera_rules::table::SupportStats {
         self.support.stats
     }
+    /// Share a probe worker pool with other engines. The multi-tenant
+    /// runtime installs one pool per *shard* on every tenant engine the
+    /// shard owns, so parked probe threads scale with shards ×
+    /// (`check_workers` − 1), not with tenants. Purely a resource-sharing
+    /// knob: check-round results are identical either way.
+    pub fn use_shared_probe_pool(&mut self, pool: chimera_rules::SharedProbePool) {
+        self.support.use_shared_pool(pool);
+    }
     /// Is a transaction active?
     pub fn in_transaction(&self) -> bool {
         self.in_txn

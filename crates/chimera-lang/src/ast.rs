@@ -9,9 +9,9 @@
 //! names happens at parse time against the schema built so far, so the
 //! parser is handed a schema-building context by the interpreter.
 
-use chimera_model::Value;
+use chimera_model::{Schema, Value};
 use chimera_rules::condition::Term;
-use chimera_rules::{ActionStmt, Condition, ConsumptionMode, CouplingMode};
+use chimera_rules::{ActionStmt, Condition, ConsumptionMode, CouplingMode, TriggerDef};
 use chimera_calculus::EventExpr;
 
 /// One attribute in a class declaration.
@@ -56,6 +56,32 @@ pub struct TriggerDecl {
     pub consumption: ConsumptionMode,
     /// Priority.
     pub priority: i32,
+}
+
+impl TriggerDecl {
+    /// Lower this declaration into an engine rule against `schema`.
+    /// Events, condition and actions are already in their resolved ASTs
+    /// (the parser resolves names at parse time); only the target class
+    /// name remains to be looked up here. The one lowering shared by the
+    /// facade interpreter and the wire protocol's `DefineTriggers`.
+    pub fn lower(&self, schema: &Schema) -> Result<TriggerDef, crate::ParseError> {
+        let target = match &self.target {
+            Some(name) => Some(schema.class_by_name(name).map_err(|e| {
+                crate::ParseError::new(e.to_string(), crate::Span::default())
+            })?),
+            None => None,
+        };
+        Ok(TriggerDef {
+            name: self.name.clone(),
+            target,
+            events: self.events.clone(),
+            condition: self.condition.clone(),
+            actions: self.actions.clone(),
+            coupling: self.coupling,
+            consumption: self.consumption,
+            priority: self.priority,
+        })
+    }
 }
 
 /// One transaction-script statement. Each statement is a

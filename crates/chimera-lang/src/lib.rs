@@ -38,7 +38,7 @@ pub mod token;
 pub use ast::{AttrSpec, ClassDecl, Item, Program, ScriptStmt, TriggerDecl};
 pub use error::ParseError;
 pub use lexer::lex;
-pub use parser::{parse_event_expr, parse_program, Parser};
+pub use parser::{parse_event_expr, parse_program, parse_trigger_decls, Parser};
 pub use pretty::{print_class, print_event_expr, print_trigger};
 pub use token::{Span, Token, TokenKind};
 

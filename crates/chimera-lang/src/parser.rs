@@ -62,6 +62,31 @@ pub fn parse_event_expr(src: &str, schema: &Schema, target: Option<ClassId>) -> 
     Ok(expr)
 }
 
+/// Parse a sequence of `define … trigger … end` declarations against an
+/// *existing* schema — the entry point for callers whose classes are
+/// already fixed (a networked `DefineTriggers` request, a trigger loaded
+/// into a live engine). Class declarations and script statements are
+/// rejected: only triggers may arrive through here.
+pub fn parse_trigger_decls(src: &str, schema: &Schema) -> Result<Vec<TriggerDecl>> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        builder: SchemaBuilder::new(),
+    };
+    let mut decls = Vec::new();
+    while !matches!(p.peek(), TokenKind::Eof) {
+        p.expect_kw("define")?;
+        if p.peek().is_kw("class") {
+            return Err(p.err(
+                "class declarations are not allowed here: the schema is already fixed",
+            ));
+        }
+        decls.push(p.trigger_decl_with(schema)?);
+    }
+    Ok(decls)
+}
+
 impl Parser {
     /// New parser over a source string.
     pub fn new(src: &str) -> Result<Self> {
@@ -241,6 +266,14 @@ impl Parser {
     // -------------------------------------------------------- trigger decl
 
     fn trigger_decl(&mut self) -> Result<TriggerDecl> {
+        let schema = self.builder.current().clone();
+        self.trigger_decl_with(&schema)
+    }
+
+    /// Parse one trigger declaration (after its `define`) resolving
+    /// names against `schema` — the schema built so far when parsing a
+    /// whole program, or a caller-supplied one ([`parse_trigger_decls`]).
+    fn trigger_decl_with(&mut self, schema: &Schema) -> Result<TriggerDecl> {
         let mut coupling = CouplingMode::Immediate;
         let mut consumption = ConsumptionMode::Consuming;
         loop {
@@ -265,18 +298,16 @@ impl Parser {
         };
         let target = match &target_name {
             Some(n) => Some(
-                self.builder
-                    .current()
+                schema
                     .class_by_name(n)
                     .map_err(|e| self.err(e.to_string()))?,
             ),
             None => None,
         };
         self.expect_kw("events")?;
-        let schema = self.builder.current().clone();
-        let events = self.event_disj_with(&schema, target)?;
+        let events = self.event_disj_with(schema, target)?;
         let condition = if self.eat_kw("condition") {
-            self.condition(&schema, target)?
+            self.condition(schema, target)?
         } else {
             Condition::always()
         };
@@ -852,6 +883,39 @@ end
 
     fn schema() -> Schema {
         parse_program(SCHEMA_SRC).unwrap().1
+    }
+
+    #[test]
+    fn trigger_decls_parse_against_an_existing_schema() {
+        let schema = schema();
+        let decls = parse_trigger_decls(
+            "define immediate trigger reorder for stock
+               events create , modify(quantity)
+               condition stock(S), S.quantity > S.max_quantity
+               actions modify(S.quantity, S.max_quantity)
+             end
+             define deferred trigger audit
+               events create(stockOrder)
+             end",
+            &schema,
+        )
+        .unwrap();
+        assert_eq!(decls.len(), 2);
+        assert_eq!(decls[0].name, "reorder");
+        assert_eq!(decls[0].target.as_deref(), Some("stock"));
+        let def = decls[0].lower(&schema).unwrap();
+        assert_eq!(def.target, Some(schema.class_by_name("stock").unwrap()));
+        assert_eq!(decls[1].coupling, CouplingMode::Deferred);
+
+        // classes are fixed: a class declaration is rejected outright
+        let err = parse_trigger_decls("define class rogue end", &schema).unwrap_err();
+        assert!(err.to_string().contains("schema is already fixed"), "{err}");
+        // and unknown names fail cleanly, not at lowering time
+        assert!(parse_trigger_decls(
+            "define trigger t events create(ghost) end",
+            &schema
+        )
+        .is_err());
     }
 
     #[test]

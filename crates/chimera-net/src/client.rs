@@ -1,0 +1,346 @@
+//! The blocking client: a handshaked TCP connection with request
+//! pipelining for submissions.
+//!
+//! Responses arrive in strict request order (the server guarantees one
+//! response per request), so the client keeps a count of outstanding
+//! [`Request::SubmitBlock`]s: [`Client::submit`] fires without waiting
+//! (bounded by [`PIPELINE_WINDOW`] — the oldest completion is drained
+//! when the window fills), [`Client::drain`] collects every outstanding
+//! completion, and the synchronous calls (`stats`, `flush`, queries)
+//! drain first so their response is the next frame on the stream.
+
+use crate::proto::{Request, Response, TenantQuery, TenantReply, WireJob, WireStats};
+use crate::wire::{read_frame, write_frame, WireError, MAX_FRAME, PROTOCOL_VERSION};
+use std::fmt;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Outstanding pipelined submissions before [`Client::submit`] drains
+/// the oldest completion. Keeps the socket's send buffer comfortably
+/// unfilled (requests are small) so a non-reading writer cannot
+/// deadlock against a non-writing reader.
+pub const PIPELINE_WINDOW: usize = 32;
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Transport/codec failure.
+    Wire(WireError),
+    /// The server answered [`Response::Error`].
+    Remote(String),
+    /// The server answered, but with the wrong response kind.
+    Unexpected(String),
+    /// The server closed the connection mid-conversation.
+    Closed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Wire(e) => write!(f, "{e}"),
+            NetError::Remote(msg) => write!(f, "server error: {msg}"),
+            NetError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+            NetError::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Wire(WireError::from(e))
+    }
+}
+
+/// One job's completion, as the client sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobDone {
+    /// Runtime-wide job id.
+    pub job: u64,
+    /// The tenant the job ran for.
+    pub tenant: u64,
+    /// How it ended.
+    pub outcome: crate::proto::WireOutcome,
+}
+
+/// A blocking protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame: usize,
+    /// Outstanding SubmitBlock requests whose JobDone is still unread
+    /// from the socket.
+    pending: usize,
+    /// Completions read off the socket (to unblock a synchronous call)
+    /// but not yet delivered to the caller. No completion is ever
+    /// silently dropped: [`Client::recv_job_done`] and
+    /// [`Client::drain`] serve these first, oldest first.
+    buffered: std::collections::VecDeque<JobDone>,
+    server: String,
+    shards: u32,
+}
+
+impl Client {
+    /// Connect and handshake with the default frame bound.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, NetError> {
+        Client::connect_with(addr, "chimera-client", MAX_FRAME)
+    }
+
+    /// Connect, announcing `name`, with an explicit frame bound.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        name: &str,
+        max_frame: usize,
+    ) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            max_frame,
+            pending: 0,
+            buffered: std::collections::VecDeque::new(),
+            server: String::new(),
+            shards: 0,
+        };
+        let resp = client.call(Request::Hello {
+            version: PROTOCOL_VERSION,
+            client: name.into(),
+        })?;
+        match resp {
+            Response::HelloAck { server, shards, .. } => {
+                client.server = server;
+                client.shards = shards;
+                Ok(client)
+            }
+            Response::Error { message } => Err(NetError::Remote(message)),
+            other => Err(NetError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// The server's announced name.
+    pub fn server_name(&self) -> &str {
+        &self.server
+    }
+
+    /// The server runtime's shard count.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Completions not yet delivered to the caller (unread from the
+    /// socket plus buffered by a synchronous call).
+    pub fn outstanding(&self) -> usize {
+        self.pending + self.buffered.len()
+    }
+
+    // ------------------------------------------------------- raw plumbing
+
+    fn send(&mut self, req: &Request) -> Result<(), NetError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, NetError> {
+        let payload = read_frame(&mut self.reader, self.max_frame)?.ok_or(NetError::Closed)?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    /// Send one request and read *its* response. Outstanding completions
+    /// are read off the socket first (stream order) and buffered for the
+    /// caller to collect later — never dropped.
+    fn call(&mut self, req: Request) -> Result<Response, NetError> {
+        while self.pending > 0 {
+            let done = self.recv_job_done_raw()?;
+            self.buffered.push_back(done);
+        }
+        self.send(&req)?;
+        self.recv()
+    }
+
+    // -------------------------------------------------------- submissions
+
+    /// Pipeline one job: fire the request without waiting for its
+    /// completion. When [`PIPELINE_WINDOW`] submissions are in flight,
+    /// the oldest completion is drained (and returned) to make room.
+    pub fn submit(
+        &mut self,
+        tenant: u64,
+        job: WireJob,
+    ) -> Result<Option<JobDone>, NetError> {
+        let drained = if self.pending >= PIPELINE_WINDOW {
+            // read one off the socket to shrink the in-flight window,
+            // and hand the caller the *oldest* undelivered completion
+            let done = self.recv_job_done_raw()?;
+            self.buffered.push_back(done);
+            self.buffered.pop_front()
+        } else {
+            None
+        };
+        self.send(&Request::SubmitBlock { tenant, job })?;
+        self.pending += 1;
+        Ok(drained)
+    }
+
+    /// Submit one job and wait for its completion. Any older buffered
+    /// completions stay buffered (collect them with [`Client::drain`]).
+    pub fn submit_wait(&mut self, tenant: u64, job: WireJob) -> Result<JobDone, NetError> {
+        while self.pending > 0 {
+            let done = self.recv_job_done_raw()?;
+            self.buffered.push_back(done);
+        }
+        self.send(&Request::SubmitBlock { tenant, job })?;
+        self.pending += 1;
+        self.recv_job_done_raw()
+    }
+
+    /// Read one completion off the socket.
+    fn recv_job_done_raw(&mut self) -> Result<JobDone, NetError> {
+        debug_assert!(self.pending > 0, "no submission outstanding");
+        let resp = self.recv()?;
+        self.pending -= 1;
+        match resp {
+            Response::JobDone {
+                job,
+                tenant,
+                outcome,
+            } => Ok(JobDone {
+                job,
+                tenant,
+                outcome,
+            }),
+            Response::Error { message } => Err(NetError::Remote(message)),
+            other => Err(NetError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// The oldest outstanding completion: buffered first, then the
+    /// socket. Errs immediately if nothing is outstanding (a blocking
+    /// read would otherwise hang forever on a server with nothing to
+    /// say).
+    pub fn recv_job_done(&mut self) -> Result<JobDone, NetError> {
+        if let Some(done) = self.buffered.pop_front() {
+            return Ok(done);
+        }
+        if self.pending == 0 {
+            return Err(NetError::Unexpected(
+                "no submission outstanding: nothing to receive".into(),
+            ));
+        }
+        self.recv_job_done_raw()
+    }
+
+    /// Drain every outstanding completion, oldest first.
+    pub fn drain(&mut self) -> Result<Vec<JobDone>, NetError> {
+        let mut done = Vec::with_capacity(self.outstanding());
+        while self.outstanding() > 0 {
+            done.push(self.recv_job_done()?);
+        }
+        Ok(done)
+    }
+
+    // ---------------------------------------------- job conveniences
+
+    /// `submit(tenant, WireJob::Begin)`.
+    pub fn begin(&mut self, tenant: u64) -> Result<Option<JobDone>, NetError> {
+        self.submit(tenant, WireJob::Begin)
+    }
+    /// `submit(tenant, WireJob::ExecBlock(ops))`.
+    pub fn exec_block(
+        &mut self,
+        tenant: u64,
+        ops: Vec<crate::proto::WireOp>,
+    ) -> Result<Option<JobDone>, NetError> {
+        self.submit(tenant, WireJob::ExecBlock(ops))
+    }
+    /// `submit(tenant, WireJob::RaiseExternal(events))`.
+    pub fn raise_external(
+        &mut self,
+        tenant: u64,
+        events: Vec<crate::proto::ExternalEvent>,
+    ) -> Result<Option<JobDone>, NetError> {
+        self.submit(tenant, WireJob::RaiseExternal(events))
+    }
+    /// `submit(tenant, WireJob::Commit)`.
+    pub fn commit(&mut self, tenant: u64) -> Result<Option<JobDone>, NetError> {
+        self.submit(tenant, WireJob::Commit)
+    }
+    /// `submit(tenant, WireJob::Rollback)`.
+    pub fn rollback(&mut self, tenant: u64) -> Result<Option<JobDone>, NetError> {
+        self.submit(tenant, WireJob::Rollback)
+    }
+
+    // --------------------------------------------------- synchronous calls
+
+    /// Install tenant-local triggers from `define trigger` source text;
+    /// returns how many were installed.
+    pub fn define_triggers(&mut self, tenant: u64, source: &str) -> Result<u32, NetError> {
+        match self.call(Request::DefineTriggers {
+            tenant,
+            source: source.into(),
+        })? {
+            Response::TriggersDefined { count } => Ok(count),
+            Response::Error { message } => Err(NetError::Remote(message)),
+            other => Err(NetError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Runtime-wide flush barrier.
+    pub fn flush(&mut self) -> Result<(), NetError> {
+        match self.call(Request::Flush)? {
+            Response::FlushDone => Ok(()),
+            Response::Error { message } => Err(NetError::Remote(message)),
+            other => Err(NetError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Aggregate runtime stats.
+    pub fn stats(&mut self) -> Result<WireStats, NetError> {
+        match self.call(Request::Stats)? {
+            Response::StatsReply(s) => Ok(s),
+            Response::Error { message } => Err(NetError::Remote(message)),
+            other => Err(NetError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Inspect one tenant's engine.
+    pub fn tenant_query(
+        &mut self,
+        tenant: u64,
+        query: TenantQuery,
+    ) -> Result<TenantReply, NetError> {
+        match self.call(Request::WithTenantQuery { tenant, query })? {
+            Response::TenantReply(reply) => Ok(reply),
+            Response::Error { message } => Err(NetError::Remote(message)),
+            other => Err(NetError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask the server to stop (flushes the runtime first). The
+    /// connection is closed by the server afterwards.
+    pub fn shutdown_server(&mut self) -> Result<(), NetError> {
+        match self.call(Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            Response::Error { message } => Err(NetError::Remote(message)),
+            other => Err(NetError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("server", &self.server)
+            .field("shards", &self.shards)
+            .field("pending", &self.pending)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,63 @@
+//! # chimera-net
+//!
+//! A framed wire protocol and TCP server/client front-end over the
+//! multi-tenant [`chimera_runtime::Runtime`].
+//!
+//! The paper's §5 execution architecture places the detector *inside*
+//! the database transaction; this workspace's north star points the
+//! other way — composite-event detection as a service under heavy
+//! external traffic. PR 4's sharded runtime made the engine
+//! multi-tenant but only reachable in-process, with fire-and-forget
+//! jobs. This crate closes the client/server gap:
+//!
+//! * **[`wire`]** — length-prefixed binary framing and primitives,
+//!   hand-rolled on `std::net` (no crates.io in the build container;
+//!   the no-serde decision is documented in `chimera-persist`). Bounded
+//!   frames, typed errors, no panics on garbage input.
+//! * **[`proto`]** — the request/response vocabulary: `Hello`,
+//!   `DefineTriggers` (concrete §2–§3 trigger syntax parsed server-side
+//!   through `chimera-lang`), `SubmitBlock`, `Flush`, `Stats`,
+//!   `WithTenantQuery`, `Shutdown`; answered by `HelloAck`, per-job
+//!   `JobDone` completions carrying trigger-firing summaries, stats and
+//!   tenant-inspection replies.
+//! * **[`server`]** — a multi-threaded acceptor driving one shared
+//!   `Runtime`: per-connection handler threads parse frames, submit
+//!   through the runtime's per-job completion path
+//!   (`Runtime::submit_with_reply`), and stream every job's outcome
+//!   back in request order. No flush-and-poll anywhere.
+//! * **[`client`]** — a blocking client with submission pipelining,
+//!   used by the examples, the loopback bench (`benches/net.rs`) and
+//!   the network equivalence suite.
+//!
+//! The correctness bar is the house style: traffic through the server
+//! is **observationally identical** to the same blocks replayed on an
+//! in-process sequential `Engine`, tenant by tenant —
+//! `tests/net_equivalence.rs` (facade level) proves it with concurrent
+//! TCP clients against the per-tenant sequential oracle.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, JobDone, NetError, PIPELINE_WINDOW};
+pub use proto::{
+    ExternalEvent, Request, Response, TenantQuery, TenantReply, WireJob, WireOp, WireOutcome,
+    WireStats, JOB_REJECTED,
+};
+pub use server::{Server, ServerConfig};
+pub use wire::{read_frame, write_frame, WireError, MAX_FRAME, PROTOCOL_VERSION};
+
+/// Compile-time `Send`/`Sync` audit of what crosses the server's thread
+/// boundaries.
+#[allow(dead_code)]
+const fn assert_send<T: Send>() {}
+#[allow(dead_code)]
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send::<Server>();
+    assert_send::<Client>();
+    assert_send::<Request>();
+    assert_send::<Response>();
+    assert_send_sync::<ServerConfig>();
+};

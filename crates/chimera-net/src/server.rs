@@ -1,0 +1,567 @@
+//! The TCP front-end: accept connections, parse frames, drive the
+//! shared [`Runtime`], stream per-job completions back.
+//!
+//! Each connection runs as a reader/writer thread pair (the runtime
+//! underneath is the scaling layer — shard workers bound the actual
+//! engine parallelism; connection threads mostly park in socket reads
+//! and reply waits). The protocol is strictly ordered: one response per
+//! request, in request order — but the *reader* submits every
+//! [`Request::SubmitBlock`] through [`Runtime::submit_with_reply`]
+//! without waiting, handing the per-job reply slot to the *writer*'s
+//! bounded FIFO; the writer resolves slots in order and frames each
+//! [`Response::JobDone`] — success summary, engine error, or panic
+//! notice — as the shards retire the jobs. A client that pipelines
+//! blocks across tenants therefore keeps all of its submissions in
+//! flight across the shards, and still observes every job's outcome
+//! without a flush anywhere.
+//!
+//! Error containment: a payload that fails to *decode* is answered with
+//! [`Response::Error`] and the connection continues (frame boundaries
+//! are still sound); a broken *frame* (oversized length prefix,
+//! truncation) desynchronizes the stream, so the connection is dropped.
+//! Neither path panics the server (fuzzed in `tests/loopback.rs`).
+
+use crate::proto::{Request, Response, TenantQuery, TenantReply, WireStats};
+use crate::wire::{read_frame, write_frame, WireError, MAX_FRAME, PROTOCOL_VERSION};
+use chimera_lang::parse_trigger_decls;
+use chimera_runtime::{Job, JobReply, Runtime, TenantId};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// Responses queued between a connection's reader and writer halves.
+/// Larger than any sane client pipeline window (the bundled client uses
+/// 32), so a cooperating client never blocks the reader on this bound.
+const SERVER_PIPELINE: usize = 256;
+
+/// Wake a `listener.incoming()` loop parked on `addr` by connecting to
+/// it once. A wildcard bind (0.0.0.0 / ::) is not self-connectable, so
+/// the connection targets loopback on the bound port instead; the
+/// attempt is time-bounded so a non-connectable address degrades to a
+/// delay, never a hang.
+fn wake_accept_loop(addr: SocketAddr) {
+    let mut target = addr;
+    if target.ip().is_unspecified() {
+        target.set_ip(match target {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect_timeout(&target, std::time::Duration::from_secs(1));
+}
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Name announced in [`Response::HelloAck`].
+    pub name: String,
+    /// Per-frame payload bound for both directions.
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            name: "chimera-net".into(),
+            max_frame: MAX_FRAME,
+        }
+    }
+}
+
+/// A live connection's bookkeeping: the handler thread plus a clone of
+/// its stream, kept so shutdown can close the socket out from under a
+/// blocked read (a parked handler can't observe the stop flag).
+struct Conn {
+    handle: JoinHandle<()>,
+    stream: TcpStream,
+}
+
+/// A running server: an accept-loop thread plus one handler thread per
+/// live connection, all over one shared [`Runtime`].
+pub struct Server {
+    addr: SocketAddr,
+    runtime: Arc<Runtime>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<Conn>>>,
+}
+
+impl Server {
+    /// Bind and start serving `runtime` on `addr` (use port 0 for an
+    /// ephemeral port; [`Server::local_addr`] reports the real one).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        runtime: Arc<Runtime>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<Conn>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let runtime = Arc::clone(&runtime);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("chimera-net-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let Ok(stream_clone) = stream.try_clone() else {
+                            continue;
+                        };
+                        let runtime = Arc::clone(&runtime);
+                        let stop_conn = Arc::clone(&stop);
+                        let config = config.clone();
+                        let handle = std::thread::Builder::new()
+                            .name("chimera-net-conn".into())
+                            .spawn(move || {
+                                let done = stream.try_clone().ok();
+                                let _ = serve_conn(stream, addr, &runtime, &config, &stop_conn);
+                                // actively close the TCP connection: the
+                                // registry's clone would otherwise hold
+                                // the socket open past the handler's
+                                // death, and the peer would never see EOF
+                                if let Some(s) = done {
+                                    let _ = s.shutdown(std::net::Shutdown::Both);
+                                }
+                            })
+                            .expect("spawn connection handler");
+                        let mut conns = conns.lock().unwrap_or_else(PoisonError::into_inner);
+                        // reap finished handlers so the list stays small
+                        conns.retain(|c| !c.handle.is_finished());
+                        conns.push(Conn {
+                            handle,
+                            stream: stream_clone,
+                        });
+                    }
+                    // the stop flag is up (wire-side Shutdown or host
+                    // shutdown): actively close every live connection so
+                    // handlers parked in socket reads terminate now, not
+                    // at the host's eventual join
+                    let conns = conns.lock().unwrap_or_else(PoisonError::into_inner);
+                    for conn in conns.iter() {
+                        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            addr,
+            runtime,
+            stop,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (real port, also when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared runtime (the host can inspect tenants directly).
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.runtime
+    }
+
+    /// Has a wire-side [`Request::Shutdown`] (or a host-side
+    /// [`Server::shutdown`]) stopped the accept loop?
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, close down the handler threads, and join them.
+    /// The runtime is left running (it belongs to the host).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // wake the accept loop with a throwaway connection
+        wake_accept_loop(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let conns: Vec<Conn> = {
+            let mut conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
+            conns.drain(..).collect()
+        };
+        for conn in &conns {
+            // unblock a handler parked in a socket read; an already
+            // closed peer makes this a no-op error
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+        for conn in conns {
+            let _ = conn.handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("stopped", &self.is_stopped())
+            .finish_non_exhaustive()
+    }
+}
+
+/// One ordered response slot of a connection's writer queue.
+enum Out {
+    /// A submitted job's completion path: the writer parks on the slot
+    /// (FIFO, preserving response-per-request order) and sends the
+    /// `JobDone` when the shard retires the job. Job id and tenant ride
+    /// along so even a vanished worker gets a correlated reply.
+    Job {
+        job: u64,
+        tenant: u64,
+        rx: Receiver<JobReply>,
+    },
+    /// An already-computed response.
+    Resp(Response),
+}
+
+/// One connection, split in two halves so pipelined submissions overlap
+/// inside the runtime: the **reader** decodes requests and *submits*
+/// jobs without waiting (their completion slots go into a bounded FIFO),
+/// while the **writer** resolves that FIFO in order — parking on each
+/// job's reply slot, then framing the `JobDone` — so a client that
+/// pipelines N blocks across N tenants keeps N jobs in flight across
+/// the shards instead of one. Response order remains exactly request
+/// order. Returns when the peer closes cleanly, the stream
+/// desynchronizes, or the server stops.
+fn serve_conn(
+    stream: TcpStream,
+    server_addr: SocketAddr,
+    runtime: &Runtime,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+) -> Result<(), WireError> {
+    let mut reader = BufReader::new(stream.try_clone().map_err(WireError::from)?);
+    let writer_stream = stream;
+    std::thread::scope(|scope| {
+        let (out_tx, out_rx) = sync_channel::<Out>(SERVER_PIPELINE);
+        let writer = scope.spawn(move || -> Result<(), WireError> {
+            let mut w = BufWriter::new(writer_stream);
+            while let Ok(item) = out_rx.recv() {
+                let resp = match item {
+                    Out::Job { job, tenant, rx } => match rx.recv() {
+                        Ok(reply) => Response::job_done(reply),
+                        // the worker vanished mid-job (only a killed
+                        // thread can do this); the job's fate is unknown
+                        Err(_) => Response::JobDone {
+                            job,
+                            tenant,
+                            outcome: crate::proto::WireOutcome::Error {
+                                message: "shard worker is gone; job outcome unknown".into(),
+                            },
+                        },
+                    },
+                    Out::Resp(resp) => resp,
+                };
+                write_frame(&mut w, &resp.encode())?;
+                w.flush()?;
+            }
+            Ok(())
+        });
+        let read_result = read_loop(&mut reader, runtime, config, stop, &out_tx);
+        // closing the queue lets the writer drain what's pending (every
+        // accepted job still gets its completion on the wire) and exit
+        drop(out_tx);
+        let write_result = writer.join().expect("connection writer panicked");
+        if matches!(read_result, Ok(true)) {
+            // this connection acked a wire-side Shutdown. Only now —
+            // with the writer drained, so the ack (and every pending
+            // completion) is on the wire — wake the accept loop, whose
+            // exit sweep force-closes the live sockets
+            wake_accept_loop(server_addr);
+        }
+        read_result.map(|_| ()).and(write_result)
+    })
+}
+
+/// The reader half of [`serve_conn`]. A failed `send` into the writer
+/// queue means the writer died on a socket error — the connection is
+/// over, so the reader just leaves. `Ok(true)` means this connection
+/// acked a wire-side Shutdown (the caller wakes the accept loop once
+/// the ack is flushed).
+fn read_loop(
+    reader: &mut BufReader<TcpStream>,
+    runtime: &Runtime,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+    out: &SyncSender<Out>,
+) -> Result<bool, WireError> {
+    // the handshake gate: nothing but a version-matched Hello is served
+    // until one has been seen, so the version check cannot be bypassed
+    let mut greeted = false;
+    loop {
+        // a wire-side Shutdown from *any* connection stops this one at
+        // its next request (and the accept loop closes parked sockets)
+        if stop.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        let payload = match read_frame(reader, config.max_frame) {
+            Ok(Some(p)) => p,
+            // clean close between frames: the peer is done
+            Ok(None) => return Ok(false),
+            // broken framing: the stream position is unknowable, so
+            // answer once and drop the connection
+            Err(e) => {
+                let _ = out.send(Out::Resp(Response::Error {
+                    message: e.to_string(),
+                }));
+                return Err(e);
+            }
+        };
+        let req = match Request::decode(&payload) {
+            // a payload-level decode error leaves frame boundaries
+            // intact: answer and keep serving (the handshake, if still
+            // pending, stays pending)
+            Err(e) => {
+                let sent = out.send(Out::Resp(Response::Error {
+                    message: e.to_string(),
+                }));
+                if sent.is_err() {
+                    return Ok(false);
+                }
+                continue;
+            }
+            Ok(req) => req,
+        };
+        if !greeted && !matches!(req, Request::Hello { .. }) {
+            let _ = out.send(Out::Resp(Response::Error {
+                message: "handshake required: the first request must be Hello".into(),
+            }));
+            return Ok(false);
+        }
+        match req {
+            // the hot path: submit and move on — the writer delivers
+            // the completion when the shard retires the job
+            Request::SubmitBlock { tenant, job } => {
+                let item = match runtime.submit_with_reply(TenantId(tenant), job.into_job())
+                {
+                    Ok((id, rx)) => Out::Job {
+                        job: id.0,
+                        tenant,
+                        rx,
+                    },
+                    // a rejected submission (shed, worker gone) still
+                    // gets a JobDone-shaped reply so pipelined clients
+                    // keep exact submission↔completion accounting
+                    Err(e) => Out::Resp(Response::JobDone {
+                        job: crate::proto::JOB_REJECTED,
+                        tenant,
+                        outcome: crate::proto::WireOutcome::Error {
+                            message: e.to_string(),
+                        },
+                    }),
+                };
+                if out.send(item).is_err() {
+                    return Ok(false);
+                }
+            }
+            Request::Hello { .. } => {
+                let resp = handle(req, runtime, config);
+                let rejected = matches!(resp, Response::Error { .. });
+                let sent = out.send(Out::Resp(resp));
+                if rejected || sent.is_err() {
+                    // a version-mismatched client must not keep talking:
+                    // its frames would be misread under this version
+                    return Ok(false);
+                }
+                greeted = true;
+            }
+            Request::Shutdown => {
+                let resp = handle(req, runtime, config);
+                // only an acked shutdown stops the server: a failed
+                // pre-shutdown flush is answered with Error and the
+                // server keeps serving (no side effect behind an error)
+                let acked = matches!(resp, Response::ShutdownAck);
+                if acked {
+                    // stop *before* the ack is on the wire, so a client
+                    // that saw the ack observes a stopped server
+                    stop.store(true, Ordering::SeqCst);
+                }
+                let sent = out.send(Out::Resp(resp));
+                if acked {
+                    // the caller wakes the accept loop once the writer
+                    // has flushed the ack (waking earlier would let the
+                    // exit sweep close this socket under the ack)
+                    return Ok(true);
+                }
+                if sent.is_err() {
+                    return Ok(false);
+                }
+            }
+            req => {
+                if out.send(Out::Resp(handle(req, runtime, config))).is_err() {
+                    return Ok(false);
+                }
+            }
+        }
+    }
+}
+
+/// Serve one decoded request.
+fn handle(req: Request, runtime: &Runtime, config: &ServerConfig) -> Response {
+    match req {
+        Request::Hello { version, client: _ } => {
+            if version != PROTOCOL_VERSION {
+                Response::Error {
+                    message: format!(
+                        "protocol version mismatch: client {version}, server {PROTOCOL_VERSION}"
+                    ),
+                }
+            } else {
+                Response::HelloAck {
+                    version: PROTOCOL_VERSION,
+                    server: config.name.clone(),
+                    shards: runtime.shard_count() as u32,
+                }
+            }
+        }
+        Request::DefineTriggers { tenant, source } => {
+            define_triggers(runtime, TenantId(tenant), &source)
+        }
+        Request::SubmitBlock { tenant, job } => {
+            submit_block(runtime, TenantId(tenant), job.into_job())
+        }
+        Request::Flush => match runtime.flush() {
+            Ok(()) => Response::FlushDone,
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Stats => Response::StatsReply(WireStats::from(runtime.stats())),
+        Request::WithTenantQuery { tenant, query } => {
+            Response::TenantReply(tenant_query(runtime, TenantId(tenant), query))
+        }
+        Request::Shutdown => match runtime.flush() {
+            Ok(()) => Response::ShutdownAck,
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+    }
+}
+
+/// Blocking fallback for a [`Request::SubmitBlock`] that reaches
+/// [`handle`]: submit and park on the completion slot. The read loop
+/// normally intercepts submissions before `handle` to pipeline them
+/// through the writer queue; this path keeps `handle` total.
+fn submit_block(runtime: &Runtime, tenant: TenantId, job: Job) -> Response {
+    match runtime.submit_with_reply(tenant, job) {
+        Err(e) => Response::JobDone {
+            job: crate::proto::JOB_REJECTED,
+            tenant: tenant.0,
+            outcome: crate::proto::WireOutcome::Error {
+                message: e.to_string(),
+            },
+        },
+        Ok((id, rx)) => match rx.recv() {
+            Ok(reply) => Response::job_done(reply),
+            // the worker vanished mid-job (only a killed thread can do
+            // this); the job's fate is unknown
+            Err(_) => Response::JobDone {
+                job: id.0,
+                tenant: tenant.0,
+                outcome: crate::proto::WireOutcome::Error {
+                    message: "shard worker is gone; job outcome unknown".into(),
+                },
+            },
+        },
+    }
+}
+
+/// Parse `define trigger` source against the runtime schema and install
+/// each trigger on the tenant's engine, waiting for every definition to
+/// be applied. First failure wins; triggers defined before it stay
+/// defined (matching the engine's own sequential semantics).
+fn define_triggers(runtime: &Runtime, tenant: TenantId, source: &str) -> Response {
+    let decls = match parse_trigger_decls(source, runtime.schema()) {
+        Ok(d) => d,
+        Err(e) => {
+            return Response::Error {
+                message: format!("trigger parse error: {e}"),
+            }
+        }
+    };
+    let mut count = 0u32;
+    for decl in &decls {
+        let def = match decl.lower(runtime.schema()) {
+            Ok(d) => d,
+            Err(e) => {
+                return Response::Error {
+                    message: format!("trigger lowering error: {e}"),
+                }
+            }
+        };
+        let submitted =
+            runtime.submit_with_reply(tenant, Job::DefineTrigger(Box::new(def)));
+        let outcome = match submitted {
+            Ok((_, rx)) => rx.recv().map_err(|_| "shard worker is gone".to_string()),
+            Err(e) => Err(e.to_string()),
+        };
+        match outcome {
+            Ok(reply) if reply.outcome.is_done() => count += 1,
+            Ok(reply) => {
+                return Response::Error {
+                    message: format!("trigger `{}` rejected: {:?}", decl.name, reply.outcome),
+                }
+            }
+            Err(message) => return Response::Error { message },
+        }
+    }
+    Response::TriggersDefined { count }
+}
+
+/// Read one tenant engine through [`Runtime::with_tenant`].
+fn tenant_query(runtime: &Runtime, tenant: TenantId, query: TenantQuery) -> TenantReply {
+    match query {
+        TenantQuery::Extent { class } => runtime
+            .with_tenant(tenant, |e| {
+                let mut oids: Vec<u64> =
+                    e.extent(chimera_model::ClassId(class)).iter().map(|o| o.0).collect();
+                oids.sort_unstable();
+                TenantReply::Extent(oids)
+            })
+            .unwrap_or(TenantReply::NoSuchTenant),
+        TenantQuery::EventLogLen => runtime
+            .with_tenant(tenant, |e| {
+                TenantReply::EventLogLen(e.event_base().len() as u64)
+            })
+            .unwrap_or(TenantReply::NoSuchTenant),
+        TenantQuery::Errors => runtime
+            .tenant_errors(tenant)
+            .map(|(count, last)| TenantReply::Errors { count, last })
+            .unwrap_or(TenantReply::NoSuchTenant),
+        TenantQuery::EngineStats => runtime
+            .with_tenant(tenant, |e| {
+                let s = e.stats();
+                TenantReply::EngineStats {
+                    blocks: s.blocks,
+                    events: s.events,
+                    considerations: s.considerations,
+                    executions: s.executions,
+                    commits: s.commits,
+                    rollbacks: s.rollbacks,
+                }
+            })
+            .unwrap_or(TenantReply::NoSuchTenant),
+    }
+}

@@ -1,0 +1,360 @@
+//! Loopback server suite: a live end-to-end smoke over every request
+//! kind, per-job completion semantics, and a malformed-input fuzz loop
+//! against the server's frame parser (the server must never panic and
+//! must keep serving well-formed clients afterwards).
+
+use chimera_calculus::EventExpr;
+use chimera_events::EventType;
+use chimera_model::{AttrDef, AttrType, Schema, SchemaBuilder, Value};
+use chimera_net::wire::write_frame;
+use chimera_net::{
+    Client, ExternalEvent, NetError, Server, ServerConfig, TenantQuery, TenantReply, WireJob,
+    WireOp, WireOutcome,
+};
+use chimera_rules::TriggerDef;
+use chimera_runtime::{Backpressure, Runtime, RuntimeConfig};
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.class(
+        "stock",
+        None,
+        vec![
+            AttrDef::new("quantity", AttrType::Integer),
+            AttrDef::with_default("max_quantity", AttrType::Integer, Value::Int(100)),
+        ],
+    )
+    .unwrap();
+    b.build()
+}
+
+/// One runtime-wide trigger: every external tick on channel 1 creates a
+/// stock object (an observable firing).
+fn tick_trigger(s: &Schema) -> TriggerDef {
+    let stock = s.class_by_name("stock").unwrap();
+    let mut def = TriggerDef::new("onTick", EventExpr::prim(EventType::external(stock, 1)));
+    def.actions = vec![chimera_rules::ActionStmt::Create {
+        class: "stock".into(),
+        inits: vec![],
+    }];
+    def
+}
+
+fn start_server(triggers: Vec<TriggerDef>) -> Server {
+    let s = schema();
+    let rt = Runtime::new(
+        s,
+        triggers,
+        RuntimeConfig {
+            shards: 2,
+            queue_capacity: 16,
+            backpressure: Backpressure::Block,
+            engine: Default::default(),
+        },
+    )
+    .unwrap();
+    Server::bind("127.0.0.1:0", Arc::new(rt), ServerConfig::default()).unwrap()
+}
+
+#[test]
+fn full_request_vocabulary_round_trips() {
+    let server = start_server(vec![tick_trigger(&schema())]);
+    let addr = server.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    assert_eq!(c.server_name(), "chimera-net");
+    assert_eq!(c.shards(), 2);
+
+    let stock = 0u32; // ClassId(0) in this schema
+    let tenant = 7u64;
+
+    // begin + raise: the tick trigger fires, summary says so
+    c.begin(tenant).unwrap();
+    let done = c
+        .submit_wait(
+            tenant,
+            WireJob::RaiseExternal(vec![ExternalEvent {
+                class: stock,
+                channel: 1,
+                oid: 0,
+            }]),
+        )
+        .unwrap();
+    match done.outcome {
+        WireOutcome::Done {
+            events,
+            considerations,
+            executions,
+        } => {
+            assert_eq!(events, 2, "1 external + 1 rule-action create");
+            assert_eq!(considerations, 1);
+            assert_eq!(executions, 1);
+        }
+        other => panic!("expected Done, got {other:?}"),
+    }
+
+    // an exec block with a typed Value payload
+    let done = c
+        .submit_wait(
+            tenant,
+            WireJob::ExecBlock(vec![WireOp::Create {
+                class: stock,
+                inits: vec![(0, Value::Int(42))],
+            }]),
+        )
+        .unwrap();
+    assert!(done.outcome.is_done());
+    c.commit(tenant).unwrap();
+
+    // an engine error comes back as an Error outcome on the job itself
+    let done = c.submit_wait(tenant, WireJob::Commit).unwrap();
+    match &done.outcome {
+        WireOutcome::Error { message } => assert!(message.contains("no active transaction")),
+        other => panic!("expected Error outcome, got {other:?}"),
+    }
+
+    // tenant-local triggers defined over the wire, from concrete syntax
+    let n = c
+        .define_triggers(
+            tenant,
+            "define immediate trigger clampQty for stock
+               events modify(quantity)
+               condition stock(S), S.quantity > S.max_quantity
+               actions modify(S.quantity, S.max_quantity)
+             end",
+        )
+        .unwrap();
+    assert_eq!(n, 1);
+    // a bad one is a remote error, not a dead connection
+    match c.define_triggers(tenant, "define trigger t events create(ghost) end") {
+        Err(NetError::Remote(msg)) => assert!(msg.contains("parse error"), "{msg}"),
+        other => panic!("expected Remote, got {other:?}"),
+    }
+
+    // flush + stats + tenant inspection
+    c.flush().unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.shards, 2);
+    assert_eq!(stats.jobs_processed, stats.jobs_submitted);
+    assert_eq!(stats.job_errors, 1);
+    assert_eq!(stats.commits, 1);
+    match c.tenant_query(tenant, TenantQuery::Extent { class: stock }).unwrap() {
+        // tick-created + block-created objects survived the commit
+        TenantReply::Extent(oids) => assert_eq!(oids.len(), 2),
+        other => panic!("expected Extent, got {other:?}"),
+    }
+    match c.tenant_query(tenant, TenantQuery::Errors).unwrap() {
+        TenantReply::Errors { count, last } => {
+            assert_eq!(count, 1);
+            assert!(last.unwrap().contains("no active transaction"));
+        }
+        other => panic!("expected Errors, got {other:?}"),
+    }
+    // a tenant that never submitted has no engine
+    assert_eq!(
+        c.tenant_query(99, TenantQuery::EventLogLen).unwrap(),
+        TenantReply::NoSuchTenant
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_submissions_all_complete_in_order() {
+    let server = start_server(vec![]);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let stock = 0u32;
+    const TENANTS: u64 = 16;
+    const BLOCKS: u64 = 8;
+    let mut completions = Vec::new();
+    for t in 0..TENANTS {
+        if let Some(d) = c.begin(t).unwrap() {
+            completions.push(d);
+        }
+    }
+    for b in 0..BLOCKS {
+        for t in 0..TENANTS {
+            let d = c
+                .raise_external(
+                    t,
+                    vec![ExternalEvent {
+                        class: stock,
+                        channel: (b % 3) as u32,
+                        oid: b,
+                    }],
+                )
+                .unwrap();
+            completions.extend(d);
+        }
+    }
+    for t in 0..TENANTS {
+        completions.extend(c.commit(t).unwrap());
+    }
+    completions.extend(c.drain().unwrap());
+    // every submission got exactly one completion, in submission order,
+    // with no flush anywhere
+    assert_eq!(completions.len() as u64, TENANTS * (BLOCKS + 2));
+    let ids: Vec<u64> = completions.iter().map(|d| d.job).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted, "completions arrive in submission order");
+    assert!(completions.iter().all(|d| d.outcome.is_done()));
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.jobs_processed, stats.jobs_submitted);
+    assert_eq!(stats.tenants, TENANTS);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_input_cannot_kill_the_server() {
+    let server = start_server(vec![]);
+    let addr = server.local_addr();
+    let mut rng = StdRng::seed_from_u64(0xBADF00D);
+
+    for round in 0..20 {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        match round % 4 {
+            // raw byte soup (usually an insane length prefix)
+            0 => {
+                let n = rng.random_range(1..64usize);
+                let soup: Vec<u8> = (0..n).map(|_| rng.next_u32() as u8).collect();
+                let _ = sock.write_all(&soup);
+            }
+            // a well-framed payload full of garbage
+            1 => {
+                let n = rng.random_range(1..48usize);
+                let soup: Vec<u8> = (0..n).map(|_| rng.next_u32() as u8).collect();
+                let _ = write_frame(&mut sock, &soup);
+            }
+            // a frame announcing more than it delivers, then a hangup
+            2 => {
+                let _ = sock.write_all(&1000u32.to_le_bytes());
+                let _ = sock.write_all(&[0u8; 10]);
+            }
+            // a frame over the server's bound
+            _ => {
+                let _ = sock.write_all(&(u32::MAX).to_le_bytes());
+            }
+        }
+        drop(sock);
+    }
+
+    // truncated *valid* requests: cut a real encoding mid-frame
+    let hello = chimera_net::Request::Hello {
+        version: chimera_net::PROTOCOL_VERSION,
+        client: "fuzz".into(),
+    }
+    .encode();
+    for cut in 1..hello.len() {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &hello).unwrap();
+        let _ = sock.write_all(&framed[..4 + cut]);
+        drop(sock);
+    }
+
+    // a garbage payload in a sound frame gets an Error *response* and
+    // the connection keeps serving
+    let mut sock = TcpStream::connect(addr).unwrap();
+    write_frame(&mut sock, &[0xEE, 0x01, 0x02]).unwrap();
+    let reply = chimera_net::read_frame(&mut sock, 1 << 20).unwrap().unwrap();
+    match chimera_net::Response::decode(&reply).unwrap() {
+        chimera_net::Response::Error { message } => {
+            assert!(message.contains("unknown tag"), "{message}")
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // same connection, now a valid request
+    write_frame(
+        &mut sock,
+        &chimera_net::Request::Hello {
+            version: chimera_net::PROTOCOL_VERSION,
+            client: "post-garbage".into(),
+        }
+        .encode(),
+    )
+    .unwrap();
+    let reply = chimera_net::read_frame(&mut sock, 1 << 20).unwrap().unwrap();
+    assert!(matches!(
+        chimera_net::Response::decode(&reply).unwrap(),
+        chimera_net::Response::HelloAck { .. }
+    ));
+    drop(sock);
+
+    // after all that, a fresh well-formed client still works end to end
+    let mut c = Client::connect(addr).unwrap();
+    c.begin(1).unwrap();
+    c.commit(1).unwrap();
+    let done = c.drain().unwrap();
+    assert_eq!(done.len(), 2);
+    assert!(done.iter().all(|d| d.outcome.is_done()));
+    server.shutdown();
+}
+
+#[test]
+fn wire_shutdown_stops_the_server() {
+    let server = start_server(vec![]);
+    let addr = server.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    c.begin(3).unwrap();
+    c.commit(3).unwrap();
+    c.drain().unwrap();
+    c.shutdown_server().unwrap();
+    assert!(server.is_stopped());
+    server.shutdown(); // idempotent from the host side
+    // the listener is gone: new connections fail outright
+    assert!(Client::connect(addr).is_err());
+}
+
+#[test]
+fn handshake_is_mandatory() {
+    let server = start_server(vec![]);
+    let addr = server.local_addr();
+    // first well-formed request is not Hello: answered + closed
+    let mut sock = TcpStream::connect(addr).unwrap();
+    write_frame(&mut sock, &chimera_net::Request::Stats.encode()).unwrap();
+    let reply = chimera_net::read_frame(&mut sock, 1 << 20).unwrap().unwrap();
+    match chimera_net::Response::decode(&reply).unwrap() {
+        chimera_net::Response::Error { message } => {
+            assert!(message.contains("handshake required"), "{message}")
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    let _ = sock.read_to_end(&mut rest); // server closed the connection
+    assert!(rest.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn version_mismatch_is_rejected() {
+    let server = start_server(vec![]);
+    let addr = server.local_addr();
+    let mut sock = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut sock,
+        &chimera_net::Request::Hello {
+            version: 999,
+            client: "time traveler".into(),
+        }
+        .encode(),
+    )
+    .unwrap();
+    let reply = chimera_net::read_frame(&mut sock, 1 << 20).unwrap().unwrap();
+    match chimera_net::Response::decode(&reply).unwrap() {
+        chimera_net::Response::Error { message } => {
+            assert!(message.contains("version mismatch"), "{message}")
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // keep the read half open so the server-side write can't race the
+    // hangup; explicit shutdown of our write half signals we're done
+    let _ = sock.shutdown(std::net::Shutdown::Write);
+    let mut rest = Vec::new();
+    let _ = sock.read_to_end(&mut rest);
+    server.shutdown();
+}

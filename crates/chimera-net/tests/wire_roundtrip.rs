@@ -1,0 +1,324 @@
+//! Codec property suite: `decode(encode(x)) == x` on arbitrary
+//! messages, and *no* input — truncated, garbage-prefixed, bit-flipped,
+//! or lying about its length — makes the decoder panic or allocate
+//! unboundedly.
+
+use chimera_model::{Oid, TotalF64, Value};
+use chimera_net::wire::{read_frame, write_frame, WireError};
+use chimera_net::{
+    ExternalEvent, Request, Response, TenantQuery, TenantReply, WireJob, WireOp, WireOutcome,
+    WireStats,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+
+// ------------------------------------------------- arbitrary generators
+
+fn arb_string(rng: &mut StdRng) -> String {
+    let len = rng.random_range(0..12usize);
+    (0..len)
+        .map(|_| char::from_u32(rng.random_range(0x20..0x2FF)).unwrap_or('x'))
+        .collect()
+}
+
+fn arb_value(rng: &mut StdRng) -> Value {
+    match rng.random_range(0..7u32) {
+        0 => Value::Null,
+        1 => Value::Int(rng.next_u64() as i64),
+        // raw bit patterns: NaNs and signed zeros must round-trip too
+        2 => Value::Float(TotalF64::from_bits(rng.next_u64())),
+        3 => Value::Str(arb_string(rng)),
+        4 => Value::Bool(rng.next_u32() & 1 == 1),
+        5 => Value::Time(rng.next_u64()),
+        _ => Value::Ref(Oid(rng.next_u64())),
+    }
+}
+
+fn arb_op(rng: &mut StdRng) -> WireOp {
+    match rng.random_range(0..6u32) {
+        0 => WireOp::Create {
+            class: rng.next_u32(),
+            inits: (0..rng.random_range(0..4usize))
+                .map(|_| (rng.next_u32(), arb_value(rng)))
+                .collect(),
+        },
+        1 => WireOp::Modify {
+            oid: rng.next_u64(),
+            attr: rng.next_u32(),
+            value: arb_value(rng),
+        },
+        2 => WireOp::Delete {
+            oid: rng.next_u64(),
+        },
+        3 => WireOp::Specialize {
+            oid: rng.next_u64(),
+            class: rng.next_u32(),
+        },
+        4 => WireOp::Generalize {
+            oid: rng.next_u64(),
+            class: rng.next_u32(),
+        },
+        _ => WireOp::Select {
+            class: rng.next_u32(),
+            deep: rng.next_u32() & 1 == 1,
+        },
+    }
+}
+
+fn arb_job(rng: &mut StdRng) -> WireJob {
+    match rng.random_range(0..5u32) {
+        0 => WireJob::Begin,
+        1 => WireJob::ExecBlock((0..rng.random_range(0..5usize)).map(|_| arb_op(rng)).collect()),
+        2 => WireJob::RaiseExternal(
+            (0..rng.random_range(0..5usize))
+                .map(|_| ExternalEvent {
+                    class: rng.next_u32(),
+                    channel: rng.next_u32(),
+                    oid: rng.next_u64(),
+                })
+                .collect(),
+        ),
+        3 => WireJob::Commit,
+        _ => WireJob::Rollback,
+    }
+}
+
+fn arb_query(rng: &mut StdRng) -> TenantQuery {
+    match rng.random_range(0..4u32) {
+        0 => TenantQuery::Extent {
+            class: rng.next_u32(),
+        },
+        1 => TenantQuery::EventLogLen,
+        2 => TenantQuery::Errors,
+        _ => TenantQuery::EngineStats,
+    }
+}
+
+fn arb_request(rng: &mut StdRng) -> Request {
+    match rng.random_range(0..7u32) {
+        0 => Request::Hello {
+            version: rng.next_u32(),
+            client: arb_string(rng),
+        },
+        1 => Request::DefineTriggers {
+            tenant: rng.next_u64(),
+            source: arb_string(rng),
+        },
+        2 => Request::SubmitBlock {
+            tenant: rng.next_u64(),
+            job: arb_job(rng),
+        },
+        3 => Request::Flush,
+        4 => Request::Stats,
+        5 => Request::WithTenantQuery {
+            tenant: rng.next_u64(),
+            query: arb_query(rng),
+        },
+        _ => Request::Shutdown,
+    }
+}
+
+fn arb_outcome(rng: &mut StdRng) -> WireOutcome {
+    match rng.random_range(0..3u32) {
+        0 => WireOutcome::Done {
+            events: rng.next_u64(),
+            considerations: rng.next_u64(),
+            executions: rng.next_u64(),
+        },
+        1 => WireOutcome::Error {
+            message: arb_string(rng),
+        },
+        _ => WireOutcome::Panicked,
+    }
+}
+
+fn arb_response(rng: &mut StdRng) -> Response {
+    match rng.random_range(0..8u32) {
+        0 => Response::HelloAck {
+            version: rng.next_u32(),
+            server: arb_string(rng),
+            shards: rng.next_u32(),
+        },
+        1 => Response::JobDone {
+            job: rng.next_u64(),
+            tenant: rng.next_u64(),
+            outcome: arb_outcome(rng),
+        },
+        2 => Response::TriggersDefined {
+            count: rng.next_u32(),
+        },
+        3 => Response::FlushDone,
+        4 => Response::StatsReply(WireStats {
+            shards: rng.next_u32(),
+            tenants: rng.next_u64(),
+            jobs_submitted: rng.next_u64(),
+            jobs_processed: rng.next_u64(),
+            jobs_shed: rng.next_u64(),
+            submits_blocked: rng.next_u64(),
+            job_errors: rng.next_u64(),
+            job_panics: rng.next_u64(),
+            blocks: rng.next_u64(),
+            events: rng.next_u64(),
+            considerations: rng.next_u64(),
+            executions: rng.next_u64(),
+            commits: rng.next_u64(),
+            rollbacks: rng.next_u64(),
+        }),
+        5 => Response::TenantReply(match rng.random_range(0..5u32) {
+            0 => TenantReply::NoSuchTenant,
+            1 => TenantReply::Extent(
+                (0..rng.random_range(0..6usize))
+                    .map(|_| rng.next_u64())
+                    .collect(),
+            ),
+            2 => TenantReply::EventLogLen(rng.next_u64()),
+            3 => TenantReply::Errors {
+                count: rng.next_u64(),
+                last: if rng.next_u32() & 1 == 1 {
+                    Some(arb_string(rng))
+                } else {
+                    None
+                },
+            },
+            _ => TenantReply::EngineStats {
+                blocks: rng.next_u64(),
+                events: rng.next_u64(),
+                considerations: rng.next_u64(),
+                executions: rng.next_u64(),
+                commits: rng.next_u64(),
+                rollbacks: rng.next_u64(),
+            },
+        }),
+        6 => Response::ShutdownAck,
+        _ => Response::Error {
+            message: arb_string(rng),
+        },
+    }
+}
+
+// ------------------------------------------------------------ properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity on requests.
+    #[test]
+    fn request_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let req = arb_request(&mut rng);
+            let bytes = req.encode();
+            prop_assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    /// encode → decode is the identity on responses.
+    #[test]
+    fn response_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let resp = arb_response(&mut rng);
+            let bytes = resp.encode();
+            prop_assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    /// Every strict prefix of a valid encoding is rejected as truncated
+    /// (never a panic, never a silent partial decode).
+    #[test]
+    fn truncated_encodings_rejected(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let req = arb_request(&mut rng);
+        let bytes = req.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(Request::decode(&bytes[..cut]).is_err(), "cut {}", cut);
+        }
+        let resp = arb_response(&mut rng);
+        let bytes = resp.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(Response::decode(&bytes[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+
+    /// Appending garbage to a valid encoding is `Trailing`, and decoding
+    /// arbitrary byte soup returns an error or an honest message — and
+    /// never panics.
+    #[test]
+    fn garbage_never_panics(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let req = arb_request(&mut rng);
+        let mut bytes = req.encode();
+        bytes.push(rng.next_u32() as u8);
+        prop_assert!(matches!(
+            Request::decode(&bytes),
+            Err(WireError::Trailing { .. }) | Err(_)
+        ));
+        for _ in 0..16 {
+            let len = rng.random_range(0..64usize);
+            let soup: Vec<u8> = (0..len).map(|_| rng.next_u32() as u8).collect();
+            let _ = Request::decode(&soup);   // must return, not panic
+            let _ = Response::decode(&soup);
+        }
+        // bit flips over a valid encoding
+        let mut bytes = arb_response(&mut rng).encode();
+        for _ in 0..16 {
+            let i = rng.random_range(0..bytes.len());
+            bytes[i] ^= 1 << rng.random_range(0..8u32);
+            let _ = Response::decode(&bytes); // any Result is fine
+        }
+    }
+}
+
+// ------------------------------------------------------------- framing
+
+#[test]
+fn frame_roundtrip_and_bounds() {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, b"hello").unwrap();
+    write_frame(&mut buf, &[0xAB; 300]).unwrap();
+    let mut cursor = &buf[..];
+    assert_eq!(read_frame(&mut cursor, 1024).unwrap().unwrap(), b"hello");
+    assert_eq!(read_frame(&mut cursor, 1024).unwrap().unwrap(), vec![0xAB; 300]);
+    // clean EOF between frames
+    assert_eq!(read_frame(&mut cursor, 1024).unwrap(), None);
+
+    // a frame over the bound is rejected before allocation
+    let mut big = Vec::new();
+    write_frame(&mut big, &[0u8; 2048]).unwrap();
+    match read_frame(&mut &big[..], 1024) {
+        Err(WireError::FrameTooLarge { len: 2048, max: 1024 }) => {}
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+
+    // a lying length prefix (announces more than the stream holds)
+    let lying = 64u32.to_le_bytes().to_vec();
+    assert_eq!(read_frame(&mut &lying[..], 1024), Err(WireError::Truncated));
+
+    // a zero-length frame carries no tag: rejected
+    let empty = 0u32.to_le_bytes().to_vec();
+    assert_eq!(read_frame(&mut &empty[..], 1024), Err(WireError::EmptyFrame));
+
+    // EOF inside the header
+    assert_eq!(read_frame(&mut &[0x01u8][..], 1024), Err(WireError::Truncated));
+}
+
+#[test]
+fn hostile_length_prefix_does_not_allocate() {
+    // u32::MAX length with a tiny max: must fail fast, not OOM
+    let mut hostile = u32::MAX.to_le_bytes().to_vec();
+    hostile.extend_from_slice(&[0u8; 8]);
+    match read_frame(&mut &hostile[..], 1 << 20) {
+        Err(WireError::FrameTooLarge { .. }) => {}
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+    // an in-payload count field lying about its element count fails as
+    // Truncated instead of pre-allocating gigabytes: a RaiseExternal
+    // job claiming 2^31 events in a 16-byte payload
+    let mut payload = vec![0x03u8]; // SubmitBlock
+    payload.extend_from_slice(&7u64.to_le_bytes()); // tenant
+    payload.push(2); // RaiseExternal
+    payload.extend_from_slice(&(1u32 << 31).to_le_bytes()); // count
+    payload.extend_from_slice(&[0u8; 4]);
+    assert!(matches!(Request::decode(&payload), Err(WireError::Truncated)));
+}

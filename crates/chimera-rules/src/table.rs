@@ -26,7 +26,9 @@
 //! arrival scan and collect the rules that must probe), *probe* (each
 //! candidate rule evaluates its own compiled plan over the shared
 //! immutable probe-instant set; with [`TriggerSupport::check_workers`]
-//! `> 1` the candidates are split across a scoped worker pool, the
+//! `> 1` the candidates are split across a persistent parked worker
+//! pool ([`crate::SharedProbePool`] — shareable across the engines of a
+//! runtime shard), the
 //! sequential round being the same code path run as a single chunk), and
 //! *commit* (sequential: apply the §4.4 predicate in definition order).
 //! Per-rule state — the `Send` plan handle, the sticky witness, the
@@ -274,8 +276,8 @@ struct ProbeScratch {
     stats: SupportStats,
 }
 
-/// Below this many candidate rules a parallel round is not worth the
-/// scoped-thread spawn; the probe phase runs inline instead.
+/// Below this many candidate rules a parallel round is not worth waking
+/// the worker pool; the probe phase runs inline instead.
 const MIN_PARALLEL_CANDIDATES: usize = 4;
 
 /// The §5 Trigger Support: determines newly activated rules after a block.
@@ -303,6 +305,12 @@ pub struct TriggerSupport {
     /// Reusable probe plan: `(slot index, round index)` of the rules the
     /// classify phase selected for probing.
     probe_plan: Vec<(usize, usize)>,
+    /// Persistent parked worker pool for the parallel probe phase;
+    /// spawns `check_workers - 1` threads lazily on the first parallel
+    /// round (never any while running sequentially) and parks them
+    /// between rounds. Private by default; a multi-tenant shard shares
+    /// one pool across its engines ([`TriggerSupport::use_shared_pool`]).
+    pool: crate::pool::SharedProbePool,
 }
 
 impl TriggerSupport {
@@ -323,6 +331,13 @@ impl TriggerSupport {
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.check_workers = workers;
         self
+    }
+
+    /// Replace the private probe pool with a shared one, so several
+    /// engines (the tenants of one runtime shard) park a single set of
+    /// worker threads instead of one set each.
+    pub fn use_shared_pool(&mut self, pool: crate::pool::SharedProbePool) {
+        self.pool = pool;
     }
 
     /// Zero the work counters.
@@ -411,33 +426,34 @@ impl TriggerSupport {
                 }
             }
             let chunk = cands.len().div_ceil(workers);
-            let locals: Vec<ProbeScratch> = std::thread::scope(|s| {
-                let handles: Vec<_> = cands
-                    .chunks_mut(chunk)
-                    .map(|part| {
-                        s.spawn(move || {
-                            let mut local = ProbeScratch::default();
-                            for (def, st, ri) in part.iter_mut() {
-                                probe_slot(
-                                    def,
-                                    st,
-                                    eb,
-                                    now,
-                                    &rounds[*ri].probes,
-                                    base_memo,
-                                    &mut local,
-                                );
-                            }
-                            local
-                        })
+            // one output slot per chunk, filled by whichever pool thread
+            // (or the calling thread) runs the chunk; merged in chunk
+            // order below, exactly as the scoped-spawn join used to
+            let mut locals: Vec<Option<ProbeScratch>> = Vec::new();
+            locals.resize_with(cands.len().div_ceil(chunk), || None);
+            let tasks: Vec<crate::pool::Task<'_>> = cands
+                .chunks_mut(chunk)
+                .zip(locals.iter_mut())
+                .map(|(part, out)| -> crate::pool::Task<'_> {
+                    Box::new(move || {
+                        let mut local = ProbeScratch::default();
+                        for (def, st, ri) in part.iter_mut() {
+                            probe_slot(
+                                def,
+                                st,
+                                eb,
+                                now,
+                                &rounds[*ri].probes,
+                                base_memo,
+                                &mut local,
+                            );
+                        }
+                        *out = Some(local);
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("check worker panicked"))
-                    .collect()
-            });
-            for local in locals {
+                })
+                .collect();
+            self.pool.run(workers, tasks);
+            for local in locals.into_iter().flatten() {
                 self.absorb(local);
             }
         } else if !self.probe_plan.is_empty() {

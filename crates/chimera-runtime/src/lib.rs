@@ -62,7 +62,10 @@ mod runtime;
 mod shard;
 mod stats;
 
-pub use runtime::{Backpressure, Job, Runtime, RuntimeConfig, RuntimeError, TenantId};
+pub use runtime::{
+    Backpressure, Job, JobId, JobOutcome, JobReply, JobSummary, Runtime, RuntimeConfig,
+    RuntimeError, TenantId,
+};
 pub use stats::RuntimeStats;
 
 /// Compile-time `Send`/`Sync` audit of everything the runtime moves onto

@@ -4,13 +4,13 @@
 use crate::shard::{Envelope, Shard};
 use crate::stats::RuntimeStats;
 use chimera_events::Timestamp;
-use chimera_exec::{EngineConfig, Op};
+use chimera_exec::{EngineConfig, EngineStats, Op};
 use chimera_model::{ClassId, Oid, Schema};
 use chimera_rules::table::RuleError;
 use chimera_rules::{RuleTable, TriggerDef};
 use std::fmt;
-use std::sync::atomic::Ordering;
-use std::sync::mpsc::TrySendError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Barrier, PoisonError};
 use std::time::Duration;
 
@@ -18,6 +18,71 @@ use std::time::Duration;
 /// raw id, so dense id ranges still spread evenly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TenantId(pub u64);
+
+/// A runtime-unique job identity, allocated by
+/// [`Runtime::submit_with_reply`] and echoed in the job's [`JobReply`].
+/// Ids are issued from one monotone counter across all tenants, so they
+/// also order submissions runtime-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// What one completed job did to its tenant engine: the engine-counter
+/// delta across the job. `events` is the occurrences the job appended to
+/// the tenant's Event Base; `considerations`/`executions` summarize the
+/// trigger firings the job provoked (rules considered, actions run) —
+/// the per-job view a networked client cannot reconstruct from aggregate
+/// stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobSummary {
+    /// Event occurrences the job appended.
+    pub events: u64,
+    /// Rules considered (conditions evaluated) while reacting to the job.
+    pub considerations: u64,
+    /// Rule actions executed while reacting to the job.
+    pub executions: u64,
+}
+
+impl JobSummary {
+    /// The engine-counter delta across one job.
+    pub(crate) fn delta(before: EngineStats, after: EngineStats) -> JobSummary {
+        JobSummary {
+            events: after.events - before.events,
+            considerations: after.considerations - before.considerations,
+            executions: after.executions - before.executions,
+        }
+    }
+}
+
+/// How one job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The engine operation succeeded.
+    Done(JobSummary),
+    /// The engine operation failed; the message is the engine error
+    /// (also recorded in the tenant's error bookkeeping).
+    Error(String),
+    /// The job panicked mid-flight; the tenant's engine was discarded.
+    Panicked,
+}
+
+impl JobOutcome {
+    /// Did the job succeed?
+    pub fn is_done(&self) -> bool {
+        matches!(self, JobOutcome::Done(_))
+    }
+}
+
+/// A per-job completion notification, delivered through the reply slot
+/// returned by [`Runtime::submit_with_reply`] once the job is retired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobReply {
+    /// The id [`Runtime::submit_with_reply`] returned for the job.
+    pub job: JobId,
+    /// The tenant the job ran for.
+    pub tenant: TenantId,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+}
 
 /// One unit of tenant work, executed on the tenant's own engine in
 /// submission order. Mirrors the engine's transaction surface.
@@ -124,6 +189,8 @@ impl std::error::Error for RuntimeError {}
 pub struct Runtime {
     shards: Vec<Shard>,
     config: RuntimeConfig,
+    schema: Schema,
+    next_job: AtomicU64,
 }
 
 impl Runtime {
@@ -155,12 +222,22 @@ impl Runtime {
                 )
             })
             .collect();
-        Ok(Runtime { shards, config })
+        Ok(Runtime {
+            shards,
+            config,
+            schema,
+            next_job: AtomicU64::new(0),
+        })
     }
 
     /// Number of shards (worker threads).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The schema every tenant engine is built over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
     }
 
     /// The shard a tenant is placed on (stable for the runtime's life).
@@ -174,7 +251,40 @@ impl Runtime {
 
     /// Submit one job for a tenant. Routes to the tenant's shard queue;
     /// a full queue blocks or sheds per the configured [`Backpressure`].
+    /// Fire-and-forget: outcomes surface only through the per-tenant
+    /// error bookkeeping and the aggregate stats — use
+    /// [`Runtime::submit_with_reply`] for a per-job completion.
     pub fn submit(&self, tenant: TenantId, job: Job) -> Result<(), RuntimeError> {
+        self.submit_inner(tenant, job, None)
+    }
+
+    /// Submit one job and get a per-job completion path back: a
+    /// [`JobId`] plus a capacity-1 reply slot on which the shard worker
+    /// delivers exactly one [`JobReply`] — success with the job's
+    /// engine-counter summary, the engine error message, or a panic
+    /// notice — once the job is retired. Blocking on the receiver
+    /// observes the job's completion *without* the flush-and-poll dance;
+    /// dropping the receiver turns the job back into fire-and-forget.
+    ///
+    /// A shed or worker-gone submission fails here, at submit time, and
+    /// no reply is ever delivered for it.
+    pub fn submit_with_reply(
+        &self,
+        tenant: TenantId,
+        job: Job,
+    ) -> Result<(JobId, Receiver<JobReply>), RuntimeError> {
+        let id = JobId(self.next_job.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = sync_channel(1);
+        self.submit_inner(tenant, job, Some((id, tx)))?;
+        Ok((id, rx))
+    }
+
+    fn submit_inner(
+        &self,
+        tenant: TenantId,
+        job: Job,
+        reply: Option<(JobId, SyncSender<JobReply>)>,
+    ) -> Result<(), RuntimeError> {
         let shard = &self.shards[self.shard_of(tenant)];
         let tx = shard.tx.as_ref().expect("runtime already shut down");
         let bump = |delta: i64| {
@@ -188,7 +298,7 @@ impl Runtime {
         // count the job before sending so a racing flush over-waits
         // rather than returning early; rolled back if the send fails
         bump(1);
-        match tx.try_send(Envelope { tenant, job }) {
+        match tx.try_send(Envelope { tenant, job, reply }) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(env)) => match self.config.backpressure {
                 Backpressure::Block => {
@@ -335,14 +445,24 @@ impl Runtime {
         out
     }
 
-    /// Drain the queues, stop the workers, and return the final stats.
-    pub fn shutdown(mut self) -> Result<RuntimeStats, RuntimeError> {
-        self.flush()?;
-        let stats = self.stats();
+    /// Graceful shutdown: close every queue, let each worker drain what
+    /// was already accepted, join them, and return the final (exact)
+    /// stats. No accepted job is silently dropped — a worker's receive
+    /// loop keeps serving queued envelopes after the send side closes,
+    /// so every job runs and every requested [`JobReply`] is delivered
+    /// before this returns. Only if a worker thread is already *gone*
+    /// (it was killed out from under the runtime) are its leftover jobs
+    /// discarded, and those are accounted under
+    /// [`RuntimeStats::jobs_shed`].
+    pub fn shutdown(mut self) -> RuntimeStats {
         self.stop_workers();
-        Ok(stats)
+        self.stats()
     }
 
+    /// Close the queues, join the workers, and reconcile the accounting.
+    /// Deterministic: after this returns every shard's `processed`
+    /// equals its `submitted`, with any shortfall (a dead worker's
+    /// abandoned queue) moved into the shed counter.
     fn stop_workers(&mut self) {
         for shard in &mut self.shards {
             shard.tx.take(); // close the queue: the worker loop exits
@@ -351,11 +471,26 @@ impl Runtime {
             if let Some(worker) = shard.worker.take() {
                 let _ = worker.join();
             }
+            let mut p = shard
+                .state
+                .progress
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if p.processed < p.submitted {
+                // only reachable when the worker thread died: whatever
+                // was still queued is intentionally discarded, visibly
+                let lost = p.submitted - p.processed;
+                shard.state.shed.fetch_add(lost, Ordering::Relaxed);
+                p.processed = p.submitted;
+            }
         }
     }
 }
 
 impl Drop for Runtime {
+    /// Dropping the runtime is a graceful shutdown too: queues are
+    /// drained and workers joined (see [`Runtime::shutdown`]), so a
+    /// runtime going out of scope never silently drops accepted jobs.
     fn drop(&mut self) {
         self.stop_workers();
     }
@@ -593,11 +728,87 @@ mod tests {
             .unwrap();
             rt.commit(TenantId(t)).unwrap();
         }
-        let stats = rt.shutdown().unwrap();
+        let stats = rt.shutdown();
         assert_eq!(stats.tenants, 4);
         assert_eq!(stats.engine.commits, 4);
         assert_eq!(stats.engine.blocks, 4);
         assert_eq!(stats.jobs_processed, 12);
+    }
+
+    #[test]
+    fn replies_carry_summaries_and_errors_without_flush() {
+        let s = schema();
+        let stock = s.class_by_name("stock").unwrap();
+        let rt = Runtime::new(s, vec![tick_trigger(&schema())], cfg(2)).unwrap();
+        let t = TenantId(9);
+        // an engine error answered as an Error outcome, not a counter
+        let (id0, rx0) = rt.submit_with_reply(t, Job::Commit).unwrap();
+        let reply = rx0.recv().unwrap();
+        assert_eq!(reply.job, id0);
+        assert_eq!(reply.tenant, t);
+        match &reply.outcome {
+            JobOutcome::Error(msg) => assert!(msg.contains("no active transaction")),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        rt.begin(t).unwrap();
+        // the tick trigger fires: 2 external events + 1 create from the
+        // rule action, one consideration, one execution — all in the
+        // job's own summary, observed with no flush anywhere
+        let (_, rx1) = rt
+            .submit_with_reply(t, Job::RaiseExternal(vec![(stock, 1, Oid(0)), (stock, 1, Oid(1))]))
+            .unwrap();
+        match rx1.recv().unwrap().outcome {
+            JobOutcome::Done(sum) => {
+                assert_eq!(sum.events, 3);
+                assert_eq!(sum.considerations, 1);
+                assert_eq!(sum.executions, 1);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        let (_, rx2) = rt.submit_with_reply(t, Job::Commit).unwrap();
+        assert!(rx2.recv().unwrap().outcome.is_done());
+        // ids are monotone across the runtime
+        let (id3, rx3) = rt.submit_with_reply(TenantId(2), Job::Begin).unwrap();
+        assert!(id3 > id0);
+        assert!(rx3.recv().unwrap().outcome.is_done());
+    }
+
+    #[test]
+    fn drop_and_shutdown_drain_queued_jobs() {
+        let s = schema();
+        let stock = s.class_by_name("stock").unwrap();
+        let rt = Runtime::new(s, vec![], cfg(1)).unwrap();
+        let t = TenantId(4);
+        let mut rxs = Vec::new();
+        let (_, rx) = rt.submit_with_reply(t, Job::Begin).unwrap();
+        rxs.push(rx);
+        for _ in 0..6 {
+            let (_, rx) = rt
+                .submit_with_reply(t, Job::RaiseExternal(vec![(stock, 1, Oid(0))]))
+                .unwrap();
+            rxs.push(rx);
+        }
+        let (_, rx) = rt.submit_with_reply(t, Job::Commit).unwrap();
+        rxs.push(rx);
+        // no flush: drop the runtime with jobs plausibly still queued.
+        // The drop must drain and join, so every reply is already there.
+        drop(rt);
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let reply = rx.try_recv().unwrap_or_else(|_| panic!("job {i} dropped"));
+            assert!(reply.outcome.is_done(), "job {i}: {:?}", reply.outcome);
+        }
+
+        // and shutdown() reports exact, fully-drained accounting
+        let rt = Runtime::new(schema(), vec![], cfg(2)).unwrap();
+        for t in 0..8u64 {
+            rt.begin(TenantId(t)).unwrap();
+            rt.raise_external(TenantId(t), vec![(stock, 1, Oid(0))]).unwrap();
+            rt.commit(TenantId(t)).unwrap();
+        }
+        let stats = rt.shutdown();
+        assert_eq!(stats.jobs_processed, stats.jobs_submitted);
+        assert_eq!(stats.jobs_submitted, 24);
+        assert_eq!(stats.jobs_shed, 0);
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! One shard: a bounded ingestion queue, a worker thread, and the
 //! engines of the tenants hashed onto it.
 
-use crate::runtime::{Job, TenantId};
+use crate::runtime::{Job, JobId, JobOutcome, JobReply, JobSummary, TenantId};
 use chimera_exec::{Engine, EngineConfig};
 use chimera_model::Schema;
-use chimera_rules::TriggerDef;
+use chimera_rules::{SharedProbePool, TriggerDef};
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -12,10 +12,14 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
-/// One queued job, addressed to a tenant of this shard.
+/// One queued job, addressed to a tenant of this shard. `reply`, when
+/// present, is the job's completion slot: the worker sends exactly one
+/// [`JobReply`] after retiring the job (never blocking — the slot is a
+/// capacity-1 channel and a vanished receiver is ignored).
 pub(crate) struct Envelope {
     pub tenant: TenantId,
     pub job: Job,
+    pub reply: Option<(JobId, SyncSender<JobReply>)>,
 }
 
 /// Queue accounting used by the flush barrier: `submitted` counts jobs
@@ -105,43 +109,67 @@ fn run_worker(
     triggers: Arc<Vec<TriggerDef>>,
     engine_cfg: EngineConfig,
 ) {
+    // one probe pool per shard: every tenant engine created here parks
+    // the *same* `check_workers - 1` threads (spawned lazily on the
+    // first parallel check round), instead of one set per tenant
+    let probe_pool = SharedProbePool::default();
     while let Ok(env) = rx.recv() {
         if let Job::Gate { entered, release } = env.job {
             // test instrumentation: park *outside* the tenant lock so
             // stats/inspection stay reachable while the worker is gated
             entered.wait();
             release.wait();
+            answer(env.reply, env.tenant, JobOutcome::Done(JobSummary::default()));
             retire(&state);
             continue;
         }
+        let outcome;
         {
             let mut tenants = state
                 .tenants
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
             let slot = tenants.entry(env.tenant.0).or_insert_with(|| TenantSlot {
-                engine: fresh_engine(&schema, &triggers, &engine_cfg),
+                engine: fresh_engine(&schema, &triggers, &engine_cfg, &probe_pool),
                 job_errors: 0,
                 last_error: None,
             });
-            let outcome =
+            let before = slot.engine.stats();
+            let result =
                 std::panic::catch_unwind(AssertUnwindSafe(|| apply(&mut slot.engine, env.job)));
-            match outcome {
-                Ok(Ok(())) => {}
+            outcome = match result {
+                Ok(Ok(())) => JobOutcome::Done(JobSummary::delta(before, slot.engine.stats())),
                 Ok(Err(e)) => {
+                    let msg = e.to_string();
                     slot.job_errors += 1;
-                    slot.last_error = Some(e.to_string());
+                    slot.last_error = Some(msg.clone());
                     state.errors.fetch_add(1, Ordering::Relaxed);
+                    JobOutcome::Error(msg)
                 }
                 Err(_) => {
                     // mid-job panic: the engine's invariants are suspect,
                     // drop the whole tenant rather than serve from it
                     tenants.remove(&env.tenant.0);
                     state.panics.fetch_add(1, Ordering::Relaxed);
+                    JobOutcome::Panicked
                 }
-            }
+            };
         }
+        answer(env.reply, env.tenant, outcome);
         retire(&state);
+    }
+}
+
+/// Deliver a job's completion notification, if one was requested. The
+/// slot has capacity 1 and receives exactly this send, so `try_send`
+/// cannot find it full; a receiver that lost interest is ignored.
+fn answer(reply: Option<(JobId, SyncSender<JobReply>)>, tenant: TenantId, outcome: JobOutcome) {
+    if let Some((job, tx)) = reply {
+        let _ = tx.try_send(JobReply {
+            job,
+            tenant,
+            outcome,
+        });
     }
 }
 
@@ -156,9 +184,16 @@ fn retire(state: &ShardState) {
     state.drained.notify_all();
 }
 
-/// A fresh tenant engine with the runtime's trigger set installed.
-fn fresh_engine(schema: &Schema, triggers: &[TriggerDef], cfg: &EngineConfig) -> Engine {
+/// A fresh tenant engine with the runtime's trigger set installed and
+/// the shard's shared probe pool wired in.
+fn fresh_engine(
+    schema: &Schema,
+    triggers: &[TriggerDef],
+    cfg: &EngineConfig,
+    probe_pool: &SharedProbePool,
+) -> Engine {
     let mut engine = Engine::with_config(schema.clone(), cfg.clone());
+    engine.use_shared_probe_pool(probe_pool.clone());
     for def in triggers {
         engine
             .define_trigger(def.clone())

@@ -7,10 +7,9 @@
 //! §2/§5 execution model.
 
 use chimera_exec::{Engine, EngineConfig, ExecError, Op};
-use chimera_lang::{parse_program, Item, ParseError, Program, ScriptStmt, TriggerDecl};
+use chimera_lang::{parse_program, Item, ParseError, Program, ScriptStmt};
 use chimera_model::{Oid, Value};
 use chimera_rules::condition::Term;
-use chimera_rules::TriggerDef;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -80,7 +79,8 @@ impl Interpreter {
         let (program, schema) = parse_program(src)?;
         let mut engine = Engine::with_config(schema, config);
         for decl in program.triggers() {
-            engine.define_trigger(lower_trigger(decl, &engine)?)?;
+            let def = decl.lower(engine.schema())?;
+            engine.define_trigger(def)?;
         }
         Ok(Interpreter {
             engine,
@@ -302,29 +302,6 @@ impl Interpreter {
         let vb = self.eval_script_term(b)?;
         op(&va, &vb).ok_or_else(|| InterpError::BadScriptTerm(whole.to_string()))
     }
-}
-
-/// Lower a parsed trigger declaration into an engine rule.
-fn lower_trigger(decl: &TriggerDecl, engine: &Engine) -> Result<TriggerDef, InterpError> {
-    let target = match &decl.target {
-        Some(name) => Some(
-            engine
-                .schema()
-                .class_by_name(name)
-                .map_err(|e| InterpError::Exec(e.into()))?,
-        ),
-        None => None,
-    };
-    Ok(TriggerDef {
-        name: decl.name.clone(),
-        target,
-        events: decl.events.clone(),
-        condition: decl.condition.clone(),
-        actions: decl.actions.clone(),
-        coupling: decl.coupling,
-        consumption: decl.consumption,
-        priority: decl.priority,
-    })
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@
 //! | [`lang`] | `chimera-lang` | lexer/parser/pretty-printer |
 //! | [`exec`] | `chimera-exec` | the execution engine |
 //! | [`runtime`] | `chimera-runtime` | sharded multi-tenant parallel runtime |
+//! | [`net`] | `chimera-net` | framed wire protocol + TCP server/client |
 //! | [`baselines`] | `chimera-baselines` | Ode/Snoop/naive comparators |
 //! | [`workload`] | `chimera-workload` | generators and traces |
 //! | [`analysis`] | `chimera-analysis` | triggering graph, termination, confluence |
@@ -97,6 +98,17 @@
 //!
 //! Both layers are observationally identical to the sequential engine,
 //! tenant by tenant; `tests/runtime_equivalence.rs` enforces it.
+//!
+//! [`net`] puts a network front door on that runtime: a length-prefixed
+//! binary wire protocol (hand-rolled on `std::net`) whose `SubmitBlock`
+//! requests are answered with **per-job completion notifications**
+//! (success summary of events appended / rules considered / actions
+//! run, or the typed engine error) through the runtime's
+//! `submit_with_reply` path — no flush-and-poll — and whose
+//! `DefineTriggers` requests carry concrete §2–§3 trigger syntax,
+//! parsed server-side by [`lang`]. The same oracle closes the loop:
+//! `tests/net_equivalence.rs` proves traffic from concurrent TCP
+//! clients identical to a per-tenant sequential replay.
 
 pub use chimera_analysis as analysis;
 pub use chimera_baselines as baselines;
@@ -105,6 +117,7 @@ pub use chimera_events as events;
 pub use chimera_exec as exec;
 pub use chimera_lang as lang;
 pub use chimera_model as model;
+pub use chimera_net as net;
 pub use chimera_persist as persist;
 pub use chimera_rules as rules;
 pub use chimera_runtime as runtime;
@@ -129,7 +142,9 @@ pub mod prelude {
         ActionStmt, Condition, ConsumptionMode, CouplingMode, RuleTable, TriggerDef,
         TriggerSupport,
     };
+    pub use crate::net::{Client, Server, ServerConfig, TenantQuery, WireJob, WireOp};
     pub use crate::runtime::{
-        Backpressure, Job, Runtime, RuntimeConfig, RuntimeStats, TenantId,
+        Backpressure, Job, JobId, JobOutcome, JobReply, Runtime, RuntimeConfig, RuntimeStats,
+        TenantId,
     };
 }

@@ -48,7 +48,15 @@ use chimera::exec::{
 
 // chimera-runtime
 use chimera::runtime::{
-    Backpressure, Job, Runtime, RuntimeConfig, RuntimeError, RuntimeStats, TenantId,
+    Backpressure, Job, JobId, JobOutcome, JobReply, JobSummary, Runtime, RuntimeConfig,
+    RuntimeError, RuntimeStats, TenantId,
+};
+
+// chimera-net
+use chimera::net::{
+    read_frame, write_frame, Client, ExternalEvent, JobDone, NetError, Request, Response, Server,
+    ServerConfig, TenantQuery, TenantReply, WireError, WireJob, WireOp, WireOutcome, WireStats,
+    MAX_FRAME, PIPELINE_WINDOW, PROTOCOL_VERSION,
 };
 
 // chimera-baselines
@@ -130,6 +138,44 @@ fn prelude_covers_the_working_set() {
     rt.flush().unwrap();
     let stats: RuntimeStats = rt.stats();
     assert_eq!(stats.engine.commits, 1);
+}
+
+#[test]
+fn loopback_server_smoke() {
+    // The same tiny flow, through the TCP front-end: a server on an
+    // ephemeral loopback port, one client, per-job completion replies
+    // (no flush), and a tenant query back over the wire.
+    use chimera::prelude::*;
+
+    let mut builder = SchemaBuilder::new();
+    builder
+        .class(
+            "stock",
+            None,
+            vec![AttrDef::new("quantity", AttrType::Integer)],
+        )
+        .unwrap();
+    let rt = std::sync::Arc::new(
+        Runtime::new(builder.build(), vec![], RuntimeConfig::default()).unwrap(),
+    );
+    let server = Server::bind("127.0.0.1:0", rt, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.begin(1).unwrap();
+    client
+        .exec_block(1, vec![WireOp::Create { class: 0, inits: vec![] }])
+        .unwrap();
+    client.commit(1).unwrap();
+    let done = client.drain().unwrap();
+    assert_eq!(done.len(), 3);
+    assert!(done.iter().all(|d| d.outcome.is_done()));
+    match client
+        .tenant_query(1, TenantQuery::Extent { class: 0 })
+        .unwrap()
+    {
+        chimera::net::TenantReply::Extent(oids) => assert_eq!(oids.len(), 1),
+        other => panic!("expected Extent, got {other:?}"),
+    }
+    server.shutdown();
 }
 
 #[test]
