@@ -97,6 +97,7 @@ fn run_session(
                 max_rule_steps: usize::MAX / 2,
                 ..EngineConfig::default()
             },
+            ..RuntimeConfig::default()
         },
     )
     .expect("valid rule set");

@@ -53,7 +53,7 @@ use chimera_model::{
 use chimera_rules::{CouplingMode, RuleTable, TriggerDef, TriggerSupport};
 
 /// One operation of a user transaction line.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     /// Create an object.
     Create {
@@ -197,6 +197,49 @@ impl Engine {
         let mut engine = Engine::with_config(schema, config);
         engine.store = store;
         engine
+    }
+
+    /// Replay a recovered event log into the event base, without running
+    /// reactions or touching the work counters. Both eids and timestamps
+    /// are assigned densely per append, so replaying the `(type, oid)`
+    /// pairs of a previous log reproduces it bit-identically. Recovery
+    /// calls this on a freshly restored engine *before* re-applying any
+    /// logged jobs; the restored rule stamps are overlaid afterwards with
+    /// [`Engine::restore_rule_state`].
+    pub fn restore_event_log(&mut self, events: &[(EventType, Oid)]) {
+        for &(ty, oid) in events {
+            self.eb.append(ty, oid);
+        }
+    }
+
+    /// Overwrite the work counters with recovered values (they are not
+    /// derivable from the store/event base alone — e.g. rollbacks leave
+    /// no trace).
+    pub fn restore_stats(&mut self, stats: EngineStats) {
+        self.stats = stats;
+    }
+
+    /// Overwrite one rule's processing stamps with recovered values.
+    /// Used after re-defining the trigger (definition stamps the state
+    /// with the *current* instant, which is wrong after an event-log
+    /// restore). The compiled plan and filter are rebuilt by definition
+    /// and stay untouched here.
+    pub fn restore_rule_state(
+        &mut self,
+        name: &str,
+        triggered: bool,
+        last_consideration: Timestamp,
+        last_consumption: Timestamp,
+        checked_upto: Timestamp,
+        witness: bool,
+    ) -> Result<()> {
+        let state = self.rules.state_mut(name)?;
+        state.triggered = triggered;
+        state.last_consideration = last_consideration;
+        state.last_consumption = last_consumption;
+        state.checked_upto = checked_upto;
+        state.witness = witness;
+        Ok(())
     }
 
     /// The schema.

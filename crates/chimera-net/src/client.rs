@@ -9,7 +9,10 @@
 //! completion, and the synchronous calls (`stats`, `flush`, queries)
 //! drain first so their response is the next frame on the stream.
 
-use crate::proto::{Request, Response, TenantQuery, TenantReply, WireJob, WireStats};
+use crate::proto::{
+    Request, Response, TenantQuery, TenantReply, TriggerOutcome, WireDurability, WireJob,
+    WireStats,
+};
 use crate::wire::{read_frame, write_frame, WireError, MAX_FRAME, PROTOCOL_VERSION};
 use std::fmt;
 use std::io::{BufReader, BufWriter, Write};
@@ -32,6 +35,14 @@ pub enum NetError {
     Unexpected(String),
     /// The server closed the connection mid-conversation.
     Closed,
+    /// The server refused the connection: its accepted-connection cap
+    /// is reached. Retry later — nothing about the request was wrong.
+    Busy {
+        /// Connections the server had accepted.
+        active: u32,
+        /// The server's connection cap.
+        limit: u32,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -41,6 +52,9 @@ impl fmt::Display for NetError {
             NetError::Remote(msg) => write!(f, "server error: {msg}"),
             NetError::Unexpected(what) => write!(f, "unexpected response: {what}"),
             NetError::Closed => write!(f, "server closed the connection"),
+            NetError::Busy { active, limit } => {
+                write!(f, "server busy: {active} of {limit} connections in use")
+            }
         }
     }
 }
@@ -85,6 +99,7 @@ pub struct Client {
     buffered: std::collections::VecDeque<JobDone>,
     server: String,
     shards: u32,
+    durability: Option<WireDurability>,
 }
 
 impl Client {
@@ -99,6 +114,27 @@ impl Client {
         name: &str,
         max_frame: usize,
     ) -> Result<Client, NetError> {
+        Client::handshake(addr, name, max_frame, None)
+    }
+
+    /// Connect, *requiring* a durability level: the handshake fails with
+    /// [`NetError::Remote`] unless the server's runtime provides exactly
+    /// `durability` (a client about to stream irreplaceable events can
+    /// insist on group commit before sending anything).
+    pub fn connect_requiring(
+        addr: impl ToSocketAddrs,
+        name: &str,
+        durability: WireDurability,
+    ) -> Result<Client, NetError> {
+        Client::handshake(addr, name, MAX_FRAME, Some(durability))
+    }
+
+    fn handshake(
+        addr: impl ToSocketAddrs,
+        name: &str,
+        max_frame: usize,
+        durability: Option<WireDurability>,
+    ) -> Result<Client, NetError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let mut client = Client {
@@ -109,17 +145,26 @@ impl Client {
             buffered: std::collections::VecDeque::new(),
             server: String::new(),
             shards: 0,
+            durability: None,
         };
         let resp = client.call(Request::Hello {
             version: PROTOCOL_VERSION,
             client: name.into(),
+            durability,
         })?;
         match resp {
-            Response::HelloAck { server, shards, .. } => {
+            Response::HelloAck {
+                server,
+                shards,
+                durability,
+                ..
+            } => {
                 client.server = server;
                 client.shards = shards;
+                client.durability = durability;
                 Ok(client)
             }
+            Response::Busy { active, limit } => Err(NetError::Busy { active, limit }),
             Response::Error { message } => Err(NetError::Remote(message)),
             other => Err(NetError::Unexpected(format!("{other:?}"))),
         }
@@ -133,6 +178,12 @@ impl Client {
     /// The server runtime's shard count.
     pub fn shards(&self) -> u32 {
         self.shards
+    }
+
+    /// The durability level the server announced in its ack (`None`
+    /// only when talking to a version-1 server that predates it).
+    pub fn server_durability(&self) -> Option<WireDurability> {
+        self.durability
     }
 
     /// Completions not yet delivered to the caller (unread from the
@@ -280,14 +331,21 @@ impl Client {
 
     // --------------------------------------------------- synchronous calls
 
-    /// Install tenant-local triggers from `define trigger` source text;
-    /// returns how many were installed.
-    pub fn define_triggers(&mut self, tenant: u64, source: &str) -> Result<u32, NetError> {
+    /// Install tenant-local triggers from `define trigger` source text.
+    /// Every declaration in the source is attempted; the returned
+    /// outcomes (one per declaration, in source order) say which were
+    /// installed and why the others were refused. `Err` is reserved for
+    /// transport failures and unparseable source.
+    pub fn define_triggers(
+        &mut self,
+        tenant: u64,
+        source: &str,
+    ) -> Result<Vec<TriggerOutcome>, NetError> {
         match self.call(Request::DefineTriggers {
             tenant,
             source: source.into(),
         })? {
-            Response::TriggersDefined { count } => Ok(count),
+            Response::TriggersDefined { outcomes } => Ok(outcomes),
             Response::Error { message } => Err(NetError::Remote(message)),
             other => Err(NetError::Unexpected(format!("{other:?}"))),
         }

@@ -24,7 +24,16 @@
 //!   `Runtime`: per-connection handler threads parse frames, submit
 //!   through the runtime's per-job completion path
 //!   (`Runtime::submit_with_reply`), and stream every job's outcome
-//!   back in request order. No flush-and-poll anywhere.
+//!   back in request order. No flush-and-poll anywhere. The accepted
+//!   connection count is capped ([`ServerConfig::max_connections`]);
+//!   a connection over the cap gets one typed [`Response::Busy`] frame.
+//!
+//! Protocol version 2 surfaces the runtime's durable-storage layer:
+//! the handshake negotiates a [`WireDurability`] level (a client can
+//! *require* group commit via [`Client::connect_requiring`]), `Stats`
+//! reports the WAL/snapshot/recovery counters, and `DefineTriggers` is
+//! answered with one [`TriggerOutcome`] per declaration instead of
+//! failing the whole batch on the first bad one.
 //! * **[`client`]** — a blocking client with submission pipelining,
 //!   used by the examples, the loopback bench (`benches/net.rs`) and
 //!   the network equivalence suite.
@@ -42,8 +51,8 @@ pub mod wire;
 
 pub use client::{Client, JobDone, NetError, PIPELINE_WINDOW};
 pub use proto::{
-    ExternalEvent, Request, Response, TenantQuery, TenantReply, WireJob, WireOp, WireOutcome,
-    WireStats, JOB_REJECTED,
+    ExternalEvent, Request, Response, TenantQuery, TenantReply, TriggerOutcome, WireDurability,
+    WireJob, WireOp, WireOutcome, WireStats, JOB_REJECTED,
 };
 pub use server::{Server, ServerConfig};
 pub use wire::{read_frame, write_frame, WireError, MAX_FRAME, PROTOCOL_VERSION};

@@ -19,13 +19,21 @@
 //! Every message round-trips bit-exactly (`encode` then `decode` is the
 //! identity; `tests/wire_roundtrip.rs` proves it on arbitrary messages)
 //! and decoding arbitrary bytes returns a typed error, never panics.
+//!
+//! Version 2 additions (all frame-compatible — the length-prefixed
+//! framing is untouched): `Hello`/`HelloAck` negotiate a durability
+//! level via *optional trailing* fields, `StatsReply` appends the
+//! storage-layer counters the same way, `TriggersDefined` reports one
+//! [`TriggerOutcome`] per declaration instead of a bare count, and
+//! [`Response::Busy`] is the server's typed refusal when its
+//! accepted-connection cap is reached.
 
 use crate::wire::{
     put_bool, put_i64, put_str, put_u32, put_u64, put_u8, Reader, WireError,
 };
 use chimera_exec::Op;
 use chimera_model::{AttrId, ClassId, Oid, TotalF64, Value};
-use chimera_runtime::{Job, JobOutcome, JobReply, RuntimeStats};
+use chimera_runtime::{Job, JobOutcome, JobReply, RuntimeStats, StorageMode};
 
 // ------------------------------------------------------------------- jobs
 
@@ -331,6 +339,60 @@ fn decode_value(r: &mut Reader<'_>) -> Result<Value, WireError> {
     })
 }
 
+// ------------------------------------------------------------- durability
+
+/// The durability level of a server's runtime, on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireDurability {
+    /// No storage layer: tenant state dies with the process.
+    InMemory,
+    /// Durable with one fsync per job.
+    PerJob,
+    /// Durable with one fsync per drained queue batch (group commit).
+    GroupCommit,
+}
+
+impl WireDurability {
+    /// The wire form of a runtime's configured [`StorageMode`].
+    pub fn of_storage(storage: &StorageMode) -> WireDurability {
+        match storage {
+            StorageMode::InMemory => WireDurability::InMemory,
+            StorageMode::Durable(cfg) if cfg.group_commit => WireDurability::GroupCommit,
+            StorageMode::Durable(_) => WireDurability::PerJob,
+        }
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u8(
+            buf,
+            match self {
+                WireDurability::InMemory => 0,
+                WireDurability::PerJob => 1,
+                WireDurability::GroupCommit => 2,
+            },
+        );
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<WireDurability, WireError> {
+        Ok(match r.u8()? {
+            0 => WireDurability::InMemory,
+            1 => WireDurability::PerJob,
+            2 => WireDurability::GroupCommit,
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl std::fmt::Display for WireDurability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WireDurability::InMemory => "in-memory",
+            WireDurability::PerJob => "durable (per-job fsync)",
+            WireDurability::GroupCommit => "durable (group commit)",
+        })
+    }
+}
+
 // --------------------------------------------------------------- requests
 
 /// A client → server message.
@@ -342,6 +404,11 @@ pub enum Request {
         version: u32,
         /// Free-form client name (diagnostics only).
         client: String,
+        /// Durability level the client *requires*, if any: the server
+        /// refuses the handshake when its runtime provides a different
+        /// one. Encoded as an optional trailing field — a version-1
+        /// client simply omits it and the server accepts it as `None`.
+        durability: Option<WireDurability>,
     },
     /// Install tenant-local triggers from concrete §2–§3 trigger syntax,
     /// parsed server-side against the runtime schema.
@@ -387,10 +454,17 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(16);
         match self {
-            Request::Hello { version, client } => {
+            Request::Hello {
+                version,
+                client,
+                durability,
+            } => {
                 put_u8(&mut buf, REQ_HELLO);
                 put_u32(&mut buf, *version);
                 put_str(&mut buf, client);
+                if let Some(d) = durability {
+                    d.encode(&mut buf);
+                }
             }
             Request::DefineTriggers { tenant, source } => {
                 put_u8(&mut buf, REQ_DEFINE);
@@ -421,6 +495,12 @@ impl Request {
             REQ_HELLO => Request::Hello {
                 version: r.u32()?,
                 client: r.str()?,
+                // optional trailing field: absent from version-1 clients
+                durability: if r.remaining() > 0 {
+                    Some(WireDurability::decode(&mut r)?)
+                } else {
+                    None
+                },
             },
             REQ_DEFINE => Request::DefineTriggers {
                 tenant: r.u64()?,
@@ -553,6 +633,13 @@ pub struct WireStats {
     pub executions: u64,
     pub commits: u64,
     pub rollbacks: u64,
+    // storage-layer counters, appended in version 2 as optional trailing
+    // fields: a version-1 peer's StatsReply decodes with them zeroed
+    pub wal_appends: u64,
+    pub wal_syncs: u64,
+    pub snapshots: u64,
+    pub tenants_recovered: u64,
+    pub jobs_replayed: u64,
 }
 
 impl From<RuntimeStats> for WireStats {
@@ -572,7 +659,48 @@ impl From<RuntimeStats> for WireStats {
             executions: s.engine.executions,
             commits: s.engine.commits,
             rollbacks: s.engine.rollbacks,
+            wal_appends: s.wal_appends,
+            wal_syncs: s.wal_syncs,
+            snapshots: s.snapshots,
+            tenants_recovered: s.tenants_recovered,
+            jobs_replayed: s.jobs_replayed,
         }
+    }
+}
+
+/// How one declaration of a [`Request::DefineTriggers`] batch fared.
+/// The whole batch is answered with one outcome per declaration, in
+/// source order — a failed declaration no longer hides the rest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriggerOutcome {
+    /// The trigger's declared name.
+    pub name: String,
+    /// `None` if the trigger was installed; the rejection reason
+    /// (lowering error, engine refusal, runtime error) otherwise.
+    pub error: Option<String>,
+}
+
+impl TriggerOutcome {
+    /// Was this trigger installed?
+    pub fn is_defined(&self) -> bool {
+        self.error.is_none()
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_str(buf, &self.name);
+        match &self.error {
+            Some(msg) => {
+                put_bool(buf, true);
+                put_str(buf, msg);
+            }
+            None => put_bool(buf, false),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<TriggerOutcome, WireError> {
+        let name = r.str()?;
+        let error = if r.bool()? { Some(r.str()?) } else { None };
+        Ok(TriggerOutcome { name, error })
     }
 }
 
@@ -620,6 +748,9 @@ pub enum Response {
         server: String,
         /// Runtime shard count.
         shards: u32,
+        /// The runtime's effective durability level. Optional trailing
+        /// field: `None` only when decoding a version-1 server's ack.
+        durability: Option<WireDurability>,
     },
     /// Answers [`Request::SubmitBlock`]: the per-job completion
     /// notification, delivered once the tenant's shard retired the job.
@@ -635,10 +766,13 @@ pub enum Response {
         /// How it ended (success carries the trigger-firing summary).
         outcome: WireOutcome,
     },
-    /// Answers [`Request::DefineTriggers`] on success.
+    /// Answers [`Request::DefineTriggers`] when the source parsed: one
+    /// outcome per declaration, in source order. Declarations that
+    /// failed to lower or were refused by the engine carry their error;
+    /// the others were installed regardless (no first-failure-wins).
     TriggersDefined {
-        /// Triggers installed.
-        count: u32,
+        /// Per-declaration outcomes.
+        outcomes: Vec<TriggerOutcome>,
     },
     /// Answers [`Request::Flush`].
     FlushDone,
@@ -654,6 +788,16 @@ pub enum Response {
         /// Human-readable reason.
         message: String,
     },
+    /// The server's accepted-connection cap is reached: the one and only
+    /// frame on a refused connection, sent before it is closed. Typed —
+    /// not an [`Response::Error`] — so clients can distinguish "retry
+    /// later" from a protocol failure.
+    Busy {
+        /// Connections currently accepted.
+        active: u32,
+        /// The server's connection cap.
+        limit: u32,
+    },
 }
 
 const RESP_HELLO_ACK: u8 = 0x81;
@@ -664,6 +808,7 @@ const RESP_STATS: u8 = 0x85;
 const RESP_TENANT: u8 = 0x86;
 const RESP_SHUTDOWN_ACK: u8 = 0x87;
 const RESP_ERROR: u8 = 0x88;
+const RESP_BUSY: u8 = 0x8A;
 
 impl Response {
     /// The completion notification for one [`JobReply`].
@@ -683,11 +828,15 @@ impl Response {
                 version,
                 server,
                 shards,
+                durability,
             } => {
                 put_u8(&mut buf, RESP_HELLO_ACK);
                 put_u32(&mut buf, *version);
                 put_str(&mut buf, server);
                 put_u32(&mut buf, *shards);
+                if let Some(d) = durability {
+                    d.encode(&mut buf);
+                }
             }
             Response::JobDone {
                 job,
@@ -715,9 +864,12 @@ impl Response {
                     WireOutcome::Panicked => put_u8(&mut buf, 2),
                 }
             }
-            Response::TriggersDefined { count } => {
+            Response::TriggersDefined { outcomes } => {
                 put_u8(&mut buf, RESP_TRIGGERS);
-                put_u32(&mut buf, *count);
+                put_u32(&mut buf, outcomes.len() as u32);
+                for o in outcomes {
+                    o.encode(&mut buf);
+                }
             }
             Response::FlushDone => put_u8(&mut buf, RESP_FLUSH_DONE),
             Response::StatsReply(s) => {
@@ -737,6 +889,12 @@ impl Response {
                     s.executions,
                     s.commits,
                     s.rollbacks,
+                    // version-2 trailing fields (storage layer)
+                    s.wal_appends,
+                    s.wal_syncs,
+                    s.snapshots,
+                    s.tenants_recovered,
+                    s.jobs_replayed,
                 ] {
                     put_u64(&mut buf, v);
                 }
@@ -788,6 +946,11 @@ impl Response {
                 put_u8(&mut buf, RESP_ERROR);
                 put_str(&mut buf, message);
             }
+            Response::Busy { active, limit } => {
+                put_u8(&mut buf, RESP_BUSY);
+                put_u32(&mut buf, *active);
+                put_u32(&mut buf, *limit);
+            }
         }
         buf
     }
@@ -800,6 +963,12 @@ impl Response {
                 version: r.u32()?,
                 server: r.str()?,
                 shards: r.u32()?,
+                // optional trailing field: absent from version-1 servers
+                durability: if r.remaining() > 0 {
+                    Some(WireDurability::decode(&mut r)?)
+                } else {
+                    None
+                },
             },
             RESP_JOB_DONE => {
                 let job = r.u64()?;
@@ -820,24 +989,45 @@ impl Response {
                     outcome,
                 }
             }
-            RESP_TRIGGERS => Response::TriggersDefined { count: r.u32()? },
+            RESP_TRIGGERS => {
+                // smallest outcome: empty name (4) + error flag (1)
+                let n = r.count_of(5)?;
+                let mut outcomes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    outcomes.push(TriggerOutcome::decode(&mut r)?);
+                }
+                Response::TriggersDefined { outcomes }
+            }
             RESP_FLUSH_DONE => Response::FlushDone,
-            RESP_STATS => Response::StatsReply(WireStats {
-                shards: r.u32()?,
-                tenants: r.u64()?,
-                jobs_submitted: r.u64()?,
-                jobs_processed: r.u64()?,
-                jobs_shed: r.u64()?,
-                submits_blocked: r.u64()?,
-                job_errors: r.u64()?,
-                job_panics: r.u64()?,
-                blocks: r.u64()?,
-                events: r.u64()?,
-                considerations: r.u64()?,
-                executions: r.u64()?,
-                commits: r.u64()?,
-                rollbacks: r.u64()?,
-            }),
+            RESP_STATS => {
+                let mut s = WireStats {
+                    shards: r.u32()?,
+                    tenants: r.u64()?,
+                    jobs_submitted: r.u64()?,
+                    jobs_processed: r.u64()?,
+                    jobs_shed: r.u64()?,
+                    submits_blocked: r.u64()?,
+                    job_errors: r.u64()?,
+                    job_panics: r.u64()?,
+                    blocks: r.u64()?,
+                    events: r.u64()?,
+                    considerations: r.u64()?,
+                    executions: r.u64()?,
+                    commits: r.u64()?,
+                    rollbacks: r.u64()?,
+                    ..WireStats::default()
+                };
+                // version-2 trailing fields: zero when a version-1
+                // server sent the reply
+                if r.remaining() > 0 {
+                    s.wal_appends = r.u64()?;
+                    s.wal_syncs = r.u64()?;
+                    s.snapshots = r.u64()?;
+                    s.tenants_recovered = r.u64()?;
+                    s.jobs_replayed = r.u64()?;
+                }
+                Response::StatsReply(s)
+            }
             RESP_TENANT => {
                 let reply = match r.u8()? {
                     0 => TenantReply::NoSuchTenant,
@@ -870,6 +1060,10 @@ impl Response {
             }
             RESP_SHUTDOWN_ACK => Response::ShutdownAck,
             RESP_ERROR => Response::Error { message: r.str()? },
+            RESP_BUSY => Response::Busy {
+                active: r.u32()?,
+                limit: r.u32()?,
+            },
             t => return Err(WireError::BadTag(t)),
         };
         r.finish()?;

@@ -21,9 +21,11 @@
 //! truncation) desynchronizes the stream, so the connection is dropped.
 //! Neither path panics the server (fuzzed in `tests/loopback.rs`).
 
-use crate::proto::{Request, Response, TenantQuery, TenantReply, WireStats};
+use crate::proto::{
+    Request, Response, TenantQuery, TenantReply, TriggerOutcome, WireDurability, WireStats,
+};
 use crate::wire::{read_frame, write_frame, WireError, MAX_FRAME, PROTOCOL_VERSION};
-use chimera_lang::parse_trigger_decls;
+use chimera_lang::{parse_trigger_decls, pretty::print_trigger};
 use chimera_runtime::{Job, JobReply, Runtime, TenantId};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -60,6 +62,12 @@ pub struct ServerConfig {
     pub name: String,
     /// Per-frame payload bound for both directions.
     pub max_frame: usize,
+    /// Accepted-connection cap: every connection holds a handler thread
+    /// (reader + scoped writer), so an uncapped accept loop is an easy
+    /// thread-exhaustion vector. A connection over the cap is answered
+    /// with one typed [`Response::Busy`] frame and closed — never
+    /// silently dropped.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +75,7 @@ impl Default for ServerConfig {
         ServerConfig {
             name: "chimera-net".into(),
             max_frame: MAX_FRAME,
+            max_connections: 256,
         }
     }
 }
@@ -112,10 +121,28 @@ impl Server {
                         if stop.load(Ordering::SeqCst) {
                             break;
                         }
-                        let Ok(stream) = stream else { continue };
+                        let Ok(mut stream) = stream else { continue };
                         let Ok(stream_clone) = stream.try_clone() else {
                             continue;
                         };
+                        {
+                            // the resource cap: reap finished handlers,
+                            // then refuse with one typed Busy frame if
+                            // the live count is still at the limit
+                            let mut conns =
+                                conns.lock().unwrap_or_else(PoisonError::into_inner);
+                            conns.retain(|c| !c.handle.is_finished());
+                            if conns.len() >= config.max_connections {
+                                let busy = Response::Busy {
+                                    active: conns.len() as u32,
+                                    limit: config.max_connections as u32,
+                                };
+                                drop(conns);
+                                let _ = write_frame(&mut stream, &busy.encode());
+                                let _ = stream.shutdown(std::net::Shutdown::Both);
+                                continue;
+                            }
+                        }
                         let runtime = Arc::clone(&runtime);
                         let stop_conn = Arc::clone(&stop);
                         let config = config.clone();
@@ -134,8 +161,6 @@ impl Server {
                             })
                             .expect("spawn connection handler");
                         let mut conns = conns.lock().unwrap_or_else(PoisonError::into_inner);
-                        // reap finished handlers so the list stays small
-                        conns.retain(|c| !c.handle.is_finished());
                         conns.push(Conn {
                             handle,
                             stream: stream_clone,
@@ -420,11 +445,23 @@ fn read_loop(
 /// Serve one decoded request.
 fn handle(req: Request, runtime: &Runtime, config: &ServerConfig) -> Response {
     match req {
-        Request::Hello { version, client: _ } => {
+        Request::Hello {
+            version,
+            client: _,
+            durability,
+        } => {
+            let provided = WireDurability::of_storage(runtime.storage());
             if version != PROTOCOL_VERSION {
                 Response::Error {
                     message: format!(
                         "protocol version mismatch: client {version}, server {PROTOCOL_VERSION}"
+                    ),
+                }
+            } else if durability.is_some_and(|required| required != provided) {
+                Response::Error {
+                    message: format!(
+                        "durability mismatch: client requires {}, server provides {provided}",
+                        durability.unwrap()
                     ),
                 }
             } else {
@@ -432,6 +469,7 @@ fn handle(req: Request, runtime: &Runtime, config: &ServerConfig) -> Response {
                     version: PROTOCOL_VERSION,
                     server: config.name.clone(),
                     shards: runtime.shard_count() as u32,
+                    durability: Some(provided),
                 }
             }
         }
@@ -489,9 +527,13 @@ fn submit_block(runtime: &Runtime, tenant: TenantId, job: Job) -> Response {
 }
 
 /// Parse `define trigger` source against the runtime schema and install
-/// each trigger on the tenant's engine, waiting for every definition to
-/// be applied. First failure wins; triggers defined before it stay
-/// defined (matching the engine's own sequential semantics).
+/// each declaration on the tenant's engine, waiting for every definition
+/// to be applied. Every declaration is attempted and gets its own
+/// [`TriggerOutcome`] — a failed one no longer hides the rest (only a
+/// source that fails to *parse* is answered with [`Response::Error`],
+/// since no declarations exist to report on). Each declaration travels
+/// as [`Job::DefineTriggerSource`] — its pretty-printed source text —
+/// so a durable runtime logs it replayably.
 fn define_triggers(runtime: &Runtime, tenant: TenantId, source: &str) -> Response {
     let decls = match parse_trigger_decls(source, runtime.schema()) {
         Ok(d) => d,
@@ -501,33 +543,25 @@ fn define_triggers(runtime: &Runtime, tenant: TenantId, source: &str) -> Respons
             }
         }
     };
-    let mut count = 0u32;
+    let mut outcomes = Vec::with_capacity(decls.len());
     for decl in &decls {
-        let def = match decl.lower(runtime.schema()) {
-            Ok(d) => d,
-            Err(e) => {
-                return Response::Error {
-                    message: format!("trigger lowering error: {e}"),
-                }
-            }
-        };
-        let submitted =
-            runtime.submit_with_reply(tenant, Job::DefineTrigger(Box::new(def)));
+        let src = print_trigger(decl, runtime.schema());
+        let submitted = runtime.submit_with_reply(tenant, Job::DefineTriggerSource(src));
         let outcome = match submitted {
             Ok((_, rx)) => rx.recv().map_err(|_| "shard worker is gone".to_string()),
             Err(e) => Err(e.to_string()),
         };
-        match outcome {
-            Ok(reply) if reply.outcome.is_done() => count += 1,
-            Ok(reply) => {
-                return Response::Error {
-                    message: format!("trigger `{}` rejected: {:?}", decl.name, reply.outcome),
-                }
-            }
-            Err(message) => return Response::Error { message },
-        }
+        let error = match outcome {
+            Ok(reply) if reply.outcome.is_done() => None,
+            Ok(reply) => Some(format!("rejected: {:?}", reply.outcome)),
+            Err(message) => Some(message),
+        };
+        outcomes.push(TriggerOutcome {
+            name: decl.name.clone(),
+            error,
+        });
     }
-    Response::TriggersDefined { count }
+    Response::TriggersDefined { outcomes }
 }
 
 /// Read one tenant engine through [`Runtime::with_tenant`].

@@ -22,7 +22,10 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Version announced in `Hello`/`HelloAck`. Bump on any codec change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2: durability negotiation in the handshake, storage counters
+/// in `StatsReply`, per-declaration `TriggersDefined` outcomes, and the
+/// `Busy` connection-cap refusal. The framing layer is unchanged.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Default upper bound on one frame's payload (16 MiB) — comfortably
 /// above a 256-event block, far below an allocation attack.

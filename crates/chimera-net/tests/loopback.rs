@@ -55,6 +55,7 @@ fn start_server(triggers: Vec<TriggerDef>) -> Server {
             queue_capacity: 16,
             backpressure: Backpressure::Block,
             engine: Default::default(),
+            ..Default::default()
         },
     )
     .unwrap();
@@ -118,7 +119,7 @@ fn full_request_vocabulary_round_trips() {
     }
 
     // tenant-local triggers defined over the wire, from concrete syntax
-    let n = c
+    let outcomes = c
         .define_triggers(
             tenant,
             "define immediate trigger clampQty for stock
@@ -128,7 +129,9 @@ fn full_request_vocabulary_round_trips() {
              end",
         )
         .unwrap();
-    assert_eq!(n, 1);
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].name, "clampQty");
+    assert!(outcomes[0].is_defined(), "{:?}", outcomes[0].error);
     // a bad one is a remote error, not a dead connection
     match c.define_triggers(tenant, "define trigger t events create(ghost) end") {
         Err(NetError::Remote(msg)) => assert!(msg.contains("parse error"), "{msg}"),
@@ -247,6 +250,7 @@ fn malformed_input_cannot_kill_the_server() {
     let hello = chimera_net::Request::Hello {
         version: chimera_net::PROTOCOL_VERSION,
         client: "fuzz".into(),
+        durability: None,
     }
     .encode();
     for cut in 1..hello.len() {
@@ -274,6 +278,7 @@ fn malformed_input_cannot_kill_the_server() {
         &chimera_net::Request::Hello {
             version: chimera_net::PROTOCOL_VERSION,
             client: "post-garbage".into(),
+            durability: None,
         }
         .encode(),
     )
@@ -340,6 +345,7 @@ fn version_mismatch_is_rejected() {
         &chimera_net::Request::Hello {
             version: 999,
             client: "time traveler".into(),
+            durability: None,
         }
         .encode(),
     )
@@ -357,4 +363,170 @@ fn version_mismatch_is_rejected() {
     let mut rest = Vec::new();
     let _ = sock.read_to_end(&mut rest);
     server.shutdown();
+}
+
+#[test]
+fn per_trigger_outcomes_survive_a_bad_declaration() {
+    let server = start_server(vec![]);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    // three declarations: ok, duplicate name (engine refusal), ok — the
+    // middle failure must not hide the third
+    let outcomes = c
+        .define_triggers(
+            5,
+            "define immediate trigger first for stock
+               events modify(quantity)
+               condition stock(S), S.quantity > S.max_quantity
+               actions modify(S.quantity, S.max_quantity)
+             end
+             define immediate trigger first for stock
+               events modify(quantity)
+               condition stock(S), S.quantity > S.max_quantity
+               actions modify(S.quantity, S.max_quantity)
+             end
+             define immediate trigger second for stock
+               events modify(quantity)
+               condition stock(S), S.quantity < 0
+               actions modify(S.quantity, 0)
+             end",
+        )
+        .unwrap();
+    assert_eq!(outcomes.len(), 3);
+    assert!(outcomes[0].is_defined(), "{:?}", outcomes[0].error);
+    assert!(!outcomes[1].is_defined(), "duplicate name must be refused");
+    assert!(outcomes[2].is_defined(), "{:?}", outcomes[2].error);
+    assert_eq!(
+        outcomes.iter().map(|o| o.name.as_str()).collect::<Vec<_>>(),
+        ["first", "first", "second"]
+    );
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_refuses_with_typed_busy() {
+    let s = schema();
+    let rt = Runtime::new(s, vec![], RuntimeConfig::default()).unwrap();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(rt),
+        ServerConfig {
+            max_connections: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let c1 = Client::connect(addr).unwrap();
+    let c2 = Client::connect(addr).unwrap();
+    // over the cap: one typed Busy frame, then the connection closes
+    match Client::connect(addr) {
+        Err(NetError::Busy { active: 2, limit: 2 }) => {}
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    // freeing a slot lets a new connection in (the accept loop reaps
+    // finished handlers; give the dropped client's handler a moment)
+    drop(c1);
+    let mut again = Err(NetError::Closed);
+    for _ in 0..100 {
+        again = Client::connect(addr);
+        if again.is_ok() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let c3 = again.expect("slot freed by dropping c1");
+    drop(c3);
+    drop(c2);
+    server.shutdown();
+}
+
+#[test]
+fn handshake_negotiates_durability() {
+    use chimera_net::WireDurability;
+    let server = start_server(vec![]);
+    let addr = server.local_addr();
+    // this runtime is in-memory: requiring group commit must fail the
+    // handshake with a typed reason, before any job is accepted
+    match Client::connect_requiring(addr, "strict", WireDurability::GroupCommit) {
+        Err(NetError::Remote(msg)) => {
+            assert!(msg.contains("durability mismatch"), "{msg}")
+        }
+        other => panic!("expected Remote, got {other:?}"),
+    }
+    // requiring what the server provides succeeds, and the ack reports
+    // the effective level either way
+    let c = Client::connect_requiring(addr, "strict", WireDurability::InMemory).unwrap();
+    assert_eq!(c.server_durability(), Some(WireDurability::InMemory));
+    drop(c);
+    let c = Client::connect(addr).unwrap();
+    assert_eq!(c.server_durability(), Some(WireDurability::InMemory));
+    drop(c);
+    server.shutdown();
+}
+
+#[test]
+fn durable_server_round_trip() {
+    use chimera_net::WireDurability;
+    use chimera_runtime::{DurabilityConfig, StorageMode};
+    let dir = std::env::temp_dir().join(format!(
+        "chimera-net-durable-loopback-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = RuntimeConfig {
+        shards: 2,
+        storage: StorageMode::Durable(DurabilityConfig::new(&dir)),
+        ..Default::default()
+    };
+    let rt = Runtime::new(schema(), vec![], config.clone()).unwrap();
+    let server = Server::bind("127.0.0.1:0", Arc::new(rt), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut c = Client::connect_requiring(addr, "durable", WireDurability::GroupCommit).unwrap();
+    assert_eq!(c.server_durability(), Some(WireDurability::GroupCommit));
+    let outcomes = c
+        .define_triggers(
+            3,
+            "define immediate trigger clampQty for stock
+               events modify(quantity)
+               condition stock(S), S.quantity > S.max_quantity
+               actions modify(S.quantity, S.max_quantity)
+             end",
+        )
+        .unwrap();
+    assert!(outcomes.iter().all(|o| o.is_defined()));
+    c.begin(3).unwrap();
+    c.exec_block(
+        3,
+        vec![WireOp::Create {
+            class: 0,
+            inits: vec![(0, Value::Int(7))],
+        }],
+    )
+    .unwrap();
+    c.commit(3).unwrap();
+    c.drain().unwrap();
+    let stats = c.stats().unwrap();
+    assert!(stats.wal_appends >= 4, "stats = {stats:?}");
+    assert!(stats.wal_syncs >= 1);
+    server.shutdown();
+
+    // reopening the same directory recovers the tenant over the wire
+    let rt = Runtime::new(schema(), vec![], config).unwrap();
+    let server = Server::bind("127.0.0.1:0", Arc::new(rt), ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let stats = c.stats().unwrap();
+    // no snapshot was due yet (threshold 1024 groups), so the tenant was
+    // rebuilt purely from job-log replay
+    assert_eq!(stats.tenants, 1, "stats = {stats:?}");
+    assert!(stats.jobs_replayed >= 4, "stats = {stats:?}");
+    match c
+        .tenant_query(3, TenantQuery::Extent { class: 0 })
+        .unwrap()
+    {
+        TenantReply::Extent(oids) => assert_eq!(oids.len(), 1),
+        other => panic!("expected Extent, got {other:?}"),
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

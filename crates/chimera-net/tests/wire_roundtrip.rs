@@ -6,8 +6,8 @@
 use chimera_model::{Oid, TotalF64, Value};
 use chimera_net::wire::{read_frame, write_frame, WireError};
 use chimera_net::{
-    ExternalEvent, Request, Response, TenantQuery, TenantReply, WireJob, WireOp, WireOutcome,
-    WireStats,
+    ExternalEvent, Request, Response, TenantQuery, TenantReply, TriggerOutcome, WireDurability,
+    WireJob, WireOp, WireOutcome, WireStats,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -95,11 +95,21 @@ fn arb_query(rng: &mut StdRng) -> TenantQuery {
     }
 }
 
+fn arb_durability(rng: &mut StdRng) -> Option<WireDurability> {
+    match rng.random_range(0..4u32) {
+        0 => None,
+        1 => Some(WireDurability::InMemory),
+        2 => Some(WireDurability::PerJob),
+        _ => Some(WireDurability::GroupCommit),
+    }
+}
+
 fn arb_request(rng: &mut StdRng) -> Request {
     match rng.random_range(0..7u32) {
         0 => Request::Hello {
             version: rng.next_u32(),
             client: arb_string(rng),
+            durability: arb_durability(rng),
         },
         1 => Request::DefineTriggers {
             tenant: rng.next_u64(),
@@ -134,11 +144,12 @@ fn arb_outcome(rng: &mut StdRng) -> WireOutcome {
 }
 
 fn arb_response(rng: &mut StdRng) -> Response {
-    match rng.random_range(0..8u32) {
+    match rng.random_range(0..9u32) {
         0 => Response::HelloAck {
             version: rng.next_u32(),
             server: arb_string(rng),
             shards: rng.next_u32(),
+            durability: arb_durability(rng),
         },
         1 => Response::JobDone {
             job: rng.next_u64(),
@@ -146,7 +157,16 @@ fn arb_response(rng: &mut StdRng) -> Response {
             outcome: arb_outcome(rng),
         },
         2 => Response::TriggersDefined {
-            count: rng.next_u32(),
+            outcomes: (0..rng.random_range(0..4usize))
+                .map(|_| TriggerOutcome {
+                    name: arb_string(rng),
+                    error: if rng.next_u32() & 1 == 1 {
+                        Some(arb_string(rng))
+                    } else {
+                        None
+                    },
+                })
+                .collect(),
         },
         3 => Response::FlushDone,
         4 => Response::StatsReply(WireStats {
@@ -164,7 +184,16 @@ fn arb_response(rng: &mut StdRng) -> Response {
             executions: rng.next_u64(),
             commits: rng.next_u64(),
             rollbacks: rng.next_u64(),
+            wal_appends: rng.next_u64(),
+            wal_syncs: rng.next_u64(),
+            snapshots: rng.next_u64(),
+            tenants_recovered: rng.next_u64(),
+            jobs_replayed: rng.next_u64(),
         }),
+        8 => Response::Busy {
+            active: rng.next_u32(),
+            limit: rng.next_u32(),
+        },
         5 => Response::TenantReply(match rng.random_range(0..5u32) {
             0 => TenantReply::NoSuchTenant,
             1 => TenantReply::Extent(
@@ -225,19 +254,26 @@ proptest! {
     }
 
     /// Every strict prefix of a valid encoding is rejected as truncated
-    /// (never a panic, never a silent partial decode).
+    /// — unless the cut removed exactly a whole optional trailing field
+    /// (that's a *version-1* encoding by construction, so it must decode
+    /// to a value that itself round-trips bit-exactly). Either way:
+    /// never a panic, never an unstable partial decode.
     #[test]
     fn truncated_encodings_rejected(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let req = arb_request(&mut rng);
         let bytes = req.encode();
         for cut in 0..bytes.len() {
-            prop_assert!(Request::decode(&bytes[..cut]).is_err(), "cut {}", cut);
+            if let Ok(m) = Request::decode(&bytes[..cut]) {
+                prop_assert_eq!(Request::decode(&m.encode()).unwrap(), m, "cut {}", cut);
+            }
         }
         let resp = arb_response(&mut rng);
         let bytes = resp.encode();
         for cut in 0..bytes.len() {
-            prop_assert!(Response::decode(&bytes[..cut]).is_err(), "cut {}", cut);
+            if let Ok(m) = Response::decode(&bytes[..cut]) {
+                prop_assert_eq!(Response::decode(&m.encode()).unwrap(), m, "cut {}", cut);
+            }
         }
     }
 
@@ -301,6 +337,55 @@ fn frame_roundtrip_and_bounds() {
 
     // EOF inside the header
     assert_eq!(read_frame(&mut &[0x01u8][..], 1024), Err(WireError::Truncated));
+}
+
+#[test]
+fn version1_peers_still_decode() {
+    // cutting the optional trailing durability off a version-2 Hello
+    // yields exactly a version-1 Hello (and the same for the ack)
+    let hello = Request::Hello {
+        version: 2,
+        client: "new".into(),
+        durability: Some(WireDurability::GroupCommit),
+    };
+    let bytes = hello.encode();
+    match Request::decode(&bytes[..bytes.len() - 1]).unwrap() {
+        Request::Hello { durability: None, version: 2, .. } => {}
+        other => panic!("expected durability-less Hello, got {other:?}"),
+    }
+    let ack = Response::HelloAck {
+        version: 2,
+        server: "srv".into(),
+        shards: 4,
+        durability: Some(WireDurability::PerJob),
+    };
+    let bytes = ack.encode();
+    match Response::decode(&bytes[..bytes.len() - 1]).unwrap() {
+        Response::HelloAck { durability: None, shards: 4, .. } => {}
+        other => panic!("expected durability-less HelloAck, got {other:?}"),
+    }
+    // a version-1 StatsReply (14 flat fields) decodes with the storage
+    // counters zeroed, not an error
+    let stats = WireStats {
+        shards: 3,
+        jobs_submitted: 11,
+        wal_appends: 7,
+        wal_syncs: 5,
+        snapshots: 2,
+        tenants_recovered: 1,
+        jobs_replayed: 9,
+        ..WireStats::default()
+    };
+    let bytes = Response::StatsReply(stats).encode();
+    match Response::decode(&bytes[..bytes.len() - 5 * 8]).unwrap() {
+        Response::StatsReply(s) => {
+            assert_eq!(s.shards, 3);
+            assert_eq!(s.jobs_submitted, 11);
+            assert_eq!(s.wal_appends, 0);
+            assert_eq!(s.jobs_replayed, 0);
+        }
+        other => panic!("expected StatsReply, got {other:?}"),
+    }
 }
 
 #[test]

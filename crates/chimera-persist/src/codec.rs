@@ -52,7 +52,7 @@ pub fn decode_value(tok: &str) -> Result<Value> {
 /// Percent-escape everything a token must not contain (all ASCII, so the
 /// two-hex-digit escape is unambiguous; other characters pass through as
 /// UTF-8).
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -65,7 +65,7 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> Result<String> {
+pub(crate) fn unescape(s: &str) -> Result<String> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;

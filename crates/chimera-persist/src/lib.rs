@@ -19,15 +19,37 @@
 //!   whose terminator line is missing or whose checksum mismatches is
 //!   discarded along with everything after it.
 //!
+//! On top of that sits the **pluggable storage layer** the multi-tenant
+//! runtime composes (this is what `chimera-runtime` threads through its
+//! shard workers):
+//!
+//! * the [`joblog`] module is *logical* command logging — every runtime
+//!   job is one line, and a whole drained queue batch becomes durable
+//!   with one fsync (**group commit**);
+//! * the [`shardsnap`] module writes full-fidelity tenant snapshots
+//!   (objects, event log, trigger sources, rule stamps, stats) so the
+//!   job log can be truncated;
+//! * the [`store`] module ties them together behind the [`StateStore`]
+//!   trait, with [`InMemoryStore`] (no-op) and [`DurableStore`]
+//!   (log + snapshot) backends.
+//!
 //! The format is line-oriented text (consistent with the repository's
 //! no-serde decision — see DESIGN.md §8), checksummed with FNV-1a 64.
 
 pub mod codec;
 pub mod durable;
+pub mod joblog;
+pub mod shardsnap;
 pub mod snapshot;
+pub mod store;
 pub mod wal;
 
 pub use durable::{DurableEngine, RecoveryReport};
+pub use joblog::{JobGroup, JobLog, JobLogOutcome, JobRecord};
+pub use shardsnap::{RuleStampRec, ShardSnapshot, TenantSnapshot};
+pub use store::{
+    DurableStore, InMemoryStore, ShardRecovery, StateStore, StoreCounters, SyncPolicy,
+};
 pub use wal::{RedoBatch, RedoRecord, Wal};
 
 use std::fmt;

@@ -33,6 +33,21 @@
 //! identical triggered-rule sets, consumption windows, and net effects as
 //! a per-tenant sequential replay.
 //!
+//! ## Durable tenants
+//!
+//! Each shard worker threads a `chimera_persist::StateStore` through its
+//! job loop. With [`StorageMode::Durable`] every job's intent is appended
+//! to the shard's job log *before* execution and the whole drained queue
+//! batch shares one fsync (**group commit**) before anyone is answered —
+//! so an acknowledged job is always durable, and the ~ms fsync cost is
+//! amortized across the batch. [`Runtime::recover`] rebuilds every tenant
+//! bit-identically from the shard snapshot + job-log replay (event logs,
+//! consumption windows, rule stamps, error bookkeeping and open
+//! transactions included); periodic snapshots truncate the log. The crash
+//! oracle is `tests/durable_recovery.rs`: kill the process at any byte of
+//! the log — including a torn final record — and recovery equals a
+//! sequential replay of exactly the surviving prefix.
+//!
 //! ## Quick tour
 //!
 //! ```
@@ -63,8 +78,8 @@ mod shard;
 mod stats;
 
 pub use runtime::{
-    Backpressure, Job, JobId, JobOutcome, JobReply, JobSummary, Runtime, RuntimeConfig,
-    RuntimeError, TenantId,
+    Backpressure, DurabilityConfig, Job, JobId, JobOutcome, JobReply, JobSummary, RecoveryReport,
+    Runtime, RuntimeConfig, RuntimeError, StorageMode, TenantId,
 };
 pub use stats::RuntimeStats;
 

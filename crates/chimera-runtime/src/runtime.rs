@@ -6,9 +6,11 @@ use crate::stats::RuntimeStats;
 use chimera_events::Timestamp;
 use chimera_exec::{EngineConfig, EngineStats, Op};
 use chimera_model::{ClassId, Oid, Schema};
+use chimera_persist::{DurableStore, InMemoryStore, StateStore, SyncPolicy};
 use chimera_rules::table::RuleError;
 use chimera_rules::{RuleTable, TriggerDef};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Barrier, PoisonError};
@@ -99,8 +101,16 @@ pub enum Job {
     /// `Engine::rollback`.
     Rollback,
     /// `Engine::define_trigger` — a tenant-local rule on top of the
-    /// runtime-wide set installed at engine creation.
+    /// runtime-wide set installed at engine creation. Only valid on
+    /// in-memory runtimes: a pre-lowered definition has no durable form,
+    /// so durable shards refuse it (use [`Job::DefineTriggerSource`]).
     DefineTrigger(Box<TriggerDef>),
+    /// Tenant-local trigger definitions as concrete source text, parsed
+    /// and lowered on the shard worker. All of the job's declarations are
+    /// defined or none. This is the durable form of trigger definition —
+    /// the source line is what the job log records, and recovery re-parses
+    /// it deterministically.
+    DefineTriggerSource(String),
     /// Test instrumentation: the worker waits on `entered` (proving it
     /// has dequeued this job), then on `release`. Lets tests fill a
     /// queue deterministically while the worker is parked.
@@ -124,6 +134,47 @@ pub enum Backpressure {
     Shed,
 }
 
+/// Durable-storage tuning for [`StorageMode::Durable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Root directory for the runtime's durable state. Each shard gets
+    /// its own subdirectory (`shard-<i>/`), plus a `meta.chi` file at the
+    /// root pinning the shard count (tenant→shard placement is a hash,
+    /// so reopening with a different count would scatter tenants).
+    pub dir: PathBuf,
+    /// `true` → one fsync per drained queue batch (**group commit**);
+    /// `false` → one fsync per job (maximum granularity, pays the full
+    /// sync cost on every job).
+    pub group_commit: bool,
+    /// Write a shard snapshot and truncate the job log after this many
+    /// durable groups (`0` = never compact).
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Group-commit durability rooted at `dir`, compacting every 1024
+    /// groups.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            group_commit: true,
+            snapshot_every: 1024,
+        }
+    }
+}
+
+/// Where tenant state lives.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum StorageMode {
+    /// RAM only — a restart loses every tenant (the pre-durability
+    /// behaviour, still the fastest and the default).
+    #[default]
+    InMemory,
+    /// Job-log + snapshot persistence per shard; tenants survive a crash
+    /// and are rebuilt by [`Runtime::recover`].
+    Durable(DurabilityConfig),
+}
+
 /// Runtime construction knobs.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -136,6 +187,9 @@ pub struct RuntimeConfig {
     /// Configuration of every tenant engine, including
     /// `check_workers` for the intra-shard parallel check round.
     pub engine: EngineConfig,
+    /// Where tenant state lives (in RAM, or on disk behind the
+    /// group-commit job log).
+    pub storage: StorageMode,
 }
 
 impl Default for RuntimeConfig {
@@ -145,8 +199,21 @@ impl Default for RuntimeConfig {
             queue_capacity: 64,
             backpressure: Backpressure::Block,
             engine: EngineConfig::default(),
+            storage: StorageMode::InMemory,
         }
     }
+}
+
+/// What [`Runtime::recover`] found on disk, aggregated over the shards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Tenants rebuilt from shard snapshots.
+    pub tenants_recovered: u64,
+    /// Logged jobs re-applied on top of the snapshots.
+    pub jobs_replayed: u64,
+    /// Torn job-log tails that were cut and repaired (at most one per
+    /// shard; each entry describes the cut).
+    pub torn_tails: Vec<String>,
 }
 
 /// Runtime-level errors.
@@ -163,6 +230,9 @@ pub enum RuntimeError {
     /// The target shard's worker thread is gone (it exits only at
     /// shutdown, or if the thread itself was killed).
     WorkerGone,
+    /// The durable storage layer failed (open, recovery, or a
+    /// shard-count mismatch against the directory's meta file).
+    Persist(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -173,6 +243,7 @@ impl fmt::Display for RuntimeError {
                 write!(f, "job for tenant {} shed: shard queue full", tenant.0)
             }
             RuntimeError::WorkerGone => write!(f, "shard worker thread is gone"),
+            RuntimeError::Persist(msg) => write!(f, "durable storage error: {msg}"),
         }
     }
 }
@@ -197,37 +268,71 @@ impl Runtime {
     /// Build a runtime over `schema`. Every tenant engine is created on
     /// the tenant's first job, with all of `triggers` pre-defined;
     /// the set is validated here so engine creation cannot fail later.
+    ///
+    /// With [`StorageMode::Durable`] this *is* recovery: any tenants
+    /// already on disk are rebuilt before the first job is served (use
+    /// [`Runtime::recover`] to also see what was found).
     pub fn new(
         schema: Schema,
         triggers: Vec<TriggerDef>,
         config: RuntimeConfig,
     ) -> Result<Runtime, RuntimeError> {
+        Runtime::recover(schema, triggers, config).map(|(rt, _)| rt)
+    }
+
+    /// Build a runtime and report what its storage layer recovered:
+    /// tenants rebuilt from snapshots, logged jobs replayed on top, and
+    /// any torn log tail that was cut. In-memory runtimes recover
+    /// nothing and report an empty [`RecoveryReport`].
+    pub fn recover(
+        schema: Schema,
+        triggers: Vec<TriggerDef>,
+        config: RuntimeConfig,
+    ) -> Result<(Runtime, RecoveryReport), RuntimeError> {
         let mut probe = RuleTable::new();
         for def in &triggers {
             probe
                 .define(def.clone(), Timestamp::ZERO)
                 .map_err(RuntimeError::InvalidTrigger)?;
         }
-        let shards = config.shards.max(1);
+        let shard_count = config.shards.max(1);
         let capacity = config.queue_capacity.max(1);
         let triggers = Arc::new(triggers);
-        let shards = (0..shards)
-            .map(|i| {
-                Shard::spawn(
-                    i,
-                    capacity,
-                    schema.clone(),
-                    Arc::clone(&triggers),
-                    config.engine.clone(),
-                )
-            })
-            .collect();
-        Ok(Runtime {
-            shards,
-            config,
-            schema,
-            next_job: AtomicU64::new(0),
-        })
+        let mut report = RecoveryReport::default();
+        let mut shards = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let (store, snapshot_every) = make_store(&config.storage, shard_count, i)?;
+            let (shard, stats) = Shard::spawn(
+                i,
+                capacity,
+                schema.clone(),
+                Arc::clone(&triggers),
+                config.engine.clone(),
+                store,
+                snapshot_every,
+            )
+            .map_err(RuntimeError::Persist)?;
+            report.tenants_recovered += stats.tenants_recovered;
+            report.jobs_replayed += stats.jobs_replayed;
+            if let Some(torn) = stats.torn {
+                report.torn_tails.push(format!("shard {i}: {torn}"));
+            }
+            shards.push(shard);
+        }
+        Ok((
+            Runtime {
+                shards,
+                config,
+                schema,
+                next_job: AtomicU64::new(0),
+            },
+            report,
+        ))
+    }
+
+    /// The storage mode the runtime was built with.
+    pub fn storage(&self) -> &StorageMode {
+        &self.config.storage
     }
 
     /// Number of shards (worker threads).
@@ -348,6 +453,14 @@ impl Runtime {
     pub fn rollback(&self, tenant: TenantId) -> Result<(), RuntimeError> {
         self.submit(tenant, Job::Rollback)
     }
+    /// Convenience: `submit(tenant, Job::DefineTriggerSource(src))`.
+    pub fn define_trigger_source(
+        &self,
+        tenant: TenantId,
+        src: impl Into<String>,
+    ) -> Result<(), RuntimeError> {
+        self.submit(tenant, Job::DefineTriggerSource(src.into()))
+    }
 
     /// The flush barrier: wait until every shard has processed every job
     /// accepted so far. Errors with [`RuntimeError::WorkerGone`] if a
@@ -431,6 +544,11 @@ impl Runtime {
             out.submits_blocked += shard.state.blocked.load(Ordering::Relaxed);
             out.job_errors += shard.state.errors.load(Ordering::Relaxed);
             out.job_panics += shard.state.panics.load(Ordering::Relaxed);
+            out.wal_appends += shard.state.wal_appends.load(Ordering::Relaxed);
+            out.wal_syncs += shard.state.wal_syncs.load(Ordering::Relaxed);
+            out.snapshots += shard.state.snapshots.load(Ordering::Relaxed);
+            out.tenants_recovered += shard.state.recovered_tenants.load(Ordering::Relaxed);
+            out.jobs_replayed += shard.state.replayed_jobs.load(Ordering::Relaxed);
             let tenants = shard
                 .state
                 .tenants
@@ -484,6 +602,64 @@ impl Runtime {
                 p.processed = p.submitted;
             }
         }
+    }
+}
+
+/// Build one shard's store for the configured mode. Returns the store
+/// plus the shard's `snapshot_every` compaction threshold.
+fn make_store(
+    storage: &StorageMode,
+    shards: usize,
+    index: usize,
+) -> Result<(Box<dyn StateStore>, u64), RuntimeError> {
+    match storage {
+        StorageMode::InMemory => Ok((Box::new(InMemoryStore), 0)),
+        StorageMode::Durable(cfg) => {
+            if index == 0 {
+                check_meta(&cfg.dir, shards)?;
+            }
+            let policy = if cfg.group_commit {
+                SyncPolicy::GroupCommit
+            } else {
+                SyncPolicy::EveryJob
+            };
+            let store = DurableStore::open(&cfg.dir.join(format!("shard-{index}")), policy)
+                .map_err(|e| RuntimeError::Persist(e.to_string()))?;
+            Ok((Box::new(store), cfg.snapshot_every))
+        }
+    }
+}
+
+/// Pin the shard count in the durable directory's meta file. Placement
+/// is `hash(tenant) % shards`, so reopening a directory with a different
+/// count would route tenants to shards that never logged them — refuse
+/// loudly instead (re-sharding a durable directory is future work).
+fn check_meta(dir: &std::path::Path, shards: usize) -> Result<(), RuntimeError> {
+    let io = |e: std::io::Error| RuntimeError::Persist(format!("meta file: {e}"));
+    std::fs::create_dir_all(dir).map_err(io)?;
+    let meta = dir.join("meta.chi");
+    match std::fs::read_to_string(&meta) {
+        Ok(text) => {
+            let recorded = text
+                .trim()
+                .strip_prefix("shards ")
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| {
+                    RuntimeError::Persist(format!("unreadable meta file {}", meta.display()))
+                })?;
+            if recorded != shards {
+                return Err(RuntimeError::Persist(format!(
+                    "directory {} was created with {recorded} shards but the runtime is \
+                     configured with {shards}; tenant placement would not match",
+                    dir.display()
+                )));
+            }
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            std::fs::write(&meta, format!("shards {shards}\n")).map_err(io)
+        }
+        Err(e) => Err(io(e)),
     }
 }
 
@@ -545,6 +721,7 @@ mod tests {
             queue_capacity: 8,
             backpressure: Backpressure::Block,
             engine: EngineConfig::default(),
+            storage: StorageMode::InMemory,
         }
     }
 
@@ -589,6 +766,7 @@ mod tests {
                 queue_capacity: capacity,
                 backpressure: Backpressure::Shed,
                 engine: EngineConfig::default(),
+                storage: StorageMode::InMemory,
             },
         )
         .unwrap();
@@ -635,6 +813,7 @@ mod tests {
                 queue_capacity: 1,
                 backpressure: Backpressure::Block,
                 engine: EngineConfig::default(),
+                storage: StorageMode::InMemory,
             },
         )
         .unwrap();

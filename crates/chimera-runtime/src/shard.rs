@@ -1,14 +1,25 @@
-//! One shard: a bounded ingestion queue, a worker thread, and the
-//! engines of the tenants hashed onto it.
+//! One shard: a bounded ingestion queue, a worker thread, the engines of
+//! the tenants hashed onto it — and, since the durable-tenants refactor,
+//! a per-shard [`StateStore`] the worker threads every job through.
+//!
+//! The worker's loop is *batched*: it blocks for one envelope, then
+//! drains whatever else is already queued (up to the queue capacity) and
+//! processes the whole batch before answering anyone. Under a durable
+//! store each job's intent is appended to the shard's job log *before*
+//! execution, and the batch shares **one** fsync ([`StateStore::commit`])
+//! at the end — the group commit that amortizes the ~ms sync across
+//! every job that was sitting in the bounded queue. Replies are only
+//! delivered after that commit, so an acknowledged job is always durable.
 
 use crate::runtime::{Job, JobId, JobOutcome, JobReply, JobSummary, TenantId};
-use chimera_exec::{Engine, EngineConfig};
-use chimera_model::Schema;
+use chimera_exec::{Engine, EngineConfig, EngineStats};
+use chimera_model::{ObjectStore, Schema};
+use chimera_persist::{JobRecord, RuleStampRec, StateStore, TenantSnapshot};
 use chimera_rules::{SharedProbePool, TriggerDef};
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
@@ -33,11 +44,19 @@ pub(crate) struct Progress {
     pub processed: u64,
 }
 
-/// One tenant's engine plus its error bookkeeping.
+/// One tenant's engine plus its bookkeeping.
 pub(crate) struct TenantSlot {
     pub engine: Engine,
     pub job_errors: u64,
     pub last_error: Option<String>,
+    /// Jobs durably logged *and* applied to this tenant (snapshot
+    /// `jobs_applied` + logged-tail position). The recovery oracle uses
+    /// this to know exactly how many of a tenant's jobs survived a crash.
+    pub jobs_applied: u64,
+    /// Tenant-local trigger definitions, as source text, in definition
+    /// order — re-applied verbatim when the tenant is rebuilt from a
+    /// snapshot.
+    pub trigger_sources: Vec<String>,
 }
 
 /// State shared between a shard's worker thread and the runtime handle.
@@ -47,12 +66,29 @@ pub(crate) struct ShardState {
     /// interleaves cleanly between jobs.
     pub tenants: Mutex<HashMap<u64, TenantSlot>>,
     pub progress: Mutex<Progress>,
-    /// Signalled after every retired job; the flush barrier waits on it.
+    /// Signalled after every retired batch; the flush barrier waits on it.
     pub drained: Condvar,
     pub shed: AtomicU64,
     pub blocked: AtomicU64,
     pub errors: AtomicU64,
     pub panics: AtomicU64,
+    /// Published store counters (set, not accumulated, from
+    /// [`StateStore::counters`] after every batch).
+    pub wal_appends: AtomicU64,
+    pub wal_syncs: AtomicU64,
+    pub snapshots: AtomicU64,
+    /// Set once, after startup recovery.
+    pub recovered_tenants: AtomicU64,
+    pub replayed_jobs: AtomicU64,
+}
+
+/// What a shard's startup recovery found (reported synchronously through
+/// the readiness channel before the worker starts serving).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ShardRecoveryStats {
+    pub tenants_recovered: u64,
+    pub jobs_replayed: u64,
+    pub torn: Option<String>,
 }
 
 /// A shard handle owned by the runtime: the queue's send side, the shared
@@ -65,16 +101,19 @@ pub(crate) struct Shard {
 
 impl Shard {
     /// Spawn a shard: a `sync_channel(capacity)` queue plus one worker
-    /// thread that owns the shard's tenant engines. Fresh tenants get an
-    /// engine over `schema` with every definition of `triggers` installed
-    /// (validated ahead of time by `Runtime::new`).
+    /// thread that owns the shard's tenant engines and its store. The
+    /// worker first runs recovery against `store` (rebuilding tenants
+    /// from its snapshot + job-log tail); this call blocks until that
+    /// finishes and returns what it found, or the store's error.
     pub fn spawn(
         index: usize,
         capacity: usize,
         schema: Schema,
         triggers: Arc<Vec<TriggerDef>>,
         engine_cfg: EngineConfig,
-    ) -> Shard {
+        store: Box<dyn StateStore>,
+        snapshot_every: u64,
+    ) -> Result<(Shard, ShardRecoveryStats), String> {
         let (tx, rx) = sync_channel(capacity);
         let state = Arc::new(ShardState {
             tenants: Mutex::new(HashMap::new()),
@@ -84,79 +123,257 @@ impl Shard {
             blocked: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            wal_appends: AtomicU64::new(0),
+            wal_syncs: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            recovered_tenants: AtomicU64::new(0),
+            replayed_jobs: AtomicU64::new(0),
         });
+        let (ready_tx, ready_rx) = sync_channel::<Result<ShardRecoveryStats, String>>(1);
         let worker_state = Arc::clone(&state);
         let worker = std::thread::Builder::new()
             .name(format!("chimera-shard-{index}"))
-            .spawn(move || run_worker(rx, worker_state, schema, triggers, engine_cfg))
+            .spawn(move || {
+                run_worker(
+                    rx,
+                    worker_state,
+                    schema,
+                    triggers,
+                    engine_cfg,
+                    store,
+                    capacity,
+                    snapshot_every,
+                    ready_tx,
+                )
+            })
             .expect("spawn shard worker thread");
-        Shard {
+        let shard = Shard {
             tx: Some(tx),
             state,
             worker: Some(worker),
+        };
+        match ready_rx.recv() {
+            Ok(Ok(stats)) => Ok((shard, stats)),
+            Ok(Err(msg)) => Err(msg),
+            Err(_) => Err("shard worker died during recovery".into()),
         }
     }
 }
 
-/// The worker loop: pop a job, run it on its tenant's engine (creating
-/// the engine on the tenant's first job), retire it. Exits when every
-/// sender is dropped (runtime shutdown). A panicking job poisons only its
-/// own tenant: the engine is discarded and the shard keeps serving.
+/// One processed envelope, parked until the batch's group commit before
+/// its reply goes out.
+struct Pending {
+    reply: Option<(JobId, SyncSender<JobReply>)>,
+    tenant: TenantId,
+    outcome: JobOutcome,
+    /// Was this job staged into the store (and must therefore be demoted
+    /// if the batch's commit fails)?
+    logged: bool,
+}
+
+/// The worker loop: block for one envelope, drain the rest of the queue
+/// into a batch, run every job, group-commit the store once, answer
+/// everyone, retire the batch. Exits when every sender is dropped
+/// (runtime shutdown). A panicking job poisons only its own tenant; a
+/// *store* failure poisons the whole shard's durability and every
+/// subsequent job is refused rather than executed without it.
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     rx: Receiver<Envelope>,
     state: Arc<ShardState>,
     schema: Schema,
     triggers: Arc<Vec<TriggerDef>>,
     engine_cfg: EngineConfig,
+    mut store: Box<dyn StateStore>,
+    capacity: usize,
+    snapshot_every: u64,
+    ready_tx: SyncSender<Result<ShardRecoveryStats, String>>,
 ) {
     // one probe pool per shard: every tenant engine created here parks
     // the *same* `check_workers - 1` threads (spawned lazily on the
     // first parallel check round), instead of one set per tenant
     let probe_pool = SharedProbePool::default();
-    while let Ok(env) = rx.recv() {
-        if let Job::Gate { entered, release } = env.job {
-            // test instrumentation: park *outside* the tenant lock so
-            // stats/inspection stay reachable while the worker is gated
-            entered.wait();
-            release.wait();
-            answer(env.reply, env.tenant, JobOutcome::Done(JobSummary::default()));
-            retire(&state);
-            continue;
+    let ctx = WorkerCtx {
+        schema,
+        triggers,
+        engine_cfg,
+        probe_pool,
+    };
+
+    match recover(&mut *store, &state, &ctx) {
+        Ok(stats) => {
+            state
+                .recovered_tenants
+                .store(stats.tenants_recovered, Ordering::Relaxed);
+            state
+                .replayed_jobs
+                .store(stats.jobs_replayed, Ordering::Relaxed);
+            publish_counters(&state, &*store);
+            let _ = ready_tx.send(Ok(stats));
         }
-        let outcome;
-        {
-            let mut tenants = state
-                .tenants
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            let slot = tenants.entry(env.tenant.0).or_insert_with(|| TenantSlot {
-                engine: fresh_engine(&schema, &triggers, &engine_cfg, &probe_pool),
-                job_errors: 0,
-                last_error: None,
+        Err(msg) => {
+            let _ = ready_tx.send(Err(msg));
+            return;
+        }
+    }
+
+    let durable = store.is_durable();
+    // a failed append/commit poisons the store: jobs keep being answered
+    // (with this error) but nothing executes without durability
+    let mut poisoned: Option<String> = None;
+
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < capacity {
+            match rx.try_recv() {
+                Ok(env) => batch.push(env),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        let mut pending = Vec::with_capacity(batch.len());
+        for env in batch {
+            if let Job::Gate { entered, release } = env.job {
+                // test instrumentation: park *outside* the tenant lock so
+                // stats/inspection stay reachable while the worker is gated
+                entered.wait();
+                release.wait();
+                pending.push(Pending {
+                    reply: env.reply,
+                    tenant: env.tenant,
+                    outcome: JobOutcome::Done(JobSummary::default()),
+                    logged: false,
+                });
+                continue;
+            }
+            let outcome;
+            let mut logged = false;
+            if let Some(msg) = &poisoned {
+                outcome = refuse(&state, env.tenant.0, msg.clone(), &ctx);
+            } else if durable && matches!(env.job, Job::DefineTrigger(_)) {
+                // lowered definitions have no logged form; durable tenants
+                // must define triggers from source so replay can re-parse
+                outcome = refuse(
+                    &state,
+                    env.tenant.0,
+                    "durable storage requires DefineTriggerSource (trigger source text), \
+                     not a pre-lowered DefineTrigger"
+                        .into(),
+                    &ctx,
+                );
+            } else {
+                if durable {
+                    if let Some(record) = job_record(&env.job) {
+                        if let Err(e) = store.append(env.tenant.0, &record) {
+                            poisoned = Some(format!("shard store failed: {e}"));
+                        } else {
+                            logged = true;
+                        }
+                    }
+                }
+                outcome = if let Some(msg) = &poisoned {
+                    refuse(&state, env.tenant.0, msg.clone(), &ctx)
+                } else {
+                    let mut tenants = state
+                        .tenants
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    run_job(&mut tenants, &state, &ctx, env.tenant.0, env.job, durable)
+                };
+            }
+            pending.push(Pending {
+                reply: env.reply,
+                tenant: env.tenant,
+                outcome,
+                logged,
             });
-            let before = slot.engine.stats();
-            let result =
-                std::panic::catch_unwind(AssertUnwindSafe(|| apply(&mut slot.engine, env.job)));
-            outcome = match result {
-                Ok(Ok(())) => JobOutcome::Done(JobSummary::delta(before, slot.engine.stats())),
-                Ok(Err(e)) => {
-                    let msg = e.to_string();
-                    slot.job_errors += 1;
-                    slot.last_error = Some(msg.clone());
-                    state.errors.fetch_add(1, Ordering::Relaxed);
-                    JobOutcome::Error(msg)
-                }
-                Err(_) => {
-                    // mid-job panic: the engine's invariants are suspect,
-                    // drop the whole tenant rather than serve from it
-                    tenants.remove(&env.tenant.0);
-                    state.panics.fetch_add(1, Ordering::Relaxed);
-                    JobOutcome::Panicked
-                }
-            };
         }
-        answer(env.reply, env.tenant, outcome);
-        retire(&state);
+
+        // the group commit: one fsync for every job logged above
+        if durable && poisoned.is_none() {
+            if let Err(e) = store.commit() {
+                let msg = format!("shard store failed: {e}");
+                // nothing in this batch is durable — demote its successes
+                for p in &mut pending {
+                    if p.logged && p.outcome.is_done() {
+                        p.outcome = JobOutcome::Error(msg.clone());
+                        state.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                poisoned = Some(msg);
+            }
+        }
+        publish_counters(&state, &*store);
+
+        let retired = pending.len() as u64;
+        for p in pending {
+            answer(p.reply, p.tenant, p.outcome);
+        }
+        retire_n(&state, retired);
+
+        if durable && poisoned.is_none() && snapshot_every > 0 {
+            maybe_snapshot(&mut *store, &state, snapshot_every, &mut poisoned);
+        }
+    }
+}
+
+/// Everything a worker needs to build (or rebuild) a tenant engine.
+struct WorkerCtx {
+    schema: Schema,
+    triggers: Arc<Vec<TriggerDef>>,
+    engine_cfg: EngineConfig,
+    probe_pool: SharedProbePool,
+}
+
+/// Record a store-refusal against the tenant's bookkeeping (the slot is
+/// created if this is the tenant's first job, mirroring engine errors).
+fn refuse(state: &ShardState, tenant: u64, msg: String, ctx: &WorkerCtx) -> JobOutcome {
+    let mut tenants = state
+        .tenants
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let slot = tenants
+        .entry(tenant)
+        .or_insert_with(|| fresh_slot(ctx));
+    slot.job_errors += 1;
+    slot.last_error = Some(msg.clone());
+    state.errors.fetch_add(1, Ordering::Relaxed);
+    JobOutcome::Error(msg)
+}
+
+/// Run one (non-gate) job against its tenant engine, with the tenant
+/// lock already held. Shared verbatim between live processing and
+/// startup replay, so a replayed job reproduces exactly the live
+/// bookkeeping — errors, panics and `jobs_applied` included.
+fn run_job(
+    tenants: &mut HashMap<u64, TenantSlot>,
+    state: &ShardState,
+    ctx: &WorkerCtx,
+    tenant: u64,
+    job: Job,
+    counted: bool,
+) -> JobOutcome {
+    let slot = tenants.entry(tenant).or_insert_with(|| fresh_slot(ctx));
+    if counted && job_record(&job).is_some() {
+        slot.jobs_applied += 1;
+    }
+    let before = slot.engine.stats();
+    let schema = &ctx.schema;
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| apply(slot, schema, job)));
+    match result {
+        Ok(Ok(())) => JobOutcome::Done(JobSummary::delta(before, slot.engine.stats())),
+        Ok(Err(msg)) => {
+            slot.job_errors += 1;
+            slot.last_error = Some(msg.clone());
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            JobOutcome::Error(msg)
+        }
+        Err(_) => {
+            // mid-job panic: the engine's invariants are suspect,
+            // drop the whole tenant rather than serve from it
+            tenants.remove(&tenant);
+            state.panics.fetch_add(1, Ordering::Relaxed);
+            JobOutcome::Panicked
+        }
     }
 }
 
@@ -173,44 +390,283 @@ fn answer(reply: Option<(JobId, SyncSender<JobReply>)>, tenant: TenantId, outcom
     }
 }
 
-/// Retire one job: bump the processed count and wake the flush barrier.
-fn retire(state: &ShardState) {
+/// Retire a whole batch: bump the processed count once and wake the
+/// flush barrier.
+fn retire_n(state: &ShardState, n: u64) {
     let mut p = state
         .progress
         .lock()
         .unwrap_or_else(PoisonError::into_inner);
-    p.processed += 1;
+    p.processed += n;
     drop(p);
     state.drained.notify_all();
 }
 
-/// A fresh tenant engine with the runtime's trigger set installed and
-/// the shard's shared probe pool wired in.
-fn fresh_engine(
-    schema: &Schema,
-    triggers: &[TriggerDef],
-    cfg: &EngineConfig,
-    probe_pool: &SharedProbePool,
-) -> Engine {
-    let mut engine = Engine::with_config(schema.clone(), cfg.clone());
-    engine.use_shared_probe_pool(probe_pool.clone());
-    for def in triggers {
+/// A fresh tenant slot: an engine with the runtime's trigger set
+/// installed and the shard's shared probe pool wired in.
+fn fresh_slot(ctx: &WorkerCtx) -> TenantSlot {
+    let mut engine = Engine::with_config(ctx.schema.clone(), ctx.engine_cfg.clone());
+    engine.use_shared_probe_pool(ctx.probe_pool.clone());
+    for def in ctx.triggers.iter() {
         engine
             .define_trigger(def.clone())
             .expect("runtime trigger set is validated at construction");
     }
-    engine
+    TenantSlot {
+        engine,
+        job_errors: 0,
+        last_error: None,
+        jobs_applied: 0,
+        trigger_sources: Vec::new(),
+    }
 }
 
-/// Run one job against a tenant engine.
-fn apply(engine: &mut Engine, job: Job) -> chimera_exec::Result<()> {
+/// Run one job against a tenant slot. Engine errors come back as their
+/// display string (the runtime's error currency); trigger-source jobs
+/// parse, lower and define atomically — on any failure the definitions
+/// already made by *this job* are dropped again.
+fn apply(slot: &mut TenantSlot, schema: &Schema, job: Job) -> Result<(), String> {
     match job {
-        Job::Begin => engine.begin(),
-        Job::ExecBlock(ops) => engine.exec_block(&ops).map(|_| ()),
-        Job::RaiseExternal(events) => engine.raise_external(&events).map(|_| ()),
-        Job::Commit => engine.commit(),
-        Job::Rollback => engine.rollback(),
-        Job::DefineTrigger(def) => engine.define_trigger(*def),
+        Job::Begin => slot.engine.begin().map_err(|e| e.to_string()),
+        Job::ExecBlock(ops) => slot
+            .engine
+            .exec_block(&ops)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        Job::RaiseExternal(events) => slot
+            .engine
+            .raise_external(&events)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        Job::Commit => slot.engine.commit().map_err(|e| e.to_string()),
+        Job::Rollback => slot.engine.rollback().map_err(|e| e.to_string()),
+        Job::DefineTrigger(def) => slot.engine.define_trigger(*def).map_err(|e| e.to_string()),
+        Job::DefineTriggerSource(src) => {
+            apply_trigger_source(&mut slot.engine, schema, &src)?;
+            slot.trigger_sources.push(src);
+            Ok(())
+        }
         Job::Gate { .. } => unreachable!("gates are handled by the worker loop, not a tenant"),
     }
+}
+
+/// Parse and define a trigger-source job: all of its declarations or
+/// none (a partial failure drops the ones this job already defined).
+fn apply_trigger_source(engine: &mut Engine, schema: &Schema, src: &str) -> Result<(), String> {
+    let decls = chimera_lang::parse_trigger_decls(src, schema).map_err(|e| e.to_string())?;
+    let mut defined: Vec<String> = Vec::with_capacity(decls.len());
+    for decl in &decls {
+        let result = decl
+            .lower(schema)
+            .map_err(|e| e.to_string())
+            .and_then(|def| {
+                let name = def.name.clone();
+                engine
+                    .define_trigger(def)
+                    .map(|()| name)
+                    .map_err(|e| e.to_string())
+            });
+        match result {
+            Ok(name) => defined.push(name),
+            Err(msg) => {
+                for name in defined.iter().rev() {
+                    let _ = engine.drop_trigger(name);
+                }
+                return Err(msg);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The durable form of a job, or `None` for jobs that are never logged
+/// (gates; pre-lowered `DefineTrigger`, which durable shards refuse).
+fn job_record(job: &Job) -> Option<JobRecord> {
+    match job {
+        Job::Begin => Some(JobRecord::Begin),
+        Job::ExecBlock(ops) => Some(JobRecord::ExecBlock(ops.clone())),
+        Job::RaiseExternal(events) => Some(JobRecord::RaiseExternal(events.clone())),
+        Job::Commit => Some(JobRecord::Commit),
+        Job::Rollback => Some(JobRecord::Rollback),
+        Job::DefineTriggerSource(src) => Some(JobRecord::DefineTriggerSource(src.clone())),
+        Job::DefineTrigger(_) | Job::Gate { .. } => None,
+    }
+}
+
+fn job_from_record(rec: JobRecord) -> Job {
+    match rec {
+        JobRecord::Begin => Job::Begin,
+        JobRecord::ExecBlock(ops) => Job::ExecBlock(ops),
+        JobRecord::RaiseExternal(events) => Job::RaiseExternal(events),
+        JobRecord::Commit => Job::Commit,
+        JobRecord::Rollback => Job::Rollback,
+        JobRecord::DefineTriggerSource(src) => Job::DefineTriggerSource(src),
+    }
+}
+
+/// Publish the store's counters into the shared atomics (monotone totals,
+/// so a plain store is correct).
+fn publish_counters(state: &ShardState, store: &dyn StateStore) {
+    let c = store.counters();
+    state.wal_appends.store(c.appends, Ordering::Relaxed);
+    state.wal_syncs.store(c.syncs, Ordering::Relaxed);
+    state.snapshots.store(c.snapshots, Ordering::Relaxed);
+}
+
+/// Startup recovery: read the store back, rebuild every snapshotted
+/// tenant bit-identically, then replay the job-log tail through the
+/// exact live processing path (errors and panics included).
+fn recover(
+    store: &mut dyn StateStore,
+    state: &ShardState,
+    ctx: &WorkerCtx,
+) -> Result<ShardRecoveryStats, String> {
+    let rec = store.recover().map_err(|e| e.to_string())?;
+    let mut stats = ShardRecoveryStats {
+        torn: rec.torn,
+        ..ShardRecoveryStats::default()
+    };
+    let mut tenants = state
+        .tenants
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(snap) = rec.snapshot {
+        for ts in &snap.tenants {
+            let slot = restore_tenant(ts, ctx)?;
+            tenants.insert(ts.tenant, slot);
+            stats.tenants_recovered += 1;
+        }
+    }
+    // restored error bookkeeping feeds the shard's aggregate counter so
+    // stats stay consistent across a restart
+    let restored_errors: u64 = tenants.values().map(|s| s.job_errors).sum();
+    state.errors.store(restored_errors, Ordering::Relaxed);
+    for group in rec.tail {
+        for (tenant, record) in group.jobs {
+            let job = job_from_record(record);
+            run_job(&mut tenants, state, ctx, tenant, job, true);
+            stats.jobs_replayed += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// Rebuild one tenant from its snapshot: restored store → fresh engine →
+/// runtime triggers → tenant trigger sources → event log → rule stamps →
+/// engine stats. Order matters: definitions stamp rule state with the
+/// *current* instant, so the recorded stamps are overlaid last.
+fn restore_tenant(ts: &TenantSnapshot, ctx: &WorkerCtx) -> Result<TenantSlot, String> {
+    let objects = ts.objects.clone();
+    let os = ObjectStore::restore(objects, ts.next_oid)
+        .map_err(|e| format!("tenant {}: {e}", ts.tenant))?;
+    let mut engine =
+        Engine::with_restored_store(ctx.schema.clone(), os, ctx.engine_cfg.clone());
+    engine.use_shared_probe_pool(ctx.probe_pool.clone());
+    for def in ctx.triggers.iter() {
+        engine
+            .define_trigger(def.clone())
+            .expect("runtime trigger set is validated at construction");
+    }
+    for src in &ts.trigger_sources {
+        apply_trigger_source(&mut engine, &ctx.schema, src)
+            .map_err(|e| format!("tenant {}: snapshotted trigger source failed: {e}", ts.tenant))?;
+    }
+    engine.restore_event_log(&ts.events);
+    for r in &ts.rules {
+        engine
+            .restore_rule_state(
+                &r.name,
+                r.triggered,
+                chimera_events::Timestamp(r.last_consideration),
+                chimera_events::Timestamp(r.last_consumption),
+                chimera_events::Timestamp(r.checked_upto),
+                r.witness,
+            )
+            .map_err(|e| format!("tenant {}: rule `{}`: {e}", ts.tenant, r.name))?;
+    }
+    engine.restore_stats(EngineStats {
+        blocks: ts.stats[0],
+        events: ts.stats[1],
+        considerations: ts.stats[2],
+        executions: ts.stats[3],
+        commits: ts.stats[4],
+        rollbacks: ts.stats[5],
+    });
+    Ok(TenantSlot {
+        engine,
+        job_errors: ts.job_errors,
+        last_error: ts.last_error.clone(),
+        jobs_applied: ts.jobs_applied,
+        trigger_sources: ts.trigger_sources.clone(),
+    })
+}
+
+/// Capture one tenant's full state for the shard snapshot.
+fn snapshot_tenant(tenant: u64, slot: &TenantSlot) -> TenantSnapshot {
+    let engine = &slot.engine;
+    let store = engine.store();
+    let stats = engine.stats();
+    TenantSnapshot {
+        tenant,
+        jobs_applied: slot.jobs_applied,
+        job_errors: slot.job_errors,
+        last_error: slot.last_error.clone(),
+        objects: store.snapshot_objects().into_iter().cloned().collect(),
+        next_oid: store.next_oid_counter(),
+        events: engine.event_base().iter().map(|o| (o.ty, o.oid)).collect(),
+        trigger_sources: slot.trigger_sources.clone(),
+        rules: engine
+            .rules()
+            .iter()
+            .map(|(def, rs)| RuleStampRec {
+                name: def.name.clone(),
+                triggered: rs.triggered,
+                last_consideration: rs.last_consideration.0,
+                last_consumption: rs.last_consumption.0,
+                checked_upto: rs.checked_upto.0,
+                witness: rs.witness,
+            })
+            .collect(),
+        stats: [
+            stats.blocks,
+            stats.events,
+            stats.considerations,
+            stats.executions,
+            stats.commits,
+            stats.rollbacks,
+        ],
+    }
+}
+
+/// Periodic compaction: when enough groups have accumulated since the
+/// last snapshot *and* no tenant is mid-transaction (the object store
+/// snapshot only reflects committed state — an open transaction is
+/// recovered by replaying the log instead), write a shard snapshot and
+/// truncate the job log.
+fn maybe_snapshot(
+    store: &mut dyn StateStore,
+    state: &ShardState,
+    snapshot_every: u64,
+    poisoned: &mut Option<String>,
+) {
+    if store.groups_since_snapshot() < snapshot_every {
+        return;
+    }
+    let tenants = state
+        .tenants
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if tenants.values().any(|s| s.engine.in_transaction()) {
+        return; // not a safe point; try again after a later batch
+    }
+    let mut snaps: Vec<TenantSnapshot> = tenants
+        .iter()
+        .map(|(&tenant, slot)| snapshot_tenant(tenant, slot))
+        .collect();
+    drop(tenants);
+    snaps.sort_by_key(|t| t.tenant);
+    if let Err(e) = store.snapshot(&snaps) {
+        *poisoned = Some(format!("shard store failed: {e}"));
+    }
+    publish_counters(state, store);
 }

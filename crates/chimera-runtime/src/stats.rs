@@ -31,6 +31,19 @@ pub struct RuntimeStats {
     /// Worker-side panics while processing a job (the tenant's engine is
     /// discarded; the runtime keeps serving every other tenant).
     pub job_panics: u64,
+    /// Job records appended to the shards' job logs (durable storage
+    /// only; zero on in-memory runtimes).
+    pub wal_appends: u64,
+    /// fsyncs the shards' stores issued. Under group commit this counts
+    /// *batches*, so `wal_appends / wal_syncs` is the achieved group
+    /// size.
+    pub wal_syncs: u64,
+    /// Shard snapshots written (periodic job-log compaction).
+    pub snapshots: u64,
+    /// Tenants rebuilt from shard snapshots at startup.
+    pub tenants_recovered: u64,
+    /// Logged jobs replayed on top of snapshots at startup.
+    pub jobs_replayed: u64,
     /// Engine work counters, summed over every tenant engine.
     pub engine: EngineStats,
     /// Trigger-support counters, summed over every tenant engine.

@@ -53,6 +53,7 @@ fn blocking_feeders_lose_nothing() {
                 check_workers: 2,
                 ..EngineConfig::default()
             },
+            ..RuntimeConfig::default()
         },
     )
     .unwrap();
@@ -111,6 +112,7 @@ fn shedding_accounting_balances() {
             queue_capacity: 1,
             backpressure: Backpressure::Shed,
             engine: EngineConfig::default(),
+            ..RuntimeConfig::default()
         },
     )
     .unwrap();
@@ -175,6 +177,7 @@ fn concurrent_flush_is_safe() {
             queue_capacity: 4,
             backpressure: Backpressure::Block,
             engine: EngineConfig::default(),
+            ..RuntimeConfig::default()
         },
     )
     .unwrap();

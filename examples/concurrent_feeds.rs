@@ -54,6 +54,7 @@ fn main() {
                 check_workers: 2, // intra-shard parallel check rounds
                 ..EngineConfig::default()
             },
+            ..RuntimeConfig::default()
         },
     )
     .expect("valid trigger set");

@@ -32,6 +32,7 @@ fn main() {
                 queue_capacity: 64,
                 backpressure: Backpressure::Block,
                 engine: Default::default(),
+                ..Default::default()
             },
         )
         .unwrap(),

@@ -277,6 +277,7 @@ proptest! {
                     queue_capacity: 4, // small: exercise backpressure
                     backpressure: Backpressure::Block,
                     engine: engine_cfg.clone(),
+                    ..Default::default()
                 },
             )
             .unwrap(),

@@ -198,6 +198,7 @@ proptest! {
                 queue_capacity: 4, // small: exercise the Block policy
                 backpressure: Backpressure::Block,
                 engine: engine_cfg.clone(),
+                ..Default::default()
             },
         )
         .unwrap();
