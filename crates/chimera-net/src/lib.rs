@@ -33,7 +33,15 @@
 //! *require* group commit via [`Client::connect_requiring`]), `Stats`
 //! reports the WAL/snapshot/recovery counters, and `DefineTriggers` is
 //! answered with one [`TriggerOutcome`] per declaration instead of
-//! failing the whole batch on the first bad one.
+//! failing the whole batch on the first bad one. Version 3 surfaces the
+//! runtime's load-aware scheduler — `Stats` gains `steals`,
+//! `ready_queue_depth` and the per-home-shard [`WireShardStats`]
+//! breakdown (so hot-tenant skew is observable over the wire), plus
+//! `net_reads_throttled`, the count of reader throttle episodes under
+//! the per-connection bytes-in-flight cap
+//! ([`ServerConfig::max_bytes_in_flight`]) that keeps a firehose client
+//! from ballooning server memory. All of it rides in optional trailing
+//! fields, so version-2 frames stay decodable.
 //! * **[`client`]** — a blocking client with submission pipelining,
 //!   used by the examples, the loopback bench (`benches/net.rs`) and
 //!   the network equivalence suite.
@@ -52,7 +60,7 @@ pub mod wire;
 pub use client::{Client, JobDone, NetError, PIPELINE_WINDOW};
 pub use proto::{
     ExternalEvent, Request, Response, TenantQuery, TenantReply, TriggerOutcome, WireDurability,
-    WireJob, WireOp, WireOutcome, WireStats, JOB_REJECTED,
+    WireJob, WireOp, WireOutcome, WireShardStats, WireStats, JOB_REJECTED,
 };
 pub use server::{Server, ServerConfig};
 pub use wire::{read_frame, write_frame, WireError, MAX_FRAME, PROTOCOL_VERSION};

@@ -615,8 +615,36 @@ impl From<JobOutcome> for WireOutcome {
     }
 }
 
-/// The flat wire form of [`RuntimeStats`].
+/// One home shard's slice of the runtime counters, on the wire — the
+/// flat mirror of [`chimera_runtime::ShardStats`]. Exactly 7 `u64`s.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field-for-field mirror of ShardStats
+pub struct WireShardStats {
+    pub jobs_submitted: u64,
+    pub jobs_executed: u64,
+    pub steals: u64,
+    pub jobs_shed: u64,
+    pub submits_blocked: u64,
+    pub queue_depth: u64,
+    pub tenants: u64,
+}
+
+impl From<chimera_runtime::ShardStats> for WireShardStats {
+    fn from(s: chimera_runtime::ShardStats) -> Self {
+        WireShardStats {
+            jobs_submitted: s.jobs_submitted,
+            jobs_executed: s.jobs_executed,
+            steals: s.steals,
+            jobs_shed: s.jobs_shed,
+            submits_blocked: s.submits_blocked,
+            queue_depth: s.queue_depth,
+            tenants: s.tenants,
+        }
+    }
+}
+
+/// The flat wire form of [`RuntimeStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 #[allow(missing_docs)] // field-for-field mirror of RuntimeStats
 pub struct WireStats {
     pub shards: u32,
@@ -640,6 +668,15 @@ pub struct WireStats {
     pub snapshots: u64,
     pub tenants_recovered: u64,
     pub jobs_replayed: u64,
+    // scheduler + server counters, appended in version 3 the same way:
+    // a version-2 peer's reply decodes with zeros / empty breakdown
+    pub steals: u64,
+    pub ready_queue_depth: u64,
+    /// Reads the server deferred because a connection hit its
+    /// bytes-in-flight budget (server-wide; not in [`RuntimeStats`] —
+    /// the server owns this counter and splices it in).
+    pub net_reads_throttled: u64,
+    pub per_shard: Vec<WireShardStats>,
 }
 
 impl From<RuntimeStats> for WireStats {
@@ -664,6 +701,10 @@ impl From<RuntimeStats> for WireStats {
             snapshots: s.snapshots,
             tenants_recovered: s.tenants_recovered,
             jobs_replayed: s.jobs_replayed,
+            steals: s.steals,
+            ready_queue_depth: s.ready_queue_depth,
+            net_reads_throttled: 0,
+            per_shard: s.per_shard.into_iter().map(WireShardStats::from).collect(),
         }
     }
 }
@@ -895,8 +936,26 @@ impl Response {
                     s.snapshots,
                     s.tenants_recovered,
                     s.jobs_replayed,
+                    // version-3 trailing fields (scheduler + server)
+                    s.steals,
+                    s.ready_queue_depth,
+                    s.net_reads_throttled,
                 ] {
                     put_u64(&mut buf, v);
+                }
+                put_u32(&mut buf, s.per_shard.len() as u32);
+                for shard in &s.per_shard {
+                    for v in [
+                        shard.jobs_submitted,
+                        shard.jobs_executed,
+                        shard.steals,
+                        shard.jobs_shed,
+                        shard.submits_blocked,
+                        shard.queue_depth,
+                        shard.tenants,
+                    ] {
+                        put_u64(&mut buf, v);
+                    }
                 }
             }
             Response::TenantReply(t) => {
@@ -1025,6 +1084,28 @@ impl Response {
                     s.snapshots = r.u64()?;
                     s.tenants_recovered = r.u64()?;
                     s.jobs_replayed = r.u64()?;
+                }
+                // version-3 trailing fields: zeros / empty breakdown
+                // when a version-2 server sent the reply
+                if r.remaining() > 0 {
+                    s.steals = r.u64()?;
+                    s.ready_queue_depth = r.u64()?;
+                    s.net_reads_throttled = r.u64()?;
+                    // one per-shard entry is exactly 7 u64s
+                    let n = r.count_of(56)?;
+                    let mut per_shard = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        per_shard.push(WireShardStats {
+                            jobs_submitted: r.u64()?,
+                            jobs_executed: r.u64()?,
+                            steals: r.u64()?,
+                            jobs_shed: r.u64()?,
+                            submits_blocked: r.u64()?,
+                            queue_depth: r.u64()?,
+                            tenants: r.u64()?,
+                        });
+                    }
+                    s.per_shard = per_shard;
                 }
                 Response::StatsReply(s)
             }

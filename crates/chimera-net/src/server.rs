@@ -29,9 +29,9 @@ use chimera_lang::{parse_trigger_decls, pretty::print_trigger};
 use chimera_runtime::{Job, JobReply, Runtime, TenantId};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 /// Responses queued between a connection's reader and writer halves.
@@ -68,6 +68,18 @@ pub struct ServerConfig {
     /// with one typed [`Response::Busy`] frame and closed — never
     /// silently dropped.
     pub max_connections: usize,
+    /// Bytes-in-flight cap per connection: the reader stops draining the
+    /// socket while more than this many bytes of decoded-but-unanswered
+    /// request payload are pending on the connection, resuming as the
+    /// writer flushes responses. Without it a firehose client that
+    /// pipelines faster than its jobs retire balloons server memory with
+    /// decoded payloads parked in the writer queue; with it the excess
+    /// stays in the socket's own (kernel-bounded) buffers and TCP
+    /// backpressure reaches the client. One frame may overshoot the
+    /// budget by its own length, so a single request larger than the cap
+    /// still makes progress. `0` disables the cap. Throttle episodes are
+    /// counted in the `Stats` reply (`net_reads_throttled`).
+    pub max_bytes_in_flight: usize,
 }
 
 impl Default for ServerConfig {
@@ -76,7 +88,60 @@ impl Default for ServerConfig {
             name: "chimera-net".into(),
             max_frame: MAX_FRAME,
             max_connections: 256,
+            max_bytes_in_flight: 1 << 20,
         }
+    }
+}
+
+/// A connection's undecoded/unanswered payload budget, shared between
+/// its reader (adds on decode, waits at the cap) and writer (subtracts
+/// after the matching response is flushed).
+struct InFlight {
+    bytes: Mutex<usize>,
+    changed: Condvar,
+}
+
+impl InFlight {
+    fn new() -> InFlight {
+        InFlight {
+            bytes: Mutex::new(0),
+            changed: Condvar::new(),
+        }
+    }
+
+    fn add(&self, cost: usize) {
+        *self.bytes.lock().unwrap_or_else(PoisonError::into_inner) += cost;
+    }
+
+    fn sub(&self, cost: usize) {
+        let mut bytes = self.bytes.lock().unwrap_or_else(PoisonError::into_inner);
+        *bytes -= cost.min(*bytes);
+        drop(bytes);
+        self.changed.notify_all();
+    }
+
+    /// Park until the in-flight total is under `budget` (re-checking
+    /// `stop` periodically — a server shutdown must not strand a reader
+    /// here). Returns `false` if the server stopped while waiting.
+    /// Counts one throttle episode into `throttled` if any waiting
+    /// happened at all.
+    fn wait_below(&self, budget: usize, stop: &AtomicBool, throttled: &AtomicU64) -> bool {
+        let mut bytes = self.bytes.lock().unwrap_or_else(PoisonError::into_inner);
+        if *bytes < budget {
+            return true;
+        }
+        throttled.fetch_add(1, Ordering::Relaxed);
+        while *bytes >= budget {
+            if stop.load(Ordering::SeqCst) {
+                return false;
+            }
+            let (guard, _) = self
+                .changed
+                .wait_timeout(bytes, std::time::Duration::from_millis(100))
+                .unwrap_or_else(PoisonError::into_inner);
+            bytes = guard;
+        }
+        true
     }
 }
 
@@ -110,10 +175,12 @@ impl Server {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<Conn>>> = Arc::new(Mutex::new(Vec::new()));
+        let throttled = Arc::new(AtomicU64::new(0));
         let accept = {
             let runtime = Arc::clone(&runtime);
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
+            let throttled = Arc::clone(&throttled);
             std::thread::Builder::new()
                 .name("chimera-net-accept".into())
                 .spawn(move || {
@@ -145,12 +212,20 @@ impl Server {
                         }
                         let runtime = Arc::clone(&runtime);
                         let stop_conn = Arc::clone(&stop);
+                        let throttled_conn = Arc::clone(&throttled);
                         let config = config.clone();
                         let handle = std::thread::Builder::new()
                             .name("chimera-net-conn".into())
                             .spawn(move || {
                                 let done = stream.try_clone().ok();
-                                let _ = serve_conn(stream, addr, &runtime, &config, &stop_conn);
+                                let _ = serve_conn(
+                                    stream,
+                                    addr,
+                                    &runtime,
+                                    &config,
+                                    &stop_conn,
+                                    &throttled_conn,
+                                );
                                 // actively close the TCP connection: the
                                 // registry's clone would otherwise hold
                                 // the socket open past the handler's
@@ -275,14 +350,20 @@ fn serve_conn(
     runtime: &Runtime,
     config: &ServerConfig,
     stop: &AtomicBool,
+    throttled: &AtomicU64,
 ) -> Result<(), WireError> {
     let mut reader = BufReader::new(stream.try_clone().map_err(WireError::from)?);
     let writer_stream = stream;
+    let inflight = InFlight::new();
     std::thread::scope(|scope| {
-        let (out_tx, out_rx) = sync_channel::<Out>(SERVER_PIPELINE);
+        // each queued item carries its request's payload length, charged
+        // against the connection's bytes-in-flight budget until the
+        // response hits the wire
+        let (out_tx, out_rx) = sync_channel::<(Out, usize)>(SERVER_PIPELINE);
+        let inflight = &inflight;
         let writer = scope.spawn(move || -> Result<(), WireError> {
             let mut w = BufWriter::new(writer_stream);
-            while let Ok(item) = out_rx.recv() {
+            while let Ok((item, cost)) = out_rx.recv() {
                 let resp = match item {
                     Out::Job { job, tenant, rx } => match rx.recv() {
                         Ok(reply) => Response::job_done(reply),
@@ -298,12 +379,26 @@ fn serve_conn(
                     },
                     Out::Resp(resp) => resp,
                 };
-                write_frame(&mut w, &resp.encode())?;
-                w.flush()?;
+                let result = write_frame(&mut w, &resp.encode()).and_then(|()| {
+                    w.flush()?;
+                    Ok(())
+                });
+                // the request is answered: release its budget even on a
+                // socket error, so the reader never strands at the cap
+                inflight.sub(cost);
+                result?;
             }
             Ok(())
         });
-        let read_result = read_loop(&mut reader, runtime, config, stop, &out_tx);
+        let read_result = read_loop(
+            &mut reader,
+            runtime,
+            config,
+            stop,
+            throttled,
+            inflight,
+            &out_tx,
+        );
         // closing the queue lets the writer drain what's pending (every
         // accepted job still gets its completion on the wire) and exit
         drop(out_tx);
@@ -324,12 +419,15 @@ fn serve_conn(
 /// over, so the reader just leaves. `Ok(true)` means this connection
 /// acked a wire-side Shutdown (the caller wakes the accept loop once
 /// the ack is flushed).
+#[allow(clippy::too_many_arguments)]
 fn read_loop(
     reader: &mut BufReader<TcpStream>,
     runtime: &Runtime,
     config: &ServerConfig,
     stop: &AtomicBool,
-    out: &SyncSender<Out>,
+    throttled: &AtomicU64,
+    inflight: &InFlight,
+    out: &SyncSender<(Out, usize)>,
 ) -> Result<bool, WireError> {
     // the handshake gate: nothing but a version-matched Hello is served
     // until one has been seen, so the version check cannot be bypassed
@@ -340,6 +438,15 @@ fn read_loop(
         if stop.load(Ordering::SeqCst) {
             return Ok(false);
         }
+        // the bytes-in-flight cap: stop draining the socket while too
+        // much unanswered payload is already pending — the backlog then
+        // accumulates in the kernel socket buffers and TCP pushes back
+        // on the client instead of this process allocating for it
+        if config.max_bytes_in_flight > 0
+            && !inflight.wait_below(config.max_bytes_in_flight, stop, throttled)
+        {
+            return Ok(false);
+        }
         let payload = match read_frame(reader, config.max_frame) {
             Ok(Some(p)) => p,
             // clean close between frames: the peer is done
@@ -347,20 +454,30 @@ fn read_loop(
             // broken framing: the stream position is unknowable, so
             // answer once and drop the connection
             Err(e) => {
-                let _ = out.send(Out::Resp(Response::Error {
-                    message: e.to_string(),
-                }));
+                let _ = out.send((
+                    Out::Resp(Response::Error {
+                        message: e.to_string(),
+                    }),
+                    0,
+                ));
                 return Err(e);
             }
         };
+        // charge the request's payload against the budget until its
+        // response is flushed (the writer releases it)
+        let cost = payload.len();
+        inflight.add(cost);
         let req = match Request::decode(&payload) {
             // a payload-level decode error leaves frame boundaries
             // intact: answer and keep serving (the handshake, if still
             // pending, stays pending)
             Err(e) => {
-                let sent = out.send(Out::Resp(Response::Error {
-                    message: e.to_string(),
-                }));
+                let sent = out.send((
+                    Out::Resp(Response::Error {
+                        message: e.to_string(),
+                    }),
+                    cost,
+                ));
                 if sent.is_err() {
                     return Ok(false);
                 }
@@ -369,9 +486,12 @@ fn read_loop(
             Ok(req) => req,
         };
         if !greeted && !matches!(req, Request::Hello { .. }) {
-            let _ = out.send(Out::Resp(Response::Error {
-                message: "handshake required: the first request must be Hello".into(),
-            }));
+            let _ = out.send((
+                Out::Resp(Response::Error {
+                    message: "handshake required: the first request must be Hello".into(),
+                }),
+                cost,
+            ));
             return Ok(false);
         }
         match req {
@@ -396,14 +516,14 @@ fn read_loop(
                         },
                     }),
                 };
-                if out.send(item).is_err() {
+                if out.send((item, cost)).is_err() {
                     return Ok(false);
                 }
             }
             Request::Hello { .. } => {
-                let resp = handle(req, runtime, config);
+                let resp = handle(req, runtime, config, throttled);
                 let rejected = matches!(resp, Response::Error { .. });
-                let sent = out.send(Out::Resp(resp));
+                let sent = out.send((Out::Resp(resp), cost));
                 if rejected || sent.is_err() {
                     // a version-mismatched client must not keep talking:
                     // its frames would be misread under this version
@@ -412,7 +532,7 @@ fn read_loop(
                 greeted = true;
             }
             Request::Shutdown => {
-                let resp = handle(req, runtime, config);
+                let resp = handle(req, runtime, config, throttled);
                 // only an acked shutdown stops the server: a failed
                 // pre-shutdown flush is answered with Error and the
                 // server keeps serving (no side effect behind an error)
@@ -422,7 +542,7 @@ fn read_loop(
                     // that saw the ack observes a stopped server
                     stop.store(true, Ordering::SeqCst);
                 }
-                let sent = out.send(Out::Resp(resp));
+                let sent = out.send((Out::Resp(resp), cost));
                 if acked {
                     // the caller wakes the accept loop once the writer
                     // has flushed the ack (waking earlier would let the
@@ -434,7 +554,8 @@ fn read_loop(
                 }
             }
             req => {
-                if out.send(Out::Resp(handle(req, runtime, config))).is_err() {
+                let sent = out.send((Out::Resp(handle(req, runtime, config, throttled)), cost));
+                if sent.is_err() {
                     return Ok(false);
                 }
             }
@@ -442,8 +563,15 @@ fn read_loop(
     }
 }
 
-/// Serve one decoded request.
-fn handle(req: Request, runtime: &Runtime, config: &ServerConfig) -> Response {
+/// Serve one decoded request. `throttled` is the server-wide count of
+/// reader throttle episodes, spliced into the `Stats` reply (the runtime
+/// knows nothing about the wire layer).
+fn handle(
+    req: Request,
+    runtime: &Runtime,
+    config: &ServerConfig,
+    throttled: &AtomicU64,
+) -> Response {
     match req {
         Request::Hello {
             version,
@@ -485,7 +613,11 @@ fn handle(req: Request, runtime: &Runtime, config: &ServerConfig) -> Response {
                 message: e.to_string(),
             },
         },
-        Request::Stats => Response::StatsReply(WireStats::from(runtime.stats())),
+        Request::Stats => {
+            let mut stats = WireStats::from(runtime.stats());
+            stats.net_reads_throttled = throttled.load(Ordering::Relaxed);
+            Response::StatsReply(stats)
+        }
         Request::WithTenantQuery { tenant, query } => {
             Response::TenantReply(tenant_query(runtime, TenantId(tenant), query))
         }

@@ -24,8 +24,12 @@ use std::io::{self, Read, Write};
 /// Version announced in `Hello`/`HelloAck`. Bump on any codec change.
 /// Version 2: durability negotiation in the handshake, storage counters
 /// in `StatsReply`, per-declaration `TriggersDefined` outcomes, and the
-/// `Busy` connection-cap refusal. The framing layer is unchanged.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// `Busy` connection-cap refusal. Version 3: scheduler counters
+/// (`steals`, `ready_queue_depth`), the connection read-throttle counter,
+/// and the per-shard stats breakdown — all optional trailing fields in
+/// `StatsReply`, so version-2 peers interoperate (they decode as zeros /
+/// an empty breakdown). The framing layer is unchanged.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Default upper bound on one frame's payload (16 MiB) — comfortably
 /// above a 256-event block, far below an allocation attack.

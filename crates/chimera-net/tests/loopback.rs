@@ -441,6 +441,68 @@ fn connection_cap_refuses_with_typed_busy() {
 }
 
 #[test]
+fn bytes_in_flight_cap_throttles_reads_but_answers_everything() {
+    let s = schema();
+    let rt = Runtime::new(
+        s,
+        vec![],
+        RuntimeConfig {
+            shards: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(rt),
+        ServerConfig {
+            // every request payload exceeds this budget, so the reader
+            // must stop draining the socket after each decoded frame
+            // until its response is flushed — maximum throttling, while
+            // a pipelining client keeps pushing frames into the socket
+            max_bytes_in_flight: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let stock = 0u32;
+    const BLOCKS: u64 = 64;
+    let tenant = 9u64;
+    let mut completions = Vec::new();
+    completions.extend(c.begin(tenant).unwrap());
+    for b in 0..BLOCKS {
+        completions.extend(
+            c.raise_external(
+                tenant,
+                vec![ExternalEvent {
+                    class: stock,
+                    channel: 0,
+                    oid: b,
+                }],
+            )
+            .unwrap(),
+        );
+    }
+    completions.extend(c.commit(tenant).unwrap());
+    completions.extend(c.drain().unwrap());
+    // the cap slows the reader down; it must not lose or reorder anything
+    assert_eq!(completions.len() as u64, BLOCKS + 2);
+    assert!(completions.iter().all(|d| d.outcome.is_done()));
+    let ids: Vec<u64> = completions.iter().map(|d| d.job).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted);
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.jobs_processed, stats.jobs_submitted);
+    assert!(
+        stats.net_reads_throttled >= 1,
+        "reader never hit the 1-byte budget: {stats:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn handshake_negotiates_durability() {
     use chimera_net::WireDurability;
     let server = start_server(vec![]);

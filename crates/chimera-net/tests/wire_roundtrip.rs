@@ -189,6 +189,20 @@ fn arb_response(rng: &mut StdRng) -> Response {
             snapshots: rng.next_u64(),
             tenants_recovered: rng.next_u64(),
             jobs_replayed: rng.next_u64(),
+            steals: rng.next_u64(),
+            ready_queue_depth: rng.next_u64(),
+            net_reads_throttled: rng.next_u64(),
+            per_shard: (0..rng.random_range(0..5usize))
+                .map(|_| chimera_net::proto::WireShardStats {
+                    jobs_submitted: rng.next_u64(),
+                    jobs_executed: rng.next_u64(),
+                    steals: rng.next_u64(),
+                    jobs_shed: rng.next_u64(),
+                    submits_blocked: rng.next_u64(),
+                    queue_depth: rng.next_u64(),
+                    tenants: rng.next_u64(),
+                })
+                .collect(),
         }),
         8 => Response::Busy {
             active: rng.next_u32(),
@@ -364,8 +378,9 @@ fn version1_peers_still_decode() {
         Response::HelloAck { durability: None, shards: 4, .. } => {}
         other => panic!("expected durability-less HelloAck, got {other:?}"),
     }
-    // a version-1 StatsReply (14 flat fields) decodes with the storage
-    // counters zeroed, not an error
+    // older StatsReply shapes decode with the newer counters zeroed,
+    // not an error. The version-3 trailing block on an empty breakdown
+    // is 3 u64s + a u32 count; the version-2 block is 5 u64s.
     let stats = WireStats {
         shards: 3,
         jobs_submitted: 11,
@@ -374,15 +389,32 @@ fn version1_peers_still_decode() {
         snapshots: 2,
         tenants_recovered: 1,
         jobs_replayed: 9,
+        steals: 13,
+        ready_queue_depth: 4,
+        net_reads_throttled: 6,
         ..WireStats::default()
     };
     let bytes = Response::StatsReply(stats).encode();
-    match Response::decode(&bytes[..bytes.len() - 5 * 8]).unwrap() {
+    let v3_block = 3 * 8 + 4;
+    // a version-2 reply: storage counters present, scheduler zeroed
+    match Response::decode(&bytes[..bytes.len() - v3_block]).unwrap() {
+        Response::StatsReply(s) => {
+            assert_eq!(s.shards, 3);
+            assert_eq!(s.wal_appends, 7);
+            assert_eq!(s.steals, 0);
+            assert_eq!(s.net_reads_throttled, 0);
+            assert!(s.per_shard.is_empty());
+        }
+        other => panic!("expected StatsReply, got {other:?}"),
+    }
+    // a version-1 reply (14 flat fields): storage counters zeroed too
+    match Response::decode(&bytes[..bytes.len() - v3_block - 5 * 8]).unwrap() {
         Response::StatsReply(s) => {
             assert_eq!(s.shards, 3);
             assert_eq!(s.jobs_submitted, 11);
             assert_eq!(s.wal_appends, 0);
             assert_eq!(s.jobs_replayed, 0);
+            assert_eq!(s.steals, 0);
         }
         other => panic!("expected StatsReply, got {other:?}"),
     }

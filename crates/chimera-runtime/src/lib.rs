@@ -9,17 +9,27 @@
 //! sessions* with that machine by composing three layers of parallelism,
 //! none of which changes the per-tenant semantics:
 //!
-//! 1. **Tenant sharding** — every tenant ([`TenantId`]) owns a private
-//!    engine (schema + store + event base + rule table); tenants are
-//!    placed on one of N *shards* by hash. A shard is one worker thread
-//!    plus the engines of its tenants, so all of a tenant's jobs execute
-//!    in submission order on one thread — exactly the sequential engine,
-//!    tenant by tenant.
-//! 2. **Bounded ingestion queues** — each shard is fed through a bounded
-//!    MPSC channel (`std::sync::mpsc::sync_channel`; nothing from
-//!    crates.io). When a queue fills, the configured [`Backpressure`]
-//!    policy either *blocks* the submitter or *sheds* the job, with
-//!    counters for both in [`RuntimeStats`].
+//! 1. **Tenant homes + exclusive claims** — every tenant ([`TenantId`])
+//!    owns a private engine (schema + store + event base + rule table)
+//!    and is *homed* on one of N shards by hash. The home owns the
+//!    tenant's durable state and backpressure budget; execution is a
+//!    separate concern: a worker *claims* a ready tenant exclusively,
+//!    runs a FIFO batch of its jobs, and releases it. At most one worker
+//!    ever holds a tenant, so all of a tenant's jobs execute in
+//!    submission order — exactly the sequential engine, tenant by
+//!    tenant — regardless of *which* thread ran each batch.
+//! 2. **Load-aware admission pool** — jobs are staged per tenant in an
+//!    admission pool; a tenant with staged jobs and no active claim sits
+//!    in its home shard's ready deque. Workers drain their own deque
+//!    first and, under [`Scheduler::LoadAware`] (the default), **steal
+//!    whole ready tenants** from other homes when their own is empty —
+//!    so one hot tenant (or a hash collision of warm ones) no longer
+//!    caps the runtime at a single core while the other workers idle.
+//!    [`Scheduler::Pinned`] keeps the old strictly-homed placement as a
+//!    measurable baseline. Each home admits at most `queue_capacity`
+//!    staged jobs; a full home either *blocks* the submitter or *sheds*
+//!    the job per the configured [`Backpressure`], with counters for
+//!    both (plus `steals` and per-shard breakdowns) in [`RuntimeStats`].
 //! 3. **Intra-shard check parallelism** — inside an engine, the per-block
 //!    trigger check round itself can fan the rule table's probe work out
 //!    across a scoped worker pool over the block's shared EB epoch delta
@@ -29,24 +39,29 @@
 //!
 //! The equivalence oracle is the plain sequential [`chimera_exec::Engine`]:
 //! `tests/runtime_equivalence.rs` (facade-level) proves that interleaved
-//! multi-tenant traffic through the runtime leaves every tenant with the
-//! identical triggered-rule sets, consumption windows, and net effects as
-//! a per-tenant sequential replay.
+//! multi-tenant traffic through the runtime — including steal-heavy
+//! shapes: one tenant over many workers, many colliding tenants over two
+//! workers, skewed job mixes, both scheduler modes — leaves every tenant
+//! with the identical triggered-rule sets, consumption windows, and net
+//! effects as a per-tenant sequential replay.
 //!
 //! ## Durable tenants
 //!
-//! Each shard worker threads a `chimera_persist::StateStore` through its
-//! job loop. With [`StorageMode::Durable`] every job's intent is appended
-//! to the shard's job log *before* execution and the whole drained queue
-//! batch shares one fsync (**group commit**) before anyone is answered —
-//! so an acknowledged job is always durable, and the ~ms fsync cost is
-//! amortized across the batch. [`Runtime::recover`] rebuilds every tenant
-//! bit-identically from the shard snapshot + job-log replay (event logs,
-//! consumption windows, rule stamps, error bookkeeping and open
-//! transactions included); periodic snapshots truncate the log. The crash
-//! oracle is `tests/durable_recovery.rs`: kill the process at any byte of
-//! the log — including a torn final record — and recovery equals a
-//! sequential replay of exactly the surviving prefix.
+//! Each home shard owns a `chimera_persist::StateStore`. With
+//! [`StorageMode::Durable`] the claiming worker appends every job's
+//! intent to the *tenant's home shard's* job log *before* execution, and
+//! the whole claimed batch shares one fsync (**group commit**) before
+//! anyone is answered — so an acknowledged job is always durable, the
+//! ~ms fsync cost is amortized across the batch, and a tenant's log
+//! order equals its execution order no matter which worker ran the batch
+//! (claims are exclusive, appends precede execution within a claim).
+//! [`Runtime::recover`] rebuilds every tenant bit-identically from the
+//! shard snapshot + job-log replay (event logs, consumption windows,
+//! rule stamps, error bookkeeping and open transactions included);
+//! periodic snapshots truncate the log. The crash oracle is
+//! `tests/durable_recovery.rs`: kill the process at any byte of the log
+//! — including a torn final record — and recovery equals a sequential
+//! replay of exactly the surviving prefix.
 //!
 //! ## Quick tour
 //!
@@ -73,15 +88,16 @@
 //! assert_eq!(stats.jobs_processed, stats.jobs_submitted);
 //! ```
 
+mod pool;
 mod runtime;
 mod shard;
 mod stats;
 
 pub use runtime::{
     Backpressure, DurabilityConfig, Job, JobId, JobOutcome, JobReply, JobSummary, RecoveryReport,
-    Runtime, RuntimeConfig, RuntimeError, StorageMode, TenantId,
+    Runtime, RuntimeConfig, RuntimeError, Scheduler, StorageMode, TenantId,
 };
-pub use stats::RuntimeStats;
+pub use stats::{RuntimeStats, ShardStats};
 
 /// Compile-time `Send`/`Sync` audit of everything the runtime moves onto
 /// or shares between worker threads. A regression here (say, a `Rc`

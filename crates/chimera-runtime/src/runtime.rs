@@ -1,8 +1,13 @@
-//! The multi-tenant runtime: tenant→shard placement, job submission with
-//! backpressure, the flush barrier, and aggregate stats.
+//! The multi-tenant runtime: tenant→home placement, job submission with
+//! backpressure, the load-aware scheduler, the flush barrier, and
+//! aggregate stats.
 
-use crate::shard::{Envelope, Shard};
-use crate::stats::RuntimeStats;
+use crate::pool::{Pool, SubmitRefused};
+use crate::shard::{
+    home_of, recover_home, spawn_worker, Counters, Envelope, Fabric, Home, Tenants, WorkerCtx,
+    WorkerStats,
+};
+use crate::stats::{RuntimeStats, ShardStats};
 use chimera_events::Timestamp;
 use chimera_exec::{EngineConfig, EngineStats, Op};
 use chimera_model::{ClassId, Oid, Schema};
@@ -12,12 +17,14 @@ use chimera_rules::{RuleTable, TriggerDef};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Barrier, PoisonError};
-use std::time::Duration;
+use std::thread::JoinHandle;
 
-/// A tenant identity. Tenants are placed on shards by a mixed hash of the
-/// raw id, so dense id ranges still spread evenly.
+/// A tenant identity. Tenants are *homed* on shards by a mixed hash of
+/// the raw id (dense id ranges still spread evenly); the home owns the
+/// tenant's durable state and backpressure budget, while execution may
+/// move to any worker under the load-aware scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TenantId(pub u64);
 
@@ -112,8 +119,8 @@ pub enum Job {
     /// it deterministically.
     DefineTriggerSource(String),
     /// Test instrumentation: the worker waits on `entered` (proving it
-    /// has dequeued this job), then on `release`. Lets tests fill a
-    /// queue deterministically while the worker is parked.
+    /// has claimed this job), then on `release`. Lets tests fill a
+    /// queue deterministically while one worker is parked.
     #[doc(hidden)]
     Gate {
         /// The worker arrives here first.
@@ -123,10 +130,11 @@ pub enum Job {
     },
 }
 
-/// What to do when a shard's bounded queue is full.
+/// What to do when a tenant's home shard has `queue_capacity` jobs
+/// staged already.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backpressure {
-    /// Block the submitter until the worker drains a slot (counted in
+    /// Block the submitter until a worker claims staged jobs (counted in
     /// [`RuntimeStats::submits_blocked`]).
     Block,
     /// Reject the job with [`RuntimeError::Shed`] (counted in
@@ -134,15 +142,33 @@ pub enum Backpressure {
     Shed,
 }
 
+/// How workers pick the next tenant to run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Each worker only claims tenants homed on its own shard — the
+    /// static hash placement of the pre-pool design, kept as the
+    /// measurable baseline (`benches/skew.rs`) and for strict
+    /// cache-affinity setups. One hot (or hash-colliding) home
+    /// saturates one worker while others idle.
+    Pinned,
+    /// Workers claim their own home's ready tenants first and *steal*
+    /// whole ready tenants from other homes' deques when their own is
+    /// empty. Per-tenant serial order is unaffected (a tenant is held
+    /// by at most one worker); only placement changes. This is the
+    /// default: a skewed tenant population keeps every worker busy.
+    #[default]
+    LoadAware,
+}
+
 /// Durable-storage tuning for [`StorageMode::Durable`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DurabilityConfig {
-    /// Root directory for the runtime's durable state. Each shard gets
-    /// its own subdirectory (`shard-<i>/`), plus a `meta.chi` file at the
-    /// root pinning the shard count (tenant→shard placement is a hash,
-    /// so reopening with a different count would scatter tenants).
+    /// Root directory for the runtime's durable state. Each home shard
+    /// gets its own subdirectory (`shard-<i>/`), plus a `meta.chi` file
+    /// at the root pinning the shard count (tenant→home placement is a
+    /// hash, so reopening with a different count would scatter tenants).
     pub dir: PathBuf,
-    /// `true` → one fsync per drained queue batch (**group commit**);
+    /// `true` → one fsync per claimed batch (**group commit**);
     /// `false` → one fsync per job (maximum granularity, pays the full
     /// sync cost on every job).
     pub group_commit: bool,
@@ -170,20 +196,25 @@ pub enum StorageMode {
     /// behaviour, still the fastest and the default).
     #[default]
     InMemory,
-    /// Job-log + snapshot persistence per shard; tenants survive a crash
-    /// and are rebuilt by [`Runtime::recover`].
+    /// Job-log + snapshot persistence per home shard; tenants survive a
+    /// crash and are rebuilt by [`Runtime::recover`].
     Durable(DurabilityConfig),
 }
 
 /// Runtime construction knobs.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
-    /// Shard (worker thread) count. Clamped to at least 1.
+    /// Worker-thread count; also the home-shard count for placement,
+    /// backpressure and durable storage. Clamped to at least 1.
     pub shards: usize,
-    /// Bounded depth of each shard's ingestion queue. Clamped to ≥ 1.
+    /// Bounded number of staged (admitted, unclaimed) jobs per home
+    /// shard. Clamped to ≥ 1.
     pub queue_capacity: usize,
     /// Full-queue policy.
     pub backpressure: Backpressure,
+    /// How workers pick tenants: load-aware stealing (default) or
+    /// strict home pinning.
+    pub scheduler: Scheduler,
     /// Configuration of every tenant engine, including
     /// `check_workers` for the intra-shard parallel check round.
     pub engine: EngineConfig,
@@ -198,6 +229,7 @@ impl Default for RuntimeConfig {
             shards: 4,
             queue_capacity: 64,
             backpressure: Backpressure::Block,
+            scheduler: Scheduler::LoadAware,
             engine: EngineConfig::default(),
             storage: StorageMode::InMemory,
         }
@@ -221,14 +253,14 @@ pub struct RecoveryReport {
 pub enum RuntimeError {
     /// A trigger in the runtime-wide set failed validation.
     InvalidTrigger(RuleError),
-    /// The job was shed: the target shard's queue was full under the
-    /// [`Backpressure::Shed`] policy.
+    /// The job was shed: the tenant's home shard had `queue_capacity`
+    /// jobs staged under the [`Backpressure::Shed`] policy.
     Shed {
         /// Tenant whose job was rejected.
         tenant: TenantId,
     },
-    /// The target shard's worker thread is gone (it exits only at
-    /// shutdown, or if the thread itself was killed).
+    /// The worker threads are gone (the runtime is shut down, or a
+    /// worker thread was killed).
     WorkerGone,
     /// The durable storage layer failed (open, recovery, or a
     /// shard-count mismatch against the directory's meta file).
@@ -251,16 +283,18 @@ impl fmt::Display for RuntimeError {
 impl std::error::Error for RuntimeError {}
 
 /// The sharded multi-tenant runtime. See the crate docs for the
-/// architecture; in short: `submit` routes a tenant's job to its shard's
-/// bounded queue, the shard's worker runs it on the tenant's own engine,
-/// `flush` waits for every queue to drain, and `stats` aggregates.
+/// architecture; in short: `submit` stages a tenant's job in the
+/// admission pool against the tenant's home shard, workers claim ready
+/// tenants (stealing across homes under [`Scheduler::LoadAware`]) and
+/// run their batches, `flush` waits for every staged job to retire, and
+/// `stats` aggregates.
 ///
 /// The handle is `Sync`: feeder threads submit through a shared
 /// reference (see `examples/concurrent_feeds.rs`).
 pub struct Runtime {
-    shards: Vec<Shard>,
+    fabric: Fabric,
+    handles: Vec<Option<JoinHandle<()>>>,
     config: RuntimeConfig,
-    schema: Schema,
     next_job: AtomicU64,
 }
 
@@ -298,32 +332,51 @@ impl Runtime {
         let shard_count = config.shards.max(1);
         let capacity = config.queue_capacity.max(1);
         let triggers = Arc::new(triggers);
-        let mut report = RecoveryReport::default();
-        let mut shards = Vec::with_capacity(shard_count);
+
+        let mut homes = Vec::with_capacity(shard_count);
+        let mut snapshot_every = 0;
         for i in 0..shard_count {
-            let (store, snapshot_every) = make_store(&config.storage, shard_count, i)?;
-            let (shard, stats) = Shard::spawn(
-                i,
-                capacity,
-                schema.clone(),
-                Arc::clone(&triggers),
-                config.engine.clone(),
-                store,
-                snapshot_every,
-            )
-            .map_err(RuntimeError::Persist)?;
+            let (store, snap_every) = make_store(&config.storage, shard_count, i)?;
+            snapshot_every = snap_every;
+            homes.push(Home::new(i, store));
+        }
+
+        // recovery runs here, on the constructing thread, home by home —
+        // the registry is fully rebuilt before any worker exists
+        let tenants = Arc::new(Tenants::new());
+        let counters = Arc::new(Counters::default());
+        let recovery_ctx =
+            WorkerCtx::new(schema.clone(), Arc::clone(&triggers), config.engine.clone());
+        let mut report = RecoveryReport::default();
+        for home in &homes {
+            let stats = recover_home(home, &tenants, &counters, &recovery_ctx)
+                .map_err(RuntimeError::Persist)?;
             report.tenants_recovered += stats.tenants_recovered;
             report.jobs_replayed += stats.jobs_replayed;
             if let Some(torn) = stats.torn {
-                report.torn_tails.push(format!("shard {i}: {torn}"));
+                report.torn_tails.push(format!("shard {}: {torn}", home.index));
             }
-            shards.push(shard);
         }
+
+        let fabric = Fabric {
+            pool: Arc::new(Pool::new(shard_count, capacity, config.scheduler)),
+            tenants,
+            homes: Arc::new(homes),
+            counters,
+            workers: Arc::new((0..shard_count).map(|_| WorkerStats::default()).collect()),
+            schema,
+            triggers,
+            engine_cfg: config.engine.clone(),
+            snapshot_every,
+        };
+        let handles = (0..shard_count)
+            .map(|i| Some(spawn_worker(i, fabric.clone())))
+            .collect();
         Ok((
             Runtime {
-                shards,
+                fabric,
+                handles,
                 config,
-                schema,
                 next_job: AtomicU64::new(0),
             },
             report,
@@ -335,27 +388,28 @@ impl Runtime {
         &self.config.storage
     }
 
-    /// Number of shards (worker threads).
+    /// Number of shards (worker threads / home shards).
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.fabric.homes.len()
     }
 
     /// The schema every tenant engine is built over.
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        &self.fabric.schema
     }
 
-    /// The shard a tenant is placed on (stable for the runtime's life).
+    /// The *home* shard of a tenant (stable for the runtime's life): the
+    /// owner of its durable state and backpressure budget. Under
+    /// [`Scheduler::LoadAware`] execution may happen on any worker;
+    /// under [`Scheduler::Pinned`] the home's worker is also the only
+    /// executor.
     pub fn shard_of(&self, tenant: TenantId) -> usize {
-        // SplitMix64 finalizer: dense tenant ids spread over all shards.
-        let mut z = tenant.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        ((z ^ (z >> 31)) % self.shards.len() as u64) as usize
+        home_of(tenant.0, self.fabric.homes.len())
     }
 
-    /// Submit one job for a tenant. Routes to the tenant's shard queue;
-    /// a full queue blocks or sheds per the configured [`Backpressure`].
+    /// Submit one job for a tenant. Stages it in the admission pool
+    /// (preserving per-tenant FIFO order); a home shard at capacity
+    /// blocks or sheds per the configured [`Backpressure`].
     /// Fire-and-forget: outcomes surface only through the per-tenant
     /// error bookkeeping and the aggregate stats — use
     /// [`Runtime::submit_with_reply`] for a per-job completion.
@@ -364,8 +418,8 @@ impl Runtime {
     }
 
     /// Submit one job and get a per-job completion path back: a
-    /// [`JobId`] plus a capacity-1 reply slot on which the shard worker
-    /// delivers exactly one [`JobReply`] — success with the job's
+    /// [`JobId`] plus a capacity-1 reply slot on which the claiming
+    /// worker delivers exactly one [`JobReply`] — success with the job's
     /// engine-counter summary, the engine error message, or a panic
     /// notice — once the job is retired. Blocking on the receiver
     /// observes the job's completion *without* the flush-and-poll dance;
@@ -390,42 +444,16 @@ impl Runtime {
         job: Job,
         reply: Option<(JobId, SyncSender<JobReply>)>,
     ) -> Result<(), RuntimeError> {
-        let shard = &self.shards[self.shard_of(tenant)];
-        let tx = shard.tx.as_ref().expect("runtime already shut down");
-        let bump = |delta: i64| {
-            let mut p = shard
-                .state
-                .progress
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            p.submitted = p.submitted.checked_add_signed(delta).expect("accounting");
-        };
-        // count the job before sending so a racing flush over-waits
-        // rather than returning early; rolled back if the send fails
-        bump(1);
-        match tx.try_send(Envelope { tenant, job, reply }) {
+        let home = self.shard_of(tenant);
+        let env = Envelope { tenant, job, reply };
+        match self
+            .fabric
+            .pool
+            .submit(home, tenant.0, env, self.config.backpressure)
+        {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(env)) => match self.config.backpressure {
-                Backpressure::Block => {
-                    shard.state.blocked.fetch_add(1, Ordering::Relaxed);
-                    match tx.send(env) {
-                        Ok(()) => Ok(()),
-                        Err(_) => {
-                            bump(-1);
-                            Err(RuntimeError::WorkerGone)
-                        }
-                    }
-                }
-                Backpressure::Shed => {
-                    shard.state.shed.fetch_add(1, Ordering::Relaxed);
-                    bump(-1);
-                    Err(RuntimeError::Shed { tenant })
-                }
-            },
-            Err(TrySendError::Disconnected(_)) => {
-                bump(-1);
-                Err(RuntimeError::WorkerGone)
-            }
+            Err(SubmitRefused::Shed) => Err(RuntimeError::Shed { tenant }),
+            Err(SubmitRefused::Closed) => Err(RuntimeError::WorkerGone),
         }
     }
 
@@ -462,151 +490,125 @@ impl Runtime {
         self.submit(tenant, Job::DefineTriggerSource(src.into()))
     }
 
-    /// The flush barrier: wait until every shard has processed every job
-    /// accepted so far. Errors with [`RuntimeError::WorkerGone`] if a
-    /// shard's worker died with jobs still queued.
+    /// The flush barrier: wait until every job accepted so far has been
+    /// processed. Errors with [`RuntimeError::WorkerGone`] if a worker
+    /// thread died with jobs still staged.
     pub fn flush(&self) -> Result<(), RuntimeError> {
-        for shard in &self.shards {
-            let mut p = shard
-                .state
-                .progress
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            while p.processed < p.submitted {
-                let worker_gone = shard
-                    .worker
-                    .as_ref()
-                    .is_none_or(|w| w.is_finished());
-                if worker_gone {
-                    return Err(RuntimeError::WorkerGone);
-                }
-                let (guard, _) = shard
-                    .state
-                    .drained
-                    .wait_timeout(p, Duration::from_millis(50))
-                    .unwrap_or_else(PoisonError::into_inner);
-                p = guard;
-            }
-        }
-        Ok(())
+        let gone = || {
+            self.handles
+                .iter()
+                .any(|h| h.as_ref().is_none_or(|w| w.is_finished()))
+        };
+        self.fabric
+            .pool
+            .flush(gone)
+            .map_err(|()| RuntimeError::WorkerGone)
     }
 
     /// Run `f` over a tenant's engine. Returns `None` for a tenant that
-    /// has never submitted a job (no engine exists). Takes the shard's
-    /// tenant lock, so it serializes against the worker between jobs —
+    /// has never submitted a job (no engine exists). Takes the tenant's
+    /// slot lock, so it serializes against the workers between jobs —
     /// call [`Runtime::flush`] first for a quiesced view.
     pub fn with_tenant<R>(
         &self,
         tenant: TenantId,
         f: impl FnOnce(&mut chimera_exec::Engine) -> R,
     ) -> Option<R> {
-        let shard = &self.shards[self.shard_of(tenant)];
-        let mut tenants = shard
-            .state
-            .tenants
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        tenants.get_mut(&tenant.0).map(|slot| f(&mut slot.engine))
+        let slot = self.fabric.tenants.get(tenant.0)?;
+        let mut slot = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        Some(f(&mut slot.engine))
     }
 
     /// A tenant's job-error bookkeeping: `(errors, last error message)`.
     /// `None` for tenants without an engine.
     pub fn tenant_errors(&self, tenant: TenantId) -> Option<(u64, Option<String>)> {
-        let shard = &self.shards[self.shard_of(tenant)];
-        let tenants = shard
-            .state
-            .tenants
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        tenants
-            .get(&tenant.0)
-            .map(|slot| (slot.job_errors, slot.last_error.clone()))
+        let slot = self.fabric.tenants.get(tenant.0)?;
+        let slot = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        Some((slot.job_errors, slot.last_error.clone()))
     }
 
-    /// Aggregate counters over every shard and tenant engine. Exact after
-    /// a [`Runtime::flush`]; a live snapshot otherwise.
+    /// Aggregate counters over every shard, worker and tenant engine,
+    /// including the per-home-shard breakdown
+    /// ([`RuntimeStats::per_shard`]) that makes skew visible. Exact
+    /// after a [`Runtime::flush`]; a live snapshot otherwise.
     pub fn stats(&self) -> RuntimeStats {
+        let f = &self.fabric;
+        let homes = f.homes.len();
+        let p = f.pool.progress();
         let mut out = RuntimeStats {
-            shards: self.shards.len(),
+            shards: homes,
             ..RuntimeStats::default()
         };
-        for shard in &self.shards {
-            {
-                let p = shard
-                    .state
-                    .progress
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner);
-                out.jobs_submitted += p.submitted;
-                out.jobs_processed += p.processed;
-            }
-            out.jobs_shed += shard.state.shed.load(Ordering::Relaxed);
-            out.submits_blocked += shard.state.blocked.load(Ordering::Relaxed);
-            out.job_errors += shard.state.errors.load(Ordering::Relaxed);
-            out.job_panics += shard.state.panics.load(Ordering::Relaxed);
-            out.wal_appends += shard.state.wal_appends.load(Ordering::Relaxed);
-            out.wal_syncs += shard.state.wal_syncs.load(Ordering::Relaxed);
-            out.snapshots += shard.state.snapshots.load(Ordering::Relaxed);
-            out.tenants_recovered += shard.state.recovered_tenants.load(Ordering::Relaxed);
-            out.jobs_replayed += shard.state.replayed_jobs.load(Ordering::Relaxed);
-            let tenants = shard
-                .state
-                .tenants
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            out.tenants += tenants.len();
-            for slot in tenants.values() {
-                out.add_engine(slot.engine.stats());
-                out.add_support(slot.engine.support_stats());
-            }
+        let mut per_shard: Vec<ShardStats> = (0..homes)
+            .map(|i| ShardStats {
+                jobs_submitted: p.submitted[i],
+                jobs_executed: f.workers[i].executed.load(Ordering::Relaxed),
+                steals: f.workers[i].steals.load(Ordering::Relaxed),
+                jobs_shed: f.pool.shed[i].load(Ordering::Relaxed),
+                submits_blocked: f.pool.blocked[i].load(Ordering::Relaxed),
+                queue_depth: p.staged[i],
+                tenants: 0,
+            })
+            .collect();
+        for (i, s) in per_shard.iter().enumerate() {
+            out.jobs_submitted += s.jobs_submitted;
+            out.jobs_processed += p.processed[i];
+            out.jobs_shed += s.jobs_shed;
+            out.submits_blocked += s.submits_blocked;
+            out.steals += s.steals;
+            out.ready_queue_depth += s.queue_depth;
         }
+        out.job_errors = f.counters.errors.load(Ordering::Relaxed);
+        out.job_panics = f.counters.panics.load(Ordering::Relaxed);
+        for home in f.homes.iter() {
+            out.wal_appends += home.wal_appends.load(Ordering::Relaxed);
+            out.wal_syncs += home.wal_syncs.load(Ordering::Relaxed);
+            out.snapshots += home.snapshots.load(Ordering::Relaxed);
+            out.tenants_recovered += home.recovered_tenants.load(Ordering::Relaxed);
+            out.jobs_replayed += home.replayed_jobs.load(Ordering::Relaxed);
+        }
+        for (tenant, slot) in f.tenants.arcs() {
+            per_shard[home_of(tenant, homes)].tenants += 1;
+            out.tenants += 1;
+            let slot = slot.lock().unwrap_or_else(PoisonError::into_inner);
+            out.add_engine(slot.engine.stats());
+            out.add_support(slot.engine.support_stats());
+        }
+        out.per_shard = per_shard;
         out
     }
 
-    /// Graceful shutdown: close every queue, let each worker drain what
-    /// was already accepted, join them, and return the final (exact)
-    /// stats. No accepted job is silently dropped — a worker's receive
-    /// loop keeps serving queued envelopes after the send side closes,
-    /// so every job runs and every requested [`JobReply`] is delivered
-    /// before this returns. Only if a worker thread is already *gone*
-    /// (it was killed out from under the runtime) are its leftover jobs
-    /// discarded, and those are accounted under
-    /// [`RuntimeStats::jobs_shed`].
+    /// Graceful shutdown: close the admission pool, let the workers
+    /// drain every staged job (cross-home claims are allowed during the
+    /// drain regardless of scheduler mode, so nothing strands behind an
+    /// exiting worker), join them, and return the final (exact) stats.
+    /// No accepted job is silently dropped — every job runs and every
+    /// requested [`JobReply`] is delivered before this returns. Only if
+    /// a worker thread is already *gone* (it was killed out from under
+    /// the runtime) are leftover jobs discarded, and those are accounted
+    /// under [`RuntimeStats::jobs_shed`].
     pub fn shutdown(mut self) -> RuntimeStats {
         self.stop_workers();
         self.stats()
     }
 
-    /// Close the queues, join the workers, and reconcile the accounting.
-    /// Deterministic: after this returns every shard's `processed`
-    /// equals its `submitted`, with any shortfall (a dead worker's
-    /// abandoned queue) moved into the shed counter.
+    /// Close the pool, join the workers, and reconcile the accounting.
+    /// Deterministic: after this returns every home's `processed` equals
+    /// its `submitted`, with any shortfall (jobs abandoned because every
+    /// worker died) moved into the shed counter.
     fn stop_workers(&mut self) {
-        for shard in &mut self.shards {
-            shard.tx.take(); // close the queue: the worker loop exits
-        }
-        for shard in &mut self.shards {
-            if let Some(worker) = shard.worker.take() {
+        self.fabric.pool.close();
+        for handle in &mut self.handles {
+            if let Some(worker) = handle.take() {
                 let _ = worker.join();
             }
-            let mut p = shard
-                .state
-                .progress
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            if p.processed < p.submitted {
-                // only reachable when the worker thread died: whatever
-                // was still queued is intentionally discarded, visibly
-                let lost = p.submitted - p.processed;
-                shard.state.shed.fetch_add(lost, Ordering::Relaxed);
-                p.processed = p.submitted;
-            }
         }
+        self.fabric.pool.reconcile();
     }
 }
 
-/// Build one shard's store for the configured mode. Returns the store
-/// plus the shard's `snapshot_every` compaction threshold.
+/// Build one home shard's store for the configured mode. Returns the
+/// store plus the `snapshot_every` compaction threshold.
 fn make_store(
     storage: &StorageMode,
     shards: usize,
@@ -632,7 +634,7 @@ fn make_store(
 
 /// Pin the shard count in the durable directory's meta file. Placement
 /// is `hash(tenant) % shards`, so reopening a directory with a different
-/// count would route tenants to shards that never logged them — refuse
+/// count would route tenants to homes that never logged them — refuse
 /// loudly instead (re-sharding a durable directory is future work).
 fn check_meta(dir: &std::path::Path, shards: usize) -> Result<(), RuntimeError> {
     let io = |e: std::io::Error| RuntimeError::Persist(format!("meta file: {e}"));
@@ -664,7 +666,7 @@ fn check_meta(dir: &std::path::Path, shards: usize) -> Result<(), RuntimeError> 
 }
 
 impl Drop for Runtime {
-    /// Dropping the runtime is a graceful shutdown too: queues are
+    /// Dropping the runtime is a graceful shutdown too: the pool is
     /// drained and workers joined (see [`Runtime::shutdown`]), so a
     /// runtime going out of scope never silently drops accepted jobs.
     fn drop(&mut self) {
@@ -675,7 +677,7 @@ impl Drop for Runtime {
 impl fmt::Debug for Runtime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Runtime")
-            .field("shards", &self.shards.len())
+            .field("shards", &self.fabric.homes.len())
             .field("config", &self.config)
             .finish_non_exhaustive()
     }
@@ -720,8 +722,7 @@ mod tests {
             shards,
             queue_capacity: 8,
             backpressure: Backpressure::Block,
-            engine: EngineConfig::default(),
-            storage: StorageMode::InMemory,
+            ..RuntimeConfig::default()
         }
     }
 
@@ -765,8 +766,7 @@ mod tests {
                 shards: 1,
                 queue_capacity: capacity,
                 backpressure: Backpressure::Shed,
-                engine: EngineConfig::default(),
-                storage: StorageMode::InMemory,
+                ..RuntimeConfig::default()
             },
         )
         .unwrap();
@@ -781,8 +781,9 @@ mod tests {
             },
         )
         .unwrap();
-        // the worker is now provably parked inside the gate job and the
-        // queue is empty: the next `capacity` submissions fill it...
+        // the worker is now provably parked inside the gate job and
+        // nothing is staged: the next `capacity` submissions fill the
+        // home shard...
         entered.wait();
         rt.begin(tenant).unwrap();
         for _ in 0..capacity - 1 {
@@ -812,8 +813,7 @@ mod tests {
                 shards: 1,
                 queue_capacity: 1,
                 backpressure: Backpressure::Block,
-                engine: EngineConfig::default(),
-                storage: StorageMode::InMemory,
+                ..RuntimeConfig::default()
             },
         )
         .unwrap();
@@ -829,18 +829,18 @@ mod tests {
         )
         .unwrap();
         entered.wait();
-        rt.begin(tenant).unwrap(); // fills the 1-slot queue
+        rt.begin(tenant).unwrap(); // fills the 1-slot budget
         std::thread::scope(|scope| {
             let rt = &rt;
             let feeder = scope.spawn(move || {
-                // queue full, worker parked: this submission must block
+                // budget full, worker parked: this submission must block
                 // until the gate opens, then drain normally
                 rt.raise_external(tenant, vec![(stock, 1, Oid(0))]).unwrap();
                 rt.commit(tenant).unwrap();
             });
-            // the worker is parked and the queue is full, so the feeder
-            // *will* hit the blocked path — wait until it provably has
-            // before opening the gate (counted before the blocking send)
+            // the worker is parked and the home is at capacity, so the
+            // feeder *will* hit the blocked path — wait until it provably
+            // has before opening the gate (counted before the wait)
             while rt.stats().submits_blocked == 0 {
                 std::thread::yield_now();
             }
@@ -969,7 +969,7 @@ mod tests {
         }
         let (_, rx) = rt.submit_with_reply(t, Job::Commit).unwrap();
         rxs.push(rx);
-        // no flush: drop the runtime with jobs plausibly still queued.
+        // no flush: drop the runtime with jobs plausibly still staged.
         // The drop must drain and join, so every reply is already there.
         drop(rt);
         for (i, rx) in rxs.into_iter().enumerate() {
@@ -998,5 +998,98 @@ mod tests {
             seen[rt.shard_of(TenantId(t))] = true;
         }
         assert!(seen.iter().all(|&s| s), "dense ids hit every shard");
+    }
+
+    #[test]
+    fn fifo_holds_under_forced_stealing() {
+        let s = schema();
+        let stock = s.class_by_name("stock").unwrap();
+        let rt = Runtime::new(
+            s,
+            vec![],
+            RuntimeConfig {
+                shards: 2,
+                queue_capacity: 64,
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        // two distinct tenants homed on the same shard
+        let mut homed = (0u64..).map(TenantId).filter(|t| rt.shard_of(*t) == 0);
+        let parked = homed.next().unwrap();
+        let busy = homed.next().unwrap();
+        let entered = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+        rt.submit(
+            parked,
+            Job::Gate {
+                entered: Arc::clone(&entered),
+                release: Arc::clone(&release),
+            },
+        )
+        .unwrap();
+        // one worker is provably parked on `parked`'s claim; `busy` is
+        // homed on the same shard, so the *other* worker must claim it —
+        // whichever worker holds the gate, one of the two claims crossed
+        // shards (a steal)
+        entered.wait();
+        let jobs = 50u64;
+        rt.begin(busy).unwrap();
+        for i in 0..jobs {
+            rt.raise_external(busy, vec![(stock, 1, Oid(i))]).unwrap();
+        }
+        rt.commit(busy).unwrap();
+        // `busy` drains while the gate is still parked (can't flush: the
+        // gate job itself is unfinished)
+        while rt.stats().jobs_processed < jobs + 2 {
+            std::thread::yield_now();
+        }
+        release.wait();
+        rt.flush().unwrap();
+        let stats = rt.stats();
+        assert!(stats.steals >= 1, "one of the claims crossed shards");
+        assert_eq!(rt.tenant_errors(busy), Some((0, None)));
+        // the event log records exactly the submission order: per-tenant
+        // FIFO held even though the tenant ran on a stolen claim
+        let oids = rt
+            .with_tenant(busy, |e| {
+                e.event_base().iter().map(|o| o.oid).collect::<Vec<_>>()
+            })
+            .unwrap();
+        assert_eq!(oids, (0..jobs).map(Oid).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pinned_scheduler_never_steals() {
+        let s = schema();
+        let stock = s.class_by_name("stock").unwrap();
+        let rt = Runtime::new(
+            s,
+            vec![],
+            RuntimeConfig {
+                shards: 4,
+                scheduler: Scheduler::Pinned,
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        for t in 0..32u64 {
+            rt.begin(TenantId(t)).unwrap();
+            rt.raise_external(TenantId(t), vec![(stock, 1, Oid(0))]).unwrap();
+            rt.commit(TenantId(t)).unwrap();
+        }
+        rt.flush().unwrap();
+        let stats = rt.stats();
+        assert_eq!(stats.steals, 0, "pinned mode never crosses shards");
+        assert_eq!(stats.per_shard.len(), 4);
+        // under pinning each worker executed exactly its own home's jobs
+        for (i, shard) in stats.per_shard.iter().enumerate() {
+            assert_eq!(
+                shard.jobs_executed, shard.jobs_submitted,
+                "shard {i} executed its own submissions"
+            );
+            assert_eq!(shard.steals, 0);
+        }
+        assert_eq!(stats.jobs_processed, 96);
     }
 }

@@ -1,16 +1,35 @@
-//! One shard: a bounded ingestion queue, a worker thread, the engines of
-//! the tenants hashed onto it — and, since the durable-tenants refactor,
-//! a per-shard [`StateStore`] the worker threads every job through.
+//! Shard workers and the shared tenant fabric they operate on.
 //!
-//! The worker's loop is *batched*: it blocks for one envelope, then
-//! drains whatever else is already queued (up to the queue capacity) and
-//! processes the whole batch before answering anyone. Under a durable
-//! store each job's intent is appended to the shard's job log *before*
-//! execution, and the batch shares **one** fsync ([`StateStore::commit`])
-//! at the end — the group commit that amortizes the ~ms sync across
-//! every job that was sitting in the bounded queue. Replies are only
-//! delivered after that commit, so an acknowledged job is always durable.
+//! Since the load-aware scheduling refactor a "shard" is two separate
+//! things that used to be fused:
+//!
+//! - a **home shard** ([`Home`]): the durable half — one [`StateStore`]
+//!   per home, plus its WAL/snapshot counters. A tenant's home is the
+//!   stable SplitMix64 placement ([`home_of`]), so the on-disk layout
+//!   (`shard-<i>/` directories) and every recovery semantic are
+//!   unchanged from the hash-pinned design.
+//! - a **worker**: one of `shards` identical threads running the claim
+//!   loop. Workers pull *ready tenants* from the admission pool
+//!   ([`crate::pool::Pool`]) — their own home's deque first, any other
+//!   home's under [`crate::runtime::Scheduler::LoadAware`] (a *steal*) —
+//!   and run the claimed tenant's next batch to completion.
+//!
+//! Tenant engines live in a shared registry ([`Tenants`]) behind
+//! per-tenant locks. Exclusion is structural: the pool hands a tenant to
+//! at most one worker at a time, so per-tenant serial order needs no
+//! worker-affinity — any worker may run the batch.
+//!
+//! A claimed batch is processed in three phases. Under a durable store:
+//! **append** every job's intent record to the tenant's *home* store
+//! (one store-lock hold), **execute** the jobs against the tenant
+//! engine, then **commit** — the batch shares one fsync (group commit)
+//! and replies only go out after it, so an acknowledged job is always
+//! durable. Batches from different tenants homed on the same store
+//! interleave safely: the store lock serializes appends and commits, and
+//! an in-flight count keeps snapshot/truncation away from records whose
+//! batch has not committed yet.
 
+use crate::pool::Pool;
 use crate::runtime::{Job, JobId, JobOutcome, JobReply, JobSummary, TenantId};
 use chimera_exec::{Engine, EngineConfig, EngineStats};
 use chimera_model::{ObjectStore, Schema};
@@ -19,29 +38,29 @@ use chimera_rules::{SharedProbePool, TriggerDef};
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
-/// One queued job, addressed to a tenant of this shard. `reply`, when
-/// present, is the job's completion slot: the worker sends exactly one
-/// [`JobReply`] after retiring the job (never blocking — the slot is a
-/// capacity-1 channel and a vanished receiver is ignored).
+/// One staged job, addressed to a tenant. `reply`, when present, is the
+/// job's completion slot: the worker sends exactly one [`JobReply`]
+/// after retiring the job (never blocking — the slot is a capacity-1
+/// channel and a vanished receiver is ignored).
 pub(crate) struct Envelope {
     pub tenant: TenantId,
     pub job: Job,
     pub reply: Option<(JobId, SyncSender<JobReply>)>,
 }
 
-/// Queue accounting used by the flush barrier: `submitted` counts jobs
-/// accepted into the queue, `processed` jobs the worker has retired.
-/// `submitted` is bumped *before* the send (and rolled back on shed /
-/// disconnect), so a flush racing a submit can only over-wait, never
-/// return early.
-#[derive(Debug, Default)]
-pub(crate) struct Progress {
-    pub submitted: u64,
-    pub processed: u64,
+/// The stable tenant→home-shard placement: a SplitMix64 finalizer over
+/// the raw id, so dense id ranges still spread evenly. This is a *home*
+/// (durable-state owner and backpressure bucket), not an execution pin —
+/// under load-aware scheduling any worker may run the tenant.
+pub(crate) fn home_of(tenant: u64, homes: usize) -> usize {
+    let mut z = tenant.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % homes as u64) as usize
 }
 
 /// One tenant's engine plus its bookkeeping.
@@ -59,21 +78,59 @@ pub(crate) struct TenantSlot {
     pub trigger_sources: Vec<String>,
 }
 
-/// State shared between a shard's worker thread and the runtime handle.
-pub(crate) struct ShardState {
-    /// Tenant engines, keyed by raw tenant id. The worker holds this lock
-    /// only while processing one job, so inspection (`with_tenant`)
-    /// interleaves cleanly between jobs.
-    pub tenants: Mutex<HashMap<u64, TenantSlot>>,
-    pub progress: Mutex<Progress>,
-    /// Signalled after every retired batch; the flush barrier waits on it.
-    pub drained: Condvar,
-    pub shed: AtomicU64,
-    pub blocked: AtomicU64,
-    pub errors: AtomicU64,
-    pub panics: AtomicU64,
+/// The shared tenant registry: every live tenant engine, each behind its
+/// own lock. The registry lock is only ever held to look up or create a
+/// slot's `Arc` — never while a slot lock is held — so inspection
+/// (`with_tenant`, `stats`) interleaves cleanly with workers mid-batch.
+pub(crate) struct Tenants {
+    map: Mutex<HashMap<u64, Arc<Mutex<TenantSlot>>>>,
+}
+
+impl Tenants {
+    pub fn new() -> Tenants {
+        Tenants {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<u64, Arc<Mutex<TenantSlot>>>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn get(&self, tenant: u64) -> Option<Arc<Mutex<TenantSlot>>> {
+        self.lock().get(&tenant).cloned()
+    }
+
+    fn get_or_create(&self, tenant: u64, ctx: &WorkerCtx) -> Arc<Mutex<TenantSlot>> {
+        Arc::clone(
+            self.lock()
+                .entry(tenant)
+                .or_insert_with(|| Arc::new(Mutex::new(fresh_slot(ctx)))),
+        )
+    }
+
+    pub fn insert(&self, tenant: u64, slot: TenantSlot) {
+        self.lock().insert(tenant, Arc::new(Mutex::new(slot)));
+    }
+
+    fn remove(&self, tenant: u64) {
+        self.lock().remove(&tenant);
+    }
+
+    /// Snapshot the registry's `(tenant, slot)` pairs (the slots are not
+    /// locked — callers lock each as needed).
+    pub fn arcs(&self) -> Vec<(u64, Arc<Mutex<TenantSlot>>)> {
+        self.lock().iter().map(|(&t, a)| (t, Arc::clone(a))).collect()
+    }
+}
+
+/// One home shard's durable half: the store plus its published counters.
+pub(crate) struct Home {
+    pub index: usize,
+    pub durable: bool,
+    pub store: Mutex<StoreSlot>,
     /// Published store counters (set, not accumulated, from
-    /// [`StateStore::counters`] after every batch).
+    /// [`StateStore::counters`] after every committed batch).
     pub wal_appends: AtomicU64,
     pub wal_syncs: AtomicU64,
     pub snapshots: AtomicU64,
@@ -82,8 +139,60 @@ pub(crate) struct ShardState {
     pub replayed_jobs: AtomicU64,
 }
 
-/// What a shard's startup recovery found (reported synchronously through
-/// the readiness channel before the worker starts serving).
+/// The lock-protected mutable state of one home store.
+pub(crate) struct StoreSlot {
+    pub store: Box<dyn StateStore>,
+    /// A failed append/commit/snapshot poisons the home's durability:
+    /// jobs homed here keep being answered (with this error) but nothing
+    /// executes without durability.
+    pub poisoned: Option<String>,
+    /// Batches that have appended records but not yet committed them.
+    /// Snapshot/truncation only runs at zero, so it can never drop
+    /// another batch's uncommitted intent records.
+    pub inflight: u64,
+}
+
+impl Home {
+    pub fn new(index: usize, store: Box<dyn StateStore>) -> Home {
+        Home {
+            index,
+            durable: store.is_durable(),
+            store: Mutex::new(StoreSlot {
+                store,
+                poisoned: None,
+                inflight: 0,
+            }),
+            wal_appends: AtomicU64::new(0),
+            wal_syncs: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            recovered_tenants: AtomicU64::new(0),
+            replayed_jobs: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, StoreSlot> {
+        self.store.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Runtime-global error/panic counters (tenant-attributed, so no longer
+/// meaningful per worker).
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub errors: AtomicU64,
+    pub panics: AtomicU64,
+}
+
+/// One worker thread's execution counters.
+#[derive(Default)]
+pub(crate) struct WorkerStats {
+    /// Jobs this worker executed (batches it claimed, summed).
+    pub executed: AtomicU64,
+    /// Claims of tenants homed on a *different* shard than this worker.
+    pub steals: AtomicU64,
+}
+
+/// What one home's startup recovery found.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct ShardRecoveryStats {
     pub tenants_recovered: u64,
@@ -91,72 +200,79 @@ pub(crate) struct ShardRecoveryStats {
     pub torn: Option<String>,
 }
 
-/// A shard handle owned by the runtime: the queue's send side, the shared
-/// state, and the worker's join handle (taken at shutdown).
-pub(crate) struct Shard {
-    pub tx: Option<SyncSender<Envelope>>,
-    pub state: Arc<ShardState>,
-    pub worker: Option<JoinHandle<()>>,
+/// Everything a worker (or startup recovery) needs to build and run
+/// tenant engines. Each carries its *own* [`SharedProbePool`]: every
+/// engine the worker touches parks the same `check_workers - 1` probe
+/// threads, installed per job at claim time (a cheap handle swap), so
+/// pool threads scale with workers — not tenants — and a stolen tenant
+/// uses its claimer's pool.
+pub(crate) struct WorkerCtx {
+    schema: Schema,
+    triggers: Arc<Vec<TriggerDef>>,
+    engine_cfg: EngineConfig,
+    probe_pool: SharedProbePool,
 }
 
-impl Shard {
-    /// Spawn a shard: a `sync_channel(capacity)` queue plus one worker
-    /// thread that owns the shard's tenant engines and its store. The
-    /// worker first runs recovery against `store` (rebuilding tenants
-    /// from its snapshot + job-log tail); this call blocks until that
-    /// finishes and returns what it found, or the store's error.
-    pub fn spawn(
-        index: usize,
-        capacity: usize,
-        schema: Schema,
-        triggers: Arc<Vec<TriggerDef>>,
-        engine_cfg: EngineConfig,
-        store: Box<dyn StateStore>,
-        snapshot_every: u64,
-    ) -> Result<(Shard, ShardRecoveryStats), String> {
-        let (tx, rx) = sync_channel(capacity);
-        let state = Arc::new(ShardState {
-            tenants: Mutex::new(HashMap::new()),
-            progress: Mutex::new(Progress::default()),
-            drained: Condvar::new(),
-            shed: AtomicU64::new(0),
-            blocked: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            panics: AtomicU64::new(0),
-            wal_appends: AtomicU64::new(0),
-            wal_syncs: AtomicU64::new(0),
-            snapshots: AtomicU64::new(0),
-            recovered_tenants: AtomicU64::new(0),
-            replayed_jobs: AtomicU64::new(0),
-        });
-        let (ready_tx, ready_rx) = sync_channel::<Result<ShardRecoveryStats, String>>(1);
-        let worker_state = Arc::clone(&state);
-        let worker = std::thread::Builder::new()
-            .name(format!("chimera-shard-{index}"))
-            .spawn(move || {
-                run_worker(
-                    rx,
-                    worker_state,
-                    schema,
-                    triggers,
-                    engine_cfg,
-                    store,
-                    capacity,
-                    snapshot_every,
-                    ready_tx,
-                )
-            })
-            .expect("spawn shard worker thread");
-        let shard = Shard {
-            tx: Some(tx),
-            state,
-            worker: Some(worker),
-        };
-        match ready_rx.recv() {
-            Ok(Ok(stats)) => Ok((shard, stats)),
-            Ok(Err(msg)) => Err(msg),
-            Err(_) => Err("shard worker died during recovery".into()),
+impl WorkerCtx {
+    pub fn new(schema: Schema, triggers: Arc<Vec<TriggerDef>>, engine_cfg: EngineConfig) -> Self {
+        WorkerCtx {
+            schema,
+            triggers,
+            engine_cfg,
+            probe_pool: SharedProbePool::default(),
         }
+    }
+}
+
+/// The shared fabric every worker thread operates on: the admission
+/// pool, the tenant registry, the home shards, and the counters.
+#[derive(Clone)]
+pub(crate) struct Fabric {
+    pub pool: Arc<Pool>,
+    pub tenants: Arc<Tenants>,
+    pub homes: Arc<Vec<Home>>,
+    pub counters: Arc<Counters>,
+    pub workers: Arc<Vec<WorkerStats>>,
+    pub schema: Schema,
+    pub triggers: Arc<Vec<TriggerDef>>,
+    pub engine_cfg: EngineConfig,
+    pub snapshot_every: u64,
+}
+
+/// Spawn one worker thread running the claim loop until the pool closes.
+pub(crate) fn spawn_worker(index: usize, fabric: Fabric) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("chimera-shard-{index}"))
+        .spawn(move || run_worker(index, fabric))
+        .expect("spawn shard worker thread")
+}
+
+/// The claim loop: pull a ready tenant from the pool, run its batch
+/// against the tenant's home store, release the tenant, repeat. Exits
+/// when the pool is closed and drained (runtime shutdown).
+fn run_worker(index: usize, fabric: Fabric) {
+    let ctx = WorkerCtx::new(
+        fabric.schema.clone(),
+        Arc::clone(&fabric.triggers),
+        fabric.engine_cfg.clone(),
+    );
+    let me = &fabric.workers[index];
+    while let Some(claim) = fabric.pool.claim(index) {
+        if claim.stolen {
+            me.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        let retired = claim.batch.len() as u64;
+        run_batch(
+            &fabric.homes[claim.home],
+            fabric.homes.len(),
+            &fabric.tenants,
+            &fabric.counters,
+            &ctx,
+            claim.batch,
+            fabric.snapshot_every,
+        );
+        me.executed.fetch_add(retired, Ordering::Relaxed);
+        fabric.pool.release(claim.tenant, claim.home, retired);
     }
 }
 
@@ -171,207 +287,198 @@ struct Pending {
     logged: bool,
 }
 
-/// The worker loop: block for one envelope, drain the rest of the queue
-/// into a batch, run every job, group-commit the store once, answer
-/// everyone, retire the batch. Exits when every sender is dropped
-/// (runtime shutdown). A panicking job poisons only its own tenant; a
-/// *store* failure poisons the whole shard's durability and every
-/// subsequent job is refused rather than executed without it.
-#[allow(clippy::too_many_arguments)]
-fn run_worker(
-    rx: Receiver<Envelope>,
-    state: Arc<ShardState>,
-    schema: Schema,
-    triggers: Arc<Vec<TriggerDef>>,
-    engine_cfg: EngineConfig,
-    mut store: Box<dyn StateStore>,
-    capacity: usize,
-    snapshot_every: u64,
-    ready_tx: SyncSender<Result<ShardRecoveryStats, String>>,
-) {
-    // one probe pool per shard: every tenant engine created here parks
-    // the *same* `check_workers - 1` threads (spawned lazily on the
-    // first parallel check round), instead of one set per tenant
-    let probe_pool = SharedProbePool::default();
-    let ctx = WorkerCtx {
-        schema,
-        triggers,
-        engine_cfg,
-        probe_pool,
-    };
-
-    match recover(&mut *store, &state, &ctx) {
-        Ok(stats) => {
-            state
-                .recovered_tenants
-                .store(stats.tenants_recovered, Ordering::Relaxed);
-            state
-                .replayed_jobs
-                .store(stats.jobs_replayed, Ordering::Relaxed);
-            publish_counters(&state, &*store);
-            let _ = ready_tx.send(Ok(stats));
-        }
-        Err(msg) => {
-            let _ = ready_tx.send(Err(msg));
-            return;
-        }
-    }
-
-    let durable = store.is_durable();
-    // a failed append/commit poisons the store: jobs keep being answered
-    // (with this error) but nothing executes without durability
-    let mut poisoned: Option<String> = None;
-
-    while let Ok(first) = rx.recv() {
-        let mut batch = vec![first];
-        while batch.len() < capacity {
-            match rx.try_recv() {
-                Ok(env) => batch.push(env),
-                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
-            }
-        }
-        let mut pending = Vec::with_capacity(batch.len());
-        for env in batch {
-            if let Job::Gate { entered, release } = env.job {
-                // test instrumentation: park *outside* the tenant lock so
-                // stats/inspection stay reachable while the worker is gated
-                entered.wait();
-                release.wait();
-                pending.push(Pending {
-                    reply: env.reply,
-                    tenant: env.tenant,
-                    outcome: JobOutcome::Done(JobSummary::default()),
-                    logged: false,
-                });
-                continue;
-            }
-            let outcome;
-            let mut logged = false;
-            if let Some(msg) = &poisoned {
-                outcome = refuse(&state, env.tenant.0, msg.clone(), &ctx);
-            } else if durable && matches!(env.job, Job::DefineTrigger(_)) {
-                // lowered definitions have no logged form; durable tenants
-                // must define triggers from source so replay can re-parse
-                outcome = refuse(
-                    &state,
-                    env.tenant.0,
-                    "durable storage requires DefineTriggerSource (trigger source text), \
-                     not a pre-lowered DefineTrigger"
-                        .into(),
-                    &ctx,
-                );
-            } else {
-                if durable {
-                    if let Some(record) = job_record(&env.job) {
-                        if let Err(e) = store.append(env.tenant.0, &record) {
-                            poisoned = Some(format!("shard store failed: {e}"));
-                        } else {
-                            logged = true;
-                        }
-                    }
-                }
-                outcome = if let Some(msg) = &poisoned {
-                    refuse(&state, env.tenant.0, msg.clone(), &ctx)
-                } else {
-                    let mut tenants = state
-                        .tenants
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner);
-                    run_job(&mut tenants, &state, &ctx, env.tenant.0, env.job, durable)
-                };
-            }
-            pending.push(Pending {
-                reply: env.reply,
-                tenant: env.tenant,
-                outcome,
-                logged,
-            });
-        }
-
-        // the group commit: one fsync for every job logged above
-        if durable && poisoned.is_none() {
-            if let Err(e) = store.commit() {
-                let msg = format!("shard store failed: {e}");
-                // nothing in this batch is durable — demote its successes
-                for p in &mut pending {
-                    if p.logged && p.outcome.is_done() {
-                        p.outcome = JobOutcome::Error(msg.clone());
-                        state.errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                poisoned = Some(msg);
-            }
-        }
-        publish_counters(&state, &*store);
-
-        let retired = pending.len() as u64;
-        for p in pending {
-            answer(p.reply, p.tenant, p.outcome);
-        }
-        retire_n(&state, retired);
-
-        if durable && poisoned.is_none() && snapshot_every > 0 {
-            maybe_snapshot(&mut *store, &state, snapshot_every, &mut poisoned);
-        }
-    }
+/// What phase 1 decided for each envelope.
+enum Disposition {
+    /// Test gate: park the worker, outside every lock.
+    Gate,
+    /// Refused before execution (poisoned home, or a durable
+    /// `DefineTrigger`).
+    Refuse(String),
+    /// Execute; `logged` records whether its intent was appended.
+    Run { logged: bool },
 }
 
-/// Everything a worker needs to build (or rebuild) a tenant engine.
-struct WorkerCtx {
-    schema: Schema,
-    triggers: Arc<Vec<TriggerDef>>,
-    engine_cfg: EngineConfig,
-    probe_pool: SharedProbePool,
+/// Run one claimed batch: append (durable homes), execute, group-commit,
+/// answer. All jobs belong to one tenant, held exclusively by this
+/// worker, so execution order *is* the tenant's submission order.
+fn run_batch(
+    home: &Home,
+    homes: usize,
+    tenants: &Tenants,
+    counters: &Counters,
+    ctx: &WorkerCtx,
+    batch: Vec<Envelope>,
+    snapshot_every: u64,
+) {
+    // phase 1 — stage every loggable job's intent record into the home
+    // store, in batch order, under one store-lock hold
+    let mut appended_any = false;
+    let plans: Vec<Disposition> = if home.durable {
+        let mut slot = home.lock();
+        let plans = batch
+            .iter()
+            .map(|env| {
+                if matches!(env.job, Job::Gate { .. }) {
+                    return Disposition::Gate;
+                }
+                if let Some(msg) = &slot.poisoned {
+                    return Disposition::Refuse(msg.clone());
+                }
+                if matches!(env.job, Job::DefineTrigger(_)) {
+                    // lowered definitions have no logged form; durable
+                    // tenants must define triggers from source so replay
+                    // can re-parse
+                    return Disposition::Refuse(
+                        "durable storage requires DefineTriggerSource (trigger source text), \
+                         not a pre-lowered DefineTrigger"
+                            .into(),
+                    );
+                }
+                match job_record(&env.job) {
+                    Some(record) => match slot.store.append(env.tenant.0, &record) {
+                        Ok(()) => {
+                            appended_any = true;
+                            Disposition::Run { logged: true }
+                        }
+                        Err(e) => {
+                            let msg = format!("shard store failed: {e}");
+                            slot.poisoned = Some(msg.clone());
+                            Disposition::Refuse(msg)
+                        }
+                    },
+                    None => Disposition::Run { logged: false },
+                }
+            })
+            .collect();
+        if appended_any {
+            slot.inflight += 1;
+        }
+        plans
+    } else {
+        batch
+            .iter()
+            .map(|env| {
+                if matches!(env.job, Job::Gate { .. }) {
+                    Disposition::Gate
+                } else {
+                    Disposition::Run { logged: false }
+                }
+            })
+            .collect()
+    };
+
+    // phase 2 — execute, store lock released (a long job never blocks
+    // the home's other tenants from appending their own batches)
+    let mut pending = Vec::with_capacity(plans.len());
+    for (env, plan) in batch.into_iter().zip(plans) {
+        let (outcome, logged) = match plan {
+            Disposition::Gate => {
+                // test instrumentation: park outside every lock so
+                // stats/inspection stay reachable while the worker waits
+                if let Job::Gate { entered, release } = env.job {
+                    entered.wait();
+                    release.wait();
+                }
+                (JobOutcome::Done(JobSummary::default()), false)
+            }
+            Disposition::Refuse(msg) => (refuse(tenants, counters, ctx, env.tenant.0, msg), false),
+            Disposition::Run { logged } => (
+                run_job(tenants, counters, ctx, env.tenant.0, env.job, home.durable),
+                logged,
+            ),
+        };
+        pending.push(Pending {
+            reply: env.reply,
+            tenant: env.tenant,
+            outcome,
+            logged,
+        });
+    }
+
+    // phase 3 — the group commit: one fsync for every job staged above
+    if home.durable {
+        let mut slot = home.lock();
+        if appended_any {
+            slot.inflight -= 1;
+            if slot.poisoned.is_none() {
+                if let Err(e) = slot.store.commit() {
+                    let msg = format!("shard store failed: {e}");
+                    // nothing in this batch is durable — demote its successes
+                    for p in &mut pending {
+                        if p.logged && p.outcome.is_done() {
+                            p.outcome = JobOutcome::Error(msg.clone());
+                            counters.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    slot.poisoned = Some(msg);
+                }
+            }
+        }
+        publish_counters(home, &*slot.store);
+        if slot.poisoned.is_none() && snapshot_every > 0 && slot.inflight == 0 {
+            maybe_snapshot(&mut slot, home, homes, tenants, snapshot_every);
+        }
+    }
+
+    for p in pending {
+        answer(p.reply, p.tenant, p.outcome);
+    }
 }
 
 /// Record a store-refusal against the tenant's bookkeeping (the slot is
 /// created if this is the tenant's first job, mirroring engine errors).
-fn refuse(state: &ShardState, tenant: u64, msg: String, ctx: &WorkerCtx) -> JobOutcome {
-    let mut tenants = state
-        .tenants
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner);
-    let slot = tenants
-        .entry(tenant)
-        .or_insert_with(|| fresh_slot(ctx));
+fn refuse(
+    tenants: &Tenants,
+    counters: &Counters,
+    ctx: &WorkerCtx,
+    tenant: u64,
+    msg: String,
+) -> JobOutcome {
+    let arc = tenants.get_or_create(tenant, ctx);
+    let mut slot = arc.lock().unwrap_or_else(PoisonError::into_inner);
     slot.job_errors += 1;
     slot.last_error = Some(msg.clone());
-    state.errors.fetch_add(1, Ordering::Relaxed);
+    counters.errors.fetch_add(1, Ordering::Relaxed);
     JobOutcome::Error(msg)
 }
 
-/// Run one (non-gate) job against its tenant engine, with the tenant
-/// lock already held. Shared verbatim between live processing and
-/// startup replay, so a replayed job reproduces exactly the live
-/// bookkeeping — errors, panics and `jobs_applied` included.
+/// Run one (non-gate) job against its tenant engine, taking the
+/// per-tenant lock for the duration. Shared verbatim between live
+/// processing and startup replay, so a replayed job reproduces exactly
+/// the live bookkeeping — errors, panics and `jobs_applied` included.
 fn run_job(
-    tenants: &mut HashMap<u64, TenantSlot>,
-    state: &ShardState,
+    tenants: &Tenants,
+    counters: &Counters,
     ctx: &WorkerCtx,
     tenant: u64,
     job: Job,
     counted: bool,
 ) -> JobOutcome {
-    let slot = tenants.entry(tenant).or_insert_with(|| fresh_slot(ctx));
+    let arc = tenants.get_or_create(tenant, ctx);
+    let mut slot = arc.lock().unwrap_or_else(PoisonError::into_inner);
     if counted && job_record(&job).is_some() {
         slot.jobs_applied += 1;
     }
+    // probe threads belong to the claiming worker, not the tenant: a
+    // cheap handle swap re-homes the engine's pool every job
+    slot.engine.use_shared_probe_pool(ctx.probe_pool.clone());
     let before = slot.engine.stats();
     let schema = &ctx.schema;
-    let result = std::panic::catch_unwind(AssertUnwindSafe(|| apply(slot, schema, job)));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| apply(&mut slot, schema, job)));
     match result {
         Ok(Ok(())) => JobOutcome::Done(JobSummary::delta(before, slot.engine.stats())),
         Ok(Err(msg)) => {
             slot.job_errors += 1;
             slot.last_error = Some(msg.clone());
-            state.errors.fetch_add(1, Ordering::Relaxed);
+            counters.errors.fetch_add(1, Ordering::Relaxed);
             JobOutcome::Error(msg)
         }
         Err(_) => {
             // mid-job panic: the engine's invariants are suspect,
             // drop the whole tenant rather than serve from it
-            tenants.remove(&tenant);
-            state.panics.fetch_add(1, Ordering::Relaxed);
+            drop(slot);
+            tenants.remove(tenant);
+            counters.panics.fetch_add(1, Ordering::Relaxed);
             JobOutcome::Panicked
         }
     }
@@ -390,20 +497,8 @@ fn answer(reply: Option<(JobId, SyncSender<JobReply>)>, tenant: TenantId, outcom
     }
 }
 
-/// Retire a whole batch: bump the processed count once and wake the
-/// flush barrier.
-fn retire_n(state: &ShardState, n: u64) {
-    let mut p = state
-        .progress
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner);
-    p.processed += n;
-    drop(p);
-    state.drained.notify_all();
-}
-
 /// A fresh tenant slot: an engine with the runtime's trigger set
-/// installed and the shard's shared probe pool wired in.
+/// installed and the creating worker's probe pool wired in.
 fn fresh_slot(ctx: &WorkerCtx) -> TenantSlot {
     let mut engine = Engine::with_config(ctx.schema.clone(), ctx.engine_cfg.clone());
     engine.use_shared_probe_pool(ctx.probe_pool.clone());
@@ -480,7 +575,7 @@ fn apply_trigger_source(engine: &mut Engine, schema: &Schema, src: &str) -> Resu
 }
 
 /// The durable form of a job, or `None` for jobs that are never logged
-/// (gates; pre-lowered `DefineTrigger`, which durable shards refuse).
+/// (gates; pre-lowered `DefineTrigger`, which durable homes refuse).
 fn job_record(job: &Job) -> Option<JobRecord> {
     match job {
         Job::Begin => Some(JobRecord::Begin),
@@ -504,50 +599,56 @@ fn job_from_record(rec: JobRecord) -> Job {
     }
 }
 
-/// Publish the store's counters into the shared atomics (monotone totals,
-/// so a plain store is correct).
-fn publish_counters(state: &ShardState, store: &dyn StateStore) {
+/// Publish the store's counters into the home's atomics (monotone
+/// totals, so a plain store is correct).
+fn publish_counters(home: &Home, store: &dyn StateStore) {
     let c = store.counters();
-    state.wal_appends.store(c.appends, Ordering::Relaxed);
-    state.wal_syncs.store(c.syncs, Ordering::Relaxed);
-    state.snapshots.store(c.snapshots, Ordering::Relaxed);
+    home.wal_appends.store(c.appends, Ordering::Relaxed);
+    home.wal_syncs.store(c.syncs, Ordering::Relaxed);
+    home.snapshots.store(c.snapshots, Ordering::Relaxed);
 }
 
-/// Startup recovery: read the store back, rebuild every snapshotted
-/// tenant bit-identically, then replay the job-log tail through the
-/// exact live processing path (errors and panics included).
-fn recover(
-    store: &mut dyn StateStore,
-    state: &ShardState,
+/// Startup recovery for one home: read its store back, rebuild every
+/// snapshotted tenant bit-identically into the shared registry, then
+/// replay the job-log tail through the exact live processing path
+/// (errors and panics included). Runs on the constructing thread, before
+/// any worker exists, so no locks are contended.
+pub(crate) fn recover_home(
+    home: &Home,
+    tenants: &Tenants,
+    counters: &Counters,
     ctx: &WorkerCtx,
 ) -> Result<ShardRecoveryStats, String> {
-    let rec = store.recover().map_err(|e| e.to_string())?;
+    let mut slot = home.lock();
+    let rec = slot.store.recover().map_err(|e| e.to_string())?;
     let mut stats = ShardRecoveryStats {
         torn: rec.torn,
         ..ShardRecoveryStats::default()
     };
-    let mut tenants = state
-        .tenants
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner);
+    // restored error bookkeeping feeds the aggregate counter so stats
+    // stay consistent across a restart
+    let mut restored_errors: u64 = 0;
     if let Some(snap) = rec.snapshot {
         for ts in &snap.tenants {
-            let slot = restore_tenant(ts, ctx)?;
-            tenants.insert(ts.tenant, slot);
+            let restored = restore_tenant(ts, ctx)?;
+            restored_errors += restored.job_errors;
+            tenants.insert(ts.tenant, restored);
             stats.tenants_recovered += 1;
         }
     }
-    // restored error bookkeeping feeds the shard's aggregate counter so
-    // stats stay consistent across a restart
-    let restored_errors: u64 = tenants.values().map(|s| s.job_errors).sum();
-    state.errors.store(restored_errors, Ordering::Relaxed);
+    counters.errors.fetch_add(restored_errors, Ordering::Relaxed);
     for group in rec.tail {
         for (tenant, record) in group.jobs {
             let job = job_from_record(record);
-            run_job(&mut tenants, state, ctx, tenant, job, true);
+            run_job(tenants, counters, ctx, tenant, job, true);
             stats.jobs_replayed += 1;
         }
     }
+    home.recovered_tenants
+        .store(stats.tenants_recovered, Ordering::Relaxed);
+    home.replayed_jobs
+        .store(stats.jobs_replayed, Ordering::Relaxed);
+    publish_counters(home, &*slot.store);
     Ok(stats)
 }
 
@@ -559,8 +660,7 @@ fn restore_tenant(ts: &TenantSnapshot, ctx: &WorkerCtx) -> Result<TenantSlot, St
     let objects = ts.objects.clone();
     let os = ObjectStore::restore(objects, ts.next_oid)
         .map_err(|e| format!("tenant {}: {e}", ts.tenant))?;
-    let mut engine =
-        Engine::with_restored_store(ctx.schema.clone(), os, ctx.engine_cfg.clone());
+    let mut engine = Engine::with_restored_store(ctx.schema.clone(), os, ctx.engine_cfg.clone());
     engine.use_shared_probe_pool(ctx.probe_pool.clone());
     for def in ctx.triggers.iter() {
         engine
@@ -601,7 +701,7 @@ fn restore_tenant(ts: &TenantSnapshot, ctx: &WorkerCtx) -> Result<TenantSlot, St
     })
 }
 
-/// Capture one tenant's full state for the shard snapshot.
+/// Capture one tenant's full state for the home snapshot.
 fn snapshot_tenant(tenant: u64, slot: &TenantSlot) -> TenantSnapshot {
     let engine = &slot.engine;
     let store = engine.store();
@@ -639,34 +739,45 @@ fn snapshot_tenant(tenant: u64, slot: &TenantSlot) -> TenantSnapshot {
 }
 
 /// Periodic compaction: when enough groups have accumulated since the
-/// last snapshot *and* no tenant is mid-transaction (the object store
-/// snapshot only reflects committed state — an open transaction is
-/// recovered by replaying the log instead), write a shard snapshot and
-/// truncate the job log.
+/// last snapshot *and* every tenant homed here is uncontended and
+/// outside a transaction (the object-store snapshot only reflects
+/// committed state — an open transaction is recovered by replaying the
+/// log instead), write a home snapshot and truncate the job log. Called
+/// with the store lock held and `inflight == 0`, so no other batch has
+/// uncommitted records the truncation could drop; any tenant-lock
+/// contention just defers to a later batch.
 fn maybe_snapshot(
-    store: &mut dyn StateStore,
-    state: &ShardState,
+    slot: &mut StoreSlot,
+    home: &Home,
+    homes: usize,
+    tenants: &Tenants,
     snapshot_every: u64,
-    poisoned: &mut Option<String>,
 ) {
-    if store.groups_since_snapshot() < snapshot_every {
+    if slot.store.groups_since_snapshot() < snapshot_every {
         return;
     }
-    let tenants = state
-        .tenants
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner);
-    if tenants.values().any(|s| s.engine.in_transaction()) {
-        return; // not a safe point; try again after a later batch
+    let all = tenants.arcs();
+    let mut guards = Vec::new();
+    for (tenant, arc) in &all {
+        if home_of(*tenant, homes) != home.index {
+            continue;
+        }
+        let Ok(guard) = arc.try_lock() else {
+            return; // a worker is mid-batch on this tenant; try later
+        };
+        if guard.engine.in_transaction() {
+            return; // not a safe point; try again after a later batch
+        }
+        guards.push((*tenant, guard));
     }
-    let mut snaps: Vec<TenantSnapshot> = tenants
+    let mut snaps: Vec<TenantSnapshot> = guards
         .iter()
-        .map(|(&tenant, slot)| snapshot_tenant(tenant, slot))
+        .map(|(tenant, guard)| snapshot_tenant(*tenant, guard))
         .collect();
-    drop(tenants);
+    drop(guards);
     snaps.sort_by_key(|t| t.tenant);
-    if let Err(e) = store.snapshot(&snaps) {
-        *poisoned = Some(format!("shard store failed: {e}"));
+    if let Err(e) = slot.store.snapshot(&snaps) {
+        slot.poisoned = Some(format!("shard store failed: {e}"));
     }
-    publish_counters(state, store);
+    publish_counters(home, &*slot.store);
 }

@@ -4,27 +4,36 @@ use chimera_exec::EngineStats;
 use chimera_rules::table::SupportStats;
 
 /// A point-in-time aggregate over every shard and tenant engine of a
-/// [`crate::Runtime`]: queue accounting (submitted / processed / shed /
-/// blocked), job failures, and the summed engine + trigger-support work
-/// counters. Obtained from [`crate::Runtime::stats`]; exact when the
-/// runtime is quiesced (after [`crate::Runtime::flush`]), a live snapshot
-/// otherwise.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// [`crate::Runtime`]: admission-pool accounting (submitted / processed /
+/// shed / blocked), scheduler activity (steals, staged depth), job
+/// failures, the per-home-shard breakdown, and the summed engine +
+/// trigger-support work counters. Obtained from [`crate::Runtime::stats`];
+/// exact when the runtime is quiesced (after [`crate::Runtime::flush`]),
+/// a live snapshot otherwise.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RuntimeStats {
-    /// Shards (= worker threads) in the runtime.
+    /// Shards (= worker threads = home shards) in the runtime.
     pub shards: usize,
     /// Tenants with a live engine.
     pub tenants: usize,
-    /// Jobs accepted into a queue (shed submissions are not counted).
+    /// Jobs admitted into the pool (shed submissions are not counted).
     pub jobs_submitted: u64,
     /// Jobs fully processed by a worker.
     pub jobs_processed: u64,
     /// Jobs rejected by the [`crate::Backpressure::Shed`] policy because
-    /// the target shard's queue was full.
+    /// the tenant's home shard was at capacity.
     pub jobs_shed: u64,
-    /// Submissions that found the queue full and had to wait under the
-    /// [`crate::Backpressure::Block`] policy.
+    /// Submissions that found the home shard full and had to wait under
+    /// the [`crate::Backpressure::Block`] policy.
     pub submits_blocked: u64,
+    /// Claims in which a worker ran a tenant homed on a *different*
+    /// shard ([`crate::Scheduler::LoadAware`] work stealing; always zero
+    /// under [`crate::Scheduler::Pinned`] outside the shutdown drain).
+    pub steals: u64,
+    /// Jobs currently staged in the admission pool (admitted, not yet
+    /// claimed by any worker), summed over the home shards. A live
+    /// gauge, not a monotone counter; zero when quiesced.
+    pub ready_queue_depth: u64,
     /// Jobs whose engine operation returned an error (recorded per
     /// tenant; the job still counts as processed).
     pub job_errors: u64,
@@ -44,10 +53,42 @@ pub struct RuntimeStats {
     pub tenants_recovered: u64,
     /// Logged jobs replayed on top of snapshots at startup.
     pub jobs_replayed: u64,
+    /// Per-home-shard breakdown of the pool and worker counters — the
+    /// view that makes hot-tenant skew *observable*: a hot home shows a
+    /// high `jobs_submitted` while (under load-aware scheduling) the
+    /// other workers' `jobs_executed`/`steals` show who actually ran the
+    /// work. Indexed by shard; `per_shard.len() == shards`.
+    pub per_shard: Vec<ShardStats>,
     /// Engine work counters, summed over every tenant engine.
     pub engine: EngineStats,
     /// Trigger-support counters, summed over every tenant engine.
     pub support: SupportStats,
+}
+
+/// One home shard's slice of the runtime counters. Submission-side
+/// numbers (`jobs_submitted`, `jobs_shed`, `submits_blocked`,
+/// `queue_depth`, `tenants`) are per *home* — the shard the tenant hashes
+/// to; execution-side numbers (`jobs_executed`, `steals`) are per
+/// *worker* — the thread with the same index. Under
+/// [`crate::Scheduler::Pinned`] the two coincide; under
+/// [`crate::Scheduler::LoadAware`] their divergence is the skew being
+/// absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Jobs admitted with this shard as their tenant's home.
+    pub jobs_submitted: u64,
+    /// Jobs executed by this shard's worker thread (own + stolen).
+    pub jobs_executed: u64,
+    /// Claims in which this worker ran a tenant homed elsewhere.
+    pub steals: u64,
+    /// Jobs shed against this home's capacity.
+    pub jobs_shed: u64,
+    /// Blocked submissions against this home's capacity.
+    pub submits_blocked: u64,
+    /// Jobs currently staged against this home (live gauge).
+    pub queue_depth: u64,
+    /// Live tenant engines homed on this shard.
+    pub tenants: u64,
 }
 
 impl RuntimeStats {

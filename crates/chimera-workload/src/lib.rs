@@ -12,14 +12,18 @@
 //! * [`stock`] — the paper's running example domain (`stock`, `show`,
 //!   `stockOrder` classes plus the §2/§3 triggers) and an operation
 //!   generator that drives a full [`chimera_exec::Engine`];
-//! * [`trace`] — recordable/replayable operation traces.
+//! * [`trace`] — recordable/replayable operation traces;
+//! * [`zipf`] — Zipf-skewed tenant populations (1 hot + N cold) for the
+//!   multi-tenant scheduling soaks and `benches/skew.rs`.
 
 pub mod exprgen;
 pub mod stock;
 pub mod stream;
 pub mod trace;
+pub mod zipf;
 
 pub use exprgen::{ExprGenConfig, RandomExprGen};
 pub use stock::{stock_schema, stock_triggers, StockWorkload, StockWorkloadConfig};
 pub use stream::{StreamConfig, StreamGen};
 pub use trace::{Trace, TraceOp};
+pub use zipf::{ZipfTenants, ZipfTenantsConfig};

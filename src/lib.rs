@@ -87,17 +87,31 @@
 //! Base per detector). [`runtime`] scales it out without changing its
 //! semantics:
 //!
-//! * **tenant shards** — every tenant owns a private engine; tenants are
-//!   hashed onto N worker threads, each fed by a bounded MPSC queue with
-//!   a block-or-shed backpressure policy and aggregate `RuntimeStats`;
-//! * **parallel check rounds** — inside a shard, the per-block trigger
+//! * **tenant homes** — every tenant owns a private engine behind an
+//!   exclusive-claim handle, and hashes (SplitMix64) onto a *home shard*
+//!   that owns its backpressure budget and, in durable mode, its
+//!   persistence;
+//! * **load-aware scheduling** — submissions stage in an admission pool
+//!   that preserves per-tenant FIFO; N workers claim whole *ready
+//!   tenants* (queued jobs, nobody executing) and, under the default
+//!   `Scheduler::LoadAware`, steal ready tenants from any home instead
+//!   of idling while one hot shard backs up — the PR-7 answer to
+//!   Zipf-skewed tenant traffic, with `Scheduler::Pinned` keeping the
+//!   strict hash-pinned placement as the baseline. Block-or-shed
+//!   backpressure, flush barriers, panic isolation and per-job replies
+//!   ride the same path; `RuntimeStats` reports `steals`,
+//!   `ready_queue_depth` and a per-shard `ShardStats` breakdown
+//!   (`benches/skew.rs` measures pinned vs load-aware on a colliding
+//!   hot-tenant mix);
+//! * **parallel check rounds** — inside a claim, the per-block trigger
 //!   check round itself can split the rule table's probe work across a
 //!   scoped worker pool over one shared EB epoch delta
 //!   (`EngineConfig::check_workers`); the sequential round is the same
 //!   code path run as a single chunk.
 //!
-//! Both layers are observationally identical to the sequential engine,
-//! tenant by tenant; `tests/runtime_equivalence.rs` enforces it.
+//! All layers are observationally identical to the sequential engine,
+//! tenant by tenant; `tests/runtime_equivalence.rs` enforces it,
+//! including steal-heavy configurations under both schedulers.
 //!
 //! [`net`] puts a network front door on that runtime: a length-prefixed
 //! binary wire protocol (hand-rolled on `std::net`) whose `SubmitBlock`
@@ -168,6 +182,6 @@ pub mod prelude {
     pub use crate::persist::{StateStore, SyncPolicy};
     pub use crate::runtime::{
         Backpressure, DurabilityConfig, Job, JobId, JobOutcome, JobReply, RecoveryReport,
-        Runtime, RuntimeConfig, RuntimeStats, StorageMode, TenantId,
+        Runtime, RuntimeConfig, RuntimeStats, Scheduler, ShardStats, StorageMode, TenantId,
     };
 }

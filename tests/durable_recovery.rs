@@ -29,9 +29,9 @@ use chimera::persist::{JobLog, ShardSnapshot};
 use chimera::prelude::EventType;
 use chimera::rules::{ActionStmt, TriggerDef};
 use chimera::runtime::{
-    DurabilityConfig, Job, Runtime, RuntimeConfig, StorageMode, TenantId,
+    DurabilityConfig, Job, Runtime, RuntimeConfig, Scheduler, StorageMode, TenantId,
 };
-use chimera::workload::{ExprGenConfig, RandomExprGen};
+use chimera::workload::{ExprGenConfig, RandomExprGen, ZipfTenants, ZipfTenantsConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -486,6 +486,90 @@ proptest! {
         );
         // the crash: truncate one shard's log at an arbitrary byte
         let wal = dir.join(format!("shard-{}", cut_shard % shards)).join("jobs.wal");
+        if let Ok(bytes) = std::fs::read(&wal) {
+            let cut = (bytes.len() as f64 * cut_frac) as usize;
+            std::fs::write(&wal, &bytes[..cut.min(bytes.len())]).unwrap();
+        }
+        let cfg = DurabilityConfig {
+            dir: dir.clone(),
+            group_commit,
+            snapshot_every,
+        };
+        check_recovery(&cfg, &s, &triggers, &engine_cfg, shards, &per_tenant)?;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The PR-7 durability property: load-aware stealing must not move a
+    /// tenant's persistence. A Zipf-skewed submission mix (one hot tenant
+    /// drawing most jobs, a cold tail getting stolen around it) runs on
+    /// the load-aware scheduler, then the crash truncates the *hot
+    /// tenant's home shard's* log — the shard whose store every claiming
+    /// worker, wherever it ran, must have appended that tenant's jobs to.
+    /// Recovery must still be the per-tenant surviving prefix.
+    #[test]
+    fn skewed_submission_crash_recovers_per_tenant_prefix(
+        rule_seed in any::<u64>(),
+        script_seed in any::<u64>(),
+        tenants in 2u64..6,
+        steps in 8usize..32,
+        shards in 2usize..4,
+        group_commit in any::<bool>(),
+        snapshot_choice in 0u64..2,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let snapshot_every = snapshot_choice * 3;
+        let s = schema();
+        let triggers = runtime_triggers(rule_seed);
+        let engine_cfg = EngineConfig { max_rule_steps: 64, ..EngineConfig::default() };
+        let dir = tmpdir("skew");
+        let item = s.class_by_name("item").unwrap();
+        let hot_home;
+        let per_tenant = {
+            let rt = Runtime::new(
+                s.clone(),
+                triggers.clone(),
+                RuntimeConfig {
+                    shards,
+                    scheduler: Scheduler::LoadAware,
+                    storage: StorageMode::Durable(DurabilityConfig {
+                        dir: dir.clone(),
+                        group_commit,
+                        snapshot_every,
+                    }),
+                    engine: engine_cfg.clone(),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            hot_home = rt.shard_of(TenantId(0));
+            let mut zipf = ZipfTenants::new(ZipfTenantsConfig {
+                tenants,
+                s: 1.2,
+                hot_boost: 6.0,
+                seed: script_seed ^ 0x21BF,
+            });
+            let mut rng = StdRng::seed_from_u64(script_seed);
+            let mut in_txn = vec![false; tenants as usize];
+            let mut per_tenant: Vec<Vec<Job>> = vec![Vec::new(); tenants as usize];
+            for _ in 0..steps {
+                let t = zipf.next_rank() as usize;
+                let job = random_job(&mut rng, in_txn[t], item);
+                match job {
+                    Job::Begin => in_txn[t] = true,
+                    Job::Commit | Job::Rollback => in_txn[t] = false,
+                    _ => {}
+                }
+                per_tenant[t].push(job.clone());
+                rt.submit(TenantId(t as u64), job).unwrap();
+            }
+            rt.flush().unwrap();
+            let stats = rt.stats();
+            prop_assert_eq!(stats.jobs_processed, stats.jobs_submitted);
+            prop_assert!(stats.wal_syncs >= 1, "durable run must have synced");
+            per_tenant
+        };
+        // the crash lands on the hot tenant's home shard
+        let wal = dir.join(format!("shard-{hot_home}")).join("jobs.wal");
         if let Ok(bytes) = std::fs::read(&wal) {
             let cut = (bytes.len() as f64 * cut_frac) as usize;
             std::fs::write(&wal, &bytes[..cut.min(bytes.len())]).unwrap();

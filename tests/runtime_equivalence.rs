@@ -19,8 +19,8 @@ use chimera::events::Timestamp;
 use chimera::exec::{Engine, EngineConfig, Op};
 use chimera::model::{AttrDef, AttrType, ClassId, Oid, Schema, SchemaBuilder, Value};
 use chimera::rules::{ActionStmt, RuleTable, TriggerDef, TriggerSupport};
-use chimera::runtime::{Backpressure, Job, Runtime, RuntimeConfig, TenantId};
-use chimera::workload::{ExprGenConfig, RandomExprGen};
+use chimera::runtime::{Backpressure, Job, Runtime, RuntimeConfig, Scheduler, TenantId};
+use chimera::workload::{ExprGenConfig, RandomExprGen, ZipfTenants, ZipfTenantsConfig};
 use chimera::prelude::{EventBase, EventType};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -262,6 +262,139 @@ proptest! {
         prop_assert_eq!(stats.jobs_processed, stats.jobs_submitted);
         prop_assert_eq!(stats.jobs_shed, 0u64);
         prop_assert_eq!(stats.job_panics, 0u64);
+    }
+
+    /// The PR-7 scheduling invariant: configurations chosen to *maximize*
+    /// cross-shard tenant stealing still replay identically, under both
+    /// schedulers. Three adversarial shapes:
+    ///
+    /// * one tenant × many workers — every idle worker contends to claim
+    ///   the single ready tenant, so per-tenant FIFO rests entirely on
+    ///   the exclusive-claim protocol;
+    /// * many tenants × two workers — constant migration pressure, every
+    ///   release re-enqueues into a contended ready set;
+    /// * a Zipf-skewed job mix — one hot tenant keeps its home worker
+    ///   saturated while the cold tail gets stolen around it.
+    #[test]
+    fn steal_heavy_schedules_match_sequential_replay(
+        rule_seed in any::<u64>(),
+        script_seed in any::<u64>(),
+        scenario in 0usize..3,
+        pinned in any::<bool>(),
+    ) {
+        let (tenants, shards, steps) = match scenario {
+            0 => (1u64, 6usize, 48usize),
+            1 => (16, 2, 64),
+            _ => (8, 4, 64),
+        };
+        let s = schema();
+        let item = s.class_by_name("item").unwrap();
+        let rules = random_rules(rule_seed);
+        let engine_cfg = EngineConfig {
+            max_rule_steps: 64,
+            ..EngineConfig::default()
+        };
+        let scheduler = if pinned { Scheduler::Pinned } else { Scheduler::LoadAware };
+        let rt = Runtime::new(
+            s.clone(),
+            rules.clone(),
+            RuntimeConfig {
+                shards,
+                queue_capacity: 4,
+                backpressure: Backpressure::Block,
+                scheduler,
+                engine: engine_cfg.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        // the interleaved script; the skewed scenario draws its tenant
+        // sequence from the Zipf generator (rank 0 is the hot tenant)
+        let mut rng = StdRng::seed_from_u64(script_seed);
+        let mut zipf = (scenario == 2).then(|| {
+            ZipfTenants::new(ZipfTenantsConfig {
+                tenants,
+                s: 1.3,
+                hot_boost: 4.0,
+                seed: script_seed ^ 0x51E9,
+            })
+        });
+        let mut in_txn = vec![false; tenants as usize];
+        let mut per_tenant: Vec<Vec<Job>> = vec![Vec::new(); tenants as usize];
+        for _ in 0..steps {
+            let t = match zipf.as_mut() {
+                Some(z) => z.next_rank() as usize,
+                None => rng.random_range(0..tenants) as usize,
+            };
+            let job = random_job(&mut rng, in_txn[t], item);
+            match job {
+                Job::Begin => in_txn[t] = true,
+                Job::Commit | Job::Rollback => in_txn[t] = false,
+                _ => {}
+            }
+            per_tenant[t].push(job.clone());
+            rt.submit(TenantId(t as u64), job).unwrap();
+        }
+        rt.flush().unwrap();
+
+        let stats = rt.stats();
+        prop_assert_eq!(stats.jobs_processed, stats.jobs_submitted);
+        prop_assert_eq!(stats.jobs_shed, 0u64);
+        prop_assert_eq!(stats.job_panics, 0u64);
+        // per-shard accounting closes: homes account for every submission,
+        // workers for every execution
+        let sub: u64 = stats.per_shard.iter().map(|s| s.jobs_submitted).sum();
+        let exec: u64 = stats.per_shard.iter().map(|s| s.jobs_executed).sum();
+        prop_assert_eq!(sub, stats.jobs_submitted);
+        prop_assert_eq!(exec, stats.jobs_processed);
+        if pinned {
+            // before shutdown, pinned scheduling never crosses homes
+            prop_assert_eq!(stats.steals, 0u64);
+            for (i, sh) in stats.per_shard.iter().enumerate() {
+                prop_assert_eq!(
+                    sh.jobs_executed, sh.jobs_submitted,
+                    "pinned shard {} executed foreign work", i
+                );
+            }
+        }
+
+        for (t, jobs) in per_tenant.iter().enumerate() {
+            let reference = {
+                let mut engine = Engine::with_config(
+                    s.clone(),
+                    EngineConfig { check_workers: 1, ..engine_cfg.clone() },
+                );
+                let mut errors = 0u64;
+                for def in &rules {
+                    engine.define_trigger(def.clone()).unwrap();
+                }
+                for job in jobs {
+                    let res = match job.clone() {
+                        Job::Begin => engine.begin(),
+                        Job::ExecBlock(ops) => engine.exec_block(&ops).map(|_| ()),
+                        Job::RaiseExternal(ev) => engine.raise_external(&ev).map(|_| ()),
+                        Job::Commit => engine.commit(),
+                        Job::Rollback => engine.rollback(),
+                        _ => Ok(()),
+                    };
+                    if res.is_err() {
+                        errors += 1;
+                    }
+                }
+                (snapshot(&mut engine, item), errors)
+            };
+            let got = rt.with_tenant(TenantId(t as u64), |e| snapshot(e, item));
+            let (want, want_errors) = reference;
+            if jobs.is_empty() {
+                prop_assert!(got.is_none(), "tenant {} never submitted", t);
+                continue;
+            }
+            let got = got.expect("tenant has an engine");
+            prop_assert_eq!(&got, &want, "tenant {} diverged under {:?}", t, scheduler);
+            let (errors, _) = rt.tenant_errors(TenantId(t as u64)).unwrap();
+            prop_assert_eq!(errors, want_errors, "tenant {} error count", t);
+        }
     }
 
     /// Rules-layer core: the parallel probe phase leaves the rule table
