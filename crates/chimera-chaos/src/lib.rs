@@ -1,0 +1,46 @@
+//! # chimera-chaos
+//!
+//! Deterministic fault injection for the runtime's storage and network
+//! layers. Robustness claims elsewhere in the workspace (the crash
+//! oracle, poisoned-home degradation, client reconnect) are only worth
+//! what their test harness can exercise — this crate is that harness,
+//! built so every injected failure is **reproducible from a seed**:
+//!
+//! * [`FaultPlan`] — a seeded schedule of storage faults (SplitMix64
+//!   decisions, the same shim-rand discipline as `chimera-workload`'s
+//!   generators), with explicit "fail the Nth commit" overrides layered
+//!   over per-operation probabilistic rates. Transient faults guarantee
+//!   the immediate retry succeeds; a permanent fault breaks the store
+//!   for good — exactly the two classes `chimera-runtime`'s retry /
+//!   poison policy distinguishes.
+//! * [`ChaosStore`] — a [`StateStore`](chimera_persist::StateStore)
+//!   wrapper injecting those faults on `append`/`commit`/`snapshot` as
+//!   typed `io::Error`s (transient kinds retryable, permanent kinds
+//!   not), including the **torn/ambiguous commit**: the underlying sync
+//!   happens but the caller is told it failed — the classic fsync
+//!   ambiguity a store can never rule out.
+//! * [`ChaosProxy`] — a TCP proxy between real sockets that forwards in
+//!   small chunks (partial writes), injects seeded delays, and cuts
+//!   connections **mid-frame** at a seeded byte position, with a bounded
+//!   cut budget so chaos runs converge.
+//!
+//! Nothing in this crate is test-gated: `examples/chaos_soak.rs` and
+//! operators drilling failure paths use the same plans the proptest
+//! oracle (`tests/chaos_recovery.rs`) replays.
+
+pub mod pipe;
+pub mod plan;
+pub mod store;
+
+pub use pipe::{ChaosProxy, NetChaosConfig};
+pub use plan::{ChaosRates, FaultPlan, StorageFault, StoreOp};
+pub use store::{ChaosCounters, ChaosStore};
+
+#[cfg(test)]
+mod asserts {
+    fn _send<T: Send>() {}
+    fn _all() {
+        _send::<super::ChaosStore>();
+        _send::<super::FaultPlan>();
+    }
+}

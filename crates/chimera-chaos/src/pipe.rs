@@ -1,0 +1,345 @@
+//! [`ChaosProxy`]: a seeded TCP chaos pipe between real sockets.
+//!
+//! The proxy listens on an ephemeral loopback port and forwards every
+//! accepted connection to a target address through a pair of
+//! `ChaosPipe` threads (one per direction). Three injections, all
+//! deterministic in the config seed and the connection ordinal:
+//!
+//! * **partial writes** — forwarding happens in small chunks
+//!   (`chunk_bytes`), so a peer that reads eagerly sees frames arrive
+//!   in pieces;
+//! * **delays** — after every `delay_every_bytes` forwarded bytes the
+//!   pipe sleeps `delay`, stretching frames across time;
+//! * **mid-frame disconnects** — each connection draws a cut position
+//!   in `cut_bytes` (counting bytes forwarded in either direction) and,
+//!   once crossed, both sockets are shut down. Cut positions are raw
+//!   byte counts with no frame alignment, so cuts land mid-frame by
+//!   construction. A global `max_cuts` budget bounds the chaos so a
+//!   reconnecting client eventually completes.
+//!
+//! The proxy never interprets the protocol: it is byte-level chaos, the
+//! same vantage point a flaky middlebox or dying NIC has.
+
+use crate::plan::stream;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Seeded chaos parameters for [`ChaosProxy`].
+#[derive(Debug, Clone)]
+pub struct NetChaosConfig {
+    /// Seed for all per-connection draws.
+    pub seed: u64,
+    /// Inclusive range `(min, max)` for each connection's cut position,
+    /// in forwarded bytes across both directions; `None` never cuts.
+    pub cut_bytes: Option<(u64, u64)>,
+    /// Stop cutting after this many connections have been cut (so a
+    /// reconnecting client converges). `u64::MAX` = unlimited.
+    pub max_cuts: u64,
+    /// Forwarding chunk size; small values force partial writes.
+    pub chunk_bytes: usize,
+    /// Sleep `delay` after every this-many forwarded bytes (0 = never).
+    pub delay_every_bytes: u64,
+    /// The injected delay.
+    pub delay: Duration,
+}
+
+impl Default for NetChaosConfig {
+    fn default() -> Self {
+        NetChaosConfig {
+            seed: 0,
+            cut_bytes: None,
+            max_cuts: u64::MAX,
+            chunk_bytes: 64,
+            delay_every_bytes: 0,
+            delay: Duration::from_millis(0),
+        }
+    }
+}
+
+/// Shared per-connection state: both directions charge the same byte
+/// counter against one drawn cut position.
+struct ConnState {
+    forwarded: AtomicU64,
+    cut_at: u64,
+    cut: AtomicBool,
+}
+
+/// A running chaos proxy (see module docs). Dropping it stops the
+/// accept loop and severs every live pipe.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    cuts: Arc<AtomicU64>,
+    accepted: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Start a proxy on an ephemeral loopback port forwarding to
+    /// `target`.
+    pub fn start(target: SocketAddr, config: NetChaosConfig) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let cuts = Arc::new(AtomicU64::new(0));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let cuts = Arc::clone(&cuts);
+            let accepted = Arc::clone(&accepted);
+            std::thread::spawn(move || {
+                accept_loop(listener, target, config, stop, cuts, accepted)
+            })
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            cuts,
+            accepted,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listen address — point clients here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections cut so far.
+    pub fn cuts(&self) -> u64 {
+        self.cuts.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and join the accept loop. Live pipes die when
+    /// either endpoint closes (the server or client side will).
+    pub fn shutdown(mut self) {
+        self.stop_accept();
+    }
+
+    fn stop_accept(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // wake the blocking accept with a throwaway connection
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_accept();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    target: SocketAddr,
+    config: NetChaosConfig,
+    stop: Arc<AtomicBool>,
+    cuts: Arc<AtomicU64>,
+    accepted: Arc<AtomicU64>,
+) {
+    let mut conn_index = 0u64;
+    for incoming in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(client) = incoming else { continue };
+        let Ok(server) = TcpStream::connect(target) else {
+            // target gone: drop the client, keep accepting (the target
+            // may come back; the client sees a clean connection failure)
+            drop(client);
+            continue;
+        };
+        accepted.fetch_add(1, Ordering::Relaxed);
+        let cut_at = match config.cut_bytes {
+            Some((lo, hi)) if cuts.load(Ordering::Relaxed) < config.max_cuts => {
+                lo + stream(config.seed, conn_index) % (hi.saturating_sub(lo) + 1)
+            }
+            _ => u64::MAX,
+        };
+        conn_index += 1;
+        let state = Arc::new(ConnState {
+            forwarded: AtomicU64::new(0),
+            cut_at,
+            cut: AtomicBool::new(false),
+        });
+        spawn_pipe(&client, &server, &config, &state, &cuts);
+        spawn_pipe(&server, &client, &config, &state, &cuts);
+    }
+}
+
+/// Spawn one forwarding direction `from -> to`. Threads are detached:
+/// they exit when either socket dies, and proxy shutdown relies on the
+/// endpoints closing (tests always shut down server and client).
+fn spawn_pipe(
+    from: &TcpStream,
+    to: &TcpStream,
+    config: &NetChaosConfig,
+    state: &Arc<ConnState>,
+    cuts: &Arc<AtomicU64>,
+) {
+    let (Ok(mut from), Ok(to)) = (from.try_clone(), to.try_clone()) else {
+        return;
+    };
+    let config = config.clone();
+    let state = Arc::clone(state);
+    let cuts = Arc::clone(cuts);
+    std::thread::spawn(move || {
+        let mut to = to;
+        let mut buf = vec![0u8; config.chunk_bytes.max(1)];
+        let mut since_delay = 0u64;
+        loop {
+            let n = match from.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => n,
+            };
+            if config.delay_every_bytes > 0 {
+                since_delay += n as u64;
+                if since_delay >= config.delay_every_bytes {
+                    since_delay = 0;
+                    std::thread::sleep(config.delay);
+                }
+            }
+            let total = state.forwarded.fetch_add(n as u64, Ordering::Relaxed) + n as u64;
+            if total >= state.cut_at {
+                // forward a partial prefix so the cut lands mid-frame,
+                // then sever both directions
+                let keep = (n as u64).saturating_sub(total - state.cut_at) as usize;
+                let _ = to.write_all(&buf[..keep.min(n)]);
+                let _ = to.flush();
+                if !state.cut.swap(true, Ordering::SeqCst) {
+                    cuts.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = from.shutdown(Shutdown::Both);
+                let _ = to.shutdown(Shutdown::Both);
+                break;
+            }
+            if to.write_all(&buf[..n]).and_then(|()| to.flush()).is_err() {
+                break;
+            }
+        }
+        // one side died: mirror the close so the other direction's
+        // thread unblocks too
+        let _ = from.shutdown(Shutdown::Both);
+        let _ = to.shutdown(Shutdown::Both);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial echo server for pipe tests.
+    fn echo_server() -> (SocketAddr, Arc<AtomicBool>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut conn) = conn else { continue };
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 512];
+                    while let Ok(n) = conn.read(&mut buf) {
+                        if n == 0 || conn.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, stop)
+    }
+
+    #[test]
+    fn clean_passthrough_echoes_exactly() {
+        let (target, stop) = echo_server();
+        let proxy = ChaosProxy::start(target, NetChaosConfig::default()).unwrap();
+        let mut sock = TcpStream::connect(proxy.local_addr()).unwrap();
+        let msg = b"through the pipe and back";
+        sock.write_all(msg).unwrap();
+        let mut got = vec![0u8; msg.len()];
+        sock.read_exact(&mut got).unwrap();
+        assert_eq!(&got, msg);
+        assert_eq!(proxy.cuts(), 0);
+        assert_eq!(proxy.accepted(), 1);
+        stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(target);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn cut_connection_dies_at_the_drawn_position() {
+        let (target, stop) = echo_server();
+        let proxy = ChaosProxy::start(
+            target,
+            NetChaosConfig {
+                seed: 9,
+                cut_bytes: Some((8, 16)),
+                max_cuts: 1,
+                ..NetChaosConfig::default()
+            },
+        )
+        .unwrap();
+        let mut sock = TcpStream::connect(proxy.local_addr()).unwrap();
+        // push enough bytes to cross any position in [8, 16]
+        let payload = [0xABu8; 64];
+        let _ = sock.write_all(&payload);
+        let _ = sock.flush();
+        // the connection must die: read eventually returns 0 or errors
+        let mut drained = 0usize;
+        let mut buf = [0u8; 64];
+        loop {
+            match sock.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => drained += n,
+            }
+        }
+        assert!(drained < 64, "cut must land before the full echo");
+        assert_eq!(proxy.cuts(), 1);
+        // the cut budget is spent: the next connection passes through
+        let mut sock = TcpStream::connect(proxy.local_addr()).unwrap();
+        sock.write_all(b"alive").unwrap();
+        let mut got = [0u8; 5];
+        sock.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"alive");
+        assert_eq!(proxy.cuts(), 1);
+        stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(target);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn same_seed_same_cut_positions() {
+        let a = NetChaosConfig {
+            seed: 77,
+            cut_bytes: Some((100, 1000)),
+            ..NetChaosConfig::default()
+        };
+        let draw = |cfg: &NetChaosConfig, i: u64| {
+            let (lo, hi) = cfg.cut_bytes.unwrap();
+            lo + stream(cfg.seed, i) % (hi - lo + 1)
+        };
+        for i in 0..16 {
+            assert_eq!(draw(&a, i), draw(&a, i));
+            let p = draw(&a, i);
+            assert!((100..=1000).contains(&p));
+        }
+    }
+}

@@ -41,7 +41,17 @@
 //! the per-connection bytes-in-flight cap
 //! ([`ServerConfig::max_bytes_in_flight`]) that keeps a firehose client
 //! from ballooning server memory. All of it rides in optional trailing
-//! fields, so version-2 frames stay decodable.
+//! fields, so version-2 frames stay decodable. Version 4 is the
+//! robustness layer: server-side handshake/idle/write deadlines
+//! (`ServerConfig::handshake_timeout`, `read_timeout`, `write_timeout`,
+//! with reaped connections counted in `net_conns_reaped`), the typed
+//! degraded-durability outcome [`WireOutcome::RefusedDurability`], and
+//! client-side reconnect ([`ClientConfig`], [`ReconnectPolicy`]): a
+//! lost connection resolves every in-flight submission as a typed
+//! [`WireOutcome::Disconnected`] completion (at-most-once, explicit
+//! loss — never a hang, never a silent drop) before redialing with
+//! backoff + jitter and replaying the session's trigger definitions.
+//! The new stats again ride as optional trailing fields.
 //! * **[`client`]** — a blocking client with submission pipelining,
 //!   used by the examples, the loopback bench (`benches/net.rs`) and
 //!   the network equivalence suite.
@@ -57,10 +67,10 @@ pub mod proto;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, JobDone, NetError, PIPELINE_WINDOW};
+pub use client::{Client, ClientConfig, JobDone, NetError, ReconnectPolicy, PIPELINE_WINDOW};
 pub use proto::{
     ExternalEvent, Request, Response, TenantQuery, TenantReply, TriggerOutcome, WireDurability,
-    WireJob, WireOp, WireOutcome, WireShardStats, WireStats, JOB_REJECTED,
+    WireJob, WireOp, WireOutcome, WireShardStats, WireStats, JOB_DISCONNECTED, JOB_REJECTED,
 };
 pub use server::{Server, ServerConfig};
 pub use wire::{read_frame, write_frame, WireError, MAX_FRAME, PROTOCOL_VERSION};

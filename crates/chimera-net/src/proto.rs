@@ -572,6 +572,13 @@ impl TenantQuery {
 /// with the tenant attached.
 pub const JOB_REJECTED: u64 = u64::MAX;
 
+/// Sentinel `job` id in a client-synthesized [`crate::client::JobDone`]
+/// for a submission orphaned by a connection loss: the request may or
+/// may not have reached the server, so no runtime job id is known. The
+/// outcome is always [`WireOutcome::Disconnected`]. (Client-side only —
+/// a server never sends this id.)
+pub const JOB_DISCONNECTED: u64 = u64::MAX - 1;
+
 /// How one job ended, on the wire — [`chimera_runtime::JobOutcome`] with
 /// the summary flattened in.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -592,6 +599,19 @@ pub enum WireOutcome {
     },
     /// The job panicked; the tenant's engine was discarded.
     Panicked,
+    /// The job ran in memory but its home shard's durability is
+    /// poisoned, so it was **not** made durable (version 4; the typed
+    /// degraded-service answer — never a hang, never a silent drop).
+    RefusedDurability {
+        /// Why durability was refused.
+        message: String,
+    },
+    /// The connection died while this submission was in flight; the job
+    /// may or may not have run (at-most-once). Synthesized by the
+    /// *client* on reconnect for orphaned submissions — a server never
+    /// sends it, but it is a first-class encodable outcome so the wire
+    /// vocabulary stays total (version 4).
+    Disconnected,
 }
 
 impl WireOutcome {
@@ -611,6 +631,7 @@ impl From<JobOutcome> for WireOutcome {
             },
             JobOutcome::Error(message) => WireOutcome::Error { message },
             JobOutcome::Panicked => WireOutcome::Panicked,
+            JobOutcome::RefusedDurability(message) => WireOutcome::RefusedDurability { message },
         }
     }
 }
@@ -677,6 +698,15 @@ pub struct WireStats {
     /// the server owns this counter and splices it in).
     pub net_reads_throttled: u64,
     pub per_shard: Vec<WireShardStats>,
+    // robustness counters, appended in version 4 the same way: a
+    // version-3 peer's reply decodes with them zeroed
+    pub store_retries: u64,
+    /// Live gauge of poisoned home shards (see
+    /// [`chimera_runtime::RuntimeStats::shards_poisoned`]).
+    pub shards_poisoned: u64,
+    /// Connections the server reaped on an expired handshake or read
+    /// deadline (server-wide; the server owns and splices this in).
+    pub net_conns_reaped: u64,
 }
 
 impl From<RuntimeStats> for WireStats {
@@ -705,6 +735,9 @@ impl From<RuntimeStats> for WireStats {
             ready_queue_depth: s.ready_queue_depth,
             net_reads_throttled: 0,
             per_shard: s.per_shard.into_iter().map(WireShardStats::from).collect(),
+            store_retries: s.store_retries,
+            shards_poisoned: s.shards_poisoned,
+            net_conns_reaped: 0,
         }
     }
 }
@@ -903,6 +936,11 @@ impl Response {
                         put_str(&mut buf, message);
                     }
                     WireOutcome::Panicked => put_u8(&mut buf, 2),
+                    WireOutcome::RefusedDurability { message } => {
+                        put_u8(&mut buf, 3);
+                        put_str(&mut buf, message);
+                    }
+                    WireOutcome::Disconnected => put_u8(&mut buf, 4),
                 }
             }
             Response::TriggersDefined { outcomes } => {
@@ -956,6 +994,10 @@ impl Response {
                     ] {
                         put_u64(&mut buf, v);
                     }
+                }
+                // version-4 trailing fields (robustness)
+                for v in [s.store_retries, s.shards_poisoned, s.net_conns_reaped] {
+                    put_u64(&mut buf, v);
                 }
             }
             Response::TenantReply(t) => {
@@ -1040,6 +1082,8 @@ impl Response {
                     },
                     1 => WireOutcome::Error { message: r.str()? },
                     2 => WireOutcome::Panicked,
+                    3 => WireOutcome::RefusedDurability { message: r.str()? },
+                    4 => WireOutcome::Disconnected,
                     t => return Err(WireError::BadTag(t)),
                 };
                 Response::JobDone {
@@ -1106,6 +1150,13 @@ impl Response {
                         });
                     }
                     s.per_shard = per_shard;
+                }
+                // version-4 trailing fields: zeros when a version-3
+                // server sent the reply
+                if r.remaining() > 0 {
+                    s.store_retries = r.u64()?;
+                    s.shards_poisoned = r.u64()?;
+                    s.net_conns_reaped = r.u64()?;
                 }
                 Response::StatsReply(s)
             }

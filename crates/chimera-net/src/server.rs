@@ -80,6 +80,22 @@ pub struct ServerConfig {
     /// still makes progress. `0` disables the cap. Throttle episodes are
     /// counted in the `Stats` reply (`net_reads_throttled`).
     pub max_bytes_in_flight: usize,
+    /// Deadline for the *handshake*: a connection that has not delivered
+    /// its `Hello` this long after being accepted is reaped (closed
+    /// without an answer). Without it, an idle pre-handshake socket
+    /// pins a handler thread forever — `max_connections` of them is a
+    /// trivial denial of service against the connection cap.
+    pub handshake_timeout: std::time::Duration,
+    /// Idle deadline *after* the handshake: a connection whose next
+    /// frame does not arrive within this window is reaped. `None`
+    /// waits forever (the pre-version-4 behavior). Reaps of either kind
+    /// are counted in the `Stats` reply (`net_conns_reaped`).
+    pub read_timeout: Option<std::time::Duration>,
+    /// Socket write deadline for responses: a peer that stops draining
+    /// its receive window while completions are streaming out would
+    /// otherwise park the writer in `write` forever. `None` waits
+    /// forever.
+    pub write_timeout: Option<std::time::Duration>,
 }
 
 impl Default for ServerConfig {
@@ -89,8 +105,21 @@ impl Default for ServerConfig {
             max_frame: MAX_FRAME,
             max_connections: 256,
             max_bytes_in_flight: 1 << 20,
+            handshake_timeout: std::time::Duration::from_secs(10),
+            read_timeout: Some(std::time::Duration::from_secs(120)),
+            write_timeout: Some(std::time::Duration::from_secs(30)),
         }
     }
+}
+
+/// Server-wide wire-layer counters, spliced into `Stats` replies (the
+/// runtime underneath knows nothing about the wire layer).
+#[derive(Default)]
+struct NetCounters {
+    /// Reader throttle episodes under the bytes-in-flight cap.
+    throttled: AtomicU64,
+    /// Connections reaped on an expired handshake or idle deadline.
+    reaped: AtomicU64,
 }
 
 /// A connection's undecoded/unanswered payload budget, shared between
@@ -175,12 +204,12 @@ impl Server {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<Conn>>> = Arc::new(Mutex::new(Vec::new()));
-        let throttled = Arc::new(AtomicU64::new(0));
+        let counters = Arc::new(NetCounters::default());
         let accept = {
             let runtime = Arc::clone(&runtime);
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
-            let throttled = Arc::clone(&throttled);
+            let counters = Arc::clone(&counters);
             std::thread::Builder::new()
                 .name("chimera-net-accept".into())
                 .spawn(move || {
@@ -212,7 +241,7 @@ impl Server {
                         }
                         let runtime = Arc::clone(&runtime);
                         let stop_conn = Arc::clone(&stop);
-                        let throttled_conn = Arc::clone(&throttled);
+                        let counters_conn = Arc::clone(&counters);
                         let config = config.clone();
                         let handle = std::thread::Builder::new()
                             .name("chimera-net-conn".into())
@@ -224,7 +253,7 @@ impl Server {
                                     &runtime,
                                     &config,
                                     &stop_conn,
-                                    &throttled_conn,
+                                    &counters_conn,
                                 );
                                 // actively close the TCP connection: the
                                 // registry's clone would otherwise hold
@@ -350,8 +379,12 @@ fn serve_conn(
     runtime: &Runtime,
     config: &ServerConfig,
     stop: &AtomicBool,
-    throttled: &AtomicU64,
+    counters: &NetCounters,
 ) -> Result<(), WireError> {
+    // deadlines are socket-level options, so setting them once on the
+    // original stream covers both clones; reads and writes each consult
+    // only their own deadline
+    stream.set_write_timeout(config.write_timeout).ok();
     let mut reader = BufReader::new(stream.try_clone().map_err(WireError::from)?);
     let writer_stream = stream;
     let inflight = InFlight::new();
@@ -395,7 +428,7 @@ fn serve_conn(
             runtime,
             config,
             stop,
-            throttled,
+            counters,
             inflight,
             &out_tx,
         );
@@ -425,13 +458,14 @@ fn read_loop(
     runtime: &Runtime,
     config: &ServerConfig,
     stop: &AtomicBool,
-    throttled: &AtomicU64,
+    counters: &NetCounters,
     inflight: &InFlight,
     out: &SyncSender<(Out, usize)>,
 ) -> Result<bool, WireError> {
     // the handshake gate: nothing but a version-matched Hello is served
     // until one has been seen, so the version check cannot be bypassed
     let mut greeted = false;
+    let accepted_at = std::time::Instant::now();
     loop {
         // a wire-side Shutdown from *any* connection stops this one at
         // its next request (and the accept loop closes parked sockets)
@@ -443,14 +477,37 @@ fn read_loop(
         // accumulates in the kernel socket buffers and TCP pushes back
         // on the client instead of this process allocating for it
         if config.max_bytes_in_flight > 0
-            && !inflight.wait_below(config.max_bytes_in_flight, stop, throttled)
+            && !inflight.wait_below(config.max_bytes_in_flight, stop, &counters.throttled)
         {
             return Ok(false);
         }
+        // arm the socket deadline for this read: until the handshake
+        // lands, whatever is left of the handshake window; after it, the
+        // configured idle deadline
+        let deadline = if greeted {
+            config.read_timeout
+        } else {
+            match config.handshake_timeout.checked_sub(accepted_at.elapsed()) {
+                Some(left) if !left.is_zero() => Some(left),
+                // window already spent (slow-trickle peer): reap now
+                _ => {
+                    counters.reaped.fetch_add(1, Ordering::Relaxed);
+                    return Err(WireError::TimedOut);
+                }
+            }
+        };
+        reader.get_ref().set_read_timeout(deadline).ok();
         let payload = match read_frame(reader, config.max_frame) {
             Ok(Some(p)) => p,
             // clean close between frames: the peer is done
             Ok(None) => return Ok(false),
+            // deadline expired: the peer went quiet (possibly mid-frame,
+            // so the stream position is unknowable) — reap without an
+            // answer
+            Err(WireError::TimedOut) => {
+                counters.reaped.fetch_add(1, Ordering::Relaxed);
+                return Err(WireError::TimedOut);
+            }
             // broken framing: the stream position is unknowable, so
             // answer once and drop the connection
             Err(e) => {
@@ -521,7 +578,7 @@ fn read_loop(
                 }
             }
             Request::Hello { .. } => {
-                let resp = handle(req, runtime, config, throttled);
+                let resp = handle(req, runtime, config, counters);
                 let rejected = matches!(resp, Response::Error { .. });
                 let sent = out.send((Out::Resp(resp), cost));
                 if rejected || sent.is_err() {
@@ -532,7 +589,7 @@ fn read_loop(
                 greeted = true;
             }
             Request::Shutdown => {
-                let resp = handle(req, runtime, config, throttled);
+                let resp = handle(req, runtime, config, counters);
                 // only an acked shutdown stops the server: a failed
                 // pre-shutdown flush is answered with Error and the
                 // server keeps serving (no side effect behind an error)
@@ -554,7 +611,7 @@ fn read_loop(
                 }
             }
             req => {
-                let sent = out.send((Out::Resp(handle(req, runtime, config, throttled)), cost));
+                let sent = out.send((Out::Resp(handle(req, runtime, config, counters)), cost));
                 if sent.is_err() {
                     return Ok(false);
                 }
@@ -563,14 +620,14 @@ fn read_loop(
     }
 }
 
-/// Serve one decoded request. `throttled` is the server-wide count of
-/// reader throttle episodes, spliced into the `Stats` reply (the runtime
-/// knows nothing about the wire layer).
+/// Serve one decoded request. `counters` are the server-wide wire-layer
+/// counts (throttle episodes, reaped connections), spliced into the
+/// `Stats` reply (the runtime knows nothing about the wire layer).
 fn handle(
     req: Request,
     runtime: &Runtime,
     config: &ServerConfig,
-    throttled: &AtomicU64,
+    counters: &NetCounters,
 ) -> Response {
     match req {
         Request::Hello {
@@ -615,7 +672,8 @@ fn handle(
         },
         Request::Stats => {
             let mut stats = WireStats::from(runtime.stats());
-            stats.net_reads_throttled = throttled.load(Ordering::Relaxed);
+            stats.net_reads_throttled = counters.throttled.load(Ordering::Relaxed);
+            stats.net_conns_reaped = counters.reaped.load(Ordering::Relaxed);
             Response::StatsReply(stats)
         }
         Request::WithTenantQuery { tenant, query } => {

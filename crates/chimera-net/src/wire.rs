@@ -28,8 +28,13 @@ use std::io::{self, Read, Write};
 /// (`steals`, `ready_queue_depth`), the connection read-throttle counter,
 /// and the per-shard stats breakdown — all optional trailing fields in
 /// `StatsReply`, so version-2 peers interoperate (they decode as zeros /
-/// an empty breakdown). The framing layer is unchanged.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// an empty breakdown). Version 4: the robustness layer — typed
+/// durability refusals (`WireOutcome::RefusedDurability`) and
+/// client-synthesized `Disconnected` outcomes in `JobDone`, plus
+/// `store_retries` / `shards_poisoned` / `net_conns_reaped` as another
+/// round of optional trailing `StatsReply` fields. The framing layer is
+/// unchanged.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Default upper bound on one frame's payload (16 MiB) — comfortably
 /// above a 256-event block, far below an allocation attack.
@@ -63,6 +68,10 @@ pub enum WireError {
     /// A semantically invalid message (version mismatch, bad handshake,
     /// a response where a request was expected, ...).
     Protocol(String),
+    /// A socket deadline expired mid-read or mid-write. Kept distinct
+    /// from [`WireError::Io`] so endpoints can tell "the peer went
+    /// quiet" (reap / reconnect) from "the transport broke".
+    TimedOut,
 }
 
 impl fmt::Display for WireError {
@@ -80,6 +89,7 @@ impl fmt::Display for WireError {
             WireError::BadTag(t) => write!(f, "unknown tag {t:#04x}"),
             WireError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
             WireError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            WireError::TimedOut => write!(f, "socket deadline expired"),
         }
     }
 }
@@ -88,7 +98,12 @@ impl std::error::Error for WireError {}
 
 impl From<io::Error> for WireError {
     fn from(e: io::Error) -> Self {
-        WireError::Io(e.to_string())
+        match e.kind() {
+            // both kinds appear for expired socket deadlines, platform-
+            // dependent (unix reports WouldBlock, windows TimedOut)
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => WireError::TimedOut,
+            _ => WireError::Io(e.to_string()),
+        }
     }
 }
 
@@ -138,7 +153,7 @@ pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, Wire
         if e.kind() == io::ErrorKind::UnexpectedEof {
             WireError::Truncated
         } else {
-            WireError::Io(e.to_string())
+            WireError::from(e)
         }
     })?;
     Ok(Some(payload))

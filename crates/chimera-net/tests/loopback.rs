@@ -503,6 +503,45 @@ fn bytes_in_flight_cap_throttles_reads_but_answers_everything() {
 }
 
 #[test]
+fn silent_connection_is_reaped_at_handshake_deadline() {
+    let s = schema();
+    let rt = Runtime::new(s, vec![], RuntimeConfig::default()).unwrap();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(rt),
+        ServerConfig {
+            handshake_timeout: std::time::Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    // connect and say nothing: the server must close the connection at
+    // the handshake deadline without answering anything
+    let start = std::time::Instant::now();
+    let mut sock = TcpStream::connect(addr).unwrap();
+    sock.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    let n = sock.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "a silent connection gets no bytes, just a close");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(10),
+        "the reap must happen at the deadline, not at some idle timeout"
+    );
+    drop(sock);
+    // the reaped connection is counted, and well-behaved clients (which
+    // complete the handshake immediately) are unaffected
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.stats().unwrap();
+    assert!(stats.net_conns_reaped >= 1, "stats = {stats:?}");
+    c.begin(1).unwrap();
+    c.commit(1).unwrap();
+    assert!(c.drain().unwrap().iter().all(|d| d.outcome.is_done()));
+    server.shutdown();
+}
+
+#[test]
 fn handshake_negotiates_durability() {
     use chimera_net::WireDurability;
     let server = start_server(vec![]);

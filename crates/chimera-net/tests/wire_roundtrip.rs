@@ -130,7 +130,7 @@ fn arb_request(rng: &mut StdRng) -> Request {
 }
 
 fn arb_outcome(rng: &mut StdRng) -> WireOutcome {
-    match rng.random_range(0..3u32) {
+    match rng.random_range(0..5u32) {
         0 => WireOutcome::Done {
             events: rng.next_u64(),
             considerations: rng.next_u64(),
@@ -139,6 +139,10 @@ fn arb_outcome(rng: &mut StdRng) -> WireOutcome {
         1 => WireOutcome::Error {
             message: arb_string(rng),
         },
+        2 => WireOutcome::RefusedDurability {
+            message: arb_string(rng),
+        },
+        3 => WireOutcome::Disconnected,
         _ => WireOutcome::Panicked,
     }
 }
@@ -203,6 +207,9 @@ fn arb_response(rng: &mut StdRng) -> Response {
                     tenants: rng.next_u64(),
                 })
                 .collect(),
+            store_retries: rng.next_u64(),
+            shards_poisoned: rng.next_u64(),
+            net_conns_reaped: rng.next_u64(),
         }),
         8 => Response::Busy {
             active: rng.next_u32(),
@@ -379,8 +386,9 @@ fn version1_peers_still_decode() {
         other => panic!("expected durability-less HelloAck, got {other:?}"),
     }
     // older StatsReply shapes decode with the newer counters zeroed,
-    // not an error. The version-3 trailing block on an empty breakdown
-    // is 3 u64s + a u32 count; the version-2 block is 5 u64s.
+    // not an error. The version-4 trailing block is 3 u64s; the
+    // version-3 block on an empty breakdown is 3 u64s + a u32 count;
+    // the version-2 block is 5 u64s.
     let stats = WireStats {
         shards: 3,
         jobs_submitted: 11,
@@ -392,10 +400,25 @@ fn version1_peers_still_decode() {
         steals: 13,
         ready_queue_depth: 4,
         net_reads_throttled: 6,
+        store_retries: 21,
+        shards_poisoned: 1,
+        net_conns_reaped: 2,
         ..WireStats::default()
     };
     let bytes = Response::StatsReply(stats).encode();
+    let v4_block = 3 * 8;
     let v3_block = 3 * 8 + 4;
+    // a version-3 reply: scheduler counters present, robustness zeroed
+    match Response::decode(&bytes[..bytes.len() - v4_block]).unwrap() {
+        Response::StatsReply(s) => {
+            assert_eq!(s.steals, 13);
+            assert_eq!(s.store_retries, 0);
+            assert_eq!(s.shards_poisoned, 0);
+            assert_eq!(s.net_conns_reaped, 0);
+        }
+        other => panic!("expected StatsReply, got {other:?}"),
+    }
+    let bytes = &bytes[..bytes.len() - v4_block];
     // a version-2 reply: storage counters present, scheduler zeroed
     match Response::decode(&bytes[..bytes.len() - v3_block]).unwrap() {
         Response::StatsReply(s) => {

@@ -79,6 +79,27 @@ impl fmt::Display for PersistError {
     }
 }
 
+impl PersistError {
+    /// Would a retry plausibly succeed? Transient I/O conditions — the
+    /// kinds an interrupted syscall, a saturated device queue, or a
+    /// timed-out operation surface as — are worth a bounded retry before
+    /// escalating; corrupt state and replay/logic errors are not. This
+    /// is the classifier the runtime's retry-before-poison policy (and
+    /// the chaos layer's injected faults) is written against.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            PersistError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::ResourceBusy
+            ),
+            _ => false,
+        }
+    }
+}
+
 impl std::error::Error for PersistError {}
 
 impl From<std::io::Error> for PersistError {

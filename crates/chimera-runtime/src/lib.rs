@@ -63,6 +63,25 @@
 //! — including a torn final record — and recovery equals a sequential
 //! replay of exactly the surviving prefix.
 //!
+//! ## Storage robustness
+//!
+//! Store faults are classified transient-vs-permanent
+//! (`chimera_persist::PersistError::is_transient`). A transient fault on
+//! append/commit/snapshot gets a bounded retry with doubling backoff
+//! (counted in [`RuntimeStats::store_retries`]) before anything
+//! escalates; only an exhausted budget or a permanent error *poisons*
+//! the home. A poisoned home degrades, it does not crash: its tenants'
+//! jobs are answered with the typed [`JobOutcome::RefusedDurability`]
+//! (never a hang, never a silent drop — submission/completion accounting
+//! still closes), every other shard keeps full service, and
+//! [`RuntimeStats::shards_poisoned`] makes the state observable. The
+//! operator repair path is [`Runtime::reopen_shard_store`]: after a
+//! flush, a replacement store is built, the live tenants homed there are
+//! snapshotted into it, and the home resumes durable service. Fault
+//! injection for all of this lives in the `chimera-chaos` crate (a
+//! [`StoreWrap`] hook wraps each home's store); the oracle is
+//! `tests/chaos_recovery.rs`.
+//!
 //! ## Quick tour
 //!
 //! ```
@@ -95,7 +114,7 @@ mod stats;
 
 pub use runtime::{
     Backpressure, DurabilityConfig, Job, JobId, JobOutcome, JobReply, JobSummary, RecoveryReport,
-    Runtime, RuntimeConfig, RuntimeError, Scheduler, StorageMode, TenantId,
+    Runtime, RuntimeConfig, RuntimeError, Scheduler, StorageMode, StoreWrap, TenantId,
 };
 pub use stats::{RuntimeStats, ShardStats};
 

@@ -4,8 +4,8 @@
 
 use crate::pool::{Pool, SubmitRefused};
 use crate::shard::{
-    home_of, recover_home, spawn_worker, Counters, Envelope, Fabric, Home, Tenants, WorkerCtx,
-    WorkerStats,
+    home_of, recover_home, reopen_home, spawn_worker, Counters, Envelope, Fabric, Home, Tenants,
+    WorkerCtx, WorkerStats,
 };
 use crate::stats::{RuntimeStats, ShardStats};
 use chimera_events::Timestamp;
@@ -70,6 +70,18 @@ pub enum JobOutcome {
     /// The engine operation failed; the message is the engine error
     /// (also recorded in the tenant's error bookkeeping).
     Error(String),
+    /// The job was refused because its home shard's durable store is
+    /// unavailable: the store failed an append/commit/snapshot beyond
+    /// the bounded transient-retry budget and the home's durability is
+    /// *poisoned*. Tenants homed on other shards are unaffected; this
+    /// tenant's jobs keep being answered — with this typed refusal — so
+    /// no submission ever hangs or leaks. The message is the original
+    /// store error. Repair path: [`Runtime::reopen_shard_store`].
+    ///
+    /// A job demoted here at group-commit time *did* execute in RAM; the
+    /// refusal claims only that durability was not acknowledged (the
+    /// strongest claim an ambiguous fsync failure allows).
+    RefusedDurability(String),
     /// The job panicked mid-flight; the tenant's engine was discarded.
     Panicked,
 }
@@ -201,6 +213,35 @@ pub enum StorageMode {
     Durable(DurabilityConfig),
 }
 
+/// A hook applied to every home shard's store as it is built: the seam
+/// fault-injection layers (`chimera-chaos`'s `ChaosStore`) use to wrap
+/// stores without the runtime knowing anything about them. The function
+/// receives the home-shard index and the freshly built store and returns
+/// the store the shard actually uses; [`Runtime::reopen_shard_store`]
+/// re-applies it to replacement stores, so a wrapped runtime stays
+/// wrapped across a repair.
+#[derive(Clone)]
+pub struct StoreWrap(pub Arc<StoreWrapFn>);
+
+/// The signature a [`StoreWrap`] hook implements: home-shard index plus
+/// the freshly built store, returning the store the shard actually uses.
+pub type StoreWrapFn = dyn Fn(usize, Box<dyn StateStore>) -> Box<dyn StateStore> + Send + Sync;
+
+impl StoreWrap {
+    /// Wrap a plain closure.
+    pub fn new(
+        f: impl Fn(usize, Box<dyn StateStore>) -> Box<dyn StateStore> + Send + Sync + 'static,
+    ) -> StoreWrap {
+        StoreWrap(Arc::new(f))
+    }
+}
+
+impl fmt::Debug for StoreWrap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("StoreWrap(..)")
+    }
+}
+
 /// Runtime construction knobs.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -221,6 +262,10 @@ pub struct RuntimeConfig {
     /// Where tenant state lives (in RAM, or on disk behind the
     /// group-commit job log).
     pub storage: StorageMode,
+    /// Optional wrapper applied to every home shard's store as it is
+    /// built (fault injection, instrumentation). `None` — the default —
+    /// uses the stores as built.
+    pub store_wrap: Option<StoreWrap>,
 }
 
 impl Default for RuntimeConfig {
@@ -232,6 +277,7 @@ impl Default for RuntimeConfig {
             scheduler: Scheduler::LoadAware,
             engine: EngineConfig::default(),
             storage: StorageMode::InMemory,
+            store_wrap: None,
         }
     }
 }
@@ -336,7 +382,8 @@ impl Runtime {
         let mut homes = Vec::with_capacity(shard_count);
         let mut snapshot_every = 0;
         for i in 0..shard_count {
-            let (store, snap_every) = make_store(&config.storage, shard_count, i)?;
+            let (store, snap_every) =
+                make_store(&config.storage, config.store_wrap.as_ref(), shard_count, i)?;
             snapshot_every = snap_every;
             homes.push(Home::new(i, store));
         }
@@ -527,6 +574,37 @@ impl Runtime {
         Some((slot.job_errors, slot.last_error.clone()))
     }
 
+    /// Operator repair path for a *poisoned* home shard: build a
+    /// replacement store for `shard` (same [`StorageMode`], same
+    /// directory, [`StoreWrap`] re-applied), snapshot every live tenant
+    /// homed there into it, swap it in and clear the poison — without
+    /// restarting the runtime or touching any other shard. Also works on
+    /// a healthy home (the swap is then just a forced compaction).
+    ///
+    /// Call [`Runtime::flush`] first: the home must have no batch
+    /// mid-flight and every homed tenant must be uncontended and outside
+    /// a transaction, otherwise this returns an error and changes
+    /// nothing. The live in-RAM tenants are authoritative — jobs that
+    /// were answered with [`JobOutcome::RefusedDurability`] when the old
+    /// store died have still executed, so the reopen makes their effects
+    /// durable via the fresh snapshot (the refusal only ever claimed
+    /// "not acknowledged as durable at completion time").
+    pub fn reopen_shard_store(&self, shard: usize) -> Result<(), RuntimeError> {
+        let homes = self.fabric.homes.len();
+        let home = self
+            .fabric
+            .homes
+            .get(shard)
+            .ok_or_else(|| RuntimeError::Persist(format!("no such shard: {shard}")))?;
+        let (store, _) = make_store(
+            &self.config.storage,
+            self.config.store_wrap.as_ref(),
+            homes,
+            shard,
+        )?;
+        reopen_home(home, homes, &self.fabric.tenants, store).map_err(RuntimeError::Persist)
+    }
+
     /// Aggregate counters over every shard, worker and tenant engine,
     /// including the per-home-shard breakdown
     /// ([`RuntimeStats::per_shard`]) that makes skew visible. Exact
@@ -548,6 +626,8 @@ impl Runtime {
                 submits_blocked: f.pool.blocked[i].load(Ordering::Relaxed),
                 queue_depth: p.staged[i],
                 tenants: 0,
+                store_retries: 0,
+                poisoned: false,
             })
             .collect();
         for (i, s) in per_shard.iter().enumerate() {
@@ -560,12 +640,19 @@ impl Runtime {
         }
         out.job_errors = f.counters.errors.load(Ordering::Relaxed);
         out.job_panics = f.counters.panics.load(Ordering::Relaxed);
-        for home in f.homes.iter() {
+        for (i, home) in f.homes.iter().enumerate() {
             out.wal_appends += home.wal_appends.load(Ordering::Relaxed);
             out.wal_syncs += home.wal_syncs.load(Ordering::Relaxed);
             out.snapshots += home.snapshots.load(Ordering::Relaxed);
             out.tenants_recovered += home.recovered_tenants.load(Ordering::Relaxed);
             out.jobs_replayed += home.replayed_jobs.load(Ordering::Relaxed);
+            let retries = home.store_retries.load(Ordering::Relaxed);
+            out.store_retries += retries;
+            per_shard[i].store_retries = retries;
+            if home.is_poisoned() {
+                out.shards_poisoned += 1;
+                per_shard[i].poisoned = true;
+            }
         }
         for (tenant, slot) in f.tenants.arcs() {
             per_shard[home_of(tenant, homes)].tenants += 1;
@@ -607,15 +694,17 @@ impl Runtime {
     }
 }
 
-/// Build one home shard's store for the configured mode. Returns the
-/// store plus the `snapshot_every` compaction threshold.
+/// Build one home shard's store for the configured mode, applying the
+/// configured [`StoreWrap`] (if any). Returns the store plus the
+/// `snapshot_every` compaction threshold.
 fn make_store(
     storage: &StorageMode,
+    wrap: Option<&StoreWrap>,
     shards: usize,
     index: usize,
 ) -> Result<(Box<dyn StateStore>, u64), RuntimeError> {
-    match storage {
-        StorageMode::InMemory => Ok((Box::new(InMemoryStore), 0)),
+    let (store, snap_every): (Box<dyn StateStore>, u64) = match storage {
+        StorageMode::InMemory => (Box::new(InMemoryStore), 0),
         StorageMode::Durable(cfg) => {
             if index == 0 {
                 check_meta(&cfg.dir, shards)?;
@@ -627,9 +716,14 @@ fn make_store(
             };
             let store = DurableStore::open(&cfg.dir.join(format!("shard-{index}")), policy)
                 .map_err(|e| RuntimeError::Persist(e.to_string()))?;
-            Ok((Box::new(store), cfg.snapshot_every))
+            (Box::new(store), cfg.snapshot_every)
         }
-    }
+    };
+    let store = match wrap {
+        Some(w) => (w.0)(index, store),
+        None => store,
+    };
+    Ok((store, snap_every))
 }
 
 /// Pin the shard count in the durable directory's meta file. Placement

@@ -130,10 +130,21 @@ pub(crate) struct Home {
     pub durable: bool,
     pub store: Mutex<StoreSlot>,
     /// Published store counters (set, not accumulated, from
-    /// [`StateStore::counters`] after every committed batch).
+    /// [`StateStore::counters`] after every committed batch, plus the
+    /// `base_*` carry below).
     pub wal_appends: AtomicU64,
     pub wal_syncs: AtomicU64,
     pub snapshots: AtomicU64,
+    /// Counter carry from stores retired by [`reopen_home`]: a
+    /// replacement store restarts its own counters at zero, so the
+    /// retired store's totals are folded in here to keep the published
+    /// numbers monotone across a reopen.
+    pub base_appends: AtomicU64,
+    pub base_syncs: AtomicU64,
+    pub base_snapshots: AtomicU64,
+    /// Transient store faults absorbed by the bounded retry loop
+    /// ([`with_retry`]) instead of poisoning the home.
+    pub store_retries: AtomicU64,
     /// Set once, after startup recovery.
     pub recovered_tenants: AtomicU64,
     pub replayed_jobs: AtomicU64,
@@ -165,14 +176,51 @@ impl Home {
             wal_appends: AtomicU64::new(0),
             wal_syncs: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
+            base_appends: AtomicU64::new(0),
+            base_syncs: AtomicU64::new(0),
+            base_snapshots: AtomicU64::new(0),
+            store_retries: AtomicU64::new(0),
             recovered_tenants: AtomicU64::new(0),
             replayed_jobs: AtomicU64::new(0),
         }
     }
 
+    /// Is this home's durability currently poisoned? (Takes the store
+    /// lock briefly; used by the stats surface.)
+    pub fn is_poisoned(&self) -> bool {
+        self.lock().poisoned.is_some()
+    }
+
     fn lock(&self) -> MutexGuard<'_, StoreSlot> {
         self.store.lock().unwrap_or_else(PoisonError::into_inner)
     }
+}
+
+/// Bounded retry for store operations: a fault the
+/// [`chimera_persist::PersistError::is_transient`] classifier deems
+/// retryable gets up to [`STORE_RETRY_LIMIT`] further attempts with
+/// doubling backoff (1/2/4 ms) before the error escalates to the
+/// caller's poisoning path. The sleep happens with the store lock held —
+/// deliberate: a store that is failing *should* backpressure every
+/// batch homed on it rather than let them race into the same fault.
+const STORE_RETRY_LIMIT: u32 = 3;
+
+fn with_retry<T>(
+    home: &Home,
+    mut op: impl FnMut() -> chimera_persist::Result<T>,
+) -> chimera_persist::Result<T> {
+    let mut backoff_ms = 1u64;
+    for _ in 0..STORE_RETRY_LIMIT {
+        match op() {
+            Err(e) if e.is_transient() => {
+                home.store_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                backoff_ms *= 2;
+            }
+            other => return other,
+        }
+    }
+    op()
 }
 
 /// Runtime-global error/panic counters (tenant-attributed, so no longer
@@ -291,9 +339,12 @@ struct Pending {
 enum Disposition {
     /// Test gate: park the worker, outside every lock.
     Gate,
-    /// Refused before execution (poisoned home, or a durable
-    /// `DefineTrigger`).
-    Refuse(String),
+    /// Refused before execution. `durability: true` marks a
+    /// store-unavailability refusal (poisoned home / failed append) that
+    /// surfaces as the typed [`JobOutcome::RefusedDurability`];
+    /// `false` is a usage refusal (a durable `DefineTrigger`) and stays
+    /// a plain [`JobOutcome::Error`].
+    Refuse { msg: String, durability: bool },
     /// Execute; `logged` records whether its intent was appended.
     Run { logged: bool },
 }
@@ -322,30 +373,39 @@ fn run_batch(
                     return Disposition::Gate;
                 }
                 if let Some(msg) = &slot.poisoned {
-                    return Disposition::Refuse(msg.clone());
+                    return Disposition::Refuse {
+                        msg: msg.clone(),
+                        durability: true,
+                    };
                 }
                 if matches!(env.job, Job::DefineTrigger(_)) {
                     // lowered definitions have no logged form; durable
                     // tenants must define triggers from source so replay
                     // can re-parse
-                    return Disposition::Refuse(
-                        "durable storage requires DefineTriggerSource (trigger source text), \
-                         not a pre-lowered DefineTrigger"
+                    return Disposition::Refuse {
+                        msg: "durable storage requires DefineTriggerSource (trigger source \
+                              text), not a pre-lowered DefineTrigger"
                             .into(),
-                    );
+                        durability: false,
+                    };
                 }
                 match job_record(&env.job) {
-                    Some(record) => match slot.store.append(env.tenant.0, &record) {
-                        Ok(()) => {
-                            appended_any = true;
-                            Disposition::Run { logged: true }
+                    Some(record) => {
+                        match with_retry(home, || slot.store.append(env.tenant.0, &record)) {
+                            Ok(()) => {
+                                appended_any = true;
+                                Disposition::Run { logged: true }
+                            }
+                            Err(e) => {
+                                let msg = format!("shard store failed: {e}");
+                                slot.poisoned = Some(msg.clone());
+                                Disposition::Refuse {
+                                    msg,
+                                    durability: true,
+                                }
+                            }
                         }
-                        Err(e) => {
-                            let msg = format!("shard store failed: {e}");
-                            slot.poisoned = Some(msg.clone());
-                            Disposition::Refuse(msg)
-                        }
-                    },
+                    }
                     None => Disposition::Run { logged: false },
                 }
             })
@@ -381,7 +441,10 @@ fn run_batch(
                 }
                 (JobOutcome::Done(JobSummary::default()), false)
             }
-            Disposition::Refuse(msg) => (refuse(tenants, counters, ctx, env.tenant.0, msg), false),
+            Disposition::Refuse { msg, durability } => (
+                refuse(tenants, counters, ctx, env.tenant.0, msg, durability),
+                false,
+            ),
             Disposition::Run { logged } => (
                 run_job(tenants, counters, ctx, env.tenant.0, env.job, home.durable),
                 logged,
@@ -401,12 +464,18 @@ fn run_batch(
         if appended_any {
             slot.inflight -= 1;
             if slot.poisoned.is_none() {
-                if let Err(e) = slot.store.commit() {
+                if let Err(e) = with_retry(home, || slot.store.commit()) {
                     let msg = format!("shard store failed: {e}");
-                    // nothing in this batch is durable — demote its successes
+                    // the batch's durability is not established — demote
+                    // its successes to the typed refusal. Honesty note:
+                    // the effects *ran* in RAM and, if the commit was
+                    // torn (data landed, error reported), may even be
+                    // durable; the refusal promises only "not
+                    // acknowledged as durable", which is the strongest
+                    // claim an ambiguous fsync failure allows.
                     for p in &mut pending {
                         if p.logged && p.outcome.is_done() {
-                            p.outcome = JobOutcome::Error(msg.clone());
+                            p.outcome = JobOutcome::RefusedDurability(msg.clone());
                             counters.errors.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -427,19 +496,26 @@ fn run_batch(
 
 /// Record a store-refusal against the tenant's bookkeeping (the slot is
 /// created if this is the tenant's first job, mirroring engine errors).
+/// `durability: true` yields the typed [`JobOutcome::RefusedDurability`]
+/// a client can distinguish from an engine error.
 fn refuse(
     tenants: &Tenants,
     counters: &Counters,
     ctx: &WorkerCtx,
     tenant: u64,
     msg: String,
+    durability: bool,
 ) -> JobOutcome {
     let arc = tenants.get_or_create(tenant, ctx);
     let mut slot = arc.lock().unwrap_or_else(PoisonError::into_inner);
     slot.job_errors += 1;
     slot.last_error = Some(msg.clone());
     counters.errors.fetch_add(1, Ordering::Relaxed);
-    JobOutcome::Error(msg)
+    if durability {
+        JobOutcome::RefusedDurability(msg)
+    } else {
+        JobOutcome::Error(msg)
+    }
 }
 
 /// Run one (non-gate) job against its tenant engine, taking the
@@ -599,13 +675,23 @@ fn job_from_record(rec: JobRecord) -> Job {
     }
 }
 
-/// Publish the store's counters into the home's atomics (monotone
-/// totals, so a plain store is correct).
+/// Publish the store's counters into the home's atomics. The `base_*`
+/// carry (totals of stores retired by [`reopen_home`]) keeps the
+/// published numbers monotone across a store replacement.
 fn publish_counters(home: &Home, store: &dyn StateStore) {
     let c = store.counters();
-    home.wal_appends.store(c.appends, Ordering::Relaxed);
-    home.wal_syncs.store(c.syncs, Ordering::Relaxed);
-    home.snapshots.store(c.snapshots, Ordering::Relaxed);
+    home.wal_appends.store(
+        home.base_appends.load(Ordering::Relaxed) + c.appends,
+        Ordering::Relaxed,
+    );
+    home.wal_syncs.store(
+        home.base_syncs.load(Ordering::Relaxed) + c.syncs,
+        Ordering::Relaxed,
+    );
+    home.snapshots.store(
+        home.base_snapshots.load(Ordering::Relaxed) + c.snapshots,
+        Ordering::Relaxed,
+    );
 }
 
 /// Startup recovery for one home: read its store back, rebuild every
@@ -776,8 +862,77 @@ fn maybe_snapshot(
         .collect();
     drop(guards);
     snaps.sort_by_key(|t| t.tenant);
-    if let Err(e) = slot.store.snapshot(&snaps) {
+    if let Err(e) = with_retry(home, || slot.store.snapshot(&snaps)) {
         slot.poisoned = Some(format!("shard store failed: {e}"));
     }
     publish_counters(home, &*slot.store);
+}
+
+/// Replace a home's store with a freshly built one — the operator path
+/// for recovering a poisoned home without restarting the runtime.
+///
+/// Requirements, all checked: no batch may be mid-flight on the store
+/// (`inflight == 0`) and every tenant homed here must be uncontended and
+/// outside a transaction — call `Runtime::flush` first and the
+/// conditions hold trivially (a poisoned home refuses new work, so the
+/// quiesced state is stable).
+///
+/// The replacement store's `recover()` is run to position its log, but
+/// its contents are *ignored*: the live in-RAM tenants are authoritative
+/// and a full home snapshot is written into the new store before it goes
+/// live. Honesty note: jobs that were demoted when the old store's
+/// commit failed have still executed in RAM, so after a reopen their
+/// effects become durable via that snapshot — the demotion's claim was
+/// "not acknowledged as durable at completion time", never "rolled
+/// back".
+pub(crate) fn reopen_home(
+    home: &Home,
+    homes: usize,
+    tenants: &Tenants,
+    mut store: Box<dyn StateStore>,
+) -> Result<(), String> {
+    let mut slot = home.lock();
+    if slot.inflight != 0 {
+        return Err(format!(
+            "home shard {} has a batch mid-flight; flush the runtime first",
+            home.index
+        ));
+    }
+    store.recover().map_err(|e| e.to_string())?;
+    let all = tenants.arcs();
+    let mut guards = Vec::new();
+    for (tenant, arc) in &all {
+        if home_of(*tenant, homes) != home.index {
+            continue;
+        }
+        let Ok(guard) = arc.try_lock() else {
+            return Err(format!(
+                "tenant {tenant} is busy on another worker; flush the runtime first"
+            ));
+        };
+        if guard.engine.in_transaction() {
+            return Err(format!(
+                "tenant {tenant} has an open transaction; commit or roll it back first \
+                 (only committed state can be snapshotted into the replacement store)"
+            ));
+        }
+        guards.push((*tenant, guard));
+    }
+    let mut snaps: Vec<TenantSnapshot> = guards
+        .iter()
+        .map(|(tenant, guard)| snapshot_tenant(*tenant, guard))
+        .collect();
+    drop(guards);
+    snaps.sort_by_key(|t| t.tenant);
+    store.snapshot(&snaps).map_err(|e| e.to_string())?;
+    // fold the retired store's totals into the carry so published
+    // counters stay monotone, then swap and clear the poison
+    let old = slot.store.counters();
+    home.base_appends.fetch_add(old.appends, Ordering::Relaxed);
+    home.base_syncs.fetch_add(old.syncs, Ordering::Relaxed);
+    home.base_snapshots.fetch_add(old.snapshots, Ordering::Relaxed);
+    slot.store = store;
+    slot.poisoned = None;
+    publish_counters(home, &*slot.store);
+    Ok(())
 }

@@ -53,6 +53,15 @@ pub struct RuntimeStats {
     pub tenants_recovered: u64,
     /// Logged jobs replayed on top of snapshots at startup.
     pub jobs_replayed: u64,
+    /// Transient store faults absorbed by the bounded retry loop instead
+    /// of poisoning a home (summed over the shards).
+    pub store_retries: u64,
+    /// Home shards whose durability is currently *poisoned* (a store
+    /// fault beyond the retry budget): their tenants get typed
+    /// [`crate::JobOutcome::RefusedDurability`] answers until
+    /// [`crate::Runtime::reopen_shard_store`] repairs them. A live
+    /// gauge, not a monotone counter.
+    pub shards_poisoned: u64,
     /// Per-home-shard breakdown of the pool and worker counters — the
     /// view that makes hot-tenant skew *observable*: a hot home shows a
     /// high `jobs_submitted` while (under load-aware scheduling) the
@@ -89,6 +98,10 @@ pub struct ShardStats {
     pub queue_depth: u64,
     /// Live tenant engines homed on this shard.
     pub tenants: u64,
+    /// Transient store faults this home's retry loop absorbed.
+    pub store_retries: u64,
+    /// Whether this home's durability is currently poisoned.
+    pub poisoned: bool,
 }
 
 impl RuntimeStats {

@@ -91,7 +91,7 @@ fn main() {
                     match done.outcome {
                         WireOutcome::Done { executions, .. } => firings += executions,
                         WireOutcome::Error { .. } => errors += 1,
-                        WireOutcome::Panicked => unreachable!("no panicking jobs here"),
+                        other => unreachable!("unexpected outcome here: {other:?}"),
                     }
                 }
                 println!(

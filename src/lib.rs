@@ -56,6 +56,7 @@
 //! | [`analysis`] | `chimera-analysis` | triggering graph, termination, confluence |
 //! | [`temporal`] | `chimera-temporal` | clock events, related-work derived operators |
 //! | [`persist`] | `chimera-persist` | pluggable `StateStore`: group-commit job log, WAL, snapshots, crash recovery |
+//! | [`chaos`] | `chimera-chaos` | deterministic fault injection: seeded storage faults, mid-frame TCP cuts |
 //! | [`interp`] | (this crate) | script interpreter over the engine |
 //!
 //! ## Evaluation tiers
@@ -142,10 +143,36 @@
 //! `tests/durable_recovery.rs` is the crash oracle: cut the log at an
 //! arbitrary byte, recover, and every tenant must equal a sequential
 //! replay of exactly the jobs whose group survived on disk.
+//!
+//! ## Degrading gracefully: the chaos layer
+//!
+//! Storage and networks fail in ways a crash oracle alone cannot
+//! exercise, so [`chaos`] injects them **deterministically**: a seeded
+//! `FaultPlan` schedules transient, permanent and torn/ambiguous store
+//! faults behind the runtime's `StoreWrap` seam, and a `ChaosProxy`
+//! cuts TCP connections mid-frame at seeded byte positions. The
+//! runtime's policy under fire is *retry, then degrade, never hang*:
+//! a transient store error gets a bounded in-place retry (counted in
+//! `RuntimeStats::store_retries`); exhaustion or a permanent error
+//! **poisons** that home shard only, whose tenants keep being answered
+//! with the typed `JobOutcome::RefusedDurability` while every other
+//! shard proceeds untouched, until `Runtime::reopen_shard_store`
+//! swaps in a fresh store and re-snapshots the live tenants. On the
+//! wire, [`net`]'s version-4 server enforces handshake/read/write
+//! deadlines (reaped connections counted in `net_conns_reaped`) and
+//! its client heals a lost connection by resolving every in-flight
+//! submission as a typed `Disconnected` completion — at-most-once,
+//! explicit loss — then redialing with backoff and replaying the
+//! session's trigger definitions. `tests/chaos_recovery.rs` is the
+//! oracle: transient/torn fault schedules must be *invisible*
+//! (end-state identical to a fault-free sequential replay), a
+//! permanent fault must poison exactly one home and be repairable,
+//! and every submission through a cut-happy proxy must resolve.
 
 pub use chimera_analysis as analysis;
 pub use chimera_baselines as baselines;
 pub use chimera_calculus as calculus;
+pub use chimera_chaos as chaos;
 pub use chimera_events as events;
 pub use chimera_exec as exec;
 pub use chimera_lang as lang;

@@ -456,6 +456,91 @@ fn every_byte_cut_recovers_the_surviving_prefix() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A torn log tail is repairable damage; a corrupt *snapshot* is not —
+/// the snapshot is the replay base, so silently dropping it would
+/// resurrect a stale prefix as if it were current. Recovery must
+/// refuse with a typed error instead, for a flipped bit and for a
+/// truncation, and succeed again once the snapshot is restored.
+#[test]
+fn corrupt_snapshot_fails_recovery_with_typed_error() {
+    use chimera::runtime::RuntimeError;
+    let s = schema();
+    let triggers: Vec<TriggerDef> = vec![];
+    let engine_cfg = EngineConfig {
+        max_rule_steps: 64,
+        ..EngineConfig::default()
+    };
+    let dir = tmpdir("corrupt-snap");
+    // snapshot after every group so the run is guaranteed to compact
+    let rt = Runtime::new(
+        s.clone(),
+        triggers.clone(),
+        RuntimeConfig {
+            shards: 1,
+            storage: StorageMode::Durable(DurabilityConfig {
+                dir: dir.clone(),
+                group_commit: true,
+                snapshot_every: 1,
+            }),
+            engine: engine_cfg.clone(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let item = s.class_by_name("item").unwrap();
+    for job in [
+        Job::Begin,
+        Job::ExecBlock(vec![Op::Create {
+            class: item,
+            inits: vec![(chimera::model::AttrId(0), Value::Int(5))],
+        }]),
+        Job::Commit,
+    ] {
+        rt.submit(TenantId(0), job).unwrap();
+        rt.flush().unwrap(); // one job per group; a snapshot follows each
+    }
+    drop(rt);
+    let snap = dir.join("shard-0").join("snap.chi");
+    let pristine = std::fs::read(&snap).expect("the run must have snapshotted");
+    let cfg = || RuntimeConfig {
+        shards: 1,
+        storage: StorageMode::Durable(DurabilityConfig {
+            dir: dir.clone(),
+            group_commit: true,
+            snapshot_every: 1,
+        }),
+        engine: engine_cfg.clone(),
+        ..Default::default()
+    };
+    let expect_refusal = |what: &str| {
+        match Runtime::recover(s.clone(), triggers.clone(), cfg()) {
+            Err(RuntimeError::Persist(msg)) => {
+                assert!(msg.contains("snapshot"), "{what}: untyped error: {msg}")
+            }
+            Ok(_) => panic!("{what}: recovery accepted a corrupt snapshot"),
+            Err(other) => panic!("{what}: expected Persist, got {other:?}"),
+        }
+    };
+    // a single flipped bit mid-file
+    let mut dirty = pristine.clone();
+    let mid = dirty.len() / 2;
+    dirty[mid] ^= 0x40;
+    std::fs::write(&snap, &dirty).unwrap();
+    expect_refusal("bit flip");
+    // a truncated snapshot (crash-during-copy style damage)
+    std::fs::write(&snap, &pristine[..pristine.len() / 2]).unwrap();
+    expect_refusal("truncation");
+    // restoring the pristine bytes recovers cleanly
+    std::fs::write(&snap, &pristine).unwrap();
+    let (rt, _) = Runtime::recover(s.clone(), triggers.clone(), cfg()).unwrap();
+    assert_eq!(
+        rt.with_tenant(TenantId(0), |e| e.extent(item).len()).unwrap(),
+        1
+    );
+    drop(rt);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
