@@ -49,7 +49,10 @@ pub enum StorageFault {
     /// The ambiguous commit: the wrapped operation is **performed**, then
     /// reported as a transient failure — data reached disk but the
     /// caller cannot know. A retry is safe (commit of nothing staged is
-    /// a no-op) and succeeds.
+    /// a no-op) and succeeds. Only defined for [`StoreOp::Commit`]: a
+    /// torn *append* would duplicate its record on the retry the
+    /// transient report invites, so [`FaultPlan::fail_nth`] rejects
+    /// `Torn` on any other op.
     Torn,
 }
 
@@ -112,7 +115,19 @@ impl FaultPlan {
 
     /// Schedule an explicit fault on the `nth` call (0-based) of `op`,
     /// overriding the probabilistic draw for that call.
+    ///
+    /// # Panics
+    ///
+    /// If `fault` is [`StorageFault::Torn`] and `op` is not
+    /// [`StoreOp::Commit`] — torn semantics (perform, then report
+    /// failure) are safe to retry only for the group commit; a torn
+    /// append would land its record *twice* once the runtime retries.
     pub fn fail_nth(mut self, op: StoreOp, nth: u64, fault: StorageFault) -> FaultPlan {
+        assert!(
+            fault != StorageFault::Torn || op == StoreOp::Commit,
+            "StorageFault::Torn is only defined for StoreOp::Commit (a torn {op:?} \
+             would duplicate data on retry)"
+        );
         self.scheduled.insert((op.index(), nth), fault);
         self
     }
@@ -186,15 +201,21 @@ mod tests {
     #[test]
     fn scheduled_faults_fire_on_their_ordinal() {
         let mut p = FaultPlan::none()
-            .fail_nth(StoreOp::Commit, 1, StorageFault::Transient)
-            .fail_nth(StoreOp::Append, 0, StorageFault::Torn);
-        assert_eq!(p.next(StoreOp::Append), Some(StorageFault::Torn));
+            .fail_nth(StoreOp::Commit, 1, StorageFault::Torn)
+            .fail_nth(StoreOp::Append, 0, StorageFault::Transient);
+        assert_eq!(p.next(StoreOp::Append), Some(StorageFault::Transient));
         // transient/torn guarantee: the retry succeeds
         assert_eq!(p.next(StoreOp::Append), None);
         assert_eq!(p.next(StoreOp::Commit), None);
-        assert_eq!(p.next(StoreOp::Commit), Some(StorageFault::Transient));
+        assert_eq!(p.next(StoreOp::Commit), Some(StorageFault::Torn));
         assert_eq!(p.next(StoreOp::Commit), None);
         assert!(!p.is_broken());
+    }
+
+    #[test]
+    #[should_panic(expected = "only defined for StoreOp::Commit")]
+    fn torn_on_append_is_rejected_at_plan_construction() {
+        let _ = FaultPlan::none().fail_nth(StoreOp::Append, 0, StorageFault::Torn);
     }
 
     #[test]

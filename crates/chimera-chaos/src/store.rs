@@ -81,17 +81,22 @@ impl ChaosStore {
 
     /// Consult the plan for `op`; `Err` carries the injected failure.
     /// For [`StorageFault::Torn`] the caller must run the real operation
-    /// first — hence the closure-free two-step shape in `commit`.
+    /// first — hence the closure-free two-step shape in `commit`. Torn
+    /// never reaches here: it is commit-only, enforced by
+    /// [`FaultPlan::fail_nth`] and [`ChaosRates`]'s shape.
     fn inject(&mut self, op: StoreOp, what: &str) -> std::result::Result<(), PersistError> {
         match self.plan.next(op) {
             None => Ok(()),
-            Some(StorageFault::Transient) | Some(StorageFault::Torn) => {
+            Some(StorageFault::Transient) => {
                 self.counters.transient.fetch_add(1, Ordering::Relaxed);
                 Err(transient(what))
             }
             Some(StorageFault::Permanent) => {
                 self.counters.permanent.fetch_add(1, Ordering::Relaxed);
                 Err(permanent(what))
+            }
+            Some(StorageFault::Torn) => {
+                unreachable!("FaultPlan never schedules Torn for {op:?}")
             }
         }
     }

@@ -499,8 +499,14 @@ impl Client {
     /// Send one request and read *its* response. Outstanding completions
     /// are read off the socket first (stream order) and buffered for the
     /// caller to collect later — never dropped. On a lost connection
-    /// with a reconnect policy, the request is retried exactly once on
-    /// the fresh connection.
+    /// with a reconnect policy, an *idempotent* request is retried
+    /// exactly once on the fresh connection; a non-idempotent one
+    /// (`DefineTriggers`) is never blindly resent — the connection may
+    /// have died after the server processed it, and a duplicate run
+    /// would surface bogus already-defined refusals (and double-record
+    /// the batch for replay). The session still heals (in-flight
+    /// submissions resolve, acknowledged triggers replay), but the
+    /// caller gets the transport error and decides for itself.
     fn call(&mut self, req: Request) -> Result<Response, NetError> {
         while !self.pending.is_empty() {
             self.pump_one()?;
@@ -508,7 +514,11 @@ impl Client {
         match self.send(&req).and_then(|()| self.recv()) {
             Ok(resp) => Ok(resp),
             Err(e) => {
-                self.recover(e)?;
+                let retryable = !matches!(req, Request::DefineTriggers { .. });
+                self.recover(e.clone())?;
+                if !retryable {
+                    return Err(e);
+                }
                 self.send(&req)?;
                 self.recv()
             }
@@ -554,9 +564,14 @@ impl Client {
             .ok_or_else(|| NetError::Unexpected("completion vanished".into()))
     }
 
-    /// Fire one SubmitBlock. A failed send orphans the job — the bytes
-    /// may have partially left, so resubmitting could double-run it —
-    /// and takes the reconnect path like any other lost connection.
+    /// Fire one SubmitBlock. A failed send with a reconnect policy
+    /// orphans the job — the bytes may have partially left, so
+    /// resubmitting could double-run it — and takes the reconnect path
+    /// like any other lost connection. Without one (or when the error
+    /// is not connection-fatal) the error surfaces with *nothing*
+    /// recorded as pending: no recovery will resolve the slot, so
+    /// counting it would wedge a later [`Client::drain`] waiting on a
+    /// completion the server will never send.
     fn send_job(&mut self, tenant: u64, job: WireJob) -> Result<(), NetError> {
         match self.send(&Request::SubmitBlock { tenant, job }) {
             Ok(()) => {
@@ -564,6 +579,9 @@ impl Client {
                 Ok(())
             }
             Err(e) => {
+                if self.config.reconnect.is_none() || !is_conn_fatal(&e) {
+                    return Err(e);
+                }
                 self.pending.push_back(tenant);
                 self.recover(e)
             }
@@ -637,7 +655,9 @@ impl Client {
     /// installed and why the others were refused. `Err` is reserved for
     /// transport failures and unparseable source. Under a reconnect
     /// policy, acknowledged batches are recorded and replayed on every
-    /// reconnect.
+    /// reconnect — but a batch whose connection died before the ack is
+    /// *not* resent (the server may already have run it): the transport
+    /// error surfaces and the caller decides whether to resubmit.
     pub fn define_triggers(
         &mut self,
         tenant: u64,

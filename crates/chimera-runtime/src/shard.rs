@@ -459,33 +459,42 @@ fn run_batch(
     }
 
     // phase 3 — the group commit: one fsync for every job staged above
+    let mut demote: Option<String> = None;
     if home.durable {
         let mut slot = home.lock();
         if appended_any {
             slot.inflight -= 1;
-            if slot.poisoned.is_none() {
-                if let Err(e) = with_retry(home, || slot.store.commit()) {
-                    let msg = format!("shard store failed: {e}");
-                    // the batch's durability is not established — demote
-                    // its successes to the typed refusal. Honesty note:
-                    // the effects *ran* in RAM and, if the commit was
-                    // torn (data landed, error reported), may even be
-                    // durable; the refusal promises only "not
-                    // acknowledged as durable", which is the strongest
-                    // claim an ambiguous fsync failure allows.
-                    for p in &mut pending {
-                        if p.logged && p.outcome.is_done() {
-                            p.outcome = JobOutcome::RefusedDurability(msg.clone());
-                            counters.errors.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    slot.poisoned = Some(msg);
-                }
+            if let Some(msg) = &slot.poisoned {
+                // a later append in this very batch poisoned the home
+                // after earlier jobs had already staged: the commit is
+                // skipped, so those jobs' group never fsynced — their
+                // successes must be demoted exactly as if the commit
+                // call itself had failed
+                demote = Some(msg.clone());
+            } else if let Err(e) = with_retry(home, || slot.store.commit()) {
+                let msg = format!("shard store failed: {e}");
+                slot.poisoned = Some(msg.clone());
+                demote = Some(msg);
             }
         }
         publish_counters(home, &*slot.store);
         if slot.poisoned.is_none() && snapshot_every > 0 && slot.inflight == 0 {
             maybe_snapshot(&mut slot, home, homes, tenants, snapshot_every);
+        }
+    }
+    // the batch's durability is not established — demote its successes
+    // to the typed refusal, through refuse() so per-tenant error
+    // bookkeeping matches every other refusal path. Honesty note: the
+    // effects *ran* in RAM and, if the commit was torn (data landed,
+    // error reported), may even be durable; the refusal promises only
+    // "not acknowledged as durable", which is the strongest claim an
+    // ambiguous fsync failure allows. (Outside the store lock: refuse()
+    // takes tenant locks.)
+    if let Some(msg) = demote {
+        for p in &mut pending {
+            if p.logged && p.outcome.is_done() {
+                p.outcome = refuse(tenants, counters, ctx, p.tenant.0, msg.clone(), true);
+            }
         }
     }
 

@@ -481,7 +481,10 @@ fn permanent_fault_poisons_one_home_and_reopen_repairs() {
     assert_eq!(stats.ready_queue_depth, 0);
     assert_eq!(stats.shards_poisoned, 1, "exactly the victim home is poisoned");
     let (verrors, vlast) = rt.tenant_errors(victim).unwrap();
-    assert_eq!(verrors, 3, "three pre-execution refusals were recorded");
+    assert_eq!(
+        verrors, 4,
+        "the demoted Commit plus three pre-execution refusals were recorded"
+    );
     assert!(vlast.unwrap().contains("shard store failed"));
     {
         let got = rt.with_tenant(healthy, |e| observe(e, item)).unwrap();
