@@ -1,0 +1,195 @@
+//! PERF-12 — what watching the runtime costs.
+//!
+//! The PR-9 tentpole threads a telemetry recorder through every
+//! pipeline stage (queue wait, append, execute, commit, reply). The
+//! whole design budget rests on two claims, priced here:
+//!
+//! * **off is free** — `Telemetry::off()` is a `None` branch: no
+//!   registry, no `Instant` reads, no atomics. A runtime built with the
+//!   default `telemetry: false` must be indistinguishable from the
+//!   PR-8 baseline (≤ 1%, i.e. inside run-to-run noise).
+//! * **on is cheap** — recording is one `Instant` read plus one relaxed
+//!   `fetch_add` into a per-worker shard, no locks anywhere. On the
+//!   house ingestion workload (4 tenants × 256-arrival blocks through
+//!   the 100-rule table, the same session `durability.rs` prices) the
+//!   fully-instrumented runtime must stay within **5%** of the
+//!   off-mode runtime.
+//!
+//! The criterion group prices both modes plus the raw recorder
+//! primitives (`record` / `count` / `trace`, on and off); the
+//! acceptance pass (measure mode only) times full sessions — best of
+//! five per mode, interleaved to decorrelate host drift — and
+//! **asserts** the on/off ratio ≤ 1.05, so a regression fails the
+//! bench sweep instead of rotting quietly.
+
+use chimera_events::EventType;
+use chimera_model::{AttrDef, AttrType, ClassId, Oid, Schema, SchemaBuilder};
+use chimera_runtime::{Job, Runtime, RuntimeConfig, TenantId};
+use chimera_rules::TriggerDef;
+use chimera_telemetry::{Counter, Stage, Telemetry, TraceKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn measure_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    b.class("item", None, vec![AttrDef::new("qty", AttrType::Integer)])
+        .unwrap();
+    b.build()
+}
+
+/// The house throughput workload (same shapes as `durability.rs`):
+/// 100 conjunction/precedence rules over 16 external channels.
+fn rules(schema: &Schema) -> Vec<TriggerDef> {
+    use chimera_calculus::EventExpr;
+    let item = schema.class_by_name("item").unwrap();
+    let p = |n: u32| EventExpr::prim(EventType::external(item, n));
+    (0..100usize)
+        .map(|i| {
+            let a = 1000 + (i as u32 % 16);
+            let b = 1000 + ((i as u32 + 7) % 16);
+            let expr = if i % 2 == 0 { p(a).and(p(b)) } else { p(a).prec(p(b)) };
+            TriggerDef::new(format!("r{i}"), expr)
+        })
+        .collect()
+}
+
+/// One ingestion session: 4 tenants × `blocks` jobs of 256 external
+/// events each, fire-and-forget, one flush. In-memory storage — the
+/// point is the recorder's marginal cost, not the disk's.
+fn run_session(
+    schema: &Schema,
+    defs: &[TriggerDef],
+    telemetry: bool,
+    events_per_tenant: usize,
+) -> u64 {
+    const TENANTS: u64 = 4;
+    const PER_BLOCK: usize = 256;
+    let blocks = (events_per_tenant / PER_BLOCK) as u64;
+    let item = schema.class_by_name("item").unwrap();
+    let rt = Runtime::new(
+        schema.clone(),
+        defs.to_vec(),
+        RuntimeConfig {
+            shards: 2,
+            queue_capacity: 256,
+            telemetry,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut k = 0x5EEDu64;
+    for _ in 0..blocks {
+        for t in 0..TENANTS {
+            let events: Vec<(ClassId, u32, Oid)> = (0..PER_BLOCK)
+                .map(|_| {
+                    k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let ch = if (k >> 33) % 100 < 50 {
+                        1000 + ((k >> 13) % 16) as u32
+                    } else {
+                        ((k >> 13) % 16) as u32
+                    };
+                    (item, ch, Oid((k >> 7) % 32 + 1))
+                })
+                .collect();
+            rt.submit(TenantId(t), Job::RaiseExternal(events)).unwrap();
+        }
+    }
+    rt.flush().unwrap();
+    if telemetry {
+        // sanity: the instrumented run actually recorded the stages
+        let m = rt.telemetry().snapshot();
+        assert!(m.enabled && m.hist("execute").unwrap().count() > 0);
+    }
+    let stats = rt.shutdown();
+    assert_eq!(stats.jobs_processed, blocks * TENANTS);
+    blocks * TENANTS * PER_BLOCK as u64
+}
+
+fn bench_sessions(crit: &mut Criterion) {
+    let schema = schema();
+    let defs = rules(&schema);
+    let mut group = crit.benchmark_group("telemetry");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2048));
+    for (name, on) in [("off", false), ("on", true)] {
+        group.bench_with_input(BenchmarkId::new("session", name), &on, |b, &on| {
+            b.iter(|| black_box(run_session(&schema, &defs, on, 2048)))
+        });
+    }
+    group.finish();
+}
+
+/// The raw primitives, priced per call: a stage record (one `Instant`
+/// read at the call site + one at record time + one relaxed
+/// `fetch_add`), a counter bump, a trace-ring push — each against its
+/// off-mode twin (a `None` check).
+fn bench_primitives(crit: &mut Criterion) {
+    let on = Telemetry::new(4);
+    let off = Telemetry::off();
+    let mut group = crit.benchmark_group("telemetry_primitives");
+    for (name, tel) in [("on", &on), ("off", &off)] {
+        group.bench_with_input(BenchmarkId::new("record", name), tel, |b, tel| {
+            b.iter(|| {
+                let t = tel.start();
+                tel.record_since(black_box(1), Stage::Execute, t);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("count", name), tel, |b, tel| {
+            b.iter(|| tel.count(black_box(2), Counter::Batches, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("trace", name), tel, |b, tel| {
+            b.iter(|| tel.trace(black_box(3), TraceKind::JobClaimed, 7, 1))
+        });
+    }
+    group.finish();
+    black_box(on.snapshot());
+}
+
+/// The acceptance line (the PR-9 bar): the instrumented runtime within
+/// 5% of off-mode on the 256-arrival block session. Asserted, not just
+/// printed — interleaved best-of-five per mode soaks up host drift.
+fn report_acceptance(c: &mut Criterion) {
+    let _ = c;
+    let schema = schema();
+    let defs = rules(&schema);
+    if !measure_mode() {
+        // test mode: still cover both paths once
+        black_box(run_session(&schema, &defs, false, 1024));
+        black_box(run_session(&schema, &defs, true, 1024));
+        return;
+    }
+    const EVENTS: usize = 131072;
+    let pass = |on: bool| {
+        let start = Instant::now();
+        let events = run_session(&schema, &defs, on, EVENTS);
+        (events as f64) / start.elapsed().as_secs_f64()
+    };
+    // warm-up, then interleave the timed passes
+    pass(false);
+    pass(true);
+    let (mut best_off, mut best_on) = (0.0f64, 0.0f64);
+    for _ in 0..5 {
+        best_off = best_off.max(pass(false));
+        best_on = best_on.max(pass(true));
+    }
+    let ratio = best_off / best_on;
+    println!(
+        "telemetry acceptance: off {best_off:.0} ev/s, on {best_on:.0} ev/s, \
+         overhead {:.2}% (bar: <= 5% at 256-arrival blocks; off-mode is the \
+         None branch, within noise of the pre-telemetry baseline)",
+        (ratio - 1.0) * 100.0
+    );
+    assert!(
+        ratio <= 1.05,
+        "telemetry-on overhead {:.2}% exceeds the 5% budget",
+        (ratio - 1.0) * 100.0
+    );
+}
+
+criterion_group!(benches, bench_sessions, bench_primitives, report_acceptance);
+criterion_main!(benches);

@@ -29,6 +29,7 @@ use crate::proto::{
     WireOutcome, WireStats, JOB_DISCONNECTED,
 };
 use crate::wire::{read_frame, write_frame, WireError, MAX_FRAME, PROTOCOL_VERSION};
+use chimera_telemetry::{MetricsSnapshot, Stage, Telemetry};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{BufReader, BufWriter, Write};
@@ -276,6 +277,12 @@ pub struct Client {
     orphaned: u64,
     /// Monotone ordinal driving the jitter stream across reconnects.
     backoffs: u64,
+    /// The client's own (local, single-shard) recorder: every
+    /// synchronous call's send → response latency lands in its
+    /// [`Stage::ClientRequest`] histogram. Always on — one `Instant`
+    /// read and one relaxed `fetch_add` per call is noise next to a
+    /// network round trip.
+    tel: Telemetry,
 }
 
 impl Client {
@@ -336,6 +343,7 @@ impl Client {
             reconnects: 0,
             orphaned: 0,
             backoffs: 0,
+            tel: Telemetry::new(1),
         })
     }
 
@@ -511,7 +519,10 @@ impl Client {
         while !self.pending.is_empty() {
             self.pump_one()?;
         }
-        match self.send(&req).and_then(|()| self.recv()) {
+        // request latency as this caller experiences it: send → response,
+        // a reconnect-and-retry episode included
+        let started = self.tel.start();
+        let result = match self.send(&req).and_then(|()| self.recv()) {
             Ok(resp) => Ok(resp),
             Err(e) => {
                 let retryable = !matches!(req, Request::DefineTriggers { .. });
@@ -522,7 +533,9 @@ impl Client {
                 self.send(&req)?;
                 self.recv()
             }
-        }
+        };
+        self.tel.record_since(0, Stage::ClientRequest, started);
+        result
     }
 
     // -------------------------------------------------------- submissions
@@ -694,6 +707,25 @@ impl Client {
             Response::Error { message } => Err(NetError::Remote(message)),
             other => Err(NetError::Unexpected(format!("{other:?}"))),
         }
+    }
+
+    /// The server runtime's full telemetry registry — counters, gauges,
+    /// latency histograms (buckets included) and the drained trace tail
+    /// (version 5). A server with telemetry disabled answers with
+    /// `enabled = false` and empty series, not an error.
+    pub fn metrics_snapshot(&mut self) -> Result<MetricsSnapshot, NetError> {
+        match self.call(Request::MetricsSnapshot)? {
+            Response::MetricsReply(m) => Ok(m),
+            Response::Error { message } => Err(NetError::Remote(message)),
+            other => Err(NetError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// The client's own recorder: the [`Stage::ClientRequest`] histogram
+    /// of every synchronous call's send → response latency. Snapshot it
+    /// with [`chimera_telemetry::Telemetry::snapshot`].
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Inspect one tenant's engine.

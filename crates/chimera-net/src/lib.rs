@@ -51,7 +51,18 @@
 //! [`WireOutcome::Disconnected`] completion (at-most-once, explicit
 //! loss — never a hang, never a silent drop) before redialing with
 //! backoff + jitter and replaying the session's trigger definitions.
-//! The new stats again ride as optional trailing fields.
+//! The new stats again ride as optional trailing fields. Version 5 is
+//! the telemetry layer: [`Request::MetricsSnapshot`] returns the server
+//! runtime's full [`chimera_telemetry`] registry — counters, gauges,
+//! the log₂-bucketed stage latency histograms (buckets included, so a
+//! poller can merge or re-quantile them), and the drained postmortem
+//! trace tail — as a [`Response::MetricsReply`]. The server also feeds
+//! the shared recorder itself: per-frame decode and handler timings,
+//! per-connection round-trip latency, accept/reap/cut traces and the
+//! live connection gauge. The client keeps its own always-on local
+//! recorder of synchronous request latency ([`Client::telemetry`]). No
+//! existing message's encoding changed, so version-4 frames decode
+//! byte-for-byte under version 5.
 //! * **[`client`]** — a blocking client with submission pipelining,
 //!   used by the examples, the loopback bench (`benches/net.rs`) and
 //!   the network equivalence suite.
@@ -68,6 +79,7 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientConfig, JobDone, NetError, ReconnectPolicy, PIPELINE_WINDOW};
+pub use chimera_telemetry::MetricsSnapshot;
 pub use proto::{
     ExternalEvent, Request, Response, TenantQuery, TenantReply, TriggerOutcome, WireDurability,
     WireJob, WireOp, WireOutcome, WireShardStats, WireStats, JOB_DISCONNECTED, JOB_REJECTED,

@@ -14,6 +14,7 @@
 //! | [`Request::Flush`] | [`Response::FlushDone`] |
 //! | [`Request::Stats`] | [`Response::StatsReply`] |
 //! | [`Request::WithTenantQuery`] | [`Response::TenantReply`] |
+//! | [`Request::MetricsSnapshot`] | [`Response::MetricsReply`] |
 //! | [`Request::Shutdown`] | [`Response::ShutdownAck`] |
 //!
 //! Every message round-trips bit-exactly (`encode` then `decode` is the
@@ -34,6 +35,7 @@ use crate::wire::{
 use chimera_exec::Op;
 use chimera_model::{AttrId, ClassId, Oid, TotalF64, Value};
 use chimera_runtime::{Job, JobOutcome, JobReply, RuntimeStats, StorageMode};
+use chimera_telemetry::{HistSnapshot, MetricsSnapshot, TraceEvent, TraceKind};
 
 // ------------------------------------------------------------------- jobs
 
@@ -439,6 +441,13 @@ pub enum Request {
     },
     /// Stop the server (flushes first; the runtime itself survives).
     Shutdown,
+    /// The full telemetry registry — counters, gauges, latency
+    /// histograms (buckets included) and the drained trace tail —
+    /// answered with [`Response::MetricsReply`] (version 5). On a
+    /// server whose runtime has telemetry disabled the reply carries
+    /// `enabled = false` and empty series, never an error: polling a
+    /// metrics endpoint must be safe against configuration.
+    MetricsSnapshot,
 }
 
 const REQ_HELLO: u8 = 0x01;
@@ -448,6 +457,7 @@ const REQ_FLUSH: u8 = 0x04;
 const REQ_STATS: u8 = 0x05;
 const REQ_QUERY: u8 = 0x06;
 const REQ_SHUTDOWN: u8 = 0x07;
+const REQ_METRICS: u8 = 0x08;
 
 impl Request {
     /// Encode into a fresh payload buffer.
@@ -484,6 +494,7 @@ impl Request {
                 query.encode(&mut buf);
             }
             Request::Shutdown => put_u8(&mut buf, REQ_SHUTDOWN),
+            Request::MetricsSnapshot => put_u8(&mut buf, REQ_METRICS),
         }
         buf
     }
@@ -517,6 +528,7 @@ impl Request {
                 query: TenantQuery::decode(&mut r)?,
             },
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_METRICS => Request::MetricsSnapshot,
             t => return Err(WireError::BadTag(t)),
         };
         r.finish()?;
@@ -854,6 +866,12 @@ pub enum Response {
     StatsReply(WireStats),
     /// Answers [`Request::WithTenantQuery`].
     TenantReply(TenantReply),
+    /// Answers [`Request::MetricsSnapshot`] with the server runtime's
+    /// full telemetry registry (version 5). The trace tail is encoded
+    /// as an *optional trailing block* — omitted entirely when there
+    /// are no traces — so the rest of the registry decodes the same
+    /// way whether or not a trace section follows it.
+    MetricsReply(MetricsSnapshot),
     /// Answers [`Request::Shutdown`].
     ShutdownAck,
     /// Any request that could not be served (decode failure, parse
@@ -883,6 +901,103 @@ const RESP_TENANT: u8 = 0x86;
 const RESP_SHUTDOWN_ACK: u8 = 0x87;
 const RESP_ERROR: u8 = 0x88;
 const RESP_BUSY: u8 = 0x8A;
+const RESP_METRICS: u8 = 0x8B;
+
+/// Encode one telemetry registry snapshot. Layout: `enabled` flag, the
+/// counter / gauge / histogram series (each a counted vector), then —
+/// only when non-empty — the trace tail as a counted vector of
+/// fixed-width 33-byte events.
+fn encode_metrics(buf: &mut Vec<u8>, m: &MetricsSnapshot) {
+    put_bool(buf, m.enabled);
+    put_u32(buf, m.counters.len() as u32);
+    for (name, v) in &m.counters {
+        put_str(buf, name);
+        put_u64(buf, *v);
+    }
+    put_u32(buf, m.gauges.len() as u32);
+    for (name, v) in &m.gauges {
+        put_str(buf, name);
+        put_i64(buf, *v);
+    }
+    put_u32(buf, m.hists.len() as u32);
+    for h in &m.hists {
+        put_str(buf, &h.name);
+        put_u32(buf, h.buckets.len() as u32);
+        for b in &h.buckets {
+            put_u64(buf, *b);
+        }
+    }
+    // Optional trailing block. An *empty* tail is omitted (not encoded
+    // as a zero count) so every truncation of this message either fails
+    // to decode or re-encodes bit-exactly — the invariant
+    // `tests/wire_roundtrip.rs` holds every message to.
+    if !m.traces.is_empty() {
+        put_u32(buf, m.traces.len() as u32);
+        for ev in &m.traces {
+            put_u64(buf, ev.seq);
+            put_u64(buf, ev.at_ns);
+            put_u8(buf, ev.kind as u8);
+            put_u64(buf, ev.a);
+            put_u64(buf, ev.b);
+        }
+    }
+}
+
+/// Decode the [`encode_metrics`] layout.
+fn decode_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
+    let enabled = r.bool()?;
+    // smallest named series element: empty name (4) + u64/i64 value (8)
+    let n = r.count_of(12)?;
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        counters.push((name, r.u64()?));
+    }
+    let n = r.count_of(12)?;
+    let mut gauges = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        gauges.push((name, r.i64()?));
+    }
+    // smallest histogram: empty name (4) + zero bucket count (4)
+    let n = r.count_of(8)?;
+    let mut hists = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let nb = r.count_of(8)?;
+        let mut buckets = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            buckets.push(r.u64()?);
+        }
+        hists.push(HistSnapshot { name, buckets });
+    }
+    let mut traces = Vec::new();
+    if r.remaining() > 0 {
+        // a trace event is exactly 33 bytes
+        let n = r.count_of(33)?;
+        traces.reserve(n);
+        for _ in 0..n {
+            let seq = r.u64()?;
+            let at_ns = r.u64()?;
+            let kind = r.u8()?;
+            let kind = TraceKind::from_u8(kind).ok_or(WireError::BadTag(kind))?;
+            traces.push(TraceEvent {
+                seq,
+                at_ns,
+                kind,
+                a: r.u64()?,
+                b: r.u64()?,
+            });
+        }
+    }
+    Ok(MetricsSnapshot {
+        enabled,
+        counters,
+        gauges,
+        hists,
+        traces,
+    })
+}
 
 impl Response {
     /// The completion notification for one [`JobReply`].
@@ -1042,6 +1157,10 @@ impl Response {
                     }
                 }
             }
+            Response::MetricsReply(m) => {
+                put_u8(&mut buf, RESP_METRICS);
+                encode_metrics(&mut buf, m);
+            }
             Response::ShutdownAck => put_u8(&mut buf, RESP_SHUTDOWN_ACK),
             Response::Error { message } => {
                 put_u8(&mut buf, RESP_ERROR);
@@ -1190,6 +1309,7 @@ impl Response {
                 };
                 Response::TenantReply(reply)
             }
+            RESP_METRICS => Response::MetricsReply(decode_metrics(&mut r)?),
             RESP_SHUTDOWN_ACK => Response::ShutdownAck,
             RESP_ERROR => Response::Error { message: r.str()? },
             RESP_BUSY => Response::Busy {

@@ -27,6 +27,7 @@ use crate::proto::{
 use crate::wire::{read_frame, write_frame, WireError, MAX_FRAME, PROTOCOL_VERSION};
 use chimera_lang::{parse_trigger_decls, pretty::print_trigger};
 use chimera_runtime::{Job, JobReply, Runtime, TenantId};
+use chimera_telemetry::{Counter as TelCounter, Gauge, Stage, TraceKind};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -213,6 +214,10 @@ impl Server {
             std::thread::Builder::new()
                 .name("chimera-net-accept".into())
                 .spawn(move || {
+                    // connection ids are handed out by the (single)
+                    // accept thread; they key the telemetry traces and
+                    // pick the recording shard for net-side series
+                    let mut next_conn: u64 = 0;
                     for stream in listener.incoming() {
                         if stop.load(Ordering::SeqCst) {
                             break;
@@ -239,6 +244,14 @@ impl Server {
                                 continue;
                             }
                         }
+                        let conn_id = next_conn;
+                        next_conn += 1;
+                        {
+                            let tel = runtime.telemetry();
+                            tel.count(conn_id as usize, TelCounter::ConnsAccepted, 1);
+                            tel.trace(conn_id as usize, TraceKind::ConnAccepted, conn_id, 0);
+                            tel.gauge_add(Gauge::ConnsActive, 1);
+                        }
                         let runtime = Arc::clone(&runtime);
                         let stop_conn = Arc::clone(&stop);
                         let counters_conn = Arc::clone(&counters);
@@ -247,14 +260,36 @@ impl Server {
                             .name("chimera-net-conn".into())
                             .spawn(move || {
                                 let done = stream.try_clone().ok();
-                                let _ = serve_conn(
+                                let result = serve_conn(
                                     stream,
+                                    conn_id,
                                     addr,
                                     &runtime,
                                     &config,
                                     &stop_conn,
                                     &counters_conn,
                                 );
+                                // classify the ending for the postmortem
+                                // trace: reaped at a deadline, cut by a
+                                // transport/framing error, or clean
+                                let tel = runtime.telemetry();
+                                match &result {
+                                    Err(WireError::TimedOut) => {
+                                        tel.count(conn_id as usize, TelCounter::ConnsReaped, 1);
+                                        tel.trace(
+                                            conn_id as usize,
+                                            TraceKind::ConnReaped,
+                                            conn_id,
+                                            0,
+                                        );
+                                    }
+                                    Err(_) => {
+                                        tel.count(conn_id as usize, TelCounter::ConnsCut, 1);
+                                        tel.trace(conn_id as usize, TraceKind::ConnCut, conn_id, 0);
+                                    }
+                                    Ok(()) => {}
+                                }
+                                tel.gauge_add(Gauge::ConnsActive, -1);
                                 // actively close the TCP connection: the
                                 // registry's clone would otherwise hold
                                 // the socket open past the handler's
@@ -375,6 +410,7 @@ enum Out {
 /// desynchronizes, or the server stops.
 fn serve_conn(
     stream: TcpStream,
+    conn: u64,
     server_addr: SocketAddr,
     runtime: &Runtime,
     config: &ServerConfig,
@@ -388,15 +424,20 @@ fn serve_conn(
     let mut reader = BufReader::new(stream.try_clone().map_err(WireError::from)?);
     let writer_stream = stream;
     let inflight = InFlight::new();
+    let tel = runtime.telemetry().clone();
     std::thread::scope(|scope| {
-        // each queued item carries its request's payload length, charged
+        // each queued item carries its request's payload length (charged
         // against the connection's bytes-in-flight budget until the
-        // response hits the wire
-        let (out_tx, out_rx) = sync_channel::<(Out, usize)>(SERVER_PIPELINE);
+        // response hits the wire) and the instant its frame finished
+        // arriving (the connection-RTT histogram's start mark)
+        let (out_tx, out_rx) = sync_channel::<(Out, usize, Option<std::time::Instant>)>(
+            SERVER_PIPELINE,
+        );
         let inflight = &inflight;
+        let tel_writer = tel.clone();
         let writer = scope.spawn(move || -> Result<(), WireError> {
             let mut w = BufWriter::new(writer_stream);
-            while let Ok((item, cost)) = out_rx.recv() {
+            while let Ok((item, cost, read_at)) = out_rx.recv() {
                 let resp = match item {
                     Out::Job { job, tenant, rx } => match rx.recv() {
                         Ok(reply) => Response::job_done(reply),
@@ -419,12 +460,17 @@ fn serve_conn(
                 // the request is answered: release its budget even on a
                 // socket error, so the reader never strands at the cap
                 inflight.sub(cost);
+                // request fully read → response flushed, queue waits and
+                // job execution included: the server's view of this
+                // connection's round-trip time
+                tel_writer.record_since(conn as usize, Stage::NetConnRtt, read_at);
                 result?;
             }
             Ok(())
         });
         let read_result = read_loop(
             &mut reader,
+            conn,
             runtime,
             config,
             stop,
@@ -455,13 +501,16 @@ fn serve_conn(
 #[allow(clippy::too_many_arguments)]
 fn read_loop(
     reader: &mut BufReader<TcpStream>,
+    conn: u64,
     runtime: &Runtime,
     config: &ServerConfig,
     stop: &AtomicBool,
     counters: &NetCounters,
     inflight: &InFlight,
-    out: &SyncSender<(Out, usize)>,
+    out: &SyncSender<(Out, usize, Option<std::time::Instant>)>,
 ) -> Result<bool, WireError> {
+    let tel = runtime.telemetry();
+    let worker = conn as usize;
     // the handshake gate: nothing but a version-matched Hello is served
     // until one has been seen, so the version check cannot be bypassed
     let mut greeted = false;
@@ -516,15 +565,21 @@ fn read_loop(
                         message: e.to_string(),
                     }),
                     0,
+                    None,
                 ));
                 return Err(e);
             }
         };
+        // the frame is fully in: the connection-RTT clock starts here
+        // (one shared reading also serves as the decode stage's start)
+        let read_at = tel.start();
         // charge the request's payload against the budget until its
         // response is flushed (the writer releases it)
         let cost = payload.len();
         inflight.add(cost);
-        let req = match Request::decode(&payload) {
+        let req = Request::decode(&payload);
+        tel.record_since(worker, Stage::NetFrameDecode, read_at);
+        let req = match req {
             // a payload-level decode error leaves frame boundaries
             // intact: answer and keep serving (the handshake, if still
             // pending, stays pending)
@@ -534,6 +589,7 @@ fn read_loop(
                         message: e.to_string(),
                     }),
                     cost,
+                    read_at,
                 ));
                 if sent.is_err() {
                     return Ok(false);
@@ -548,6 +604,7 @@ fn read_loop(
                     message: "handshake required: the first request must be Hello".into(),
                 }),
                 cost,
+                read_at,
             ));
             return Ok(false);
         }
@@ -573,14 +630,14 @@ fn read_loop(
                         },
                     }),
                 };
-                if out.send((item, cost)).is_err() {
+                if out.send((item, cost, read_at)).is_err() {
                     return Ok(false);
                 }
             }
             Request::Hello { .. } => {
-                let resp = handle(req, runtime, config, counters);
+                let resp = timed_handle(req, runtime, config, counters, worker);
                 let rejected = matches!(resp, Response::Error { .. });
-                let sent = out.send((Out::Resp(resp), cost));
+                let sent = out.send((Out::Resp(resp), cost, read_at));
                 if rejected || sent.is_err() {
                     // a version-mismatched client must not keep talking:
                     // its frames would be misread under this version
@@ -589,7 +646,7 @@ fn read_loop(
                 greeted = true;
             }
             Request::Shutdown => {
-                let resp = handle(req, runtime, config, counters);
+                let resp = timed_handle(req, runtime, config, counters, worker);
                 // only an acked shutdown stops the server: a failed
                 // pre-shutdown flush is answered with Error and the
                 // server keeps serving (no side effect behind an error)
@@ -599,7 +656,7 @@ fn read_loop(
                     // that saw the ack observes a stopped server
                     stop.store(true, Ordering::SeqCst);
                 }
-                let sent = out.send((Out::Resp(resp), cost));
+                let sent = out.send((Out::Resp(resp), cost, read_at));
                 if acked {
                     // the caller wakes the accept loop once the writer
                     // has flushed the ack (waking earlier would let the
@@ -611,13 +668,32 @@ fn read_loop(
                 }
             }
             req => {
-                let sent = out.send((Out::Resp(handle(req, runtime, config, counters)), cost));
+                let resp = timed_handle(req, runtime, config, counters, worker);
+                let sent = out.send((Out::Resp(resp), cost, read_at));
                 if sent.is_err() {
                     return Ok(false);
                 }
             }
         }
     }
+}
+
+/// [`handle`] with its wall-clock cost recorded into the
+/// [`Stage::NetHandler`] histogram (no clock read when telemetry is
+/// off). The submit path is not routed through here — its cost is the
+/// job's own pipeline, measured stage by stage on the runtime side.
+fn timed_handle(
+    req: Request,
+    runtime: &Runtime,
+    config: &ServerConfig,
+    counters: &NetCounters,
+    worker: usize,
+) -> Response {
+    let tel = runtime.telemetry();
+    let started = tel.start();
+    let resp = handle(req, runtime, config, counters);
+    tel.record_since(worker, Stage::NetHandler, started);
+    resp
 }
 
 /// Serve one decoded request. `counters` are the server-wide wire-layer
@@ -679,6 +755,7 @@ fn handle(
         Request::WithTenantQuery { tenant, query } => {
             Response::TenantReply(tenant_query(runtime, TenantId(tenant), query))
         }
+        Request::MetricsSnapshot => Response::MetricsReply(runtime.telemetry().snapshot()),
         Request::Shutdown => match runtime.flush() {
             Ok(()) => Response::ShutdownAck,
             Err(e) => Response::Error {

@@ -32,9 +32,14 @@ use std::io::{self, Read, Write};
 /// durability refusals (`WireOutcome::RefusedDurability`) and
 /// client-synthesized `Disconnected` outcomes in `JobDone`, plus
 /// `store_retries` / `shards_poisoned` / `net_conns_reaped` as another
-/// round of optional trailing `StatsReply` fields. The framing layer is
-/// unchanged.
-pub const PROTOCOL_VERSION: u32 = 4;
+/// round of optional trailing `StatsReply` fields. Version 5: the
+/// telemetry layer — the `MetricsSnapshot` request and its
+/// `MetricsReply` (full counter/gauge/histogram registry plus the
+/// drained trace tail; the trace block is an optional trailing field).
+/// No existing message's encoding changed, so version-4 peers still
+/// decode every version-4 message byte-for-byte (pinned in
+/// `tests/wire_roundtrip.rs`). The framing layer is unchanged.
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Default upper bound on one frame's payload (16 MiB) — comfortably
 /// above a 256-event block, far below an allocation attack.

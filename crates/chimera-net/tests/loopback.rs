@@ -565,6 +565,74 @@ fn handshake_negotiates_durability() {
     server.shutdown();
 }
 
+/// The PR's wire-level acceptance: a live durable server with telemetry
+/// on answers `MetricsSnapshot` with non-zero stage histograms for
+/// queue-wait, execute and group-commit, plus the postmortem trace tail
+/// — and a telemetry-off server answers the same request with a
+/// well-formed disabled snapshot, never an error.
+#[test]
+fn live_metrics_snapshot_over_the_wire() {
+    use chimera_runtime::{DurabilityConfig, StorageMode};
+    let dir = std::env::temp_dir().join(format!(
+        "chimera-net-metrics-loopback-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = RuntimeConfig {
+        shards: 2,
+        storage: StorageMode::Durable(DurabilityConfig::new(&dir)),
+        telemetry: true,
+        ..Default::default()
+    };
+    let rt = Runtime::new(schema(), vec![tick_trigger(&schema())], config).unwrap();
+    let server = Server::bind("127.0.0.1:0", Arc::new(rt), ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    for tenant in 0..4u64 {
+        c.raise_external(
+            tenant,
+            vec![ExternalEvent {
+                class: 0,
+                channel: 1,
+                oid: 1 + tenant,
+            }],
+        )
+        .unwrap();
+    }
+    c.drain().unwrap();
+    c.flush().unwrap();
+
+    let m = c.metrics_snapshot().unwrap();
+    assert!(m.enabled, "server telemetry is on");
+    for stage in ["queue_wait", "execute", "commit"] {
+        let h = m.hist(stage).unwrap_or_else(|| panic!("{stage} missing"));
+        assert!(h.count() > 0, "{stage} histogram is empty: {m:?}");
+    }
+    assert!(m.counter("batches_claimed").unwrap() > 0);
+    assert!(m.counter("conns_accepted").unwrap() >= 1);
+    assert!(
+        m.traces.iter().any(|t| t.kind.name() == "job_claimed"),
+        "trace tail should show claimed batches: {:?}",
+        m.traces
+    );
+    // the text exposition renders every series it was asked about
+    let text = m.render_text();
+    assert!(text.contains("queue_wait"), "{text}");
+    // the client's own recorder measured those synchronous calls
+    let local = c.telemetry().snapshot();
+    assert!(local.hist("client_request").unwrap().count() > 0);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // telemetry off (the default config): a typed disabled snapshot
+    let rt = Runtime::new(schema(), vec![], RuntimeConfig::default()).unwrap();
+    let server = Server::bind("127.0.0.1:0", Arc::new(rt), ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let m = c.metrics_snapshot().unwrap();
+    assert!(!m.enabled);
+    assert!(m.hists.is_empty() && m.traces.is_empty());
+    server.shutdown();
+}
+
 #[test]
 fn durable_server_round_trip() {
     use chimera_net::WireDurability;

@@ -9,6 +9,7 @@ use chimera_net::{
     ExternalEvent, Request, Response, TenantQuery, TenantReply, TriggerOutcome, WireDurability,
     WireJob, WireOp, WireOutcome, WireStats,
 };
+use chimera_telemetry::{HistSnapshot, MetricsSnapshot, TraceEvent, TraceKind};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngCore, RngExt, SeedableRng};
@@ -104,8 +105,37 @@ fn arb_durability(rng: &mut StdRng) -> Option<WireDurability> {
     }
 }
 
+fn arb_metrics(rng: &mut StdRng) -> MetricsSnapshot {
+    MetricsSnapshot {
+        enabled: rng.next_u32() & 1 == 1,
+        counters: (0..rng.random_range(0..4usize))
+            .map(|_| (arb_string(rng), rng.next_u64()))
+            .collect(),
+        gauges: (0..rng.random_range(0..3usize))
+            .map(|_| (arb_string(rng), rng.next_u64() as i64))
+            .collect(),
+        hists: (0..rng.random_range(0..3usize))
+            .map(|_| HistSnapshot {
+                name: arb_string(rng),
+                buckets: (0..rng.random_range(0..65usize))
+                    .map(|_| rng.next_u64())
+                    .collect(),
+            })
+            .collect(),
+        traces: (0..rng.random_range(0..4usize))
+            .map(|_| TraceEvent {
+                seq: rng.next_u64(),
+                at_ns: rng.next_u64(),
+                kind: TraceKind::from_u8(rng.random_range(0..9u32) as u8).unwrap(),
+                a: rng.next_u64(),
+                b: rng.next_u64(),
+            })
+            .collect(),
+    }
+}
+
 fn arb_request(rng: &mut StdRng) -> Request {
-    match rng.random_range(0..7u32) {
+    match rng.random_range(0..8u32) {
         0 => Request::Hello {
             version: rng.next_u32(),
             client: arb_string(rng),
@@ -125,7 +155,8 @@ fn arb_request(rng: &mut StdRng) -> Request {
             tenant: rng.next_u64(),
             query: arb_query(rng),
         },
-        _ => Request::Shutdown,
+        6 => Request::Shutdown,
+        _ => Request::MetricsSnapshot,
     }
 }
 
@@ -148,7 +179,7 @@ fn arb_outcome(rng: &mut StdRng) -> WireOutcome {
 }
 
 fn arb_response(rng: &mut StdRng) -> Response {
-    match rng.random_range(0..9u32) {
+    match rng.random_range(0..10u32) {
         0 => Response::HelloAck {
             version: rng.next_u32(),
             server: arb_string(rng),
@@ -241,6 +272,7 @@ fn arb_response(rng: &mut StdRng) -> Response {
             },
         }),
         6 => Response::ShutdownAck,
+        9 => Response::MetricsReply(arb_metrics(rng)),
         _ => Response::Error {
             message: arb_string(rng),
         },
@@ -440,6 +472,56 @@ fn version1_peers_still_decode() {
             assert_eq!(s.steals, 0);
         }
         other => panic!("expected StatsReply, got {other:?}"),
+    }
+}
+
+#[test]
+fn version4_peers_still_decode() {
+    // version 5 adds *new tags only* — no version-4 message's encoding
+    // changed, so a version-4 peer decodes every frame it knew about
+    // byte-for-byte. Pin the fixed encodings that contract rests on
+    // (and the new tags, which a version-4 peer rejects as BadTag — a
+    // typed refusal, never a desync, since frames are length-prefixed).
+    assert_eq!(chimera_net::PROTOCOL_VERSION, 5);
+    assert_eq!(Request::Flush.encode(), vec![0x04]);
+    assert_eq!(Request::Stats.encode(), vec![0x05]);
+    assert_eq!(Request::Shutdown.encode(), vec![0x07]);
+    assert_eq!(Request::MetricsSnapshot.encode(), vec![0x08]);
+    assert_eq!(Response::FlushDone.encode(), vec![0x84]);
+    assert_eq!(Response::ShutdownAck.encode(), vec![0x87]);
+    assert_eq!(Response::MetricsReply(MetricsSnapshot::disabled()).encode()[0], 0x8B);
+
+    // the MetricsReply trace tail is an optional trailing block: cutting
+    // it yields a reply that decodes (traces empty, every other series
+    // intact) and re-encodes bit-exactly to the cut form
+    let m = MetricsSnapshot {
+        enabled: true,
+        counters: vec![("batches_claimed".into(), 7)],
+        gauges: vec![("conns_active".into(), -2)],
+        hists: vec![HistSnapshot {
+            name: "execute".into(),
+            buckets: vec![0; 64],
+        }],
+        traces: vec![TraceEvent {
+            seq: 1,
+            at_ns: 99,
+            kind: TraceKind::JobClaimed,
+            a: 3,
+            b: 4,
+        }],
+    };
+    let bytes = Response::MetricsReply(m.clone()).encode();
+    // the trace block is a u32 count plus one 33-byte event
+    let cut = &bytes[..bytes.len() - (4 + 33)];
+    match Response::decode(cut).unwrap() {
+        Response::MetricsReply(got) => {
+            assert!(got.traces.is_empty());
+            assert_eq!(got.counters, m.counters);
+            assert_eq!(got.gauges, m.gauges);
+            assert_eq!(got.hists, m.hists);
+            assert_eq!(Response::MetricsReply(got).encode(), cut);
+        }
+        other => panic!("expected MetricsReply, got {other:?}"),
     }
 }
 

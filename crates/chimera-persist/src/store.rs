@@ -43,6 +43,10 @@ pub struct StoreCounters {
     pub syncs: u64,
     /// Shard snapshots written.
     pub snapshots: u64,
+    /// Wall-clock nanoseconds spent inside fsync (cumulative over
+    /// `syncs`) — the telemetry layer's ground truth for how much of a
+    /// batch's latency the group commit actually bought.
+    pub sync_nanos: u64,
 }
 
 /// What a store hands back at startup.
@@ -177,15 +181,19 @@ impl StateStore for DurableStore {
         log.stage(tenant, record);
         self.counters.appends += 1;
         if every_job {
+            let started = std::time::Instant::now();
             self.log_mut()?.sync()?;
             self.counters.syncs += 1;
+            self.counters.sync_nanos += started.elapsed().as_nanos() as u64;
         }
         Ok(())
     }
 
     fn commit(&mut self) -> Result<()> {
+        let started = std::time::Instant::now();
         if self.log_mut()?.sync()?.is_some() {
             self.counters.syncs += 1;
+            self.counters.sync_nanos += started.elapsed().as_nanos() as u64;
         }
         Ok(())
     }
@@ -267,6 +275,7 @@ mod tests {
             s.commit().unwrap();
             let c = s.counters();
             assert_eq!((c.appends, c.syncs), (3, 2));
+            assert!(c.sync_nanos > 0, "syncs happened, so sync time accrued");
             assert_eq!(s.groups_since_snapshot(), 2);
         }
         let mut s = DurableStore::open(&dir, SyncPolicy::GroupCommit).unwrap();

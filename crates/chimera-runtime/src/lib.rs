@@ -80,7 +80,25 @@
 //! snapshotted into it, and the home resumes durable service. Fault
 //! injection for all of this lives in the `chimera-chaos` crate (a
 //! [`StoreWrap`] hook wraps each home's store); the oracle is
-//! `tests/chaos_recovery.rs`.
+//! `tests/chaos_recovery.rs`. One escape hatch keeps the repair path
+//! reachable: a poisoned home still *runs* [`Job::Rollback`] (RAM-only,
+//! nothing logged — the store is dead and rolling back needs nothing
+//! from it), so a tenant demoted mid-transaction can reach the
+//! committed-only state `reopen_shard_store` requires.
+//!
+//! ## Telemetry
+//!
+//! With [`RuntimeConfig::telemetry`] on, every worker feeds a shared
+//! `chimera_telemetry::Telemetry` recorder ([`Runtime::telemetry`]):
+//! per-job stage histograms — queue wait (submission → claim), WAL
+//! append, execution, the group-commit fsync, reply delivery — plus
+//! counters (batches claimed, store retries, demotions, poisonings)
+//! and postmortem trace events (jobs claimed, homes poisoned, stores
+//! reopened) in a fixed-capacity ring. Recording is one `Instant` read
+//! plus one relaxed `fetch_add` into a per-worker shard; the default
+//! off mode is a `None` branch (`benches/telemetry.rs` bounds on-mode
+//! within 5% of off on the house block workload). `chimera-net`
+//! exposes the whole registry over the wire as `MetricsSnapshot`.
 //!
 //! ## Quick tour
 //!

@@ -14,6 +14,7 @@ use chimera_model::{ClassId, Oid, Schema};
 use chimera_persist::{DurableStore, InMemoryStore, StateStore, SyncPolicy};
 use chimera_rules::table::RuleError;
 use chimera_rules::{RuleTable, TriggerDef};
+use chimera_telemetry::Telemetry;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -266,6 +267,13 @@ pub struct RuntimeConfig {
     /// built (fault injection, instrumentation). `None` — the default —
     /// uses the stores as built.
     pub store_wrap: Option<StoreWrap>,
+    /// Enable the telemetry layer: per-worker stage histograms
+    /// (queue-wait, append, execute, commit, reply), counters and the
+    /// postmortem trace ring, all readable via [`Runtime::telemetry`].
+    /// `false` — the default — keeps the hot path at its un-instrumented
+    /// cost: every telemetry call is a single `None` check and the clock
+    /// is never read.
+    pub telemetry: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -278,6 +286,7 @@ impl Default for RuntimeConfig {
             engine: EngineConfig::default(),
             storage: StorageMode::InMemory,
             store_wrap: None,
+            telemetry: false,
         }
     }
 }
@@ -392,8 +401,16 @@ impl Runtime {
         // the registry is fully rebuilt before any worker exists
         let tenants = Arc::new(Tenants::new());
         let counters = Arc::new(Counters::default());
-        let recovery_ctx =
-            WorkerCtx::new(schema.clone(), Arc::clone(&triggers), config.engine.clone());
+        // recovery is deliberately unmeasured (Telemetry::off): its jobs
+        // replay before any worker or client exists, so folding them into
+        // the live stage histograms would only skew the first snapshot
+        let recovery_ctx = WorkerCtx::new(
+            schema.clone(),
+            Arc::clone(&triggers),
+            config.engine.clone(),
+            Telemetry::off(),
+            0,
+        );
         let mut report = RecoveryReport::default();
         for home in &homes {
             let stats = recover_home(home, &tenants, &counters, &recovery_ctx)
@@ -415,6 +432,11 @@ impl Runtime {
             triggers,
             engine_cfg: config.engine.clone(),
             snapshot_every,
+            telemetry: if config.telemetry {
+                Telemetry::new(shard_count)
+            } else {
+                Telemetry::off()
+            },
         };
         let handles = (0..shard_count)
             .map(|i| Some(spawn_worker(i, fabric.clone())))
@@ -433,6 +455,17 @@ impl Runtime {
     /// The storage mode the runtime was built with.
     pub fn storage(&self) -> &StorageMode {
         &self.config.storage
+    }
+
+    /// The runtime's telemetry handle: stage histograms, counters,
+    /// gauges and the postmortem trace ring. With
+    /// [`RuntimeConfig::telemetry`] off this is the no-op
+    /// [`Telemetry::off`] handle — `snapshot()` returns a disabled
+    /// [`chimera_telemetry::MetricsSnapshot`] and `recent()` is empty.
+    /// The net layer shares this same handle, so one snapshot covers
+    /// runtime *and* server-side series.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.fabric.telemetry
     }
 
     /// Number of shards (worker threads / home shards).
@@ -492,7 +525,12 @@ impl Runtime {
         reply: Option<(JobId, SyncSender<JobReply>)>,
     ) -> Result<(), RuntimeError> {
         let home = self.shard_of(tenant);
-        let env = Envelope { tenant, job, reply };
+        let env = Envelope {
+            tenant,
+            job,
+            reply,
+            queued_at: self.fabric.telemetry.start(),
+        };
         match self
             .fabric
             .pool
@@ -602,7 +640,14 @@ impl Runtime {
             homes,
             shard,
         )?;
-        reopen_home(home, homes, &self.fabric.tenants, store).map_err(RuntimeError::Persist)
+        reopen_home(
+            home,
+            homes,
+            &self.fabric.tenants,
+            store,
+            &self.fabric.telemetry,
+        )
+        .map_err(RuntimeError::Persist)
     }
 
     /// Aggregate counters over every shard, worker and tenant engine,
@@ -643,6 +688,7 @@ impl Runtime {
         for (i, home) in f.homes.iter().enumerate() {
             out.wal_appends += home.wal_appends.load(Ordering::Relaxed);
             out.wal_syncs += home.wal_syncs.load(Ordering::Relaxed);
+            out.wal_sync_nanos += home.wal_sync_nanos.load(Ordering::Relaxed);
             out.snapshots += home.snapshots.load(Ordering::Relaxed);
             out.tenants_recovered += home.recovered_tenants.load(Ordering::Relaxed);
             out.jobs_replayed += home.replayed_jobs.load(Ordering::Relaxed);

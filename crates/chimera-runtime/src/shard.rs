@@ -35,6 +35,7 @@ use chimera_exec::{Engine, EngineConfig, EngineStats};
 use chimera_model::{ObjectStore, Schema};
 use chimera_persist::{JobRecord, RuleStampRec, StateStore, TenantSnapshot};
 use chimera_rules::{SharedProbePool, TriggerDef};
+use chimera_telemetry::{Counter as TelCounter, Stage, Telemetry, TraceKind};
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +51,9 @@ pub(crate) struct Envelope {
     pub tenant: TenantId,
     pub job: Job,
     pub reply: Option<(JobId, SyncSender<JobReply>)>,
+    /// Admission timestamp for the telemetry queue-wait histogram.
+    /// `None` when telemetry is off — the clock is never read then.
+    pub queued_at: Option<std::time::Instant>,
 }
 
 /// The stable tenant→home-shard placement: a SplitMix64 finalizer over
@@ -142,6 +146,10 @@ pub(crate) struct Home {
     pub base_appends: AtomicU64,
     pub base_syncs: AtomicU64,
     pub base_snapshots: AtomicU64,
+    /// Cumulative wall-clock nanoseconds the store spent inside fsync
+    /// (published like the other store counters, with a `base_` carry).
+    pub wal_sync_nanos: AtomicU64,
+    pub base_sync_nanos: AtomicU64,
     /// Transient store faults absorbed by the bounded retry loop
     /// ([`with_retry`]) instead of poisoning the home.
     pub store_retries: AtomicU64,
@@ -179,6 +187,8 @@ impl Home {
             base_appends: AtomicU64::new(0),
             base_syncs: AtomicU64::new(0),
             base_snapshots: AtomicU64::new(0),
+            wal_sync_nanos: AtomicU64::new(0),
+            base_sync_nanos: AtomicU64::new(0),
             store_retries: AtomicU64::new(0),
             recovered_tenants: AtomicU64::new(0),
             replayed_jobs: AtomicU64::new(0),
@@ -207,6 +217,7 @@ const STORE_RETRY_LIMIT: u32 = 3;
 
 fn with_retry<T>(
     home: &Home,
+    ctx: &WorkerCtx,
     mut op: impl FnMut() -> chimera_persist::Result<T>,
 ) -> chimera_persist::Result<T> {
     let mut backoff_ms = 1u64;
@@ -214,6 +225,9 @@ fn with_retry<T>(
         match op() {
             Err(e) if e.is_transient() => {
                 home.store_retries.fetch_add(1, Ordering::Relaxed);
+                ctx.tel.count(ctx.worker, TelCounter::StoreRetries, 1);
+                ctx.tel
+                    .trace(ctx.worker, TraceKind::StoreRetried, home.index as u64, 0);
                 std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
                 backoff_ms *= 2;
             }
@@ -259,15 +273,28 @@ pub(crate) struct WorkerCtx {
     triggers: Arc<Vec<TriggerDef>>,
     engine_cfg: EngineConfig,
     probe_pool: SharedProbePool,
+    /// The runtime's telemetry handle ([`Telemetry::off`] when disabled
+    /// and during startup recovery).
+    tel: Telemetry,
+    /// This worker's index — selects the telemetry shard bank.
+    worker: usize,
 }
 
 impl WorkerCtx {
-    pub fn new(schema: Schema, triggers: Arc<Vec<TriggerDef>>, engine_cfg: EngineConfig) -> Self {
+    pub fn new(
+        schema: Schema,
+        triggers: Arc<Vec<TriggerDef>>,
+        engine_cfg: EngineConfig,
+        tel: Telemetry,
+        worker: usize,
+    ) -> Self {
         WorkerCtx {
             schema,
             triggers,
             engine_cfg,
             probe_pool: SharedProbePool::default(),
+            tel,
+            worker,
         }
     }
 }
@@ -285,6 +312,7 @@ pub(crate) struct Fabric {
     pub triggers: Arc<Vec<TriggerDef>>,
     pub engine_cfg: EngineConfig,
     pub snapshot_every: u64,
+    pub telemetry: Telemetry,
 }
 
 /// Spawn one worker thread running the claim loop until the pool closes.
@@ -303,6 +331,8 @@ fn run_worker(index: usize, fabric: Fabric) {
         fabric.schema.clone(),
         Arc::clone(&fabric.triggers),
         fabric.engine_cfg.clone(),
+        fabric.telemetry.clone(),
+        index,
     );
     let me = &fabric.workers[index];
     while let Some(claim) = fabric.pool.claim(index) {
@@ -310,6 +340,9 @@ fn run_worker(index: usize, fabric: Fabric) {
             me.steals.fetch_add(1, Ordering::Relaxed);
         }
         let retired = claim.batch.len() as u64;
+        ctx.tel.count(index, TelCounter::Batches, 1);
+        ctx.tel
+            .trace(index, TraceKind::JobClaimed, claim.tenant, retired);
         run_batch(
             &fabric.homes[claim.home],
             fabric.homes.len(),
@@ -361,10 +394,17 @@ fn run_batch(
     batch: Vec<Envelope>,
     snapshot_every: u64,
 ) {
+    let tel = &ctx.tel;
+    // queue wait: admission → claim, one sample per staged job
+    for env in &batch {
+        tel.record_since(ctx.worker, Stage::QueueWait, env.queued_at);
+    }
+
     // phase 1 — stage every loggable job's intent record into the home
     // store, in batch order, under one store-lock hold
     let mut appended_any = false;
     let plans: Vec<Disposition> = if home.durable {
+        let append_started = tel.start();
         let mut slot = home.lock();
         let plans = batch
             .iter()
@@ -373,6 +413,17 @@ fn run_batch(
                     return Disposition::Gate;
                 }
                 if let Some(msg) = &slot.poisoned {
+                    // A poisoned home refuses everything *except*
+                    // `Rollback`: without it a tenant caught
+                    // mid-transaction by the poisoning could never
+                    // return to the committed-only state
+                    // `reopen_shard_store` requires. The rollback runs
+                    // unlogged — the store is dead, and recovery replays
+                    // a log whose last group never included this
+                    // transaction's commit anyway.
+                    if matches!(env.job, Job::Rollback) {
+                        return Disposition::Run { logged: false };
+                    }
                     return Disposition::Refuse {
                         msg: msg.clone(),
                         durability: true,
@@ -391,7 +442,7 @@ fn run_batch(
                 }
                 match job_record(&env.job) {
                     Some(record) => {
-                        match with_retry(home, || slot.store.append(env.tenant.0, &record)) {
+                        match with_retry(home, ctx, || slot.store.append(env.tenant.0, &record)) {
                             Ok(()) => {
                                 appended_any = true;
                                 Disposition::Run { logged: true }
@@ -399,6 +450,13 @@ fn run_batch(
                             Err(e) => {
                                 let msg = format!("shard store failed: {e}");
                                 slot.poisoned = Some(msg.clone());
+                                tel.count(ctx.worker, TelCounter::Poisonings, 1);
+                                tel.trace(
+                                    ctx.worker,
+                                    TraceKind::HomePoisoned,
+                                    home.index as u64,
+                                    0,
+                                );
                                 Disposition::Refuse {
                                     msg,
                                     durability: true,
@@ -413,6 +471,8 @@ fn run_batch(
         if appended_any {
             slot.inflight += 1;
         }
+        drop(slot);
+        tel.record_since(ctx.worker, Stage::Append, append_started);
         plans
     } else {
         batch
@@ -445,10 +505,13 @@ fn run_batch(
                 refuse(tenants, counters, ctx, env.tenant.0, msg, durability),
                 false,
             ),
-            Disposition::Run { logged } => (
-                run_job(tenants, counters, ctx, env.tenant.0, env.job, home.durable),
-                logged,
-            ),
+            Disposition::Run { logged } => {
+                let exec_started = tel.start();
+                let outcome =
+                    run_job(tenants, counters, ctx, env.tenant.0, env.job, home.durable);
+                tel.record_since(ctx.worker, Stage::Execute, exec_started);
+                (outcome, logged)
+            }
         };
         pending.push(Pending {
             reply: env.reply,
@@ -471,15 +534,22 @@ fn run_batch(
                 // successes must be demoted exactly as if the commit
                 // call itself had failed
                 demote = Some(msg.clone());
-            } else if let Err(e) = with_retry(home, || slot.store.commit()) {
-                let msg = format!("shard store failed: {e}");
-                slot.poisoned = Some(msg.clone());
-                demote = Some(msg);
+            } else {
+                let commit_started = tel.start();
+                let committed = with_retry(home, ctx, || slot.store.commit());
+                tel.record_since(ctx.worker, Stage::Commit, commit_started);
+                if let Err(e) = committed {
+                    let msg = format!("shard store failed: {e}");
+                    slot.poisoned = Some(msg.clone());
+                    tel.count(ctx.worker, TelCounter::Poisonings, 1);
+                    tel.trace(ctx.worker, TraceKind::HomePoisoned, home.index as u64, 0);
+                    demote = Some(msg);
+                }
             }
         }
         publish_counters(home, &*slot.store);
         if slot.poisoned.is_none() && snapshot_every > 0 && slot.inflight == 0 {
-            maybe_snapshot(&mut slot, home, homes, tenants, snapshot_every);
+            maybe_snapshot(&mut slot, home, homes, tenants, snapshot_every, ctx);
         }
     }
     // the batch's durability is not established — demote its successes
@@ -494,13 +564,22 @@ fn run_batch(
         for p in &mut pending {
             if p.logged && p.outcome.is_done() {
                 p.outcome = refuse(tenants, counters, ctx, p.tenant.0, msg.clone(), true);
+                tel.count(ctx.worker, TelCounter::Demotions, 1);
+                tel.trace(
+                    ctx.worker,
+                    TraceKind::JobDemoted,
+                    p.tenant.0,
+                    home.index as u64,
+                );
             }
         }
     }
 
+    let reply_started = tel.start();
     for p in pending {
         answer(p.reply, p.tenant, p.outcome);
     }
+    tel.record_since(ctx.worker, Stage::Reply, reply_started);
 }
 
 /// Record a store-refusal against the tenant's bookkeeping (the slot is
@@ -701,6 +780,10 @@ fn publish_counters(home: &Home, store: &dyn StateStore) {
         home.base_snapshots.load(Ordering::Relaxed) + c.snapshots,
         Ordering::Relaxed,
     );
+    home.wal_sync_nanos.store(
+        home.base_sync_nanos.load(Ordering::Relaxed) + c.sync_nanos,
+        Ordering::Relaxed,
+    );
 }
 
 /// Startup recovery for one home: read its store back, rebuild every
@@ -847,6 +930,7 @@ fn maybe_snapshot(
     homes: usize,
     tenants: &Tenants,
     snapshot_every: u64,
+    ctx: &WorkerCtx,
 ) {
     if slot.store.groups_since_snapshot() < snapshot_every {
         return;
@@ -871,8 +955,19 @@ fn maybe_snapshot(
         .collect();
     drop(guards);
     snaps.sort_by_key(|t| t.tenant);
-    if let Err(e) = with_retry(home, || slot.store.snapshot(&snaps)) {
-        slot.poisoned = Some(format!("shard store failed: {e}"));
+    let count = snaps.len() as u64;
+    match with_retry(home, ctx, || slot.store.snapshot(&snaps)) {
+        Ok(()) => {
+            ctx.tel.count(ctx.worker, TelCounter::Snapshots, 1);
+            ctx.tel
+                .trace(ctx.worker, TraceKind::SnapshotTaken, home.index as u64, count);
+        }
+        Err(e) => {
+            slot.poisoned = Some(format!("shard store failed: {e}"));
+            ctx.tel.count(ctx.worker, TelCounter::Poisonings, 1);
+            ctx.tel
+                .trace(ctx.worker, TraceKind::HomePoisoned, home.index as u64, 0);
+        }
     }
     publish_counters(home, &*slot.store);
 }
@@ -899,6 +994,7 @@ pub(crate) fn reopen_home(
     homes: usize,
     tenants: &Tenants,
     mut store: Box<dyn StateStore>,
+    tel: &Telemetry,
 ) -> Result<(), String> {
     let mut slot = home.lock();
     if slot.inflight != 0 {
@@ -940,8 +1036,10 @@ pub(crate) fn reopen_home(
     home.base_appends.fetch_add(old.appends, Ordering::Relaxed);
     home.base_syncs.fetch_add(old.syncs, Ordering::Relaxed);
     home.base_snapshots.fetch_add(old.snapshots, Ordering::Relaxed);
+    home.base_sync_nanos.fetch_add(old.sync_nanos, Ordering::Relaxed);
     slot.store = store;
     slot.poisoned = None;
     publish_counters(home, &*slot.store);
+    tel.trace(home.index, TraceKind::StoreReopened, home.index as u64, 0);
     Ok(())
 }

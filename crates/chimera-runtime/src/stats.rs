@@ -47,6 +47,10 @@ pub struct RuntimeStats {
     /// *batches*, so `wal_appends / wal_syncs` is the achieved group
     /// size.
     pub wal_syncs: u64,
+    /// Cumulative wall-clock nanoseconds the stores spent inside fsync,
+    /// summed over the shards — `wal_sync_nanos / wal_syncs` is the mean
+    /// fsync cost the group commit amortizes across each batch.
+    pub wal_sync_nanos: u64,
     /// Shard snapshots written (periodic job-log compaction).
     pub snapshots: u64,
     /// Tenants rebuilt from shard snapshots at startup.

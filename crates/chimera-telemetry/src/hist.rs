@@ -1,0 +1,209 @@
+//! The log₂-bucketed latency histogram: 64 fixed power-of-two
+//! nanosecond buckets behind relaxed atomics.
+//!
+//! Bucket `i` holds every sample `ns` with `floor(log2(max(ns, 1))) ==
+//! i` — that is, the half-open value range `[2^i, 2^(i+1))`, with the
+//! samples `0` and `1` sharing bucket 0. The bucket index is one
+//! `leading_zeros` instruction, and recording is exactly **one relaxed
+//! `fetch_add`** on the bucket — no count, no sum, no max register —
+//! so the hot path pays one `Instant` delta plus one uncontended
+//! atomic increment. Everything else (count, quantiles, max) is
+//! derived at read time by summing the buckets ("merge-on-read").
+//!
+//! Quantile estimates are therefore bucket-granular: a reported p99 is
+//! the *lower bound* (`2^i`) of the bucket holding the rank-`⌈q·n⌉`
+//! sample, which is within one power-of-two bucket of the exact value.
+//! The property suite pins this against a sorted-vec oracle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per power of two a u64 nanosecond value can
+/// start with. `2^63` ns is ~292 years, so the top bucket is
+/// unreachable in practice but keeps the index math branch-free.
+pub const BUCKETS: usize = 64;
+
+/// The bucket a nanosecond sample lands in: `floor(log2(ns | 1))`.
+#[inline]
+pub fn bucket_of(ns: u64) -> usize {
+    (63 - (ns | 1).leading_zeros()) as usize
+}
+
+/// The smallest value bucket `i` holds (its representative value for
+/// quantile reporting): `2^i`.
+#[inline]
+pub fn bucket_floor(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// The largest value bucket `i` holds: `2^(i+1) - 1` (saturating for
+/// the top bucket).
+#[inline]
+pub fn bucket_ceil(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// One live histogram: 64 relaxed atomic buckets. Writers share it
+/// freely (the recorder shards per worker anyway, so contention is
+/// already rare); readers snapshot into a [`HistSnapshot`].
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one nanosecond sample: one relaxed `fetch_add`.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold this histogram's buckets into a snapshot (merge-on-read).
+    pub fn merge_into(&self, snap: &mut HistSnapshot) {
+        for (i, b) in self.buckets.iter().enumerate() {
+            snap.buckets[i] += b.load(Ordering::Relaxed);
+        }
+    }
+}
+
+/// A read-time copy of one histogram (possibly merged over several
+/// per-worker shards), with the derived views: count, quantiles, max.
+/// This is also the form that travels over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// The stage/series name, e.g. `"queue_wait"`.
+    pub name: String,
+    /// Bucket counts, exactly [`BUCKETS`] entries.
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot for `name`.
+    pub fn empty(name: impl Into<String>) -> HistSnapshot {
+        HistSnapshot {
+            name: name.into(),
+            buckets: vec![0; BUCKETS],
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Add another snapshot's buckets into this one. The merge of two
+    /// histograms is exactly the histogram of the union of their
+    /// samples (pinned by the property suite).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (i, b) in other.buckets.iter().enumerate().take(BUCKETS) {
+            self.buckets[i] += b;
+        }
+    }
+
+    /// The bucket-floor estimate of quantile `q` in `[0, 1]`: the lower
+    /// bound `2^i` of the bucket containing the rank-`⌈q·n⌉` sample
+    /// (rank clamped to `[1, n]`). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_floor(i);
+            }
+        }
+        bucket_floor(BUCKETS - 1)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Bucket-floor estimate of the maximum recorded sample: the lower
+    /// bound of the highest non-empty bucket (0 when empty). Bucket
+    /// granular, like the quantiles — recording keeps no max register.
+    pub fn max(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&b| b > 0)
+            .map(bucket_floor)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        for k in 1..63usize {
+            assert_eq!(bucket_of(1u64 << k), k, "2^{k} starts bucket {k}");
+            assert_eq!(bucket_of((1u64 << k) - 1), k - 1, "2^{k}-1 ends bucket {}", k - 1);
+        }
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_and_max_from_known_samples() {
+        let h = Histogram::new();
+        // 90 fast samples in [16, 32), 10 slow in [1024, 2048)
+        for _ in 0..90 {
+            h.record(20);
+        }
+        for _ in 0..10 {
+            h.record(1500);
+        }
+        let mut s = HistSnapshot::empty("t");
+        h.merge_into(&mut s);
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.p50(), 16);
+        assert_eq!(s.p90(), 16);
+        assert_eq!(s.p99(), 1024);
+        assert_eq!(s.max(), 1024);
+        assert_eq!(s.quantile(0.0), 16); // rank clamps to 1
+        assert_eq!(s.quantile(1.0), 1024);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let s = HistSnapshot::empty("t");
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max(), 0);
+    }
+}

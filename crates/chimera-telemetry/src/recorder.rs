@@ -1,0 +1,511 @@
+//! The recorder: per-worker-sharded counters, gauges and stage
+//! histograms behind one cheap handle, with a zero-cost off mode.
+//!
+//! [`Telemetry`] is a clonable handle — `Some(Arc<Registry>)` when
+//! recording, `None` when off. Every recording call starts with that
+//! `Option` check, so [`Telemetry::off`] costs one branch per call
+//! site and *nothing* else: no `Instant::now()`, no atomic, no
+//! allocation ([`Telemetry::start`] returns `None`, so even the clock
+//! read is skipped).
+//!
+//! The registry shards by worker: each worker thread records into its
+//! own bank of atomics (one full set of stage histograms, counters and
+//! a trace ring per shard), so the hot path's `fetch_add` lands on an
+//! uncontended cache line. Reads ([`Telemetry::snapshot`]) merge the
+//! shards — merge-on-read, the write side never synchronizes.
+
+use crate::hist::{HistSnapshot, Histogram};
+use crate::trace::{TraceEvent, TraceKind, TraceRing};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A timed pipeline stage, each with its own histogram. The `usize`
+/// values index the per-shard histogram bank; the names are the wire
+/// and text-exposition identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Stage {
+    /// Admission → claim: how long a job sat staged in the pool.
+    QueueWait = 0,
+    /// Phase 1 of a durable batch: intent records appended to the WAL.
+    Append = 1,
+    /// One job's execution against its tenant engine.
+    Execute = 2,
+    /// Phase 3 of a durable batch: the group-commit fsync.
+    Commit = 3,
+    /// Delivering the batch's completion replies.
+    Reply = 4,
+    /// Server side: decoding one request frame.
+    NetFrameDecode = 5,
+    /// Server side: running one request's handler.
+    NetHandler = 6,
+    /// Server side: request read → response written, per connection.
+    NetConnRtt = 7,
+    /// Client side: one synchronous request's send → response latency.
+    ClientRequest = 8,
+}
+
+/// Every stage, in index order.
+pub const STAGES: [Stage; 9] = [
+    Stage::QueueWait,
+    Stage::Append,
+    Stage::Execute,
+    Stage::Commit,
+    Stage::Reply,
+    Stage::NetFrameDecode,
+    Stage::NetHandler,
+    Stage::NetConnRtt,
+    Stage::ClientRequest,
+];
+
+impl Stage {
+    /// Stable snake_case name (wire + text exposition identity).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::Append => "append",
+            Stage::Execute => "execute",
+            Stage::Commit => "commit",
+            Stage::Reply => "reply",
+            Stage::NetFrameDecode => "net_frame_decode",
+            Stage::NetHandler => "net_handler",
+            Stage::NetConnRtt => "net_conn_rtt",
+            Stage::ClientRequest => "client_request",
+        }
+    }
+}
+
+/// A monotone counter series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Batches claimed by workers.
+    Batches = 0,
+    /// Store operations that took the transient-retry path.
+    StoreRetries = 1,
+    /// Job successes demoted to durability refusals.
+    Demotions = 2,
+    /// Home shards poisoned.
+    Poisonings = 3,
+    /// Connections the server accepted.
+    ConnsAccepted = 4,
+    /// Connections reaped at a deadline.
+    ConnsReaped = 5,
+    /// Connections ended by a transport error.
+    ConnsCut = 6,
+    /// Shard snapshots written.
+    Snapshots = 7,
+    /// Trace events lost to ring wrap before a drain reached them.
+    TraceDropped = 8,
+}
+
+/// Every counter, in index order.
+pub const COUNTERS: [Counter; 9] = [
+    Counter::Batches,
+    Counter::StoreRetries,
+    Counter::Demotions,
+    Counter::Poisonings,
+    Counter::ConnsAccepted,
+    Counter::ConnsReaped,
+    Counter::ConnsCut,
+    Counter::Snapshots,
+    Counter::TraceDropped,
+];
+
+impl Counter {
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Batches => "batches_claimed",
+            Counter::StoreRetries => "store_retries",
+            Counter::Demotions => "jobs_demoted",
+            Counter::Poisonings => "homes_poisoned",
+            Counter::ConnsAccepted => "conns_accepted",
+            Counter::ConnsReaped => "conns_reaped",
+            Counter::ConnsCut => "conns_cut",
+            Counter::Snapshots => "snapshots_taken",
+            Counter::TraceDropped => "trace_events_dropped",
+        }
+    }
+}
+
+/// An instantaneous (up/down) gauge series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Connections currently open on the server.
+    ConnsActive = 0,
+}
+
+/// Every gauge, in index order.
+pub const GAUGES: [Gauge; 1] = [Gauge::ConnsActive];
+
+impl Gauge {
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::ConnsActive => "conns_active",
+        }
+    }
+}
+
+/// One worker's private bank of series.
+struct Shard {
+    hists: Vec<Histogram>,
+    counters: Vec<AtomicU64>,
+    ring: TraceRing,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            hists: (0..STAGES.len()).map(|_| Histogram::new()).collect(),
+            counters: (0..COUNTERS.len()).map(|_| AtomicU64::new(0)).collect(),
+            ring: TraceRing::new(),
+        }
+    }
+}
+
+/// The shared recorder state behind an enabled [`Telemetry`] handle.
+struct Registry {
+    shards: Vec<Shard>,
+    /// Gauges are registry-global (they go up *and* down, so per-shard
+    /// banks would need signed merging for no benefit).
+    gauges: Vec<AtomicI64>,
+    /// Global trace sequence — total order across every shard's ring.
+    trace_seq: AtomicU64,
+    /// Drops accounted by previous drains (folded into the counter).
+    trace_dropped: AtomicU64,
+    /// The recorder's time zero for trace timestamps.
+    epoch: Instant,
+}
+
+/// The telemetry handle: clone freely, record from any thread.
+///
+/// `worker` arguments pick the recording shard; pass the worker/thread
+/// index you have (it is reduced modulo the shard count, so any stable
+/// small integer — a connection id, say — also works).
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Arc<Registry>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(r) => write!(f, "Telemetry(on, {} shards)", r.shards.len()),
+            None => f.write_str("Telemetry(off)"),
+        }
+    }
+}
+
+impl Telemetry {
+    /// An enabled recorder with `shards` per-worker banks (clamped ≥ 1).
+    pub fn new(shards: usize) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Registry {
+                shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
+                gauges: (0..GAUGES.len()).map(|_| AtomicI64::new(0)).collect(),
+                trace_seq: AtomicU64::new(0),
+                trace_dropped: AtomicU64::new(0),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// The zero-cost off mode: every recording call is one `None`
+    /// check; [`Telemetry::start`] skips even the clock read.
+    pub fn off() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// Is this handle recording?
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A stage-timing start mark: `Some(now)` when recording, `None`
+    /// when off — so an off-mode caller never touches the clock. Pair
+    /// with [`Telemetry::record_since`].
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        self.inner.as_ref().map(|_| Instant::now())
+    }
+
+    /// Record the elapsed time since a [`Telemetry::start`] mark into
+    /// `stage`'s histogram. No-op when off or when `start` is `None`.
+    #[inline]
+    pub fn record_since(&self, worker: usize, stage: Stage, start: Option<Instant>) {
+        if let (Some(reg), Some(t0)) = (&self.inner, start) {
+            let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            reg.shards[worker % reg.shards.len()].hists[stage as usize].record(ns);
+        }
+    }
+
+    /// Record an already-measured nanosecond sample into `stage`.
+    #[inline]
+    pub fn record_ns(&self, worker: usize, stage: Stage, ns: u64) {
+        if let Some(reg) = &self.inner {
+            reg.shards[worker % reg.shards.len()].hists[stage as usize].record(ns);
+        }
+    }
+
+    /// Bump a monotone counter by `n`.
+    #[inline]
+    pub fn count(&self, worker: usize, counter: Counter, n: u64) {
+        if let Some(reg) = &self.inner {
+            reg.shards[worker % reg.shards.len()].counters[counter as usize]
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Move a gauge by `delta` (positive or negative).
+    #[inline]
+    pub fn gauge_add(&self, gauge: Gauge, delta: i64) {
+        if let Some(reg) = &self.inner {
+            reg.gauges[gauge as usize].fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one trace event into `worker`'s ring (timestamped and
+    /// sequenced here). No-op when off.
+    pub fn trace(&self, worker: usize, kind: TraceKind, a: u64, b: u64) {
+        if let Some(reg) = &self.inner {
+            let ev = TraceEvent {
+                seq: reg.trace_seq.fetch_add(1, Ordering::Relaxed),
+                at_ns: reg.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                kind,
+                a,
+                b,
+            };
+            reg.shards[worker % reg.shards.len()].ring.push(ev);
+        }
+    }
+
+    /// Drain every undelivered trace event, oldest first (ascending
+    /// global sequence), merging the per-shard rings. Consuming: each
+    /// event is delivered to at most one caller. Ring-wrap losses are
+    /// folded into the `trace_events_dropped` counter.
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        let Some(reg) = &self.inner else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for shard in &reg.shards {
+            let (events, dropped) = shard.ring.drain();
+            out.extend(events);
+            reg.trace_dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// A full registry snapshot: every counter and gauge, every stage
+    /// histogram (buckets included, merged over the shards), plus the
+    /// undelivered trace tail (drained — see [`Telemetry::recent`]).
+    /// An off-mode handle reports `enabled: false` and empty series.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(reg) = &self.inner else {
+            return MetricsSnapshot::disabled();
+        };
+        let traces = self.recent();
+        let mut counters: Vec<(String, u64)> = COUNTERS
+            .iter()
+            .map(|&c| {
+                let total: u64 = reg
+                    .shards
+                    .iter()
+                    .map(|s| s.counters[c as usize].load(Ordering::Relaxed))
+                    .sum();
+                (c.name().to_string(), total)
+            })
+            .collect();
+        // fold drain-accounted ring losses into the dropped counter
+        counters[Counter::TraceDropped as usize].1 +=
+            reg.trace_dropped.load(Ordering::Relaxed);
+        let gauges = GAUGES
+            .iter()
+            .map(|&g| {
+                (
+                    g.name().to_string(),
+                    reg.gauges[g as usize].load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        let hists = STAGES
+            .iter()
+            .map(|&stage| {
+                let mut snap = HistSnapshot::empty(stage.name());
+                for shard in &reg.shards {
+                    shard.hists[stage as usize].merge_into(&mut snap);
+                }
+                snap
+            })
+            .collect();
+        MetricsSnapshot {
+            enabled: true,
+            counters,
+            gauges,
+            hists,
+            traces,
+        }
+    }
+}
+
+/// A point-in-time copy of the whole registry — the payload the wire's
+/// `MetricsSnapshot` request returns, and the input to
+/// [`MetricsSnapshot::render_text`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Whether the runtime was recording (`false` ⇒ every series empty).
+    pub enabled: bool,
+    /// Monotone counters, by stable name.
+    pub counters: Vec<(String, u64)>,
+    /// Instantaneous gauges, by stable name.
+    pub gauges: Vec<(String, i64)>,
+    /// One merged histogram per stage, buckets included.
+    pub hists: Vec<HistSnapshot>,
+    /// The drained trace tail, oldest first.
+    pub traces: Vec<TraceEvent>,
+}
+
+impl MetricsSnapshot {
+    /// The off-mode snapshot.
+    pub fn disabled() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Look up a stage histogram by name (e.g. `"queue_wait"`).
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Prometheus-style text exposition: counters and gauges as plain
+    /// series, each histogram as cumulative `_bucket{le="…"}` series
+    /// (non-empty buckets only, plus the closing `+Inf`) with `_count`,
+    /// and derived `_p50`/`_p99`/`_max` gauges for humans. All series
+    /// are prefixed `chimera_`; histogram samples are nanoseconds.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# chimera telemetry snapshot (enabled={})",
+            self.enabled
+        );
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE chimera_{name} counter");
+            let _ = writeln!(out, "chimera_{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE chimera_{name} gauge");
+            let _ = writeln!(out, "chimera_{name} {v}");
+        }
+        for h in &self.hists {
+            let name = &h.name;
+            let _ = writeln!(out, "# TYPE chimera_stage_{name}_ns histogram");
+            let mut cum = 0u64;
+            for (i, &b) in h.buckets.iter().enumerate() {
+                if b == 0 {
+                    continue;
+                }
+                cum += b;
+                let _ = writeln!(
+                    out,
+                    "chimera_stage_{name}_ns_bucket{{le=\"{}\"}} {cum}",
+                    crate::hist::bucket_ceil(i)
+                );
+            }
+            let _ = writeln!(out, "chimera_stage_{name}_ns_bucket{{le=\"+Inf\"}} {cum}");
+            let _ = writeln!(out, "chimera_stage_{name}_ns_count {}", h.count());
+            let _ = writeln!(out, "chimera_stage_{name}_ns_p50 {}", h.p50());
+            let _ = writeln!(out, "chimera_stage_{name}_ns_p99 {}", h.p99());
+            let _ = writeln!(out, "chimera_stage_{name}_ns_max {}", h.max());
+        }
+        if !self.traces.is_empty() {
+            let _ = writeln!(out, "# recent trace events (oldest first)");
+            for ev in &self.traces {
+                let _ = writeln!(
+                    out,
+                    "# trace seq={} at_ns={} kind={} a={} b={}",
+                    ev.seq,
+                    ev.at_ns,
+                    ev.kind.name(),
+                    ev.a,
+                    ev.b
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_mode_records_nothing_and_snapshots_empty() {
+        let tel = Telemetry::off();
+        assert!(!tel.is_enabled());
+        assert_eq!(tel.start(), None);
+        tel.record_ns(0, Stage::Execute, 100);
+        tel.count(0, Counter::Batches, 1);
+        tel.gauge_add(Gauge::ConnsActive, 1);
+        tel.trace(0, TraceKind::JobClaimed, 1, 2);
+        let snap = tel.snapshot();
+        assert!(!snap.enabled);
+        assert!(snap.counters.is_empty() && snap.hists.is_empty() && snap.traces.is_empty());
+        assert!(tel.recent().is_empty());
+    }
+
+    #[test]
+    fn shards_merge_on_read() {
+        let tel = Telemetry::new(4);
+        for worker in 0..4 {
+            tel.record_ns(worker, Stage::Execute, 1000);
+            tel.count(worker, Counter::Batches, 2);
+        }
+        tel.gauge_add(Gauge::ConnsActive, 3);
+        tel.gauge_add(Gauge::ConnsActive, -1);
+        let snap = tel.snapshot();
+        assert!(snap.enabled);
+        assert_eq!(snap.hist("execute").unwrap().count(), 4);
+        assert_eq!(snap.counter("batches_claimed"), Some(8));
+        assert_eq!(snap.gauges[0], ("conns_active".to_string(), 2));
+    }
+
+    #[test]
+    fn traces_merge_in_global_order_and_drain_once() {
+        let tel = Telemetry::new(3);
+        for i in 0..9u64 {
+            tel.trace((i % 3) as usize, TraceKind::JobClaimed, i, 0);
+        }
+        let events = tel.recent();
+        assert_eq!(events.len(), 9);
+        // global sequence order, regardless of which shard recorded it
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(events.iter().map(|e| e.a).collect::<Vec<_>>(),
+                   (0..9).collect::<Vec<_>>());
+        assert!(tel.recent().is_empty(), "drain is consuming");
+    }
+
+    #[test]
+    fn render_text_exposes_series() {
+        let tel = Telemetry::new(1);
+        tel.record_ns(0, Stage::Commit, 5000);
+        tel.count(0, Counter::Snapshots, 1);
+        tel.trace(0, TraceKind::SnapshotTaken, 0, 4);
+        let text = tel.snapshot().render_text();
+        assert!(text.contains("chimera_snapshots_taken 1"));
+        assert!(text.contains("chimera_stage_commit_ns_count 1"));
+        assert!(text.contains("chimera_stage_commit_ns_bucket{le=\"8191\"} 1"));
+        assert!(text.contains("kind=snapshot_taken"));
+    }
+}

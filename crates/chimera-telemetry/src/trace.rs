@@ -1,0 +1,257 @@
+//! The postmortem trace ring: a fixed-capacity, lock-free flight
+//! recorder of compact binary [`TraceEvent`]s.
+//!
+//! Each recorder shard owns one [`TraceRing`]. In the runtime a shard
+//! maps to one worker thread, so each ring has a single producer; the
+//! net layer hashes connections onto shards, so a ring *may* see
+//! concurrent producers — the slot protocol below stays safe either
+//! way (a seqlock version counter per slot: readers detect and skip
+//! slots torn by a concurrent write).
+//!
+//! Writes never block and never allocate: a full ring overwrites its
+//! oldest slot, and the drain accounts every overwritten event in the
+//! `trace_dropped` counter — the ring's claim is "the most recent `C`
+//! events, with honest loss accounting", exactly what a flight
+//! recorder is for.
+//!
+//! Draining ([`TraceRing::drain`]) is oldest-first and consuming: each
+//! event is delivered to at most one drain (per-ring read cursor), so
+//! repeated metrics polls see an incremental event stream.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Events per ring. Power of two (index masking); 256 events × one
+/// cache line each ≈ 16 KiB per shard — small enough to always carry,
+/// deep enough to cover the seconds before a poisoning or a reap.
+pub const TRACE_CAPACITY: usize = 256;
+
+/// What kind of thing happened. The `u8` values are the wire encoding
+/// — append-only, never renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceKind {
+    /// A worker claimed a tenant's batch (`a` = tenant, `b` = batch len).
+    JobClaimed = 0,
+    /// A store operation hit the transient-retry path (`a` = home shard).
+    StoreRetried = 1,
+    /// A job's success was demoted to a durability refusal at
+    /// group-commit time (`a` = tenant, `b` = home shard).
+    JobDemoted = 2,
+    /// A home shard's durability was poisoned (`a` = home shard).
+    HomePoisoned = 3,
+    /// The server accepted a connection (`a` = connection id).
+    ConnAccepted = 4,
+    /// The server reaped a silent connection at a deadline
+    /// (`a` = connection id).
+    ConnReaped = 5,
+    /// A connection ended on a transport error (`a` = connection id).
+    ConnCut = 6,
+    /// A home shard wrote a snapshot and truncated its log
+    /// (`a` = home shard, `b` = tenants snapshotted).
+    SnapshotTaken = 7,
+    /// A poisoned home's store was replaced and the poison cleared
+    /// (`a` = home shard).
+    StoreReopened = 8,
+}
+
+impl TraceKind {
+    /// Decode a wire byte. Unknown values are a decode error upstream.
+    pub fn from_u8(v: u8) -> Option<TraceKind> {
+        Some(match v {
+            0 => TraceKind::JobClaimed,
+            1 => TraceKind::StoreRetried,
+            2 => TraceKind::JobDemoted,
+            3 => TraceKind::HomePoisoned,
+            4 => TraceKind::ConnAccepted,
+            5 => TraceKind::ConnReaped,
+            6 => TraceKind::ConnCut,
+            7 => TraceKind::SnapshotTaken,
+            8 => TraceKind::StoreReopened,
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase name for text rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::JobClaimed => "job_claimed",
+            TraceKind::StoreRetried => "store_retried",
+            TraceKind::JobDemoted => "job_demoted",
+            TraceKind::HomePoisoned => "home_poisoned",
+            TraceKind::ConnAccepted => "conn_accepted",
+            TraceKind::ConnReaped => "conn_reaped",
+            TraceKind::ConnCut => "conn_cut",
+            TraceKind::SnapshotTaken => "snapshot_taken",
+            TraceKind::StoreReopened => "store_reopened",
+        }
+    }
+}
+
+/// One compact trace event: 40 bytes of plain data, no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Registry-wide monotone sequence number (drain order).
+    pub seq: u64,
+    /// Nanoseconds since the recorder was created.
+    pub at_ns: u64,
+    /// What happened.
+    pub kind: TraceKind,
+    /// First operand (tenant, home shard, or connection id — see
+    /// [`TraceKind`]).
+    pub a: u64,
+    /// Second operand (batch length, home shard, ... — see
+    /// [`TraceKind`]).
+    pub b: u64,
+}
+
+/// One slot: the event's fields behind a seqlock version counter.
+/// `ver` is even when the slot is stable, odd while a write is in
+/// flight; a reader that observes an odd or changed version discards
+/// its read (the slot was being overwritten — the event is lost to the
+/// wrap, which the drain already accounts).
+#[derive(Default)]
+struct Slot {
+    ver: AtomicU64,
+    seq: AtomicU64,
+    at_ns: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// The fixed-capacity ring. See the module docs for the protocol.
+pub struct TraceRing {
+    slots: Vec<Slot>,
+    /// Next write position (monotone; slot index is `write & mask`).
+    write: AtomicU64,
+    /// Everything below this position has been drained (or dropped).
+    drained: AtomicU64,
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        TraceRing::new()
+    }
+}
+
+impl TraceRing {
+    pub fn new() -> TraceRing {
+        TraceRing {
+            slots: (0..TRACE_CAPACITY).map(|_| Slot::default()).collect(),
+            write: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+        }
+    }
+
+    /// Push one event (never blocks; a full ring overwrites oldest).
+    pub fn push(&self, ev: TraceEvent) {
+        let pos = self.write.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(pos as usize) & (TRACE_CAPACITY - 1)];
+        // odd = write in flight; Release orders the payload stores
+        // after it from a reader's point of view
+        slot.ver.fetch_add(1, Ordering::Release);
+        slot.seq.store(ev.seq, Ordering::Relaxed);
+        slot.at_ns.store(ev.at_ns, Ordering::Relaxed);
+        slot.kind.store(ev.kind as u8 as u64, Ordering::Relaxed);
+        slot.a.store(ev.a, Ordering::Relaxed);
+        slot.b.store(ev.b, Ordering::Relaxed);
+        slot.ver.fetch_add(1, Ordering::Release);
+    }
+
+    /// Drain every undelivered event, oldest first. Returns the events
+    /// plus the number of events lost to ring wrap (overwritten before
+    /// this drain could read them) — torn slots (a write raced the
+    /// read) count as lost too, so accounting never lies low.
+    pub fn drain(&self) -> (Vec<TraceEvent>, u64) {
+        let write = self.write.load(Ordering::Acquire);
+        let drained = self.drained.load(Ordering::Relaxed);
+        let start = drained.max(write.saturating_sub(TRACE_CAPACITY as u64));
+        let mut dropped = start - drained;
+        let mut out = Vec::with_capacity((write - start) as usize);
+        for pos in start..write {
+            let slot = &self.slots[(pos as usize) & (TRACE_CAPACITY - 1)];
+            let v1 = slot.ver.load(Ordering::Acquire);
+            let ev = TraceEvent {
+                seq: slot.seq.load(Ordering::Relaxed),
+                at_ns: slot.at_ns.load(Ordering::Relaxed),
+                kind: TraceKind::from_u8(slot.kind.load(Ordering::Relaxed) as u8)
+                    .unwrap_or(TraceKind::JobClaimed),
+                a: slot.a.load(Ordering::Relaxed),
+                b: slot.b.load(Ordering::Relaxed),
+            };
+            let v2 = slot.ver.load(Ordering::Acquire);
+            if v1 == v2 && v1 % 2 == 0 {
+                out.push(ev);
+            } else {
+                dropped += 1;
+            }
+        }
+        self.drained.store(write, Ordering::Relaxed);
+        (out, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            at_ns: seq * 10,
+            kind: TraceKind::JobClaimed,
+            a: seq,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn drain_is_oldest_first_and_consuming() {
+        let ring = TraceRing::new();
+        for i in 0..5 {
+            ring.push(ev(i));
+        }
+        let (got, dropped) = ring.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(got.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        // consumed: a second drain sees only what came after
+        ring.push(ev(5));
+        let (got, dropped) = ring.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 5);
+        assert!(ring.drain().0.is_empty());
+    }
+
+    #[test]
+    fn wrap_keeps_newest_and_counts_dropped() {
+        let ring = TraceRing::new();
+        let n = TRACE_CAPACITY as u64 + 37;
+        for i in 0..n {
+            ring.push(ev(i));
+        }
+        let (got, dropped) = ring.drain();
+        assert_eq!(dropped, 37);
+        assert_eq!(got.len(), TRACE_CAPACITY);
+        assert_eq!(got.first().unwrap().seq, 37);
+        assert_eq!(got.last().unwrap().seq, n - 1);
+    }
+
+    #[test]
+    fn kind_round_trips_through_u8() {
+        for k in [
+            TraceKind::JobClaimed,
+            TraceKind::StoreRetried,
+            TraceKind::JobDemoted,
+            TraceKind::HomePoisoned,
+            TraceKind::ConnAccepted,
+            TraceKind::ConnReaped,
+            TraceKind::ConnCut,
+            TraceKind::SnapshotTaken,
+            TraceKind::StoreReopened,
+        ] {
+            assert_eq!(TraceKind::from_u8(k as u8), Some(k));
+        }
+        assert_eq!(TraceKind::from_u8(200), None);
+    }
+}

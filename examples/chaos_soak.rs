@@ -17,6 +17,11 @@
 //!
 //! Run with `cargo run --release --example chaos_soak`. Exits 0 only if
 //! every claim held; a panic or the watchdog exits nonzero.
+//!
+//! Both runtimes run with telemetry on, and the soak prints a summary —
+//! stage latency p50/p99 plus the last 32 postmortem trace events — on
+//! normal exit *and* from the watchdog, so a hang leaves behind the
+//! evidence of where the pipeline stalled instead of just a timeout.
 
 use chimera::chaos::{
     ChaosCounters, ChaosProxy, ChaosRates, ChaosStore, FaultPlan, NetChaosConfig, StorageFault,
@@ -31,16 +36,63 @@ use chimera::net::{
 use chimera::runtime::{
     DurabilityConfig, Job, JobOutcome, Runtime, RuntimeConfig, StorageMode, StoreWrap, TenantId,
 };
+use chimera::telemetry::Telemetry;
 use chimera::workload::{ZipfTenants, ZipfTenantsConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 const SEED: u64 = 0xC4A0_50AC;
 const TENANTS: u64 = 12;
 const STORAGE_JOBS: usize = 600;
 const NET_JOBS: u64 = 300;
+
+/// The current phase's recorder, registered so the watchdog thread can
+/// dump it when the soak hangs. The `Telemetry` handle is a cheap
+/// Arc-backed clone; it outlives the runtime it came from.
+static WATCH_TEL: Mutex<Option<Telemetry>> = Mutex::new(None);
+
+fn watch(tel: &Telemetry) {
+    *WATCH_TEL.lock().unwrap() = Some(tel.clone());
+}
+
+/// Stage latency p50/p99 for every stage that recorded anything, plus
+/// the last 32 events out of the postmortem trace ring. Called on
+/// normal exit and from the watchdog.
+fn telemetry_summary(label: &str) {
+    let tel = match WATCH_TEL.lock().unwrap().clone() {
+        Some(tel) => tel,
+        None => return,
+    };
+    let m = tel.snapshot();
+    println!("telemetry [{label}]:");
+    for h in &m.hists {
+        if h.count() == 0 {
+            continue;
+        }
+        println!(
+            "  {:<16} n={:<7} p50={}ns p99={}ns max={}ns",
+            h.name,
+            h.count(),
+            h.p50(),
+            h.p99(),
+            h.max()
+        );
+    }
+    let tail: Vec<_> = m.traces.iter().rev().take(32).rev().collect();
+    println!("  trace tail ({} of {} drained events):", tail.len(), m.traces.len());
+    for ev in tail {
+        println!(
+            "    #{:<6} +{:>12}ns {:<14} a={} b={}",
+            ev.seq,
+            ev.at_ns,
+            ev.kind.name(),
+            ev.a,
+            ev.b
+        );
+    }
+}
 
 fn schema() -> Schema {
     let mut b = SchemaBuilder::new();
@@ -149,10 +201,12 @@ fn storage_soak() {
                 ..EngineConfig::default()
             },
             store_wrap: Some(wrap),
+            telemetry: true,
             ..Default::default()
         },
     )
     .unwrap();
+    watch(rt.telemetry());
 
     // Phase 1 — the mix. Zipf-skewed traffic, every job submitted with
     // a reply slot so the accounting claim ("every job is answered") is
@@ -292,6 +346,7 @@ fn storage_soak() {
          oracle-checked; poison/repair drill on shard {victim_shard} passed",
         STORAGE_JOBS,
     );
+    telemetry_summary("storage soak");
     drop(rt);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -303,11 +358,13 @@ fn net_soak() {
             vec![],
             RuntimeConfig {
                 shards: 2,
+                telemetry: true,
                 ..Default::default()
             },
         )
         .unwrap(),
     );
+    watch(rt.telemetry());
     let server = Server::bind("127.0.0.1:0", Arc::clone(&rt), ServerConfig::default()).unwrap();
     let proxy = ChaosProxy::start(
         server.local_addr(),
@@ -392,9 +449,12 @@ fn main() {
     std::thread::spawn(|| {
         std::thread::sleep(Duration::from_secs(240));
         eprintln!("chaos_soak: watchdog fired — some chaos path is hanging");
+        // the postmortem: where did the pipeline stall?
+        telemetry_summary("watchdog");
         std::process::exit(2);
     });
     storage_soak();
     net_soak();
+    telemetry_summary("net soak");
     println!("chaos soak passed");
 }

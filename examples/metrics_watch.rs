@@ -1,0 +1,136 @@
+//! Watch a live chimera-net server through the wire metrics endpoint.
+//!
+//! A telemetry-enabled runtime serves loopback traffic from a feeder
+//! thread while the main thread plays operator: it polls
+//! `MetricsSnapshot` over its own TCP connection and renders the stage
+//! latency histograms as they fill — queue-wait, execute, group commit,
+//! frame decode, per-connection RTT — then dumps the Prometheus-style
+//! text exposition and the postmortem trace tail at the end.
+//!
+//! Run with `cargo run --example metrics_watch`.
+
+use chimera::model::{AttrDef, AttrType, SchemaBuilder};
+use chimera::net::{Client, ExternalEvent, Server, ServerConfig, WireOutcome};
+use chimera::runtime::{Backpressure, Runtime, RuntimeConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const TENANTS: u64 = 16;
+const BLOCKS: u64 = 60;
+const POLLS: u32 = 5;
+
+fn main() {
+    let mut b = SchemaBuilder::new();
+    b.class("reading", None, vec![AttrDef::new("v", AttrType::Integer)])
+        .unwrap();
+    let schema = b.build();
+    let reading = schema.class_by_name("reading").unwrap();
+    let runtime = Arc::new(
+        Runtime::new(
+            schema,
+            vec![],
+            RuntimeConfig {
+                shards: 4,
+                queue_capacity: 64,
+                backpressure: Backpressure::Block,
+                telemetry: true,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    let server = Server::bind("127.0.0.1:0", runtime, ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
+    std::thread::scope(|scope| {
+        // the feeder: steady pipelined traffic for the poller to watch
+        scope.spawn(move || {
+            let mut c = Client::connect_with(addr, "feeder", 1 << 20).unwrap();
+            for t in 0..TENANTS {
+                c.begin(t).unwrap();
+                c.exec_block(
+                    t,
+                    vec![chimera::net::WireOp::Create {
+                        class: reading.0,
+                        inits: vec![],
+                    }],
+                )
+                .unwrap();
+                for i in 0..BLOCKS {
+                    c.raise_external(
+                        t,
+                        vec![ExternalEvent {
+                            class: reading.0,
+                            channel: (i % 2) as u32 + 1,
+                            oid: 0,
+                        }],
+                    )
+                    .unwrap();
+                }
+                c.commit(t).unwrap();
+            }
+            for done in c.drain().unwrap() {
+                assert!(!matches!(done.outcome, WireOutcome::Error { .. }));
+            }
+            // the feeder's own view: client-side request latency from
+            // its local always-on recorder, no server round trip needed
+            let local = c.telemetry().snapshot();
+            let h = local.hist("client_request").unwrap();
+            println!(
+                "feeder done: {} requests, p50={}ns p99={}ns",
+                h.count(),
+                h.p50(),
+                h.p99()
+            );
+        });
+
+        // the operator: a second connection polling the registry while
+        // the feeder runs. Each snapshot is a merged view of every
+        // worker's shard; the trace ring drains into the *last* poll
+        let mut c = Client::connect(addr).unwrap();
+        let mut traces = Vec::new();
+        for poll in 1..=POLLS {
+            std::thread::sleep(Duration::from_millis(120));
+            let m = c.metrics_snapshot().unwrap();
+            assert!(m.enabled, "the runtime was built with telemetry on");
+            traces.extend(m.traces.iter().copied());
+            println!("-- poll {poll} --");
+            for stage in ["queue_wait", "execute", "commit", "net_frame_decode", "net_conn_rtt"] {
+                let h = m.hist(stage).unwrap();
+                if h.count() == 0 {
+                    continue;
+                }
+                println!(
+                    "  {stage:<16} n={:<7} p50={}ns p90={}ns p99={}ns max={}ns",
+                    h.count(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.max()
+                );
+            }
+        }
+
+        // final picture: the text exposition (what a scraper would
+        // ingest) and the postmortem trace tail. Each snapshot *drains*
+        // the ring, so the tail accumulates across the polls above
+        let m = c.metrics_snapshot().unwrap();
+        traces.extend(m.traces.iter().copied());
+        println!("\n{}", m.render_text());
+        println!("trace tail ({} events):", traces.len());
+        for ev in traces.iter().rev().take(8).rev() {
+            println!(
+                "  #{:<6} +{:>12}ns {:<14} a={} b={}",
+                ev.seq,
+                ev.at_ns,
+                ev.kind.name(),
+                ev.a,
+                ev.b
+            );
+        }
+        c.shutdown_server().unwrap();
+    });
+    server.shutdown();
+    println!("server stopped");
+}

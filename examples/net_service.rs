@@ -32,6 +32,7 @@ fn main() {
                 queue_capacity: 64,
                 backpressure: Backpressure::Block,
                 engine: Default::default(),
+                telemetry: true,
                 ..Default::default()
             },
         )
@@ -128,6 +129,21 @@ fn main() {
     );
     assert_eq!(stats.jobs_processed, stats.jobs_submitted);
     assert_eq!(stats.tenants, FEEDERS * TENANTS_PER_FEEDER);
+    // the runtime was built with `telemetry: true`, so one wire request
+    // pulls the whole stage-latency registry (see `metrics_watch` for a
+    // live poller against this kind of server)
+    let m = c.metrics_snapshot().unwrap();
+    assert!(m.enabled);
+    for stage in ["queue_wait", "execute", "reply", "net_conn_rtt"] {
+        let h = m.hist(stage).unwrap();
+        println!(
+            "  {stage:<14} n={:<6} p50={}ns p99={}ns max={}ns",
+            h.count(),
+            h.p50(),
+            h.p99(),
+            h.max()
+        );
+    }
     c.shutdown_server().unwrap();
     server.shutdown();
     println!("server stopped");

@@ -533,6 +533,131 @@ fn permanent_fault_poisons_one_home_and_reopen_repairs() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Regression (PR-8 roadmap follow-up): a permanent fault that strikes
+/// *mid-transaction* used to strand the tenant — the poisoned home
+/// refused every job pre-execution, including the `Rollback` that
+/// [`Runtime::reopen_shard_store`] needs the tenant to reach a
+/// committed-only state, so the repair path was unreachable. The fix
+/// lets `Rollback` (and only `Rollback`) through on a poisoned home as
+/// a RAM-only job: the store is dead, but rolling back needs nothing
+/// from it.
+#[test]
+fn rollback_escapes_a_poisoned_home_and_unblocks_reopen() {
+    let s = schema();
+    let item = s.class_by_name("item").unwrap();
+    let engine_cfg = EngineConfig {
+        max_rule_steps: 64,
+        ..EngineConfig::default()
+    };
+    let dir = tmpdir("poison-midtxn");
+    let storage = DurabilityConfig {
+        dir: dir.clone(),
+        group_commit: true,
+        snapshot_every: 0,
+    };
+    let armed = Arc::new(AtomicBool::new(true));
+    let wrap = {
+        let armed = Arc::clone(&armed);
+        StoreWrap::new(move |shard, store| {
+            let plan = if shard == 0 && armed.load(Ordering::Relaxed) {
+                FaultPlan::none().fail_nth(StoreOp::Commit, 2, StorageFault::Permanent)
+            } else {
+                FaultPlan::none()
+            };
+            Box::new(ChaosStore::new(store, plan))
+        })
+    };
+    let rt = Runtime::new(
+        s.clone(),
+        vec![],
+        RuntimeConfig {
+            shards: 2,
+            storage: StorageMode::Durable(storage.clone()),
+            engine: engine_cfg.clone(),
+            store_wrap: Some(wrap),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let victim = (0u64..64).map(TenantId).find(|t| rt.shard_of(*t) == 0).unwrap();
+    let run = |tenant: TenantId, job: Job| -> JobOutcome {
+        let (_, rx) = rt.submit_with_reply(tenant, job).unwrap();
+        rx.recv_timeout(Duration::from_secs(30))
+            .expect("every submission is answered")
+            .outcome
+    };
+    let block = |v: i64| Job::ExecBlock(vec![Op::Create {
+        class: item,
+        inits: vec![(AttrId(0), Value::Int(v))],
+    }]);
+
+    // store commits #0 and #1 succeed; #2 — an exec block, which does
+    // NOT end the transaction — fails permanently. The job executed in
+    // RAM (demoted refusal), the home is poisoned, and the tenant is
+    // stuck *inside* an open transaction.
+    assert!(run(victim, Job::Begin).is_done());
+    assert!(run(victim, block(7)).is_done());
+    match run(victim, block(8)) {
+        JobOutcome::RefusedDurability(msg) => assert!(msg.contains("shard store failed"), "{msg}"),
+        other => panic!("expected the demoted refusal, got {other:?}"),
+    }
+    rt.flush().unwrap();
+    assert_eq!(rt.stats().shards_poisoned, 1);
+    assert!(rt.with_tenant(victim, |e| e.in_transaction()).unwrap());
+
+    // the repair path is blocked: only committed state can be
+    // snapshotted into the replacement store
+    armed.store(false, Ordering::Relaxed);
+    let err = rt.reopen_shard_store(0).unwrap_err().to_string();
+    assert!(err.contains("open transaction"), "{err}");
+
+    // Commit needs the dead store, so the poisoned home still refuses
+    // it — but Rollback is let through as a RAM-only job and succeeds,
+    // ending the transaction
+    match run(victim, Job::Commit) {
+        JobOutcome::RefusedDurability(msg) => assert!(msg.contains("shard store failed"), "{msg}"),
+        other => panic!("expected a poisoned-home refusal, got {other:?}"),
+    }
+    assert!(
+        run(victim, Job::Rollback).is_done(),
+        "Rollback must escape a poisoned home"
+    );
+    assert!(!rt.with_tenant(victim, |e| e.in_transaction()).unwrap());
+
+    // now the reopen goes through, and the tenant is healthy again
+    rt.flush().unwrap();
+    rt.reopen_shard_store(0).unwrap();
+    assert_eq!(rt.stats().shards_poisoned, 0);
+    let mut executed = vec![Job::Begin, block(7), block(8), Job::Rollback];
+    for job in [Job::Begin, block(9), Job::Commit] {
+        executed.push(job.clone());
+        assert!(run(victim, job).is_done(), "post-repair jobs must succeed");
+    }
+    let got = rt.with_tenant(victim, |e| observe(e, item)).unwrap();
+    let (want, _, _) = oracle_replay(&s, &[], &engine_cfg, &executed, item);
+    assert_eq!(got, want, "victim diverged across mid-transaction poison + rollback + repair");
+    drop(rt);
+
+    // restart: the reopen snapshotted the rolled-back (committed-only)
+    // state, and the post-repair transaction is in the fresh WAL
+    let rt = Runtime::new(
+        s.clone(),
+        vec![],
+        RuntimeConfig {
+            shards: 2,
+            storage: StorageMode::Durable(storage),
+            engine: engine_cfg.clone(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let got = rt.with_tenant(victim, |e| observe(e, item)).unwrap();
+    let (want, _, _) = oracle_replay(&s, &[], &engine_cfg, &executed, item);
+    assert_eq!(got, want, "victim lost state across the restart");
+    drop(rt);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Satellite: submission↔completion accounting under a poisoned home.
 /// Forced commit failure on the only shard → every reply arrives (typed
 /// refusals, never a hang), nothing leaks in the queues, and the flush
