@@ -26,6 +26,8 @@ pub enum StoreOp {
     Commit,
     /// `StateStore::snapshot` — shard snapshot + log truncation.
     Snapshot,
+    /// `StateStore::evict_tenant` — one tenant's eviction snapshot.
+    Evict,
 }
 
 impl StoreOp {
@@ -34,6 +36,7 @@ impl StoreOp {
             StoreOp::Append => 0,
             StoreOp::Commit => 1,
             StoreOp::Snapshot => 2,
+            StoreOp::Evict => 3,
         }
     }
 }
@@ -67,6 +70,11 @@ pub struct ChaosRates {
     pub commit_torn: u32,
     /// Transient-failure rate for `snapshot`.
     pub snapshot_transient: u32,
+    /// Transient-failure rate for `evict_tenant`. The runtime gives an
+    /// eviction *no* retry — a fault here means the tenant simply stays
+    /// resident — so unlike the other transients this one is observable
+    /// as a refused eviction, never as latency.
+    pub evict_transient: u32,
 }
 
 /// A deterministic schedule of storage faults (see module docs).
@@ -77,10 +85,10 @@ pub struct FaultPlan {
     /// Explicit `(op, nth) -> fault` overrides; consumed when they fire.
     scheduled: HashMap<(usize, u64), StorageFault>,
     /// Calls seen so far, per operation.
-    counts: [u64; 3],
+    counts: [u64; 4],
     /// Set after a transient/torn fault: the next call of that op is
     /// forced to succeed (the "retry works" guarantee).
-    forced_ok: [bool; 3],
+    forced_ok: [bool; 4],
     /// Sticky permanent breakage.
     broken: bool,
 }
@@ -107,8 +115,8 @@ impl FaultPlan {
             seed,
             rates,
             scheduled: HashMap::new(),
-            counts: [0; 3],
-            forced_ok: [false; 3],
+            counts: [0; 4],
+            forced_ok: [false; 4],
             broken: false,
         }
     }
@@ -172,6 +180,7 @@ impl FaultPlan {
             StoreOp::Append => (self.rates.append_transient, 0),
             StoreOp::Commit => (self.rates.commit_transient, self.rates.commit_torn),
             StoreOp::Snapshot => (self.rates.snapshot_transient, 0),
+            StoreOp::Evict => (self.rates.evict_transient, 0),
         };
         if transient == 0 && torn == 0 {
             return None;

@@ -150,6 +150,11 @@ impl StateStore for ChaosStore {
         self.inner.snapshot(tenants)
     }
 
+    fn evict_tenant(&mut self, snap: &TenantSnapshot) -> Result<()> {
+        self.inject(StoreOp::Evict, "evict")?;
+        self.inner.evict_tenant(snap)
+    }
+
     fn groups_since_snapshot(&self) -> u64 {
         self.inner.groups_since_snapshot()
     }
@@ -218,6 +223,36 @@ mod tests {
         let mut s = DurableStore::open(&dir, SyncPolicy::GroupCommit).unwrap();
         let rec = s.recover().unwrap();
         assert_eq!(rec.tail.len(), 1, "the 'failed' commit actually landed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_evict_fails_without_touching_disk_then_retry_lands() {
+        let dir = tmpdir("evict");
+        let plan = FaultPlan::none().fail_nth(StoreOp::Evict, 0, StorageFault::Transient);
+        let mut s = ChaosStore::new(durable(&dir), plan);
+        let counters = s.counters_handle();
+        s.recover().unwrap();
+        s.append(3, &JobRecord::Begin).unwrap();
+        s.commit().unwrap();
+        let snap = TenantSnapshot {
+            tenant: 3,
+            jobs_applied: 1,
+            job_errors: 0,
+            last_error: None,
+            objects: vec![],
+            next_oid: 0,
+            events: vec![],
+            trigger_sources: vec![],
+            rules: vec![],
+            stats: [0; 6],
+        };
+        let err = s.evict_tenant(&snap).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(counters.transient(), 1);
+        assert!(!dir.join("tenant-3.tsnap").exists(), "refused before I/O");
+        s.evict_tenant(&snap).unwrap(); // the plan's forced-ok follow-up
+        assert!(dir.join("tenant-3.tsnap").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,272 @@
+//! The intrusive residency LRU: tenant recency ordering in O(1) per
+//! operation, no allocation once the slab is warm.
+//!
+//! A doubly-linked list threaded through a slab (`Vec<Node>` + free
+//! list) with a `HashMap` from tenant id to slot. The hot end is where
+//! [`ResidencyLru::touch`] moves a tenant; eviction scans from the cold
+//! end with [`ResidencyLru::coldest`] — non-destructive, because the
+//! runtime may *refuse* to evict a candidate (mid-transaction, staged
+//! jobs, poisoned home, store fault) and must be able to move on to the
+//! next-coldest without losing the first's position.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    tenant: u64,
+    home: usize,
+    bytes: u64,
+    prev: usize, // towards the hot end
+    next: usize, // towards the cold end
+}
+
+/// Recency order over resident tenants, coldest-first eviction order.
+#[derive(Debug, Default)]
+pub struct ResidencyLru {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    index: HashMap<u64, usize>,
+    hot: usize,
+    cold: usize,
+    total_bytes: u64,
+}
+
+impl ResidencyLru {
+    /// An empty LRU.
+    pub fn new() -> Self {
+        ResidencyLru {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            hot: NIL,
+            cold: NIL,
+            total_bytes: 0,
+        }
+    }
+
+    /// Resident tenants tracked.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Nothing tracked?
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Sum of every tracked tenant's approximate bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Is this tenant tracked?
+    pub fn contains(&self, tenant: u64) -> bool {
+        self.index.contains_key(&tenant)
+    }
+
+    /// Mark `tenant` most-recently-active (inserting it if new) and
+    /// refresh its home shard and approximate size.
+    pub fn touch(&mut self, tenant: u64, home: usize, bytes: u64) {
+        if let Some(&slot) = self.index.get(&tenant) {
+            self.total_bytes = self.total_bytes - self.nodes[slot].bytes + bytes;
+            self.nodes[slot].bytes = bytes;
+            self.nodes[slot].home = home;
+            if self.hot != slot {
+                self.unlink(slot);
+                self.link_hot(slot);
+            }
+            return;
+        }
+        let node = Node {
+            tenant,
+            home,
+            bytes,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.index.insert(tenant, slot);
+        self.total_bytes += bytes;
+        self.link_hot(slot);
+    }
+
+    /// Stop tracking `tenant` (it was evicted, or left the registry some
+    /// other way). Returns whether it was tracked.
+    pub fn remove(&mut self, tenant: u64) -> bool {
+        let Some(slot) = self.index.remove(&tenant) else {
+            return false;
+        };
+        self.total_bytes -= self.nodes[slot].bytes;
+        self.unlink(slot);
+        self.free.push(slot);
+        true
+    }
+
+    /// Up to `limit` eviction candidates, coldest first, without
+    /// removing anything: `(tenant, home)` pairs. The caller removes the
+    /// ones it actually evicts.
+    pub fn coldest(&self, limit: usize) -> Vec<(u64, usize)> {
+        let mut out = Vec::with_capacity(limit.min(self.len()));
+        let mut at = self.cold;
+        while at != NIL && out.len() < limit {
+            let n = &self.nodes[at];
+            out.push((n.tenant, n.home));
+            at = n.prev;
+        }
+        out
+    }
+
+    /// Remove and return the single coldest entry.
+    pub fn pop_coldest(&mut self) -> Option<(u64, usize)> {
+        let slot = self.cold;
+        if slot == NIL {
+            return None;
+        }
+        let (tenant, home) = (self.nodes[slot].tenant, self.nodes[slot].home);
+        self.remove(tenant);
+        Some((tenant, home))
+    }
+
+    fn link_hot(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.hot;
+        if self.hot != NIL {
+            self.nodes[self.hot].prev = slot;
+        }
+        self.hot = slot;
+        if self.cold == NIL {
+            self.cold = slot;
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let Node { prev, next, .. } = self.nodes[slot];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.hot = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.cold = prev;
+        }
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn touch_orders_cold_to_hot() {
+        let mut lru = ResidencyLru::new();
+        for t in [1u64, 2, 3] {
+            lru.touch(t, 0, 10);
+        }
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.total_bytes(), 30);
+        assert_eq!(lru.coldest(8), vec![(1, 0), (2, 0), (3, 0)]);
+        lru.touch(1, 2, 99); // re-touch moves to hot, refreshes payload
+        assert_eq!(lru.coldest(8), vec![(2, 0), (3, 0), (1, 2)]);
+        assert_eq!(lru.total_bytes(), 10 + 10 + 99);
+        assert_eq!(lru.coldest(1), vec![(2, 0)]);
+    }
+
+    #[test]
+    fn remove_and_pop() {
+        let mut lru = ResidencyLru::new();
+        for t in 0..5u64 {
+            lru.touch(t, t as usize, 1);
+        }
+        assert!(lru.remove(2));
+        assert!(!lru.remove(2), "double remove is a no-op");
+        assert_eq!(lru.pop_coldest(), Some((0, 0)));
+        assert_eq!(lru.coldest(8), vec![(1, 1), (3, 3), (4, 4)]);
+        assert_eq!(lru.total_bytes(), 3);
+        // slab slots are reused
+        lru.touch(9, 9, 1);
+        assert_eq!(lru.coldest(8), vec![(1, 1), (3, 3), (4, 4), (9, 9)]);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let mut lru = ResidencyLru::new();
+        assert!(lru.is_empty());
+        assert_eq!(lru.pop_coldest(), None);
+        assert!(lru.coldest(4).is_empty());
+        assert!(!lru.remove(7));
+        lru.touch(7, 1, 5);
+        assert_eq!(lru.pop_coldest(), Some((7, 1)));
+        assert!(lru.is_empty());
+        assert_eq!(lru.total_bytes(), 0);
+    }
+
+    /// Model check against the obvious Vec-backed LRU: same recency
+    /// order, same membership, same byte totals, under random
+    /// touch/remove/pop interleavings.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Touch(u64, usize, u64),
+        Remove(u64),
+        Pop,
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..12, 0usize..4, 0u64..100).prop_map(|(t, h, b)| Op::Touch(t, h, b)),
+            (0u64..12).prop_map(Op::Remove),
+            Just(Op::Pop),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn matches_vec_model(ops in prop::collection::vec(op(), 0..200)) {
+            let mut lru = ResidencyLru::new();
+            // model: cold end at index 0, hot end at the back
+            let mut model: Vec<(u64, usize, u64)> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Touch(t, h, b) => {
+                        lru.touch(t, h, b);
+                        model.retain(|e| e.0 != t);
+                        model.push((t, h, b));
+                    }
+                    Op::Remove(t) => {
+                        let was = model.iter().any(|e| e.0 == t);
+                        model.retain(|e| e.0 != t);
+                        prop_assert_eq!(lru.remove(t), was);
+                    }
+                    Op::Pop => {
+                        let want = if model.is_empty() {
+                            None
+                        } else {
+                            let e = model.remove(0);
+                            Some((e.0, e.1))
+                        };
+                        prop_assert_eq!(lru.pop_coldest(), want);
+                    }
+                }
+                prop_assert_eq!(lru.len(), model.len());
+                prop_assert_eq!(lru.total_bytes(), model.iter().map(|e| e.2).sum::<u64>());
+                let want: Vec<(u64, usize)> = model.iter().map(|e| (e.0, e.1)).collect();
+                prop_assert_eq!(lru.coldest(usize::MAX), want);
+            }
+        }
+    }
+}

@@ -719,6 +719,17 @@ pub struct WireStats {
     /// Connections the server reaped on an expired handshake or read
     /// deadline (server-wide; the server owns and splices this in).
     pub net_conns_reaped: u64,
+    // lifecycle counters, appended in version 6 the same way: a
+    // version-5 (or earlier) peer's reply decodes with them zeroed
+    /// Tenant engines evicted to the durable store to stay inside the
+    /// residency budget (see [`chimera_runtime::RuntimeStats::evictions`]).
+    pub evictions: u64,
+    /// Evicted tenants rebuilt in RAM on their next claimed job (see
+    /// [`chimera_runtime::RuntimeStats::rehydrations`]).
+    pub rehydrations: u64,
+    /// Live gauge of tenant engines currently resident in RAM (see
+    /// [`chimera_runtime::RuntimeStats::tenants_resident`]).
+    pub tenants_resident: u64,
 }
 
 impl From<RuntimeStats> for WireStats {
@@ -750,6 +761,9 @@ impl From<RuntimeStats> for WireStats {
             store_retries: s.store_retries,
             shards_poisoned: s.shards_poisoned,
             net_conns_reaped: 0,
+            evictions: s.evictions,
+            rehydrations: s.rehydrations,
+            tenants_resident: s.tenants_resident,
         }
     }
 }
@@ -1114,6 +1128,12 @@ impl Response {
                 for v in [s.store_retries, s.shards_poisoned, s.net_conns_reaped] {
                     put_u64(&mut buf, v);
                 }
+                // version-6 trailing fields (tenant lifecycle); version
+                // 5 added no StatsReply fields, so this is the fourth
+                // optional block
+                for v in [s.evictions, s.rehydrations, s.tenants_resident] {
+                    put_u64(&mut buf, v);
+                }
             }
             Response::TenantReply(t) => {
                 put_u8(&mut buf, RESP_TENANT);
@@ -1276,6 +1296,13 @@ impl Response {
                     s.store_retries = r.u64()?;
                     s.shards_poisoned = r.u64()?;
                     s.net_conns_reaped = r.u64()?;
+                }
+                // version-6 trailing fields: zeros when a version-5 (or
+                // earlier) server sent the reply
+                if r.remaining() > 0 {
+                    s.evictions = r.u64()?;
+                    s.rehydrations = r.u64()?;
+                    s.tenants_resident = r.u64()?;
                 }
                 Response::StatsReply(s)
             }

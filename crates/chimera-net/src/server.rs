@@ -395,8 +395,9 @@ enum Out {
         tenant: u64,
         rx: Receiver<JobReply>,
     },
-    /// An already-computed response.
-    Resp(Response),
+    /// An already-computed response, boxed so the channel payload stays
+    /// small next to the job-completion variant.
+    Resp(Box<Response>),
 }
 
 /// One connection, split in two halves so pipelined submissions overlap
@@ -451,7 +452,7 @@ fn serve_conn(
                             },
                         },
                     },
-                    Out::Resp(resp) => resp,
+                    Out::Resp(resp) => *resp,
                 };
                 let result = write_frame(&mut w, &resp.encode()).and_then(|()| {
                     w.flush()?;
@@ -561,9 +562,9 @@ fn read_loop(
             // answer once and drop the connection
             Err(e) => {
                 let _ = out.send((
-                    Out::Resp(Response::Error {
+                    Out::Resp(Box::new(Response::Error {
                         message: e.to_string(),
-                    }),
+                    })),
                     0,
                     None,
                 ));
@@ -585,9 +586,9 @@ fn read_loop(
             // pending, stays pending)
             Err(e) => {
                 let sent = out.send((
-                    Out::Resp(Response::Error {
+                    Out::Resp(Box::new(Response::Error {
                         message: e.to_string(),
-                    }),
+                    })),
                     cost,
                     read_at,
                 ));
@@ -600,9 +601,9 @@ fn read_loop(
         };
         if !greeted && !matches!(req, Request::Hello { .. }) {
             let _ = out.send((
-                Out::Resp(Response::Error {
+                Out::Resp(Box::new(Response::Error {
                     message: "handshake required: the first request must be Hello".into(),
-                }),
+                })),
                 cost,
                 read_at,
             ));
@@ -622,13 +623,13 @@ fn read_loop(
                     // a rejected submission (shed, worker gone) still
                     // gets a JobDone-shaped reply so pipelined clients
                     // keep exact submission↔completion accounting
-                    Err(e) => Out::Resp(Response::JobDone {
+                    Err(e) => Out::Resp(Box::new(Response::JobDone {
                         job: crate::proto::JOB_REJECTED,
                         tenant,
                         outcome: crate::proto::WireOutcome::Error {
                             message: e.to_string(),
                         },
-                    }),
+                    })),
                 };
                 if out.send((item, cost, read_at)).is_err() {
                     return Ok(false);
@@ -637,7 +638,7 @@ fn read_loop(
             Request::Hello { .. } => {
                 let resp = timed_handle(req, runtime, config, counters, worker);
                 let rejected = matches!(resp, Response::Error { .. });
-                let sent = out.send((Out::Resp(resp), cost, read_at));
+                let sent = out.send((Out::Resp(Box::new(resp)), cost, read_at));
                 if rejected || sent.is_err() {
                     // a version-mismatched client must not keep talking:
                     // its frames would be misread under this version
@@ -656,7 +657,7 @@ fn read_loop(
                     // that saw the ack observes a stopped server
                     stop.store(true, Ordering::SeqCst);
                 }
-                let sent = out.send((Out::Resp(resp), cost, read_at));
+                let sent = out.send((Out::Resp(Box::new(resp)), cost, read_at));
                 if acked {
                     // the caller wakes the accept loop once the writer
                     // has flushed the ack (waking earlier would let the
@@ -669,7 +670,7 @@ fn read_loop(
             }
             req => {
                 let resp = timed_handle(req, runtime, config, counters, worker);
-                let sent = out.send((Out::Resp(resp), cost, read_at));
+                let sent = out.send((Out::Resp(Box::new(resp)), cost, read_at));
                 if sent.is_err() {
                     return Ok(false);
                 }

@@ -38,8 +38,13 @@ use std::io::{self, Read, Write};
 /// drained trace tail; the trace block is an optional trailing field).
 /// No existing message's encoding changed, so version-4 peers still
 /// decode every version-4 message byte-for-byte (pinned in
+/// `tests/wire_roundtrip.rs`). Version 6: the tenant lifecycle layer —
+/// `evictions` / `rehydrations` / `tenants_resident` as a fourth round
+/// of optional trailing `StatsReply` fields (version 5 added no
+/// `StatsReply` fields, so version-5 peers decode them as zeros; every
+/// version-5 message still decodes byte-for-byte, pinned in
 /// `tests/wire_roundtrip.rs`). The framing layer is unchanged.
-pub const PROTOCOL_VERSION: u32 = 5;
+pub const PROTOCOL_VERSION: u32 = 6;
 
 /// Default upper bound on one frame's payload (16 MiB) — comfortably
 /// above a 256-event block, far below an allocation attack.

@@ -241,6 +241,9 @@ fn arb_response(rng: &mut StdRng) -> Response {
             store_retries: rng.next_u64(),
             shards_poisoned: rng.next_u64(),
             net_conns_reaped: rng.next_u64(),
+            evictions: rng.next_u64(),
+            rehydrations: rng.next_u64(),
+            tenants_resident: rng.next_u64(),
         }),
         8 => Response::Busy {
             active: rng.next_u32(),
@@ -418,9 +421,9 @@ fn version1_peers_still_decode() {
         other => panic!("expected durability-less HelloAck, got {other:?}"),
     }
     // older StatsReply shapes decode with the newer counters zeroed,
-    // not an error. The version-4 trailing block is 3 u64s; the
-    // version-3 block on an empty breakdown is 3 u64s + a u32 count;
-    // the version-2 block is 5 u64s.
+    // not an error. The version-6 trailing block is 3 u64s; so is the
+    // version-4 block; the version-3 block on an empty breakdown is
+    // 3 u64s + a u32 count; the version-2 block is 5 u64s.
     let stats = WireStats {
         shards: 3,
         jobs_submitted: 11,
@@ -435,11 +438,26 @@ fn version1_peers_still_decode() {
         store_retries: 21,
         shards_poisoned: 1,
         net_conns_reaped: 2,
+        evictions: 8,
+        rehydrations: 6,
+        tenants_resident: 2,
         ..WireStats::default()
     };
     let bytes = Response::StatsReply(stats).encode();
+    let v6_block = 3 * 8;
     let v4_block = 3 * 8;
     let v3_block = 3 * 8 + 4;
+    // a version-4/5 reply: robustness counters present, lifecycle zeroed
+    match Response::decode(&bytes[..bytes.len() - v6_block]).unwrap() {
+        Response::StatsReply(s) => {
+            assert_eq!(s.store_retries, 21);
+            assert_eq!(s.evictions, 0);
+            assert_eq!(s.rehydrations, 0);
+            assert_eq!(s.tenants_resident, 0);
+        }
+        other => panic!("expected StatsReply, got {other:?}"),
+    }
+    let bytes = &bytes[..bytes.len() - v6_block];
     // a version-3 reply: scheduler counters present, robustness zeroed
     match Response::decode(&bytes[..bytes.len() - v4_block]).unwrap() {
         Response::StatsReply(s) => {
@@ -477,12 +495,13 @@ fn version1_peers_still_decode() {
 
 #[test]
 fn version4_peers_still_decode() {
-    // version 5 adds *new tags only* — no version-4 message's encoding
+    // version 5 added *new tags only* and version 6 *optional trailing
+    // StatsReply fields only* — no version-4 message's encoding
     // changed, so a version-4 peer decodes every frame it knew about
     // byte-for-byte. Pin the fixed encodings that contract rests on
     // (and the new tags, which a version-4 peer rejects as BadTag — a
     // typed refusal, never a desync, since frames are length-prefixed).
-    assert_eq!(chimera_net::PROTOCOL_VERSION, 5);
+    assert_eq!(chimera_net::PROTOCOL_VERSION, 6);
     assert_eq!(Request::Flush.encode(), vec![0x04]);
     assert_eq!(Request::Stats.encode(), vec![0x05]);
     assert_eq!(Request::Shutdown.encode(), vec![0x07]);
@@ -522,6 +541,38 @@ fn version4_peers_still_decode() {
             assert_eq!(Response::MetricsReply(got).encode(), cut);
         }
         other => panic!("expected MetricsReply, got {other:?}"),
+    }
+}
+
+#[test]
+fn version5_peers_still_decode() {
+    // version 6 appends *optional trailing StatsReply fields only* — a
+    // version-5 StatsReply (no lifecycle block) still decodes, with the
+    // lifecycle counters zeroed, and every other field intact. Build a
+    // version-5-shaped reply by cutting the version-6 block off a full
+    // encoding whose lifecycle fields are zero: byte-for-byte, that is
+    // what a version-5 server would have sent.
+    let stats = WireStats {
+        shards: 2,
+        tenants: 9,
+        jobs_submitted: 41,
+        store_retries: 3,
+        shards_poisoned: 1,
+        net_conns_reaped: 5,
+        ..WireStats::default()
+    };
+    let full = Response::StatsReply(stats.clone()).encode();
+    let v5 = &full[..full.len() - 3 * 8];
+    match Response::decode(v5).unwrap() {
+        Response::StatsReply(s) => {
+            assert_eq!(s, stats);
+            assert_eq!(s.evictions, 0);
+            assert_eq!(s.rehydrations, 0);
+            assert_eq!(s.tenants_resident, 0);
+            // re-encoding appends the (all-zero) version-6 block back
+            assert_eq!(Response::StatsReply(s).encode(), full);
+        }
+        other => panic!("expected StatsReply, got {other:?}"),
     }
 }
 

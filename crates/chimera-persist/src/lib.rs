@@ -48,7 +48,8 @@ pub use durable::{DurableEngine, RecoveryReport};
 pub use joblog::{JobGroup, JobLog, JobLogOutcome, JobRecord};
 pub use shardsnap::{RuleStampRec, ShardSnapshot, TenantSnapshot};
 pub use store::{
-    DurableStore, InMemoryStore, ShardRecovery, StateStore, StoreCounters, SyncPolicy,
+    DurableStore, EvictedTenant, InMemoryStore, ShardRecovery, StateStore, StoreCounters,
+    SyncPolicy,
 };
 pub use wal::{RedoBatch, RedoRecord, Wal};
 

@@ -240,6 +240,32 @@ impl Pool {
         }
     }
 
+    /// Claim a tenant that is *idle* — no staged jobs, no worker holding
+    /// it — for the eviction path. An idle tenant has no pool entry at
+    /// all, so "claiming" it means inserting a running-marked entry with
+    /// an empty queue: submissions that race in behind the claim stage
+    /// jobs without readying the tenant, exactly as they would behind a
+    /// worker's claim. Returns `false` (claim refused) if the tenant has
+    /// any pool presence — staged work means it is not cold enough to
+    /// evict. The caller must finish with [`Pool::release`]`(tenant,
+    /// home, 0)`, which re-readies anything staged meanwhile (whose claim
+    /// then rehydrates the tenant) or removes the empty entry.
+    pub(crate) fn try_claim_idle(&self, tenant: u64, home: usize) -> bool {
+        let mut s = self.lock();
+        if s.closed || s.tenants.contains_key(&tenant) {
+            return false;
+        }
+        s.tenants.insert(
+            tenant,
+            TenantQueue {
+                jobs: VecDeque::new(),
+                running: true,
+                home,
+            },
+        );
+        true
+    }
+
     /// Release a claimed tenant after its batch retired: bump the home
     /// shard's processed count, mark the tenant claimable again and
     /// re-enqueue it if jobs were staged behind the batch.

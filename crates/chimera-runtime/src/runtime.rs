@@ -4,22 +4,23 @@
 
 use crate::pool::{Pool, SubmitRefused};
 use crate::shard::{
-    home_of, recover_home, reopen_home, spawn_worker, Counters, Envelope, Fabric, Home, Tenants,
-    WorkerCtx, WorkerStats,
+    approx_slot_bytes, home_of, recover_home, reopen_home, restore_tenant, spawn_worker, Counters,
+    Envelope, Fabric, Home, Tenants, WorkerCtx, WorkerStats,
 };
 use crate::stats::{RuntimeStats, ShardStats};
 use chimera_events::Timestamp;
 use chimera_exec::{EngineConfig, EngineStats, Op};
+use chimera_lifecycle::{LifecycleConfig, ResidencyLru};
 use chimera_model::{ClassId, Oid, Schema};
 use chimera_persist::{DurableStore, InMemoryStore, StateStore, SyncPolicy};
 use chimera_rules::table::RuleError;
 use chimera_rules::{RuleTable, TriggerDef};
-use chimera_telemetry::Telemetry;
+use chimera_telemetry::{Gauge, Telemetry};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Barrier, PoisonError};
+use std::sync::{Arc, Barrier, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 /// A tenant identity. Tenants are *homed* on shards by a mixed hash of
@@ -274,6 +275,15 @@ pub struct RuntimeConfig {
     /// cost: every telemetry call is a single `None` check and the clock
     /// is never read.
     pub telemetry: bool,
+    /// Tenant residency budget. The default
+    /// ([`LifecycleConfig::unbounded`]) keeps every tenant engine in RAM
+    /// forever — the pre-lifecycle behaviour, with the whole eviction
+    /// path compiled down to one boolean check per batch. A bounded
+    /// config makes workers evict the coldest idle tenants past the
+    /// budget: their engines are snapshotted to their home store
+    /// (`tenant-<id>.tsnap` on durable homes) and dropped from RAM, then
+    /// rebuilt transparently on their next claimed job.
+    pub lifecycle: LifecycleConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -287,6 +297,7 @@ impl Default for RuntimeConfig {
             storage: StorageMode::InMemory,
             store_wrap: None,
             telemetry: false,
+            lifecycle: LifecycleConfig::default(),
         }
     }
 }
@@ -437,7 +448,25 @@ impl Runtime {
             } else {
                 Telemetry::off()
             },
+            lifecycle: config.lifecycle,
+            lru: Arc::new(Mutex::new(ResidencyLru::new())),
         };
+        // recovery ran with Telemetry::off and before the LRU existed:
+        // seed both from the rebuilt registry so the residency gauge and
+        // the eviction order are correct from the first claim. (Tenants
+        // recovery left parked in the evicted maps have no engine and
+        // are deliberately in neither.)
+        let recovered = fabric.tenants.arcs();
+        fabric
+            .telemetry
+            .gauge_add(Gauge::TenantsResident, recovered.len() as i64);
+        if fabric.lifecycle.is_bounded() {
+            let mut lru = fabric.lru.lock().unwrap_or_else(PoisonError::into_inner);
+            for (tenant, arc) in &recovered {
+                let slot = arc.lock().unwrap_or_else(PoisonError::into_inner);
+                lru.touch(*tenant, home_of(*tenant, shard_count), approx_slot_bytes(&slot));
+            }
+        }
         let handles = (0..shard_count)
             .map(|i| Some(spawn_worker(i, fabric.clone())))
             .collect();
@@ -594,22 +623,45 @@ impl Runtime {
     /// has never submitted a job (no engine exists). Takes the tenant's
     /// slot lock, so it serializes against the workers between jobs —
     /// call [`Runtime::flush`] first for a quiesced view.
+    ///
+    /// An *evicted* tenant is inspectable too: `f` runs over a throwaway
+    /// engine rebuilt from the tenant's parked snapshot — a read-only
+    /// peek that does **not** rehydrate (only a claimed job does), so
+    /// mutations made through it are discarded.
     pub fn with_tenant<R>(
         &self,
         tenant: TenantId,
         f: impl FnOnce(&mut chimera_exec::Engine) -> R,
     ) -> Option<R> {
-        let slot = self.fabric.tenants.get(tenant.0)?;
-        let mut slot = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(slot) = self.fabric.tenants.get(tenant.0) {
+            let mut slot = slot.lock().unwrap_or_else(PoisonError::into_inner);
+            return Some(f(&mut slot.engine));
+        }
+        let home = &self.fabric.homes[self.shard_of(tenant)];
+        let snap = home.evicted_lock().get(&tenant.0).cloned()?;
+        let ctx = WorkerCtx::new(
+            self.fabric.schema.clone(),
+            Arc::clone(&self.fabric.triggers),
+            self.config.engine.clone(),
+            Telemetry::off(),
+            0,
+        );
+        let mut slot = restore_tenant(&snap, &ctx).ok()?;
         Some(f(&mut slot.engine))
     }
 
     /// A tenant's job-error bookkeeping: `(errors, last error message)`.
-    /// `None` for tenants without an engine.
+    /// `None` for tenants without an engine. Works on evicted tenants
+    /// (read from the parked snapshot).
     pub fn tenant_errors(&self, tenant: TenantId) -> Option<(u64, Option<String>)> {
-        let slot = self.fabric.tenants.get(tenant.0)?;
-        let slot = slot.lock().unwrap_or_else(PoisonError::into_inner);
-        Some((slot.job_errors, slot.last_error.clone()))
+        if let Some(slot) = self.fabric.tenants.get(tenant.0) {
+            let slot = slot.lock().unwrap_or_else(PoisonError::into_inner);
+            return Some((slot.job_errors, slot.last_error.clone()));
+        }
+        let home = &self.fabric.homes[self.shard_of(tenant)];
+        let evicted = home.evicted_lock();
+        let snap = evicted.get(&tenant.0)?;
+        Some((snap.job_errors, snap.last_error.clone()))
     }
 
     /// Operator repair path for a *poisoned* home shard: build a
@@ -692,6 +744,8 @@ impl Runtime {
             out.snapshots += home.snapshots.load(Ordering::Relaxed);
             out.tenants_recovered += home.recovered_tenants.load(Ordering::Relaxed);
             out.jobs_replayed += home.replayed_jobs.load(Ordering::Relaxed);
+            out.evictions += home.evictions.load(Ordering::Relaxed);
+            out.rehydrations += home.rehydrations.load(Ordering::Relaxed);
             let retries = home.store_retries.load(Ordering::Relaxed);
             out.store_retries += retries;
             per_shard[i].store_retries = retries;
@@ -699,10 +753,25 @@ impl Runtime {
                 out.shards_poisoned += 1;
                 per_shard[i].poisoned = true;
             }
+            // evicted tenants still belong to the aggregate: their engine
+            // counters live in the parked snapshot
+            for snap in home.evicted_lock().values() {
+                per_shard[i].tenants += 1;
+                out.tenants += 1;
+                out.add_engine(EngineStats {
+                    blocks: snap.stats[0],
+                    events: snap.stats[1],
+                    considerations: snap.stats[2],
+                    executions: snap.stats[3],
+                    commits: snap.stats[4],
+                    rollbacks: snap.stats[5],
+                });
+            }
         }
         for (tenant, slot) in f.tenants.arcs() {
             per_shard[home_of(tenant, homes)].tenants += 1;
             out.tenants += 1;
+            out.tenants_resident += 1;
             let slot = slot.lock().unwrap_or_else(PoisonError::into_inner);
             out.add_engine(slot.engine.stats());
             out.add_support(slot.engine.support_stats());

@@ -32,11 +32,12 @@
 use crate::pool::Pool;
 use crate::runtime::{Job, JobId, JobOutcome, JobReply, JobSummary, TenantId};
 use chimera_exec::{Engine, EngineConfig, EngineStats};
+use chimera_lifecycle::{LifecycleConfig, ResidencyLru};
 use chimera_model::{ObjectStore, Schema};
 use chimera_persist::{JobRecord, RuleStampRec, StateStore, TenantSnapshot};
 use chimera_rules::{SharedProbePool, TriggerDef};
-use chimera_telemetry::{Counter as TelCounter, Stage, Telemetry, TraceKind};
-use std::collections::HashMap;
+use chimera_telemetry::{Counter as TelCounter, Gauge as TelGauge, Stage, Telemetry, TraceKind};
+use std::collections::{HashMap, HashSet};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::SyncSender;
@@ -106,9 +107,13 @@ impl Tenants {
     }
 
     fn get_or_create(&self, tenant: u64, ctx: &WorkerCtx) -> Arc<Mutex<TenantSlot>> {
+        let mut map = self.lock();
+        if let Some(arc) = map.get(&tenant) {
+            return Arc::clone(arc);
+        }
+        ctx.tel.gauge_add(TelGauge::TenantsResident, 1);
         Arc::clone(
-            self.lock()
-                .entry(tenant)
+            map.entry(tenant)
                 .or_insert_with(|| Arc::new(Mutex::new(fresh_slot(ctx)))),
         )
     }
@@ -119,6 +124,12 @@ impl Tenants {
 
     fn remove(&self, tenant: u64) {
         self.lock().remove(&tenant);
+    }
+
+    /// Resident engines (evicted tenants are not counted — they have no
+    /// engine in RAM).
+    pub fn len(&self) -> usize {
+        self.lock().len()
     }
 
     /// Snapshot the registry's `(tenant, slot)` pairs (the slots are not
@@ -156,6 +167,16 @@ pub(crate) struct Home {
     /// Set once, after startup recovery.
     pub recovered_tenants: AtomicU64,
     pub replayed_jobs: AtomicU64,
+    /// Tenants homed here whose engines were evicted from RAM: their
+    /// authoritative state until the next claim rehydrates them. (On a
+    /// durable home the same snapshot is also on disk as a
+    /// `tenant-<id>.tsnap`, so a crash recovers it; in-memory mode this
+    /// map *is* the only copy — eviction there trades RAM for a smaller
+    /// serialized form, exactly like a swapped-out page.)
+    pub evicted: Mutex<HashMap<u64, TenantSnapshot>>,
+    /// Lifetime eviction / rehydration counts for this home.
+    pub evictions: AtomicU64,
+    pub rehydrations: AtomicU64,
 }
 
 /// The lock-protected mutable state of one home store.
@@ -192,7 +213,15 @@ impl Home {
             store_retries: AtomicU64::new(0),
             recovered_tenants: AtomicU64::new(0),
             replayed_jobs: AtomicU64::new(0),
+            evicted: Mutex::new(HashMap::new()),
+            evictions: AtomicU64::new(0),
+            rehydrations: AtomicU64::new(0),
         }
+    }
+
+    /// Lock the evicted-tenant map.
+    pub fn evicted_lock(&self) -> MutexGuard<'_, HashMap<u64, TenantSnapshot>> {
+        self.evicted.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Is this home's durability currently poisoned? (Takes the store
@@ -226,8 +255,12 @@ fn with_retry<T>(
             Err(e) if e.is_transient() => {
                 home.store_retries.fetch_add(1, Ordering::Relaxed);
                 ctx.tel.count(ctx.worker, TelCounter::StoreRetries, 1);
+                // home-scoped events record into the *home's* ring (not
+                // the worker's), so one noisy neighbor can't flush the
+                // postmortem trail of a victim home — see
+                // tests in chimera-telemetry and the PR-9 follow-up note
                 ctx.tel
-                    .trace(ctx.worker, TraceKind::StoreRetried, home.index as u64, 0);
+                    .trace(home.index, TraceKind::StoreRetried, home.index as u64, 0);
                 std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
                 backoff_ms *= 2;
             }
@@ -313,6 +346,13 @@ pub(crate) struct Fabric {
     pub engine_cfg: EngineConfig,
     pub snapshot_every: u64,
     pub telemetry: Telemetry,
+    /// The residency budget (default unbounded: the whole lifecycle
+    /// path is skipped).
+    pub lifecycle: LifecycleConfig,
+    /// Tenant recency, maintained on the claim-release path while a
+    /// budget is configured. Guarded by one mutex: touches are O(1) and
+    /// happen once per *batch*, not per job, so contention is noise.
+    pub lru: Arc<Mutex<ResidencyLru>>,
 }
 
 /// Spawn one worker thread running the claim loop until the pool closes.
@@ -341,8 +381,18 @@ fn run_worker(index: usize, fabric: Fabric) {
         }
         let retired = claim.batch.len() as u64;
         ctx.tel.count(index, TelCounter::Batches, 1);
+        // claim traces are home-scoped (a hot tenant floods its *own*
+        // home's ring, never a victim's)
         ctx.tel
-            .trace(index, TraceKind::JobClaimed, claim.tenant, retired);
+            .trace(claim.home, TraceKind::JobClaimed, claim.tenant, retired);
+        if rehydrate_if_evicted(&fabric, &ctx, claim.tenant, claim.home)
+            && fabric.lifecycle.is_bounded()
+        {
+            // the rehydration grew the working set by one; shed a cold
+            // tenant *now* so residency overshoots the budget only by
+            // the claims currently in flight, not until the next release
+            enforce_residency(&fabric, &ctx);
+        }
         run_batch(
             &fabric.homes[claim.home],
             fabric.homes.len(),
@@ -354,7 +404,176 @@ fn run_worker(index: usize, fabric: Fabric) {
         );
         me.executed.fetch_add(retired, Ordering::Relaxed);
         fabric.pool.release(claim.tenant, claim.home, retired);
+        if fabric.lifecycle.is_bounded() {
+            note_activity(&fabric, claim.tenant, claim.home);
+            enforce_residency(&fabric, &ctx);
+        }
     }
+}
+
+/// If the claimed tenant was evicted, rebuild its engine from the home's
+/// evicted snapshot *before* the batch runs — so the batch path
+/// (`get_or_create`, per-job locks, replay) never observes a missing
+/// tenant and callers see eviction only as this restore's latency
+/// (recorded in the `rehydrate` histogram). Claim exclusivity plus the
+/// pool guard inside [`try_evict`] make this race-free: nobody evicts a
+/// claimed tenant, and nobody else rehydrates one. Returns whether an
+/// engine was rebuilt (so the caller can re-enforce the budget).
+fn rehydrate_if_evicted(fabric: &Fabric, ctx: &WorkerCtx, tenant: u64, home_idx: usize) -> bool {
+    if fabric.tenants.get(tenant).is_some() {
+        return false;
+    }
+    let home = &fabric.homes[home_idx];
+    let snap = home.evicted_lock().get(&tenant).cloned();
+    let Some(snap) = snap else { return false };
+    let started = ctx.tel.start();
+    match restore_tenant(&snap, ctx) {
+        Ok(slot) => {
+            fabric.tenants.insert(tenant, slot);
+            // remove *after* insert so inspection never sees the tenant
+            // in neither place
+            home.evicted_lock().remove(&tenant);
+            home.rehydrations.fetch_add(1, Ordering::Relaxed);
+            if fabric.lifecycle.is_bounded() {
+                lru_lock(fabric).touch(tenant, home_idx, approx_tenant_bytes(&snap));
+            }
+            ctx.tel.record_since(ctx.worker, Stage::Rehydrate, started);
+            ctx.tel.count(ctx.worker, TelCounter::Rehydrations, 1);
+            ctx.tel.gauge_add(TelGauge::TenantsResident, 1);
+            ctx.tel
+                .trace(home_idx, TraceKind::TenantRehydrated, tenant, home_idx as u64);
+            return true;
+        }
+        Err(e) => {
+            // Should be unreachable — the snapshot came from a healthy
+            // engine we froze ourselves. If it does happen, preserve
+            // state (the snapshot stays in the evicted map, and on disk
+            // for durable homes) and poison the home so the batch is
+            // answered with typed refusals instead of running against a
+            // fresh empty engine.
+            let mut slot = home.lock();
+            slot.poisoned = Some(format!("tenant {tenant} rehydration failed: {e}"));
+            ctx.tel.count(ctx.worker, TelCounter::Poisonings, 1);
+            ctx.tel
+                .trace(home_idx, TraceKind::HomePoisoned, home.index as u64, 0);
+        }
+    }
+    false
+}
+
+/// Approximate resident footprint of a tenant, from its snapshot shape:
+/// relative pressure for the bytes budget, not accounting.
+fn approx_tenant_bytes(snap: &TenantSnapshot) -> u64 {
+    let sources: u64 = snap.trigger_sources.iter().map(|s| s.len() as u64).sum();
+    1024 + snap.objects.len() as u64 * 256 + snap.events.len() as u64 * 64 + sources
+}
+
+/// Same estimate from a live slot, without snapshotting it.
+pub(crate) fn approx_slot_bytes(slot: &TenantSlot) -> u64 {
+    let sources: u64 = slot.trigger_sources.iter().map(|s| s.len() as u64).sum();
+    1024 + slot.engine.store().len() as u64 * 256
+        + slot.engine.event_base().len() as u64 * 64
+        + sources
+}
+
+fn lru_lock(fabric: &Fabric) -> MutexGuard<'_, ResidencyLru> {
+    fabric.lru.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Mark the released tenant most-recently-active. The slot is
+/// `try_lock`ed for the size estimate; if another worker already
+/// re-claimed the tenant it is hot by definition and the stale estimate
+/// stands.
+fn note_activity(fabric: &Fabric, tenant: u64, home: usize) {
+    let bytes = match fabric.tenants.get(tenant) {
+        Some(arc) => match arc.try_lock() {
+            Ok(slot) => approx_slot_bytes(&slot),
+            Err(_) => return, // re-claimed already: hot, leave as-is
+        },
+        None => return, // dropped mid-release (panic path)
+    };
+    lru_lock(fabric).touch(tenant, home, bytes);
+}
+
+/// How many cold candidates one enforcement round examines before giving
+/// up (busy or refusing candidates stay in the LRU and are retried on a
+/// later release).
+const EVICT_CANDIDATES: usize = 32;
+
+/// Post-release residency enforcement: while the working set exceeds the
+/// budget, evict coldest-first. Best-effort by design — a candidate
+/// mid-transaction, with staged jobs, on a poisoned home, or whose
+/// eviction snapshot write faults is simply *skipped* (refuse-and-retain;
+/// nothing is ever dropped to satisfy the budget), so a transient
+/// overshoot of at most the number of in-flight claims is possible.
+fn enforce_residency(fabric: &Fabric, ctx: &WorkerCtx) {
+    loop {
+        let candidates = {
+            let lru = lru_lock(fabric);
+            if !fabric
+                .lifecycle
+                .over_budget(fabric.tenants.len(), lru.total_bytes())
+            {
+                return;
+            }
+            lru.coldest(EVICT_CANDIDATES)
+        };
+        let evicted_one = candidates
+            .into_iter()
+            .any(|(tenant, home)| try_evict(fabric, ctx, tenant, home));
+        if !evicted_one {
+            return; // nothing evictable right now; later releases retry
+        }
+    }
+}
+
+/// Try to evict one idle tenant: claim it idle in the pool (fails if it
+/// is running or has staged jobs), freeze its engine into a snapshot,
+/// persist the snapshot via [`StateStore::evict_tenant`] (durable homes;
+/// **one** attempt, no retry loop — eviction is optional work, so any
+/// fault means refuse-and-retain, never a poisoning), then drop the RAM
+/// engine and park the snapshot in the home's evicted map. Returns
+/// whether an engine was actually dropped.
+fn try_evict(fabric: &Fabric, ctx: &WorkerCtx, tenant: u64, home_idx: usize) -> bool {
+    let home = &fabric.homes[home_idx];
+    let Some(arc) = fabric.tenants.get(tenant) else {
+        // gone some other way (tenant panic); drop the stale entry
+        lru_lock(fabric).remove(tenant);
+        return false;
+    };
+    if !fabric.pool.try_claim_idle(tenant, home_idx) {
+        return false; // running or has staged jobs
+    }
+    // lock order matches maybe_snapshot: store slot, then tenant slot
+    let mut evicted = false;
+    {
+        let mut store = home.lock();
+        if store.poisoned.is_none() {
+            let slot = arc.lock().unwrap_or_else(PoisonError::into_inner);
+            if !slot.engine.in_transaction() {
+                let snap = snapshot_tenant(tenant, &slot);
+                if store.store.evict_tenant(&snap).is_ok() {
+                    drop(slot);
+                    home.evicted_lock().insert(tenant, snap);
+                    fabric.tenants.remove(tenant);
+                    lru_lock(fabric).remove(tenant);
+                    home.evictions.fetch_add(1, Ordering::Relaxed);
+                    ctx.tel.count(ctx.worker, TelCounter::Evictions, 1);
+                    ctx.tel.gauge_add(TelGauge::TenantsResident, -1);
+                    ctx.tel
+                        .trace(home_idx, TraceKind::TenantEvicted, tenant, home_idx as u64);
+                    evicted = true;
+                }
+            }
+        }
+        if evicted {
+            publish_counters(home, &*store.store);
+        }
+    }
+    // a job submitted while we held the idle claim was queued, not
+    // readied; release re-readies it (and its claim will rehydrate)
+    fabric.pool.release(tenant, home_idx, 0);
+    evicted
 }
 
 /// One processed envelope, parked until the batch's group commit before
@@ -420,8 +639,12 @@ fn run_batch(
                     // `reopen_shard_store` requires. The rollback runs
                     // unlogged — the store is dead, and recovery replays
                     // a log whose last group never included this
-                    // transaction's commit anyway.
-                    if matches!(env.job, Job::Rollback) {
+                    // transaction's commit anyway. Gated on residency: an
+                    // *evicted* tenant is by construction outside any
+                    // transaction, so running its rollback would only
+                    // conjure a fresh empty engine that shadows the
+                    // parked snapshot.
+                    if matches!(env.job, Job::Rollback) && tenants.get(env.tenant.0).is_some() {
                         return Disposition::Run { logged: false };
                     }
                     return Disposition::Refuse {
@@ -452,7 +675,7 @@ fn run_batch(
                                 slot.poisoned = Some(msg.clone());
                                 tel.count(ctx.worker, TelCounter::Poisonings, 1);
                                 tel.trace(
-                                    ctx.worker,
+                                    home.index,
                                     TraceKind::HomePoisoned,
                                     home.index as u64,
                                     0,
@@ -502,7 +725,7 @@ fn run_batch(
                 (JobOutcome::Done(JobSummary::default()), false)
             }
             Disposition::Refuse { msg, durability } => (
-                refuse(tenants, counters, ctx, env.tenant.0, msg, durability),
+                refuse(home, tenants, counters, ctx, env.tenant.0, msg, durability),
                 false,
             ),
             Disposition::Run { logged } => {
@@ -542,7 +765,7 @@ fn run_batch(
                     let msg = format!("shard store failed: {e}");
                     slot.poisoned = Some(msg.clone());
                     tel.count(ctx.worker, TelCounter::Poisonings, 1);
-                    tel.trace(ctx.worker, TraceKind::HomePoisoned, home.index as u64, 0);
+                    tel.trace(home.index, TraceKind::HomePoisoned, home.index as u64, 0);
                     demote = Some(msg);
                 }
             }
@@ -563,10 +786,10 @@ fn run_batch(
     if let Some(msg) = demote {
         for p in &mut pending {
             if p.logged && p.outcome.is_done() {
-                p.outcome = refuse(tenants, counters, ctx, p.tenant.0, msg.clone(), true);
+                p.outcome = refuse(home, tenants, counters, ctx, p.tenant.0, msg.clone(), true);
                 tel.count(ctx.worker, TelCounter::Demotions, 1);
                 tel.trace(
-                    ctx.worker,
+                    home.index,
                     TraceKind::JobDemoted,
                     p.tenant.0,
                     home.index as u64,
@@ -587,6 +810,7 @@ fn run_batch(
 /// `durability: true` yields the typed [`JobOutcome::RefusedDurability`]
 /// a client can distinguish from an engine error.
 fn refuse(
+    home: &Home,
     tenants: &Tenants,
     counters: &Counters,
     ctx: &WorkerCtx,
@@ -594,6 +818,24 @@ fn refuse(
     msg: String,
     durability: bool,
 ) -> JobOutcome {
+    if tenants.get(tenant).is_none() {
+        // An *evicted* tenant reaches here when its home is poisoned
+        // (rehydration is skipped by a poisoning mid-batch, or failed and
+        // caused it). Book the error on the parked snapshot rather than
+        // `get_or_create` — a fresh empty slot would shadow the real
+        // state the snapshot still holds.
+        let mut evicted = home.evicted_lock();
+        if let Some(snap) = evicted.get_mut(&tenant) {
+            snap.job_errors += 1;
+            snap.last_error = Some(msg.clone());
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+            return if durability {
+                JobOutcome::RefusedDurability(msg)
+            } else {
+                JobOutcome::Error(msg)
+            };
+        }
+    }
     let arc = tenants.get_or_create(tenant, ctx);
     let mut slot = arc.lock().unwrap_or_else(PoisonError::into_inner);
     slot.job_errors += 1;
@@ -642,6 +884,7 @@ fn run_job(
             // drop the whole tenant rather than serve from it
             drop(slot);
             tenants.remove(tenant);
+            ctx.tel.gauge_add(TelGauge::TenantsResident, -1);
             counters.panics.fetch_add(1, Ordering::Relaxed);
             JobOutcome::Panicked
         }
@@ -803,11 +1046,41 @@ pub(crate) fn recover_home(
         torn: rec.torn,
         ..ShardRecoveryStats::default()
     };
+    // Eviction snapshots first. Each carries a log watermark: every job
+    // the tenant ever logged up to `watermark` is *inside* the snapshot.
+    // A tenant with no tail records past its watermark stays parked in
+    // the evicted map (cheap recovery — no engine rebuild until a claim
+    // wants it); one *with* later records must be rebuilt eagerly so the
+    // tail replay below lands on real state.
+    let mut covered: HashMap<u64, u64> = HashMap::new();
+    for ev in &rec.evicted {
+        covered.insert(ev.snap.tenant, ev.watermark);
+    }
+    let mut restored_errors: u64 = 0;
+    for ev in rec.evicted {
+        let tenant = ev.snap.tenant;
+        let needs_eager = rec
+            .tail
+            .iter()
+            .any(|g| g.seq > ev.watermark && g.jobs.iter().any(|(t, _)| *t == tenant));
+        restored_errors += ev.snap.job_errors;
+        if needs_eager {
+            tenants.insert(tenant, restore_tenant(&ev.snap, ctx)?);
+        } else {
+            home.evicted_lock().insert(tenant, ev.snap);
+        }
+        stats.tenants_recovered += 1;
+    }
     // restored error bookkeeping feeds the aggregate counter so stats
     // stay consistent across a restart
-    let mut restored_errors: u64 = 0;
     if let Some(snap) = rec.snapshot {
         for ts in &snap.tenants {
+            if covered.contains_key(&ts.tenant) {
+                // the tenant's eviction snapshot is at least as new as
+                // the full snapshot's copy (stale tsnaps were already
+                // deleted by the store's recover scan)
+                continue;
+            }
             let restored = restore_tenant(ts, ctx)?;
             restored_errors += restored.job_errors;
             tenants.insert(ts.tenant, restored);
@@ -817,6 +1090,9 @@ pub(crate) fn recover_home(
     counters.errors.fetch_add(restored_errors, Ordering::Relaxed);
     for group in rec.tail {
         for (tenant, record) in group.jobs {
+            if covered.get(&tenant).is_some_and(|&w| group.seq <= w) {
+                continue; // already inside the tenant's eviction snapshot
+            }
             let job = job_from_record(record);
             run_job(tenants, counters, ctx, tenant, job, true);
             stats.jobs_replayed += 1;
@@ -834,7 +1110,7 @@ pub(crate) fn recover_home(
 /// runtime triggers → tenant trigger sources → event log → rule stamps →
 /// engine stats. Order matters: definitions stamp rule state with the
 /// *current* instant, so the recorded stamps are overlaid last.
-fn restore_tenant(ts: &TenantSnapshot, ctx: &WorkerCtx) -> Result<TenantSlot, String> {
+pub(crate) fn restore_tenant(ts: &TenantSnapshot, ctx: &WorkerCtx) -> Result<TenantSlot, String> {
     let objects = ts.objects.clone();
     let os = ObjectStore::restore(objects, ts.next_oid)
         .map_err(|e| format!("tenant {}: {e}", ts.tenant))?;
@@ -954,22 +1230,40 @@ fn maybe_snapshot(
         .map(|(tenant, guard)| snapshot_tenant(*tenant, guard))
         .collect();
     drop(guards);
+    fold_evicted(home, &mut snaps);
     snaps.sort_by_key(|t| t.tenant);
     let count = snaps.len() as u64;
     match with_retry(home, ctx, || slot.store.snapshot(&snaps)) {
         Ok(()) => {
             ctx.tel.count(ctx.worker, TelCounter::Snapshots, 1);
             ctx.tel
-                .trace(ctx.worker, TraceKind::SnapshotTaken, home.index as u64, count);
+                .trace(home.index, TraceKind::SnapshotTaken, home.index as u64, count);
         }
         Err(e) => {
             slot.poisoned = Some(format!("shard store failed: {e}"));
             ctx.tel.count(ctx.worker, TelCounter::Poisonings, 1);
             ctx.tel
-                .trace(ctx.worker, TraceKind::HomePoisoned, home.index as u64, 0);
+                .trace(home.index, TraceKind::HomePoisoned, home.index as u64, 0);
         }
     }
     publish_counters(home, &*slot.store);
+}
+
+/// Fold the home's parked eviction snapshots into a full-snapshot set:
+/// evicted tenants are as much a part of the home's state as resident
+/// ones, and including them lets the store's snapshot path delete their
+/// now-covered `tsnap` files. A tenant seen in both places (the narrow
+/// rehydration window inserts resident before removing evicted) keeps
+/// the resident copy — never older.
+fn fold_evicted(home: &Home, snaps: &mut Vec<TenantSnapshot>) {
+    let resident: HashSet<u64> = snaps.iter().map(|t| t.tenant).collect();
+    let evicted = home.evicted_lock();
+    snaps.extend(
+        evicted
+            .values()
+            .filter(|s| !resident.contains(&s.tenant))
+            .cloned(),
+    );
 }
 
 /// Replace a home's store with a freshly built one — the operator path
@@ -1028,6 +1322,7 @@ pub(crate) fn reopen_home(
         .map(|(tenant, guard)| snapshot_tenant(*tenant, guard))
         .collect();
     drop(guards);
+    fold_evicted(home, &mut snaps);
     snaps.sort_by_key(|t| t.tenant);
     store.snapshot(&snaps).map_err(|e| e.to_string())?;
     // fold the retired store's totals into the carry so published

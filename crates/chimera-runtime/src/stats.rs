@@ -14,8 +14,18 @@ use chimera_rules::table::SupportStats;
 pub struct RuntimeStats {
     /// Shards (= worker threads = home shards) in the runtime.
     pub shards: usize,
-    /// Tenants with a live engine.
+    /// Tenants the runtime holds state for: resident engines *plus*
+    /// evicted tenants parked as snapshots.
     pub tenants: usize,
+    /// Tenants with an engine in RAM right now (live gauge; at most the
+    /// configured [`chimera_lifecycle::LifecycleConfig`] residency cap,
+    /// modulo in-flight claims).
+    pub tenants_resident: u64,
+    /// Cold tenant engines snapshotted to their home store and dropped
+    /// from RAM (lifetime count).
+    pub evictions: u64,
+    /// Evicted tenants rebuilt in RAM at claim time (lifetime count).
+    pub rehydrations: u64,
     /// Jobs admitted into the pool (shed submissions are not counted).
     pub jobs_submitted: u64,
     /// Jobs fully processed by a worker.

@@ -44,10 +44,13 @@ pub enum Stage {
     NetConnRtt = 7,
     /// Client side: one synchronous request's send → response latency.
     ClientRequest = 8,
+    /// Rebuilding an evicted tenant's engine at claim time (snapshot
+    /// restore; the cost a caller observes as cold-tenant latency).
+    Rehydrate = 9,
 }
 
 /// Every stage, in index order.
-pub const STAGES: [Stage; 9] = [
+pub const STAGES: [Stage; 10] = [
     Stage::QueueWait,
     Stage::Append,
     Stage::Execute,
@@ -57,6 +60,7 @@ pub const STAGES: [Stage; 9] = [
     Stage::NetHandler,
     Stage::NetConnRtt,
     Stage::ClientRequest,
+    Stage::Rehydrate,
 ];
 
 impl Stage {
@@ -72,6 +76,7 @@ impl Stage {
             Stage::NetHandler => "net_handler",
             Stage::NetConnRtt => "net_conn_rtt",
             Stage::ClientRequest => "client_request",
+            Stage::Rehydrate => "rehydrate",
         }
     }
 }
@@ -98,10 +103,14 @@ pub enum Counter {
     Snapshots = 7,
     /// Trace events lost to ring wrap before a drain reached them.
     TraceDropped = 8,
+    /// Tenant engines evicted from RAM to the home shard's store.
+    Evictions = 9,
+    /// Evicted tenants rebuilt in RAM on their next claim.
+    Rehydrations = 10,
 }
 
 /// Every counter, in index order.
-pub const COUNTERS: [Counter; 9] = [
+pub const COUNTERS: [Counter; 11] = [
     Counter::Batches,
     Counter::StoreRetries,
     Counter::Demotions,
@@ -111,6 +120,8 @@ pub const COUNTERS: [Counter; 9] = [
     Counter::ConnsCut,
     Counter::Snapshots,
     Counter::TraceDropped,
+    Counter::Evictions,
+    Counter::Rehydrations,
 ];
 
 impl Counter {
@@ -126,6 +137,8 @@ impl Counter {
             Counter::ConnsCut => "conns_cut",
             Counter::Snapshots => "snapshots_taken",
             Counter::TraceDropped => "trace_events_dropped",
+            Counter::Evictions => "tenants_evicted",
+            Counter::Rehydrations => "tenants_rehydrated",
         }
     }
 }
@@ -136,16 +149,20 @@ impl Counter {
 pub enum Gauge {
     /// Connections currently open on the server.
     ConnsActive = 0,
+    /// Tenant engines currently resident in RAM (up on create or
+    /// rehydrate, down on evict).
+    TenantsResident = 1,
 }
 
 /// Every gauge, in index order.
-pub const GAUGES: [Gauge; 1] = [Gauge::ConnsActive];
+pub const GAUGES: [Gauge; 2] = [Gauge::ConnsActive, Gauge::TenantsResident];
 
 impl Gauge {
     /// Stable snake_case name.
     pub fn name(self) -> &'static str {
         match self {
             Gauge::ConnsActive => "conns_active",
+            Gauge::TenantsResident => "tenants_resident",
         }
     }
 }
@@ -384,6 +401,11 @@ impl MetricsSnapshot {
     /// Look up a counter by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Look up a gauge by name (e.g. `"tenants_resident"`).
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
     /// Prometheus-style text exposition: counters and gauges as plain

@@ -52,6 +52,12 @@ pub enum TraceKind {
     /// A poisoned home's store was replaced and the poison cleared
     /// (`a` = home shard).
     StoreReopened = 8,
+    /// A cold tenant's engine was snapshotted to its home store and
+    /// dropped from RAM (`a` = tenant, `b` = home shard).
+    TenantEvicted = 9,
+    /// An evicted tenant's engine was rebuilt in RAM at claim time
+    /// (`a` = tenant, `b` = home shard).
+    TenantRehydrated = 10,
 }
 
 impl TraceKind {
@@ -67,6 +73,8 @@ impl TraceKind {
             6 => TraceKind::ConnCut,
             7 => TraceKind::SnapshotTaken,
             8 => TraceKind::StoreReopened,
+            9 => TraceKind::TenantEvicted,
+            10 => TraceKind::TenantRehydrated,
             _ => return None,
         })
     }
@@ -83,6 +91,8 @@ impl TraceKind {
             TraceKind::ConnCut => "conn_cut",
             TraceKind::SnapshotTaken => "snapshot_taken",
             TraceKind::StoreReopened => "store_reopened",
+            TraceKind::TenantEvicted => "tenant_evicted",
+            TraceKind::TenantRehydrated => "tenant_rehydrated",
         }
     }
 }
@@ -249,6 +259,8 @@ mod tests {
             TraceKind::ConnCut,
             TraceKind::SnapshotTaken,
             TraceKind::StoreReopened,
+            TraceKind::TenantEvicted,
+            TraceKind::TenantRehydrated,
         ] {
             assert_eq!(TraceKind::from_u8(k as u8), Some(k));
         }

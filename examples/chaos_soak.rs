@@ -9,7 +9,13 @@
 //!    repairable with `reopen_shard_store`, and every tenant's end
 //!    state must equal a fault-free sequential replay of the jobs that
 //!    executed.
-//! 2. **Network chaos** — a TCP server behind a `ChaosProxy` that cuts
+//! 2. **Eviction pressure** — a durable runtime with a tight tenant
+//!    residency cap whose stores inject transient faults into the
+//!    eviction path. Evictions under fault must *refuse-and-retain*
+//!    (the tenant stays resident, nothing poisons, no job is lost), the
+//!    cap must hold once traffic settles, and every tenant — evicted or
+//!    resident — must equal its fault-free oracle.
+//! 3. **Network chaos** — a TCP server behind a `ChaosProxy` that cuts
 //!    connections mid-frame, driven by a reconnecting client. Every
 //!    submission must resolve (`Done`/`Error`/typed `Disconnected`),
 //!    orphan accounting must be exact, and the session must heal once
@@ -176,6 +182,7 @@ fn storage_soak() {
                         commit_transient: 1500,
                         commit_torn: 1000,
                         snapshot_transient: 1500,
+                        evict_transient: 0,
                     },
                 ),
                 ARMED if shard == victim_shard => {
@@ -351,6 +358,176 @@ fn storage_soak() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Phase 2: eviction under fire. A tight residency cap forces constant
+/// eviction/rehydration churn while every store injects transient faults
+/// into `evict_tenant` (and nothing else — any divergence is the
+/// lifecycle's fault alone). The claims: a faulted eviction refuses and
+/// retains (no poison, no loss), the cap holds at quiescence, and every
+/// tenant equals its fault-free oracle whether it ended resident or
+/// evicted.
+fn lifecycle_soak() {
+    use chimera::lifecycle::LifecycleConfig;
+    const CAP: usize = 3;
+    const JOBS: usize = 400;
+    let s = schema();
+    let item = s.class_by_name("item").unwrap();
+    let dir = std::env::temp_dir().join(format!("chimera-evict-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let counters = Arc::new(ChaosCounters::default());
+    let wrap = {
+        let counters = Arc::clone(&counters);
+        StoreWrap::new(move |shard, store| {
+            let plan = FaultPlan::seeded(
+                SEED ^ 0xE71C ^ shard as u64,
+                ChaosRates {
+                    evict_transient: 2000, // 20% of evictions refused
+                    ..ChaosRates::default()
+                },
+            );
+            Box::new(ChaosStore::with_counters(store, plan, Arc::clone(&counters)))
+        })
+    };
+    let rt = Runtime::new(
+        s.clone(),
+        vec![],
+        RuntimeConfig {
+            shards: 2,
+            storage: StorageMode::Durable(DurabilityConfig {
+                dir: dir.clone(),
+                group_commit: true,
+                snapshot_every: 0, // tsnaps only: eviction is the sole snapshot path
+            }),
+            engine: EngineConfig {
+                max_rule_steps: 64,
+                ..EngineConfig::default()
+            },
+            store_wrap: Some(wrap),
+            telemetry: true,
+            lifecycle: LifecycleConfig::with_max_resident(CAP),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    watch(rt.telemetry());
+
+    let mut zipf = ZipfTenants::new(ZipfTenantsConfig {
+        tenants: TENANTS,
+        s: 1.1,
+        hot_boost: 2.0,
+        seed: SEED ^ 0xE71C,
+    });
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xE71C);
+    let mut in_txn = vec![false; TENANTS as usize];
+    let mut executed: Vec<Vec<Job>> = vec![Vec::new(); TENANTS as usize];
+    let run = |t: usize, job: Job| -> JobOutcome {
+        let (_, rx) = rt.submit_with_reply(TenantId(t as u64), job).unwrap();
+        rx.recv_timeout(Duration::from_secs(60))
+            .expect("an eviction-churning runtime must answer every job")
+            .outcome
+    };
+    for _ in 0..JOBS {
+        let t = zipf.next_rank() as usize;
+        let job = if !in_txn[t] {
+            Job::Begin
+        } else {
+            match rng.random_range(0..6u32) {
+                0..=2 => Job::ExecBlock(vec![Op::Create {
+                    class: item,
+                    inits: vec![(AttrId(0), Value::Int(rng.random_range(0..100i64)))],
+                }]),
+                3..=4 => Job::Commit,
+                _ => Job::Rollback,
+            }
+        };
+        match run(t, job.clone()) {
+            JobOutcome::Done(_) | JobOutcome::Error(_) => {}
+            other => panic!("eviction churn must stay invisible, got {other:?}"),
+        }
+        match job {
+            Job::Begin => in_txn[t] = true,
+            Job::Commit | Job::Rollback => in_txn[t] = false,
+            _ => {}
+        }
+        executed[t].push(job);
+    }
+    rt.flush().unwrap();
+    // Two legal sources of overshoot at rest: tenants parked inside a
+    // transaction are unevictable, and a *refused* (fault-injected)
+    // eviction retains its tenant until the next activity retries.
+    // Enforcement only runs on claim/release, so nudge the runtime with
+    // no-op claims until the working set fits cap + mid-txn tenants.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stuck = in_txn.iter().filter(|&&b| b).count();
+        if rt.stats().tenants_resident <= (CAP + stuck) as u64
+            || std::time::Instant::now() >= deadline
+        {
+            break;
+        }
+        let job = if in_txn[0] { Job::Commit } else { Job::Begin };
+        match run(0, job.clone()) {
+            JobOutcome::Done(_) | JobOutcome::Error(_) => {}
+            other => panic!("retry nudge must stay invisible, got {other:?}"),
+        }
+        match job {
+            Job::Begin => in_txn[0] = true,
+            Job::Commit | Job::Rollback => in_txn[0] = false,
+            _ => {}
+        }
+        executed[0].push(job);
+        rt.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stuck = in_txn.iter().filter(|&&b| b).count();
+    let stats = rt.stats();
+    assert_eq!(stats.jobs_processed, stats.jobs_submitted, "job leak");
+    assert_eq!(stats.shards_poisoned, 0, "a refused eviction must not poison");
+    assert_eq!(stats.tenants as u64, TENANTS, "no tenant may vanish");
+    assert!(
+        stats.tenants_resident <= (CAP + stuck) as u64,
+        "cap {CAP} (+{stuck} mid-txn) violated at quiescence: {} resident",
+        stats.tenants_resident
+    );
+    assert!(stats.evictions >= 1, "a 4x-over-cap mix must evict");
+    assert!(stats.rehydrations >= 1, "revisited tenants must rehydrate");
+    assert!(
+        counters.transient() >= 1,
+        "a 20% fault rate over {} evictions must have fired",
+        stats.evictions
+    );
+    // refuse-and-retain, bit-for-bit: every tenant (resident or parked as
+    // a snapshot) equals the fault-free sequential oracle
+    for (t, jobs) in executed.iter().enumerate() {
+        if jobs.is_empty() {
+            continue;
+        }
+        let (want_stats, want_txn, want_extent) = oracle(&s, jobs, item);
+        let got = rt
+            .with_tenant(TenantId(t as u64), |e| {
+                let mut extent: Vec<u64> = e.extent(item).iter().map(|o| o.0).collect();
+                extent.sort_unstable();
+                (e.stats(), e.in_transaction(), extent)
+            })
+            .expect("tenant with jobs is inspectable even when evicted");
+        assert_eq!(
+            got,
+            (want_stats, want_txn, want_extent),
+            "tenant {t} diverged under eviction churn"
+        );
+    }
+    println!(
+        "eviction soak: {JOBS} jobs over {TENANTS} tenants, cap {CAP}: {} evictions \
+         ({} refused by injected faults), {} rehydrations, {} resident at rest",
+        stats.evictions,
+        counters.transient(),
+        stats.rehydrations,
+        stats.tenants_resident,
+    );
+    telemetry_summary("eviction soak");
+    drop(rt);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn net_soak() {
     let rt = Arc::new(
         Runtime::new(
@@ -454,6 +631,7 @@ fn main() {
         std::process::exit(2);
     });
     storage_soak();
+    lifecycle_soak();
     net_soak();
     telemetry_summary("net soak");
     println!("chaos soak passed");

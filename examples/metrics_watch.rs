@@ -4,11 +4,15 @@
 //! thread while the main thread plays operator: it polls
 //! `MetricsSnapshot` over its own TCP connection and renders the stage
 //! latency histograms as they fill — queue-wait, execute, group commit,
-//! frame decode, per-connection RTT — then dumps the Prometheus-style
-//! text exposition and the postmortem trace tail at the end.
+//! frame decode, per-connection RTT, rehydrate — then dumps the
+//! Prometheus-style text exposition and the postmortem trace tail at
+//! the end. The runtime runs with a lifecycle cap well below the
+//! tenant count, so the `tenants_resident` gauge and the eviction /
+//! rehydration counters move while the feeder cycles through tenants.
 //!
 //! Run with `cargo run --example metrics_watch`.
 
+use chimera::lifecycle::LifecycleConfig;
 use chimera::model::{AttrDef, AttrType, SchemaBuilder};
 use chimera::net::{Client, ExternalEvent, Server, ServerConfig, WireOutcome};
 use chimera::runtime::{Backpressure, Runtime, RuntimeConfig};
@@ -16,7 +20,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 const TENANTS: u64 = 16;
-const BLOCKS: u64 = 60;
+const RESIDENT_CAP: usize = 6;
+const BLOCKS: u64 = 30;
+const ROUNDS: u64 = 2;
 const POLLS: u32 = 5;
 
 fn main() {
@@ -34,6 +40,7 @@ fn main() {
                 queue_capacity: 64,
                 backpressure: Backpressure::Block,
                 telemetry: true,
+                lifecycle: LifecycleConfig::with_max_resident(RESIDENT_CAP),
                 ..Default::default()
             },
         )
@@ -47,28 +54,36 @@ fn main() {
         // the feeder: steady pipelined traffic for the poller to watch
         scope.spawn(move || {
             let mut c = Client::connect_with(addr, "feeder", 1 << 20).unwrap();
-            for t in 0..TENANTS {
-                c.begin(t).unwrap();
-                c.exec_block(
-                    t,
-                    vec![chimera::net::WireOp::Create {
-                        class: reading.0,
-                        inits: vec![],
-                    }],
-                )
-                .unwrap();
-                for i in 0..BLOCKS {
-                    c.raise_external(
-                        t,
-                        vec![ExternalEvent {
-                            class: reading.0,
-                            channel: (i % 2) as u32 + 1,
-                            oid: 0,
-                        }],
-                    )
-                    .unwrap();
+            // two rounds over the tenants: with only RESIDENT_CAP of
+            // them allowed in RAM, the second round re-claims tenants
+            // the lifecycle layer evicted after the first — every one
+            // of those claims is a rehydration the poller can watch
+            for round in 0..ROUNDS {
+                for t in 0..TENANTS {
+                    c.begin(t).unwrap();
+                    if round == 0 {
+                        c.exec_block(
+                            t,
+                            vec![chimera::net::WireOp::Create {
+                                class: reading.0,
+                                inits: vec![],
+                            }],
+                        )
+                        .unwrap();
+                    }
+                    for i in 0..BLOCKS {
+                        c.raise_external(
+                            t,
+                            vec![ExternalEvent {
+                                class: reading.0,
+                                channel: (i % 2) as u32 + 1,
+                                oid: 0,
+                            }],
+                        )
+                        .unwrap();
+                    }
+                    c.commit(t).unwrap();
                 }
-                c.commit(t).unwrap();
             }
             for done in c.drain().unwrap() {
                 assert!(!matches!(done.outcome, WireOutcome::Error { .. }));
@@ -96,7 +111,20 @@ fn main() {
             assert!(m.enabled, "the runtime was built with telemetry on");
             traces.extend(m.traces.iter().copied());
             println!("-- poll {poll} --");
-            for stage in ["queue_wait", "execute", "commit", "net_frame_decode", "net_conn_rtt"] {
+            println!(
+                "  residency: {} of {RESIDENT_CAP} tenants in RAM, {} evicted, {} rehydrated",
+                m.gauge("tenants_resident").unwrap_or(0),
+                m.counter("tenants_evicted").unwrap_or(0),
+                m.counter("tenants_rehydrated").unwrap_or(0),
+            );
+            for stage in [
+                "queue_wait",
+                "execute",
+                "commit",
+                "rehydrate",
+                "net_frame_decode",
+                "net_conn_rtt",
+            ] {
                 let h = m.hist(stage).unwrap();
                 if h.count() == 0 {
                     continue;

@@ -58,6 +58,7 @@
 //! | [`persist`] | `chimera-persist` | pluggable `StateStore`: group-commit job log, WAL, snapshots, crash recovery |
 //! | [`chaos`] | `chimera-chaos` | deterministic fault injection: seeded storage faults, mid-frame TCP cuts |
 //! | [`telemetry`] | `chimera-telemetry` | lock-cheap recorder: stage latency histograms, counters/gauges, postmortem trace ring |
+//! | [`lifecycle`] | `chimera-lifecycle` | tenant residency policy: LRU budget config + the intrusive recency list |
 //! | [`interp`] | (this crate) | script interpreter over the engine |
 //!
 //! ## Evaluation tiers
@@ -206,6 +207,32 @@
 //! `tests/loopback.rs` (in `chimera-net`) pins the acceptance claim
 //! that a durable loopback run answers with non-zero queue-wait,
 //! execute and commit histograms.
+//!
+//! ## Scaling past RAM: the tenant lifecycle layer
+//!
+//! A runtime sized for thousands of tenants cannot keep every engine
+//! resident. [`lifecycle`] bounds the working set: give
+//! `RuntimeConfig::lifecycle` a residency budget (tenant count, an
+//! approximate bytes pressure, or both) and the runtime's workers evict
+//! the **coldest idle tenants** past it — each engine is frozen into the
+//! same `TenantSnapshot` the recovery path uses, written to the tenant's
+//! home store as a `tenant-<id>.tsnap` (durable homes; in-memory homes
+//! park it in RAM in serialized form), and the engine is dropped. The
+//! next claimed job **rehydrates** transparently: the claim path rebuilds
+//! the engine from the snapshot before the batch runs, so callers see
+//! eviction only as latency (the `rehydrate` telemetry histogram, with
+//! `tenants_evicted`/`tenants_rehydrated` counters and the
+//! `tenants_resident` gauge alongside). Recency is an intrusive O(1) LRU
+//! keyed by the admission pool's claim/release path; tenants
+//! mid-transaction, with staged jobs, or whose snapshot write faults are
+//! *refused and retained* — nothing is ever dropped to satisfy the
+//! budget. Crash recovery folds `tsnap`s in: a tenant evicted at
+//! watermark `w` recovers from its eviction snapshot plus only the log
+//! tail past `w`. `tests/lifecycle_equivalence.rs` is the oracle: a
+//! cap small enough to force constant churn must be bit-identical to a
+//! sequential replay, across crashes included; `benches/lifecycle.rs`
+//! prices the cold-claim rehydration and the capped-residency
+//! throughput at 1024 tenants.
 
 pub use chimera_analysis as analysis;
 pub use chimera_baselines as baselines;
@@ -214,6 +241,7 @@ pub use chimera_chaos as chaos;
 pub use chimera_events as events;
 pub use chimera_exec as exec;
 pub use chimera_lang as lang;
+pub use chimera_lifecycle as lifecycle;
 pub use chimera_model as model;
 pub use chimera_net as net;
 pub use chimera_persist as persist;
@@ -245,6 +273,7 @@ pub mod prelude {
         Client, Server, ServerConfig, TenantQuery, TriggerOutcome, WireDurability, WireJob,
         WireOp,
     };
+    pub use crate::lifecycle::LifecycleConfig;
     pub use crate::persist::{StateStore, SyncPolicy};
     pub use crate::telemetry::{MetricsSnapshot, Stage, Telemetry};
     pub use crate::runtime::{
