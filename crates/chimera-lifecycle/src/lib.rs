@@ -40,6 +40,15 @@ pub use lru::ResidencyLru;
 /// fits, skipping tenants that are mid-transaction, have staged jobs, or
 /// are homed on a poisoned shard — eviction is optional work and never
 /// blocks, degrades, or drops unpersisted state.
+///
+/// The budget is **fixed at runtime construction**: the runtime reads
+/// it once when its fabric is built, and an unbounded runtime never
+/// populates the recency LRU at all. Changing the budget on a live
+/// runtime is not supported — only tenants present in the LRU are
+/// eviction candidates, so engines that became resident while no budget
+/// was configured would be invisible to a budget imposed later. To
+/// change the budget, rebuild the runtime (durable state recovers; a
+/// bounded rebuild seeds the LRU from every recovered-resident engine).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LifecycleConfig {
     /// Maximum tenant engines resident in RAM, `None` for unbounded.

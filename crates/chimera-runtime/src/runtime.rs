@@ -282,7 +282,10 @@ pub struct RuntimeConfig {
     /// config makes workers evict the coldest idle tenants past the
     /// budget: their engines are snapshotted to their home store
     /// (`tenant-<id>.tsnap` on durable homes) and dropped from RAM, then
-    /// rebuilt transparently on their next claimed job.
+    /// rebuilt transparently on their next claimed job. The budget is
+    /// fixed for the runtime's life — it is read once at construction
+    /// (the recency LRU is only maintained while bounded), so changing
+    /// it requires rebuilding the runtime; see [`LifecycleConfig`].
     pub lifecycle: LifecycleConfig,
 }
 

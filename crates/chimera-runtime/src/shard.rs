@@ -416,9 +416,12 @@ fn run_worker(index: usize, fabric: Fabric) {
 /// (`get_or_create`, per-job locks, replay) never observes a missing
 /// tenant and callers see eviction only as this restore's latency
 /// (recorded in the `rehydrate` histogram). Claim exclusivity plus the
-/// pool guard inside [`try_evict`] make this race-free: nobody evicts a
-/// claimed tenant, and nobody else rehydrates one. Returns whether an
-/// engine was rebuilt (so the caller can re-enforce the budget).
+/// pool guard inside [`try_evict`] make this race-free against other
+/// workers' eviction/rehydration: nobody evicts a claimed tenant, and
+/// nobody else rehydrates one. Against concurrent *snapshots* the
+/// registry/evicted-map handover is published under the home store lock
+/// (see below). Returns whether an engine was rebuilt (so the caller
+/// can re-enforce the budget).
 fn rehydrate_if_evicted(fabric: &Fabric, ctx: &WorkerCtx, tenant: u64, home_idx: usize) -> bool {
     if fabric.tenants.get(tenant).is_some() {
         return false;
@@ -429,10 +432,25 @@ fn rehydrate_if_evicted(fabric: &Fabric, ctx: &WorkerCtx, tenant: u64, home_idx:
     let started = ctx.tel.start();
     match restore_tenant(&snap, ctx) {
         Ok(slot) => {
-            fabric.tenants.insert(tenant, slot);
-            // remove *after* insert so inspection never sees the tenant
-            // in neither place
-            home.evicted_lock().remove(&tenant);
+            // Publish the evicted→resident transition while holding the
+            // home store lock. [`maybe_snapshot`] (and [`reopen_home`])
+            // collect the resident set via `tenants.arcs()` and fold the
+            // evicted map under that same lock; without it a full
+            // snapshot racing this window could observe the tenant in
+            // *neither* set, omit it, advance the snapshot sequence past
+            // the tenant's tsnap watermark, and the next `recover()`
+            // would delete the tsnap as stale — permanently losing the
+            // tenant's durable state. Under the lock the snapshot sees
+            // either "still evicted" or "already resident", both
+            // correct. Inside the critical section insert-before-remove
+            // keeps lockless inspection from seeing the tenant in
+            // neither place. (Lock order store→registry→evicted matches
+            // the batch append path and `try_evict`.)
+            {
+                let _store = home.lock();
+                fabric.tenants.insert(tenant, slot);
+                home.evicted_lock().remove(&tenant);
+            }
             home.rehydrations.fetch_add(1, Ordering::Relaxed);
             if fabric.lifecycle.is_bounded() {
                 lru_lock(fabric).touch(tenant, home_idx, approx_tenant_bytes(&snap));
@@ -490,7 +508,17 @@ fn note_activity(fabric: &Fabric, tenant: u64, home: usize) {
             Ok(slot) => approx_slot_bytes(&slot),
             Err(_) => return, // re-claimed already: hot, leave as-is
         },
-        None => return, // dropped mid-release (panic path)
+        None => {
+            // The tenant left the registry outside `try_evict` — a
+            // mid-job panic drops the whole engine. Drop its LRU entry
+            // too: a phantom entry's bytes would keep `over_budget`
+            // true forever, making every release evict real (colder)
+            // tenants until the stale id happened to age into the
+            // candidate window. (`try_evict` removes its own LRU entry,
+            // so this is the only leak path.)
+            lru_lock(fabric).remove(tenant);
+            return;
+        }
     };
     lru_lock(fabric).touch(tenant, home, bytes);
 }
@@ -506,6 +534,11 @@ const EVICT_CANDIDATES: usize = 32;
 /// eviction snapshot write faults is simply *skipped* (refuse-and-retain;
 /// nothing is ever dropped to satisfy the budget), so a transient
 /// overshoot of at most the number of in-flight claims is possible.
+/// Only tenants present in the LRU are candidates: every path that makes
+/// a tenant resident while bounded also touches the LRU (release via
+/// [`note_activity`], rehydration, the recovery seed loop in
+/// `Runtime::recover`), so under the construction-fixed
+/// [`LifecycleConfig`] no resident engine is ever invisible here.
 fn enforce_residency(fabric: &Fabric, ctx: &WorkerCtx) {
     loop {
         let candidates = {
@@ -824,6 +857,17 @@ fn refuse(
         // caused it). Book the error on the parked snapshot rather than
         // `get_or_create` — a fresh empty slot would shadow the real
         // state the snapshot still holds.
+        //
+        // Accepted divergence: on a durable home the on-disk
+        // `tenant-<id>.tsnap` is *not* rewritten with this bookkeeping —
+        // every path that reaches an evicted tenant has the home
+        // poisoned, so the store cannot be written at all. A crash
+        // before the tenant is next rehydrated therefore restores the
+        // pre-refusal error count (`restored_errors` / `tenant_errors()`
+        // under-count these refusals after recovery). That is the same
+        // claim demotion already makes — error *counters* are
+        // observability, not replayed state; the job log and object
+        // state never diverge.
         let mut evicted = home.evicted_lock();
         if let Some(snap) = evicted.get_mut(&tenant) {
             snap.job_errors += 1;
@@ -1252,9 +1296,13 @@ fn maybe_snapshot(
 /// Fold the home's parked eviction snapshots into a full-snapshot set:
 /// evicted tenants are as much a part of the home's state as resident
 /// ones, and including them lets the store's snapshot path delete their
-/// now-covered `tsnap` files. A tenant seen in both places (the narrow
-/// rehydration window inserts resident before removing evicted) keeps
-/// the resident copy — never older.
+/// now-covered `tsnap` files. Both callers hold the home store lock
+/// across `tenants.arcs()` and this fold, and rehydration publishes its
+/// evicted→resident handover under that same lock, so every tenant
+/// homed here is guaranteed to appear in at least one of the two sets —
+/// a snapshot can never silently omit a tenant mid-rehydration. A
+/// tenant seen in both places (insert-before-remove inside the
+/// handover) keeps the resident copy — never older.
 fn fold_evicted(home: &Home, snaps: &mut Vec<TenantSnapshot>) {
     let resident: HashSet<u64> = snaps.iter().map(|t| t.tenant).collect();
     let evicted = home.evicted_lock();
